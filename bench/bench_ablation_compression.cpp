@@ -1,0 +1,104 @@
+// Ablation: the OTHER alternative serialization the paper's §2 mentions —
+// "other alternative representations (e.g., compressed or binary ones) can
+// be used". Is compressed textual XML a substitute for binary XML?
+//
+// For the LEAD workload we measure every encoding x compression combination:
+// serialized bytes, real encode+decode CPU, and the modeled response time
+// on the paper's LAN and WAN. Compressed XML does shrink below BXSA's byte
+// count (the packed doubles are less compressible than XML's redundant
+// text), but its CPU cost — conversion AND compression — means either
+// binary variant still wins end to end: bytes were never the bottleneck,
+// which is the paper's thesis from another angle.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "netsim/netsim.hpp"
+#include "services/verification.hpp"
+#include "soap/compressed.hpp"
+#include "soap/encoding.hpp"
+#include "workload/lead.hpp"
+
+using namespace bxsoap;
+using namespace bxsoap::bench;
+
+namespace {
+
+// Tiny local stand-in so this file does not need google-benchmark.
+template <typename T>
+void benchmark_do_not_optimize(T&& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+struct Row {
+  const char* name;
+  std::size_t bytes;
+  double cpu_s;  // encode + decode, measured
+};
+
+template <typename Encoding>
+Row measure(const char* name, const soap::SoapEnvelope& env) {
+  Encoding enc;
+  const auto bytes = enc.serialize(env.document());
+  Row row;
+  row.name = name;
+  row.bytes = bytes.size();
+  const double t_enc = measure_seconds(
+      [&] {
+        volatile std::size_t sink = enc.serialize(env.document()).size();
+        (void)sink;
+      },
+      0.05);
+  const double t_dec = measure_seconds(
+      [&] {
+        auto doc = enc.deserialize(bytes);
+        benchmark_do_not_optimize(doc.get());
+      },
+      0.05);
+  row.cpu_s = t_enc + t_dec;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t model_size = 87360;  // 1 MB native, mid-sweep point
+  const auto dataset = workload::make_lead_dataset(model_size);
+  const soap::SoapEnvelope env = services::make_data_request(dataset);
+
+  const Row rows[] = {
+      measure<soap::BxsaEncoding>("BXSA", env),
+      measure<soap::CompressedEncoding<soap::BxsaEncoding>>("BXSA+LZSS", env),
+      measure<soap::XmlEncoding>("XML", env),
+      measure<soap::CompressedEncoding<soap::XmlEncoding>>("XML+LZSS", env),
+  };
+
+  const netsim::LinkSpec lan = netsim::lan();
+  const netsim::LinkSpec wan = netsim::wan();
+
+  std::printf("== ablation: compression vs binary encoding "
+              "(model size %zu, native %.1f MB) ==\n\n",
+              model_size, dataset.native_bytes() / 1.0e6);
+  Table t({"encoding", "bytes", "vs native", "cpu ms",
+           "LAN total ms", "WAN total ms"});
+  t.print_header();
+  for (const Row& r : rows) {
+    const double lan_total =
+        r.cpu_s + netsim::request_response_time(lan, r.bytes, 200);
+    const double wan_total =
+        r.cpu_s + netsim::request_response_time(wan, r.bytes, 200);
+    t.cell(std::string(r.name));
+    t.cell(r.bytes);
+    t.cell(static_cast<double>(r.bytes) / dataset.native_bytes(), "%.2fx");
+    t.cell(r.cpu_s * 1e3, "%.1f");
+    t.cell(lan_total * 1e3, "%.1f");
+    t.cell(wan_total * 1e3, "%.1f");
+    t.end_row();
+  }
+  std::printf(
+      "\nreading: compressing BXSA is a wash (the compression CPU roughly "
+      "buys back the\nwire time it saves at 10 MB/s, and loses outright on "
+      "faster links); compressing\nXML halves its penalty but cannot erase "
+      "the conversion cost, so either binary\nvariant still wins — bytes "
+      "were never the bottleneck, which is the paper's point.\n");
+  return 0;
+}

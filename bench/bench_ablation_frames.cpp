@@ -1,0 +1,212 @@
+// Ablation: BXSA's frame-design choices.
+//
+//   1. ArrayElement vs N LeafElements vs N tiny component elements —
+//      the paper enlarged frame granularity ("numerous, small frames ...
+//      degrading the encoding efficiency") and added the packed array
+//      frame; this measures what each step buys, in bytes and in time.
+//   2. Size-field skip scan — finding the last child via the FrameScanner
+//      vs fully decoding the document ("accelerated sequential access").
+#include <benchmark/benchmark.h>
+
+#include "bxsa/bxsa.hpp"
+#include "bxsa/stream_reader.hpp"
+#include "common/prng.hpp"
+#include "workload/lead.hpp"
+#include "xdm/node.hpp"
+
+using namespace bxsoap;
+using namespace bxsoap::xdm;
+
+namespace {
+
+constexpr std::size_t kN = 1000;
+
+std::vector<double> sample_values() {
+  SplitMix64 rng(3);
+  std::vector<double> v(kN);
+  for (auto& x : v) x = rng.next_double(200, 320);
+  return v;
+}
+
+/// One ArrayElement<double> with kN items (the bXDM extension).
+DocumentPtr doc_array() {
+  auto root = make_element(QName("r"));
+  root->add_child(make_array<double>(QName("a"), sample_values()));
+  return make_document(std::move(root));
+}
+
+/// kN LeafElement<double> children (typed, but one frame per value).
+DocumentPtr doc_leaves() {
+  auto root = make_element(QName("r"));
+  for (const double v : sample_values()) {
+    root->add_child(make_leaf<double>(QName("d"), v));
+  }
+  return make_document(std::move(root));
+}
+
+/// kN component elements each holding a text node (the XML-Infoset-shaped
+/// model the paper left behind: no typed values at all).
+DocumentPtr doc_text_elements() {
+  auto root = make_element(QName("r"));
+  for (const double v : sample_values()) {
+    auto& e = root->add_element(QName("d"));
+    e.add_text(scalar_text(ScalarValue(v)));
+  }
+  return make_document(std::move(root));
+}
+
+void report_size(benchmark::State& state, const Document& doc) {
+  state.counters["bytes"] =
+      static_cast<double>(bxsa::encode(doc).size());
+}
+
+void BM_EncodeArrayElement(benchmark::State& state) {
+  const auto doc = doc_array();
+  for (auto _ : state) {
+    auto bytes = bxsa::encode(*doc);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  report_size(state, *doc);
+}
+BENCHMARK(BM_EncodeArrayElement);
+
+void BM_EncodeLeafPerValue(benchmark::State& state) {
+  const auto doc = doc_leaves();
+  for (auto _ : state) {
+    auto bytes = bxsa::encode(*doc);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  report_size(state, *doc);
+}
+BENCHMARK(BM_EncodeLeafPerValue);
+
+void BM_EncodeTextElementPerValue(benchmark::State& state) {
+  const auto doc = doc_text_elements();
+  for (auto _ : state) {
+    auto bytes = bxsa::encode(*doc);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  report_size(state, *doc);
+}
+BENCHMARK(BM_EncodeTextElementPerValue);
+
+void BM_DecodeArrayElement(benchmark::State& state) {
+  const auto bytes = bxsa::encode(*doc_array());
+  for (auto _ : state) {
+    auto node = bxsa::decode(bytes);
+    benchmark::DoNotOptimize(node.get());
+  }
+}
+BENCHMARK(BM_DecodeArrayElement);
+
+void BM_DecodeLeafPerValue(benchmark::State& state) {
+  const auto bytes = bxsa::encode(*doc_leaves());
+  for (auto _ : state) {
+    auto node = bxsa::decode(bytes);
+    benchmark::DoNotOptimize(node.get());
+  }
+}
+BENCHMARK(BM_DecodeLeafPerValue);
+
+// ---- name repetition (the FastInfoset tokenization question) -------------------
+
+/// BXSA writes element names verbatim in every frame; FastInfoset (related
+/// work) tokenizes them. This measures what BXSA pays for that simplicity:
+/// same 1000 leaves, 1-char vs 31-char names. (For the paper's array-heavy
+/// scientific payloads the name cost is one string per ARRAY, i.e. nothing
+/// — which is why BXSA skips tokenization.)
+void BM_EncodeLeafPerValue_LongNames(benchmark::State& state) {
+  auto root = make_element(QName("r"));
+  for (const double v : sample_values()) {
+    root->add_child(make_leaf<double>(
+        QName("quite-a-long-element-name-here"), v));
+  }
+  auto doc = make_document(std::move(root));
+  for (auto _ : state) {
+    auto bytes = bxsa::encode(*doc);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  report_size(state, *doc);
+}
+BENCHMARK(BM_EncodeLeafPerValue_LongNames);
+
+// ---- skip scan vs full decode --------------------------------------------------
+
+DocumentPtr doc_many_arrays(std::size_t arrays) {
+  auto root = make_element(QName("r"));
+  SplitMix64 rng(9);
+  for (std::size_t i = 0; i < arrays; ++i) {
+    std::vector<double> v(4096);
+    for (auto& x : v) x = rng.next_double01();
+    root->add_child(
+        make_array<double>(QName("a" + std::to_string(i)), std::move(v)));
+  }
+  root->add_child(make_leaf<std::int32_t>(QName("needle"), 42));
+  return make_document(std::move(root));
+}
+
+void BM_FindLastChild_SkipScan(benchmark::State& state) {
+  const auto bytes = bxsa::encode(*doc_many_arrays(64));
+  for (auto _ : state) {
+    bxsa::FrameScanner sc(bytes);
+    const auto root = sc.first_child(sc.frame_at(0));
+    const auto needle = sc.child(*root, 64);
+    benchmark::DoNotOptimize(sc.element_local_name(*needle).data());
+  }
+}
+BENCHMARK(BM_FindLastChild_SkipScan);
+
+void BM_FindLastChild_FullDecode(benchmark::State& state) {
+  const auto bytes = bxsa::encode(*doc_many_arrays(64));
+  for (auto _ : state) {
+    const auto doc = bxsa::decode_document(bytes);
+    const auto& root = static_cast<const Element&>(doc->root());
+    const auto* needle = root.find_child("needle");
+    benchmark::DoNotOptimize(needle);
+  }
+}
+BENCHMARK(BM_FindLastChild_FullDecode);
+
+// ---- tree decode vs streaming scan on the verification hot path ----------------
+
+void BM_VerifyViaTree(benchmark::State& state) {
+  const auto dataset = workload::make_lead_dataset(100000);
+  const auto bytes = bxsa::encode(*workload::to_bxdm(dataset));
+  for (auto _ : state) {
+    const auto node = bxsa::decode(bytes);
+    const auto d =
+        workload::from_bxdm(static_cast<const ElementBase&>(*node));
+    double sum = 0;
+    for (const double v : d.values) sum += v;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_VerifyViaTree);
+
+void BM_VerifyViaStream(benchmark::State& state) {
+  // The streaming path touches the packed payload in place: no tree, no
+  // copies (order matches host here, the common case).
+  const auto dataset = workload::make_lead_dataset(100000);
+  const auto bytes = bxsa::encode(*workload::to_bxdm(dataset));
+  for (auto _ : state) {
+    bxsa::StreamReader reader(bytes);
+    double sum = 0;
+    while (auto ev = reader.next()) {
+      if (ev->kind == bxsa::EventKind::kArray &&
+          ev->array.type == AtomType::kFloat64 &&
+          ev->array.order == host_byte_order()) {
+        const auto* values =
+            reinterpret_cast<const double*>(ev->array.payload.data());
+        for (std::size_t i = 0; i < ev->array.count; ++i) sum += values[i];
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_VerifyViaStream);
+
+}  // namespace
+
+BENCHMARK_MAIN();

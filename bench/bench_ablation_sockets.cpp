@@ -1,0 +1,101 @@
+// Ablation: REAL loopback sockets (no model) — per-exchange latency of the
+// four encoding x binding combinations on this machine, small and medium
+// payloads. Complements the netsim-based figure benches with ground truth
+// for the CPU + kernel path.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "services/verification.hpp"
+#include "soap/engine.hpp"
+#include "transport/bindings.hpp"
+#include "workload/lead.hpp"
+
+using namespace bxsoap;
+using namespace bxsoap::soap;
+using namespace bxsoap::transport;
+
+namespace {
+
+template <typename Encoding>
+void run_tcp_bench(benchmark::State& state) {
+  const auto dataset = workload::make_lead_dataset(
+      static_cast<std::size_t>(state.range(0)));
+
+  TcpServerBinding server_binding;
+  const std::uint16_t port = server_binding.port();
+  SoapEngine<Encoding, TcpServerBinding> server({},
+                                                std::move(server_binding));
+  std::atomic<bool> stop{false};
+  std::thread service([&] {
+    try {
+      while (!stop.load()) server.serve_once(services::verification_handler);
+    } catch (const TransportError&) {
+    }
+  });
+
+  SoapEngine<Encoding, TcpClientBinding> client({}, TcpClientBinding(port));
+  for (auto _ : state) {
+    SoapEnvelope resp = client.call(services::make_data_request(dataset));
+    benchmark::DoNotOptimize(resp.body_payload());
+  }
+  stop.store(true);
+  server.binding().shutdown();
+  client.binding().close();
+  service.join();
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Loopback_BxsaTcp(benchmark::State& state) {
+  run_tcp_bench<BxsaEncoding>(state);
+}
+BENCHMARK(BM_Loopback_BxsaTcp)->Arg(10)->Arg(1000)->Arg(100000);
+
+void BM_Loopback_XmlTcp(benchmark::State& state) {
+  run_tcp_bench<XmlEncoding>(state);
+}
+BENCHMARK(BM_Loopback_XmlTcp)->Arg(10)->Arg(1000)->Arg(100000);
+
+template <typename Encoding>
+void run_http_bench(benchmark::State& state) {
+  const auto dataset = workload::make_lead_dataset(
+      static_cast<std::size_t>(state.range(0)));
+
+  HttpServerBinding server_binding;
+  const std::uint16_t port = server_binding.port();
+  SoapEngine<Encoding, HttpServerBinding> server({},
+                                                 std::move(server_binding));
+  std::atomic<bool> stop{false};
+  std::thread service([&] {
+    try {
+      while (!stop.load()) server.serve_once(services::verification_handler);
+    } catch (const TransportError&) {
+    }
+  });
+
+  for (auto _ : state) {
+    SoapEngine<Encoding, HttpClientBinding> client({},
+                                                   HttpClientBinding(port));
+    SoapEnvelope resp = client.call(services::make_data_request(dataset));
+    benchmark::DoNotOptimize(resp.body_payload());
+  }
+  stop.store(true);
+  server.binding().shutdown();
+  service.join();
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Loopback_BxsaHttp(benchmark::State& state) {
+  run_http_bench<BxsaEncoding>(state);
+}
+BENCHMARK(BM_Loopback_BxsaHttp)->Arg(10)->Arg(1000)->Arg(100000);
+
+void BM_Loopback_XmlHttp(benchmark::State& state) {
+  run_http_bench<XmlEncoding>(state);
+}
+BENCHMARK(BM_Loopback_XmlHttp)->Arg(10)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Figure 4 — "Message response time when running with small binary data
+// set": model size 0..1000 on the 0.2 ms LAN.
+//
+// Paper's shape: SOAP over BXSA/TCP fastest throughout; SOAP over XML/HTTP
+// starts low but climbs steeply with model size; SOAP + HTTP data channel
+// sits on a flat disk/connection floor; SOAP + GridFTP is a flat line an
+// order of magnitude above everything (GSI authentication).
+//
+// Columns report microseconds, like the paper's y-axis. The "XML/HTTP era"
+// column repeats the XML scheme with 2005-style snprintf number formatting;
+// the modern to_chars column shows how much of the paper's XML penalty was
+// the conversion cost it blames (see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "bench/scheme_costs.hpp"
+
+using namespace bxsoap;
+using namespace bxsoap::bench;
+
+int main() {
+  const netsim::LinkSpec link = netsim::lan();
+  const netsim::DiskSpec disk = netsim::local_disk();
+
+  std::printf("== Figure 4: response time, small messages, LAN "
+              "(microseconds) ==\n");
+  std::printf("(paper: BXSA/TCP < XML/HTTP < SOAP+HTTP << SOAP+GridFTP at "
+              "small sizes;\n XML/HTTP climbs steeply with model size)\n\n");
+
+  Table t({"model size", "BXSA/TCP", "XML/HTTP", "XML/HTTP era",
+           "SOAP+HTTP", "SOAP+GridFTP"});
+  t.print_header();
+
+  for (std::size_t n = 0; n <= 1000; n += 100) {
+    const auto dataset = workload::make_lead_dataset(n);
+
+    const UnifiedCosts bxsa = measure_unified<soap::BxsaEncoding>(dataset);
+    const UnifiedCosts xml = measure_unified<soap::XmlEncoding>(dataset);
+    const UnifiedCosts xml_era = measure_unified_xml_era(dataset);
+    // netCDF classic cannot express a zero-length fixed dimension (length
+    // 0 denotes the record dimension), so the separated schemes' smallest
+    // point is model size 1.
+    const SeparatedCosts sep =
+        measure_separated(n == 0 ? workload::make_lead_dataset(1) : dataset);
+
+    t.cell(n);
+    t.cell(unified_tcp_time(bxsa, link) * 1e6, "%.0f");
+    t.cell(unified_http_time(xml, link) * 1e6, "%.0f");
+    t.cell(unified_http_time(xml_era, link) * 1e6, "%.0f");
+    t.cell(separated_http_time(sep, link, disk) * 1e6, "%.0f");
+    t.cell(separated_gridftp_time(sep, link, disk, 1) * 1e6, "%.0f");
+    t.end_row();
+  }
+
+  std::printf("\nwire model: LAN rtt=%.1f us, single TCP stream %.0f MB/s; "
+              "GridFTP auth=%d round trips + %.0f ms crypto.\n",
+              link.rtt_s * 1e6, link.stream_bw / 1e6,
+              netsim::gsi_gridftp().auth_round_trips,
+              netsim::gsi_gridftp().auth_cpu_s * 1e3);
+  return 0;
+}

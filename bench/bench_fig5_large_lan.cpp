@@ -1,0 +1,54 @@
+// Figure 5 — "Invocation performance when running with larger binary data
+// over LAN": model size 1365 -> 5591040 (BXSA 16 KB -> 64 MB), bandwidth in
+// (double,int) pairs per second on the 0.2 ms LAN.
+//
+// Paper's shape: SOAP/BXSA/TCP best, saturating around 960K pairs/s (~10
+// MB/s single TCP stream); SOAP+HTTP slightly lower (extra disk I/O);
+// GridFTP converges toward them as auth amortizes, with MORE streams doing
+// WORSE on the LAN; SOAP over XML/HTTP "lost the game at the very
+// beginning".
+#include <cstdio>
+
+#include "bench/scheme_costs.hpp"
+
+using namespace bxsoap;
+using namespace bxsoap::bench;
+
+int main() {
+  const netsim::LinkSpec link = netsim::lan();
+  const netsim::DiskSpec disk = netsim::local_disk();
+
+  std::printf("== Figure 5: bandwidth, large messages, LAN "
+              "((double,int) pairs per second) ==\n");
+  std::printf("(paper: BXSA/TCP saturates ~960K pairs/s; SOAP+HTTP trails; "
+              "GridFTP catches up, parallelism hurts; XML/HTTP worst)\n\n");
+
+  Table t({"# (double,int)", "BXSA/TCP", "SOAP+HTTP", "GridFTP(1)",
+           "GridFTP(4)", "GridFTP(16)", "XML/HTTP", "XML era"});
+  t.print_header();
+
+  for (const std::size_t n : workload::figure56_model_sizes()) {
+    const auto dataset = workload::make_lead_dataset(n);
+
+    const UnifiedCosts bxsa = measure_unified<soap::BxsaEncoding>(dataset);
+    const UnifiedCosts xml = measure_unified<soap::XmlEncoding>(dataset);
+    const UnifiedCosts xml_era = measure_unified_xml_era(dataset);
+    const SeparatedCosts sep = measure_separated(dataset);
+
+    const double pairs = static_cast<double>(n);
+    t.cell(n);
+    t.cell(pairs / unified_tcp_time(bxsa, link), "%.3g");
+    t.cell(pairs / separated_http_time(sep, link, disk), "%.3g");
+    t.cell(pairs / separated_gridftp_time(sep, link, disk, 1), "%.3g");
+    t.cell(pairs / separated_gridftp_time(sep, link, disk, 4), "%.3g");
+    t.cell(pairs / separated_gridftp_time(sep, link, disk, 16), "%.3g");
+    t.cell(pairs / unified_http_time(xml, link), "%.3g");
+    t.cell(pairs / unified_http_time(xml_era, link), "%.3g");
+    t.end_row();
+  }
+
+  std::printf("\nwire model: LAN, single-stream cap %.0f MB/s = the "
+              "saturation ceiling the paper reports.\n",
+              link.stream_bw / 1e6);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// The figure benches report
+//     response time = measured CPU time + netsim-modeled wire/disk time
+// (see src/netsim/netsim.hpp for why). measure_seconds() produces stable
+// per-operation CPU times by repeating the operation until enough wall
+// clock has accumulated.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bxsoap::bench {
+
+/// Seconds per invocation of `op`, repeated until at least `min_time`
+/// seconds total (minimum one run, so very slow ops are timed once).
+template <typename Op>
+double measure_seconds(Op&& op, double min_time = 0.05) {
+  using Clock = std::chrono::steady_clock;
+  std::size_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    op();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_time);
+  return elapsed / static_cast<double>(iters);
+}
+
+/// Fixed-width table printer for the paper-style outputs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int width = 14)
+      : columns_(std::move(columns)), width_(width) {}
+
+  void print_header() const {
+    for (const auto& c : columns_) {
+      std::printf("%*s", width_, c.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      for (int j = 0; j < width_; ++j) std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void cell(const std::string& s) const { std::printf("%*s", width_, s.c_str()); }
+  void cell(double v, const char* fmt = "%.3g") const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    std::printf("%*s", width_, buf);
+  }
+  void cell(std::size_t v) const { std::printf("%*zu", width_, v); }
+  void end_row() const { std::printf("\n"); }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+}  // namespace bxsoap::bench

@@ -1,0 +1,103 @@
+// Zero-copy analytics over a memory-mapped BXSA file — the paper's
+// ArrayElement design goal in action: "large arrays can be read or written
+// by simply using memory-mapped file I/O. This will avoid an extra copy."
+//
+// We stream-write a multi-chunk dataset to disk (never holding the whole
+// document in memory), then answer an aggregate query two ways:
+//   1. conventional: read + decode the full document into a bXDM tree;
+//   2. mapped: mmap the file, skip-scan to each array frame, and reduce
+//      over spans pointing straight into the page cache.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+#include "bxsa/bxsa.hpp"
+#include "common/prng.hpp"
+
+using namespace bxsoap;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr int kChunks = 64;
+constexpr std::size_t kChunkValues = 500000;  // 64 x 0.5M doubles = 256 MB
+
+double elapsed_ms(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== mapped analytics: mmap + skip scan vs full decode ==\n\n");
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("bxsoap_analytics_" + std::to_string(::getpid()) +
+                     ".bxsa");
+
+  // ---- produce the file with the streaming writer -------------------------
+  {
+    const auto t0 = Clock::now();
+    SplitMix64 rng(123);
+    bxsa::StreamWriter w;
+    w.start_document();
+    w.start_element(xdm::QName("urn:lab", "runs", "lab"),
+                    std::vector<xdm::NamespaceDecl>{{"lab", "urn:lab"}});
+    std::vector<double> chunk(kChunkValues);
+    for (int c = 0; c < kChunks; ++c) {
+      for (auto& v : chunk) v = rng.next_double(200, 320);
+      w.array(xdm::QName("urn:lab", "run" + std::to_string(c), "lab"),
+              std::span<const double>(chunk));
+    }
+    w.end_element();
+    w.end_document();
+    bxsa::write_bxsa_file(path, w.take());
+    std::printf("stream-wrote %d x %zu doubles (%.0f MB) in %.0f ms\n",
+                kChunks, kChunkValues,
+                std::filesystem::file_size(path) / 1.0e6, elapsed_ms(t0));
+  }
+
+  double sum_tree = 0, sum_mapped = 0;
+
+  // ---- conventional: full decode -------------------------------------------
+  {
+    const auto t0 = Clock::now();
+    bxsa::MappedDocument mapped(path);  // just as the byte source
+    const auto doc = bxsa::decode_document(mapped.bytes());
+    const auto& root = static_cast<const xdm::Element&>(doc->root());
+    std::size_t n = 0;
+    for (const auto* child : root.child_elements()) {
+      const auto& arr = static_cast<const xdm::ArrayElement<double>&>(*child);
+      for (const double v : arr.values()) sum_tree += v;
+      n += arr.count();
+    }
+    std::printf("full decode : mean %.6f over %zu values in %7.1f ms\n",
+                sum_tree / static_cast<double>(n), n, elapsed_ms(t0));
+  }
+
+  // ---- mapped: skip scan + zero-copy spans ---------------------------------
+  {
+    const auto t0 = Clock::now();
+    bxsa::MappedDocument mapped(path);
+    const auto sc = mapped.scanner();
+    const auto root = sc.first_child(sc.frame_at(0));
+    std::size_t n = 0;
+    for (auto frame = sc.first_child(*root); frame;
+         frame = sc.next(*frame, root->end())) {
+      const auto values = mapped.array_values<double>(*frame);
+      for (const double v : values) sum_mapped += v;
+      n += values.size();
+    }
+    std::printf("mmap scan   : mean %.6f over %zu values in %7.1f ms\n",
+                sum_mapped / static_cast<double>(n), n, elapsed_ms(t0));
+  }
+
+  std::filesystem::remove(path);
+  if (sum_tree != sum_mapped) {
+    std::printf("\nsums disagree — bug!\n");
+    return 1;
+  }
+  std::printf("\nidentical result, no tree, no copies. ok.\n");
+  return 0;
+}

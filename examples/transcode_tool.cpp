@@ -1,0 +1,144 @@
+// bxsa-transcode: a command-line converter between textual XML and BXSA.
+//
+//   transcode_tool to-bxsa  <in.xml> <out.bxsa>
+//   transcode_tool to-xml   <in.bxsa> <out.xml>
+//   transcode_tool inspect  <in.bxsa>            (frame-level scan)
+//   transcode_tool demo                          (self-contained round trip)
+//
+// `inspect` uses the accelerated sequential scanner: it walks the frame
+// tree via the Size fields without decoding payloads.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bxsa/bxsa.hpp"
+#include "xdm/equal.hpp"
+#include "xml/xml.hpp"
+
+using namespace bxsoap;
+
+namespace {
+
+std::vector<std::uint8_t> read_binary(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error(std::string("cannot open ") + path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_binary(const char* path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+const char* frame_type_name(bxsa::FrameType t) {
+  switch (t) {
+    case bxsa::FrameType::kDocument: return "document";
+    case bxsa::FrameType::kComponentElement: return "element";
+    case bxsa::FrameType::kLeafElement: return "leaf";
+    case bxsa::FrameType::kArrayElement: return "array";
+    case bxsa::FrameType::kCharacterData: return "chardata";
+    case bxsa::FrameType::kPI: return "pi";
+    case bxsa::FrameType::kComment: return "comment";
+  }
+  return "?";
+}
+
+void inspect_frame(const bxsa::FrameScanner& sc, const bxsa::FrameInfo& f,
+                   int depth) {
+  std::printf("%*s%-8s @%-6zu body=%zu", depth * 2, "",
+              frame_type_name(f.type), f.frame_offset, f.body_size);
+  switch (f.type) {
+    case bxsa::FrameType::kComponentElement:
+    case bxsa::FrameType::kLeafElement:
+      std::printf("  <%s>", sc.element_local_name(f).c_str());
+      break;
+    case bxsa::FrameType::kArrayElement: {
+      const auto view = sc.array_view(f);
+      std::printf("  <%s> %zu x %s", sc.element_local_name(f).c_str(),
+                  view.count,
+                  std::string(xdm::atom_debug_name(view.type)).c_str());
+      break;
+    }
+    default:
+      break;
+  }
+  std::printf("\n");
+  if (f.type == bxsa::FrameType::kDocument ||
+      f.type == bxsa::FrameType::kComponentElement) {
+    for (auto c = sc.first_child(f); c; c = sc.next(*c, f.end())) {
+      inspect_frame(sc, *c, depth + 1);
+    }
+  }
+}
+
+int demo() {
+  const std::string xml =
+      "<run xmlns:xsi=\"http://www.w3.org/2001/XMLSchema-instance\" "
+      "xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\" "
+      "xmlns:bx=\"urn:bxsa:annotations\" id=\"42\">"
+      "<temp xsi:type=\"xsd:double\">287.65</temp>"
+      "<idx bx:arrayType=\"xsd:int\"><d>1</d><d>2</d><d>3</d></idx>"
+      "</run>";
+  std::printf("input XML (%zu bytes):\n  %s\n\n", xml.size(), xml.c_str());
+
+  const auto bin = bxsa::xml_to_bxsa(xml);
+  std::printf("as BXSA: %zu bytes; frame scan:\n", bin.size());
+  bxsa::FrameScanner sc(bin);
+  inspect_frame(sc, sc.frame_at(0), 1);
+
+  const std::string back = bxsa::bxsa_to_xml(bin);
+  std::printf("\nback to XML (%zu bytes):\n  %s\n", back.size(),
+              back.c_str());
+
+  const auto again = bxsa::xml_to_bxsa(back);
+  std::printf("\nsecond lap binary identical: %s\n",
+              bin == again ? "yes" : "NO");
+  return bin == again ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string mode = argc > 1 ? argv[1] : "demo";
+    if (mode == "demo") {
+      return demo();
+    }
+    if (mode == "to-bxsa" && argc == 4) {
+      std::ifstream in(argv[2]);
+      if (!in) throw Error(std::string("cannot open ") + argv[2]);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const auto bin = bxsa::xml_to_bxsa(ss.str());
+      write_binary(argv[3], bin);
+      std::printf("%s: %zu XML bytes -> %zu BXSA bytes\n", argv[3],
+                  ss.str().size(), bin.size());
+      return 0;
+    }
+    if (mode == "to-xml" && argc == 4) {
+      const auto bin = read_binary(argv[2]);
+      const std::string xml = bxsa::bxsa_to_xml(bin);
+      std::ofstream out(argv[3], std::ios::trunc);
+      out << xml;
+      std::printf("%s: %zu BXSA bytes -> %zu XML bytes\n", argv[3],
+                  bin.size(), xml.size());
+      return 0;
+    }
+    if (mode == "inspect" && argc == 3) {
+      const auto bin = read_binary(argv[2]);
+      bxsa::FrameScanner sc(bin);
+      inspect_frame(sc, sc.frame_at(0), 0);
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "usage: %s demo | to-bxsa <in.xml> <out> | to-xml <in> "
+                 "<out> | inspect <in>\n",
+                 argv[0]);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

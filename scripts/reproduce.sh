@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# One-command reproduction: build, test, regenerate every table/figure.
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    echo
+    echo "##### $b"
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Examples (smoke run):"
+./build/examples/quickstart >/dev/null && echo "  quickstart ok"
+./build/examples/transcode_tool demo >/dev/null && echo "  transcode_tool ok"
+./build/examples/weather_service >/dev/null && echo "  weather_service ok"
+./build/examples/pubsub_dashboard >/dev/null && echo "  pubsub_dashboard ok"
+./build/examples/sensor_network >/dev/null && echo "  sensor_network ok"
+./build/examples/data_mining >/dev/null && echo "  data_mining ok"
+./build/examples/mapped_analytics >/dev/null && echo "  mapped_analytics ok"
+echo "done."

@@ -1,0 +1,11 @@
+// Umbrella header for the BXSA binary XML codec.
+#pragma once
+
+#include "bxsa/decoder.hpp"    // IWYU pragma: export
+#include "bxsa/encoder.hpp"    // IWYU pragma: export
+#include "bxsa/frame.hpp"      // IWYU pragma: export
+#include "bxsa/mapped.hpp"     // IWYU pragma: export
+#include "bxsa/scanner.hpp"    // IWYU pragma: export
+#include "bxsa/stream_reader.hpp"  // IWYU pragma: export
+#include "bxsa/stream_writer.hpp"  // IWYU pragma: export
+#include "bxsa/transcode.hpp"  // IWYU pragma: export

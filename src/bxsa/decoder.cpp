@@ -1,0 +1,305 @@
+#include "bxsa/decoder.hpp"
+
+#include <vector>
+
+#include "bxsa/frame.hpp"
+#include "xbs/xbs.hpp"
+
+namespace bxsoap::bxsa {
+
+using namespace bxsoap::xdm;
+
+namespace {
+
+/// Frame nesting bound: the decoder recurses per document/component frame,
+/// so hostile input must not be able to exhaust the stack.
+constexpr std::size_t kMaxFrameDepth = 1024;
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> bytes) : r_(bytes) {}
+
+  NodePtr read_node() {
+    if (++depth_guard_ > kMaxFrameDepth) {
+      throw DecodeError("frame nesting exceeds the depth limit of " +
+                        std::to_string(kMaxFrameDepth));
+    }
+    const FramePrefix prefix = parse_prefix_byte(r_.get_u8());
+    const std::uint64_t body = r_.get_vls();
+    if (body > r_.remaining()) {
+      throw DecodeError("frame size " + std::to_string(body) +
+                        " exceeds remaining input");
+    }
+    const std::size_t end = r_.offset() + static_cast<std::size_t>(body);
+    NodePtr node = read_body(prefix, end);
+    if (r_.offset() != end) {
+      throw DecodeError("frame body not fully consumed (at " +
+                        std::to_string(r_.offset()) + ", expected " +
+                        std::to_string(end) + ")");
+    }
+    --depth_guard_;
+    return node;
+  }
+
+  bool at_end() const { return r_.at_end(); }
+
+ private:
+  NodePtr read_body(const FramePrefix& prefix, std::size_t end) {
+    switch (prefix.type) {
+      case FrameType::kDocument: {
+        auto doc = std::make_unique<Document>();
+        const std::uint64_t n = r_.get_vls();
+        for (std::uint64_t i = 0; i < n; ++i) {
+          doc->add_child(read_node());
+        }
+        return doc;
+      }
+      case FrameType::kComponentElement: {
+        auto e = std::make_unique<Element>(QName());
+        read_header(*e, prefix);
+        const std::uint64_t n = r_.get_vls();
+        for (std::uint64_t i = 0; i < n; ++i) {
+          e->add_child(read_node());
+        }
+        ns_stack_.pop_back();
+        return e;
+      }
+      case FrameType::kLeafElement:
+        return read_leaf(prefix);
+      case FrameType::kArrayElement:
+        return read_array(prefix);
+      case FrameType::kCharacterData:
+        return std::make_unique<TextNode>(read_counted_string());
+      case FrameType::kComment:
+        return std::make_unique<CommentNode>(read_counted_string());
+      case FrameType::kPI: {
+        std::string target = r_.get_string();
+        std::string data = r_.get_string();
+        return std::make_unique<PINode>(std::move(target), std::move(data));
+      }
+    }
+    (void)end;
+    throw DecodeError("unreachable frame type");
+  }
+
+  std::string read_counted_string() { return r_.get_string(); }
+
+  // ---- element pieces -------------------------------------------------------
+
+  QName read_qname_ref() {
+    const std::uint64_t depth = r_.get_vls();
+    if (depth == 0) {
+      return QName(r_.get_string());
+    }
+    const std::uint64_t index = r_.get_vls();
+    if (depth > ns_stack_.size()) {
+      throw DecodeError("namespace scope depth " + std::to_string(depth) +
+                        " exceeds open-element depth " +
+                        std::to_string(ns_stack_.size()));
+    }
+    const auto& table = ns_stack_[ns_stack_.size() - depth];
+    if (index >= table.size()) {
+      throw DecodeError("namespace index " + std::to_string(index) +
+                        " out of range for symbol table of size " +
+                        std::to_string(table.size()));
+    }
+    const NamespaceDecl& d = table[index];
+    return QName(d.uri, r_.get_string(), d.prefix);
+  }
+
+  ScalarValue read_scalar(AtomType t, ByteOrder order) {
+    switch (t) {
+      case AtomType::kString:
+        return r_.get_string();
+      case AtomType::kInt8:
+        return r_.get_unaligned<std::int8_t>(order);
+      case AtomType::kUInt8:
+        return r_.get_unaligned<std::uint8_t>(order);
+      case AtomType::kInt16:
+        return r_.get_unaligned<std::int16_t>(order);
+      case AtomType::kUInt16:
+        return r_.get_unaligned<std::uint16_t>(order);
+      case AtomType::kInt32:
+        return r_.get_unaligned<std::int32_t>(order);
+      case AtomType::kUInt32:
+        return r_.get_unaligned<std::uint32_t>(order);
+      case AtomType::kInt64:
+        return r_.get_unaligned<std::int64_t>(order);
+      case AtomType::kUInt64:
+        return r_.get_unaligned<std::uint64_t>(order);
+      case AtomType::kFloat32:
+        return r_.get_unaligned<float>(order);
+      case AtomType::kFloat64:
+        return r_.get_unaligned<double>(order);
+      case AtomType::kBool: {
+        const std::uint8_t b = r_.get_u8();
+        if (b > 1) throw DecodeError("boolean value byte must be 0 or 1");
+        return b == 1;
+      }
+    }
+    throw DecodeError("unknown atom type code");
+  }
+
+  AtomType read_atom_code() {
+    const std::uint8_t code = r_.get_u8();
+    if (code > static_cast<std::uint8_t>(AtomType::kBool)) {
+      throw DecodeError("unknown atom type code " + std::to_string(code));
+    }
+    return static_cast<AtomType>(code);
+  }
+
+  /// Reads the shared header into `e` and pushes the frame's symbol table
+  /// (the caller pops it when the frame ends).
+  void read_header(ElementBase& e, const FramePrefix& prefix) {
+    const std::uint64_t n1 = r_.get_vls();
+    std::vector<NamespaceDecl> table;
+    table.reserve(static_cast<std::size_t>(n1));
+    for (std::uint64_t i = 0; i < n1; ++i) {
+      std::string pfx = r_.get_string();
+      std::string uri = r_.get_string();
+      e.declare_namespace(pfx, uri);
+      table.push_back({std::move(pfx), std::move(uri)});
+    }
+    ns_stack_.push_back(std::move(table));
+
+    e.set_name(read_qname_ref());
+
+    const std::uint64_t n2 = r_.get_vls();
+    for (std::uint64_t i = 0; i < n2; ++i) {
+      QName name = read_qname_ref();
+      const AtomType t = read_atom_code();
+      e.add_attribute(std::move(name), read_scalar(t, prefix.order));
+    }
+  }
+
+  template <Atomic T>
+  NodePtr finish_leaf(Element&& header_holder, ScalarValue v) {
+    auto leaf = std::make_unique<LeafElement<T>>(header_holder.name(),
+                                                 scalar_get<T>(v));
+    for (const auto& d : header_holder.namespaces()) {
+      leaf->declare_namespace(d.prefix, d.uri);
+    }
+    leaf->attributes() = std::move(header_holder.attributes());
+    return leaf;
+  }
+
+  NodePtr read_leaf(const FramePrefix& prefix) {
+    Element header{QName()};
+    read_header(header, prefix);
+    const AtomType t = read_atom_code();
+    ScalarValue v = read_scalar(t, prefix.order);
+    ns_stack_.pop_back();
+    switch (t) {
+      case AtomType::kString:
+        return finish_leaf<std::string>(std::move(header), std::move(v));
+      case AtomType::kInt8:
+        return finish_leaf<std::int8_t>(std::move(header), std::move(v));
+      case AtomType::kUInt8:
+        return finish_leaf<std::uint8_t>(std::move(header), std::move(v));
+      case AtomType::kInt16:
+        return finish_leaf<std::int16_t>(std::move(header), std::move(v));
+      case AtomType::kUInt16:
+        return finish_leaf<std::uint16_t>(std::move(header), std::move(v));
+      case AtomType::kInt32:
+        return finish_leaf<std::int32_t>(std::move(header), std::move(v));
+      case AtomType::kUInt32:
+        return finish_leaf<std::uint32_t>(std::move(header), std::move(v));
+      case AtomType::kInt64:
+        return finish_leaf<std::int64_t>(std::move(header), std::move(v));
+      case AtomType::kUInt64:
+        return finish_leaf<std::uint64_t>(std::move(header), std::move(v));
+      case AtomType::kFloat32:
+        return finish_leaf<float>(std::move(header), std::move(v));
+      case AtomType::kFloat64:
+        return finish_leaf<double>(std::move(header), std::move(v));
+      case AtomType::kBool:
+        return finish_leaf<bool>(std::move(header), std::move(v));
+    }
+    throw DecodeError("unknown leaf atom type");
+  }
+
+  template <PackedAtomic T>
+  NodePtr finish_array(Element&& header_holder, std::string item_name,
+                       std::size_t count, ByteOrder order) {
+    auto arr = std::make_unique<ArrayElement<T>>(header_holder.name());
+    arr->set_item_name(std::move(item_name));
+    arr->values() = r_.get_array<T>(count, order);
+    for (const auto& d : header_holder.namespaces()) {
+      arr->declare_namespace(d.prefix, d.uri);
+    }
+    arr->attributes() = std::move(header_holder.attributes());
+    return arr;
+  }
+
+  NodePtr read_array(const FramePrefix& prefix) {
+    Element header{QName()};
+    read_header(header, prefix);
+    const AtomType t = read_atom_code();
+    std::string item_name = r_.get_string();
+    const std::uint64_t count64 = r_.get_vls();
+    ns_stack_.pop_back();
+    const std::size_t count = static_cast<std::size_t>(count64);
+    const ByteOrder o = prefix.order;
+    switch (t) {
+      case AtomType::kInt8:
+        return finish_array<std::int8_t>(std::move(header),
+                                         std::move(item_name), count, o);
+      case AtomType::kUInt8:
+        return finish_array<std::uint8_t>(std::move(header),
+                                          std::move(item_name), count, o);
+      case AtomType::kInt16:
+        return finish_array<std::int16_t>(std::move(header),
+                                          std::move(item_name), count, o);
+      case AtomType::kUInt16:
+        return finish_array<std::uint16_t>(std::move(header),
+                                           std::move(item_name), count, o);
+      case AtomType::kInt32:
+        return finish_array<std::int32_t>(std::move(header),
+                                          std::move(item_name), count, o);
+      case AtomType::kUInt32:
+        return finish_array<std::uint32_t>(std::move(header),
+                                           std::move(item_name), count, o);
+      case AtomType::kInt64:
+        return finish_array<std::int64_t>(std::move(header),
+                                          std::move(item_name), count, o);
+      case AtomType::kUInt64:
+        return finish_array<std::uint64_t>(std::move(header),
+                                           std::move(item_name), count, o);
+      case AtomType::kFloat32:
+        return finish_array<float>(std::move(header), std::move(item_name),
+                                   count, o);
+      case AtomType::kFloat64:
+        return finish_array<double>(std::move(header), std::move(item_name),
+                                    count, o);
+      case AtomType::kBool:
+      case AtomType::kString:
+        throw DecodeError("array frame with non-packed item type");
+    }
+    throw DecodeError("unknown array atom type");
+  }
+
+  xbs::Reader r_;
+  std::vector<std::vector<NamespaceDecl>> ns_stack_;
+  std::size_t depth_guard_ = 0;
+};
+
+}  // namespace
+
+NodePtr decode(std::span<const std::uint8_t> bytes) {
+  Decoder d(bytes);
+  NodePtr node = d.read_node();
+  if (!d.at_end()) {
+    throw DecodeError("trailing bytes after the top-level frame");
+  }
+  return node;
+}
+
+DocumentPtr decode_document(std::span<const std::uint8_t> bytes) {
+  NodePtr node = decode(bytes);
+  if (node->kind() != NodeKind::kDocument) {
+    throw DecodeError("top-level frame is not a Document frame");
+  }
+  return DocumentPtr(static_cast<Document*>(node.release()));
+}
+
+}  // namespace bxsoap::bxsa

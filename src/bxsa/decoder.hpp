@@ -1,0 +1,19 @@
+// BXSA decoder: frame bytes -> bXDM tree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "xdm/node.hpp"
+
+namespace bxsoap::bxsa {
+
+/// Decode one frame sequence starting at the beginning of `bytes` (offset 0
+/// is the alignment origin). Returns the node for the first frame; trailing
+/// bytes after it are an error.
+xdm::NodePtr decode(std::span<const std::uint8_t> bytes);
+
+/// Like decode() but requires the top frame to be a Document.
+xdm::DocumentPtr decode_document(std::span<const std::uint8_t> bytes);
+
+}  // namespace bxsoap::bxsa

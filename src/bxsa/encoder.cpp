@@ -1,0 +1,305 @@
+#include "bxsa/encoder.hpp"
+
+#include <optional>
+
+#include "bxsa/frame.hpp"
+#include "xbs/xbs.hpp"
+
+namespace bxsoap::bxsa {
+
+using namespace bxsoap::xdm;
+
+namespace {
+
+struct NsRef {
+  std::uint64_t depth = 0;  // 0 = no namespace
+  std::uint64_t index = 0;
+};
+
+/// Resolved element header: symbol table (explicit + auto declarations) and
+/// QNameRefs for the element name and each attribute. Planned before any
+/// byte is written because the table is serialized ahead of the names that
+/// reference it.
+struct HeaderPlan {
+  std::vector<NamespaceDecl> table;
+  NsRef name_ref;
+  std::vector<NsRef> attr_refs;
+};
+
+std::size_t string_field_size(std::string_view s) {
+  return vls_size(s.size()) + s.size();
+}
+
+std::size_t qname_ref_size(const NsRef& ref, const std::string& local) {
+  std::size_t n = vls_size(ref.depth);
+  if (ref.depth != 0) n += vls_size(ref.index);
+  return n + string_field_size(local);
+}
+
+std::size_t scalar_value_size(const ScalarValue& v) {
+  return std::visit(
+      [](const auto& x) -> std::size_t {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          return string_field_size(x);
+        } else if constexpr (std::is_same_v<T, bool>) {
+          return 1;
+        } else {
+          return sizeof(T);
+        }
+      },
+      v);
+}
+
+class Encoder final : public NodeVisitor {
+ public:
+  explicit Encoder(ByteOrder order) : order_(order), w_(order) {}
+
+  std::vector<std::uint8_t> take() { return w_.take(); }
+
+  void visit(const Document& d) override {
+    BackpatchedFrame frame(*this, FrameType::kDocument);
+    w_.put_vls(d.children().size());
+    for (const auto& c : d.children()) c->accept(*this);
+  }
+
+  void visit(const Element& e) override {
+    BackpatchedFrame frame(*this, FrameType::kComponentElement);
+    const HeaderPlan plan = plan_header(e);
+    emit_header(e, plan);
+    w_.put_vls(e.children().size());
+    for (const auto& c : e.children()) c->accept(*this);
+    ns_stack_.pop_back();
+  }
+
+  void visit(const LeafElementBase& e) override {
+    // Leaf frames carry no offset-dependent padding, so their Size is
+    // computed up front and written canonically (no 5-byte reservation).
+    const HeaderPlan plan = plan_header(e);
+    const ScalarValue value = e.scalar();
+    const std::size_t body =
+        header_size(e, plan) + 1 + scalar_value_size(value);
+
+    w_.put_u8(make_prefix_byte(FrameType::kLeafElement, order_));
+    w_.put_vls(body);
+    emit_header(e, plan);
+    w_.put_u8(static_cast<std::uint8_t>(e.atom_type()));
+    put_scalar(value);
+    ns_stack_.pop_back();
+  }
+
+  void visit(const ArrayElementBase& e) override {
+    BackpatchedFrame frame(*this, FrameType::kArrayElement);
+    const HeaderPlan plan = plan_header(e);
+    emit_header(e, plan);
+    w_.put_u8(static_cast<std::uint8_t>(e.atom_type()));
+    w_.put_string(e.item_name());
+    w_.put_vls(e.count());
+    put_packed_items(e);
+    ns_stack_.pop_back();
+  }
+
+  void visit(const TextNode& t) override {
+    put_string_frame(FrameType::kCharacterData, t.text());
+  }
+
+  void visit(const CommentNode& c) override {
+    put_string_frame(FrameType::kComment, c.text());
+  }
+
+  void visit(const PINode& pi) override {
+    const std::size_t body =
+        string_field_size(pi.target()) + string_field_size(pi.data());
+    w_.put_u8(make_prefix_byte(FrameType::kPI, order_));
+    w_.put_vls(body);
+    w_.put_string(pi.target());
+    w_.put_string(pi.data());
+  }
+
+ private:
+  /// RAII for frames whose Size is reserved at kSizeFieldWidth bytes and
+  /// backpatched when the body is complete (frames that can contain
+  /// aligned array payloads, whose padding depends on absolute offsets).
+  class BackpatchedFrame {
+   public:
+    BackpatchedFrame(Encoder& enc, FrameType type) : enc_(enc) {
+      enc_.w_.put_u8(make_prefix_byte(type, enc_.order_));
+      size_pos_ = enc_.w_.offset();
+      enc_.w_.raw_writer().write_padding(kSizeFieldWidth);
+    }
+    ~BackpatchedFrame() {
+      const std::uint64_t body =
+          enc_.w_.offset() - size_pos_ - kSizeFieldWidth;
+      std::uint8_t buf[kSizeFieldWidth];
+      vls_encode_padded(body, kSizeFieldWidth, buf);
+      enc_.w_.raw_writer().patch_bytes(size_pos_, buf, kSizeFieldWidth);
+    }
+
+   private:
+    Encoder& enc_;
+    std::size_t size_pos_ = 0;
+  };
+
+  void put_string_frame(FrameType type, const std::string& s) {
+    w_.put_u8(make_prefix_byte(type, order_));
+    w_.put_vls(string_field_size(s));
+    w_.put_string(s);
+  }
+
+  /// Resolve `q` against the scope stack; the innermost scope is
+  /// `own_table` (this frame's symbol table, still being built). Prefers an
+  /// entry with a matching prefix so prefixes survive round trips; appends
+  /// an auto-declaration to own_table when the URI is unknown.
+  NsRef resolve(const QName& q, std::vector<NamespaceDecl>& own_table) {
+    if (q.namespace_uri.empty()) return {};
+
+    auto search = [&](bool exact) -> std::optional<NsRef> {
+      auto match = [&](const NamespaceDecl& d) {
+        return d.uri == q.namespace_uri && (!exact || d.prefix == q.prefix);
+      };
+      for (std::size_t i = 0; i < own_table.size(); ++i) {
+        if (match(own_table[i])) return NsRef{1, i};
+      }
+      for (std::size_t up = 0; up < ns_stack_.size(); ++up) {
+        const auto& table = ns_stack_[ns_stack_.size() - 1 - up];
+        for (std::size_t i = 0; i < table.size(); ++i) {
+          if (match(table[i])) return NsRef{up + 2, i};
+        }
+      }
+      return std::nullopt;
+    };
+
+    if (auto r = search(/*exact=*/true)) return *r;
+    if (auto r = search(/*exact=*/false)) return *r;
+    own_table.push_back({q.prefix, q.namespace_uri});
+    return {1, own_table.size() - 1};
+  }
+
+  HeaderPlan plan_header(const ElementBase& e) {
+    HeaderPlan plan;
+    plan.table = e.namespaces();
+    plan.name_ref = resolve(e.name(), plan.table);
+    plan.attr_refs.reserve(e.attributes().size());
+    for (const auto& a : e.attributes()) {
+      plan.attr_refs.push_back(resolve(a.name, plan.table));
+    }
+    return plan;
+  }
+
+  std::size_t header_size(const ElementBase& e, const HeaderPlan& plan) {
+    std::size_t n = vls_size(plan.table.size());
+    for (const auto& d : plan.table) {
+      n += string_field_size(d.prefix) + string_field_size(d.uri);
+    }
+    n += qname_ref_size(plan.name_ref, e.name().local);
+    n += vls_size(e.attributes().size());
+    for (std::size_t i = 0; i < e.attributes().size(); ++i) {
+      const Attribute& a = e.attributes()[i];
+      n += qname_ref_size(plan.attr_refs[i], a.name.local) + 1 +
+           scalar_value_size(a.value);
+    }
+    return n;
+  }
+
+  /// Write the planned header and push the frame's symbol table (the
+  /// caller pops it when the frame's scope ends).
+  void emit_header(const ElementBase& e, const HeaderPlan& plan) {
+    w_.put_vls(plan.table.size());
+    for (const auto& d : plan.table) {
+      w_.put_string(d.prefix);
+      w_.put_string(d.uri);
+    }
+    ns_stack_.push_back(plan.table);
+
+    put_qname_ref(plan.name_ref, e.name().local);
+
+    w_.put_vls(e.attributes().size());
+    for (std::size_t i = 0; i < e.attributes().size(); ++i) {
+      const Attribute& a = e.attributes()[i];
+      put_qname_ref(plan.attr_refs[i], a.name.local);
+      w_.put_u8(static_cast<std::uint8_t>(a.type()));
+      put_scalar(a.value);
+    }
+  }
+
+  void put_qname_ref(const NsRef& ref, const std::string& local) {
+    w_.put_vls(ref.depth);
+    if (ref.depth != 0) w_.put_vls(ref.index);
+    w_.put_string(local);
+  }
+
+  void put_scalar(const ScalarValue& v) {
+    std::visit(
+        [this](const auto& x) {
+          using T = std::decay_t<decltype(x)>;
+          if constexpr (std::is_same_v<T, std::string>) {
+            w_.put_string(x);
+          } else if constexpr (std::is_same_v<T, bool>) {
+            w_.put_u8(x ? 1 : 0);
+          } else {
+            w_.put_unaligned(x);
+          }
+        },
+        v);
+  }
+
+  /// Array payload: aligned, packed, in the frame's byte order.
+  void put_packed_items(const ArrayElementBase& e) {
+    const auto bytes = e.packed_bytes();
+    switch (e.atom_type()) {
+      case AtomType::kInt8:
+      case AtomType::kUInt8:
+        w_.put_raw(bytes);
+        return;
+      case AtomType::kInt16:
+        put_typed_items<std::int16_t>(bytes, e.count());
+        return;
+      case AtomType::kUInt16:
+        put_typed_items<std::uint16_t>(bytes, e.count());
+        return;
+      case AtomType::kInt32:
+        put_typed_items<std::int32_t>(bytes, e.count());
+        return;
+      case AtomType::kUInt32:
+        put_typed_items<std::uint32_t>(bytes, e.count());
+        return;
+      case AtomType::kInt64:
+        put_typed_items<std::int64_t>(bytes, e.count());
+        return;
+      case AtomType::kUInt64:
+        put_typed_items<std::uint64_t>(bytes, e.count());
+        return;
+      case AtomType::kFloat32:
+        put_typed_items<float>(bytes, e.count());
+        return;
+      case AtomType::kFloat64:
+        put_typed_items<double>(bytes, e.count());
+        return;
+      case AtomType::kBool:
+      case AtomType::kString:
+        throw EncodeError("array element holds a non-packed atom type");
+    }
+    throw EncodeError("unknown array atom type");
+  }
+
+  template <typename T>
+  void put_typed_items(std::span<const std::uint8_t> bytes,
+                       std::size_t count) {
+    w_.put_array(
+        std::span<const T>(reinterpret_cast<const T*>(bytes.data()), count));
+  }
+
+  ByteOrder order_;
+  xbs::Writer w_;
+  std::vector<std::vector<NamespaceDecl>> ns_stack_;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Node& node, const EncodeOptions& opt) {
+  Encoder enc(opt.order);
+  node.accept(enc);
+  return enc.take();
+}
+
+}  // namespace bxsoap::bxsa

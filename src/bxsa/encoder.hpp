@@ -1,0 +1,24 @@
+// BXSA encoder: bXDM tree -> frame bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/endian.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::bxsa {
+
+struct EncodeOptions {
+  /// Byte order written into every frame (the host's by default, so array
+  /// payloads need no swapping on either side of a same-order exchange).
+  ByteOrder order = host_byte_order();
+};
+
+/// Encode a whole document (or any single node) as a BXSA frame sequence.
+/// The returned buffer starts at frame offset 0; array-payload alignment is
+/// relative to its beginning.
+std::vector<std::uint8_t> encode(const xdm::Node& node,
+                                 const EncodeOptions& opt = {});
+
+}  // namespace bxsoap::bxsa

@@ -1,0 +1,106 @@
+// BXSA wire format (Binary XML for Scientific Applications).
+//
+// A BXSA document is a sequence of recursively embedded frames, one per
+// bXDM node, layered on XBS for the byte-level packing. Every frame starts
+// with the Common Frame Prefix from the paper's Figure 2:
+//
+//   byte 0:  bits 7..6  BO   — byte order of numeric data in this frame
+//                              (00 = little endian, 01 = big endian)
+//            bits 5..0  type — FrameType code below
+//   Size:    VLS        — number of bytes in the frame BODY (everything
+//                         after the Size field), enabling the paper's
+//                         "accelerated sequential access": a scanner can
+//                         skip a frame without parsing it.
+//
+// Frame bodies:
+//
+//   Document         child-count VLS, then child frames
+//   CharacterData    char-count VLS, bytes
+//   Comment          char-count VLS, bytes
+//   PI               target (VLS len + bytes), data (VLS len + bytes)
+//
+//   element frames share a common header:
+//     N1 VLS                      namespace declarations in this frame's
+//                                 symbol table
+//     N1 x { prefix VLS+bytes, uri VLS+bytes }
+//     element-name QNameRef
+//     N2 VLS                      attribute count
+//     N2 x { QNameRef, value-type u8, value }
+//
+//   QNameRef = { scope-depth VLS,            0 = no namespace;
+//                                            d>0 = d-1 frames up the open-
+//                                            element stack (1 = this frame)
+//                ns-index VLS (only if d>0), index into that frame's table
+//                local-name VLS len + bytes }
+//
+//   LeafElement      header, value-type u8, value
+//   ComponentElement header, child-count VLS, child frames
+//   ArrayElement     header, item-type u8, item-name VLS len + bytes,
+//                    item-count VLS, alignment padding, packed items
+//                    (the item name is our addition to the paper's frame —
+//                    XML->BXSA->XML transcodability requires remembering
+//                    what the per-item wrapper elements were called)
+//
+// Typed values (attribute and leaf values): strings are VLS length + bytes;
+// numeric/bool values are fixed-width in the frame's byte order, unaligned.
+// Array payloads ARE aligned: padded so the first item's offset from the
+// start of the document is a multiple of the item size (XBS alignment),
+// preserving the paper's zero-copy / memory-mapped-I/O property. (The paper
+// aligns every number; we keep scalar values unaligned because the win is
+// only measurable for packed arrays — see bench_ablation_frames.)
+//
+// Size-field width: leaf/character/PI/comment frames use a canonical
+// (minimal) VLS, since their size is known before writing. Document,
+// component and array frames reserve a fixed 5-byte non-canonical VLS
+// (frames up to 2^35-1 bytes) that is backpatched after the body is
+// written; this is what lets the encoder lay out nested array padding in a
+// single pass, because padding depends on absolute offsets which must not
+// shift afterwards. Decoders accept any VLS encoding, so the distinction
+// is invisible on the read side.
+#pragma once
+
+#include <cstdint>
+
+#include "common/endian.hpp"
+#include "common/error.hpp"
+
+namespace bxsoap::bxsa {
+
+enum class FrameType : std::uint8_t {
+  kDocument = 0x01,
+  kComponentElement = 0x02,
+  kLeafElement = 0x03,
+  kArrayElement = 0x04,
+  kCharacterData = 0x05,
+  kPI = 0x06,
+  kComment = 0x07,
+};
+
+inline constexpr std::size_t kSizeFieldWidth = 5;  // backpatched frames
+inline constexpr std::uint8_t kFrameTypeMask = 0x3F;
+inline constexpr std::uint8_t kByteOrderShift = 6;
+
+inline std::uint8_t make_prefix_byte(FrameType type, ByteOrder order) {
+  return static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(order) << kByteOrderShift) |
+      static_cast<std::uint8_t>(type));
+}
+
+struct FramePrefix {
+  FrameType type;
+  ByteOrder order;
+};
+
+inline FramePrefix parse_prefix_byte(std::uint8_t b) {
+  const std::uint8_t bo = static_cast<std::uint8_t>(b >> kByteOrderShift);
+  if (bo > 1) {
+    throw DecodeError("reserved byte-order bits set in frame prefix");
+  }
+  const std::uint8_t t = b & kFrameTypeMask;
+  if (t < 0x01 || t > 0x07) {
+    throw DecodeError("unknown frame type code " + std::to_string(t));
+  }
+  return {static_cast<FrameType>(t), static_cast<ByteOrder>(bo)};
+}
+
+}  // namespace bxsoap::bxsa

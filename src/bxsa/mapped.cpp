@@ -1,0 +1,75 @@
+#include "bxsa/mapped.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+namespace bxsoap::bxsa {
+
+MappedDocument::MappedDocument(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw Error("mmap: cannot open " + path.string() + ": " +
+                std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw Error("mmap: fstat failed: " + std::string(std::strerror(errno)));
+  }
+  if (st.st_size == 0) {
+    ::close(fd);
+    throw Error("mmap: " + path.string() + " is empty");
+  }
+  void* mapping = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                         PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (mapping == MAP_FAILED) {
+    throw Error("mmap failed: " + std::string(std::strerror(errno)));
+  }
+  data_ = static_cast<const std::uint8_t*>(mapping);
+  size_ = static_cast<std::size_t>(st.st_size);
+}
+
+MappedDocument::~MappedDocument() { unmap(); }
+
+MappedDocument::MappedDocument(MappedDocument&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedDocument& MappedDocument::operator=(MappedDocument&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MappedDocument::unmap() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+void write_bxsa_file(const std::filesystem::path& path,
+                     std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw EncodeError("cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw EncodeError("short write to " + path.string());
+}
+
+}  // namespace bxsoap::bxsa

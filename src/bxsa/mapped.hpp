@@ -1,0 +1,72 @@
+// Memory-mapped BXSA documents.
+//
+// The paper, on the ArrayElement frame: "Since the value of the
+// ArrayElement in the bXDM model is an aligned, packed array, large arrays
+// can be read or written by simply using memory-mapped file I/O. This will
+// avoid an extra copy, making such I/O efficient."
+//
+// MappedDocument mmaps a BXSA file read-only and exposes the FrameScanner
+// and StreamReader over the mapping, so an ArrayElement payload becomes a
+// pointer straight into the page cache: no read(), no copy, and the
+// alignment invariant (payload offset ≡ 0 mod item size, mappings are
+// page-aligned) means the span can be cast to the native element type.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+
+#include "bxsa/scanner.hpp"
+#include "common/error.hpp"
+
+namespace bxsoap::bxsa {
+
+class MappedDocument {
+ public:
+  /// Map `path` read-only; throws Error on open/map failure or if the file
+  /// is empty.
+  explicit MappedDocument(const std::filesystem::path& path);
+  ~MappedDocument();
+
+  MappedDocument(MappedDocument&& other) noexcept;
+  MappedDocument& operator=(MappedDocument&& other) noexcept;
+  MappedDocument(const MappedDocument&) = delete;
+  MappedDocument& operator=(const MappedDocument&) = delete;
+
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_, size_};
+  }
+  std::size_t size() const noexcept { return size_; }
+
+  /// A scanner over the mapping (valid while this object lives).
+  FrameScanner scanner() const { return FrameScanner(bytes()); }
+
+  /// Typed zero-copy view of an ArrayElement frame's payload. The mapping
+  /// must outlive the span; the frame's byte order must match the host
+  /// (throws otherwise — a swapped payload cannot be viewed in place).
+  template <xdm::PackedAtomic T>
+  std::span<const T> array_values(const FrameInfo& frame) const {
+    const FrameScanner sc = scanner();
+    const auto view = sc.array_view(frame);
+    if (view.type != xdm::AtomTraits<T>::kType) {
+      throw DecodeError("mapped array holds a different item type");
+    }
+    if (frame.order != host_byte_order()) {
+      throw DecodeError(
+          "mapped array is foreign-endian; decode it instead of viewing");
+    }
+    return {reinterpret_cast<const T*>(view.payload.data()), view.count};
+  }
+
+ private:
+  void unmap() noexcept;
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Write a BXSA document (or any frame sequence) to a file.
+void write_bxsa_file(const std::filesystem::path& path,
+                     std::span<const std::uint8_t> bytes);
+
+}  // namespace bxsoap::bxsa

@@ -1,0 +1,155 @@
+#include "bxsa/scanner.hpp"
+
+#include "xbs/xbs.hpp"
+
+namespace bxsoap::bxsa {
+
+namespace {
+
+bool is_element_frame(FrameType t) {
+  return t == FrameType::kComponentElement || t == FrameType::kLeafElement ||
+         t == FrameType::kArrayElement;
+}
+
+/// Skip a QNameRef, returning the local name.
+std::string skip_qname_ref(xbs::Reader& r) {
+  const std::uint64_t depth = r.get_vls();
+  if (depth != 0) r.get_vls();  // ns index
+  return r.get_string();
+}
+
+/// Skip a typed value given its atom code.
+void skip_value(xbs::Reader& r, std::uint8_t code) {
+  using xdm::AtomType;
+  if (code > static_cast<std::uint8_t>(AtomType::kBool)) {
+    throw DecodeError("unknown atom type code in frame header");
+  }
+  const auto t = static_cast<AtomType>(code);
+  if (t == AtomType::kString) {
+    const std::uint64_t n = r.get_vls();
+    r.skip(static_cast<std::size_t>(n));
+  } else {
+    r.skip(xdm::atom_wire_size(t));
+  }
+}
+
+}  // namespace
+
+FrameInfo FrameScanner::frame_at(std::size_t offset) const {
+  xbs::Reader r(bytes_);
+  r.seek(offset);
+  const FramePrefix p = parse_prefix_byte(r.get_u8());
+  const std::uint64_t body = r.get_vls();
+  if (body > r.remaining()) {
+    throw DecodeError("frame size exceeds buffer");
+  }
+  FrameInfo f;
+  f.type = p.type;
+  f.order = p.order;
+  f.frame_offset = offset;
+  f.body_offset = r.offset();
+  f.body_size = static_cast<std::size_t>(body);
+  return f;
+}
+
+std::optional<FrameInfo> FrameScanner::next(const FrameInfo& f,
+                                            std::size_t limit) const {
+  const std::size_t pos = f.end();
+  if (pos >= limit) return std::nullopt;
+  return frame_at(pos);
+}
+
+std::size_t FrameScanner::skip_header(const FrameInfo& f) const {
+  if (!is_element_frame(f.type)) {
+    throw DecodeError("frame has no element header");
+  }
+  xbs::Reader r(bytes_);
+  r.seek(f.body_offset);
+  const std::uint64_t n1 = r.get_vls();
+  for (std::uint64_t i = 0; i < n1; ++i) {
+    r.skip(static_cast<std::size_t>(r.get_vls()));  // prefix
+    r.skip(static_cast<std::size_t>(r.get_vls()));  // uri
+  }
+  skip_qname_ref(r);
+  const std::uint64_t n2 = r.get_vls();
+  for (std::uint64_t i = 0; i < n2; ++i) {
+    skip_qname_ref(r);
+    skip_value(r, r.get_u8());
+  }
+  return r.offset();
+}
+
+std::size_t FrameScanner::child_count(const FrameInfo& parent) const {
+  xbs::Reader r(bytes_);
+  if (parent.type == FrameType::kDocument) {
+    r.seek(parent.body_offset);
+  } else if (parent.type == FrameType::kComponentElement) {
+    r.seek(skip_header(parent));
+  } else {
+    throw DecodeError("frame type has no child frames");
+  }
+  return static_cast<std::size_t>(r.get_vls());
+}
+
+std::optional<FrameInfo> FrameScanner::first_child(
+    const FrameInfo& parent) const {
+  xbs::Reader r(bytes_);
+  if (parent.type == FrameType::kDocument) {
+    r.seek(parent.body_offset);
+  } else if (parent.type == FrameType::kComponentElement) {
+    r.seek(skip_header(parent));
+  } else {
+    throw DecodeError("frame type has no child frames");
+  }
+  const std::uint64_t n = r.get_vls();
+  if (n == 0) return std::nullopt;
+  return frame_at(r.offset());
+}
+
+std::optional<FrameInfo> FrameScanner::child(const FrameInfo& parent,
+                                             std::size_t n) const {
+  auto c = first_child(parent);
+  for (std::size_t i = 0; c && i < n; ++i) {
+    c = next(*c, parent.end());
+  }
+  return c;
+}
+
+std::string FrameScanner::element_local_name(const FrameInfo& f) const {
+  if (!is_element_frame(f.type)) {
+    throw DecodeError("frame is not an element frame");
+  }
+  xbs::Reader r(bytes_);
+  r.seek(f.body_offset);
+  const std::uint64_t n1 = r.get_vls();
+  for (std::uint64_t i = 0; i < n1; ++i) {
+    r.skip(static_cast<std::size_t>(r.get_vls()));
+    r.skip(static_cast<std::size_t>(r.get_vls()));
+  }
+  return skip_qname_ref(r);
+}
+
+FrameScanner::ArrayView FrameScanner::array_view(const FrameInfo& f) const {
+  if (f.type != FrameType::kArrayElement) {
+    throw DecodeError("frame is not an ArrayElement frame");
+  }
+  xbs::Reader r(bytes_);
+  r.seek(skip_header(f));
+  const std::uint8_t code = r.get_u8();
+  if (code > static_cast<std::uint8_t>(xdm::AtomType::kBool)) {
+    throw DecodeError("unknown array item type code");
+  }
+  const auto t = static_cast<xdm::AtomType>(code);
+  const std::size_t item = xdm::atom_wire_size(t);
+  if (item == 0) throw DecodeError("array frame with variable-width items");
+  r.skip(static_cast<std::size_t>(r.get_vls()));  // item name
+  const std::size_t count = static_cast<std::size_t>(r.get_vls());
+  r.align_to(item);
+  ArrayView view;
+  view.type = t;
+  view.count = count;
+  view.payload = r.get_raw(count * item);
+  return view;
+}
+
+}  // namespace bxsoap::bxsa

@@ -1,0 +1,109 @@
+// StreamWriter — push-style BXSA production without a bXDM tree.
+//
+// The mirror of StreamReader: an application emits start/end/leaf/array
+// events and bytes come out, so a producer of a multi-gigabyte dataset
+// never materializes the document. Frames that need a Size before their
+// body (document, component, array) use the same fixed-width backpatched
+// VLS the tree encoder uses, which is what makes single-pass streaming
+// output possible at all.
+//
+// Usage:
+//   StreamWriter w;
+//   w.start_document();
+//     w.start_element(QName("urn:x", "data", "x"),
+//                     {{"x", "urn:x"}}, {{QName("run"), 7}});
+//       w.leaf(QName("t"), 287.5);
+//       w.array(QName("samples"), std::span<const double>(values));
+//     w.end_element();
+//   w.end_document();
+//   auto bytes = w.take();     // validates all scopes closed
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/endian.hpp"
+#include "xbs/xbs.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::bxsa {
+
+class StreamWriter {
+ public:
+  explicit StreamWriter(ByteOrder order = host_byte_order());
+
+  void start_document();
+  void end_document();
+
+  /// Open a component element. Namespace declarations and attributes are
+  /// given up front (they live in the frame header, before any child).
+  void start_element(const xdm::QName& name,
+                     std::span<const xdm::NamespaceDecl> namespaces = {},
+                     std::span<const xdm::Attribute> attributes = {});
+  void end_element();
+
+  /// A complete LeafElement frame.
+  template <xdm::Atomic T>
+  void leaf(const xdm::QName& name, const T& value,
+            std::span<const xdm::NamespaceDecl> namespaces = {},
+            std::span<const xdm::Attribute> attributes = {}) {
+    leaf_impl(name, xdm::ScalarValue(value), namespaces, attributes);
+  }
+
+  /// A complete ArrayElement frame with a packed payload.
+  template <xdm::PackedAtomic T>
+  void array(const xdm::QName& name, std::span<const T> values,
+             std::string_view item_name = "d",
+             std::span<const xdm::NamespaceDecl> namespaces = {},
+             std::span<const xdm::Attribute> attributes = {}) {
+    array_impl(name, xdm::AtomTraits<T>::kType,
+               {reinterpret_cast<const std::uint8_t*>(values.data()),
+                values.size_bytes()},
+               values.size(), item_name, namespaces, attributes);
+  }
+
+  void text(std::string_view content);
+  void comment(std::string_view content);
+  void pi(std::string_view target, std::string_view data);
+
+  /// Finish: every scope must be closed. Returns the document bytes.
+  std::vector<std::uint8_t> take();
+
+  std::size_t depth() const noexcept { return open_.size(); }
+
+ private:
+  struct OpenFrame {
+    std::size_t size_pos;       // offset of the reserved Size field
+    std::size_t count_pos;      // offset of the reserved child-count field
+    std::uint64_t child_count;  // children emitted so far
+    bool is_document;
+  };
+
+  void leaf_impl(const xdm::QName& name, const xdm::ScalarValue& value,
+                 std::span<const xdm::NamespaceDecl> namespaces,
+                 std::span<const xdm::Attribute> attributes);
+  void array_impl(const xdm::QName& name, xdm::AtomType type,
+                  std::span<const std::uint8_t> packed, std::size_t count,
+                  std::string_view item_name,
+                  std::span<const xdm::NamespaceDecl> namespaces,
+                  std::span<const xdm::Attribute> attributes);
+
+  /// Write the element header; pushes the frame's symbol table.
+  void write_header(const xdm::QName& name,
+                    std::span<const xdm::NamespaceDecl> namespaces,
+                    std::span<const xdm::Attribute> attributes);
+
+  void begin_backpatched(std::uint8_t prefix_byte);
+  void end_backpatched();
+  void note_child();
+  void require_open(const char* what) const;
+
+  ByteOrder order_;
+  xbs::Writer w_;
+  std::vector<OpenFrame> open_;
+  std::vector<std::vector<xdm::NamespaceDecl>> ns_stack_;
+  bool done_ = false;
+};
+
+}  // namespace bxsoap::bxsa

@@ -1,0 +1,32 @@
+// Transcoding between BXSA and textual XML 1.0 (paper §4.2).
+//
+// A BXSA document converts to textual XML and back without change, and a
+// textual document converts to BXSA and back without change — with two
+// caveats straight from the paper:
+//   * floating-point text is regenerated "to full precision regardless of
+//     the original input" (we use shortest-round-trip formatting, so the
+//     VALUE is always preserved even when the digits change), and
+//   * schema-less typed data needs explicit type information in the textual
+//     form (the xsi:type / bx:* annotations written by xml::write_xml).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/endian.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::bxsa {
+
+/// BXSA bytes -> textual XML with type annotations (retypable).
+std::string bxsa_to_xml(std::span<const std::uint8_t> bxsa_bytes);
+
+/// Textual XML -> BXSA bytes. Typed annotations (if present) are applied
+/// first so numbers land in native form; unannotated content is encoded as
+/// component elements and character data.
+std::vector<std::uint8_t> xml_to_bxsa(std::string_view xml_text,
+                                      ByteOrder order = host_byte_order());
+
+}  // namespace bxsoap::bxsa

@@ -1,0 +1,46 @@
+#include "bxsa/validate.hpp"
+
+#include "bxsa/stream_reader.hpp"
+
+namespace bxsoap::bxsa {
+
+ValidationReport validate(std::span<const std::uint8_t> bytes) noexcept {
+  ValidationReport report;
+  try {
+    StreamReader reader(bytes);
+    while (auto ev = reader.next()) {
+      report.max_depth = std::max(report.max_depth, reader.depth());
+      switch (ev->kind) {
+        case EventKind::kStartDocument:
+        case EventKind::kStartElement:
+          ++report.frames;
+          break;
+        case EventKind::kEndDocument:
+        case EventKind::kEndElement:
+          break;  // same frame as its start event
+        case EventKind::kLeaf:
+        case EventKind::kText:
+        case EventKind::kPI:
+        case EventKind::kComment:
+          ++report.frames;
+          break;
+        case EventKind::kArray:
+          ++report.frames;
+          ++report.arrays;
+          report.array_values += ev->array.count;
+          break;
+      }
+      if (ev->kind == EventKind::kStartElement ||
+          ev->kind == EventKind::kLeaf || ev->kind == EventKind::kArray) {
+        ++report.elements;
+      }
+    }
+    report.valid = true;
+  } catch (const std::exception& e) {
+    report.valid = false;
+    report.error = e.what();
+  }
+  return report;
+}
+
+}  // namespace bxsoap::bxsa

@@ -1,0 +1,30 @@
+// Structural validation of BXSA bytes without building a tree.
+//
+// Drives the StreamReader over the whole input and reports what it found —
+// the cheap integrity check a service can run on an untrusted message
+// before committing to decode it, and the core of transcode_tool's
+// `inspect` mode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace bxsoap::bxsa {
+
+struct ValidationReport {
+  bool valid = false;
+  std::string error;          // empty when valid
+  std::size_t frames = 0;     // total frames seen
+  std::size_t elements = 0;   // component + leaf + array
+  std::size_t arrays = 0;
+  std::size_t array_values = 0;  // total packed items
+  std::size_t max_depth = 0;
+};
+
+/// Never throws: malformed input comes back as {valid=false, error=...}.
+ValidationReport validate(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace bxsoap::bxsa

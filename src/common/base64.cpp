@@ -1,0 +1,92 @@
+#include "common/base64.hpp"
+
+#include <array>
+
+namespace bxsoap {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> make_reverse() {
+  std::array<std::int8_t, 256> rev{};
+  for (auto& v : rev) v = -1;
+  for (std::int8_t i = 0; i < 64; ++i) {
+    rev[static_cast<unsigned char>(kAlphabet[i])] = i;
+  }
+  return rev;
+}
+
+constexpr auto kReverse = make_reverse();
+
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(base64_encoded_size(data.size()));
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3F]);
+    out.push_back(kAlphabet[v & 0x3F]);
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3F]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    throw DecodeError("base64 length must be a multiple of 4");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pads = 0;
+    std::uint32_t v = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding only in the last two positions of the final quantum.
+        if (i + 4 != text.size() || j < 2) {
+          throw DecodeError("base64 padding in an illegal position");
+        }
+        ++pads;
+        v <<= 6;
+        continue;
+      }
+      if (pads > 0) {
+        throw DecodeError("base64 data after padding");
+      }
+      const std::int8_t d = kReverse[static_cast<unsigned char>(c)];
+      if (d < 0) {
+        throw DecodeError(std::string("bad base64 character '") + c + "'");
+      }
+      v = (v << 6) | static_cast<std::uint32_t>(d);
+    }
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    if (pads < 2) out.push_back(static_cast<std::uint8_t>(v >> 8));
+    if (pads < 1) out.push_back(static_cast<std::uint8_t>(v));
+  }
+  return out;
+}
+
+}  // namespace bxsoap

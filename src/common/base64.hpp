@@ -1,0 +1,28 @@
+// Base64 (RFC 4648) — how the era's attachment-free SOAP stacks smuggled
+// binary data into XML. The paper's footnote skips the attachment scheme
+// but the +33% size cost of base64-in-XML is part of its motivation; the
+// Table 1 bench includes a base64 row for completeness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bxsoap {
+
+std::string base64_encode(std::span<const std::uint8_t> data);
+
+/// Strict decode: rejects characters outside the alphabet, bad padding and
+/// truncated input (XML whitespace is NOT skipped; strip it first).
+std::vector<std::uint8_t> base64_decode(std::string_view text);
+
+/// Encoded size for n input bytes (with padding).
+constexpr std::size_t base64_encoded_size(std::size_t n) {
+  return ((n + 2) / 3) * 4;
+}
+
+}  // namespace bxsoap

@@ -1,0 +1,5 @@
+#include "common/buffer.hpp"
+
+// All members are defined inline in the header; this translation unit exists
+// so the library has a home for the vtable-free types and future non-inline
+// helpers.

@@ -1,0 +1,95 @@
+// Byte-order utilities.
+//
+// BXSA tags every frame with the byte order of its numeric payload (the
+// paper's 2-bit "BO" field), so all fixed-width loads/stores take an
+// explicit ByteOrder instead of assuming the host's.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace bxsoap {
+
+enum class ByteOrder : std::uint8_t {
+  kLittle = 0,
+  kBig = 1,
+};
+
+/// Byte order of the machine we are running on.
+constexpr ByteOrder host_byte_order() {
+  return std::endian::native == std::endian::little ? ByteOrder::kLittle
+                                                    : ByteOrder::kBig;
+}
+
+namespace detail {
+
+template <typename T>
+constexpr T byteswap_integral(T v) {
+  static_assert(std::is_integral_v<T>);
+  if constexpr (sizeof(T) == 1) {
+    return v;
+  } else {
+    using U = std::make_unsigned_t<T>;
+    U u = static_cast<U>(v);
+    U r = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      r = static_cast<U>(r << 8) | static_cast<U>(u & 0xFF);
+      u = static_cast<U>(u >> 8);
+    }
+    return static_cast<T>(r);
+  }
+}
+
+}  // namespace detail
+
+/// Unsigned integer type with the same size as T, used as the wire image of
+/// both integral and floating-point values.
+template <typename T>
+using WireImage = std::conditional_t<
+    sizeof(T) == 1, std::uint8_t,
+    std::conditional_t<sizeof(T) == 2, std::uint16_t,
+                       std::conditional_t<sizeof(T) == 4, std::uint32_t,
+                                          std::uint64_t>>>;
+
+/// Store `v` into `out` (which must have at least sizeof(T) bytes) using the
+/// given byte order. Works for integral and floating-point T.
+template <typename T>
+inline void store(T v, ByteOrder order, std::uint8_t* out) {
+  static_assert(std::is_arithmetic_v<T>);
+  WireImage<T> image;
+  std::memcpy(&image, &v, sizeof(T));
+  if (order != host_byte_order()) {
+    image = detail::byteswap_integral(image);
+  }
+  std::memcpy(out, &image, sizeof(T));
+}
+
+/// Load a T from `in` (at least sizeof(T) bytes) in the given byte order.
+template <typename T>
+inline T load(const std::uint8_t* in, ByteOrder order) {
+  static_assert(std::is_arithmetic_v<T>);
+  WireImage<T> image;
+  std::memcpy(&image, in, sizeof(T));
+  if (order != host_byte_order()) {
+    image = detail::byteswap_integral(image);
+  }
+  T v;
+  std::memcpy(&v, &image, sizeof(T));
+  return v;
+}
+
+/// Reverse the byte order of every element of an array in place.
+template <typename T>
+inline void byteswap_array(T* data, std::size_t count) {
+  static_assert(std::is_arithmetic_v<T>);
+  for (std::size_t i = 0; i < count; ++i) {
+    WireImage<T> image;
+    std::memcpy(&image, &data[i], sizeof(T));
+    image = detail::byteswap_integral(image);
+    std::memcpy(&data[i], &image, sizeof(T));
+  }
+}
+
+}  // namespace bxsoap

@@ -1,0 +1,55 @@
+// Error types shared across the bxsoap libraries.
+//
+// The libraries report unrecoverable protocol/format violations via
+// exceptions derived from bxsoap::Error; programmatic conditions that a
+// caller is expected to handle (e.g. "no such child element") are reported
+// via optional-returning APIs instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bxsoap {
+
+/// Root of the bxsoap exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input while decoding a serialized form (BXSA, XML, netCDF, ...).
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode: " + what) {}
+};
+
+/// A value cannot be represented in the requested serialized form.
+class EncodeError : public Error {
+ public:
+  explicit EncodeError(const std::string& what) : Error("encode: " + what) {}
+};
+
+/// Socket/HTTP/framing failures.
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what)
+      : Error("transport: " + what) {}
+};
+
+/// SOAP-level faults surfaced to the application.
+class SoapFaultError : public Error {
+ public:
+  SoapFaultError(std::string code, std::string reason)
+      : Error("soap fault [" + code + "]: " + reason),
+        code_(std::move(code)),
+        reason_(std::move(reason)) {}
+
+  const std::string& code() const noexcept { return code_; }
+  const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  std::string code_;
+  std::string reason_;
+};
+
+}  // namespace bxsoap

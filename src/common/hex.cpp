@@ -1,0 +1,47 @@
+#include "common/hex.hpp"
+
+namespace bxsoap {
+
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+}
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::string hex_dump(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  for (std::size_t line = 0; line < bytes.size(); line += 16) {
+    // Offset column.
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(line >> shift) & 0xF]);
+    }
+    out += "  ";
+    const std::size_t n = std::min<std::size_t>(16, bytes.size() - line);
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (i < n) {
+        out.push_back(kDigits[bytes[line + i] >> 4]);
+        out.push_back(kDigits[bytes[line + i] & 0xF]);
+        out.push_back(' ');
+      } else {
+        out += "   ";
+      }
+    }
+    out += " |";
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t b = bytes[line + i];
+      out.push_back(b >= 0x20 && b < 0x7F ? static_cast<char>(b) : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace bxsoap

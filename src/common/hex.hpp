@@ -1,0 +1,16 @@
+// Hex formatting helpers (diagnostics and golden-byte tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace bxsoap {
+
+/// "0a1b2c..." lowercase, no separators.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Classic 16-bytes-per-line dump with offsets and an ASCII gutter.
+std::string hex_dump(std::span<const std::uint8_t> bytes);
+
+}  // namespace bxsoap

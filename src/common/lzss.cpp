@@ -1,0 +1,168 @@
+#include "common/lzss.hpp"
+
+#include <cstring>
+
+#include "common/endian.hpp"
+
+namespace bxsoap {
+
+namespace {
+
+constexpr std::size_t kWindow = 64 * 1024;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 259;  // kMinMatch + 255
+constexpr char kMagic[4] = {'L', 'Z', 'S', '1'};
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Emits tokens in groups of eight with a leading flag byte.
+class TokenWriter {
+ public:
+  explicit TokenWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void literal(std::uint8_t b) {
+    begin_token(/*is_match=*/false);
+    out_.push_back(b);
+  }
+
+  void match(std::size_t distance, std::size_t length) {
+    begin_token(/*is_match=*/true);
+    out_.push_back(static_cast<std::uint8_t>((distance - 1) & 0xFF));
+    out_.push_back(static_cast<std::uint8_t>(((distance - 1) >> 8) & 0xFF));
+    out_.push_back(static_cast<std::uint8_t>(length - kMinMatch));
+  }
+
+ private:
+  void begin_token(bool is_match) {
+    if (bit_ == 8) {
+      flag_pos_ = out_.size();
+      out_.push_back(0);
+      bit_ = 0;
+    }
+    if (is_match) {
+      out_[flag_pos_] |= static_cast<std::uint8_t>(1u << bit_);
+    }
+    ++bit_;
+  }
+
+  std::vector<std::uint8_t>& out_;
+  std::size_t flag_pos_ = 0;
+  unsigned bit_ = 8;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> lzss_compress(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size() / 2 + 16);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.resize(out.size() + 8);
+  store<std::uint64_t>(data.size(), ByteOrder::kLittle, out.data() + 4);
+
+  // head[h] = most recent position with hash h; chain[i % kWindow] = the
+  // previous position with the same hash.
+  std::vector<std::uint32_t> head(kHashSize, 0xFFFFFFFFu);
+  std::vector<std::uint32_t> chain(kWindow, 0xFFFFFFFFu);
+
+  TokenWriter tokens(out);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + kMinMatch <= data.size()) {
+      const std::uint32_t h = hash4(data.data() + i);
+      std::uint32_t cand = head[h];
+      int probes = 32;
+      while (cand != 0xFFFFFFFFu && probes-- > 0 &&
+             i - cand <= kWindow && cand < i) {
+        const std::size_t limit =
+            std::min(kMaxMatch, data.size() - i);
+        std::size_t len = 0;
+        while (len < limit && data[cand + len] == data[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - cand;
+          if (len >= limit) break;
+        }
+        cand = chain[cand % kWindow];
+      }
+    }
+
+    auto insert = [&](std::size_t pos) {
+      if (pos + kMinMatch <= data.size()) {
+        const std::uint32_t h = hash4(data.data() + pos);
+        chain[pos % kWindow] = head[h];
+        head[h] = static_cast<std::uint32_t>(pos);
+      }
+    };
+
+    if (best_len >= kMinMatch && best_dist <= kWindow) {
+      tokens.match(best_dist, best_len);
+      for (std::size_t k = 0; k < best_len; ++k) insert(i + k);
+      i += best_len;
+    } else {
+      tokens.literal(data[i]);
+      insert(i);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> lzss_decompress(
+    std::span<const std::uint8_t> compressed) {
+  if (compressed.size() < 12 ||
+      std::memcmp(compressed.data(), kMagic, 4) != 0) {
+    throw DecodeError("lzss: bad magic");
+  }
+  const std::uint64_t size =
+      load<std::uint64_t>(compressed.data() + 4, ByteOrder::kLittle);
+  if (size > (1ull << 33)) {
+    throw DecodeError("lzss: implausible decompressed size");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(size));
+
+  std::size_t pos = 12;
+  std::uint8_t flags = 0;
+  unsigned bit = 8;
+  while (out.size() < size) {
+    if (bit == 8) {
+      if (pos >= compressed.size()) throw DecodeError("lzss: truncated");
+      flags = compressed[pos++];
+      bit = 0;
+    }
+    const bool is_match = (flags >> bit) & 1;
+    ++bit;
+    if (is_match) {
+      if (pos + 3 > compressed.size()) throw DecodeError("lzss: truncated");
+      const std::size_t distance =
+          1u + compressed[pos] + (static_cast<std::size_t>(compressed[pos + 1]) << 8);
+      const std::size_t length = kMinMatch + compressed[pos + 2];
+      pos += 3;
+      if (distance > out.size()) {
+        throw DecodeError("lzss: match distance before start of output");
+      }
+      if (out.size() + length > size) {
+        throw DecodeError("lzss: match overruns declared size");
+      }
+      // Byte-by-byte copy: overlapping matches (distance < length) repeat.
+      const std::size_t from = out.size() - distance;
+      for (std::size_t k = 0; k < length; ++k) {
+        out.push_back(out[from + k]);
+      }
+    } else {
+      if (pos >= compressed.size()) throw DecodeError("lzss: truncated");
+      out.push_back(compressed[pos++]);
+    }
+  }
+  return out;
+}
+
+}  // namespace bxsoap

@@ -1,0 +1,30 @@
+// LZSS — a small, dependency-free, lossless byte compressor.
+//
+// SOAP "intentionally leaves the message encoding open ... other
+// alternative representations (e.g., compressed or binary ones) can be
+// used". soap::CompressedEncoding<Inner> wraps any encoding policy with
+// this compressor to demonstrate exactly that extensibility; the codec is
+// deliberately simple (hash-chained LZSS with a 64 KiB window), not a
+// zlib replacement.
+//
+// Wire format: "LZS1", u64 LE decompressed size, then a token stream of
+// flag bytes (1 bit per token, LSB first; 0 = literal byte, 1 = match)
+// followed by the tokens: literals are raw bytes, matches are u16 LE
+// distance (1-based) + u8 length-4 (lengths 4..259).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bxsoap {
+
+std::vector<std::uint8_t> lzss_compress(std::span<const std::uint8_t> data);
+
+/// Throws DecodeError on malformed input.
+std::vector<std::uint8_t> lzss_decompress(
+    std::span<const std::uint8_t> compressed);
+
+}  // namespace bxsoap

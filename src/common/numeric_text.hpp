@@ -1,0 +1,42 @@
+// Conversions between native numbers and their XML text form.
+//
+// The paper's central performance observation is that float<->ASCII
+// conversion dominates textual-XML SOAP for scientific data, so these
+// routines sit on the hot path of the XML encoding policy and are also
+// micro-benchmarked in isolation (bench_ablation_convert).
+//
+// Doubles are formatted with the shortest representation that round-trips
+// (std::to_chars default), which satisfies BXSA's transcodability rule of
+// "full precision regardless of the original input".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bxsoap {
+
+std::string format_int64(std::int64_t v);
+std::string format_uint64(std::uint64_t v);
+std::string format_double(double v);
+std::string format_float(float v);
+
+/// Append formatted text to `out` without allocating a temporary string.
+void append_int64(std::string& out, std::int64_t v);
+void append_uint64(std::string& out, std::uint64_t v);
+void append_double(std::string& out, double v);
+void append_float(std::string& out, float v);
+
+/// Parse the full string_view as a number. The entire input must be consumed
+/// (leading/trailing junk fails); XML whitespace should be trimmed by the
+/// caller. Returns nullopt on failure.
+std::optional<std::int64_t> parse_int64(std::string_view s);
+std::optional<std::uint64_t> parse_uint64(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
+std::optional<float> parse_float(std::string_view s);
+
+/// Strip XML whitespace (space, tab, CR, LF) from both ends.
+std::string_view trim_xml_ws(std::string_view s);
+
+}  // namespace bxsoap

@@ -1,0 +1,45 @@
+// Deterministic PRNG for workload generation and property tests.
+//
+// SplitMix64: tiny, fast, full-period, and identical across platforms, so
+// every test and bench sees the same data set for a given seed.
+#pragma once
+
+#include <cstdint>
+
+namespace bxsoap {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next() >> 32); }
+
+  std::int32_t next_i32() { return static_cast<std::int32_t>(next_u32()); }
+
+  /// Uniform double in [0, 1).
+  double next_double01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + next_double01() * (hi - lo);
+  }
+
+  bool next_bool() { return (next() & 1) != 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace bxsoap

@@ -1,0 +1,58 @@
+#include "common/vls.hpp"
+
+namespace bxsoap {
+
+std::size_t vls_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t vls_encode(std::uint64_t v, std::uint8_t* out) {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    out[n++] = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  out[n++] = static_cast<std::uint8_t>(v);
+  return n;
+}
+
+void vls_write(ByteWriter& w, std::uint64_t v) {
+  std::uint8_t buf[kMaxVlsBytes];
+  const std::size_t n = vls_encode(v, buf);
+  w.write_bytes(buf, n);
+}
+
+void vls_encode_padded(std::uint64_t v, std::size_t n, std::uint8_t* out) {
+  if (n == 0 || n > kMaxVlsBytes || (n < 10 && (v >> (7 * n)) != 0)) {
+    throw EncodeError("value does not fit in a " + std::to_string(n) +
+                      "-byte VLS field");
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(v & 0x7F) | 0x80;
+    v >>= 7;
+  }
+  out[n - 1] = static_cast<std::uint8_t>(v & 0x7F);
+}
+
+std::uint64_t vls_read(ByteReader& r) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (std::size_t i = 0; i < kMaxVlsBytes; ++i) {
+    const std::uint8_t b = r.read_u8();
+    if (i == 9 && (b & 0xFE) != 0) {
+      // 10th byte may contribute at most 1 bit for a 64-bit value.
+      throw DecodeError("VLS integer overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+  throw DecodeError("VLS integer longer than 10 bytes");
+}
+
+}  // namespace bxsoap

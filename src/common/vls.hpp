@@ -1,0 +1,37 @@
+// Variable-Length Size (VLS) integers.
+//
+// BXSA stores frame sizes, string lengths and counts as variable-length
+// unsigned integers so small values cost one byte. We use the standard
+// base-128 little-endian scheme: 7 value bits per byte, high bit set on all
+// but the final byte. Maximum encoded length for a 64-bit value is 10 bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/buffer.hpp"
+
+namespace bxsoap {
+
+inline constexpr std::size_t kMaxVlsBytes = 10;
+
+/// Number of bytes vls_write would emit for `v`.
+std::size_t vls_size(std::uint64_t v);
+
+/// Append the VLS encoding of `v`.
+void vls_write(ByteWriter& w, std::uint64_t v);
+
+/// Encode into a caller-provided buffer of at least kMaxVlsBytes; returns the
+/// number of bytes written. Used for frame-size backpatching.
+std::size_t vls_encode(std::uint64_t v, std::uint8_t* out);
+
+/// Decode one VLS integer; throws DecodeError on truncation or overlong
+/// (>10 byte) input.
+std::uint64_t vls_read(ByteReader& r);
+
+/// Encode `v` in EXACTLY `n` bytes using redundant continuation bytes
+/// (base-128 allows non-canonical encodings). Used for frame Size fields
+/// that are reserved up front and backpatched once the frame body is
+/// complete. Throws EncodeError if `v` needs more than 7*n bits.
+void vls_encode_padded(std::uint64_t v, std::size_t n, std::uint8_t* out);
+
+}  // namespace bxsoap

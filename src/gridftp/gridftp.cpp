@@ -1,0 +1,298 @@
+#include "gridftp/gridftp.hpp"
+
+#include <fstream>
+
+#include "common/endian.hpp"
+#include "common/numeric_text.hpp"
+
+namespace bxsoap::gridftp {
+
+using transport::TcpListener;
+using transport::TcpStream;
+
+namespace {
+
+void send_line(TcpStream& s, const std::string& line) {
+  s.write_all(line + "\n");
+}
+
+std::string recv_line(TcpStream& s) {
+  std::string line = s.read_until("\n", 4096);
+  line.pop_back();  // trailing '\n'
+  return line;
+}
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t sp = line.find(' ', pos);
+    if (sp == std::string::npos) {
+      words.push_back(line.substr(pos));
+      break;
+    }
+    if (sp > pos) words.push_back(line.substr(pos, sp - pos));
+    pos = sp + 1;
+  }
+  return words;
+}
+
+void write_block_header(TcpStream& s, std::uint64_t offset,
+                        std::uint32_t length) {
+  std::uint8_t hdr[12];
+  store<std::uint64_t>(offset, ByteOrder::kBig, hdr);
+  store<std::uint32_t>(length, ByteOrder::kBig, hdr + 8);
+  s.write_all(std::span<const std::uint8_t>(hdr, sizeof(hdr)));
+}
+
+struct BlockHeader {
+  std::uint64_t offset;
+  std::uint32_t length;
+};
+
+BlockHeader read_block_header(TcpStream& s) {
+  std::uint8_t hdr[12];
+  s.read_exact(hdr, sizeof(hdr));
+  return {load<std::uint64_t>(hdr, ByteOrder::kBig),
+          load<std::uint32_t>(hdr + 8, ByteOrder::kBig)};
+}
+
+}  // namespace
+
+GridFtpServer::GridFtpServer(std::filesystem::path root,
+                             ServerOptions options)
+    : root_(std::move(root)),
+      options_(options),
+      control_(0),
+      data_(0) {
+  thread_ = std::thread([this] { run(); });
+}
+
+GridFtpServer::~GridFtpServer() { stop(); }
+
+void GridFtpServer::stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true);
+  control_.shutdown();
+  data_.shutdown();
+  thread_.join();
+  control_.close();
+  data_.close();
+}
+
+void GridFtpServer::run() {
+  while (!stopping_.load()) {
+    TcpStream control;
+    try {
+      control = control_.accept();
+    } catch (const transport::TransportError&) {
+      break;
+    }
+    try {
+      control.set_no_delay(true);
+      handle_session(control);
+    } catch (const transport::TransportError&) {
+      // Session torn down; keep serving the next client.
+    }
+  }
+}
+
+void GridFtpServer::handle_session(TcpStream& control) {
+  bool authenticated = false;
+  for (;;) {
+    const std::string line = recv_line(control);
+    const auto words = split_words(line);
+    if (words.empty()) {
+      send_line(control, "ERR empty command");
+      continue;
+    }
+    const std::string& cmd = words[0];
+
+    if (cmd == "QUIT") return;
+
+    if (cmd == "AUTH") {
+      if (words.size() != 2) {
+        send_line(control, "ERR AUTH wants a round count");
+        continue;
+      }
+      const auto rounds = parse_uint64(words[1]);
+      if (!rounds || *rounds > 64) {
+        send_line(control, "ERR bad round count");
+        continue;
+      }
+      send_line(control, "AUTH-OK");
+      for (std::uint64_t i = 0; i < *rounds; ++i) {
+        const std::string token = recv_line(control);
+        const auto tw = split_words(token);
+        if (tw.size() != 2 || tw[0] != "TOKEN") {
+          send_line(control, "ERR bad token");
+          return;
+        }
+        send_line(control, "ACK " + tw[1]);
+      }
+      authenticated = true;
+      continue;
+    }
+
+    if (options_.require_auth && !authenticated) {
+      send_line(control, "ERR not authenticated");
+      continue;
+    }
+
+    if (cmd == "SIZE") {
+      if (words.size() != 2 || words[1].find("..") != std::string::npos) {
+        send_line(control, "ERR bad SIZE");
+        continue;
+      }
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(root_ / words[1], ec);
+      if (ec) {
+        send_line(control, "ERR no such file");
+      } else {
+        send_line(control, "SIZE " + std::to_string(size));
+      }
+      continue;
+    }
+
+    if (cmd == "RETR") {
+      if (words.size() != 3 || words[1].find("..") != std::string::npos) {
+        send_line(control, "ERR bad RETR");
+        continue;
+      }
+      const auto streams = parse_uint64(words[2]);
+      if (!streams || *streams < 1 || *streams > 64) {
+        send_line(control, "ERR bad stream count");
+        continue;
+      }
+      std::ifstream in(root_ / words[1], std::ios::binary);
+      if (!in) {
+        send_line(control, "ERR no such file");
+        continue;
+      }
+      std::vector<std::uint8_t> file(
+          (std::istreambuf_iterator<char>(in)),
+          std::istreambuf_iterator<char>());
+
+      send_line(control, "DATA " + std::to_string(data_.port()) + " " +
+                             std::to_string(file.size()) + " " +
+                             std::to_string(*streams));
+
+      // Accept the client's data connections, then deal blocks round-robin.
+      std::vector<TcpStream> channels;
+      channels.reserve(*streams);
+      for (std::uint64_t i = 0; i < *streams; ++i) {
+        channels.push_back(data_.accept());
+      }
+      std::size_t offset = 0;
+      std::size_t turn = 0;
+      while (offset < file.size()) {
+        const std::size_t len =
+            std::min(kBlockSize, file.size() - offset);
+        TcpStream& ch = channels[turn % channels.size()];
+        write_block_header(ch, offset, static_cast<std::uint32_t>(len));
+        ch.write_all(
+            std::span<const std::uint8_t>(file.data() + offset, len));
+        offset += len;
+        ++turn;
+      }
+      for (auto& ch : channels) {
+        write_block_header(ch, 0, 0);  // end-of-stream
+      }
+      continue;
+    }
+
+    send_line(control, "ERR unknown command " + cmd);
+  }
+}
+
+namespace {
+
+/// Shared client session setup: connect + authenticate.
+TcpStream open_session(std::uint16_t control_port,
+                       const ClientOptions& options) {
+  TcpStream control = TcpStream::connect(control_port);
+  control.set_no_delay(true);
+  send_line(control, "AUTH " + std::to_string(options.auth_rounds));
+  if (recv_line(control) != "AUTH-OK") {
+    throw transport::TransportError("gridftp: AUTH rejected");
+  }
+  for (int i = 0; i < options.auth_rounds; ++i) {
+    send_line(control, "TOKEN " + std::to_string(i));
+    if (recv_line(control) != "ACK " + std::to_string(i)) {
+      throw transport::TransportError("gridftp: token exchange failed");
+    }
+  }
+  return control;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> gridftp_fetch(std::uint16_t control_port,
+                                        const std::string& name,
+                                        const ClientOptions& options) {
+  TcpStream control = open_session(control_port, options);
+  send_line(control, "RETR " + name + " " + std::to_string(options.streams));
+  const std::string reply = recv_line(control);
+  const auto words = split_words(reply);
+  if (words.size() != 4 || words[0] != "DATA") {
+    throw transport::TransportError("gridftp: " + reply);
+  }
+  const auto port = parse_uint64(words[1]);
+  const auto size = parse_uint64(words[2]);
+  const auto streams = parse_uint64(words[3]);
+  if (!port || !size || !streams) {
+    throw transport::TransportError("gridftp: malformed DATA reply");
+  }
+
+  std::vector<std::uint8_t> file(static_cast<std::size_t>(*size));
+  std::vector<TcpStream> channels;
+  channels.reserve(*streams);
+  for (std::uint64_t i = 0; i < *streams; ++i) {
+    channels.push_back(
+        TcpStream::connect(static_cast<std::uint16_t>(*port)));
+  }
+  // One reader thread per stream, writing blocks at their offsets — the
+  // receiver-side reassembly GridFTP's striped mode requires.
+  std::vector<std::thread> readers;
+  std::atomic<bool> failed{false};
+  readers.reserve(channels.size());
+  for (auto& ch : channels) {
+    readers.emplace_back([&ch, &file, &failed] {
+      try {
+        for (;;) {
+          const BlockHeader hdr = read_block_header(ch);
+          if (hdr.length == 0) break;
+          if (hdr.offset + hdr.length > file.size()) {
+            throw transport::TransportError("gridftp: block out of range");
+          }
+          ch.read_exact(file.data() + hdr.offset, hdr.length);
+        }
+      } catch (const transport::TransportError&) {
+        failed.store(true);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  if (failed.load()) {
+    throw transport::TransportError("gridftp: data transfer failed");
+  }
+  send_line(control, "QUIT");
+  return file;
+}
+
+std::size_t gridftp_size(std::uint16_t control_port, const std::string& name,
+                         const ClientOptions& options) {
+  TcpStream control = open_session(control_port, options);
+  send_line(control, "SIZE " + name);
+  const std::string reply = recv_line(control);
+  const auto words = split_words(reply);
+  if (words.size() != 2 || words[0] != "SIZE") {
+    throw transport::TransportError("gridftp: " + reply);
+  }
+  const auto size = parse_uint64(words[1]);
+  if (!size) throw transport::TransportError("gridftp: malformed SIZE");
+  send_line(control, "QUIT");
+  return static_cast<std::size_t>(*size);
+}
+
+}  // namespace bxsoap::gridftp

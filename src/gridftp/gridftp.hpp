@@ -1,0 +1,83 @@
+// A GridFTP-like file transfer service — the paper's GT4 GridFTP stand-in.
+//
+// Reproduces the two structural behaviours the paper measures:
+//
+//   1. an expensive authenticated session setup on the control channel
+//      (GSI in the paper; here a configurable multi-round token exchange —
+//      the crypto itself is NOT reproduced, only its round-trip shape; the
+//      CPU cost of certificate processing is modeled in netsim for the
+//      benchmarks), and
+//   2. striped data transfer over N parallel TCP streams with
+//      out-of-order block reassembly at the receiver.
+//
+// Wire protocol (control channel, line-oriented):
+//
+//   C: AUTH <rounds>          S: AUTH-OK
+//   C: TOKEN <i>              S: ACK <i>        (x rounds)
+//   C: SIZE <name>            S: SIZE <bytes> | ERR <why>
+//   C: RETR <name> <streams>  S: DATA <port> <bytes> <streams> | ERR <why>
+//   C: QUIT                   (server closes)
+//
+// Data channels: the client opens <streams> connections to the data port;
+// the server stripes the file into fixed-size blocks dealt round-robin,
+// each prefixed with { offset u64 BE, length u32 BE }; a zero-length block
+// terminates each stream.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/socket.hpp"
+
+namespace bxsoap::gridftp {
+
+inline constexpr std::size_t kBlockSize = 256 * 1024;
+
+struct ServerOptions {
+  /// Reject sessions that skip authentication.
+  bool require_auth = true;
+};
+
+class GridFtpServer {
+ public:
+  explicit GridFtpServer(std::filesystem::path root,
+                         ServerOptions options = {});
+  ~GridFtpServer();
+
+  std::uint16_t control_port() const noexcept { return control_.port(); }
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+  void stop();
+
+ private:
+  void run();
+  void handle_session(transport::TcpStream& control);
+
+  std::filesystem::path root_;
+  ServerOptions options_;
+  transport::TcpListener control_;
+  transport::TcpListener data_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+struct ClientOptions {
+  int streams = 1;
+  int auth_rounds = 8;  ///< control-channel token exchanges (GSI-shaped)
+};
+
+/// One full secured session: connect, authenticate, fetch `name`.
+/// Throws TransportError on protocol or I/O failures.
+std::vector<std::uint8_t> gridftp_fetch(std::uint16_t control_port,
+                                        const std::string& name,
+                                        const ClientOptions& options = {});
+
+/// Size query without transferring (also runs the auth handshake).
+std::size_t gridftp_size(std::uint16_t control_port, const std::string& name,
+                         const ClientOptions& options = {});
+
+}  // namespace bxsoap::gridftp

@@ -1,0 +1,479 @@
+#include "netcdf/netcdf.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/buffer.hpp"
+#include "common/endian.hpp"
+
+namespace bxsoap::netcdf {
+
+namespace {
+
+constexpr std::uint32_t kTagDimension = 0x0A;  // NC_DIMENSION
+constexpr std::uint32_t kTagVariable = 0x0B;   // NC_VARIABLE
+constexpr std::uint32_t kTagAttribute = 0x0C;  // NC_ATTRIBUTE
+
+constexpr std::size_t pad4(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
+
+void write_u32(ByteWriter& w, std::uint32_t v) {
+  w.write<std::uint32_t>(v, ByteOrder::kBig);
+}
+
+std::uint32_t read_u32(ByteReader& r) {
+  return r.read<std::uint32_t>(ByteOrder::kBig);
+}
+
+void write_name(ByteWriter& w, const std::string& name) {
+  write_u32(w, static_cast<std::uint32_t>(name.size()));
+  w.write_string(name);
+  w.write_padding(pad4(name.size()) - name.size());
+}
+
+std::string read_name(ByteReader& r) {
+  const std::uint32_t len = read_u32(r);
+  if (len > 64 * 1024) throw DecodeError("netcdf: name unreasonably long");
+  std::string name = r.read_string(len);
+  r.skip(pad4(len) - len);
+  return name;
+}
+
+std::size_t name_bytes(const std::string& name) {
+  return 4 + pad4(name.size());
+}
+
+/// Big-endian byteswap-aware bulk copy of typed values.
+void write_typed_payload(ByteWriter& w, NcType type,
+                         std::span<const std::uint8_t> host_data) {
+  const std::size_t item = nc_type_size(type);
+  if (item == 1 || host_byte_order() == ByteOrder::kBig) {
+    w.write_bytes(host_data);
+  } else {
+    switch (item) {
+      case 2:
+        w.write_array(std::span<const std::int16_t>(
+                          reinterpret_cast<const std::int16_t*>(
+                              host_data.data()),
+                          host_data.size() / 2),
+                      ByteOrder::kBig);
+        break;
+      case 4:
+        w.write_array(std::span<const std::uint32_t>(
+                          reinterpret_cast<const std::uint32_t*>(
+                              host_data.data()),
+                          host_data.size() / 4),
+                      ByteOrder::kBig);
+        break;
+      case 8:
+        w.write_array(std::span<const std::uint64_t>(
+                          reinterpret_cast<const std::uint64_t*>(
+                              host_data.data()),
+                          host_data.size() / 8),
+                      ByteOrder::kBig);
+        break;
+      default:
+        throw EncodeError("netcdf: unknown element width");
+    }
+  }
+  w.write_padding(pad4(host_data.size()) - host_data.size());
+}
+
+std::vector<std::uint8_t> read_typed_payload(ByteReader& r, NcType type,
+                                             std::size_t count) {
+  const std::size_t item = nc_type_size(type);
+  const std::size_t bytes = count * item;
+  std::vector<std::uint8_t> out(bytes);
+  auto raw = r.read_bytes(bytes);
+  if (bytes != 0) std::memcpy(out.data(), raw.data(), bytes);
+  if (item > 1 && host_byte_order() == ByteOrder::kLittle) {
+    switch (item) {
+      case 2:
+        byteswap_array(reinterpret_cast<std::uint16_t*>(out.data()), count);
+        break;
+      case 4:
+        byteswap_array(reinterpret_cast<std::uint32_t*>(out.data()), count);
+        break;
+      case 8:
+        byteswap_array(reinterpret_cast<std::uint64_t*>(out.data()), count);
+        break;
+      default:
+        throw DecodeError("netcdf: unknown element width");
+    }
+  }
+  r.skip(pad4(bytes) - bytes);
+  return out;
+}
+
+struct AttrPayloadView {
+  NcType type;
+  std::span<const std::uint8_t> host_data;  // numeric types
+  std::string_view text;                    // kChar
+};
+
+AttrPayloadView attr_payload(const Attribute& a) {
+  AttrPayloadView v;
+  v.type = a.type();
+  std::visit(
+      [&v](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          v.text = x;
+        } else {
+          v.host_data = {reinterpret_cast<const std::uint8_t*>(x.data()),
+                         x.size() * sizeof(typename T::value_type)};
+        }
+      },
+      a.value);
+  return v;
+}
+
+void write_attribute(ByteWriter& w, const Attribute& a) {
+  write_name(w, a.name);
+  const AttrPayloadView v = attr_payload(a);
+  write_u32(w, static_cast<std::uint32_t>(v.type));
+  write_u32(w, static_cast<std::uint32_t>(a.element_count()));
+  if (v.type == NcType::kChar) {
+    w.write_string(v.text);
+    w.write_padding(pad4(v.text.size()) - v.text.size());
+  } else {
+    write_typed_payload(w, v.type, v.host_data);
+  }
+}
+
+std::size_t attribute_bytes(const Attribute& a) {
+  const std::size_t payload =
+      a.element_count() * nc_type_size(a.type());
+  return name_bytes(a.name) + 8 + pad4(payload);
+}
+
+Attribute read_attribute(ByteReader& r) {
+  Attribute a;
+  a.name = read_name(r);
+  const std::uint32_t type_code = read_u32(r);
+  if (type_code < 1 || type_code > 6) {
+    throw DecodeError("netcdf: bad attribute nc_type " +
+                      std::to_string(type_code));
+  }
+  const NcType type = static_cast<NcType>(type_code);
+  const std::uint32_t n = read_u32(r);
+  if (type == NcType::kChar) {
+    std::string s = r.read_string(n);
+    r.skip(pad4(n) - n);
+    a.value = std::move(s);
+    return a;
+  }
+  std::vector<std::uint8_t> host = read_typed_payload(r, type, n);
+  switch (type) {
+    case NcType::kByte: {
+      std::vector<std::int8_t> v(n);
+      if (!host.empty()) std::memcpy(v.data(), host.data(), host.size());
+      a.value = std::move(v);
+      break;
+    }
+    case NcType::kShort: {
+      std::vector<std::int16_t> v(n);
+      if (!host.empty()) std::memcpy(v.data(), host.data(), host.size());
+      a.value = std::move(v);
+      break;
+    }
+    case NcType::kInt: {
+      std::vector<std::int32_t> v(n);
+      if (!host.empty()) std::memcpy(v.data(), host.data(), host.size());
+      a.value = std::move(v);
+      break;
+    }
+    case NcType::kFloat: {
+      std::vector<float> v(n);
+      if (!host.empty()) std::memcpy(v.data(), host.data(), host.size());
+      a.value = std::move(v);
+      break;
+    }
+    case NcType::kDouble: {
+      std::vector<double> v(n);
+      if (!host.empty()) std::memcpy(v.data(), host.data(), host.size());
+      a.value = std::move(v);
+      break;
+    }
+    case NcType::kChar:
+      break;  // handled above
+  }
+  return a;
+}
+
+void write_attr_list(ByteWriter& w, const std::vector<Attribute>& attrs) {
+  if (attrs.empty()) {
+    write_u32(w, 0);
+    write_u32(w, 0);
+    return;
+  }
+  write_u32(w, kTagAttribute);
+  write_u32(w, static_cast<std::uint32_t>(attrs.size()));
+  for (const auto& a : attrs) write_attribute(w, a);
+}
+
+std::size_t attr_list_bytes(const std::vector<Attribute>& attrs) {
+  std::size_t n = 8;
+  for (const auto& a : attrs) n += attribute_bytes(a);
+  return n;
+}
+
+std::vector<Attribute> read_attr_list(ByteReader& r) {
+  const std::uint32_t tag = read_u32(r);
+  const std::uint32_t count = read_u32(r);
+  if (tag == 0 && count == 0) return {};
+  if (tag != kTagAttribute) {
+    throw DecodeError("netcdf: expected attribute list tag");
+  }
+  std::vector<Attribute> attrs;
+  attrs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    attrs.push_back(read_attribute(r));
+  }
+  return attrs;
+}
+
+}  // namespace
+
+std::size_t nc_type_size(NcType t) {
+  switch (t) {
+    case NcType::kByte:
+    case NcType::kChar:
+      return 1;
+    case NcType::kShort:
+      return 2;
+    case NcType::kInt:
+    case NcType::kFloat:
+      return 4;
+    case NcType::kDouble:
+      return 8;
+  }
+  throw Error("netcdf: unknown NcType");
+}
+
+NcType Attribute::type() const {
+  return std::visit(
+      [](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::string>) return NcType::kChar;
+        else return NcTraits<typename T::value_type>::kType;
+      },
+      value);
+}
+
+std::size_t Attribute::element_count() const {
+  return std::visit([](const auto& x) { return x.size(); }, value);
+}
+
+std::uint32_t NcFile::add_dimension(std::string name, std::uint32_t length) {
+  dims_.push_back({std::move(name), length});
+  return static_cast<std::uint32_t>(dims_.size() - 1);
+}
+
+Variable& NcFile::add_variable(std::string name, NcType type,
+                               std::vector<std::uint32_t> dim_ids) {
+  for (const std::uint32_t id : dim_ids) {
+    if (id >= dims_.size()) {
+      throw EncodeError("netcdf: variable references unknown dimension");
+    }
+  }
+  vars_.emplace_back(std::move(name), type, std::move(dim_ids));
+  return vars_.back();
+}
+
+const Variable* NcFile::find_variable(std::string_view name) const {
+  for (const auto& v : vars_) {
+    if (v.name() == name) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t NcFile::variable_length(const Variable& v) const {
+  std::size_t n = 1;
+  for (const std::uint32_t id : v.dim_ids()) {
+    n *= dims_.at(id).length;
+  }
+  return n;
+}
+
+std::vector<std::uint8_t> NcFile::to_bytes() const {
+  // Validate payload sizes against declared shapes.
+  for (const auto& v : vars_) {
+    const std::size_t expect = variable_length(v) * nc_type_size(v.type());
+    if (v.raw().size() != expect) {
+      throw EncodeError("netcdf: variable '" + v.name() + "' holds " +
+                        std::to_string(v.raw().size()) +
+                        " bytes but its shape implies " +
+                        std::to_string(expect));
+    }
+  }
+
+  // Header size is independent of the begin offsets (they are fixed-width),
+  // so compute it first, then lay the data section out behind it.
+  std::size_t header = 4 + 4;  // magic + numrecs
+  header += 8;                 // dim list tag+count
+  for (const auto& d : dims_) header += name_bytes(d.name) + 4;
+  header += attr_list_bytes(gattrs_);
+  header += 8;  // var list tag+count
+  for (const auto& v : vars_) {
+    header += name_bytes(v.name()) + 4 + 4 * v.dim_ids().size() +
+              attr_list_bytes(v.attributes()) + 4 + 4 + 4;
+  }
+
+  std::vector<std::size_t> begins(vars_.size());
+  std::size_t offset = header;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    begins[i] = offset;
+    offset += pad4(vars_[i].raw().size());
+  }
+  if (offset > 0xFFFFFFFFull) {
+    throw EncodeError("netcdf: classic format caps files at 4 GiB");
+  }
+
+  ByteWriter w(offset);
+  w.write_string("CDF");
+  w.write_u8(0x01);
+  write_u32(w, 0);  // numrecs
+
+  if (dims_.empty()) {
+    write_u32(w, 0);
+    write_u32(w, 0);
+  } else {
+    write_u32(w, kTagDimension);
+    write_u32(w, static_cast<std::uint32_t>(dims_.size()));
+    for (const auto& d : dims_) {
+      write_name(w, d.name);
+      write_u32(w, d.length);
+    }
+  }
+
+  write_attr_list(w, gattrs_);
+
+  if (vars_.empty()) {
+    write_u32(w, 0);
+    write_u32(w, 0);
+  } else {
+    write_u32(w, kTagVariable);
+    write_u32(w, static_cast<std::uint32_t>(vars_.size()));
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      const Variable& v = vars_[i];
+      write_name(w, v.name());
+      write_u32(w, static_cast<std::uint32_t>(v.dim_ids().size()));
+      for (const std::uint32_t id : v.dim_ids()) write_u32(w, id);
+      write_attr_list(w, v.attributes());
+      write_u32(w, static_cast<std::uint32_t>(v.type()));
+      write_u32(w, static_cast<std::uint32_t>(pad4(v.raw().size())));
+      write_u32(w, static_cast<std::uint32_t>(begins[i]));
+    }
+  }
+
+  if (w.size() != header) {
+    throw EncodeError("netcdf: header size accounting bug");
+  }
+  for (const auto& v : vars_) {
+    write_typed_payload(w, v.type(), v.raw());
+  }
+  return w.take();
+}
+
+NcFile NcFile::from_bytes(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.read_string(3) != "CDF") throw DecodeError("netcdf: bad magic");
+  const std::uint8_t version = r.read_u8();
+  if (version != 0x01) {
+    throw DecodeError("netcdf: only the classic (CDF-1) format is supported");
+  }
+  const std::uint32_t numrecs = read_u32(r);
+  if (numrecs != 0) {
+    throw DecodeError("netcdf: record variables are not supported");
+  }
+
+  NcFile file;
+  {
+    const std::uint32_t tag = read_u32(r);
+    const std::uint32_t count = read_u32(r);
+    if (!(tag == 0 && count == 0)) {
+      if (tag != kTagDimension) {
+        throw DecodeError("netcdf: expected dimension list");
+      }
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::string name = read_name(r);
+        const std::uint32_t len = read_u32(r);
+        if (len == 0) {
+          throw DecodeError("netcdf: record dimension not supported");
+        }
+        file.dims_.push_back({std::move(name), len});
+      }
+    }
+  }
+  file.gattrs_ = read_attr_list(r);
+
+  struct VarMeta {
+    std::size_t index;
+    std::uint32_t begin;
+  };
+  std::vector<VarMeta> metas;
+  {
+    const std::uint32_t tag = read_u32(r);
+    const std::uint32_t count = read_u32(r);
+    if (!(tag == 0 && count == 0)) {
+      if (tag != kTagVariable) {
+        throw DecodeError("netcdf: expected variable list");
+      }
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::string name = read_name(r);
+        const std::uint32_t ndims = read_u32(r);
+        if (ndims > 1024) throw DecodeError("netcdf: too many dimensions");
+        std::vector<std::uint32_t> dim_ids(ndims);
+        for (auto& id : dim_ids) {
+          id = read_u32(r);
+          if (id >= file.dims_.size()) {
+            throw DecodeError("netcdf: dimension id out of range");
+          }
+        }
+        std::vector<Attribute> attrs = read_attr_list(r);
+        const std::uint32_t type_code = read_u32(r);
+        if (type_code < 1 || type_code > 6) {
+          throw DecodeError("netcdf: bad variable nc_type");
+        }
+        read_u32(r);  // vsize (recomputed from the shape)
+        const std::uint32_t begin = read_u32(r);
+        Variable& v = file.add_variable(std::move(name),
+                                        static_cast<NcType>(type_code),
+                                        std::move(dim_ids));
+        v.attributes() = std::move(attrs);
+        metas.push_back({file.vars_.size() - 1, begin});
+      }
+    }
+  }
+
+  for (const VarMeta& m : metas) {
+    Variable& v = file.vars_[m.index];
+    const std::size_t count = file.variable_length(v);
+    if (m.begin > bytes.size()) {
+      throw DecodeError("netcdf: variable data offset beyond file");
+    }
+    ByteReader data(bytes);
+    data.skip(m.begin);
+    v.set_raw(read_typed_payload(data, v.type(), count));
+  }
+  return file;
+}
+
+void NcFile::write_file(const std::filesystem::path& path) const {
+  const auto bytes = to_bytes();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw EncodeError("netcdf: cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw EncodeError("netcdf: short write to " + path.string());
+}
+
+NcFile NcFile::read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DecodeError("netcdf: cannot open " + path.string());
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return from_bytes(bytes);
+}
+
+}  // namespace bxsoap::netcdf

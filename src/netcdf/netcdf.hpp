@@ -1,0 +1,174 @@
+// A self-contained reader/writer for the netCDF *classic* on-disk format
+// (CDF-1, the "CDF\x01" magic) — the serialization the paper's separated
+// scheme stores its binary data in.
+//
+// Scope: fixed-size (non-record) variables, dimensions, global and
+// per-variable attributes of the six classic types. Record variables
+// (numrecs > 0) are not needed by the paper's two-array dataset and are
+// rejected on read. Headers and data are big-endian, names and values
+// padded to 4-byte boundaries, exactly per the classic format spec.
+//
+// The API is FILE-based on purpose: the paper observes that "the netCDF
+// library does not support reading the data directly from memory", and
+// that forced disk hop is part of why the separated scheme trails SOAP over
+// BXSA — our benchmark preserves it. (to_bytes()/from_bytes() exist for
+// unit tests, but the workload layer only uses the file API.)
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bxsoap::netcdf {
+
+enum class NcType : std::uint32_t {
+  kByte = 1,   // int8
+  kChar = 2,   // text
+  kShort = 3,  // int16
+  kInt = 4,    // int32
+  kFloat = 5,
+  kDouble = 6,
+};
+
+std::size_t nc_type_size(NcType t);
+
+/// Attribute payloads: text or a numeric vector.
+using AttributeValue =
+    std::variant<std::string, std::vector<std::int8_t>,
+                 std::vector<std::int16_t>, std::vector<std::int32_t>,
+                 std::vector<float>, std::vector<double>>;
+
+struct Attribute {
+  std::string name;
+  AttributeValue value;
+
+  NcType type() const;
+  std::size_t element_count() const;
+};
+
+struct Dimension {
+  std::string name;
+  std::uint32_t length = 0;
+};
+
+/// Mapping from C++ element types to NcType.
+template <typename T>
+struct NcTraits;
+template <>
+struct NcTraits<std::int8_t> {
+  static constexpr NcType kType = NcType::kByte;
+};
+template <>
+struct NcTraits<std::int16_t> {
+  static constexpr NcType kType = NcType::kShort;
+};
+template <>
+struct NcTraits<std::int32_t> {
+  static constexpr NcType kType = NcType::kInt;
+};
+template <>
+struct NcTraits<float> {
+  static constexpr NcType kType = NcType::kFloat;
+};
+template <>
+struct NcTraits<double> {
+  static constexpr NcType kType = NcType::kDouble;
+};
+
+class Variable {
+ public:
+  Variable(std::string name, NcType type, std::vector<std::uint32_t> dim_ids)
+      : name_(std::move(name)), type_(type), dim_ids_(std::move(dim_ids)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  NcType type() const noexcept { return type_; }
+  const std::vector<std::uint32_t>& dim_ids() const noexcept {
+    return dim_ids_;
+  }
+  std::vector<Attribute>& attributes() noexcept { return attrs_; }
+  const std::vector<Attribute>& attributes() const noexcept { return attrs_; }
+
+  /// Raw host-order payload.
+  const std::vector<std::uint8_t>& raw() const noexcept { return data_; }
+  std::size_t element_count() const {
+    return data_.size() / nc_type_size(type_);
+  }
+
+  /// Typed setter/getter; T must match type().
+  template <typename T>
+  void set_values(std::span<const T> values) {
+    if (NcTraits<T>::kType != type_) {
+      throw EncodeError("variable '" + name_ + "' has a different NcType");
+    }
+    data_.assign(reinterpret_cast<const std::uint8_t*>(values.data()),
+                 reinterpret_cast<const std::uint8_t*>(values.data()) +
+                     values.size_bytes());
+  }
+  template <typename T>
+  void set_values(const std::vector<T>& values) {
+    set_values(std::span<const T>(values));
+  }
+
+  template <typename T>
+  std::vector<T> values() const {
+    if (NcTraits<T>::kType != type_) {
+      throw DecodeError("variable '" + name_ + "' has a different NcType");
+    }
+    std::vector<T> out(element_count());
+    if (!data_.empty()) std::memcpy(out.data(), data_.data(), data_.size());
+    return out;
+  }
+
+  void set_raw(std::vector<std::uint8_t> bytes) { data_ = std::move(bytes); }
+
+ private:
+  std::string name_;
+  NcType type_;
+  std::vector<std::uint32_t> dim_ids_;
+  std::vector<Attribute> attrs_;
+  std::vector<std::uint8_t> data_;  // host byte order
+};
+
+class NcFile {
+ public:
+  /// Returns the new dimension's id.
+  std::uint32_t add_dimension(std::string name, std::uint32_t length);
+
+  /// Dimensions must exist before the variable referencing them.
+  Variable& add_variable(std::string name, NcType type,
+                         std::vector<std::uint32_t> dim_ids);
+
+  std::vector<Attribute>& global_attributes() noexcept { return gattrs_; }
+  const std::vector<Attribute>& global_attributes() const noexcept {
+    return gattrs_;
+  }
+  const std::vector<Dimension>& dimensions() const noexcept { return dims_; }
+  const std::vector<Variable>& variables() const noexcept { return vars_; }
+  std::vector<Variable>& variables() noexcept { return vars_; }
+
+  const Variable* find_variable(std::string_view name) const;
+
+  /// Total number of elements a variable's dimensions imply.
+  std::size_t variable_length(const Variable& v) const;
+
+  /// Serialize to the classic format (validates shapes).
+  std::vector<std::uint8_t> to_bytes() const;
+  static NcFile from_bytes(std::span<const std::uint8_t> bytes);
+
+  void write_file(const std::filesystem::path& path) const;
+  static NcFile read_file(const std::filesystem::path& path);
+
+ private:
+  std::vector<Dimension> dims_;
+  std::vector<Attribute> gattrs_;
+  std::vector<Variable> vars_;
+};
+
+}  // namespace bxsoap::netcdf

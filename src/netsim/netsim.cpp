@@ -1,0 +1,113 @@
+#include "netsim/netsim.hpp"
+
+#include <algorithm>
+
+namespace bxsoap::netsim {
+
+LinkSpec lan() {
+  LinkSpec l;
+  l.rtt_s = 0.2e-3;            // the paper's LAN RTT
+  l.stream_bw = 10.0e6;        // "maximum transfer rate for a single
+                               //  untuned TCP stream" (Fig. 5 saturation)
+  l.aggregate_bw = 10.0e6;     // one stream already saturates the path, so
+                               // striping cannot add bandwidth on the LAN
+  l.seek_penalty_s = 1.5e-3;   // receiver "seek" per out-of-order block
+                               // (why LAN striping *degrades*, per Fig. 5)
+  l.block_size = 256 * 1024;
+  return l;
+}
+
+LinkSpec wan() {
+  LinkSpec l;
+  l.rtt_s = 5.75e-3;           // the paper's IU <-> UChicago RTT
+  l.stream_bw = 10.0e6;        // window-limited single stream
+  l.aggregate_bw = 45.0e6;     // striping headroom (Fig. 6: 16 streams win)
+  l.seek_penalty_s = 1.5e-3;   // same receiver as the LAN testbed
+  l.block_size = 256 * 1024;
+  return l;
+}
+
+DiskSpec local_disk() {
+  DiskSpec d;
+  d.write_bw = 60.0e6;   // 2005-era local disk
+  d.read_bw = 80.0e6;
+  d.open_s = 2.0e-3;     // create/open/close + metadata
+  return d;
+}
+
+GridFtpSpec gsi_gridftp() {
+  GridFtpSpec g;
+  g.auth_round_trips = 8;      // GSI mutual authentication chatter
+  g.auth_cpu_s = 0.22;         // certificate path validation + key exchange
+                               // (dominates Fig. 4's flat ~0.23 s floor)
+  g.per_stream_setup_s = 0.4e-3;
+  return g;
+}
+
+double tcp_connect_time(const LinkSpec& link) {
+  // SYN, SYN-ACK; the ACK rides with the first data segment.
+  return link.rtt_s;
+}
+
+double send_time(const LinkSpec& link, std::size_t bytes) {
+  return link.rtt_s / 2 + static_cast<double>(bytes) / link.stream_bw;
+}
+
+double request_response_time(const LinkSpec& link, std::size_t request_bytes,
+                             std::size_t response_bytes) {
+  return send_time(link, request_bytes) + send_time(link, response_bytes);
+}
+
+double http_exchange_time(const LinkSpec& link, std::size_t request_bytes,
+                          std::size_t response_bytes) {
+  constexpr std::size_t kHttpHeaderBytes = 160;  // typical header block
+  return tcp_connect_time(link) +
+         request_response_time(link, request_bytes + kHttpHeaderBytes,
+                               response_bytes + kHttpHeaderBytes);
+}
+
+double parallel_transfer_time(const LinkSpec& link, std::size_t bytes,
+                              int streams) {
+  if (streams < 1) streams = 1;
+  const double connects = tcp_connect_time(link);  // opened concurrently
+  const double effective_bw =
+      std::min(static_cast<double>(streams) * link.stream_bw,
+               link.aggregate_bw);
+  const double wire =
+      link.rtt_s / 2 + static_cast<double>(bytes) / effective_bw;
+  double reassembly = 0.0;
+  if (streams > 1) {
+    // Blocks from different streams land interleaved; the receiver pays a
+    // "seek" per block that cannot be appended in order. Roughly half the
+    // blocks of each extra stream arrive out of order.
+    const double blocks =
+        static_cast<double>(bytes) / static_cast<double>(link.block_size);
+    const double out_of_order =
+        blocks * (static_cast<double>(streams - 1) /
+                  static_cast<double>(streams));
+    reassembly = out_of_order * link.seek_penalty_s;
+  }
+  return connects + wire + reassembly;
+}
+
+double gridftp_session_time(const LinkSpec& link, const GridFtpSpec& ftp,
+                            std::size_t bytes, int streams) {
+  if (streams < 1) streams = 1;
+  const double control = tcp_connect_time(link) +
+                         static_cast<double>(ftp.auth_round_trips) *
+                             link.rtt_s +
+                         ftp.auth_cpu_s;
+  const double stream_setup =
+      static_cast<double>(streams) * ftp.per_stream_setup_s;
+  return control + stream_setup + parallel_transfer_time(link, bytes, streams);
+}
+
+double disk_write_time(const DiskSpec& disk, std::size_t bytes) {
+  return disk.open_s + static_cast<double>(bytes) / disk.write_bw;
+}
+
+double disk_read_time(const DiskSpec& disk, std::size_t bytes) {
+  return disk.open_s + static_cast<double>(bytes) / disk.read_bw;
+}
+
+}  // namespace bxsoap::netsim

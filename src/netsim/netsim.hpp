@@ -1,0 +1,103 @@
+// netsim — a deterministic network/disk cost model.
+//
+// The paper's Figures 4-6 were measured on two physical testbeds (a 0.2 ms
+// LAN and a 5.75 ms WAN to the University of Chicago). We cannot reproduce
+// those testbeds, so the benchmark harness combines
+//
+//   * REAL, measured CPU time for everything computational (serialization,
+//     parsing, float<->ASCII conversion, verification), with
+//   * MODELED wire/disk time from this module.
+//
+// The model captures the handful of structural effects the paper's analysis
+// leans on, nothing more:
+//
+//   1. every round trip costs one RTT;
+//   2. a single untuned TCP stream is bandwidth-capped (the paper's ~10 MB/s
+//      saturation in Fig. 5);
+//   3. parallel streams share the link's aggregate capacity — more streams
+//      only help while streams * per-stream cap < aggregate (why GridFTP
+//      parallelism wins on the WAN but not the LAN);
+//   4. out-of-order blocks from parallel streams cost the receiver "seek"
+//      work (why parallelism *degrades* LAN performance, per Allcock et
+//      al.'s observation cited in the paper);
+//   5. GridFTP/GSI authentication costs fixed CPU plus several control
+//      round trips (why GridFTP loses badly on small transfers);
+//   6. netCDF files force disk I/O (why SOAP+HTTP trails SOAP/BXSA even at
+//      saturation).
+//
+// All functions are pure: same inputs, same seconds. No wall clock, no
+// randomness.
+#pragma once
+
+#include <cstddef>
+
+namespace bxsoap::netsim {
+
+/// Static description of one network path.
+struct LinkSpec {
+  double rtt_s;            ///< round-trip time, seconds
+  double stream_bw;        ///< single TCP stream cap, bytes/second
+  double aggregate_bw;     ///< total link capacity, bytes/second
+  double seek_penalty_s;   ///< receiver cost per out-of-order block
+  std::size_t block_size;  ///< striping block for parallel transfers
+};
+
+/// The paper's LAN: 0.2 ms RTT; one untuned TCP stream tops out around
+/// 10 MB/s and the link has little headroom beyond it, so parallel streams
+/// only add reassembly overhead.
+LinkSpec lan();
+
+/// The paper's WAN (IU <-> UChicago): 5.75 ms RTT; a single stream is
+/// window-limited to ~10 MB/s but the path carries ~45 MB/s aggregate, so
+/// striping pays off.
+LinkSpec wan();
+
+/// Local disk for the netCDF separated scheme.
+struct DiskSpec {
+  double write_bw;    ///< bytes/second
+  double read_bw;     ///< bytes/second
+  double open_s;      ///< per-file open/create/close overhead
+};
+DiskSpec local_disk();
+
+/// GridFTP-style secured session parameters.
+struct GridFtpSpec {
+  int auth_round_trips;  ///< GSI handshake messages on the control channel
+  double auth_cpu_s;     ///< certificate/crypto work, both ends combined
+  double per_stream_setup_s;  ///< data-channel establishment per stream
+};
+GridFtpSpec gsi_gridftp();
+
+// ---- primitive costs ---------------------------------------------------------
+
+/// TCP three-way handshake before the first byte can flow.
+double tcp_connect_time(const LinkSpec& link);
+
+/// One-way delivery of `bytes` on an established stream: half an RTT of
+/// propagation plus serialization at the stream cap.
+double send_time(const LinkSpec& link, std::size_t bytes);
+
+/// Request/response exchange on an established connection.
+double request_response_time(const LinkSpec& link, std::size_t request_bytes,
+                             std::size_t response_bytes);
+
+/// Full HTTP exchange: connect + request + response (Connection: close).
+double http_exchange_time(const LinkSpec& link, std::size_t request_bytes,
+                          std::size_t response_bytes);
+
+/// Bulk transfer of `bytes` over `streams` parallel TCP connections,
+/// including per-stream connects and the out-of-order reassembly penalty
+/// when striping. streams >= 1.
+double parallel_transfer_time(const LinkSpec& link, std::size_t bytes,
+                              int streams);
+
+/// Complete GridFTP session: control connect, auth handshake, data-channel
+/// setup, striped transfer.
+double gridftp_session_time(const LinkSpec& link, const GridFtpSpec& ftp,
+                            std::size_t bytes, int streams);
+
+/// Disk costs for the netCDF file hop.
+double disk_write_time(const DiskSpec& disk, std::size_t bytes);
+double disk_read_time(const DiskSpec& disk, std::size_t bytes);
+
+}  // namespace bxsoap::netsim

@@ -1,0 +1,147 @@
+#include "services/descriptor.hpp"
+
+#include "common/numeric_text.hpp"
+#include "soap/compressed.hpp"
+#include "transport/bindings.hpp"
+#include "transport/striped.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace bxsoap::services {
+
+using namespace bxsoap::xdm;
+using namespace bxsoap::soap;
+using namespace bxsoap::transport;
+
+namespace {
+
+std::string required_attr(const ElementBase& e, std::string_view name) {
+  const Attribute* a = e.find_attribute(name);
+  if (a == nullptr) {
+    throw DecodeError("service descriptor: <" + e.name().local +
+                      "> missing @" + std::string(name));
+  }
+  return a->text();
+}
+
+std::unique_ptr<AnyEncoding> make_encoding(const std::string& name) {
+  if (name == "bxsa") return AnyEncoding::from(BxsaEncoding{});
+  if (name == "xml") return AnyEncoding::from(XmlEncoding{});
+  if (name == "bxsa+lzss") {
+    return AnyEncoding::from(CompressedEncoding<BxsaEncoding>{});
+  }
+  if (name == "xml+lzss") {
+    return AnyEncoding::from(CompressedEncoding<XmlEncoding>{});
+  }
+  throw DecodeError("service descriptor: unknown encoding '" + name + "'");
+}
+
+}  // namespace
+
+const EndpointDescription* ServiceDescription::find_encoding(
+    std::string_view encoding) const {
+  for (const auto& e : endpoints) {
+    if (e.encoding == encoding) return &e;
+  }
+  return nullptr;
+}
+
+ServiceDescription parse_service_description(std::string_view xml_text) {
+  xml::ParseOptions opt;
+  opt.ignore_whitespace = true;
+  const DocumentPtr doc = xml::parse_xml(xml_text, opt);
+  const ElementBase& root = doc->root();
+  if (root.name().namespace_uri != kServiceUri ||
+      root.name().local != "service" ||
+      root.kind() != NodeKind::kElement) {
+    throw DecodeError("service descriptor: root must be " +
+                      std::string(kServiceUri) + " <service>");
+  }
+
+  ServiceDescription desc;
+  desc.name = required_attr(root, "name");
+  for (const ElementBase* child :
+       static_cast<const Element&>(root).child_elements()) {
+    if (child->name().local != "endpoint" ||
+        child->name().namespace_uri != kServiceUri) {
+      throw DecodeError("service descriptor: unexpected <" +
+                        child->name().local + ">");
+    }
+    EndpointDescription ep;
+    ep.binding = required_attr(*child, "binding");
+    if (ep.binding != "tcp" && ep.binding != "http" &&
+        ep.binding != "tcp-striped") {
+      throw DecodeError("service descriptor: unknown binding '" +
+                        ep.binding + "'");
+    }
+    if (const Attribute* streams = child->find_attribute("streams")) {
+      const auto n = parse_uint64(streams->text());
+      if (!n || *n < 1 || *n > 64) {
+        throw DecodeError("service descriptor: bad stream count");
+      }
+      ep.streams = static_cast<int>(*n);
+    }
+    ep.encoding = required_attr(*child, "encoding");
+    make_encoding(ep.encoding);  // validate early
+
+    const auto port = parse_uint64(required_attr(*child, "port"));
+    if (!port || *port == 0 || *port > 65535) {
+      throw DecodeError("service descriptor: bad port");
+    }
+    ep.port = static_cast<std::uint16_t>(*port);
+    if (const Attribute* path = child->find_attribute("path")) {
+      ep.path = path->text();
+    }
+    desc.endpoints.push_back(std::move(ep));
+  }
+  if (desc.endpoints.empty()) {
+    throw DecodeError("service descriptor: no endpoints");
+  }
+  return desc;
+}
+
+std::string write_service_description(const ServiceDescription& desc) {
+  auto root =
+      make_element(QName(std::string(kServiceUri), "service"));
+  root->declare_namespace("", std::string(kServiceUri));
+  root->add_attribute(QName("name"), desc.name);
+  for (const auto& ep : desc.endpoints) {
+    auto& e = root->add_element(
+        QName(std::string(kServiceUri), "endpoint"));
+    e.add_attribute(QName("binding"), ep.binding);
+    e.add_attribute(QName("encoding"), ep.encoding);
+    e.add_attribute(QName("port"), std::to_string(ep.port));
+    if (ep.path != "/soap") {
+      e.add_attribute(QName("path"), ep.path);
+    }
+    if (ep.streams != 1) {
+      e.add_attribute(QName("streams"), std::to_string(ep.streams));
+    }
+  }
+  xml::WriteOptions opt;
+  opt.emit_type_info = false;
+  opt.indent = 2;
+  return xml::write_xml(*root, opt);
+}
+
+AnySoapEngine connect(const EndpointDescription& endpoint) {
+  auto encoding = make_encoding(endpoint.encoding);
+  std::unique_ptr<AnyBinding> binding;
+  if (endpoint.binding == "tcp") {
+    binding = AnyBinding::from(TcpClientBinding(endpoint.port));
+  } else if (endpoint.binding == "http") {
+    binding = AnyBinding::from(HttpClientBinding(endpoint.port, endpoint.path));
+  } else if (endpoint.binding == "tcp-striped") {
+    binding = AnyBinding::from(
+        StripedClientBinding(endpoint.port, endpoint.streams));
+  } else {
+    throw DecodeError("unknown binding '" + endpoint.binding + "'");
+  }
+  return AnySoapEngine(std::move(encoding), std::move(binding));
+}
+
+AnySoapEngine connect(const ServiceDescription& desc) {
+  return connect(desc.endpoints.front());
+}
+
+}  // namespace bxsoap::services

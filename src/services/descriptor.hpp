@@ -1,0 +1,61 @@
+// Service descriptors — the paper's §2 complaint made to work:
+//
+//   "Users are free to specify the alternative message encoding/binding
+//    scheme in the WSDL file, though most implementations support this
+//    flexibility either poorly or not at all."
+//
+// A descriptor is a small WSDL-shaped XML document declaring a service's
+// endpoints with their encoding and binding:
+//
+//   <service name="verify" xmlns="urn:bxsoap:service">
+//     <endpoint binding="tcp"  encoding="bxsa" port="9001"/>
+//     <endpoint binding="http" encoding="xml"  port="9002" path="/soap"/>
+//   </service>
+//
+// connect() reads one and returns a ready client engine — the runtime
+// (type-erased) counterpart to the compile-time policy selection, so a
+// client can honor whatever the service advertises without recompiling.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "soap/any_engine.hpp"
+
+namespace bxsoap::services {
+
+inline constexpr std::string_view kServiceUri = "urn:bxsoap:service";
+
+struct EndpointDescription {
+  std::string binding;   // "tcp" | "http" | "tcp-striped"
+  std::string encoding;  // "bxsa" | "xml" | "xml+lzss" | "bxsa+lzss"
+  std::uint16_t port = 0;
+  std::string path = "/soap";  // http only
+  int streams = 1;             // tcp-striped only
+};
+
+struct ServiceDescription {
+  std::string name;
+  std::vector<EndpointDescription> endpoints;
+
+  /// First endpoint with the given encoding, or nullptr.
+  const EndpointDescription* find_encoding(std::string_view encoding) const;
+};
+
+/// Parse a descriptor document; throws DecodeError on shape violations
+/// (wrong namespace, missing attributes, unknown binding/encoding names,
+/// bad port numbers).
+ServiceDescription parse_service_description(std::string_view xml_text);
+
+/// Serialize a description back to XML (round-trips through
+/// parse_service_description).
+std::string write_service_description(const ServiceDescription& desc);
+
+/// Build a connected client engine for one advertised endpoint.
+soap::AnySoapEngine connect(const EndpointDescription& endpoint);
+
+/// Convenience: connect to the service's first endpoint.
+soap::AnySoapEngine connect(const ServiceDescription& desc);
+
+}  // namespace bxsoap::services

@@ -1,0 +1,283 @@
+#include "services/eventing.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "soap/any_engine.hpp"
+#include "soap/engine.hpp"
+#include "transport/bindings.hpp"
+
+namespace bxsoap::services {
+
+using namespace bxsoap::xdm;
+using namespace bxsoap::soap;
+using namespace bxsoap::transport;
+
+namespace {
+
+QName wse_name(std::string_view local) {
+  return QName(std::string(kEventingUri), std::string(local), "wse");
+}
+
+std::unique_ptr<Element> wse_element(std::string_view local) {
+  auto e = make_element(wse_name(local));
+  e->declare_namespace("wse", std::string(kEventingUri));
+  return e;
+}
+
+std::string attr_text(const ElementBase& e, std::string_view name) {
+  const Attribute* a = e.find_attribute(name);
+  if (a == nullptr) {
+    throw SoapFaultError("soap:Client",
+                         "eventing message missing @" + std::string(name));
+  }
+  return a->text();
+}
+
+std::unique_ptr<AnyEncoding> encoding_by_name(const std::string& name) {
+  if (name == "bxsa") return AnyEncoding::from(BxsaEncoding{});
+  if (name == "xml") return AnyEncoding::from(XmlEncoding{});
+  throw SoapFaultError("soap:Client", "unknown encoding '" + name + "'");
+}
+
+}  // namespace
+
+// ---- EventBroker ---------------------------------------------------------------
+
+struct EventBroker::Impl {
+  struct Subscription {
+    std::string id;
+    std::string topic;
+    std::uint16_t port;
+    std::string encoding;
+  };
+
+  SoapEngine<BxsaEncoding, TcpServerBinding> engine{{}, TcpServerBinding()};
+  std::thread thread;
+  std::atomic<bool> stopping{false};
+
+  mutable std::mutex mu;
+  std::vector<Subscription> subs;
+  std::uint64_t next_id = 1;
+
+  SoapEnvelope handle(SoapEnvelope request) {
+    const ElementBase* payload = request.body_payload();
+    if (payload == nullptr || payload->name().namespace_uri != kEventingUri) {
+      throw SoapFaultError("soap:Client", "not a WS-Eventing message");
+    }
+    if (payload->name().local == "Subscribe") {
+      Subscription s;
+      s.topic = attr_text(*payload, "topic");
+      s.port = static_cast<std::uint16_t>(
+          std::stoul(attr_text(*payload, "port")));
+      s.encoding = attr_text(*payload, "encoding");
+      encoding_by_name(s.encoding);  // validate now, fault early
+      std::lock_guard lock(mu);
+      s.id = "sub-" + std::to_string(next_id++);
+      subs.push_back(s);
+      auto resp = wse_element("SubscribeResponse");
+      resp->add_attribute(QName("id"), s.id);
+      return SoapEnvelope::wrap(std::move(resp));
+    }
+    if (payload->name().local == "Unsubscribe") {
+      const std::string id = attr_text(*payload, "id");
+      std::lock_guard lock(mu);
+      const auto before = subs.size();
+      std::erase_if(subs, [&id](const Subscription& s) { return s.id == id; });
+      if (subs.size() == before) {
+        throw SoapFaultError("soap:Client", "unknown subscription " + id);
+      }
+      return SoapEnvelope::wrap(wse_element("UnsubscribeResponse"));
+    }
+    throw SoapFaultError("soap:Client",
+                         "unknown eventing request " + payload->name().local);
+  }
+
+  void run() {
+    while (!stopping.load()) {
+      try {
+        engine.serve_once(
+            [this](SoapEnvelope req) { return handle(std::move(req)); });
+      } catch (const TransportError&) {
+        if (stopping.load()) break;
+      }
+    }
+  }
+};
+
+EventBroker::EventBroker() : impl_(std::make_unique<Impl>()) {
+  port_ = impl_->engine.binding().port();
+  impl_->thread = std::thread([impl = impl_.get()] { impl->run(); });
+}
+
+EventBroker::~EventBroker() { stop(); }
+
+void EventBroker::stop() {
+  if (impl_ == nullptr || impl_->stopping.exchange(true)) return;
+  impl_->engine.binding().shutdown();
+  if (impl_->thread.joinable()) impl_->thread.join();
+}
+
+std::size_t EventBroker::subscriber_count() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->subs.size();
+}
+
+std::size_t EventBroker::publish(const std::string& topic,
+                                 const Node& payload) {
+  std::vector<Impl::Subscription> targets;
+  {
+    std::lock_guard lock(impl_->mu);
+    for (const auto& s : impl_->subs) {
+      if (s.topic == topic) targets.push_back(s);
+    }
+  }
+  std::size_t delivered = 0;
+  std::vector<std::string> dead;
+  for (const auto& s : targets) {
+    auto notify = wse_element("Notify");
+    notify->add_attribute(QName("topic"), topic);
+    notify->add_attribute(QName("id"), s.id);
+    notify->add_child(payload.clone());
+    try {
+      // The subscriber picked the delivery encoding; the broker adapts at
+      // runtime via the type-erased engine.
+      AnySoapEngine engine(encoding_by_name(s.encoding),
+                           AnyBinding::from(TcpClientBinding(s.port)));
+      SoapEnvelope env = SoapEnvelope::wrap(std::move(notify));
+      // One-way Notify: encode + send without waiting for a response.
+      engine.call_oneway(std::move(env));
+      ++delivered;
+    } catch (const TransportError&) {
+      dead.push_back(s.id);
+    }
+  }
+  if (!dead.empty()) {
+    std::lock_guard lock(impl_->mu);
+    std::erase_if(impl_->subs, [&dead](const Impl::Subscription& s) {
+      return std::find(dead.begin(), dead.end(), s.id) != dead.end();
+    });
+  }
+  return delivered;
+}
+
+// ---- EventListener -------------------------------------------------------------
+
+struct EventListener::Impl {
+  explicit Impl(const std::string& encoding_name)
+      : encoding(encoding_by_name(encoding_name)) {}
+
+  std::unique_ptr<AnyEncoding> encoding;
+  TcpServerBinding binding;
+  std::thread thread;
+  std::atomic<bool> stopping{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<SoapEnvelope> queue;
+  std::size_t received = 0;
+
+  void run() {
+    while (!stopping.load()) {
+      try {
+        soap::WireMessage raw = binding.receive_request();
+        SoapEnvelope env(encoding->deserialize(raw.payload));
+        {
+          std::lock_guard lock(mu);
+          queue.push_back(std::move(env));
+          ++received;
+        }
+        cv.notify_one();
+      } catch (const TransportError&) {
+        if (stopping.load()) break;
+      }
+    }
+    cv.notify_all();
+  }
+};
+
+EventListener::EventListener(std::string encoding)
+    : impl_(std::make_unique<Impl>(encoding)), encoding_(std::move(encoding)) {
+  port_ = impl_->binding.port();
+  impl_->thread = std::thread([impl = impl_.get()] { impl->run(); });
+}
+
+EventListener::~EventListener() { stop(); }
+
+void EventListener::stop() {
+  if (impl_ == nullptr || impl_->stopping.exchange(true)) return;
+  impl_->binding.shutdown();
+  if (impl_->thread.joinable()) impl_->thread.join();
+  impl_->cv.notify_all();
+}
+
+SoapEnvelope EventListener::wait_event() {
+  std::unique_lock lock(impl_->mu);
+  impl_->cv.wait(lock, [this] {
+    return !impl_->queue.empty() || impl_->stopping.load();
+  });
+  if (impl_->queue.empty()) {
+    throw TransportError("event listener stopped");
+  }
+  SoapEnvelope env = std::move(impl_->queue.front());
+  impl_->queue.pop_front();
+  return env;
+}
+
+std::size_t EventListener::received() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->received;
+}
+
+// ---- client helpers ------------------------------------------------------------
+
+std::string subscribe(std::uint16_t broker_port, const std::string& topic,
+                      const EventListener& listener) {
+  auto req = wse_element("Subscribe");
+  req->add_attribute(QName("topic"), topic);
+  req->add_attribute(QName("port"),
+                     static_cast<std::int32_t>(listener.port()));
+  req->add_attribute(QName("encoding"), listener.encoding());
+
+  SoapEngine<BxsaEncoding, TcpClientBinding> client(
+      {}, TcpClientBinding(broker_port));
+  SoapEnvelope resp = client.call(SoapEnvelope::wrap(std::move(req)));
+  resp.throw_if_fault();
+  return attr_text(*resp.body_payload(), "id");
+}
+
+void unsubscribe(std::uint16_t broker_port, const std::string& id) {
+  auto req = wse_element("Unsubscribe");
+  req->add_attribute(QName("id"), id);
+  SoapEngine<BxsaEncoding, TcpClientBinding> client(
+      {}, TcpClientBinding(broker_port));
+  SoapEnvelope resp = client.call(SoapEnvelope::wrap(std::move(req)));
+  resp.throw_if_fault();
+}
+
+Notification parse_notification(const SoapEnvelope& env) {
+  const ElementBase* payload = env.body_payload();
+  if (payload == nullptr || payload->name().namespace_uri != kEventingUri ||
+      payload->name().local != "Notify") {
+    throw DecodeError("not a wse:Notify envelope");
+  }
+  Notification n;
+  n.topic = attr_text(*payload, "topic");
+  n.subscription_id = attr_text(*payload, "id");
+  n.payload = nullptr;
+  if (payload->kind() == NodeKind::kElement) {
+    for (const auto& c : static_cast<const Element*>(payload)->children()) {
+      if (const ElementBase* e = as_element(*c)) {
+        n.payload = e;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace bxsoap::services

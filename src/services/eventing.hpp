@@ -1,0 +1,92 @@
+// WS-Eventing (simplified) — the layer the paper's Figure 3 places directly
+// above the generic SOAP engine.
+//
+// One broker (the WS-Eventing "event source") accepts Subscribe /
+// Unsubscribe calls; publish() pushes one-way Notify messages to every
+// matching subscriber over the subscriber's OWN choice of encoding — a
+// BXSA/TCP sensor and a legacy XML/TCP dashboard can watch the same topic,
+// which is exactly the stack-transparency argument: the eventing layer is
+// written once against bXDM and never inspects the wire form.
+//
+// Message vocabulary (namespace urn:bxsoap:eventing, prefix wse):
+//   <wse:Subscribe topic="..." port="..." encoding="bxsa|xml"/>
+//     -> <wse:SubscribeResponse id="..."/>
+//   <wse:Unsubscribe id="..."/> -> <wse:UnsubscribeResponse/>
+//   delivery: one-way <wse:Notify topic="..." id="...">payload</wse:Notify>
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "soap/envelope.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::services {
+
+inline constexpr std::string_view kEventingUri = "urn:bxsoap:eventing";
+
+/// The event source. Runs its subscription endpoint (SOAP over BXSA/TCP)
+/// on a background thread.
+class EventBroker {
+ public:
+  EventBroker();
+  ~EventBroker();
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Deliver `payload` to every subscriber of `topic`; returns how many
+  /// notifications were sent. Dead subscribers are dropped.
+  std::size_t publish(const std::string& topic, const xdm::Node& payload);
+
+  std::size_t subscriber_count() const;
+
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint16_t port_ = 0;
+};
+
+/// A subscriber endpoint: listens for Notify messages in the requested
+/// encoding and queues them for the application.
+class EventListener {
+ public:
+  /// encoding: "bxsa" or "xml".
+  explicit EventListener(std::string encoding);
+  ~EventListener();
+
+  std::uint16_t port() const noexcept { return port_; }
+  const std::string& encoding() const noexcept { return encoding_; }
+
+  /// Block until a notification arrives (or throw TransportError after the
+  /// listener is stopped). Returns the Notify envelope.
+  soap::SoapEnvelope wait_event();
+
+  /// Number of events received so far.
+  std::size_t received() const;
+
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint16_t port_ = 0;
+  std::string encoding_;
+};
+
+/// Client-side subscription management (SOAP calls to the broker).
+std::string subscribe(std::uint16_t broker_port, const std::string& topic,
+                      const EventListener& listener);
+void unsubscribe(std::uint16_t broker_port, const std::string& id);
+
+/// The topic and payload of a received Notify envelope.
+struct Notification {
+  std::string topic;
+  std::string subscription_id;
+  const xdm::ElementBase* payload;  // owned by the envelope
+};
+Notification parse_notification(const soap::SoapEnvelope& env);
+
+}  // namespace bxsoap::services

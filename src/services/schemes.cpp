@@ -1,0 +1,181 @@
+#include "services/schemes.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace bxsoap::services {
+
+using namespace bxsoap::soap;
+using namespace bxsoap::transport;
+using workload::LeadDataset;
+
+// ---- VerificationServer --------------------------------------------------------
+
+struct VerificationServer::Impl {
+  SoapEngine<BxsaEncoding, TcpServerBinding> tcp_engine{
+      {}, TcpServerBinding()};
+  SoapEngine<XmlEncoding, HttpServerBinding> http_engine{
+      {}, HttpServerBinding()};
+  std::thread tcp_thread;
+  std::thread http_thread;
+  std::atomic<bool> stopping{false};
+};
+
+VerificationServer::VerificationServer() : impl_(std::make_unique<Impl>()) {
+  tcp_port_ = impl_->tcp_engine.binding().port();
+  http_port_ = impl_->http_engine.binding().port();
+  impl_->tcp_thread = std::thread([impl = impl_.get()] {
+    while (!impl->stopping.load()) {
+      try {
+        impl->tcp_engine.serve_once(verification_handler);
+      } catch (const TransportError&) {
+        if (impl->stopping.load()) break;
+      }
+    }
+  });
+  impl_->http_thread = std::thread([impl = impl_.get()] {
+    while (!impl->stopping.load()) {
+      try {
+        impl->http_engine.serve_once(verification_handler);
+      } catch (const TransportError&) {
+        if (impl->stopping.load()) break;
+      }
+    }
+  });
+}
+
+VerificationServer::~VerificationServer() { stop(); }
+
+void VerificationServer::stop() {
+  if (impl_ == nullptr || impl_->stopping.exchange(true)) return;
+  impl_->tcp_engine.binding().shutdown();
+  impl_->http_engine.binding().shutdown();
+  if (impl_->tcp_thread.joinable()) impl_->tcp_thread.join();
+  if (impl_->http_thread.joinable()) impl_->http_thread.join();
+}
+
+// ---- scheme runners ------------------------------------------------------------
+
+VerificationOutcome run_unified_bxsa_tcp(const LeadDataset& d,
+                                         std::uint16_t tcp_port) {
+  SoapEngine<BxsaEncoding, TcpClientBinding> client(
+      {}, TcpClientBinding(tcp_port));
+  return parse_verify_response(client.call(make_data_request(d)));
+}
+
+VerificationOutcome run_unified_xml_http(const LeadDataset& d,
+                                         std::uint16_t http_port) {
+  SoapEngine<XmlEncoding, HttpClientBinding> client(
+      {}, HttpClientBinding(http_port));
+  return parse_verify_response(client.call(make_data_request(d)));
+}
+
+VerificationOutcome run_separated_http(const LeadDataset& d,
+                                       std::uint16_t http_port,
+                                       const HttpFileServer& file_server,
+                                       const std::string& file_name) {
+  // Client side of the separated scheme: materialize the netCDF file where
+  // the data channel can see it, then send only the URL through SOAP.
+  workload::write_netcdf_file(d, file_server.root() / file_name);
+  SoapEngine<XmlEncoding, HttpClientBinding> client(
+      {}, HttpClientBinding(http_port));
+  return parse_verify_response(
+      client.call(make_http_fetch_request(file_server.url_for(file_name))));
+}
+
+VerificationOutcome run_separated_gridftp(const LeadDataset& d,
+                                          std::uint16_t http_port,
+                                          const gridftp::GridFtpServer& ftp,
+                                          const std::string& file_name,
+                                          int streams) {
+  workload::write_netcdf_file(d, ftp.root() / file_name);
+  SoapEngine<XmlEncoding, HttpClientBinding> client(
+      {}, HttpClientBinding(http_port));
+  return parse_verify_response(client.call(
+      make_gridftp_fetch_request(ftp.control_port(), file_name, streams)));
+}
+
+// ---- TranscodingRelay ----------------------------------------------------------
+
+struct TranscodingRelay::Impl {
+  explicit Impl(std::uint16_t backend_port)
+      : front({}, HttpServerBinding()), backend_port_(backend_port) {}
+
+  SoapEngine<XmlEncoding, HttpServerBinding> front;
+  std::uint16_t backend_port_;
+  std::thread thread;
+  std::atomic<bool> stopping{false};
+
+  void run() {
+    while (!stopping.load()) {
+      try {
+        front.serve_once([this](SoapEnvelope request) {
+          // Down-link hop: a fresh engine with the backend's policies. The
+          // envelope crosses encodings untouched at the bXDM level.
+          SoapEngine<BxsaEncoding, TcpClientBinding> back(
+              {}, TcpClientBinding(backend_port_));
+          return back.call(std::move(request));
+        });
+      } catch (const TransportError&) {
+        if (stopping.load()) break;
+      }
+    }
+  }
+};
+
+TranscodingRelay::TranscodingRelay(std::uint16_t backend_tcp_port)
+    : impl_(std::make_unique<Impl>(backend_tcp_port)) {
+  http_port_ = impl_->front.binding().port();
+  impl_->thread = std::thread([impl = impl_.get()] { impl->run(); });
+}
+
+TranscodingRelay::~TranscodingRelay() { stop(); }
+
+void TranscodingRelay::stop() {
+  if (impl_ == nullptr || impl_->stopping.exchange(true)) return;
+  impl_->front.binding().shutdown();
+  if (impl_->thread.joinable()) impl_->thread.join();
+}
+
+// ---- ReverseTranscodingRelay ---------------------------------------------------
+
+struct ReverseTranscodingRelay::Impl {
+  explicit Impl(std::uint16_t backend_port)
+      : front({}, TcpServerBinding()), backend_port_(backend_port) {}
+
+  SoapEngine<BxsaEncoding, TcpServerBinding> front;
+  std::uint16_t backend_port_;
+  std::thread thread;
+  std::atomic<bool> stopping{false};
+
+  void run() {
+    while (!stopping.load()) {
+      try {
+        front.serve_once([this](SoapEnvelope request) {
+          SoapEngine<XmlEncoding, HttpClientBinding> back(
+              {}, HttpClientBinding(backend_port_));
+          return back.call(std::move(request));
+        });
+      } catch (const TransportError&) {
+        if (stopping.load()) break;
+      }
+    }
+  }
+};
+
+ReverseTranscodingRelay::ReverseTranscodingRelay(
+    std::uint16_t backend_http_port)
+    : impl_(std::make_unique<Impl>(backend_http_port)) {
+  tcp_port_ = impl_->front.binding().port();
+  impl_->thread = std::thread([impl = impl_.get()] { impl->run(); });
+}
+
+ReverseTranscodingRelay::~ReverseTranscodingRelay() { stop(); }
+
+void ReverseTranscodingRelay::stop() {
+  if (impl_ == nullptr || impl_->stopping.exchange(true)) return;
+  impl_->front.binding().shutdown();
+  if (impl_->thread.joinable()) impl_->thread.join();
+}
+
+}  // namespace bxsoap::services

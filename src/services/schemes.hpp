@@ -1,0 +1,111 @@
+// End-to-end runners for the paper's four deployment schemes (§6), over
+// REAL loopback sockets. These are what the integration tests and example
+// programs drive; the benchmark harness reuses the same building blocks but
+// swaps the wire for the netsim cost model.
+//
+//   1. Unified, SOAP over BXSA/TCP   — data inline, binary XML, raw TCP
+//   2. Unified, SOAP over XML/HTTP   — data inline, textual XML, HTTP
+//   3. Separated, SOAP + HTTP        — netCDF file pulled over HTTP,
+//                                      SOAP (XML/HTTP) carries the URL
+//   4. Separated, SOAP + GridFTP     — netCDF file pulled over GridFTP-like
+//                                      striped transfer
+#pragma once
+
+#include <filesystem>
+#include <memory>
+
+#include "services/verification.hpp"
+#include "soap/engine.hpp"
+#include "transport/bindings.hpp"
+#include "transport/file_server.hpp"
+#include "gridftp/gridftp.hpp"
+
+namespace bxsoap::services {
+
+/// A verification server listening on both a raw-TCP port (BXSA frames)
+/// and an HTTP port (textual XML), serving until stopped.
+class VerificationServer {
+ public:
+  VerificationServer();
+  ~VerificationServer();
+
+  std::uint16_t tcp_port() const noexcept { return tcp_port_; }
+  std::uint16_t http_port() const noexcept { return http_port_; }
+
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint16_t tcp_port_ = 0;
+  std::uint16_t http_port_ = 0;
+};
+
+// ---- client-side scheme runners -----------------------------------------------
+
+/// Scheme 1: everything in one SOAP/BXSA/TCP exchange.
+VerificationOutcome run_unified_bxsa_tcp(const workload::LeadDataset& d,
+                                         std::uint16_t tcp_port);
+
+/// Scheme 2: everything in one SOAP/XML/HTTP exchange.
+VerificationOutcome run_unified_xml_http(const workload::LeadDataset& d,
+                                         std::uint16_t http_port);
+
+/// Scheme 3: write netCDF into `shared_dir` (served by `file_server`), send
+/// the URL over SOAP/XML/HTTP.
+VerificationOutcome run_separated_http(
+    const workload::LeadDataset& d, std::uint16_t http_port,
+    const transport::HttpFileServer& file_server,
+    const std::string& file_name);
+
+/// Scheme 4: write netCDF into the GridFTP server's root, send a gridftp
+/// fetch request over SOAP/XML/HTTP.
+VerificationOutcome run_separated_gridftp(
+    const workload::LeadDataset& d, std::uint16_t http_port,
+    const gridftp::GridFtpServer& ftp, const std::string& file_name,
+    int streams);
+
+// ---- intermediary (transcoding relay) ------------------------------------------
+
+/// A SOAP intermediary node: accepts XML/HTTP on the front, forwards to a
+/// BXSA/TCP backend, and relays the response back — "the intermediary node
+/// can just simply deploy multiple generic SOAP engines with different
+/// policy configurations to serve the up-link and down-link message flows."
+/// The relay works at the bXDM level, so it transcodes without touching the
+/// application payload.
+class TranscodingRelay {
+ public:
+  /// Forward everything to the BXSA/TCP service at `backend_tcp_port`.
+  explicit TranscodingRelay(std::uint16_t backend_tcp_port);
+  ~TranscodingRelay();
+
+  std::uint16_t http_port() const noexcept { return http_port_; }
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint16_t http_port_ = 0;
+};
+
+/// The mirror image: accepts BXSA over raw TCP and forwards to a textual
+/// XML/HTTP backend. Chained after a TranscodingRelay this realizes the
+/// paper's §5.1 scenario — "transcodability enables BXSA to be the
+/// intermediate protocol over the message hops, even when the message
+/// sender and receiver are communicating via textual XML": an XML client
+/// and an XML server converse while the middle hop rides binary XML.
+class ReverseTranscodingRelay {
+ public:
+  explicit ReverseTranscodingRelay(std::uint16_t backend_http_port);
+  ~ReverseTranscodingRelay();
+
+  std::uint16_t tcp_port() const noexcept { return tcp_port_; }
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint16_t tcp_port_ = 0;
+};
+
+}  // namespace bxsoap::services

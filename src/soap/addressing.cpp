@@ -1,0 +1,73 @@
+#include "soap/addressing.hpp"
+
+namespace bxsoap::soap {
+
+using namespace bxsoap::xdm;
+
+namespace {
+
+QName wsa_name(std::string_view local) {
+  return QName(std::string(kWsaUri), std::string(local), "wsa");
+}
+
+void set_wsa(SoapEnvelope& env, std::string_view local, std::string value) {
+  auto block = make_leaf<std::string>(wsa_name(local), std::move(value));
+  block->declare_namespace("wsa", std::string(kWsaUri));
+  env.add_header_block(std::move(block));
+}
+
+std::optional<std::string> get_wsa(const SoapEnvelope& env,
+                                   std::string_view local) {
+  if (!env.has_header()) return std::nullopt;
+  const SoapEnvelope& cenv = env;
+  // header() is non-const (it creates); search manually.
+  for (const auto& c : cenv.envelope().children()) {
+    const ElementBase* e = as_element(*c);
+    if (e == nullptr || e->kind() != NodeKind::kElement ||
+        e->name().namespace_uri != kSoapEnvelopeUri ||
+        e->name().local != "Header") {
+      continue;
+    }
+    const auto* header = static_cast<const Element*>(e);
+    const ElementBase* block = header->find_child(wsa_name(local));
+    if (block == nullptr) return std::nullopt;
+    if (block->kind() == NodeKind::kLeafElement) {
+      return static_cast<const LeafElementBase*>(block)->text();
+    }
+    if (block->kind() == NodeKind::kElement) {
+      return static_cast<const Element*>(block)->string_value();
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void set_action(SoapEnvelope& env, std::string action) {
+  set_wsa(env, "Action", std::move(action));
+}
+void set_message_id(SoapEnvelope& env, std::string id) {
+  set_wsa(env, "MessageID", std::move(id));
+}
+void set_relates_to(SoapEnvelope& env, std::string id) {
+  set_wsa(env, "RelatesTo", std::move(id));
+}
+void set_to(SoapEnvelope& env, std::string address) {
+  set_wsa(env, "To", std::move(address));
+}
+
+std::optional<std::string> get_action(const SoapEnvelope& env) {
+  return get_wsa(env, "Action");
+}
+std::optional<std::string> get_message_id(const SoapEnvelope& env) {
+  return get_wsa(env, "MessageID");
+}
+std::optional<std::string> get_relates_to(const SoapEnvelope& env) {
+  return get_wsa(env, "RelatesTo");
+}
+std::optional<std::string> get_to(const SoapEnvelope& env) {
+  return get_wsa(env, "To");
+}
+
+}  // namespace bxsoap::soap

@@ -1,0 +1,29 @@
+// Minimal WS-Addressing header blocks (Action / MessageID / RelatesTo / To).
+//
+// These sit ABOVE the SOAP layer in Figure 1's stack: they are plain bXDM
+// header blocks, so the same code works over textual XML and BXSA without
+// change — which is the point the paper makes about the WS-* layers being
+// "ignorant of the underlying encoding and transport layers".
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "soap/envelope.hpp"
+
+namespace bxsoap::soap {
+
+inline constexpr std::string_view kWsaUri =
+    "http://www.w3.org/2005/08/addressing";
+
+void set_action(SoapEnvelope& env, std::string action);
+void set_message_id(SoapEnvelope& env, std::string id);
+void set_relates_to(SoapEnvelope& env, std::string id);
+void set_to(SoapEnvelope& env, std::string address);
+
+std::optional<std::string> get_action(const SoapEnvelope& env);
+std::optional<std::string> get_message_id(const SoapEnvelope& env);
+std::optional<std::string> get_relates_to(const SoapEnvelope& env);
+std::optional<std::string> get_to(const SoapEnvelope& env);
+
+}  // namespace bxsoap::soap

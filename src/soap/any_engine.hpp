@@ -1,0 +1,120 @@
+// AnySoapEngine — the virtual-dispatch twin of SoapEngine.
+//
+// This class exists for one reason: to measure what the paper's
+// compile-time policy binding actually buys. It routes every policy
+// operation through an abstract interface (one heap-allocated model per
+// policy, one virtual call per operation), which is the conventional
+// object-oriented alternative the paper argues against.
+// bench_ablation_engine compares the two on identical traffic.
+#pragma once
+
+#include <memory>
+
+#include "soap/binding.hpp"
+#include "soap/encoding.hpp"
+#include "soap/envelope.hpp"
+
+namespace bxsoap::soap {
+
+/// Runtime-polymorphic encoding interface.
+class AnyEncoding {
+ public:
+  virtual ~AnyEncoding() = default;
+  virtual std::string content_type() const = 0;
+  virtual std::vector<std::uint8_t> serialize(
+      const xdm::Document& doc) const = 0;
+  virtual xdm::DocumentPtr deserialize(
+      std::span<const std::uint8_t> bytes) const = 0;
+
+  /// Type-erase any static encoding policy.
+  template <EncodingPolicy E>
+  static std::unique_ptr<AnyEncoding> from(E enc) {
+    struct Model final : AnyEncoding {
+      explicit Model(E e) : enc(std::move(e)) {}
+      std::string content_type() const override {
+        return std::string(E::content_type());
+      }
+      std::vector<std::uint8_t> serialize(
+          const xdm::Document& doc) const override {
+        return enc.serialize(doc);
+      }
+      xdm::DocumentPtr deserialize(
+          std::span<const std::uint8_t> bytes) const override {
+        return enc.deserialize(bytes);
+      }
+      E enc;
+    };
+    return std::make_unique<Model>(std::move(enc));
+  }
+};
+
+/// Runtime-polymorphic binding interface.
+class AnyBinding {
+ public:
+  virtual ~AnyBinding() = default;
+  virtual void send_request(WireMessage m) = 0;
+  virtual WireMessage receive_response() = 0;
+  virtual WireMessage receive_request() = 0;
+  virtual void send_response(WireMessage m) = 0;
+
+  template <BindingPolicy B>
+  static std::unique_ptr<AnyBinding> from(B bind) {
+    struct Model final : AnyBinding {
+      explicit Model(B b) : bind(std::move(b)) {}
+      void send_request(WireMessage m) override {
+        bind.send_request(std::move(m));
+      }
+      WireMessage receive_response() override {
+        return bind.receive_response();
+      }
+      WireMessage receive_request() override { return bind.receive_request(); }
+      void send_response(WireMessage m) override {
+        bind.send_response(std::move(m));
+      }
+      B bind;
+    };
+    return std::make_unique<Model>(std::move(bind));
+  }
+};
+
+/// The dynamic engine: same API surface as SoapEngine, policies picked at
+/// runtime.
+class AnySoapEngine {
+ public:
+  AnySoapEngine(std::unique_ptr<AnyEncoding> encoding,
+                std::unique_ptr<AnyBinding> binding)
+      : encoding_(std::move(encoding)), binding_(std::move(binding)) {}
+
+  SoapEnvelope call(SoapEnvelope request) {
+    binding_->send_request(encode(request));
+    return SoapEnvelope(
+        encoding_->deserialize(binding_->receive_response().payload));
+  }
+
+  /// One-way MEP: encode and send without waiting for a response.
+  void call_oneway(SoapEnvelope request) {
+    binding_->send_request(encode(request));
+  }
+
+  SoapEnvelope receive_request() {
+    return SoapEnvelope(
+        encoding_->deserialize(binding_->receive_request().payload));
+  }
+
+  void send_response(SoapEnvelope response) {
+    binding_->send_response(encode(response));
+  }
+
+ private:
+  WireMessage encode(const SoapEnvelope& env) const {
+    WireMessage m;
+    m.content_type = encoding_->content_type();
+    m.payload = encoding_->serialize(env.document());
+    return m;
+  }
+
+  std::unique_ptr<AnyEncoding> encoding_;
+  std::unique_ptr<AnyBinding> binding_;
+};
+
+}  // namespace bxsoap::soap

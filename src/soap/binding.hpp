@@ -1,0 +1,38 @@
+// Binding policies: how serialized SOAP octets travel.
+//
+// A binding instance is one conversation endpoint. The four valid
+// expressions are the paper's §5.3 verbatim, lifted from int return codes
+// to exceptions:
+//
+//   * client side: send_request / receive_response
+//   * server side: receive_request / send_response
+//
+// Concrete models live in src/transport (HttpBinding, TcpBinding,
+// InMemoryBinding); this header only defines the vocabulary so the soap
+// library stays transport-free.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bxsoap::soap {
+
+/// Serialized message plus the media type the encoding policy declared
+/// (bindings that have a header channel, like HTTP, carry it; raw TCP
+/// framing encodes it in the frame header).
+struct WireMessage {
+  std::string content_type;
+  std::vector<std::uint8_t> payload;
+};
+
+template <typename B>
+concept BindingPolicy = requires(B b, WireMessage m) {
+  { b.send_request(std::move(m)) } -> std::same_as<void>;
+  { b.receive_response() } -> std::same_as<WireMessage>;
+  { b.receive_request() } -> std::same_as<WireMessage>;
+  { b.send_response(std::move(m)) } -> std::same_as<void>;
+};
+
+}  // namespace bxsoap::soap

@@ -1,0 +1,46 @@
+// CompressedEncoding<Inner> — an encoding policy COMBINATOR.
+//
+// The paper's §5 argues the policy design handles "the combinatorial
+// problem of the encoding/binding scheme"; this adapter is the proof by
+// construction: it wraps ANY encoding policy with LZSS compression and is
+// itself a valid encoding policy, so
+//
+//   SoapEngine<CompressedEncoding<XmlEncoding>,  HttpClientBinding>
+//   SoapEngine<CompressedEncoding<BxsaEncoding>, TcpClientBinding>
+//
+// both type-check with zero changes to the engine. Textual XML compresses
+// dramatically (its redundancy is the paper's Table 1 overhead); BXSA
+// barely compresses, quantifying how little slack the binary format leaves.
+#pragma once
+
+#include "common/lzss.hpp"
+#include "soap/encoding.hpp"
+
+namespace bxsoap::soap {
+
+template <EncodingPolicy Inner>
+class CompressedEncoding {
+ public:
+  static constexpr std::string_view content_type() {
+    return "application/x-lzss";
+  }
+
+  explicit CompressedEncoding(Inner inner = {}) : inner_(std::move(inner)) {}
+
+  std::vector<std::uint8_t> serialize(const xdm::Document& doc) const {
+    return lzss_compress(inner_.serialize(doc));
+  }
+
+  xdm::DocumentPtr deserialize(std::span<const std::uint8_t> bytes) const {
+    const auto raw = lzss_decompress(bytes);
+    return inner_.deserialize(raw);
+  }
+
+ private:
+  Inner inner_;
+};
+
+static_assert(EncodingPolicy<CompressedEncoding<XmlEncoding>>);
+static_assert(EncodingPolicy<CompressedEncoding<BxsaEncoding>>);
+
+}  // namespace bxsoap::soap

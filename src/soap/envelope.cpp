@@ -1,0 +1,172 @@
+#include "soap/envelope.hpp"
+
+#include <utility>
+
+namespace bxsoap::soap {
+
+using namespace bxsoap::xdm;
+
+namespace {
+
+QName soap_name(std::string_view local) {
+  return QName(std::string(kSoapEnvelopeUri), std::string(local),
+               std::string(kSoapPrefix));
+}
+
+std::unique_ptr<Element> make_envelope_element() {
+  auto env = make_element(soap_name("Envelope"));
+  env->declare_namespace(std::string(kSoapPrefix),
+                         std::string(kSoapEnvelopeUri));
+  return env;
+}
+
+}  // namespace
+
+SoapEnvelope::SoapEnvelope() {
+  auto env = make_envelope_element();
+  env->add_child(make_element(soap_name("Body")));
+  doc_ = make_document(std::move(env));
+}
+
+SoapEnvelope::SoapEnvelope(DocumentPtr doc) : doc_(std::move(doc)) {
+  if (doc_ == nullptr || !doc_->has_root()) {
+    throw DecodeError("SOAP message has no root element");
+  }
+  const ElementBase& root = doc_->root();
+  if (root.name() != soap_name("Envelope") ||
+      root.kind() != NodeKind::kElement) {
+    throw DecodeError("root element is not soap:Envelope");
+  }
+  if (find_soap_child("Body") == nullptr) {
+    throw DecodeError("soap:Envelope has no soap:Body");
+  }
+}
+
+SoapEnvelope::SoapEnvelope(const SoapEnvelope& other) {
+  doc_ = DocumentPtr(
+      static_cast<Document*>(other.doc_->clone().release()));
+}
+
+SoapEnvelope& SoapEnvelope::operator=(const SoapEnvelope& other) {
+  if (this != &other) {
+    doc_ = DocumentPtr(
+        static_cast<Document*>(other.doc_->clone().release()));
+  }
+  return *this;
+}
+
+SoapEnvelope SoapEnvelope::wrap(NodePtr payload) {
+  SoapEnvelope env;
+  env.set_body_payload(std::move(payload));
+  return env;
+}
+
+SoapEnvelope SoapEnvelope::make_fault(const Fault& f) {
+  SoapEnvelope env;
+  auto fault = make_element(soap_name("Fault"));
+  // Per SOAP 1.1, faultcode and faultstring are UNqualified.
+  fault->add_child(make_leaf<std::string>(QName("faultcode"), f.code));
+  fault->add_child(make_leaf<std::string>(QName("faultstring"), f.reason));
+  if (!f.detail.empty()) {
+    fault->add_child(make_leaf<std::string>(QName("detail"), f.detail));
+  }
+  env.set_body_payload(std::move(fault));
+  return env;
+}
+
+Element& SoapEnvelope::envelope() {
+  return static_cast<Element&>(doc_->root());
+}
+const Element& SoapEnvelope::envelope() const {
+  return static_cast<const Element&>(doc_->root());
+}
+
+Element* SoapEnvelope::find_soap_child(std::string_view local) {
+  return const_cast<Element*>(
+      std::as_const(*this).find_soap_child(local));
+}
+
+const Element* SoapEnvelope::find_soap_child(std::string_view local) const {
+  for (const auto& c : envelope().children()) {
+    const ElementBase* e = as_element(*c);
+    if (e != nullptr && e->kind() == NodeKind::kElement &&
+        e->name().namespace_uri == kSoapEnvelopeUri &&
+        e->name().local == local) {
+      return static_cast<const Element*>(e);
+    }
+  }
+  return nullptr;
+}
+
+Element& SoapEnvelope::body() {
+  Element* b = find_soap_child("Body");
+  if (b == nullptr) throw Error("envelope has no soap:Body");
+  return *b;
+}
+const Element& SoapEnvelope::body() const {
+  const Element* b = find_soap_child("Body");
+  if (b == nullptr) throw Error("envelope has no soap:Body");
+  return *b;
+}
+
+bool SoapEnvelope::has_header() const {
+  return find_soap_child("Header") != nullptr;
+}
+
+Element& SoapEnvelope::header() {
+  if (Element* h = find_soap_child("Header")) return *h;
+  // Header must precede Body.
+  return static_cast<Element&>(
+      envelope().insert_child(0, make_element(soap_name("Header"))));
+}
+
+void SoapEnvelope::add_header_block(NodePtr block) {
+  header().add_child(std::move(block));
+}
+
+const ElementBase* SoapEnvelope::body_payload() const {
+  for (const auto& c : body().children()) {
+    if (const ElementBase* e = as_element(*c)) return e;
+  }
+  return nullptr;
+}
+
+void SoapEnvelope::set_body_payload(NodePtr payload) {
+  body().add_child(std::move(payload));
+}
+
+bool SoapEnvelope::is_fault() const {
+  const ElementBase* p = body_payload();
+  return p != nullptr && p->name().namespace_uri == kSoapEnvelopeUri &&
+         p->name().local == "Fault";
+}
+
+Fault SoapEnvelope::fault() const {
+  if (!is_fault()) throw Error("envelope is not a fault");
+  const auto* f = static_cast<const Element*>(body_payload());
+  Fault out;
+  auto text_of = [](const ElementBase* e) -> std::string {
+    if (e == nullptr) return {};
+    switch (e->kind()) {
+      case NodeKind::kLeafElement:
+        return static_cast<const LeafElementBase*>(e)->text();
+      case NodeKind::kElement:
+        return static_cast<const Element*>(e)->string_value();
+      default:
+        return {};
+    }
+  };
+  out.code = text_of(f->find_child("faultcode"));
+  out.reason = text_of(f->find_child("faultstring"));
+  out.detail = text_of(f->find_child("detail"));
+  return out;
+}
+
+void SoapEnvelope::throw_if_fault() const {
+  if (is_fault()) {
+    const Fault f = fault();
+    throw SoapFaultError(f.code, f.reason);
+  }
+}
+
+}  // namespace bxsoap::soap

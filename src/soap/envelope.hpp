@@ -1,0 +1,93 @@
+// The SOAP envelope model, expressed in bXDM (not the XML Infoset — the
+// paper's engine "models the SOAP message in the bXDM model instead").
+//
+// SOAP 1.1 structure:
+//
+//   <soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+//     <soap:Header>?   (any number of header blocks)
+//     <soap:Body>      (one payload element, or a soap:Fault)
+//   </soap:Envelope>
+//
+// A SoapEnvelope owns the underlying Document; encoding policies serialize
+// that document with either codec without the envelope layer caring.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::soap {
+
+inline constexpr std::string_view kSoapEnvelopeUri =
+    "http://schemas.xmlsoap.org/soap/envelope/";
+inline constexpr std::string_view kSoapPrefix = "soap";
+
+/// A SOAP 1.1 fault surfaced as data.
+struct Fault {
+  std::string code;    // e.g. "soap:Server", "soap:Client"
+  std::string reason;  // human-readable faultstring
+  std::string detail;  // optional application detail (string form)
+};
+
+class SoapEnvelope {
+ public:
+  /// A fresh envelope with an empty Body and no Header.
+  SoapEnvelope();
+
+  /// Wrap an existing document; validates that the root is soap:Envelope
+  /// with a soap:Body. Throws DecodeError otherwise.
+  explicit SoapEnvelope(xdm::DocumentPtr doc);
+
+  /// Envelope whose Body holds `payload` as its single child.
+  static SoapEnvelope wrap(xdm::NodePtr payload);
+
+  /// Envelope whose Body is a soap:Fault.
+  static SoapEnvelope make_fault(const Fault& f);
+
+  SoapEnvelope(SoapEnvelope&&) noexcept = default;
+  SoapEnvelope& operator=(SoapEnvelope&&) noexcept = default;
+  SoapEnvelope(const SoapEnvelope& other);
+  SoapEnvelope& operator=(const SoapEnvelope& other);
+
+  const xdm::Document& document() const { return *doc_; }
+  xdm::Document& document() { return *doc_; }
+  /// Transfer the document out (the envelope becomes invalid).
+  xdm::DocumentPtr take_document() { return std::move(doc_); }
+
+  xdm::Element& envelope();
+  const xdm::Element& envelope() const;
+
+  xdm::Element& body();
+  const xdm::Element& body() const;
+
+  /// The Header element, created on first access (inserted before Body).
+  xdm::Element& header();
+  bool has_header() const;
+
+  /// Append a header block; creates the Header on demand.
+  void add_header_block(xdm::NodePtr block);
+
+  /// First element child of Body (the payload), or nullptr when empty.
+  const xdm::ElementBase* body_payload() const;
+
+  /// Append a payload element to the Body.
+  void set_body_payload(xdm::NodePtr payload);
+
+  bool is_fault() const;
+  /// Parse the Body's soap:Fault; throws Error when is_fault() is false.
+  Fault fault() const;
+
+  /// Throw SoapFaultError when this envelope is a fault (client-side
+  /// convenience after call()).
+  void throw_if_fault() const;
+
+ private:
+  xdm::Element* find_soap_child(std::string_view local);
+  const xdm::Element* find_soap_child(std::string_view local) const;
+
+  xdm::DocumentPtr doc_;
+};
+
+}  // namespace bxsoap::soap

@@ -1,0 +1,63 @@
+#include "soap/security.hpp"
+
+#include "common/hex.hpp"
+#include "common/numeric_text.hpp"
+
+namespace bxsoap::soap {
+
+using namespace bxsoap::xdm;
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+const QName kSignatureName{std::string(kSecurityUri), "Signature", "sec"};
+
+}  // namespace
+
+std::uint64_t BodyDigestSignature::digest_of(const SoapEnvelope& env) const {
+  xml::WriteOptions opt;
+  opt.emit_type_info = true;
+  const std::string canonical = xml::write_xml(env.body(), opt);
+  return fnv1a(canonical, fnv1a(key_, 0));
+}
+
+void BodyDigestSignature::apply(SoapEnvelope& env) const {
+  auto block = make_leaf<std::uint64_t>(kSignatureName, digest_of(env));
+  block->declare_namespace("sec", std::string(kSecurityUri));
+  env.add_header_block(std::move(block));
+}
+
+void BodyDigestSignature::verify(SoapEnvelope& env) const {
+  if (!env.has_header()) {
+    throw SoapFaultError("soap:Client", "missing security header");
+  }
+  const ElementBase* sig = env.header().find_child(kSignatureName);
+  if (sig == nullptr || sig->kind() != NodeKind::kLeafElement) {
+    throw SoapFaultError("soap:Client", "missing security header");
+  }
+  const auto& leaf = static_cast<const LeafElementBase&>(*sig);
+  std::uint64_t claimed = 0;
+  if (leaf.atom_type() == AtomType::kUInt64) {
+    claimed = scalar_get<std::uint64_t>(leaf.scalar());
+  } else {
+    const auto parsed = parse_uint64(trim_xml_ws(leaf.text()));
+    if (!parsed) {
+      throw SoapFaultError("soap:Client", "malformed security header");
+    }
+    claimed = *parsed;
+  }
+  // The header block itself is not part of the signed content.
+  if (claimed != digest_of(env)) {
+    throw SoapFaultError("soap:Client", "body digest mismatch");
+  }
+}
+
+}  // namespace bxsoap::soap

@@ -1,0 +1,63 @@
+// Security policies — the paper's "it will be straightforward to introduce
+// more policies (e.g., a security policy) into the generic engine by just
+// adding more template parameters" made concrete.
+//
+// A security policy sees the envelope right before encoding (apply) and
+// right after decoding (verify). NoSecurity compiles away entirely;
+// BodyDigestSignature adds a WS-Security-shaped header block holding a
+// keyed digest of the body's canonical XML. The digest is FNV-1a — a
+// DEMONSTRATION of the policy hook, not a cryptographic MAC.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+#include "soap/envelope.hpp"
+#include "xml/writer.hpp"
+
+namespace bxsoap::soap {
+
+template <typename S>
+concept SecurityPolicy = requires(const S s, SoapEnvelope& env) {
+  { s.apply(env) } -> std::same_as<void>;
+  { s.verify(env) } -> std::same_as<void>;
+};
+
+/// The default: no security processing at all.
+class NoSecurity {
+ public:
+  void apply(SoapEnvelope&) const {}
+  void verify(SoapEnvelope&) const {}
+};
+
+inline constexpr std::string_view kSecurityUri = "urn:bxsoap:security";
+
+/// Keyed digest over the canonical (typed) XML form of the Body. Because
+/// the digest is computed on the bXDM level's canonical serialization, the
+/// SAME signature verifies whether the message traveled as textual XML or
+/// as BXSA — security composes with either encoding, which is exactly the
+/// layering argument of Figure 1.
+class BodyDigestSignature {
+ public:
+  explicit BodyDigestSignature(std::string shared_key)
+      : key_(std::move(shared_key)) {}
+
+  /// Adds <sec:Signature xmlns:sec="urn:bxsoap:security">hex</sec:Signature>.
+  void apply(SoapEnvelope& env) const;
+
+  /// Recomputes and compares; throws SoapFaultError on mismatch or when the
+  /// header is missing.
+  void verify(SoapEnvelope& env) const;
+
+  /// Exposed for tests.
+  std::uint64_t digest_of(const SoapEnvelope& env) const;
+
+ private:
+  std::string key_;
+};
+
+static_assert(SecurityPolicy<NoSecurity>);
+static_assert(SecurityPolicy<BodyDigestSignature>);
+
+}  // namespace bxsoap::soap

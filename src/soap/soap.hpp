@@ -1,0 +1,10 @@
+// Umbrella header for the generic SOAP library.
+#pragma once
+
+#include "soap/addressing.hpp"  // IWYU pragma: export
+#include "soap/any_engine.hpp"  // IWYU pragma: export
+#include "soap/binding.hpp"     // IWYU pragma: export
+#include "soap/encoding.hpp"    // IWYU pragma: export
+#include "soap/engine.hpp"      // IWYU pragma: export
+#include "soap/envelope.hpp"    // IWYU pragma: export
+#include "soap/security.hpp"    // IWYU pragma: export

@@ -1,0 +1,247 @@
+// The two transport bindings from the paper, as BindingPolicy models.
+//
+//   * TcpClientBinding / TcpServerBinding — "just dump the serialization
+//     directly to a TCP connection" (with a small length-prefixed frame so
+//     the receiver can delimit messages).
+//   * HttpClientBinding / HttpServerBinding — "create a HTTP request
+//     message with the serialized SOAP message as payload".
+//
+// Client and server endpoints are distinct types; each still models the
+// full four-expression BindingPolicy concept (the paper defines one concept
+// for both roles), throwing on the operations that make no sense for its
+// role.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "soap/binding.hpp"
+#include "transport/framing.hpp"
+#include "transport/http.hpp"
+#include "transport/socket.hpp"
+
+namespace bxsoap::transport {
+
+/// Client endpoint of SOAP-over-TCP. Keeps one persistent connection
+/// (connect on first use).
+class TcpClientBinding {
+ public:
+  explicit TcpClientBinding(std::uint16_t port) : port_(port) {}
+
+  void send_request(soap::WireMessage m) {
+    ensure_connected();
+    write_frame(stream_, m);
+  }
+  soap::WireMessage receive_response() {
+    if (!stream_.valid()) throw TransportError("not connected");
+    return read_frame(stream_);
+  }
+  soap::WireMessage receive_request() {
+    throw TransportError("receive_request on a client binding");
+  }
+  void send_response(soap::WireMessage) {
+    throw TransportError("send_response on a client binding");
+  }
+
+  void close() { stream_.close(); }
+
+ private:
+  void ensure_connected() {
+    if (!stream_.valid()) {
+      stream_ = TcpStream::connect(port_);
+      stream_.set_no_delay(true);
+    }
+  }
+
+  std::uint16_t port_;
+  TcpStream stream_;
+};
+
+/// Server endpoint of SOAP-over-TCP: accepts one connection at a time and
+/// serves any number of exchanges on it; when the peer disconnects, the
+/// next receive accepts the next client.
+///
+/// Thread-safety contract: one thread drives receive/send; a second thread
+/// may call shutdown() to unblock it. The current connection is held via
+/// shared_ptr under a mutex so shutdown() never races the serving thread's
+/// close-and-reaccept (no touching a closed/reused fd).
+class TcpServerBinding {
+ public:
+  TcpServerBinding() : state_(std::make_shared<State>()) {}
+
+  std::uint16_t port() const noexcept { return state_->listener.port(); }
+
+  soap::WireMessage receive_request() {
+    for (;;) {
+      std::shared_ptr<TcpStream> conn = state_->current_conn();
+      if (conn == nullptr) {
+        auto accepted = std::make_shared<TcpStream>(state_->listener.accept());
+        accepted->set_no_delay(true);
+        state_->set_conn(accepted);
+        conn = std::move(accepted);
+      }
+      try {
+        return read_frame(*conn);
+      } catch (const TransportError&) {
+        // Peer hung up between exchanges; wait for the next client.
+        state_->drop_conn(conn);
+      }
+    }
+  }
+  void send_response(soap::WireMessage m) {
+    std::shared_ptr<TcpStream> conn = state_->current_conn();
+    if (conn == nullptr) throw TransportError("no client connected");
+    write_frame(*conn, m);
+  }
+  void send_request(soap::WireMessage) {
+    throw TransportError("send_request on a server binding");
+  }
+  soap::WireMessage receive_response() {
+    throw TransportError("receive_response on a server binding");
+  }
+
+  /// Unblock a pending accept or read (server shutdown). Safe to call from
+  /// another thread.
+  void shutdown() {
+    state_->listener.shutdown();
+    if (auto conn = state_->current_conn()) conn->shutdown_both();
+  }
+
+ private:
+  struct State {
+    TcpListener listener{0};
+    std::mutex mu;
+    std::shared_ptr<TcpStream> conn;
+
+    std::shared_ptr<TcpStream> current_conn() {
+      std::lock_guard lock(mu);
+      return conn;
+    }
+    void set_conn(std::shared_ptr<TcpStream> c) {
+      std::lock_guard lock(mu);
+      conn = std::move(c);
+    }
+    void drop_conn(const std::shared_ptr<TcpStream>& c) {
+      std::lock_guard lock(mu);
+      if (conn == c) conn.reset();
+    }
+  };
+
+  std::shared_ptr<State> state_;  // shared so the binding is movable
+};
+
+/// Client endpoint of SOAP-over-HTTP: each exchange is one POST.
+class HttpClientBinding {
+ public:
+  explicit HttpClientBinding(std::uint16_t port, std::string target = "/soap")
+      : client_(port), target_(std::move(target)) {}
+
+  void send_request(soap::WireMessage m) {
+    pending_ = client_.post(target_, std::move(m.content_type),
+                            std::move(m.payload));
+  }
+  soap::WireMessage receive_response() {
+    if (!pending_) throw TransportError("no request in flight");
+    HttpResponse resp = std::move(*pending_);
+    pending_.reset();
+    if (!resp.ok() && resp.status != 500) {
+      // 500 carries a SOAP fault body; other statuses are transport errors.
+      throw TransportError("HTTP status " + std::to_string(resp.status));
+    }
+    soap::WireMessage m;
+    m.content_type = resp.headers.get("Content-Type").value_or("");
+    m.payload = std::move(resp.body);
+    return m;
+  }
+  soap::WireMessage receive_request() {
+    throw TransportError("receive_request on a client binding");
+  }
+  void send_response(soap::WireMessage) {
+    throw TransportError("send_response on a client binding");
+  }
+
+ private:
+  HttpClient client_;
+  std::string target_;
+  std::optional<HttpResponse> pending_;
+};
+
+/// Server endpoint of SOAP-over-HTTP: accept -> parse POST -> respond ->
+/// close, one exchange per connection (Connection: close semantics).
+/// Same threading contract as TcpServerBinding.
+class HttpServerBinding {
+ public:
+  HttpServerBinding() : state_(std::make_shared<State>()) {}
+
+  std::uint16_t port() const noexcept { return state_->listener.port(); }
+
+  soap::WireMessage receive_request() {
+    auto conn = std::make_shared<TcpStream>(state_->listener.accept());
+    conn->set_no_delay(true);
+    state_->set_conn(conn);
+    HttpRequest req = read_http_request(*conn);
+    if (req.method != "POST") {
+      HttpResponse resp;
+      resp.status = 405;
+      resp.reason = "Method Not Allowed";
+      write_http_response(*conn, resp);
+      state_->drop_conn(conn);
+      throw TransportError("non-POST request on SOAP endpoint");
+    }
+    soap::WireMessage m;
+    m.content_type = req.headers.get("Content-Type").value_or("");
+    m.payload = std::move(req.body);
+    return m;
+  }
+  void send_response(soap::WireMessage m) {
+    std::shared_ptr<TcpStream> conn = state_->current_conn();
+    if (conn == nullptr) throw TransportError("no request in flight");
+    HttpResponse resp;
+    resp.headers.set("Content-Type", std::move(m.content_type));
+    resp.body = std::move(m.payload);
+    write_http_response(*conn, resp);
+    state_->drop_conn(conn);
+  }
+  void send_request(soap::WireMessage) {
+    throw TransportError("send_request on a server binding");
+  }
+  soap::WireMessage receive_response() {
+    throw TransportError("receive_response on a server binding");
+  }
+
+  void shutdown() {
+    state_->listener.shutdown();
+    if (auto conn = state_->current_conn()) conn->shutdown_both();
+  }
+
+ private:
+  struct State {
+    TcpListener listener{0};
+    std::mutex mu;
+    std::shared_ptr<TcpStream> conn;
+
+    std::shared_ptr<TcpStream> current_conn() {
+      std::lock_guard lock(mu);
+      return conn;
+    }
+    void set_conn(std::shared_ptr<TcpStream> c) {
+      std::lock_guard lock(mu);
+      conn = std::move(c);
+    }
+    void drop_conn(const std::shared_ptr<TcpStream>& c) {
+      std::lock_guard lock(mu);
+      if (conn == c) conn.reset();
+    }
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+static_assert(soap::BindingPolicy<TcpClientBinding>);
+static_assert(soap::BindingPolicy<TcpServerBinding>);
+static_assert(soap::BindingPolicy<HttpClientBinding>);
+static_assert(soap::BindingPolicy<HttpServerBinding>);
+
+}  // namespace bxsoap::transport

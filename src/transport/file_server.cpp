@@ -1,0 +1,75 @@
+#include "transport/file_server.hpp"
+
+#include <fstream>
+
+#include "common/numeric_text.hpp"
+
+namespace bxsoap::transport {
+
+HttpFileServer::HttpFileServer(std::filesystem::path root)
+    : root_(std::move(root)) {
+  server_.start([this](const HttpRequest& req) { return handle(req); });
+}
+
+std::string HttpFileServer::url_for(std::string_view relative) const {
+  return "http://127.0.0.1:" + std::to_string(port()) + "/" +
+         std::string(relative);
+}
+
+HttpResponse HttpFileServer::handle(const HttpRequest& req) const {
+  HttpResponse resp;
+  if (req.method != "GET") {
+    resp.status = 405;
+    resp.reason = "Method Not Allowed";
+    return resp;
+  }
+  // Normalize and confine the path to the served root.
+  std::string rel = req.target;
+  if (!rel.empty() && rel.front() == '/') rel.erase(0, 1);
+  if (rel.find("..") != std::string::npos || rel.empty()) {
+    resp.status = 403;
+    resp.reason = "Forbidden";
+    return resp;
+  }
+  const std::filesystem::path full = root_ / rel;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) {
+    resp.status = 404;
+    resp.reason = "Not Found";
+    return resp;
+  }
+  resp.body.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  resp.headers.set("Content-Type", "application/octet-stream");
+  return resp;
+}
+
+ParsedUrl parse_loopback_url(std::string_view url) {
+  constexpr std::string_view kPrefix = "http://127.0.0.1:";
+  if (!url.starts_with(kPrefix)) {
+    throw TransportError("only http://127.0.0.1:PORT/... URLs are supported");
+  }
+  url.remove_prefix(kPrefix.size());
+  const std::size_t slash = url.find('/');
+  if (slash == std::string_view::npos) {
+    throw TransportError("URL has no path");
+  }
+  const auto port = parse_uint64(url.substr(0, slash));
+  if (!port || *port == 0 || *port > 65535) {
+    throw TransportError("bad port in URL");
+  }
+  return {static_cast<std::uint16_t>(*port), std::string(url.substr(slash))};
+}
+
+std::vector<std::uint8_t> http_fetch(std::string_view url) {
+  const ParsedUrl parsed = parse_loopback_url(url);
+  HttpClient client(parsed.port);
+  HttpResponse resp = client.get(parsed.path);
+  if (!resp.ok()) {
+    throw TransportError("GET " + std::string(url) + " -> " +
+                         std::to_string(resp.status));
+  }
+  return std::move(resp.body);
+}
+
+}  // namespace bxsoap::transport

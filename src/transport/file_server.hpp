@@ -1,0 +1,49 @@
+// HTTP file server — the separated scheme's data channel (the paper's
+// "the data can be saved as a netCDF file which is accessible via HTTP").
+//
+// Serves GET requests from a directory on disk, mirroring the Apache-style
+// deployment in the paper's testbed: the client WRITES the netCDF file to
+// the served directory, sends the URL in the SOAP control message, and the
+// verification server PULLS it from here.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "transport/http.hpp"
+
+namespace bxsoap::transport {
+
+class HttpFileServer {
+ public:
+  /// Serve files under `root`. Starts immediately on a background thread.
+  explicit HttpFileServer(std::filesystem::path root);
+  ~HttpFileServer() { stop(); }
+
+  std::uint16_t port() const noexcept { return server_.port(); }
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// URL for a file relative to the root, e.g. url_for("run42.nc").
+  std::string url_for(std::string_view relative) const;
+
+  void stop() { server_.stop(); }
+
+ private:
+  HttpResponse handle(const HttpRequest& req) const;
+
+  std::filesystem::path root_;
+  HttpServer server_;
+};
+
+/// Split "http://127.0.0.1:PORT/path" into port and path; throws
+/// TransportError on anything else (only loopback URLs are supported).
+struct ParsedUrl {
+  std::uint16_t port;
+  std::string path;
+};
+ParsedUrl parse_loopback_url(std::string_view url);
+
+/// Convenience GET: fetch a loopback URL, throw on non-200.
+std::vector<std::uint8_t> http_fetch(std::string_view url);
+
+}  // namespace bxsoap::transport

@@ -1,0 +1,55 @@
+#include "transport/framing.hpp"
+
+#include "common/buffer.hpp"
+#include "common/vls.hpp"
+
+namespace bxsoap::transport {
+
+void write_frame(TcpStream& stream, const soap::WireMessage& m) {
+  ByteWriter header;
+  header.write_bytes(kFrameMagic, sizeof(kFrameMagic));
+  header.write_u8(kFrameVersion);
+  vls_write(header, m.content_type.size());
+  header.write_string(m.content_type);
+  header.write<std::uint64_t>(m.payload.size(), ByteOrder::kBig);
+  stream.write_all(header.bytes());
+  stream.write_all(m.payload);
+}
+
+soap::WireMessage read_frame(TcpStream& stream) {
+  std::uint8_t fixed[5];
+  stream.read_exact(fixed, sizeof(fixed));
+  if (std::memcmp(fixed, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw TransportError("bad frame magic");
+  }
+  if (fixed[4] != kFrameVersion) {
+    throw TransportError("unsupported frame version " +
+                         std::to_string(fixed[4]));
+  }
+  // Content-type length: VLS, read byte by byte off the stream.
+  std::uint64_t ct_len = 0;
+  int shift = 0;
+  for (std::size_t i = 0; i < kMaxVlsBytes; ++i) {
+    std::uint8_t b;
+    stream.read_exact(&b, 1);
+    ct_len |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+    if (i + 1 == kMaxVlsBytes) throw TransportError("malformed frame VLS");
+  }
+  if (ct_len > 1024) throw TransportError("content type unreasonably long");
+  soap::WireMessage m;
+  const auto ct = stream.read_exact(static_cast<std::size_t>(ct_len));
+  m.content_type.assign(reinterpret_cast<const char*>(ct.data()), ct.size());
+
+  std::uint8_t len_be[8];
+  stream.read_exact(len_be, 8);
+  const std::uint64_t payload_len = load<std::uint64_t>(len_be, ByteOrder::kBig);
+  if (payload_len > (1ull << 33)) {
+    throw TransportError("frame payload larger than 8 GiB refused");
+  }
+  m.payload = stream.read_exact(static_cast<std::size_t>(payload_len));
+  return m;
+}
+
+}  // namespace bxsoap::transport

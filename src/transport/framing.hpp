@@ -1,0 +1,31 @@
+// SOAP-over-raw-TCP message framing.
+//
+// The paper's TCP binding "will just dump the serialization directly to a
+// TCP connection"; a receiver still needs to know where one message ends,
+// so we put a minimal frame around each message:
+//
+//   magic   "BXTP"            4 bytes
+//   version u8                (1)
+//   ctype   VLS len + bytes   content type declared by the encoding policy
+//   length  u64 big-endian    payload byte count
+//   payload
+#pragma once
+
+#include <cstdint>
+
+#include "soap/binding.hpp"
+#include "transport/socket.hpp"
+
+namespace bxsoap::transport {
+
+inline constexpr char kFrameMagic[4] = {'B', 'X', 'T', 'P'};
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+/// Write one framed message to the stream.
+void write_frame(TcpStream& stream, const soap::WireMessage& m);
+
+/// Read one framed message; throws TransportError on malformed frames or a
+/// closed connection.
+soap::WireMessage read_frame(TcpStream& stream);
+
+}  // namespace bxsoap::transport

@@ -1,0 +1,220 @@
+#include "transport/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/numeric_text.hpp"
+
+namespace bxsoap::transport {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 1ull << 31;  // 2 GiB
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parse "Name: value" lines between the start line and the blank line.
+HttpHeaders parse_header_lines(std::string_view block) {
+  HttpHeaders headers;
+  std::size_t pos = 0;
+  while (pos < block.size()) {
+    const std::size_t eol = block.find("\r\n", pos);
+    if (eol == std::string_view::npos) break;
+    const std::string_view line = block.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      throw TransportError("malformed HTTP header line");
+    }
+    std::string_view name = line.substr(0, colon);
+    std::string_view value = trim_xml_ws(line.substr(colon + 1));
+    headers.set(std::string(name), std::string(value));
+  }
+  return headers;
+}
+
+std::vector<std::uint8_t> read_body(TcpStream& stream,
+                                    const HttpHeaders& headers) {
+  const auto cl = headers.get("Content-Length");
+  if (!cl) return {};
+  const auto n = parse_uint64(*cl);
+  if (!n || *n > kMaxBodyBytes) {
+    throw TransportError("bad Content-Length");
+  }
+  return stream.read_exact(static_cast<std::size_t>(*n));
+}
+
+}  // namespace
+
+void HttpHeaders::set(std::string name, std::string value) {
+  entries.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string> HttpHeaders::get(std::string_view name) const {
+  for (const auto& [n, v] : entries) {
+    if (iequals(n, name)) return v;
+  }
+  return std::nullopt;
+}
+
+void write_http_request(TcpStream& stream, const HttpRequest& req) {
+  std::string head = req.method + " " + req.target + " HTTP/1.1\r\n";
+  head += "Host: 127.0.0.1\r\n";
+  head += "Connection: close\r\n";
+  head += "Content-Length: " + std::to_string(req.body.size()) + "\r\n";
+  for (const auto& [n, v] : req.headers.entries) {
+    head += n + ": " + v + "\r\n";
+  }
+  head += "\r\n";
+  stream.write_all(head);
+  stream.write_all(req.body);
+}
+
+void write_http_response(TcpStream& stream, const HttpResponse& resp) {
+  std::string head =
+      "HTTP/1.1 " + std::to_string(resp.status) + " " + resp.reason + "\r\n";
+  head += "Connection: close\r\n";
+  head += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  for (const auto& [n, v] : resp.headers.entries) {
+    head += n + ": " + v + "\r\n";
+  }
+  head += "\r\n";
+  stream.write_all(head);
+  stream.write_all(resp.body);
+}
+
+HttpRequest read_http_request(TcpStream& stream) {
+  const std::string block = stream.read_until("\r\n\r\n", kMaxHeaderBytes);
+  const std::size_t line_end = block.find("\r\n");
+  const std::string_view start_line =
+      std::string_view(block).substr(0, line_end);
+
+  HttpRequest req;
+  const std::size_t sp1 = start_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : start_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    throw TransportError("malformed HTTP request line");
+  }
+  req.method = std::string(start_line.substr(0, sp1));
+  req.target = std::string(start_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = start_line.substr(sp2 + 1);
+  if (!version.starts_with("HTTP/1.")) {
+    throw TransportError("unsupported HTTP version");
+  }
+  req.headers =
+      parse_header_lines(std::string_view(block).substr(line_end + 2));
+  req.body = read_body(stream, req.headers);
+  return req;
+}
+
+HttpResponse read_http_response(TcpStream& stream) {
+  const std::string block = stream.read_until("\r\n\r\n", kMaxHeaderBytes);
+  const std::size_t line_end = block.find("\r\n");
+  const std::string_view start_line =
+      std::string_view(block).substr(0, line_end);
+
+  HttpResponse resp;
+  if (!start_line.starts_with("HTTP/1.")) {
+    throw TransportError("malformed HTTP status line");
+  }
+  const std::size_t sp1 = start_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : start_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos) {
+    throw TransportError("malformed HTTP status line");
+  }
+  const std::string_view code =
+      start_line.substr(sp1 + 1, sp2 == std::string_view::npos
+                                     ? std::string_view::npos
+                                     : sp2 - sp1 - 1);
+  const auto status = parse_uint64(code);
+  if (!status || *status < 100 || *status > 599) {
+    throw TransportError("bad HTTP status code");
+  }
+  resp.status = static_cast<int>(*status);
+  resp.reason = sp2 == std::string_view::npos
+                    ? ""
+                    : std::string(start_line.substr(sp2 + 1));
+  resp.headers =
+      parse_header_lines(std::string_view(block).substr(line_end + 2));
+  resp.body = read_body(stream, resp.headers);
+  return resp;
+}
+
+HttpResponse HttpClient::get(std::string target) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = std::move(target);
+  return send(std::move(req));
+}
+
+HttpResponse HttpClient::post(std::string target, std::string content_type,
+                              std::vector<std::uint8_t> body) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = std::move(target);
+  req.headers.set("Content-Type", std::move(content_type));
+  req.body = std::move(body);
+  return send(std::move(req));
+}
+
+HttpResponse HttpClient::send(HttpRequest req) {
+  TcpStream stream = TcpStream::connect(port_);
+  stream.set_no_delay(true);
+  write_http_request(stream, req);
+  return read_http_response(stream);
+}
+
+void HttpServer::start(Handler handler) {
+  handler_ = std::move(handler);
+  thread_ = std::thread([this] { run(); });
+}
+
+void HttpServer::stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true);
+  listener_.shutdown();
+  thread_.join();
+  listener_.close();
+}
+
+void HttpServer::run() {
+  while (!stopping_.load()) {
+    TcpStream conn;
+    try {
+      conn = listener_.accept();
+    } catch (const TransportError&) {
+      break;  // listener shut down
+    }
+    try {
+      conn.set_no_delay(true);
+      const HttpRequest req = read_http_request(conn);
+      HttpResponse resp;
+      try {
+        resp = handler_(req);
+      } catch (const std::exception& e) {
+        resp.status = 500;
+        resp.reason = "Internal Server Error";
+        const std::string msg = e.what();
+        resp.body.assign(msg.begin(), msg.end());
+      }
+      write_http_response(conn, resp);
+    } catch (const TransportError&) {
+      // A broken client connection must not kill the server loop.
+    }
+  }
+}
+
+}  // namespace bxsoap::transport

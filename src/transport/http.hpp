@@ -1,0 +1,92 @@
+// Minimal HTTP/1.1 — both the SOAP binding channel and the separated
+// scheme's data channel (the paper's Apache + libcurl stand-in).
+//
+// Scope: request/response with Content-Length bodies, case-insensitive
+// header lookup, Connection: close semantics (one exchange per connection,
+// as HTTP/1.0-style SOAP stacks of the era behaved). No chunked encoding,
+// no TLS, no pipelining — none of which the paper's experiments exercise.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/socket.hpp"
+
+namespace bxsoap::transport {
+
+struct HttpHeaders {
+  std::vector<std::pair<std::string, std::string>> entries;
+
+  void set(std::string name, std::string value);
+  /// Case-insensitive lookup of the first matching header.
+  std::optional<std::string> get(std::string_view name) const;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  HttpHeaders headers;
+  std::vector<std::uint8_t> body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  HttpHeaders headers;
+  std::vector<std::uint8_t> body;
+
+  bool ok() const noexcept { return status >= 200 && status < 300; }
+};
+
+/// Serialize / parse over a TcpStream.
+void write_http_request(TcpStream& stream, const HttpRequest& req);
+void write_http_response(TcpStream& stream, const HttpResponse& resp);
+HttpRequest read_http_request(TcpStream& stream);
+HttpResponse read_http_response(TcpStream& stream);
+
+/// One-connection-per-request client.
+class HttpClient {
+ public:
+  explicit HttpClient(std::uint16_t port) : port_(port) {}
+
+  HttpResponse get(std::string target);
+  HttpResponse post(std::string target, std::string content_type,
+                    std::vector<std::uint8_t> body);
+  HttpResponse send(HttpRequest req);
+
+ private:
+  std::uint16_t port_;
+};
+
+/// Threaded accept-loop server: one handler invocation per connection.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() : listener_(0) {}
+  ~HttpServer() { stop(); }
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Start serving on a background thread. Handler exceptions become 500s.
+  void start(Handler handler);
+
+  /// Stop accepting, join the thread. Idempotent.
+  void stop();
+
+ private:
+  void run();
+
+  TcpListener listener_;
+  Handler handler_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace bxsoap::transport

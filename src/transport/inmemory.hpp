@@ -1,0 +1,112 @@
+// In-process duplex channel — a BindingPolicy model with no sockets at all.
+//
+// Useful for unit tests (no ports, no threads needed when client and server
+// alternate) and for the engine ablation benchmark, where transport cost
+// must be near zero so policy dispatch overhead is visible.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "soap/binding.hpp"
+
+namespace bxsoap::transport {
+
+namespace detail {
+
+class MessageQueue {
+ public:
+  void push(soap::WireMessage m) {
+    {
+      std::lock_guard lock(mu_);
+      q_.push_back(std::move(m));
+    }
+    cv_.notify_one();
+  }
+
+  soap::WireMessage pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return !q_.empty() || closed_; });
+    if (q_.empty()) throw TransportError("in-memory channel closed");
+    soap::WireMessage m = std::move(q_.front());
+    q_.pop_front();
+    return m;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<soap::WireMessage> q_;
+  bool closed_ = false;
+};
+
+struct Channel {
+  MessageQueue to_server;
+  MessageQueue to_client;
+};
+
+}  // namespace detail
+
+/// One endpoint of an in-memory conversation. Copyable (shares the
+/// channel); create connected pairs with make_pair().
+class InMemoryBinding {
+ public:
+  enum class Side { kClient, kServer };
+
+  static std::pair<InMemoryBinding, InMemoryBinding> make_pair() {
+    auto ch = std::make_shared<detail::Channel>();
+    return {InMemoryBinding(ch, Side::kClient),
+            InMemoryBinding(ch, Side::kServer)};
+  }
+
+  void send_request(soap::WireMessage m) {
+    require(Side::kClient, "send_request");
+    channel_->to_server.push(std::move(m));
+  }
+  soap::WireMessage receive_response() {
+    require(Side::kClient, "receive_response");
+    return channel_->to_client.pop();
+  }
+  soap::WireMessage receive_request() {
+    require(Side::kServer, "receive_request");
+    return channel_->to_server.pop();
+  }
+  void send_response(soap::WireMessage m) {
+    require(Side::kServer, "send_response");
+    channel_->to_client.push(std::move(m));
+  }
+
+  void close() {
+    channel_->to_server.close();
+    channel_->to_client.close();
+  }
+
+ private:
+  InMemoryBinding(std::shared_ptr<detail::Channel> ch, Side side)
+      : channel_(std::move(ch)), side_(side) {}
+
+  void require(Side expected, const char* op) const {
+    if (side_ != expected) {
+      throw TransportError(std::string(op) +
+                           " called on the wrong endpoint side");
+    }
+  }
+
+  std::shared_ptr<detail::Channel> channel_;
+  Side side_;
+};
+
+static_assert(soap::BindingPolicy<InMemoryBinding>);
+
+}  // namespace bxsoap::transport

@@ -1,0 +1,99 @@
+#include "transport/server_pool.hpp"
+
+#include "transport/framing.hpp"
+
+namespace bxsoap::transport {
+
+SoapServerPool::SoapServerPool(std::unique_ptr<soap::AnyEncoding> encoding,
+                               Handler handler)
+    : encoding_(std::move(encoding)),
+      handler_(std::move(handler)),
+      listener_(0) {
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+SoapServerPool::~SoapServerPool() { stop(); }
+
+void SoapServerPool::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    // Wake workers blocked mid-read on live client connections.
+    std::lock_guard lock(conns_mu_);
+    for (TcpStream* c : conns_) c->shutdown_both();
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mu_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+  listener_.close();
+}
+
+void SoapServerPool::accept_loop() {
+  while (!stopping_.load()) {
+    TcpStream conn;
+    try {
+      conn = listener_.accept();
+    } catch (const TransportError&) {
+      break;  // listener shut down
+    }
+    std::lock_guard lock(workers_mu_);
+    workers_.emplace_back(
+        [this, stream = std::move(conn)]() mutable {
+          ++active_;
+          serve_connection(std::move(stream));
+          --active_;
+        });
+  }
+}
+
+void SoapServerPool::serve_connection(TcpStream stream) {
+  {
+    std::lock_guard lock(conns_mu_);
+    conns_.push_back(&stream);
+  }
+  struct Unregister {
+    SoapServerPool* pool;
+    TcpStream* stream;
+    ~Unregister() {
+      std::lock_guard lock(pool->conns_mu_);
+      std::erase(pool->conns_, stream);
+    }
+  } unregister{this, &stream};
+
+  try {
+    stream.set_no_delay(true);
+    // Serve exchanges until the peer hangs up.
+    for (;;) {
+      soap::WireMessage raw = read_frame(stream);
+      soap::SoapEnvelope response = [&]() -> soap::SoapEnvelope {
+        try {
+          soap::SoapEnvelope request(encoding_->deserialize(raw.payload));
+          return handler_(std::move(request));
+        } catch (const SoapFaultError& e) {
+          return soap::SoapEnvelope::make_fault({e.code(), e.reason(), ""});
+        } catch (const std::exception& e) {
+          return soap::SoapEnvelope::make_fault(
+              {"soap:Server", e.what(), ""});
+        }
+      }();
+      soap::WireMessage out;
+      out.content_type = encoding_->content_type();
+      out.payload = encoding_->serialize(response.document());
+      // Count before the reply bytes leave: a client that has its response
+      // must observe the exchange as recorded.
+      ++exchanges_;
+      write_frame(stream, out);
+    }
+  } catch (const TransportError&) {
+    // Peer disconnected (normal end of conversation) or stop() shut the
+    // socket down; either way this worker is done.
+  }
+}
+
+}  // namespace bxsoap::transport

@@ -1,0 +1,195 @@
+#include "transport/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bxsoap::transport {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+TcpStream TcpStream::connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+  const sockaddr_in addr = loopback(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw_errno("connect to 127.0.0.1:" + std::to_string(port));
+  return TcpStream(std::move(sock));
+}
+
+void TcpStream::write_all(std::span<const std::uint8_t> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(sock_.fd(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::write_all(std::string_view s) {
+  write_all(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+std::size_t TcpStream::read_some(std::uint8_t* out, std::size_t n) {
+  if (!pushback_.empty()) {
+    const std::size_t take = std::min(n, pushback_.size());
+    std::memcpy(out, pushback_.data(), take);
+    pushback_.erase(0, take);
+    return take;
+  }
+  ssize_t r;
+  do {
+    r = ::recv(sock_.fd(), out, n, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw TransportError("read timed out");
+    }
+    throw_errno("recv");
+  }
+  return static_cast<std::size_t>(r);
+}
+
+void TcpStream::read_exact(std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t r = read_some(out + got, n - got);
+    if (r == 0) {
+      throw TransportError("connection closed mid-message (got " +
+                           std::to_string(got) + " of " + std::to_string(n) +
+                           " bytes)");
+    }
+    got += r;
+  }
+}
+
+std::vector<std::uint8_t> TcpStream::read_exact(std::size_t n) {
+  std::vector<std::uint8_t> buf(n);
+  read_exact(buf.data(), n);
+  return buf;
+}
+
+std::string TcpStream::read_until(std::string_view delimiter,
+                                  std::size_t max_bytes) {
+  std::string buf;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const auto found = buf.find(delimiter);
+    if (found != std::string::npos) {
+      const std::size_t keep = found + delimiter.size();
+      // Anything past the delimiter belongs to the next read.
+      pushback_.insert(0, buf.substr(keep));
+      buf.resize(keep);
+      return buf;
+    }
+    if (buf.size() >= max_bytes) {
+      throw TransportError("delimiter not found within " +
+                           std::to_string(max_bytes) + " bytes");
+    }
+    const std::size_t r = read_some(chunk, sizeof(chunk));
+    if (r == 0) {
+      throw TransportError("connection closed while waiting for delimiter");
+    }
+    buf.append(reinterpret_cast<const char*>(chunk), r);
+  }
+}
+
+void TcpStream::set_read_timeout(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  if (::setsockopt(sock_.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) <
+      0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+void TcpStream::set_no_delay(bool on) {
+  const int flag = on ? 1 : 0;
+  if (::setsockopt(sock_.fd(), IPPROTO_TCP, TCP_NODELAY, &flag,
+                   sizeof(flag)) < 0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sock_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw_errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) < 0) throw_errno("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpStream TcpListener::accept() {
+  int fd;
+  do {
+    fd = ::accept(sock_.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) throw_errno("accept");
+  return TcpStream(Socket(fd));
+}
+
+}  // namespace bxsoap::transport

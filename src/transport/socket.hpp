@@ -1,0 +1,106 @@
+// RAII TCP sockets over IPv4 loopback (the engine's real-network substrate).
+//
+// Deliberately small: connect/accept/read/write with EINTR handling and
+// whole-buffer semantics. Everything the SOAP bindings, the HTTP layer and
+// the GridFTP-like striped transfer need — and nothing else.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bxsoap::transport {
+
+/// Transport failures reuse the shared error hierarchy; the alias lets
+/// callers write transport::TransportError at the point of use.
+using bxsoap::TransportError;
+
+/// Owns a file descriptor; closes on destruction. Movable, not copyable.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  /// Shut down both directions (unblocks a peer's read and our own).
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(Socket s) : sock_(std::move(s)) {}
+
+  /// Connect to 127.0.0.1:port (throws TransportError on failure).
+  static TcpStream connect(std::uint16_t port);
+
+  bool valid() const noexcept { return sock_.valid(); }
+  void close() noexcept { sock_.close(); }
+  void shutdown_both() noexcept { sock_.shutdown_both(); }
+
+  /// Write the whole buffer; throws TransportError on error/peer close.
+  void write_all(std::span<const std::uint8_t> data);
+  void write_all(std::string_view s);
+
+  /// Read exactly n bytes; throws TransportError on EOF/error.
+  std::vector<std::uint8_t> read_exact(std::size_t n);
+  void read_exact(std::uint8_t* out, std::size_t n);
+
+  /// Read at most n bytes (one recv); 0 = orderly EOF.
+  std::size_t read_some(std::uint8_t* out, std::size_t n);
+
+  /// Read until the delimiter appears (inclusive) or max_bytes is hit;
+  /// returns everything read. Used by the HTTP header parser.
+  std::string read_until(std::string_view delimiter, std::size_t max_bytes);
+
+  /// Disable Nagle (small-message latency, as any SOAP stack would).
+  void set_no_delay(bool on);
+
+  /// Bound every read: after `ms` milliseconds without data, reads throw
+  /// TransportError instead of blocking forever (0 = no timeout). Guards
+  /// servers against stalled or malicious peers.
+  void set_read_timeout(int ms);
+
+ private:
+  Socket sock_;
+  std::string pushback_;  // bytes read past a delimiter, served first
+};
+
+/// A listening socket on 127.0.0.1 (port 0 = kernel-assigned).
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0, int backlog = 64);
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks until a client connects; throws TransportError when the
+  /// listener has been shut down (the server-stop path).
+  TcpStream accept();
+
+  /// Unblock any pending accept() and refuse new connections.
+  void shutdown() noexcept { sock_.shutdown_both(); }
+  void close() noexcept { sock_.close(); }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace bxsoap::transport

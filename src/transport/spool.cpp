@@ -1,0 +1,73 @@
+#include "transport/spool.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "common/buffer.hpp"
+#include "common/vls.hpp"
+
+namespace bxsoap::transport {
+
+namespace {
+
+std::string file_name(const char* kind, std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s-%06llu.msg", kind,
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+}  // namespace
+
+void SpoolBinding::deliver(const char* kind, std::uint64_t seq,
+                           const soap::WireMessage& m) const {
+  // Message file: VLS content-type length + bytes, then the payload.
+  ByteWriter w;
+  vls_write(w, m.content_type.size());
+  w.write_string(m.content_type);
+  w.write_bytes(m.payload.data(), m.payload.size());
+
+  const auto final_path = dir_ / file_name(kind, seq);
+  const auto tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw TransportError("spool: cannot create " + tmp_path);
+    out.write(reinterpret_cast<const char*>(w.bytes().data()),
+              static_cast<std::streamsize>(w.size()));
+  }
+  std::filesystem::rename(tmp_path, final_path);
+}
+
+soap::WireMessage SpoolBinding::collect(const char* kind,
+                                        std::uint64_t seq) const {
+  const auto path = dir_ / file_name(kind, seq);
+  // Poll: the spool is asynchronous by design (SMTP-like). A generous
+  // deadline keeps a lost peer from hanging tests forever.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!std::filesystem::exists(path)) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw TransportError("spool: timed out waiting for " + path.string());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TransportError("spool: cannot open " + path.string());
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  in.close();
+  std::filesystem::remove(path);
+
+  ByteReader r(bytes.data(), bytes.size());
+  const std::uint64_t ct_len = vls_read(r);
+  if (ct_len > 1024) throw TransportError("spool: malformed message file");
+  soap::WireMessage m;
+  m.content_type = r.read_string(static_cast<std::size_t>(ct_len));
+  const auto rest = r.read_bytes(r.remaining());
+  m.payload.assign(rest.begin(), rest.end());
+  return m;
+}
+
+}  // namespace bxsoap::transport

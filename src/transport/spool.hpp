@@ -1,0 +1,66 @@
+// SpoolBinding — a store-and-forward binding policy over a shared
+// directory, in the spirit of the paper's "transport protocols (e.g., SMTP
+// or TCP) can be used if appropriate": like SMTP, delivery is asynchronous
+// through a mailbox, not a live connection.
+//
+// Requests are dropped into <dir>/req-NNNNNN.msg, responses into
+// <dir>/rsp-NNNNNN.msg; receivers poll for the lowest outstanding sequence
+// number. Files are written to a .tmp name and renamed so readers never see
+// partial messages. One client/server pair per directory.
+#pragma once
+
+#include <filesystem>
+
+#include "soap/binding.hpp"
+#include "transport/socket.hpp"  // for transport::TransportError
+
+namespace bxsoap::transport {
+
+class SpoolBinding {
+ public:
+  enum class Side { kClient, kServer };
+
+  SpoolBinding(std::filesystem::path dir, Side side)
+      : dir_(std::move(dir)), side_(side) {
+    std::filesystem::create_directories(dir_);
+  }
+
+  void send_request(soap::WireMessage m) {
+    require(Side::kClient, "send_request");
+    deliver("req", send_seq_++, m);
+  }
+  soap::WireMessage receive_response() {
+    require(Side::kClient, "receive_response");
+    return collect("rsp", recv_seq_++);
+  }
+  soap::WireMessage receive_request() {
+    require(Side::kServer, "receive_request");
+    return collect("req", recv_seq_++);
+  }
+  void send_response(soap::WireMessage m) {
+    require(Side::kServer, "send_response");
+    deliver("rsp", send_seq_++, m);
+  }
+
+  const std::filesystem::path& directory() const noexcept { return dir_; }
+
+ private:
+  void require(Side expected, const char* op) const {
+    if (side_ != expected) {
+      throw TransportError(std::string(op) + " on the wrong spool side");
+    }
+  }
+
+  void deliver(const char* kind, std::uint64_t seq,
+               const soap::WireMessage& m) const;
+  soap::WireMessage collect(const char* kind, std::uint64_t seq) const;
+
+  std::filesystem::path dir_;
+  Side side_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+};
+
+static_assert(soap::BindingPolicy<SpoolBinding>);
+
+}  // namespace bxsoap::transport

@@ -1,0 +1,11 @@
+// Umbrella header for the transport layer.
+#pragma once
+
+#include "transport/bindings.hpp"     // IWYU pragma: export
+#include "transport/file_server.hpp"  // IWYU pragma: export
+#include "transport/framing.hpp"      // IWYU pragma: export
+#include "transport/http.hpp"         // IWYU pragma: export
+#include "transport/inmemory.hpp"     // IWYU pragma: export
+#include "transport/socket.hpp"       // IWYU pragma: export
+#include "transport/spool.hpp"        // IWYU pragma: export
+#include "transport/striped.hpp"      // IWYU pragma: export

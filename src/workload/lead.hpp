@@ -1,0 +1,105 @@
+// The paper's experimental data set (§6): "derived from a sample file used
+// for [the] LEAD project ... consists of two equal-size arrays:
+//   * an array of 4-byte integers as the index and
+//   * an array of double-precision, 8-byte floating point numbers to
+//     represent the dimension values."
+// The array length is the experiment's MODEL SIZE.
+//
+// Our synthetic stand-in: sequential indices and atmospheric-looking values
+// (temperatures in Kelvin, two decimals). The value distribution matters
+// only for the XML size row of Table 1 — two-decimal readings give text
+// lengths comparable to the paper's real LEAD sample, which reported a
+// 99.1% XML size overhead at model size 1000.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "netcdf/netcdf.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::workload {
+
+struct LeadDataset {
+  std::vector<std::int32_t> index;
+  std::vector<double> values;
+
+  std::size_t model_size() const noexcept { return index.size(); }
+  /// Bytes of the native representation: model_size * (4 + 8).
+  std::size_t native_bytes() const noexcept { return index.size() * 12; }
+
+  friend bool operator==(const LeadDataset& a,
+                         const LeadDataset& b) = default;
+};
+
+/// Deterministic generator (same seed, same data on every platform).
+LeadDataset make_lead_dataset(std::size_t model_size,
+                              std::uint64_t seed = 2006);
+
+/// Order-sensitive checksum used by the verification service.
+std::uint64_t dataset_checksum(const LeadDataset& d);
+
+/// bXDM payload element:
+///   <lead:data xmlns:lead="urn:lead"><lead:index .../><lead:values .../>
+xdm::NodePtr to_bxdm(const LeadDataset& d);
+
+/// Inverse of to_bxdm; throws DecodeError when the shape is wrong.
+LeadDataset from_bxdm(const xdm::ElementBase& payload);
+
+/// netCDF classic form: dimension "model", variables "index" (int) and
+/// "values" (double) — the separated scheme's file format.
+netcdf::NcFile to_netcdf(const LeadDataset& d);
+LeadDataset from_netcdf(const netcdf::NcFile& file);
+
+void write_netcdf_file(const LeadDataset& d,
+                       const std::filesystem::path& path);
+LeadDataset read_netcdf_file(const std::filesystem::path& path);
+
+/// The model sizes swept by Figures 5/6: 1365 quadrupling to 5591040
+/// ("the corresponding BXSA serialization size is from 16K bytes to 64M").
+std::vector<std::size_t> figure56_model_sizes();
+
+// ---- the full 4-D shape ---------------------------------------------------------
+//
+// The paper describes the LEAD sample as atmospheric information that
+// "depends on four parameters, namely time, y, x and height"; the
+// experiments flatten it to the two arrays above. GridDataset keeps the
+// 4-D structure so the netCDF substrate is exercised the way a real LEAD
+// file would: four dimensions and 4-D variables.
+
+struct GridDataset {
+  std::uint32_t time = 0, y = 0, x = 0, height = 0;  // dimension lengths
+  // Flattened in C order (time-major): index [t][yy][xx][h].
+  std::vector<std::int32_t> index;
+  std::vector<double> values;
+
+  std::size_t cell_count() const noexcept {
+    return static_cast<std::size_t>(time) * y * x * height;
+  }
+  /// Linear offset of one grid cell.
+  std::size_t offset(std::uint32_t t, std::uint32_t yy, std::uint32_t xx,
+                     std::uint32_t h) const noexcept {
+    return ((static_cast<std::size_t>(t) * y + yy) * x + xx) * height + h;
+  }
+
+  friend bool operator==(const GridDataset&, const GridDataset&) = default;
+};
+
+GridDataset make_grid_dataset(std::uint32_t time, std::uint32_t y,
+                              std::uint32_t x, std::uint32_t height,
+                              std::uint64_t seed = 2006);
+
+/// netCDF form with the four real dimensions and two 4-D variables.
+netcdf::NcFile grid_to_netcdf(const GridDataset& d);
+GridDataset grid_from_netcdf(const netcdf::NcFile& file);
+
+/// bXDM form: the grid shape travels as typed attributes on the payload
+/// element; the data as packed arrays (flattened, like the wire always is).
+xdm::NodePtr grid_to_bxdm(const GridDataset& d);
+GridDataset grid_from_bxdm(const xdm::ElementBase& payload);
+
+/// Drop the shape: the flat view the paper's experiments verify.
+LeadDataset flatten(const GridDataset& d);
+
+}  // namespace bxsoap::workload

@@ -1,0 +1,3 @@
+#include "xbs/xbs.hpp"
+
+// Header-only implementation; this TU anchors the library target.

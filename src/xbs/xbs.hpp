@@ -1,0 +1,151 @@
+// XBS — a minimal streaming binary serializer (Chiu, HPC Symposium 2004).
+//
+// The format the paper layers BXSA on. It packs fundamental types into a
+// byte sequence:
+//   * 1-, 2-, 4- and 8-byte integers,
+//   * 4- and 8-byte IEEE-754 floating-point numbers,
+//   * 1-dimensional arrays of the above,
+// in either byte order. Array payloads are aligned to a multiple of the
+// item size *relative to the stream origin*, so a consumer that maps the
+// stream at an aligned address can point native array types directly at the
+// payload (the zero-copy property BXSA's ArrayElement relies on).
+//
+// Alignment padding is explicit zero bytes emitted by the writer and skipped
+// by the reader; both sides derive the padding purely from the current
+// stream offset, so no padding metadata appears on the wire.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/endian.hpp"
+#include "common/vls.hpp"
+
+namespace bxsoap::xbs {
+
+/// Returns the number of pad bytes needed to advance `offset` to the next
+/// multiple of `alignment` (a power of two).
+constexpr std::size_t padding_for(std::size_t offset, std::size_t alignment) {
+  return (alignment - (offset % alignment)) % alignment;
+}
+
+/// Serializes fundamental values into a growing byte stream.
+class Writer {
+ public:
+  explicit Writer(ByteOrder order = host_byte_order()) : order_(order) {}
+
+  ByteOrder order() const noexcept { return order_; }
+  std::size_t offset() const noexcept { return out_.size(); }
+
+  /// Write a scalar without alignment (BXSA stores scalar frame values
+  /// unaligned; only array payloads are aligned).
+  template <typename T>
+  void put_unaligned(T v) {
+    out_.write(v, order_);
+  }
+
+  /// Write a scalar aligned to sizeof(T) from the stream origin.
+  template <typename T>
+  void put(T v) {
+    align_to(sizeof(T));
+    out_.write(v, order_);
+  }
+
+  void put_u8(std::uint8_t v) { out_.write_u8(v); }
+
+  void put_vls(std::uint64_t v) { vls_write(out_, v); }
+
+  void put_raw(std::span<const std::uint8_t> bytes) { out_.write_bytes(bytes); }
+  void put_raw(const void* data, std::size_t n) { out_.write_bytes(data, n); }
+
+  /// VLS length followed by the bytes of `s`.
+  void put_string(std::string_view s) {
+    put_vls(s.size());
+    out_.write_string(s);
+  }
+
+  /// Write a packed 1-D array: pads to alignment sizeof(T), then the items.
+  /// The count is NOT written here; BXSA stores it in the frame header.
+  template <typename T>
+  void put_array(std::span<const T> values) {
+    align_to(sizeof(T));
+    out_.write_array(values, order_);
+  }
+
+  void align_to(std::size_t alignment) {
+    out_.write_padding(padding_for(out_.size(), alignment));
+  }
+
+  std::vector<std::uint8_t> take() { return out_.take(); }
+  std::span<const std::uint8_t> bytes() const { return out_.bytes(); }
+  ByteWriter& raw_writer() { return out_; }
+
+ private:
+  ByteOrder order_;
+  ByteWriter out_;
+};
+
+/// Deserializes values written by Writer. The reader is told the byte order
+/// per value group (BXSA frames may change order frame-to-frame).
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : in_(data) {}
+
+  std::size_t offset() const noexcept { return in_.position(); }
+  std::size_t remaining() const noexcept { return in_.remaining(); }
+  bool at_end() const noexcept { return in_.at_end(); }
+
+  template <typename T>
+  T get_unaligned(ByteOrder order) {
+    return in_.read<T>(order);
+  }
+
+  template <typename T>
+  T get(ByteOrder order) {
+    align_to(sizeof(T));
+    return in_.read<T>(order);
+  }
+
+  std::uint8_t get_u8() { return in_.read_u8(); }
+
+  std::uint64_t get_vls() { return vls_read(in_); }
+
+  std::string get_string() {
+    const auto n = get_vls();
+    return in_.read_string(static_cast<std::size_t>(n));
+  }
+
+  std::span<const std::uint8_t> get_raw(std::size_t n) {
+    return in_.read_bytes(n);
+  }
+
+  template <typename T>
+  std::vector<T> get_array(std::size_t count, ByteOrder order) {
+    align_to(sizeof(T));
+    return in_.read_array<T>(count, order);
+  }
+
+  /// Align and return a non-owning view of the packed payload without
+  /// copying (the memory-mapped-I/O path: valid only while the underlying
+  /// buffer lives, and only byte-order-correct when order == host).
+  template <typename T>
+  std::span<const T> view_array(std::size_t count) {
+    align_to(sizeof(T));
+    auto raw = in_.read_bytes(count * sizeof(T));
+    return {reinterpret_cast<const T*>(raw.data()), count};
+  }
+
+  void align_to(std::size_t alignment) {
+    in_.skip(padding_for(in_.position(), alignment));
+  }
+
+  void skip(std::size_t n) { in_.skip(n); }
+  void seek(std::size_t pos) { in_.seek(pos); }
+
+ private:
+  ByteReader in_;
+};
+
+}  // namespace bxsoap::xbs

@@ -1,0 +1,88 @@
+// Typed convenience accessors over bXDM trees.
+//
+// Application code reading a decoded message wants "the double in <temp>",
+// not a dynamic_cast chain. These helpers return nullopt on any shape
+// mismatch (missing child, wrong node kind, wrong atom type), so callers
+// can distinguish "absent" from "present" without exceptions; use
+// require_* when absence is a protocol violation.
+#pragma once
+
+#include <optional>
+
+#include "xdm/node.hpp"
+
+namespace bxsoap::xdm {
+
+/// Typed value of a LeafElement child with the given local name.
+template <Atomic T>
+std::optional<T> leaf_value(const ElementBase& parent,
+                            std::string_view child_local) {
+  if (parent.kind() != NodeKind::kElement) return std::nullopt;
+  const ElementBase* child =
+      static_cast<const Element&>(parent).find_child(child_local);
+  if (child == nullptr || child->kind() != NodeKind::kLeafElement) {
+    return std::nullopt;
+  }
+  const auto* leaf = dynamic_cast<const LeafElement<T>*>(child);
+  if (leaf == nullptr) return std::nullopt;
+  return leaf->get();
+}
+
+/// Typed values of an ArrayElement child (copies; use array_view for the
+/// zero-copy span).
+template <PackedAtomic T>
+std::optional<std::vector<T>> array_values(const ElementBase& parent,
+                                           std::string_view child_local) {
+  if (parent.kind() != NodeKind::kElement) return std::nullopt;
+  const ElementBase* child =
+      static_cast<const Element&>(parent).find_child(child_local);
+  const auto* arr = dynamic_cast<const ArrayElement<T>*>(child);
+  if (arr == nullptr) return std::nullopt;
+  return arr->values();
+}
+
+/// Zero-copy span over an ArrayElement child (valid while the tree lives).
+template <PackedAtomic T>
+std::optional<std::span<const T>> array_view(const ElementBase& parent,
+                                             std::string_view child_local) {
+  if (parent.kind() != NodeKind::kElement) return std::nullopt;
+  const ElementBase* child =
+      static_cast<const Element&>(parent).find_child(child_local);
+  const auto* arr = dynamic_cast<const ArrayElement<T>*>(child);
+  if (arr == nullptr) return std::nullopt;
+  return arr->view();
+}
+
+/// Typed attribute value.
+template <Atomic T>
+std::optional<T> attr_value(const ElementBase& e, std::string_view local) {
+  const Attribute* a = e.find_attribute(local);
+  if (a == nullptr) return std::nullopt;
+  const T* v = std::get_if<T>(&a->value);
+  if (v == nullptr) return std::nullopt;
+  return *v;
+}
+
+/// Throwing variants for protocol-mandatory fields.
+template <Atomic T>
+T require_leaf(const ElementBase& parent, std::string_view child_local) {
+  auto v = leaf_value<T>(parent, child_local);
+  if (!v) {
+    throw DecodeError("required leaf <" + std::string(child_local) +
+                      "> missing or mistyped under <" + parent.name().local +
+                      ">");
+  }
+  return *v;
+}
+
+template <Atomic T>
+T require_attr(const ElementBase& e, std::string_view local) {
+  auto v = attr_value<T>(e, local);
+  if (!v) {
+    throw DecodeError("required attribute @" + std::string(local) +
+                      " missing or mistyped on <" + e.name().local + ">");
+  }
+  return *v;
+}
+
+}  // namespace bxsoap::xdm

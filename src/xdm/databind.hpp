@@ -1,0 +1,196 @@
+// Compile-time XML databinding — the "XML databinding" box in the paper's
+// Figure 3, in the same generic-programming style as the engine: describe a
+// C++ struct's fields once with member pointers, get bXDM marshalling both
+// ways. Because the mapping targets the DATA MODEL, the same binding works
+// over textual XML and BXSA unchanged.
+//
+//   struct Observation {
+//     std::int32_t station;
+//     double temp;
+//     std::vector<double> samples;
+//   };
+//
+//   inline const auto kObservationBinding =
+//       databind::record<Observation>("urn:wx", "observation", "wx")
+//           .attribute("station", &Observation::station)
+//           .field("temp", &Observation::temp)
+//           .array("samples", &Observation::samples);
+//
+//   auto element = kObservationBinding.to_element(obs);
+//   Observation back = kObservationBinding.from_element(*element);
+//
+// Scalars become LeafElement<T>, vectors of packed atomics become
+// ArrayElement<T>, attribute() fields become typed attributes. Nested
+// records compose with nested().
+#pragma once
+
+#include <tuple>
+
+#include "xdm/access.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::xdm::databind {
+
+namespace detail {
+
+template <typename T, Atomic M>
+struct LeafField {
+  const char* name;
+  M T::* ptr;
+
+  void write(const T& value, Element& out, const QName& ns_template) const {
+    QName q(ns_template.namespace_uri, name, ns_template.prefix);
+    out.add_child(make_leaf<M>(std::move(q), value.*ptr));
+  }
+  void read(T& value, const Element& in) const {
+    auto v = leaf_value<M>(in, name);
+    if (!v) {
+      throw DecodeError(std::string("databind: missing leaf <") + name +
+                        ">");
+    }
+    value.*ptr = std::move(*v);
+  }
+};
+
+template <typename T, PackedAtomic M>
+struct ArrayField {
+  const char* name;
+  std::vector<M> T::* ptr;
+
+  void write(const T& value, Element& out, const QName& ns_template) const {
+    QName q(ns_template.namespace_uri, name, ns_template.prefix);
+    out.add_child(make_array<M>(std::move(q), value.*ptr));
+  }
+  void read(T& value, const Element& in) const {
+    auto v = array_values<M>(in, name);
+    if (!v) {
+      throw DecodeError(std::string("databind: missing array <") + name +
+                        ">");
+    }
+    value.*ptr = std::move(*v);
+  }
+};
+
+template <typename T, Atomic M>
+struct AttributeField {
+  const char* name;
+  M T::* ptr;
+
+  void write(const T& value, Element& out, const QName&) const {
+    out.add_attribute(QName(name), value.*ptr);
+  }
+  void read(T& value, const Element& in) const {
+    auto v = attr_value<M>(in, name);
+    if (!v) {
+      throw DecodeError(std::string("databind: missing attribute @") + name);
+    }
+    value.*ptr = std::move(*v);
+  }
+};
+
+template <typename T, typename M, typename Binding>
+struct NestedField {
+  const char* name;
+  M T::* ptr;
+  Binding binding;
+
+  void write(const T& value, Element& out, const QName&) const {
+    out.add_child(binding.to_element(value.*ptr));
+  }
+  void read(T& value, const Element& in) const {
+    const ElementBase* child = in.find_child(name);
+    if (child == nullptr) {
+      throw DecodeError(std::string("databind: missing record <") + name +
+                        ">");
+    }
+    value.*ptr = binding.from_element(*child);
+  }
+};
+
+}  // namespace detail
+
+/// An immutable description of how T maps to an element; each modifier
+/// returns an extended copy (the builder is usable at namespace scope).
+template <typename T, typename... Fields>
+class Record {
+ public:
+  Record(QName name, std::tuple<Fields...> fields)
+      : name_(std::move(name)), fields_(std::move(fields)) {}
+
+  /// <name>value</name> child holding one typed leaf.
+  template <Atomic M>
+  auto field(const char* name, M T::* ptr) const {
+    return append(detail::LeafField<T, M>{name, ptr});
+  }
+
+  /// Packed array child.
+  template <PackedAtomic M>
+  auto array(const char* name, std::vector<M> T::* ptr) const {
+    return append(detail::ArrayField<T, M>{name, ptr});
+  }
+
+  /// Typed attribute on the record element itself.
+  template <Atomic M>
+  auto attribute(const char* name, M T::* ptr) const {
+    return append(detail::AttributeField<T, M>{name, ptr});
+  }
+
+  /// Nested record child marshalled through another binding. The child
+  /// binding's element name is used for lookup, so `name` must match it.
+  template <typename M, typename Binding>
+  auto nested(const char* name, M T::* ptr, Binding binding) const {
+    return append(
+        detail::NestedField<T, M, Binding>{name, ptr, std::move(binding)});
+  }
+
+  std::unique_ptr<Element> to_element(const T& value) const {
+    auto out = make_element(name_);
+    if (!name_.namespace_uri.empty()) {
+      out->declare_namespace(name_.prefix, name_.namespace_uri);
+    }
+    std::apply(
+        [&](const auto&... fs) { (fs.write(value, *out, name_), ...); },
+        fields_);
+    return out;
+  }
+
+  T from_element(const ElementBase& element) const {
+    if (element.kind() != NodeKind::kElement) {
+      throw DecodeError("databind: record element must be a component "
+                        "element");
+    }
+    if (element.name().local != name_.local ||
+        element.name().namespace_uri != name_.namespace_uri) {
+      throw DecodeError("databind: expected <" + name_.local + ">, got <" +
+                        element.name().local + ">");
+    }
+    T value{};
+    const auto& el = static_cast<const Element&>(element);
+    std::apply([&](const auto&... fs) { (fs.read(value, el), ...); },
+               fields_);
+    return value;
+  }
+
+  const QName& element_name() const noexcept { return name_; }
+
+ private:
+  template <typename F>
+  auto append(F f) const {
+    return Record<T, Fields..., F>(
+        name_, std::tuple_cat(fields_, std::tuple<F>(std::move(f))));
+  }
+
+  QName name_;
+  std::tuple<Fields...> fields_;
+};
+
+/// Start a binding description for T.
+template <typename T>
+Record<T> record(std::string namespace_uri, std::string local,
+                 std::string prefix = {}) {
+  return Record<T>(
+      QName(std::move(namespace_uri), std::move(local), std::move(prefix)),
+      {});
+}
+
+}  // namespace bxsoap::xdm::databind

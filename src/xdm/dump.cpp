@@ -1,0 +1,71 @@
+#include "xdm/dump.hpp"
+
+namespace bxsoap::xdm {
+
+namespace {
+
+void dump_attrs(const ElementBase& e, std::string& out) {
+  for (const auto& a : e.attributes()) {
+    out += " @" + a.name.lexical() + "=" + a.text();
+  }
+}
+
+void dump_node(const Node& n, int depth, std::string& out) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (n.kind()) {
+    case NodeKind::kDocument: {
+      out += "document\n";
+      for (const auto& c : static_cast<const Document&>(n).children()) {
+        dump_node(*c, depth + 1, out);
+      }
+      break;
+    }
+    case NodeKind::kElement: {
+      const auto& e = static_cast<const Element&>(n);
+      out += "element " + e.name().lexical();
+      dump_attrs(e, out);
+      out += "\n";
+      for (const auto& c : e.children()) dump_node(*c, depth + 1, out);
+      break;
+    }
+    case NodeKind::kLeafElement: {
+      const auto& e = static_cast<const LeafElementBase&>(n);
+      out += "leaf(" + std::string(atom_debug_name(e.atom_type())) + ") " +
+             e.name().lexical();
+      dump_attrs(e, out);
+      out += " = ";
+      e.append_text(out);
+      out += "\n";
+      break;
+    }
+    case NodeKind::kArrayElement: {
+      const auto& e = static_cast<const ArrayElementBase&>(n);
+      out += "array(" + std::string(atom_debug_name(e.atom_type())) + ")[" +
+             std::to_string(e.count()) + "] " + e.name().lexical();
+      dump_attrs(e, out);
+      out += "\n";
+      break;
+    }
+    case NodeKind::kText:
+      out += "text \"" + static_cast<const TextNode&>(n).text() + "\"\n";
+      break;
+    case NodeKind::kPI: {
+      const auto& pi = static_cast<const PINode&>(n);
+      out += "pi " + pi.target() + " \"" + pi.data() + "\"\n";
+      break;
+    }
+    case NodeKind::kComment:
+      out += "comment \"" + static_cast<const CommentNode&>(n).text() + "\"\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string dump(const Node& n) {
+  std::string out;
+  dump_node(n, 0, out);
+  return out;
+}
+
+}  // namespace bxsoap::xdm

@@ -1,0 +1,16 @@
+// Human-readable tree dump for diagnostics and test failure messages.
+#pragma once
+
+#include <string>
+
+#include "xdm/node.hpp"
+
+namespace bxsoap::xdm {
+
+/// Multi-line indented rendering of the tree, e.g.
+///   element ns:data
+///     leaf(float64) temperature = 287.5
+///     array(int32)[1000] index
+std::string dump(const Node& n);
+
+}  // namespace bxsoap::xdm

@@ -1,0 +1,177 @@
+#include "xdm/equal.hpp"
+
+#include <sstream>
+
+namespace bxsoap::xdm {
+
+namespace {
+
+struct Differ {
+  const EqualOptions& opt;
+  std::string diff;  // empty = equal so far
+
+  bool fail(const std::string& where, const std::string& why) {
+    if (diff.empty()) diff = where + ": " + why;
+    return false;
+  }
+
+  static bool scalar_equal(const ScalarValue& a, const ScalarValue& b) {
+    // Variant equality: same alternative and equal value. NaN != NaN is
+    // intentional — transcodability of NaN payloads is tested bitwise at
+    // the codec layer, not here.
+    return a == b;
+  }
+
+  bool qname_equal(const std::string& where, const QName& a, const QName& b) {
+    if (a.namespace_uri != b.namespace_uri) {
+      return fail(where, "namespace '" + a.namespace_uri + "' vs '" +
+                             b.namespace_uri + "'");
+    }
+    if (a.local != b.local) {
+      return fail(where, "local name '" + a.local + "' vs '" + b.local + "'");
+    }
+    if (opt.compare_prefixes && a.prefix != b.prefix) {
+      return fail(where, "prefix '" + a.prefix + "' vs '" + b.prefix + "'");
+    }
+    return true;
+  }
+
+  bool element_base_equal(const std::string& where, const ElementBase& a,
+                          const ElementBase& b) {
+    if (!qname_equal(where + "/@name", a.name(), b.name())) return false;
+    if (opt.compare_prefixes && a.namespaces() != b.namespaces()) {
+      return fail(where, "namespace declarations differ");
+    }
+    if (a.attributes().size() != b.attributes().size()) {
+      return fail(where, "attribute count " +
+                             std::to_string(a.attributes().size()) + " vs " +
+                             std::to_string(b.attributes().size()));
+    }
+    for (std::size_t i = 0; i < a.attributes().size(); ++i) {
+      const Attribute& x = a.attributes()[i];
+      const Attribute& y = b.attributes()[i];
+      const std::string aw = where + "/@" + x.name.local;
+      if (!qname_equal(aw, x.name, y.name)) return false;
+      if (!scalar_equal(x.value, y.value)) {
+        return fail(aw, "value '" + x.text() + "' vs '" + y.text() + "'");
+      }
+    }
+    return true;
+  }
+
+  bool node_equal(const std::string& where, const Node& a, const Node& b) {
+    if (a.kind() != b.kind()) {
+      return fail(where, "node kind " +
+                             std::to_string(static_cast<int>(a.kind())) +
+                             " vs " +
+                             std::to_string(static_cast<int>(b.kind())));
+    }
+    switch (a.kind()) {
+      case NodeKind::kDocument: {
+        const auto& x = static_cast<const Document&>(a);
+        const auto& y = static_cast<const Document&>(b);
+        return children_equal(where, x.children(), y.children());
+      }
+      case NodeKind::kElement: {
+        const auto& x = static_cast<const Element&>(a);
+        const auto& y = static_cast<const Element&>(b);
+        const std::string w = where + "/" + x.name().local;
+        if (!element_base_equal(w, x, y)) return false;
+        return children_equal(w, x.children(), y.children());
+      }
+      case NodeKind::kLeafElement: {
+        const auto& x = static_cast<const LeafElementBase&>(a);
+        const auto& y = static_cast<const LeafElementBase&>(b);
+        const std::string w = where + "/" + x.name().local;
+        if (!element_base_equal(w, x, y)) return false;
+        if (x.atom_type() != y.atom_type()) {
+          return fail(w, std::string("atom type ") +
+                             std::string(atom_debug_name(x.atom_type())) +
+                             " vs " +
+                             std::string(atom_debug_name(y.atom_type())));
+        }
+        if (!scalar_equal(x.scalar(), y.scalar())) {
+          return fail(w, "leaf value '" + x.text() + "' vs '" + y.text() + "'");
+        }
+        return true;
+      }
+      case NodeKind::kArrayElement: {
+        const auto& x = static_cast<const ArrayElementBase&>(a);
+        const auto& y = static_cast<const ArrayElementBase&>(b);
+        const std::string w = where + "/" + x.name().local;
+        if (!element_base_equal(w, x, y)) return false;
+        if (x.atom_type() != y.atom_type()) {
+          return fail(w, "array atom type differs");
+        }
+        if (x.count() != y.count()) {
+          return fail(w, "array count " + std::to_string(x.count()) + " vs " +
+                             std::to_string(y.count()));
+        }
+        const auto xb = x.packed_bytes();
+        const auto yb = y.packed_bytes();
+        if (xb.size() != yb.size() ||
+            (!xb.empty() &&
+             std::memcmp(xb.data(), yb.data(), xb.size()) != 0)) {
+          return fail(w, "array payload bytes differ");
+        }
+        return true;
+      }
+      case NodeKind::kText: {
+        const auto& x = static_cast<const TextNode&>(a);
+        const auto& y = static_cast<const TextNode&>(b);
+        if (x.text() != y.text()) {
+          return fail(where, "text '" + x.text() + "' vs '" + y.text() + "'");
+        }
+        return true;
+      }
+      case NodeKind::kPI: {
+        const auto& x = static_cast<const PINode&>(a);
+        const auto& y = static_cast<const PINode&>(b);
+        if (x.target() != y.target() || x.data() != y.data()) {
+          return fail(where, "PI differs");
+        }
+        return true;
+      }
+      case NodeKind::kComment: {
+        const auto& x = static_cast<const CommentNode&>(a);
+        const auto& y = static_cast<const CommentNode&>(b);
+        if (x.text() != y.text()) {
+          return fail(where, "comment differs");
+        }
+        return true;
+      }
+    }
+    return fail(where, "unknown node kind");
+  }
+
+  bool children_equal(const std::string& where,
+                      const std::vector<NodePtr>& a,
+                      const std::vector<NodePtr>& b) {
+    if (a.size() != b.size()) {
+      return fail(where, "child count " + std::to_string(a.size()) + " vs " +
+                             std::to_string(b.size()));
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!node_equal(where + "[" + std::to_string(i) + "]", *a[i], *b[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+bool deep_equal(const Node& a, const Node& b, const EqualOptions& opt) {
+  Differ d{opt, {}};
+  return d.node_equal("", a, b);
+}
+
+std::string first_difference(const Node& a, const Node& b,
+                             const EqualOptions& opt) {
+  Differ d{opt, {}};
+  d.node_equal("", a, b);
+  return d.diff;
+}
+
+}  // namespace bxsoap::xdm

@@ -1,0 +1,23 @@
+// Deep structural equality over bXDM trees (round-trip test oracle).
+#pragma once
+
+#include "xdm/node.hpp"
+
+namespace bxsoap::xdm {
+
+/// Options controlling what counts as "equal".
+struct EqualOptions {
+  /// Compare prefixes and namespace declarations, not just expanded names.
+  /// Off by default: transcoding may rewrite prefixes without changing
+  /// meaning.
+  bool compare_prefixes = false;
+};
+
+bool deep_equal(const Node& a, const Node& b, const EqualOptions& opt = {});
+
+/// Like deep_equal but returns a human-readable description of the first
+/// difference (empty string when equal). Used in test failure messages.
+std::string first_difference(const Node& a, const Node& b,
+                             const EqualOptions& opt = {});
+
+}  // namespace bxsoap::xdm

@@ -1,0 +1,111 @@
+#include "xdm/node.hpp"
+
+namespace bxsoap::xdm {
+
+void TextNode::accept(NodeVisitor& v) const { v.visit(*this); }
+void PINode::accept(NodeVisitor& v) const { v.visit(*this); }
+void CommentNode::accept(NodeVisitor& v) const { v.visit(*this); }
+void Element::accept(NodeVisitor& v) const { v.visit(*this); }
+void Document::accept(NodeVisitor& v) const { v.visit(*this); }
+
+NodePtr Element::clone() const {
+  auto p = std::make_unique<Element>(name());
+  p->copy_element_base(*this);
+  for (const auto& c : children_) {
+    p->add_child(c->clone());
+  }
+  return p;
+}
+
+const ElementBase* Element::find_child(const QName& name) const noexcept {
+  for (const auto& c : children_) {
+    if (const ElementBase* e = as_element(*c); e && e->name() == name) {
+      return e;
+    }
+  }
+  return nullptr;
+}
+
+const ElementBase* Element::find_child(std::string_view local) const noexcept {
+  for (const auto& c : children_) {
+    if (const ElementBase* e = as_element(*c); e && e->name().local == local) {
+      return e;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const ElementBase*> Element::child_elements() const {
+  std::vector<const ElementBase*> out;
+  for (const auto& c : children_) {
+    if (const ElementBase* e = as_element(*c)) out.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+
+void append_string_value(const Node& n, std::string& out) {
+  switch (n.kind()) {
+    case NodeKind::kText:
+      out += static_cast<const TextNode&>(n).text();
+      break;
+    case NodeKind::kElement:
+      for (const auto& c : static_cast<const Element&>(n).children()) {
+        append_string_value(*c, out);
+      }
+      break;
+    case NodeKind::kLeafElement:
+      static_cast<const LeafElementBase&>(n).append_text(out);
+      break;
+    case NodeKind::kArrayElement: {
+      const auto& a = static_cast<const ArrayElementBase&>(n);
+      for (std::size_t i = 0; i < a.count(); ++i) {
+        if (i > 0) out += ' ';
+        a.append_item_text(i, out);
+      }
+      break;
+    }
+    default:
+      break;  // PIs and comments contribute nothing to the string value
+  }
+}
+
+}  // namespace
+
+std::string Element::string_value() const {
+  std::string out;
+  append_string_value(*this, out);
+  return out;
+}
+
+NodePtr Document::clone() const {
+  auto p = std::make_unique<Document>();
+  for (const auto& c : children_) {
+    p->add_child(c->clone());
+  }
+  return p;
+}
+
+bool Document::has_root() const noexcept {
+  for (const auto& c : children_) {
+    if (is_element(*c)) return true;
+  }
+  return false;
+}
+
+const ElementBase& Document::root() const {
+  for (const auto& c : children_) {
+    if (const ElementBase* e = as_element(*c)) return *e;
+  }
+  throw Error("document has no root element");
+}
+
+ElementBase& Document::root() {
+  for (const auto& c : children_) {
+    if (ElementBase* e = as_element(*c)) return *e;
+  }
+  throw Error("document has no root element");
+}
+
+}  // namespace bxsoap::xdm

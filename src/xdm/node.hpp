@@ -1,0 +1,467 @@
+// bXDM — the paper's extension of the XQuery/XPath Data Model (XDM).
+//
+// bXDM keeps XDM's seven node kinds (Document, Element, Attribute,
+// Namespace, PI, Text, Comment) and refines Element into three concrete
+// shapes:
+//
+//   * Element          — "component element": ordered children (elements,
+//                        text, PIs, comments); mixed content allowed.
+//   * LeafElement<T>   — an element whose content is ONE typed atomic value
+//                        held in native machine form (no text conversion).
+//   * ArrayElement<T>  — an element whose content is a packed 1-D array of a
+//                        primitive type; compatible with C/Fortran layouts.
+//
+// Attributes and namespace declarations are value types owned by their
+// element rather than free-standing nodes; this mirrors BXSA's decision to
+// inline them into element frames ("enlarge the granularity of the frame")
+// and avoids per-attribute allocations. Path queries can still address them.
+//
+// Ownership: the tree owns its children via std::unique_ptr; nodes are
+// movable via pointer, deep-copyable via clone().
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "xdm/atom.hpp"
+#include "xdm/qname.hpp"
+
+namespace bxsoap::xdm {
+
+enum class NodeKind : std::uint8_t {
+  kDocument,
+  kElement,       // component element
+  kLeafElement,   // Element refinement with one typed atomic value
+  kArrayElement,  // Element refinement with a packed array value
+  kText,
+  kPI,
+  kComment,
+};
+
+class NodeVisitor;
+
+/// Base of every tree node.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  virtual NodeKind kind() const noexcept = 0;
+  virtual void accept(NodeVisitor& v) const = 0;
+  virtual std::unique_ptr<Node> clone() const = 0;
+
+ protected:
+  Node() = default;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+/// A typed attribute. BXSA stores attribute values with a type code, so
+/// attributes carry a ScalarValue, not raw text.
+struct Attribute {
+  QName name;
+  ScalarValue value;
+
+  Attribute() = default;
+  Attribute(QName n, ScalarValue v)
+      : name(std::move(n)), value(std::move(v)) {}
+
+  AtomType type() const { return scalar_type(value); }
+  std::string text() const { return scalar_text(value); }
+};
+
+/// Text node (character data in mixed content).
+class TextNode final : public Node {
+ public:
+  explicit TextNode(std::string text) : text_(std::move(text)) {}
+
+  NodeKind kind() const noexcept override { return NodeKind::kText; }
+  void accept(NodeVisitor& v) const override;
+  NodePtr clone() const override {
+    return std::make_unique<TextNode>(text_);
+  }
+
+  const std::string& text() const noexcept { return text_; }
+  void set_text(std::string t) { text_ = std::move(t); }
+
+ private:
+  std::string text_;
+};
+
+/// Processing instruction.
+class PINode final : public Node {
+ public:
+  PINode(std::string target, std::string data)
+      : target_(std::move(target)), data_(std::move(data)) {}
+
+  NodeKind kind() const noexcept override { return NodeKind::kPI; }
+  void accept(NodeVisitor& v) const override;
+  NodePtr clone() const override {
+    return std::make_unique<PINode>(target_, data_);
+  }
+
+  const std::string& target() const noexcept { return target_; }
+  const std::string& data() const noexcept { return data_; }
+
+ private:
+  std::string target_;
+  std::string data_;
+};
+
+/// Comment.
+class CommentNode final : public Node {
+ public:
+  explicit CommentNode(std::string text) : text_(std::move(text)) {}
+
+  NodeKind kind() const noexcept override { return NodeKind::kComment; }
+  void accept(NodeVisitor& v) const override;
+  NodePtr clone() const override {
+    return std::make_unique<CommentNode>(text_);
+  }
+
+  const std::string& text() const noexcept { return text_; }
+
+ private:
+  std::string text_;
+};
+
+/// Common state of the three element shapes: name, namespace declarations
+/// and attributes (inlined per the BXSA frame layout).
+class ElementBase : public Node {
+ public:
+  const QName& name() const noexcept { return name_; }
+  void set_name(QName n) { name_ = std::move(n); }
+
+  const std::vector<NamespaceDecl>& namespaces() const noexcept {
+    return namespaces_;
+  }
+  void declare_namespace(std::string prefix, std::string uri) {
+    namespaces_.push_back({std::move(prefix), std::move(uri)});
+  }
+
+  const std::vector<Attribute>& attributes() const noexcept { return attrs_; }
+  std::vector<Attribute>& attributes() noexcept { return attrs_; }
+
+  void add_attribute(QName name, ScalarValue value) {
+    attrs_.emplace_back(std::move(name), std::move(value));
+  }
+
+  /// First attribute with the given expanded name, or nullptr.
+  const Attribute* find_attribute(const QName& name) const noexcept {
+    for (const auto& a : attrs_) {
+      if (a.name == name) return &a;
+    }
+    return nullptr;
+  }
+  /// Convenience lookup by local name only (no-namespace attributes).
+  const Attribute* find_attribute(std::string_view local) const noexcept {
+    for (const auto& a : attrs_) {
+      if (a.name.namespace_uri.empty() && a.name.local == local) return &a;
+    }
+    return nullptr;
+  }
+
+ protected:
+  explicit ElementBase(QName name) : name_(std::move(name)) {}
+
+  void copy_element_base(const ElementBase& from) {
+    name_ = from.name_;
+    namespaces_ = from.namespaces_;
+    attrs_ = from.attrs_;
+  }
+
+ private:
+  QName name_;
+  std::vector<NamespaceDecl> namespaces_;
+  std::vector<Attribute> attrs_;
+};
+
+/// Component element: general content model.
+class Element final : public ElementBase {
+ public:
+  explicit Element(QName name) : ElementBase(std::move(name)) {}
+
+  NodeKind kind() const noexcept override { return NodeKind::kElement; }
+  void accept(NodeVisitor& v) const override;
+  NodePtr clone() const override;
+
+  const std::vector<NodePtr>& children() const noexcept { return children_; }
+  std::size_t child_count() const noexcept { return children_.size(); }
+
+  Node& add_child(NodePtr child) {
+    children_.push_back(std::move(child));
+    return *children_.back();
+  }
+  /// Insert before position `index` (clamped to the end).
+  Node& insert_child(std::size_t index, NodePtr child) {
+    if (index > children_.size()) index = children_.size();
+    auto it = children_.insert(
+        children_.begin() + static_cast<std::ptrdiff_t>(index),
+        std::move(child));
+    return **it;
+  }
+  /// Remove and return the child at `index`; throws on out-of-range.
+  NodePtr remove_child(std::size_t index) {
+    if (index >= children_.size()) {
+      throw Error("remove_child index out of range");
+    }
+    NodePtr out = std::move(children_[index]);
+    children_.erase(children_.begin() + static_cast<std::ptrdiff_t>(index));
+    return out;
+  }
+  Element& add_element(QName name) {
+    return static_cast<Element&>(
+        add_child(std::make_unique<Element>(std::move(name))));
+  }
+  void add_text(std::string text) {
+    add_child(std::make_unique<TextNode>(std::move(text)));
+  }
+
+  /// First child element (any shape) with the given expanded name.
+  const ElementBase* find_child(const QName& name) const noexcept;
+  /// First child element with the given local name, any namespace.
+  const ElementBase* find_child(std::string_view local) const noexcept;
+
+  /// All child elements (any shape), in document order.
+  std::vector<const ElementBase*> child_elements() const;
+
+  /// Concatenation of all descendant text (the XPath string value).
+  std::string string_value() const;
+
+ private:
+  std::vector<NodePtr> children_;
+};
+
+/// Type-erased view of a LeafElement<T>; encoders consume this so they need
+/// no per-instantiation virtuals.
+class LeafElementBase : public ElementBase {
+ public:
+  NodeKind kind() const noexcept override { return NodeKind::kLeafElement; }
+
+  virtual AtomType atom_type() const noexcept = 0;
+  /// The value as a type-erased scalar (copies; use typed get() on the
+  /// concrete class for the zero-copy path).
+  virtual ScalarValue scalar() const = 0;
+  /// Append the value's XML text form to `out`.
+  virtual void append_text(std::string& out) const = 0;
+  /// Native bytes of the value in host byte order (empty for strings).
+  virtual std::span<const std::uint8_t> native_bytes() const noexcept = 0;
+
+  std::string text() const {
+    std::string s;
+    append_text(s);
+    return s;
+  }
+
+ protected:
+  using ElementBase::ElementBase;
+};
+
+template <Atomic T>
+class LeafElement final : public LeafElementBase {
+ public:
+  LeafElement(QName name, T value)
+      : LeafElementBase(std::move(name)), value_(std::move(value)) {}
+
+  void accept(NodeVisitor& v) const override;
+  NodePtr clone() const override {
+    auto p = std::make_unique<LeafElement<T>>(name(), value_);
+    p->copy_element_base(*this);
+    return p;
+  }
+
+  AtomType atom_type() const noexcept override { return AtomTraits<T>::kType; }
+  ScalarValue scalar() const override { return ScalarValue(value_); }
+  void append_text(std::string& out) const override {
+    append_scalar_text(out, ScalarValue(value_));
+  }
+  std::span<const std::uint8_t> native_bytes() const noexcept override {
+    if constexpr (std::is_same_v<T, std::string>) {
+      return {reinterpret_cast<const std::uint8_t*>(value_.data()),
+              value_.size()};
+    } else {
+      return {reinterpret_cast<const std::uint8_t*>(&value_), sizeof(T)};
+    }
+  }
+
+  const T& get() const noexcept { return value_; }
+  void set(T v) { value_ = std::move(v); }
+
+ private:
+  T value_;
+};
+
+/// Type-erased view of an ArrayElement<T>.
+class ArrayElementBase : public ElementBase {
+ public:
+  NodeKind kind() const noexcept override { return NodeKind::kArrayElement; }
+
+  virtual AtomType atom_type() const noexcept = 0;
+  virtual std::size_t count() const noexcept = 0;
+  /// Packed payload in host byte order; count()*atom_wire_size() bytes.
+  virtual std::span<const std::uint8_t> packed_bytes() const noexcept = 0;
+  /// Append item i's XML text form (used when transcoding to textual XML,
+  /// where each item becomes one child element).
+  virtual void append_item_text(std::size_t i, std::string& out) const = 0;
+  virtual ScalarValue item_scalar(std::size_t i) const = 0;
+
+  /// Element name used for the per-item wrapper when serialized as textual
+  /// XML. The paper's Table 1 uses the shortest possible tag; we default to
+  /// "d" and preserve whatever name a parsed document used.
+  const std::string& item_name() const noexcept { return item_name_; }
+  void set_item_name(std::string n) { item_name_ = std::move(n); }
+
+ protected:
+  explicit ArrayElementBase(QName name)
+      : ElementBase(std::move(name)), item_name_("d") {}
+
+  std::string item_name_;
+};
+
+template <PackedAtomic T>
+class ArrayElement final : public ArrayElementBase {
+ public:
+  explicit ArrayElement(QName name) : ArrayElementBase(std::move(name)) {}
+  ArrayElement(QName name, std::vector<T> values)
+      : ArrayElementBase(std::move(name)), values_(std::move(values)) {}
+
+  void accept(NodeVisitor& v) const override;
+  NodePtr clone() const override {
+    auto p = std::make_unique<ArrayElement<T>>(name(), values_);
+    p->copy_element_base(*this);
+    p->set_item_name(item_name());
+    return p;
+  }
+
+  AtomType atom_type() const noexcept override { return AtomTraits<T>::kType; }
+  std::size_t count() const noexcept override { return values_.size(); }
+  std::span<const std::uint8_t> packed_bytes() const noexcept override {
+    return {reinterpret_cast<const std::uint8_t*>(values_.data()),
+            values_.size() * sizeof(T)};
+  }
+  void append_item_text(std::size_t i, std::string& out) const override {
+    append_scalar_text(out, ScalarValue(values_.at(i)));
+  }
+  ScalarValue item_scalar(std::size_t i) const override {
+    return ScalarValue(values_.at(i));
+  }
+
+  const std::vector<T>& values() const noexcept { return values_; }
+  std::vector<T>& values() noexcept { return values_; }
+  std::span<const T> view() const noexcept { return values_; }
+
+ private:
+  std::vector<T> values_;
+};
+
+/// Document node: at most one root element plus top-level PIs/comments.
+class Document final : public Node {
+ public:
+  Document() = default;
+
+  NodeKind kind() const noexcept override { return NodeKind::kDocument; }
+  void accept(NodeVisitor& v) const override;
+  NodePtr clone() const override;
+
+  const std::vector<NodePtr>& children() const noexcept { return children_; }
+
+  Node& add_child(NodePtr child) {
+    children_.push_back(std::move(child));
+    return *children_.back();
+  }
+
+  /// The root element; throws if the document has none.
+  const ElementBase& root() const;
+  ElementBase& root();
+  bool has_root() const noexcept;
+
+ private:
+  std::vector<NodePtr> children_;
+};
+
+using DocumentPtr = std::unique_ptr<Document>;
+
+/// Visitor over concrete node shapes (the encoders' entry point — the paper
+/// models every encoder as "a generic visitor of the bXDM data model").
+class NodeVisitor {
+ public:
+  virtual ~NodeVisitor() = default;
+  virtual void visit(const Document& n) = 0;
+  virtual void visit(const Element& n) = 0;
+  virtual void visit(const LeafElementBase& n) = 0;
+  virtual void visit(const ArrayElementBase& n) = 0;
+  virtual void visit(const TextNode& n) = 0;
+  virtual void visit(const PINode& n) = 0;
+  virtual void visit(const CommentNode& n) = 0;
+};
+
+template <Atomic T>
+void LeafElement<T>::accept(NodeVisitor& v) const {
+  v.visit(static_cast<const LeafElementBase&>(*this));
+}
+
+template <PackedAtomic T>
+void ArrayElement<T>::accept(NodeVisitor& v) const {
+  v.visit(static_cast<const ArrayElementBase&>(*this));
+}
+
+// ---- builder helpers -------------------------------------------------------
+
+inline std::unique_ptr<Element> make_element(QName name) {
+  return std::make_unique<Element>(std::move(name));
+}
+
+template <Atomic T>
+std::unique_ptr<LeafElement<T>> make_leaf(QName name, T value) {
+  return std::make_unique<LeafElement<T>>(std::move(name), std::move(value));
+}
+
+/// Deduce the leaf type from the value (make_leaf(q, 3.14) -> double).
+inline std::unique_ptr<LeafElement<std::string>> make_leaf(QName name,
+                                                           const char* value) {
+  return make_leaf<std::string>(std::move(name), std::string(value));
+}
+
+template <PackedAtomic T>
+std::unique_ptr<ArrayElement<T>> make_array(QName name,
+                                            std::vector<T> values) {
+  return std::make_unique<ArrayElement<T>>(std::move(name),
+                                           std::move(values));
+}
+
+inline DocumentPtr make_document(NodePtr root) {
+  auto doc = std::make_unique<Document>();
+  doc->add_child(std::move(root));
+  return doc;
+}
+
+/// Downcast helpers: return nullptr when the node is not that shape.
+template <typename T>
+const T* as(const Node& n) {
+  return dynamic_cast<const T*>(&n);
+}
+template <typename T>
+T* as(Node& n) {
+  return dynamic_cast<T*>(&n);
+}
+
+/// True for any of the three element shapes.
+inline bool is_element(const Node& n) {
+  const NodeKind k = n.kind();
+  return k == NodeKind::kElement || k == NodeKind::kLeafElement ||
+         k == NodeKind::kArrayElement;
+}
+
+inline const ElementBase* as_element(const Node& n) {
+  return is_element(n) ? static_cast<const ElementBase*>(&n) : nullptr;
+}
+inline ElementBase* as_element(Node& n) {
+  return is_element(n) ? static_cast<ElementBase*>(&n) : nullptr;
+}
+
+}  // namespace bxsoap::xdm

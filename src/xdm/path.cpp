@@ -1,0 +1,275 @@
+#include "xdm/path.hpp"
+
+#include <algorithm>
+
+namespace bxsoap::xdm {
+
+namespace {
+
+struct Lexer {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  bool eof() const { return pos >= s.size(); }
+  char peek() const { return s[pos]; }
+  char take() { return s[pos++]; }
+
+  bool consume(char c) {
+    if (!eof() && peek() == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  static bool is_name_char(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+  }
+
+  std::string name() {
+    const std::size_t start = pos;
+    while (!eof() && is_name_char(peek())) ++pos;
+    if (pos == start) {
+      throw PathError("expected a name at position " + std::to_string(start));
+    }
+    return std::string(s.substr(start, pos - start));
+  }
+};
+
+}  // namespace
+
+Path Path::compile(std::string_view expr, const PrefixMap& prefixes) {
+  Path p;
+  Lexer lx{expr};
+  if (lx.eof()) throw PathError("empty expression");
+
+  bool next_descendant = false;
+  if (lx.consume('/')) {
+    next_descendant = lx.consume('/');
+  }
+
+  while (!lx.eof()) {
+    Step step;
+    step.descendant = next_descendant;
+
+    if (lx.consume('*')) {
+      step.any_name = true;
+      step.any_namespace = true;
+    } else {
+      std::string first = lx.name();
+      if (lx.consume(':')) {
+        auto it = prefixes.find(first);
+        if (it == prefixes.end()) {
+          throw PathError("unmapped prefix '" + first + "'");
+        }
+        step.namespace_uri = it->second;
+        if (lx.consume('*')) {
+          step.any_name = true;
+        } else {
+          step.local = lx.name();
+        }
+      } else {
+        step.local = std::move(first);
+        step.any_namespace = true;  // unprefixed: match by local name
+      }
+    }
+
+    while (lx.consume('[')) {
+      Predicate pred;
+      auto quoted_value = [&lx]() {
+        if (!lx.consume('\'')) {
+          throw PathError("expected quoted value in predicate");
+        }
+        std::string v;
+        while (!lx.eof() && lx.peek() != '\'') v.push_back(lx.take());
+        if (!lx.consume('\'')) throw PathError("unterminated quoted value");
+        return v;
+      };
+      if (lx.consume('@')) {
+        pred.attr_local = lx.name();
+        if (lx.consume('=')) {
+          pred.kind = Predicate::Kind::kAttrEquals;
+          pred.attr_value = quoted_value();
+        } else {
+          pred.kind = Predicate::Kind::kAttrPresent;
+        }
+      } else if (lx.consume('.')) {
+        if (!lx.consume('=')) throw PathError("expected '=' after '.'");
+        pred.kind = Predicate::Kind::kSelfEquals;
+        pred.attr_value = quoted_value();
+      } else if (!lx.eof() && lx.peek() >= '0' && lx.peek() <= '9') {
+        std::string digits;
+        while (!lx.eof() && lx.peek() >= '0' && lx.peek() <= '9') {
+          digits.push_back(lx.take());
+        }
+        pred.kind = Predicate::Kind::kPosition;
+        pred.position = static_cast<std::size_t>(std::stoull(digits));
+        if (pred.position == 0) throw PathError("positions are 1-based");
+      } else {
+        pred.attr_local = lx.name();  // child element local name
+        if (!lx.consume('=')) {
+          throw PathError("expected '=' after child name in predicate");
+        }
+        pred.kind = Predicate::Kind::kChildEquals;
+        pred.attr_value = quoted_value();
+      }
+      if (!lx.consume(']')) throw PathError("expected ']'");
+      step.predicates.push_back(std::move(pred));
+    }
+
+    p.steps_.push_back(std::move(step));
+
+    if (lx.eof()) break;
+    if (!lx.consume('/')) {
+      throw PathError("unexpected character '" + std::string(1, lx.peek()) +
+                      "' at position " + std::to_string(lx.pos));
+    }
+    next_descendant = lx.consume('/');
+  }
+
+  if (p.steps_.empty()) throw PathError("expression has no steps");
+  return p;
+}
+
+namespace {
+
+/// XPath string value of any element shape.
+std::string element_string_value(const ElementBase& e) {
+  switch (e.kind()) {
+    case NodeKind::kElement:
+      return static_cast<const Element&>(e).string_value();
+    case NodeKind::kLeafElement:
+      return static_cast<const LeafElementBase&>(e).text();
+    case NodeKind::kArrayElement: {
+      const auto& a = static_cast<const ArrayElementBase&>(e);
+      std::string out;
+      for (std::size_t i = 0; i < a.count(); ++i) {
+        if (i > 0) out += ' ';
+        a.append_item_text(i, out);
+      }
+      return out;
+    }
+    default:
+      return {};
+  }
+}
+
+/// First child element with the given local name, for any element shape.
+const ElementBase* child_by_local(const ElementBase& e,
+                                  std::string_view local) {
+  if (e.kind() != NodeKind::kElement) return nullptr;
+  return static_cast<const Element&>(e).find_child(local);
+}
+
+}  // namespace
+
+bool Path::step_matches(const Step& s, const ElementBase& e) {
+  if (!s.any_name && e.name().local != s.local) return false;
+  if (!s.any_namespace && e.name().namespace_uri != s.namespace_uri) {
+    return false;
+  }
+  return true;
+}
+
+void Path::collect(const Step& s, const Node& n, bool include_self,
+                   std::vector<const ElementBase*>& out) {
+  if (include_self) {
+    if (const ElementBase* e = as_element(n); e && step_matches(s, *e)) {
+      out.push_back(e);
+    }
+  }
+  // Children of documents and component elements; leaf/array elements have
+  // no element children.
+  const std::vector<NodePtr>* children = nullptr;
+  if (n.kind() == NodeKind::kDocument) {
+    children = &static_cast<const Document&>(n).children();
+  } else if (n.kind() == NodeKind::kElement) {
+    children = &static_cast<const Element&>(n).children();
+  }
+  if (children == nullptr) return;
+  for (const auto& c : *children) {
+    if (s.descendant) {
+      collect(s, *c, /*include_self=*/true, out);
+    } else if (const ElementBase* e = as_element(*c);
+               e && step_matches(s, *e)) {
+      out.push_back(e);
+    }
+  }
+}
+
+std::vector<const ElementBase*> Path::select(const Node& from) const {
+  std::vector<const Node*> frontier{&from};
+  std::vector<const ElementBase*> matches;
+
+  for (const Step& step : steps_) {
+    matches.clear();
+    for (const Node* n : frontier) {
+      std::vector<const ElementBase*> found;
+      collect(step, *n, /*include_self=*/false, found);
+      // Apply predicates within this context node's match list.
+      for (const Predicate& pred : step.predicates) {
+        std::vector<const ElementBase*> kept;
+        std::size_t position = 0;
+        for (const ElementBase* e : found) {
+          ++position;
+          bool ok = false;
+          switch (pred.kind) {
+            case Predicate::Kind::kPosition:
+              ok = (position == pred.position);
+              break;
+            case Predicate::Kind::kAttrPresent:
+              ok = (e->find_attribute(pred.attr_local) != nullptr);
+              break;
+            case Predicate::Kind::kAttrEquals: {
+              const Attribute* a = e->find_attribute(pred.attr_local);
+              ok = (a != nullptr && a->text() == pred.attr_value);
+              break;
+            }
+            case Predicate::Kind::kChildEquals: {
+              const ElementBase* c = child_by_local(*e, pred.attr_local);
+              ok = (c != nullptr &&
+                    element_string_value(*c) == pred.attr_value);
+              break;
+            }
+            case Predicate::Kind::kSelfEquals:
+              ok = (element_string_value(*e) == pred.attr_value);
+              break;
+          }
+          if (ok) kept.push_back(e);
+        }
+        found = std::move(kept);
+      }
+      matches.insert(matches.end(), found.begin(), found.end());
+    }
+    frontier.assign(matches.begin(), matches.end());
+  }
+
+  // Dedup while keeping document order of first occurrence ('//' from
+  // multiple context nodes can visit an element twice).
+  std::vector<const ElementBase*> unique;
+  for (const ElementBase* e : matches) {
+    if (std::find(unique.begin(), unique.end(), e) == unique.end()) {
+      unique.push_back(e);
+    }
+  }
+  return unique;
+}
+
+const ElementBase* Path::first(const Node& from) const {
+  auto all = select(from);
+  return all.empty() ? nullptr : all.front();
+}
+
+std::vector<const ElementBase*> select(const Node& from,
+                                       std::string_view expr,
+                                       const PrefixMap& prefixes) {
+  return Path::compile(expr, prefixes).select(from);
+}
+
+const ElementBase* select_first(const Node& from, std::string_view expr,
+                                const PrefixMap& prefixes) {
+  return Path::compile(expr, prefixes).first(from);
+}
+
+}  // namespace bxsoap::xdm

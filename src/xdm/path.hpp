@@ -1,0 +1,90 @@
+// A small XPath-style query engine over bXDM.
+//
+// The paper argues that "any XDM-based XML processing (e.g. XPath or XSLT)
+// should be able to run with binary XML with minor modification"; this
+// module demonstrates that claim: the same query runs identically over a
+// tree built in memory, parsed from textual XML, or decoded from BXSA.
+//
+// Supported grammar (a deliberate subset of XPath 1.0 abbreviated syntax):
+//
+//   path      := ('/' | '//')? step (('/' | '//') step)*
+//   step      := nametest predicate*
+//   nametest  := '*' | name | prefix ':' name | prefix ':' '*'
+//   predicate := '[' integer ']'                 (1-based position)
+//              | '[' '@' name '=' 'value' ']'    (attribute equality, text)
+//              | '[' '@' name ']'                (attribute presence)
+//              | '[' name '=' 'value' ']'        (child string value equals)
+//              | '[' '.' '=' 'value' ']'         (own string value equals)
+//
+// Prefixes are resolved through a caller-supplied prefix->URI map; an
+// unmapped prefix is an error. Matching is on expanded names.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xdm/node.hpp"
+
+namespace bxsoap::xdm {
+
+class PathError : public Error {
+ public:
+  explicit PathError(const std::string& what) : Error("path: " + what) {}
+};
+
+using PrefixMap = std::map<std::string, std::string, std::less<>>;
+
+/// A compiled path expression (parse once, run many times).
+class Path {
+ public:
+  /// Compile `expr`; throws PathError on syntax errors or unmapped prefixes.
+  static Path compile(std::string_view expr, const PrefixMap& prefixes = {});
+
+  /// All elements selected by this path starting from `from` (a Document or
+  /// any element), in document order.
+  std::vector<const ElementBase*> select(const Node& from) const;
+
+  /// First match or nullptr.
+  const ElementBase* first(const Node& from) const;
+
+ private:
+  struct Predicate {
+    enum class Kind {
+      kPosition,
+      kAttrEquals,
+      kAttrPresent,
+      kChildEquals,
+      kSelfEquals,
+    } kind;
+    std::size_t position = 0;   // 1-based
+    std::string attr_local;     // attribute/child local name
+    std::string attr_value;
+  };
+
+  struct Step {
+    bool descendant = false;  // reached via '//'
+    bool any_name = false;    // '*'
+    std::string namespace_uri;
+    bool any_namespace = false;  // unprefixed nametest matches any namespace
+    std::string local;
+    std::vector<Predicate> predicates;
+  };
+
+  std::vector<Step> steps_;
+
+  static bool step_matches(const Step& s, const ElementBase& e);
+  static void collect(const Step& s, const Node& n, bool include_self,
+                      std::vector<const ElementBase*>& out);
+};
+
+/// One-shot convenience: compile + select.
+std::vector<const ElementBase*> select(const Node& from,
+                                       std::string_view expr,
+                                       const PrefixMap& prefixes = {});
+
+/// One-shot convenience: compile + first.
+const ElementBase* select_first(const Node& from, std::string_view expr,
+                                const PrefixMap& prefixes = {});
+
+}  // namespace bxsoap::xdm

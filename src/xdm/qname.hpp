@@ -1,0 +1,53 @@
+// Qualified names and namespace declarations for bXDM.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace bxsoap::xdm {
+
+/// An expanded qualified name. Identity (for equality and queries) is
+/// (namespace_uri, local); the prefix is serialization advice kept so a
+/// BXSA->XML->BXSA round trip preserves the author's prefixes.
+struct QName {
+  std::string namespace_uri;  // empty = no namespace
+  std::string local;
+  std::string prefix;  // empty = default/no prefix
+
+  QName() = default;
+  explicit QName(std::string local_name) : local(std::move(local_name)) {}
+  QName(std::string uri, std::string local_name)
+      : namespace_uri(std::move(uri)), local(std::move(local_name)) {}
+  QName(std::string uri, std::string local_name, std::string pfx)
+      : namespace_uri(std::move(uri)),
+        local(std::move(local_name)),
+        prefix(std::move(pfx)) {}
+
+  bool has_namespace() const noexcept { return !namespace_uri.empty(); }
+
+  /// "prefix:local" or just "local"; the lexical form used in textual XML.
+  std::string lexical() const {
+    return prefix.empty() ? local : prefix + ":" + local;
+  }
+
+  friend bool operator==(const QName& a, const QName& b) noexcept {
+    return a.namespace_uri == b.namespace_uri && a.local == b.local;
+  }
+  friend bool operator!=(const QName& a, const QName& b) noexcept {
+    return !(a == b);
+  }
+};
+
+/// One xmlns declaration: prefix -> URI. An empty prefix declares the
+/// default namespace.
+struct NamespaceDecl {
+  std::string prefix;
+  std::string uri;
+
+  friend bool operator==(const NamespaceDecl& a,
+                         const NamespaceDecl& b) noexcept {
+    return a.prefix == b.prefix && a.uri == b.uri;
+  }
+};
+
+}  // namespace bxsoap::xdm

@@ -1,0 +1,19 @@
+// XML 1.0 character escaping.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace bxsoap::xml {
+
+/// Escape for element content: & < > (plus ]]> safety).
+void append_escaped_text(std::string& out, std::string_view s);
+
+/// Escape for a double-quoted attribute value: also " and newlines/tabs
+/// (attribute-value normalization would otherwise fold them).
+void append_escaped_attr(std::string& out, std::string_view s);
+
+std::string escape_text(std::string_view s);
+std::string escape_attr(std::string_view s);
+
+}  // namespace bxsoap::xml

@@ -1,0 +1,21 @@
+// Well-known namespace URIs used by the typed XML serialization.
+#pragma once
+
+#include <string_view>
+
+namespace bxsoap::xml {
+
+inline constexpr std::string_view kXsiUri =
+    "http://www.w3.org/2001/XMLSchema-instance";
+inline constexpr std::string_view kXsdUri =
+    "http://www.w3.org/2001/XMLSchema";
+
+/// Our annotation namespace, used where standard vocabularies have no typed
+/// equivalent (array item names/types, typed attributes). Everything in this
+/// namespace is consumed (and removed) by the typed re-parse, so a
+/// BXSA -> XML -> BXSA round trip is clean.
+inline constexpr std::string_view kBxUri = "urn:bxsa:annotations";
+
+inline constexpr std::string_view kXmlnsUri = "http://www.w3.org/2000/xmlns/";
+
+}  // namespace bxsoap::xml

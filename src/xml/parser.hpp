@@ -1,0 +1,53 @@
+// A non-validating XML 1.0 parser producing an untyped bXDM tree.
+//
+// Supported: elements, attributes, namespace resolution (xmlns / xmlns:p,
+// default-namespace undeclaration), character data, entity references
+// (&amp; &lt; &gt; &quot; &apos;), numeric character references (decimal and
+// hex, encoded back to UTF-8), CDATA sections, comments, processing
+// instructions and the XML declaration. DOCTYPE declarations are rejected
+// (no DTD support — SOAP explicitly forbids them anyway).
+//
+// "Untyped" means every element is a component Element and every attribute
+// value a string. Use xml::retype() afterwards to reconstruct
+// LeafElement<T>/ArrayElement<T> from xsi:type / bx:* annotations.
+#pragma once
+
+#include <string_view>
+
+#include "common/error.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::xml {
+
+class ParseError : public DecodeError {
+ public:
+  ParseError(const std::string& what, std::size_t line, std::size_t column)
+      : DecodeError("xml:" + std::to_string(line) + ":" +
+                    std::to_string(column) + ": " + what),
+        line_(line),
+        column_(column) {}
+
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+struct ParseOptions {
+  /// Drop text nodes consisting only of XML whitespace between elements
+  /// (convenient for hand-written test documents; keep OFF for round-trip
+  /// fidelity).
+  bool ignore_whitespace = false;
+  /// Maximum element nesting depth. The parser (and the tree it builds)
+  /// recurse per level, so unbounded depth is a stack-exhaustion attack;
+  /// 1024 is far beyond any real SOAP message.
+  std::size_t max_depth = 1024;
+};
+
+/// Parse a complete document. Throws ParseError on malformed input.
+xdm::DocumentPtr parse_xml(std::string_view text,
+                           const ParseOptions& opt = {});
+
+}  // namespace bxsoap::xml

@@ -1,0 +1,296 @@
+#include "xml/retype.hpp"
+
+#include <vector>
+
+#include "common/numeric_text.hpp"
+#include "xml/ns_constants.hpp"
+
+namespace bxsoap::xml {
+
+using namespace bxsoap::xdm;
+
+namespace {
+
+bool is_reserved_uri(std::string_view uri) {
+  return uri == kXsiUri || uri == kXsdUri || uri == kBxUri;
+}
+
+class Retyper {
+ public:
+  explicit Retyper(const RetypeOptions& opt) : opt_(opt) {}
+
+  NodePtr transform_element(const ElementBase& e) {
+    // Already-typed shapes pass through (retype is idempotent).
+    if (e.kind() != NodeKind::kElement) return e.clone();
+    const auto& el = static_cast<const Element&>(e);
+
+    scopes_.push_back(el.namespaces());
+    NodePtr result = transform_component(el);
+    scopes_.pop_back();
+    return result;
+  }
+
+  DocumentPtr transform_document(const Document& doc) {
+    auto out = std::make_unique<Document>();
+    for (const auto& c : doc.children()) {
+      if (const ElementBase* e = as_element(*c)) {
+        out->add_child(transform_element(*e));
+      } else {
+        out->add_child(c->clone());
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::string_view resolve(std::string_view prefix) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      for (auto d = it->rbegin(); d != it->rend(); ++d) {
+        if (d->prefix == prefix) return d->uri;
+      }
+    }
+    return {};
+  }
+
+  /// Parse an annotation value like "xsd:double" into an AtomType; the
+  /// prefix must resolve to the XML Schema namespace in scope.
+  AtomType parse_type_value(std::string_view value) const {
+    const std::string_view v = trim_xml_ws(value);
+    const auto colon = v.find(':');
+    if (colon == std::string_view::npos) {
+      throw DecodeError("type annotation '" + std::string(v) +
+                        "' has no namespace prefix");
+    }
+    if (resolve(v.substr(0, colon)) != kXsdUri) {
+      throw DecodeError("type annotation prefix does not resolve to the XML "
+                        "Schema namespace");
+    }
+    auto t = atom_from_xsd_local(v.substr(colon + 1));
+    if (!t) {
+      throw DecodeError("unknown XML Schema type '" + std::string(v) + "'");
+    }
+    return *t;
+  }
+
+  /// Find an annotation attribute by expanded name; returns its text or
+  /// nullopt.
+  static std::optional<std::string> take_annotation(
+      std::vector<Attribute>& attrs, std::string_view uri,
+      std::string_view local) {
+    for (auto it = attrs.begin(); it != attrs.end(); ++it) {
+      if (it->name.namespace_uri == uri && it->name.local == local) {
+        std::string v = it->text();
+        attrs.erase(it);
+        return v;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Copy name/namespaces (minus reserved) onto `dst`, then the attributes,
+  /// applying bx:at-* typed-attribute annotations.
+  void finish_element_base(ElementBase& dst, const ElementBase& src,
+                           std::vector<Attribute> attrs) {
+    for (const auto& d : src.namespaces()) {
+      if (!is_reserved_uri(d.uri)) dst.declare_namespace(d.prefix, d.uri);
+    }
+    // Typed-attribute annotations: bx:at-<local>="xsd:T".
+    std::vector<Attribute> out;
+    for (auto& a : attrs) {
+      if (a.name.namespace_uri == kBxUri) continue;  // consumed below
+      out.push_back(std::move(a));
+    }
+    for (const auto& a : attrs) {
+      if (a.name.namespace_uri != kBxUri ||
+          a.name.local.rfind("at-", 0) != 0) {
+        continue;
+      }
+      const std::string target = a.name.local.substr(3);
+      const AtomType t = parse_type_value(a.text());
+      bool found = false;
+      for (auto& candidate : out) {
+        if (candidate.name.namespace_uri.empty() &&
+            candidate.name.local == target) {
+          candidate.value =
+              parse(t, scalar_get<std::string>(candidate.value));
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw DecodeError("typed-attribute annotation for missing attribute '" +
+                          target + "'");
+      }
+    }
+    for (auto& a : out) dst.attributes().push_back(std::move(a));
+  }
+
+  static std::string element_text(const Element& e) {
+    std::string text;
+    for (const auto& c : e.children()) {
+      switch (c->kind()) {
+        case NodeKind::kText:
+          text += static_cast<const TextNode&>(*c).text();
+          break;
+        case NodeKind::kComment:
+        case NodeKind::kPI:
+          break;  // ignorable in a typed value
+        default:
+          throw DecodeError("typed element <" + e.name().local +
+                            "> must not have element children");
+      }
+    }
+    return text;
+  }
+
+  template <Atomic T>
+  NodePtr make_typed_leaf(const Element& e, std::vector<Attribute> attrs) {
+    ScalarValue v = parse(AtomTraits<T>::kType, element_text(e));
+    auto leaf = std::make_unique<LeafElement<T>>(e.name(),
+                                                 scalar_get<T>(v));
+    finish_element_base(*leaf, e, std::move(attrs));
+    return leaf;
+  }
+
+  NodePtr make_leaf(AtomType t, const Element& e,
+                    std::vector<Attribute> attrs) {
+    switch (t) {
+      case AtomType::kString:
+        return make_typed_leaf<std::string>(e, std::move(attrs));
+      case AtomType::kInt8:
+        return make_typed_leaf<std::int8_t>(e, std::move(attrs));
+      case AtomType::kUInt8:
+        return make_typed_leaf<std::uint8_t>(e, std::move(attrs));
+      case AtomType::kInt16:
+        return make_typed_leaf<std::int16_t>(e, std::move(attrs));
+      case AtomType::kUInt16:
+        return make_typed_leaf<std::uint16_t>(e, std::move(attrs));
+      case AtomType::kInt32:
+        return make_typed_leaf<std::int32_t>(e, std::move(attrs));
+      case AtomType::kUInt32:
+        return make_typed_leaf<std::uint32_t>(e, std::move(attrs));
+      case AtomType::kInt64:
+        return make_typed_leaf<std::int64_t>(e, std::move(attrs));
+      case AtomType::kUInt64:
+        return make_typed_leaf<std::uint64_t>(e, std::move(attrs));
+      case AtomType::kFloat32:
+        return make_typed_leaf<float>(e, std::move(attrs));
+      case AtomType::kFloat64:
+        return make_typed_leaf<double>(e, std::move(attrs));
+      case AtomType::kBool:
+        return make_typed_leaf<bool>(e, std::move(attrs));
+    }
+    throw DecodeError("unknown leaf type code");
+  }
+
+  template <PackedAtomic T>
+  NodePtr make_typed_array(const Element& e, std::vector<Attribute> attrs,
+                           std::optional<std::string> item_name) {
+    auto arr = std::make_unique<ArrayElement<T>>(e.name());
+    for (const auto& c : e.children()) {
+      switch (c->kind()) {
+        case NodeKind::kText: {
+          // Whitespace between items is tolerated; anything else is data
+          // loss and rejected.
+          const auto& t = static_cast<const TextNode&>(*c).text();
+          if (!trim_xml_ws(t).empty()) {
+            throw DecodeError("unexpected text inside array element <" +
+                              e.name().local + ">");
+          }
+          break;
+        }
+        case NodeKind::kComment:
+        case NodeKind::kPI:
+          break;
+        case NodeKind::kElement: {
+          const auto& item = static_cast<const Element&>(*c);
+          if (!item_name) item_name = item.name().local;
+          ScalarValue v = parse(AtomTraits<T>::kType, element_text(item));
+          arr->values().push_back(scalar_get<T>(v));
+          break;
+        }
+        default:
+          throw DecodeError("unexpected typed child inside array element");
+      }
+    }
+    if (item_name) arr->set_item_name(*item_name);
+    finish_element_base(*arr, e, std::move(attrs));
+    return arr;
+  }
+
+  NodePtr make_array(AtomType t, const Element& e,
+                     std::vector<Attribute> attrs,
+                     std::optional<std::string> item_name) {
+    switch (t) {
+      case AtomType::kInt8:
+        return make_typed_array<std::int8_t>(e, std::move(attrs), item_name);
+      case AtomType::kUInt8:
+        return make_typed_array<std::uint8_t>(e, std::move(attrs), item_name);
+      case AtomType::kInt16:
+        return make_typed_array<std::int16_t>(e, std::move(attrs), item_name);
+      case AtomType::kUInt16:
+        return make_typed_array<std::uint16_t>(e, std::move(attrs), item_name);
+      case AtomType::kInt32:
+        return make_typed_array<std::int32_t>(e, std::move(attrs), item_name);
+      case AtomType::kUInt32:
+        return make_typed_array<std::uint32_t>(e, std::move(attrs), item_name);
+      case AtomType::kInt64:
+        return make_typed_array<std::int64_t>(e, std::move(attrs), item_name);
+      case AtomType::kUInt64:
+        return make_typed_array<std::uint64_t>(e, std::move(attrs), item_name);
+      case AtomType::kFloat32:
+        return make_typed_array<float>(e, std::move(attrs), item_name);
+      case AtomType::kFloat64:
+        return make_typed_array<double>(e, std::move(attrs), item_name);
+      case AtomType::kBool:
+      case AtomType::kString:
+        throw DecodeError("bool/string arrays are not packed types");
+    }
+    throw DecodeError("unknown array type code");
+  }
+
+  NodePtr transform_component(const Element& e) {
+    std::vector<Attribute> attrs = e.attributes();
+
+    if (auto t = take_annotation(attrs, kXsiUri, "type")) {
+      return make_leaf(parse_type_value(*t), e, std::move(attrs));
+    }
+    if (auto t = take_annotation(attrs, kBxUri, "arrayType")) {
+      auto item_name = take_annotation(attrs, kBxUri, "itemName");
+      return make_array(parse_type_value(*t), e, std::move(attrs), item_name);
+    }
+
+    auto out = std::make_unique<Element>(e.name());
+    finish_element_base(*out, e, std::move(attrs));
+    for (const auto& c : e.children()) {
+      if (const ElementBase* child = as_element(*c)) {
+        out->add_child(transform_element(*child));
+      } else {
+        out->add_child(c->clone());
+      }
+    }
+    return out;
+  }
+
+  ScalarValue parse(AtomType t, std::string_view text) const {
+    return opt_.era_number_parsing ? parse_scalar_era(t, text)
+                                   : parse_scalar(t, text);
+  }
+
+  RetypeOptions opt_;
+  std::vector<std::vector<NamespaceDecl>> scopes_;
+};
+
+}  // namespace
+
+DocumentPtr retype(const Document& doc, const RetypeOptions& opt) {
+  Retyper r(opt);
+  return r.transform_document(doc);
+}
+
+NodePtr retype_element(const ElementBase& element, const RetypeOptions& opt) {
+  Retyper r(opt);
+  return r.transform_element(element);
+}
+
+}  // namespace bxsoap::xml

@@ -1,0 +1,8 @@
+// Umbrella header for the textual XML 1.0 codec.
+#pragma once
+
+#include "xml/escape.hpp"     // IWYU pragma: export
+#include "xml/ns_constants.hpp"  // IWYU pragma: export
+#include "xml/parser.hpp"     // IWYU pragma: export
+#include "xml/retype.hpp"     // IWYU pragma: export
+#include "xml/writer.hpp"     // IWYU pragma: export

@@ -1,0 +1,478 @@
+#include "xslt/transform.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "common/numeric_text.hpp"
+#include "xml/parser.hpp"
+
+namespace bxsoap::xslt {
+
+using namespace bxsoap::xdm;
+
+namespace {
+
+/// A match pattern: "/", "*", or a (namespace, local) name test.
+struct MatchPattern {
+  enum class Kind { kRoot, kAnyElement, kName } kind = Kind::kAnyElement;
+  std::string namespace_uri;
+  bool any_namespace = true;
+  std::string local;
+
+  /// Specificity for template-precedence: name > * > (root handled apart).
+  int specificity() const {
+    return kind == Kind::kName ? 2 : (kind == Kind::kAnyElement ? 1 : 3);
+  }
+
+  bool matches_element(const ElementBase& e) const {
+    switch (kind) {
+      case Kind::kRoot:
+        return false;
+      case Kind::kAnyElement:
+        return true;
+      case Kind::kName:
+        return e.name().local == local &&
+               (any_namespace || e.name().namespace_uri == namespace_uri);
+    }
+    return false;
+  }
+};
+
+MatchPattern parse_pattern(std::string_view text, const PrefixMap& prefixes) {
+  const std::string_view t = trim_xml_ws(text);
+  MatchPattern p;
+  if (t == "/") {
+    p.kind = MatchPattern::Kind::kRoot;
+    return p;
+  }
+  if (t == "*") {
+    p.kind = MatchPattern::Kind::kAnyElement;
+    return p;
+  }
+  p.kind = MatchPattern::Kind::kName;
+  const auto colon = t.find(':');
+  if (colon == std::string_view::npos) {
+    p.local = std::string(t);
+    p.any_namespace = true;
+  } else {
+    const std::string prefix(t.substr(0, colon));
+    auto it = prefixes.find(prefix);
+    if (it == prefixes.end()) {
+      throw TransformError("unmapped prefix in match pattern '" +
+                           std::string(t) + "'");
+    }
+    p.namespace_uri = it->second;
+    p.any_namespace = false;
+    p.local = std::string(t.substr(colon + 1));
+  }
+  if (p.local.empty() || p.local.find('/') != std::string_view::npos) {
+    throw TransformError("unsupported match pattern '" + std::string(t) +
+                         "' (use '/', '*', name or pfx:name)");
+  }
+  return p;
+}
+
+/// The string value of any node (XPath semantics, matching path.cpp's).
+std::string node_string_value(const Node& n) {
+  switch (n.kind()) {
+    case NodeKind::kText:
+      return static_cast<const TextNode&>(n).text();
+    case NodeKind::kElement:
+      return static_cast<const Element&>(n).string_value();
+    case NodeKind::kLeafElement:
+      return static_cast<const LeafElementBase&>(n).text();
+    case NodeKind::kArrayElement: {
+      const auto& a = static_cast<const ArrayElementBase&>(n);
+      std::string out;
+      for (std::size_t i = 0; i < a.count(); ++i) {
+        if (i > 0) out += ' ';
+        a.append_item_text(i, out);
+      }
+      return out;
+    }
+    case NodeKind::kDocument: {
+      const auto& d = static_cast<const Document&>(n);
+      return d.has_root() ? node_string_value(d.root()) : std::string{};
+    }
+    default:
+      return {};
+  }
+}
+
+/// A select expression: ".", "@attr", or a compiled path.
+struct SelectExpr {
+  enum class Kind { kSelf, kAttribute, kPath } kind = Kind::kSelf;
+  std::string attr_local;
+  std::optional<Path> path;
+
+  static SelectExpr parse(std::string_view text, const PrefixMap& prefixes) {
+    const std::string_view t = trim_xml_ws(text);
+    SelectExpr e;
+    if (t.empty() || t == ".") {
+      e.kind = Kind::kSelf;
+      return e;
+    }
+    if (t.front() == '@') {
+      e.kind = Kind::kAttribute;
+      e.attr_local = std::string(t.substr(1));
+      if (e.attr_local.empty()) {
+        throw TransformError("empty attribute select");
+      }
+      return e;
+    }
+    e.kind = Kind::kPath;
+    try {
+      e.path = Path::compile(t, prefixes);
+    } catch (const PathError& err) {
+      throw TransformError("bad select '" + std::string(t) +
+                           "': " + err.what());
+    }
+    return e;
+  }
+
+  /// The string value of the expression at `context`.
+  std::string string_value(const Node& context) const {
+    switch (kind) {
+      case Kind::kSelf:
+        return node_string_value(context);
+      case Kind::kAttribute: {
+        const ElementBase* e = as_element(context);
+        if (e == nullptr) return {};
+        const Attribute* a = e->find_attribute(attr_local);
+        return a != nullptr ? a->text() : std::string{};
+      }
+      case Kind::kPath: {
+        const ElementBase* first = path->first(context);
+        return first != nullptr ? node_string_value(*first) : std::string{};
+      }
+    }
+    return {};
+  }
+
+  /// Nodes the expression selects at `context` (for apply-templates/test).
+  std::vector<const ElementBase*> select(const Node& context) const {
+    switch (kind) {
+      case Kind::kSelf: {
+        if (const ElementBase* e = as_element(context)) return {e};
+        return {};
+      }
+      case Kind::kAttribute:
+        return {};  // attributes are not applied to; use boolean() instead
+      case Kind::kPath:
+        return path->select(context);
+    }
+    return {};
+  }
+
+  /// XSLT boolean(): non-empty node set / non-empty string.
+  bool test(const Node& context) const {
+    switch (kind) {
+      case Kind::kSelf:
+        return true;
+      case Kind::kAttribute: {
+        const ElementBase* e = as_element(context);
+        return e != nullptr && e->find_attribute(attr_local) != nullptr;
+      }
+      case Kind::kPath:
+        return !path->select(context).empty();
+    }
+    return false;
+  }
+};
+
+struct Template {
+  MatchPattern match;
+  const Element* body;  // points into the owned stylesheet document
+};
+
+}  // namespace
+
+struct Stylesheet::Impl {
+  DocumentPtr owned_doc;  // keeps Template::body pointers alive
+  PrefixMap prefixes;
+  std::vector<Template> templates;
+
+  const Template* find_template(const Node& n) const {
+    const Template* best = nullptr;
+    if (n.kind() == NodeKind::kDocument) {
+      for (const auto& t : templates) {
+        if (t.match.kind == MatchPattern::Kind::kRoot) return &t;
+      }
+      return nullptr;
+    }
+    const ElementBase* e = as_element(n);
+    if (e == nullptr) return nullptr;
+    for (const auto& t : templates) {
+      if (t.match.matches_element(*e) &&
+          (best == nullptr ||
+           t.match.specificity() > best->match.specificity())) {
+        best = &t;
+      }
+    }
+    return best;
+  }
+
+  // ---- execution ----------------------------------------------------------
+
+  void apply_to(const Node& n, Element& out) const {
+    if (const Template* t = find_template(n)) {
+      instantiate(*t->body, n, out);
+      return;
+    }
+    // Built-in rules.
+    switch (n.kind()) {
+      case NodeKind::kDocument:
+        for (const auto& c : static_cast<const Document&>(n).children()) {
+          apply_to(*c, out);
+        }
+        break;
+      case NodeKind::kElement:
+        for (const auto& c : static_cast<const Element&>(n).children()) {
+          apply_to(*c, out);
+        }
+        break;
+      case NodeKind::kText:
+      case NodeKind::kLeafElement:
+      case NodeKind::kArrayElement: {
+        std::string text = node_string_value(n);
+        if (!text.empty()) out.add_text(std::move(text));
+        break;
+      }
+      default:
+        break;  // comments and PIs are dropped, per XSLT's built-ins
+    }
+  }
+
+  /// Instantiate a template body (children of <xsl:template>) at `context`,
+  /// appending output nodes to `out`.
+  void instantiate(const Element& body, const Node& context,
+                   Element& out) const {
+    for (const auto& child : body.children()) {
+      instantiate_node(*child, context, out);
+    }
+  }
+
+  void instantiate_node(const Node& n, const Node& context,
+                        Element& out) const {
+    switch (n.kind()) {
+      case NodeKind::kText:
+        out.add_text(static_cast<const TextNode&>(n).text());
+        return;
+      case NodeKind::kComment:
+      case NodeKind::kPI:
+        return;  // stylesheet comments are not copied
+      case NodeKind::kLeafElement:
+      case NodeKind::kArrayElement:
+        // Typed literal result elements: copy verbatim.
+        out.add_child(n.clone());
+        return;
+      case NodeKind::kElement:
+        break;
+      default:
+        return;
+    }
+
+    const auto& e = static_cast<const Element&>(n);
+    if (e.name().namespace_uri == kXslUri) {
+      run_instruction(e, context, out);
+      return;
+    }
+    // Literal result element: shallow-copy the shell (attribute value
+    // templates interpolated), recurse into content.
+    auto copy = make_element(e.name());
+    for (const auto& d : e.namespaces()) {
+      if (d.uri != kXslUri) copy->declare_namespace(d.prefix, d.uri);
+    }
+    for (const auto& a : e.attributes()) {
+      if (const std::string* text = std::get_if<std::string>(&a.value)) {
+        copy->add_attribute(a.name, expand_avt(*text, context));
+      } else {
+        copy->add_attribute(a.name, a.value);
+      }
+    }
+    instantiate(e, context, *copy);
+    out.add_child(std::move(copy));
+  }
+
+  /// Attribute value template: "{EXPR}" spans are replaced by the
+  /// expression's string value; "{{" and "}}" escape literal braces.
+  std::string expand_avt(std::string_view text, const Node& context) const {
+    std::string out;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      const char c = text[i];
+      if (c == '{') {
+        if (i + 1 < text.size() && text[i + 1] == '{') {
+          out.push_back('{');
+          ++i;
+          continue;
+        }
+        const std::size_t close = text.find('}', i + 1);
+        if (close == std::string_view::npos) {
+          throw TransformError("unterminated '{' in attribute value "
+                               "template");
+        }
+        out += SelectExpr::parse(text.substr(i + 1, close - i - 1), prefixes)
+                   .string_value(context);
+        i = close;
+      } else if (c == '}') {
+        if (i + 1 < text.size() && text[i + 1] == '}') {
+          out.push_back('}');
+          ++i;
+          continue;
+        }
+        throw TransformError("stray '}' in attribute value template");
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  void run_instruction(const Element& e, const Node& context,
+                       Element& out) const {
+    const std::string& op = e.name().local;
+    auto select_of = [&](const char* attr,
+                         const char* fallback) -> SelectExpr {
+      const Attribute* a = e.find_attribute(attr);
+      return SelectExpr::parse(a != nullptr ? a->text() : fallback,
+                               prefixes);
+    };
+
+    if (op == "value-of") {
+      std::string text = select_of("select", ".").string_value(context);
+      if (!text.empty()) out.add_text(std::move(text));
+      return;
+    }
+    if (op == "apply-templates") {
+      const Attribute* sel = e.find_attribute("select");
+      if (sel == nullptr) {
+        // All children of the context node.
+        if (context.kind() == NodeKind::kDocument) {
+          for (const auto& c :
+               static_cast<const Document&>(context).children()) {
+            apply_to(*c, out);
+          }
+        } else if (context.kind() == NodeKind::kElement) {
+          for (const auto& c :
+               static_cast<const Element&>(context).children()) {
+            apply_to(*c, out);
+          }
+        }
+        return;
+      }
+      for (const ElementBase* target :
+           SelectExpr::parse(sel->text(), prefixes).select(context)) {
+        apply_to(*target, out);
+      }
+      return;
+    }
+    if (op == "if") {
+      const Attribute* test = e.find_attribute("test");
+      if (test == nullptr) throw TransformError("xsl:if without @test");
+      if (SelectExpr::parse(test->text(), prefixes).test(context)) {
+        instantiate(e, context, out);
+      }
+      return;
+    }
+    if (op == "for-each") {
+      const Attribute* sel = e.find_attribute("select");
+      if (sel == nullptr) {
+        throw TransformError("xsl:for-each without @select");
+      }
+      for (const ElementBase* item :
+           SelectExpr::parse(sel->text(), prefixes).select(context)) {
+        instantiate(e, *item, out);  // context switches to the item
+      }
+      return;
+    }
+    if (op == "choose") {
+      for (const ElementBase* branch :
+           static_cast<const Element&>(e).child_elements()) {
+        if (branch->name().namespace_uri != kXslUri ||
+            branch->kind() != NodeKind::kElement) {
+          throw TransformError("xsl:choose may only contain when/otherwise");
+        }
+        const auto& be = static_cast<const Element&>(*branch);
+        if (branch->name().local == "when") {
+          const Attribute* test = be.find_attribute("test");
+          if (test == nullptr) {
+            throw TransformError("xsl:when without @test");
+          }
+          if (SelectExpr::parse(test->text(), prefixes).test(context)) {
+            instantiate(be, context, out);
+            return;
+          }
+        } else if (branch->name().local == "otherwise") {
+          instantiate(be, context, out);
+          return;
+        } else {
+          throw TransformError("unexpected xsl:" + branch->name().local +
+                               " inside xsl:choose");
+        }
+      }
+      return;  // no branch taken
+    }
+    throw TransformError("unsupported instruction xsl:" + op);
+  }
+};
+
+Stylesheet::Stylesheet(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Stylesheet::~Stylesheet() = default;
+Stylesheet::Stylesheet(Stylesheet&&) noexcept = default;
+Stylesheet& Stylesheet::operator=(Stylesheet&&) noexcept = default;
+
+Stylesheet Stylesheet::compile(const Document& stylesheet_doc,
+                               const PrefixMap& prefixes) {
+  auto impl = std::make_unique<Impl>();
+  impl->prefixes = prefixes;
+  impl->owned_doc = DocumentPtr(
+      static_cast<Document*>(stylesheet_doc.clone().release()));
+
+  const ElementBase& root = impl->owned_doc->root();
+  if (root.name().namespace_uri != kXslUri ||
+      root.name().local != "stylesheet" ||
+      root.kind() != NodeKind::kElement) {
+    throw TransformError("root element must be xsl:stylesheet");
+  }
+  for (const ElementBase* child :
+       static_cast<const Element&>(root).child_elements()) {
+    if (child->name().namespace_uri != kXslUri ||
+        child->name().local != "template" ||
+        child->kind() != NodeKind::kElement) {
+      throw TransformError("only xsl:template is allowed at the top level");
+    }
+    const Attribute* match = child->find_attribute("match");
+    if (match == nullptr) {
+      throw TransformError("xsl:template without @match");
+    }
+    impl->templates.push_back(
+        {parse_pattern(match->text(), prefixes),
+         static_cast<const Element*>(child)});
+  }
+  if (impl->templates.empty()) {
+    throw TransformError("stylesheet has no templates");
+  }
+  return Stylesheet(std::move(impl));
+}
+
+Stylesheet Stylesheet::compile(std::string_view stylesheet_xml,
+                               const PrefixMap& prefixes) {
+  xml::ParseOptions opt;
+  opt.ignore_whitespace = true;
+  return compile(*xml::parse_xml(stylesheet_xml, opt), prefixes);
+}
+
+DocumentPtr Stylesheet::apply(const Document& source) const {
+  // Collect output under a scratch element, then move its children into a
+  // fresh document.
+  Element scratch{QName("result-fragment")};
+  impl_->apply_to(source, scratch);
+
+  auto out = std::make_unique<Document>();
+  while (scratch.child_count() > 0) {
+    out->add_child(scratch.remove_child(0));
+  }
+  return out;
+}
+
+}  // namespace bxsoap::xslt

@@ -1,0 +1,72 @@
+// A miniature XSLT engine over bXDM — the second half of the paper's
+// Figure 3 claim that "any XDM-based XML processing (e.g., XPath or XSLT)
+// should be able to run with binary XML with minor modification". The
+// stylesheet below transforms a document identically whether the input was
+// built in memory, parsed from textual XML, or decoded from BXSA frames.
+//
+// Supported subset (XSLT 1.0 shapes):
+//
+//   <xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+//     <xsl:template match="PATTERN">          pattern: "/", name, pfx:name,
+//       ...literal result elements...                  or "*"
+//       <xsl:value-of select="EXPR"/>         EXPR: path (xdm::Path subset),
+//       <xsl:apply-templates [select="PATH"]/>      ".", or "@attr"
+//       <xsl:if test="EXPR">...</xsl:if>      true when EXPR selects
+//       <xsl:for-each select="PATH">...</xsl:for-each>    something
+//       <xsl:choose><xsl:when test="E">...</xsl:when>
+//                   <xsl:otherwise>...</xsl:otherwise></xsl:choose>
+//     </xsl:template>
+//   </xsl:stylesheet>
+//
+// Literal result elements support attribute value templates:
+// out="{EXPR}text" interpolates the expression's string value.
+//
+// Built-in rules mirror XSLT's: document/element nodes apply templates to
+// their children; text, leaf and array elements emit their string value.
+// Template precedence: named match > "*" > built-in.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "xdm/node.hpp"
+#include "xdm/path.hpp"
+
+namespace bxsoap::xslt {
+
+inline constexpr std::string_view kXslUri =
+    "http://www.w3.org/1999/XSL/Transform";
+
+class TransformError : public Error {
+ public:
+  explicit TransformError(const std::string& what)
+      : Error("xslt: " + what) {}
+};
+
+/// A compiled stylesheet (parse once, run many times).
+class Stylesheet {
+ public:
+  /// Compile from a stylesheet DOCUMENT (usually xml::parse_xml output).
+  /// `prefixes` maps the prefixes used inside select/match expressions.
+  static Stylesheet compile(const xdm::Document& stylesheet_doc,
+                            const xdm::PrefixMap& prefixes = {});
+
+  /// Convenience: compile from stylesheet text.
+  static Stylesheet compile(std::string_view stylesheet_xml,
+                            const xdm::PrefixMap& prefixes = {});
+
+  /// Apply to a source document; the result is a new document whose
+  /// children are whatever the templates produced.
+  xdm::DocumentPtr apply(const xdm::Document& source) const;
+
+  ~Stylesheet();
+  Stylesheet(Stylesheet&&) noexcept;
+  Stylesheet& operator=(Stylesheet&&) noexcept;
+
+ private:
+  struct Impl;
+  explicit Stylesheet(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bxsoap::xslt

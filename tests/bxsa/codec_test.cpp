@@ -1,0 +1,454 @@
+#include <gtest/gtest.h>
+
+#include "bxsa/decoder.hpp"
+#include "bxsa/encoder.hpp"
+#include "bxsa/frame.hpp"
+#include "common/prng.hpp"
+#include "common/vls.hpp"
+#include "xdm/dump.hpp"
+#include "xdm/equal.hpp"
+
+namespace bxsoap::bxsa {
+namespace {
+
+using namespace bxsoap::xdm;
+
+void expect_round_trip(const Node& node,
+                       ByteOrder order = host_byte_order()) {
+  EncodeOptions opt;
+  opt.order = order;
+  const auto bytes = encode(node, opt);
+  const NodePtr back = decode(bytes);
+  EXPECT_TRUE(deep_equal(node, *back))
+      << first_difference(node, *back) << "\noriginal:\n"
+      << dump(node) << "decoded:\n"
+      << dump(*back);
+}
+
+TEST(BxsaCodec, EmptyElement) {
+  Element e{QName("empty")};
+  expect_round_trip(e);
+}
+
+TEST(BxsaCodec, DocumentWithPrologAndRoot) {
+  auto doc = std::make_unique<Document>();
+  doc->add_child(std::make_unique<CommentNode>("prolog"));
+  doc->add_child(std::make_unique<PINode>("pi-target", "pi data"));
+  doc->add_child(make_element(QName("root")));
+  expect_round_trip(*doc);
+}
+
+TEST(BxsaCodec, LeafValuesAllTypes) {
+  auto root = make_element(QName("r"));
+  root->add_child(make_leaf<std::int8_t>(QName("i8"), -128));
+  root->add_child(make_leaf<std::uint8_t>(QName("u8"), 255));
+  root->add_child(make_leaf<std::int16_t>(QName("i16"), -32768));
+  root->add_child(make_leaf<std::uint16_t>(QName("u16"), 65535));
+  root->add_child(make_leaf<std::int32_t>(QName("i32"), -2147483648));
+  root->add_child(make_leaf<std::uint32_t>(QName("u32"), 4294967295u));
+  root->add_child(make_leaf<std::int64_t>(
+      QName("i64"), std::numeric_limits<std::int64_t>::min()));
+  root->add_child(make_leaf<std::uint64_t>(
+      QName("u64"), std::numeric_limits<std::uint64_t>::max()));
+  root->add_child(make_leaf<float>(QName("f32"), -0.0f));
+  root->add_child(make_leaf<double>(QName("f64"), 1.7976931348623157e308));
+  root->add_child(make_leaf<bool>(QName("bt"), true));
+  root->add_child(make_leaf<bool>(QName("bf"), false));
+  root->add_child(make_leaf<std::string>(QName("s"), std::string("hi there")));
+  expect_round_trip(*root);
+  expect_round_trip(*root, ByteOrder::kBig);
+}
+
+TEST(BxsaCodec, ArraysAllPackedTypes) {
+  auto root = make_element(QName("r"));
+  root->add_child(make_array<std::int8_t>(QName("a1"), {-1, 0, 1}));
+  root->add_child(make_array<std::uint8_t>(QName("a2"), {7}));
+  root->add_child(make_array<std::int16_t>(QName("a3"), {-9, 9}));
+  root->add_child(make_array<std::uint16_t>(QName("a4"), {65535}));
+  root->add_child(make_array<std::int32_t>(QName("a5"), {1, 2, 3, 4}));
+  root->add_child(make_array<std::uint32_t>(QName("a6"), {0xDEADBEEF}));
+  root->add_child(make_array<std::int64_t>(QName("a7"), {-5, 5}));
+  root->add_child(make_array<std::uint64_t>(QName("a8"), {1ull << 60}));
+  root->add_child(make_array<float>(QName("a9"), {1.5f, -2.5f}));
+  root->add_child(make_array<double>(QName("a10"), {3.141592653589793}));
+  expect_round_trip(*root);
+  expect_round_trip(*root, ByteOrder::kBig);
+}
+
+TEST(BxsaCodec, EmptyArray) {
+  auto root = make_element(QName("r"));
+  root->add_child(make_array<double>(QName("a"), {}));
+  expect_round_trip(*root);
+}
+
+TEST(BxsaCodec, MixedContent) {
+  auto root = make_element(QName("r"));
+  root->add_text("before ");
+  auto& mid = root->add_element(QName("mid"));
+  mid.add_text("inner");
+  root->add_text(" after");
+  root->add_child(std::make_unique<CommentNode>("note"));
+  root->add_child(std::make_unique<PINode>("app", "hint"));
+  expect_round_trip(*root);
+}
+
+TEST(BxsaCodec, AttributesTypedRoundTrip) {
+  auto e = make_element(QName("e"));
+  e->add_attribute(QName("s"), std::string("text \"quoted\""));
+  e->add_attribute(QName("i"), std::int32_t{-42});
+  e->add_attribute(QName("d"), 2.5);
+  e->add_attribute(QName("b"), true);
+  e->add_attribute(QName("u"), std::uint64_t{1} << 50);
+  expect_round_trip(*e);
+  expect_round_trip(*e, ByteOrder::kBig);
+}
+
+TEST(BxsaCodec, NamespacesOnElementsAndAttributes) {
+  auto root = make_element(QName("urn:a", "root", "a"));
+  root->declare_namespace("a", "urn:a");
+  root->declare_namespace("b", "urn:b");
+  root->add_attribute(QName("urn:b", "k", "b"), std::string("v"));
+  auto child = make_element(QName("urn:b", "child", "b"));
+  child->add_attribute(QName("urn:a", "ka", "a"), std::int32_t{1});
+  auto grand = make_element(QName("urn:a", "grand", "a"));
+  child->add_child(std::move(grand));
+  root->add_child(std::move(child));
+  auto back_doc = make_document(std::move(root));
+  expect_round_trip(*back_doc);
+
+  // Prefixes must survive (strict comparison).
+  const auto bytes = encode(*back_doc);
+  const NodePtr back = decode(bytes);
+  EqualOptions strict;
+  strict.compare_prefixes = true;
+  EXPECT_TRUE(deep_equal(*back_doc, *back, strict))
+      << first_difference(*back_doc, *back, strict);
+}
+
+TEST(BxsaCodec, UndeclaredNamespaceIsAutoDeclared) {
+  // The model never declared urn:x; the codec must still round-trip the
+  // expanded names (an auto-declaration lands in the frame's table).
+  Element e{QName("urn:x", "r", "x")};
+  const auto bytes = encode(e);
+  const NodePtr back = decode(bytes);
+  const auto* el = as<Element>(*back);
+  ASSERT_NE(el, nullptr);
+  EXPECT_EQ(el->name().namespace_uri, "urn:x");
+  EXPECT_EQ(el->name().prefix, "x");
+  ASSERT_EQ(el->namespaces().size(), 1u);
+  EXPECT_EQ(el->namespaces()[0].uri, "urn:x");
+}
+
+TEST(BxsaCodec, DefaultNamespace) {
+  auto root = make_element(QName("urn:d", "r"));
+  root->declare_namespace("", "urn:d");
+  root->add_child(make_element(QName("urn:d", "c")));
+  expect_round_trip(*root);
+}
+
+TEST(BxsaCodec, SameLocalNameDifferentNamespaces) {
+  auto root = make_element(QName("r"));
+  root->add_child(make_element(QName("urn:a", "x", "a")));
+  root->add_child(make_element(QName("urn:b", "x", "b")));
+  expect_round_trip(*root);
+}
+
+TEST(BxsaCodec, DeepNesting) {
+  auto root = make_element(QName("urn:deep", "l0", "d"));
+  root->declare_namespace("d", "urn:deep");
+  Element* cur = root.get();
+  for (int i = 1; i < 40; ++i) {
+    cur = &cur->add_element(
+        QName("urn:deep", "l" + std::to_string(i), "d"));
+  }
+  cur->add_child(make_array<double>(QName("urn:deep", "payload", "d"),
+                                    {1.0, 2.0, 3.0}));
+  expect_round_trip(*root);
+}
+
+TEST(BxsaCodec, ItemNamePreserved) {
+  auto arr = make_array<std::int32_t>(QName("a"), {1});
+  arr->set_item_name("value");
+  const auto bytes = encode(*arr);
+  const NodePtr back = decode(bytes);
+  EXPECT_EQ(static_cast<const ArrayElementBase&>(*back).item_name(), "value");
+}
+
+TEST(BxsaCodec, UnicodeNamesAndText) {
+  auto root = make_element(QName("r\xC3\xA9sum\xC3\xA9"));
+  root->add_text("caf\xC3\xA9 \xE2\x82\xAC");
+  root->add_attribute(QName("\xCE\xB1"), std::string("\xCE\xB2"));
+  expect_round_trip(*root);
+}
+
+TEST(BxsaCodec, LeadWorkloadShape) {
+  // The paper's experiment payload: parallel int32 index + float64 value.
+  SplitMix64 rng(42);
+  std::vector<std::int32_t> idx(1000);
+  std::vector<double> val(1000);
+  for (int i = 0; i < 1000; ++i) {
+    idx[i] = i;
+    val[i] = rng.next_double(200, 320);
+  }
+  auto root = make_element(QName("urn:lead", "data", "lead"));
+  root->declare_namespace("lead", "urn:lead");
+  root->add_child(make_array<std::int32_t>(QName("urn:lead", "index", "lead"),
+                                           idx));
+  root->add_child(
+      make_array<double>(QName("urn:lead", "values", "lead"), val));
+  auto doc = make_document(std::move(root));
+  expect_round_trip(*doc);
+  expect_round_trip(*doc, ByteOrder::kBig);
+}
+
+// ---- alignment ---------------------------------------------------------------
+
+TEST(BxsaAlignment, DoublePayloadIsEightByteAligned) {
+  auto root = make_element(QName("x"));  // odd-sized header
+  root->add_child(make_array<double>(QName("a"), {1.0, 2.0}));
+  const auto bytes = encode(*root);
+
+  // Find the payload by looking for the bit pattern of 1.0 at an aligned
+  // offset.
+  double one = 1.0;
+  std::uint8_t pattern[8];
+  std::memcpy(pattern, &one, 8);
+  bool found = false;
+  for (std::size_t off = 0; off + 16 <= bytes.size(); ++off) {
+    if (std::memcmp(bytes.data() + off, pattern, 8) == 0) {
+      EXPECT_EQ(off % 8, 0u) << "payload at offset " << off;
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BxsaAlignment, VaryingPrefixLengthsStayAligned) {
+  // Sweep element-name lengths so the header preceding the array payload
+  // takes every residue mod 8; alignment must hold for all of them.
+  for (int pad = 0; pad < 16; ++pad) {
+    auto root = make_element(QName(std::string("n") + std::string(pad, 'x')));
+    root->add_child(make_array<std::int64_t>(
+        QName("a"), {0x0101010101010101LL, 0x0202020202020202LL}));
+    const auto bytes = encode(*root);
+    const NodePtr back = decode(bytes);
+    EXPECT_TRUE(deep_equal(*root, *back)) << "pad=" << pad;
+
+    std::uint8_t pattern[8];
+    const std::int64_t v = 0x0101010101010101LL;
+    std::memcpy(pattern, &v, 8);
+    for (std::size_t off = 0; off + 8 <= bytes.size(); ++off) {
+      if (std::memcmp(bytes.data() + off, pattern, 8) == 0) {
+        EXPECT_EQ(off % 8, 0u) << "pad=" << pad;
+        break;
+      }
+    }
+  }
+}
+
+TEST(BxsaAlignment, NestedArraysAllAligned) {
+  auto root = make_element(QName("r"));
+  for (int i = 0; i < 5; ++i) {
+    auto& c = root->add_element(QName("c" + std::to_string(i)));
+    c.add_child(make_array<double>(QName("a"),
+                                   {1.0 + i, 2.0 + i, 3.0 + i}));
+  }
+  expect_round_trip(*root);
+}
+
+// ---- random property test ----------------------------------------------------
+
+NodePtr random_tree(SplitMix64& rng, int depth) {
+  const std::uint64_t pick = rng.next_below(depth > 3 ? 3 : 5);
+  switch (pick) {
+    case 0: {  // leaf double
+      return make_leaf<double>(QName("leaf" + std::to_string(rng.next_below(5))),
+                               rng.next_double(-1e10, 1e10));
+    }
+    case 1: {  // leaf string
+      std::string s;
+      for (std::uint64_t i = 0, n = rng.next_below(20); i < n; ++i) {
+        s.push_back(static_cast<char>('a' + rng.next_below(26)));
+      }
+      return make_leaf<std::string>(QName("s"), std::move(s));
+    }
+    case 2: {  // array
+      std::vector<std::int32_t> v(rng.next_below(30));
+      for (auto& x : v) x = rng.next_i32();
+      return make_array<std::int32_t>(QName("arr"), std::move(v));
+    }
+    default: {  // component with random children
+      auto e = make_element(QName("urn:ns" + std::to_string(rng.next_below(3)),
+                                  "el" + std::to_string(rng.next_below(4)),
+                                  "p" + std::to_string(rng.next_below(3))));
+      if (rng.next_bool()) {
+        e->add_attribute(QName("k" + std::to_string(rng.next_below(3))),
+                         static_cast<std::int32_t>(rng.next_i32()));
+      }
+      const std::uint64_t n = rng.next_below(4);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        if (rng.next_below(5) == 0) {
+          e->add_text("t" + std::to_string(rng.next_below(100)));
+        } else {
+          e->add_child(random_tree(rng, depth + 1));
+        }
+      }
+      return e;
+    }
+  }
+}
+
+class BxsaRandomRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BxsaRandomRoundTrip, EncodeDecodeEquals) {
+  SplitMix64 rng(GetParam());
+  auto root = make_element(QName("root"));
+  const std::uint64_t n = 1 + rng.next_below(6);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    root->add_child(random_tree(rng, 0));
+  }
+  auto doc = make_document(std::move(root));
+  const ByteOrder order =
+      rng.next_bool() ? ByteOrder::kLittle : ByteOrder::kBig;
+  EncodeOptions opt;
+  opt.order = order;
+  const auto bytes = encode(*doc, opt);
+  const NodePtr back = decode(bytes);
+  EXPECT_TRUE(deep_equal(*doc, *back)) << first_difference(*doc, *back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BxsaRandomRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// ---- malformed input ----------------------------------------------------------
+
+TEST(BxsaDecodeErrors, EmptyInput) {
+  EXPECT_THROW(decode({}), DecodeError);
+}
+
+TEST(BxsaDecodeErrors, UnknownFrameType) {
+  const std::uint8_t bytes[] = {0x3F, 0x00};
+  EXPECT_THROW(decode({bytes, 2}), DecodeError);
+}
+
+TEST(BxsaDecodeErrors, ReservedByteOrderBits) {
+  const std::uint8_t bytes[] = {0x81, 0x00};  // BO bits = 10
+  EXPECT_THROW(decode({bytes, 2}), DecodeError);
+}
+
+TEST(BxsaDecodeErrors, SizeBeyondBuffer) {
+  const std::uint8_t bytes[] = {0x05, 0x7F, 'x'};  // chardata claiming 127 B
+  EXPECT_THROW(decode({bytes, 3}), DecodeError);
+}
+
+TEST(BxsaDecodeErrors, TruncatedEverywhere) {
+  // Chop a valid document at every byte; the decoder must throw, never
+  // crash or loop.
+  auto root = make_element(QName("urn:x", "r", "x"));
+  root->add_attribute(QName("k"), 2.5);
+  root->add_child(make_array<double>(QName("a"), {1.0, 2.0}));
+  root->add_child(make_leaf<std::int32_t>(QName("n"), 5));
+  const auto bytes = encode(*root);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW(decode({bytes.data(), cut}), DecodeError) << "cut=" << cut;
+  }
+}
+
+TEST(BxsaDecodeErrors, TrailingGarbage) {
+  Element e{QName("r")};
+  auto bytes = encode(e);
+  bytes.push_back(0x00);
+  EXPECT_THROW(decode(bytes), DecodeError);
+}
+
+TEST(BxsaDecodeErrors, BadNamespaceIndex) {
+  // Craft: component element frame with ns ref depth=1 index=5 but empty
+  // table. Header: N1=0, name ref depth=1 index=5 name "r", N2=0, count=0.
+  std::vector<std::uint8_t> body = {0x00, 0x01, 0x05, 0x01, 'r', 0x00, 0x00};
+  std::vector<std::uint8_t> bytes = {0x02,
+                                     static_cast<std::uint8_t>(body.size())};
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  EXPECT_THROW(decode(bytes), DecodeError);
+}
+
+TEST(BxsaDecodeErrors, BadScopeDepth) {
+  // depth=3 with only this frame's scope open.
+  std::vector<std::uint8_t> body = {0x00, 0x03, 0x00, 0x01, 'r', 0x00, 0x00};
+  std::vector<std::uint8_t> bytes = {0x02,
+                                     static_cast<std::uint8_t>(body.size())};
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  EXPECT_THROW(decode(bytes), DecodeError);
+}
+
+TEST(BxsaDecodeErrors, BadBoolByte) {
+  // Leaf frame: N1=0, name depth=0 "b", N2=0, type=bool(11), value=7.
+  std::vector<std::uint8_t> body = {0x00, 0x00, 0x01, 'b', 0x00, 11, 7};
+  std::vector<std::uint8_t> bytes = {0x03,
+                                     static_cast<std::uint8_t>(body.size())};
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  EXPECT_THROW(decode(bytes), DecodeError);
+}
+
+TEST(BxsaDecodeErrors, DocumentRequiredByDecodeDocument) {
+  Element e{QName("r")};
+  const auto bytes = encode(e);
+  EXPECT_THROW(decode_document(bytes), DecodeError);
+  auto doc = make_document(make_element(QName("r")));
+  EXPECT_NO_THROW(decode_document(encode(*doc)));
+}
+
+TEST(BxsaDecodeErrors, PathologicalNestingHitsDepthLimit) {
+  // Hand-build 2000 nested component frames (the encoder would need a real
+  // 2000-deep tree; hostile bytes do not). The decoder must refuse, not
+  // exhaust the stack.
+  // Innermost: empty component element <a/>.
+  std::vector<std::uint8_t> frame = {0x02, 0x07, 0x00, 0x00,
+                                     0x01, 'a',  0x00, 0x00};
+  for (int i = 0; i < 2000; ++i) {
+    // Wrap: body = N1=0, name(depth0,"a"), N2=0, count=1, child frame.
+    std::vector<std::uint8_t> body = {0x00, 0x00, 0x01, 'a', 0x00, 0x01};
+    body.insert(body.end(), frame.begin(), frame.end());
+    std::vector<std::uint8_t> wrapped = {0x02};
+    ByteWriter size_field;
+    vls_write(size_field, body.size());
+    wrapped.insert(wrapped.end(), size_field.bytes().begin(),
+                   size_field.bytes().end());
+    wrapped.insert(wrapped.end(), body.begin(), body.end());
+    frame = std::move(wrapped);
+  }
+  EXPECT_THROW(decode(frame), DecodeError);
+}
+
+// ---- size characteristics (Table 1 sanity) ------------------------------------
+
+TEST(BxsaSize, OverheadIsSmallForLeadWorkload) {
+  std::vector<std::int32_t> idx(1000);
+  std::vector<double> val(1000);
+  for (int i = 0; i < 1000; ++i) {
+    idx[i] = i;
+    val[i] = 273.15 + i * 0.01;
+  }
+  auto root = make_element(QName("data"));
+  root->add_child(make_array<std::int32_t>(QName("index"), idx));
+  root->add_child(make_array<double>(QName("values"), val));
+  auto doc = make_document(std::move(root));
+  const auto bytes = encode(*doc);
+  const std::size_t native = 1000 * (4 + 8);
+  const double overhead =
+      static_cast<double>(bytes.size() - native) / native;
+  EXPECT_GT(bytes.size(), native);
+  EXPECT_LT(overhead, 0.02) << "paper reports ~1.3% for BXSA";
+}
+
+TEST(BxsaSize, LeafFrameUsesCanonicalSize) {
+  // A tiny leaf must not pay the 5-byte backpatched size field.
+  LeafElement<std::int8_t> leaf{QName("v"), 1};
+  const auto bytes = encode(leaf);
+  // prefix(1) + size(1) + N1(1) + depth(1) + namelen(1)+'v' + N2(1) +
+  // type(1) + value(1) = 9 bytes.
+  EXPECT_EQ(bytes.size(), 9u);
+}
+
+}  // namespace
+}  // namespace bxsoap::bxsa

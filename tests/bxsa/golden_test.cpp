@@ -1,0 +1,85 @@
+// Golden-bytes tests: pin the BXSA wire format down to the byte so
+// accidental format changes are caught (a serialization library's on-disk
+// format is an API).
+#include <gtest/gtest.h>
+
+#include "bxsa/encoder.hpp"
+#include "bxsa/decoder.hpp"
+#include "common/hex.hpp"
+#include "xdm/equal.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::bxsa {
+namespace {
+
+using namespace bxsoap::xdm;
+
+TEST(BxsaGolden, LeafFrameBytes) {
+  // leaf <v>=int8 1, little endian:
+  //   prefix 0x03 (LE, leaf), size 0x07,
+  //   N1=0, name{depth 0, len 1, 'v'}, N2=0, type 1 (int8), value 0x01
+  LeafElement<std::int8_t> leaf{QName("v"), 1};
+  EncodeOptions opt;
+  opt.order = ByteOrder::kLittle;
+  EXPECT_EQ(to_hex(encode(leaf, opt)), "0307000001760001" "01");
+}
+
+TEST(BxsaGolden, BigEndianPrefixBit) {
+  LeafElement<std::int8_t> leaf{QName("v"), 1};
+  EncodeOptions opt;
+  opt.order = ByteOrder::kBig;
+  const auto bytes = encode(leaf, opt);
+  EXPECT_EQ(bytes[0], 0x43) << "BO bits 01 in the high bits of the prefix";
+}
+
+TEST(BxsaGolden, CharacterDataFrame) {
+  // chardata "hi": prefix 0x05, size 3, count VLS 2, 'h' 'i'
+  TextNode t{"hi"};
+  EXPECT_EQ(to_hex(encode(t)), "0503026869");
+}
+
+TEST(BxsaGolden, CommentAndPiFrames) {
+  CommentNode c{"x"};
+  EXPECT_EQ(to_hex(encode(c)), "07020178");
+  PINode pi{"t", "d"};
+  EXPECT_EQ(to_hex(encode(pi)), "060401740164");
+}
+
+TEST(BxsaGolden, Int16LeafValueLittleEndian) {
+  LeafElement<std::int16_t> leaf{QName("v"), 0x0102};
+  EncodeOptions opt;
+  opt.order = ByteOrder::kLittle;
+  // ... type 3 (int16), value 02 01 (LE)
+  EXPECT_EQ(to_hex(encode(leaf, opt)), "030800000176000" "30201");
+}
+
+TEST(BxsaGolden, ArrayFrameLayout) {
+  // array <a> of 2 x int16 {1,2}, little endian, at document offset 0:
+  //   prefix 0x04, size = 5-byte padded VLS,
+  //   N1=0, name{0,1,'a'}, N2=0, itemtype 3, itemname{1,'d'}, count 2,
+  //   padding to align offset to 2, payload 01 00 02 00
+  ArrayElement<std::int16_t> arr{QName("a"), {1, 2}};
+  EncodeOptions opt;
+  opt.order = ByteOrder::kLittle;
+  const auto bytes = encode(arr, opt);
+  const std::string hex = to_hex(bytes);
+  // Body = header 6 + itemtype 1 + itemname 2 + count 1 + pad 1 +
+  // payload 4 = 14 bytes, in a 5-byte redundant VLS: 8e 80 80 80 00.
+  EXPECT_TRUE(hex.starts_with("048e80808000")) << hex;
+  // Payload is the last 4 bytes, little-endian 1 then 2, at even offset.
+  EXPECT_TRUE(hex.ends_with("01000200")) << hex;
+  EXPECT_EQ(bytes.size() % 2, 0u);
+  EXPECT_EQ(bytes.size(), 20u);
+}
+
+TEST(BxsaGolden, GoldenBytesDecodeBack) {
+  // The inverse direction: hand-written bytes decode to the expected tree.
+  const std::vector<std::uint8_t> bytes = {0x03, 0x07, 0x00, 0x00, 0x01,
+                                           'v',  0x00, 0x01, 0x01};
+  const NodePtr node = decode(bytes);
+  LeafElement<std::int8_t> expected{QName("v"), 1};
+  EXPECT_TRUE(deep_equal(*node, expected));
+}
+
+}  // namespace
+}  // namespace bxsoap::bxsa

@@ -1,0 +1,110 @@
+#include "bxsa/mapped.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "bxsa/decoder.hpp"
+#include "bxsa/encoder.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::bxsa {
+namespace {
+
+using namespace bxsoap::xdm;
+
+class MappedFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("bxsoap_map_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+             ".bxsa");
+    values_.resize(4096);
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      values_[i] = 0.5 * static_cast<double>(i);
+    }
+    auto root = make_element(QName("data"));
+    root->add_child(make_leaf<std::string>(QName("meta"),
+                                           std::string("run 42")));
+    root->add_child(make_array<double>(QName("values"), values_));
+    doc_ = make_document(std::move(root));
+    write_bxsa_file(path_, encode(*doc_));
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+  std::vector<double> values_;
+  DocumentPtr doc_;
+};
+
+TEST_F(MappedFixture, ZeroCopyArrayAccess) {
+  MappedDocument mapped(path_);
+  const FrameScanner sc = mapped.scanner();
+  const auto root = sc.first_child(sc.frame_at(0));
+  const auto arr_frame = sc.child(*root, 1);
+  ASSERT_TRUE(arr_frame);
+
+  const std::span<const double> view =
+      mapped.array_values<double>(*arr_frame);
+  ASSERT_EQ(view.size(), values_.size());
+  EXPECT_EQ(view[0], 0.0);
+  EXPECT_EQ(view[4095], 0.5 * 4095);
+
+  // The span points INTO the mapping — no copy happened.
+  const auto* base = mapped.bytes().data();
+  EXPECT_GE(reinterpret_cast<const std::uint8_t*>(view.data()), base);
+  EXPECT_LT(reinterpret_cast<const std::uint8_t*>(view.data()),
+            base + mapped.size());
+  // And it is 8-byte aligned in memory, as mmap + frame alignment promise.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(view.data()) % 8, 0u);
+}
+
+TEST_F(MappedFixture, WholeDocumentDecodesFromMapping) {
+  MappedDocument mapped(path_);
+  const NodePtr node = decode(mapped.bytes());
+  EXPECT_EQ(node->kind(), NodeKind::kDocument);
+}
+
+TEST_F(MappedFixture, WrongTypeRequestThrows) {
+  MappedDocument mapped(path_);
+  const FrameScanner sc = mapped.scanner();
+  const auto arr_frame =
+      sc.child(*sc.first_child(sc.frame_at(0)), 1);
+  EXPECT_THROW(mapped.array_values<std::int32_t>(*arr_frame), DecodeError);
+}
+
+TEST_F(MappedFixture, ForeignEndianRefusesInPlaceView) {
+  EncodeOptions opt;
+  opt.order = host_byte_order() == ByteOrder::kLittle ? ByteOrder::kBig
+                                                      : ByteOrder::kLittle;
+  write_bxsa_file(path_, encode(*doc_, opt));
+  MappedDocument mapped(path_);
+  const FrameScanner sc = mapped.scanner();
+  const auto arr_frame = sc.child(*sc.first_child(sc.frame_at(0)), 1);
+  EXPECT_THROW(mapped.array_values<double>(*arr_frame), DecodeError);
+}
+
+TEST_F(MappedFixture, MoveTransfersOwnership) {
+  MappedDocument a(path_);
+  const auto size = a.size();
+  MappedDocument b(std::move(a));
+  EXPECT_EQ(b.size(), size);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(MappedErrors, MissingFileThrows) {
+  EXPECT_THROW(MappedDocument("/nonexistent/path.bxsa"), Error);
+}
+
+TEST(MappedErrors, EmptyFileThrows) {
+  const auto p = std::filesystem::temp_directory_path() /
+                 ("bxsoap_empty_" + std::to_string(::getpid()) + ".bxsa");
+  write_bxsa_file(p, {});
+  EXPECT_THROW(MappedDocument{p}, Error);
+  std::filesystem::remove(p);
+}
+
+}  // namespace
+}  // namespace bxsoap::bxsa

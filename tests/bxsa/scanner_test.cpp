@@ -1,0 +1,136 @@
+#include "bxsa/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bxsa/encoder.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::bxsa {
+namespace {
+
+using namespace bxsoap::xdm;
+
+class ScannerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto root = make_element(QName("urn:x", "data", "x"));
+    root->declare_namespace("x", "urn:x");
+    root->add_attribute(QName("run"), std::int32_t{7});
+    root->add_child(make_leaf<double>(QName("temp"), 287.5));
+    root->add_child(make_array<std::int32_t>(QName("index"), {10, 20, 30}));
+    root->add_text("note");
+    root->add_child(make_array<double>(QName("values"), {1.5, 2.5}));
+    doc_bytes_ = encode(*make_document(std::move(root)));
+  }
+
+  std::vector<std::uint8_t> doc_bytes_;
+};
+
+TEST_F(ScannerFixture, TopFrameIsDocument) {
+  FrameScanner sc(doc_bytes_);
+  const FrameInfo top = sc.frame_at(0);
+  EXPECT_EQ(top.type, FrameType::kDocument);
+  EXPECT_EQ(top.end(), doc_bytes_.size());
+  EXPECT_EQ(sc.child_count(top), 1u);
+}
+
+TEST_F(ScannerFixture, WalkChildrenWithoutParsing) {
+  FrameScanner sc(doc_bytes_);
+  const FrameInfo top = sc.frame_at(0);
+  const auto root = sc.first_child(top);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_EQ(root->type, FrameType::kComponentElement);
+  EXPECT_EQ(sc.element_local_name(*root), "data");
+  EXPECT_EQ(sc.child_count(*root), 4u);
+
+  auto c0 = sc.first_child(*root);
+  ASSERT_TRUE(c0);
+  EXPECT_EQ(c0->type, FrameType::kLeafElement);
+  EXPECT_EQ(sc.element_local_name(*c0), "temp");
+
+  auto c1 = sc.next(*c0, root->end());
+  ASSERT_TRUE(c1);
+  EXPECT_EQ(c1->type, FrameType::kArrayElement);
+  EXPECT_EQ(sc.element_local_name(*c1), "index");
+
+  auto c2 = sc.next(*c1, root->end());
+  ASSERT_TRUE(c2);
+  EXPECT_EQ(c2->type, FrameType::kCharacterData);
+
+  auto c3 = sc.next(*c2, root->end());
+  ASSERT_TRUE(c3);
+  EXPECT_EQ(c3->type, FrameType::kArrayElement);
+  EXPECT_EQ(sc.element_local_name(*c3), "values");
+
+  EXPECT_FALSE(sc.next(*c3, root->end()));
+}
+
+TEST_F(ScannerFixture, NthChildSkipsSiblings) {
+  FrameScanner sc(doc_bytes_);
+  const FrameInfo top = sc.frame_at(0);
+  const auto root = sc.first_child(top);
+  const auto third = sc.child(*root, 3);
+  ASSERT_TRUE(third);
+  EXPECT_EQ(sc.element_local_name(*third), "values");
+  EXPECT_FALSE(sc.child(*root, 4));
+}
+
+TEST_F(ScannerFixture, ZeroCopyArrayView) {
+  FrameScanner sc(doc_bytes_);
+  const auto root = sc.first_child(sc.frame_at(0));
+  const auto idx = sc.child(*root, 1);
+  ASSERT_TRUE(idx);
+  const auto view = sc.array_view(*idx);
+  EXPECT_EQ(view.type, AtomType::kInt32);
+  ASSERT_EQ(view.count, 3u);
+  // Payload points into the original buffer (zero copy) and is aligned.
+  EXPECT_GE(view.payload.data(), doc_bytes_.data());
+  const std::size_t payload_off =
+      static_cast<std::size_t>(view.payload.data() - doc_bytes_.data());
+  EXPECT_EQ(payload_off % 4, 0u);
+  std::int32_t v1;
+  std::memcpy(&v1, view.payload.data() + 4, 4);
+  EXPECT_EQ(v1, 20);
+}
+
+TEST_F(ScannerFixture, ArrayViewOnNonArrayThrows) {
+  FrameScanner sc(doc_bytes_);
+  const auto root = sc.first_child(sc.frame_at(0));
+  const auto leaf = sc.child(*root, 0);
+  EXPECT_THROW(sc.array_view(*leaf), DecodeError);
+}
+
+TEST_F(ScannerFixture, ChildAccessOnLeafThrows) {
+  FrameScanner sc(doc_bytes_);
+  const auto root = sc.first_child(sc.frame_at(0));
+  const auto leaf = sc.child(*root, 0);
+  EXPECT_THROW(sc.first_child(*leaf), DecodeError);
+  EXPECT_THROW(sc.child_count(*leaf), DecodeError);
+}
+
+TEST(Scanner, SkipsLargeArrayInConstantWork) {
+  // A scanner hunting for the frame AFTER a huge array does not touch the
+  // payload: frame_at + next is two prefix reads regardless of array size.
+  auto root = make_element(QName("r"));
+  std::vector<double> big(100000, 3.5);
+  root->add_child(make_array<double>(QName("big"), std::move(big)));
+  root->add_child(make_leaf<std::int32_t>(QName("after"), 99));
+  const auto bytes = encode(*root);
+
+  FrameScanner sc(bytes);
+  const FrameInfo rootf = sc.frame_at(0);
+  const auto bigf = sc.first_child(rootf);
+  ASSERT_TRUE(bigf);
+  const auto afterf = sc.next(*bigf, rootf.end());
+  ASSERT_TRUE(afterf);
+  EXPECT_EQ(sc.element_local_name(*afterf), "after");
+}
+
+TEST(Scanner, MalformedPrefixThrows) {
+  const std::uint8_t bytes[] = {0xFF, 0x00};
+  FrameScanner sc({bytes, 2});
+  EXPECT_THROW(sc.frame_at(0), DecodeError);
+}
+
+}  // namespace
+}  // namespace bxsoap::bxsa

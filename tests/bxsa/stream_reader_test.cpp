@@ -1,0 +1,232 @@
+#include "bxsa/stream_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bxsa/encoder.hpp"
+#include "common/prng.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::bxsa {
+namespace {
+
+using namespace bxsoap::xdm;
+
+std::vector<EventKind> kinds_of(std::span<const std::uint8_t> bytes) {
+  StreamReader reader(bytes);
+  std::vector<EventKind> kinds;
+  while (auto ev = reader.next()) {
+    kinds.push_back(ev->kind);
+  }
+  return kinds;
+}
+
+TEST(StreamReader, EventSequenceForDocument) {
+  auto root = make_element(QName("r"));
+  root->add_child(make_leaf<double>(QName("t"), 1.5));
+  root->add_text("hello");
+  auto& mid = root->add_element(QName("m"));
+  mid.add_child(std::make_unique<CommentNode>("c"));
+  root->add_child(make_array<std::int32_t>(QName("a"), {1, 2}));
+  auto doc = make_document(std::move(root));
+
+  const auto bytes = encode(*doc);
+  const auto kinds = kinds_of(bytes);
+  const std::vector<EventKind> expected = {
+      EventKind::kStartDocument, EventKind::kStartElement,
+      EventKind::kLeaf,          EventKind::kText,
+      EventKind::kStartElement,  EventKind::kComment,
+      EventKind::kEndElement,    EventKind::kArray,
+      EventKind::kEndElement,    EventKind::kEndDocument,
+  };
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(StreamReader, SingleLeafTopLevel) {
+  LeafElement<std::int32_t> leaf{QName("n"), 7};
+  const auto bytes = encode(leaf);
+  StreamReader reader(bytes);
+  auto ev = reader.next();
+  ASSERT_TRUE(ev);
+  EXPECT_EQ(ev->kind, EventKind::kLeaf);
+  EXPECT_EQ(ev->name.local, "n");
+  EXPECT_EQ(scalar_get<std::int32_t>(ev->value), 7);
+  EXPECT_FALSE(reader.next());
+}
+
+TEST(StreamReader, LeafValuesAndAttributesTyped) {
+  auto root = make_element(QName("urn:x", "r", "x"));
+  root->declare_namespace("x", "urn:x");
+  root->add_attribute(QName("k"), 2.5);
+  root->add_child(make_leaf<std::string>(QName("s"), std::string("v")));
+  const auto bytes = encode(*root);
+
+  StreamReader reader(bytes);
+  auto start = reader.next();
+  ASSERT_TRUE(start);
+  EXPECT_EQ(start->kind, EventKind::kStartElement);
+  EXPECT_EQ(start->name.namespace_uri, "urn:x");
+  EXPECT_EQ(start->name.prefix, "x");
+  ASSERT_EQ(start->namespaces.size(), 1u);
+  ASSERT_EQ(start->attributes.size(), 1u);
+  EXPECT_EQ(scalar_get<double>(start->attributes[0].value), 2.5);
+
+  auto leaf = reader.next();
+  ASSERT_TRUE(leaf);
+  EXPECT_EQ(leaf->atom, AtomType::kString);
+  EXPECT_EQ(scalar_get<std::string>(leaf->value), "v");
+}
+
+TEST(StreamReader, ArrayViewIsZeroCopyAndMaterializes) {
+  auto root = make_element(QName("r"));
+  root->add_child(make_array<double>(QName("a"), {1.5, 2.5, 3.5}));
+  const auto bytes = encode(*root);
+
+  StreamReader reader(bytes);
+  reader.next();  // StartElement
+  auto arr = reader.next();
+  ASSERT_TRUE(arr);
+  ASSERT_EQ(arr->kind, EventKind::kArray);
+  EXPECT_EQ(arr->array.count, 3u);
+  EXPECT_EQ(arr->array.type, AtomType::kFloat64);
+  // Payload points into the input buffer.
+  EXPECT_GE(arr->array.payload.data(), bytes.data());
+  EXPECT_LE(arr->array.payload.data() + arr->array.payload.size(),
+            bytes.data() + bytes.size());
+  EXPECT_EQ(arr->array.materialize<double>(),
+            (std::vector<double>{1.5, 2.5, 3.5}));
+  EXPECT_THROW(arr->array.materialize<float>(), DecodeError);
+}
+
+TEST(StreamReader, BigEndianArrayMaterializes) {
+  auto root = make_element(QName("r"));
+  root->add_child(make_array<std::int32_t>(QName("a"), {1, -2, 300000}));
+  EncodeOptions opt;
+  opt.order = ByteOrder::kBig;
+  const auto bytes = encode(*root, opt);
+
+  StreamReader reader(bytes);
+  reader.next();
+  auto arr = reader.next();
+  ASSERT_TRUE(arr);
+  EXPECT_EQ(arr->array.materialize<std::int32_t>(),
+            (std::vector<std::int32_t>{1, -2, 300000}));
+}
+
+TEST(StreamReader, NamespaceScopesAcrossDepth) {
+  auto root = make_element(QName("urn:a", "r", "a"));
+  root->declare_namespace("a", "urn:a");
+  auto& mid = root->add_element(QName("urn:a", "m", "a"));
+  mid.add_child(make_leaf<std::int32_t>(QName("urn:a", "v", "a"), 9));
+  const auto bytes = encode(*root);
+
+  StreamReader reader(bytes);
+  reader.next();
+  auto mid_ev = reader.next();
+  ASSERT_TRUE(mid_ev);
+  EXPECT_EQ(mid_ev->name.namespace_uri, "urn:a")
+      << "child resolves through the parent frame's symbol table";
+  auto leaf_ev = reader.next();
+  ASSERT_TRUE(leaf_ev);
+  EXPECT_EQ(leaf_ev->name.namespace_uri, "urn:a");
+}
+
+TEST(StreamReader, SkipChildren) {
+  auto root = make_element(QName("r"));
+  auto& big = root->add_element(QName("big"));
+  for (int i = 0; i < 100; ++i) {
+    big.add_child(make_array<double>(QName("a"), std::vector<double>(100, i)));
+  }
+  root->add_child(make_leaf<std::int32_t>(QName("after"), 1));
+  auto doc = make_document(std::move(root));
+  const auto bytes = encode(*doc);
+
+  StreamReader reader(bytes);
+  EXPECT_EQ(reader.next()->kind, EventKind::kStartDocument);
+  EXPECT_EQ(reader.next()->kind, EventKind::kStartElement);  // r
+  auto big_ev = reader.next();
+  ASSERT_EQ(big_ev->kind, EventKind::kStartElement);
+  EXPECT_EQ(big_ev->name.local, "big");
+  reader.skip_children();
+  EXPECT_EQ(reader.next()->kind, EventKind::kEndElement);  // big
+  auto after = reader.next();
+  ASSERT_TRUE(after);
+  EXPECT_EQ(after->kind, EventKind::kLeaf);
+  EXPECT_EQ(after->name.local, "after");
+}
+
+TEST(StreamReader, DepthTracksScopes) {
+  auto root = make_element(QName("r"));
+  root->add_element(QName("c"));
+  auto doc = make_document(std::move(root));
+  const auto bytes = encode(*doc);
+  StreamReader reader(bytes);
+  EXPECT_EQ(reader.depth(), 0u);
+  reader.next();  // StartDocument
+  EXPECT_EQ(reader.depth(), 1u);
+  reader.next();  // StartElement r
+  EXPECT_EQ(reader.depth(), 2u);
+  reader.next();  // StartElement c
+  EXPECT_EQ(reader.depth(), 3u);
+  reader.next();  // EndElement c
+  EXPECT_EQ(reader.depth(), 2u);
+}
+
+TEST(StreamReader, AgreesWithTreeDecoderOnRandomDocs) {
+  SplitMix64 rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto root = make_element(QName("root"));
+    const std::uint64_t n = rng.next_below(10);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      switch (rng.next_below(3)) {
+        case 0:
+          root->add_child(make_leaf<double>(QName("d"), rng.next_double01()));
+          break;
+        case 1: {
+          std::vector<std::int32_t> v(rng.next_below(50));
+          for (auto& x : v) x = rng.next_i32();
+          root->add_child(make_array<std::int32_t>(QName("a"), std::move(v)));
+          break;
+        }
+        default:
+          root->add_text("t" + std::to_string(i));
+      }
+    }
+    const auto bytes = encode(*root);
+
+    // Count leaves/arrays/text via streaming and via the tree.
+    StreamReader reader(bytes);
+    int stream_items = 0;
+    while (auto ev = reader.next()) {
+      if (ev->kind == EventKind::kLeaf || ev->kind == EventKind::kArray ||
+          ev->kind == EventKind::kText) {
+        ++stream_items;
+      }
+    }
+    EXPECT_EQ(stream_items, static_cast<int>(n));
+  }
+}
+
+TEST(StreamReaderErrors, TruncatedInputThrows) {
+  auto root = make_element(QName("r"));
+  root->add_child(make_array<double>(QName("a"), {1.0, 2.0}));
+  auto bytes = encode(*root);
+  bytes.resize(bytes.size() / 2);
+  StreamReader reader(bytes);
+  EXPECT_THROW(
+      {
+        while (reader.next()) {
+        }
+      },
+      DecodeError);
+}
+
+TEST(StreamReaderErrors, TrailingGarbageThrows) {
+  LeafElement<std::int32_t> leaf{QName("n"), 7};
+  auto bytes = encode(leaf);
+  bytes.push_back(0xAA);
+  StreamReader reader(bytes);
+  EXPECT_THROW(reader.next(), DecodeError);
+}
+
+}  // namespace
+}  // namespace bxsoap::bxsa

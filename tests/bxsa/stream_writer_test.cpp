@@ -1,0 +1,205 @@
+#include "bxsa/stream_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bxsa/decoder.hpp"
+#include "bxsa/encoder.hpp"
+#include "common/prng.hpp"
+#include "xdm/equal.hpp"
+
+namespace bxsoap::bxsa {
+namespace {
+
+using namespace bxsoap::xdm;
+
+TEST(StreamWriter, ProducesDecodableDocument) {
+  StreamWriter w;
+  w.start_document();
+  const NamespaceDecl ns[] = {{"x", "urn:x"}};
+  const Attribute attrs[] = {{QName("run"), std::int32_t{7}}};
+  w.start_element(QName("urn:x", "data", "x"), ns, attrs);
+  w.leaf(QName("t"), 287.5);
+  const std::vector<std::int32_t> idx = {1, 2, 3};
+  w.array(QName("idx"), std::span<const std::int32_t>(idx));
+  w.text("note");
+  w.comment("c");
+  w.pi("app", "hint");
+  w.end_element();
+  w.end_document();
+  const auto bytes = w.take();
+
+  const DocumentPtr doc = decode_document(bytes);
+  const auto& root = static_cast<const Element&>(doc->root());
+  EXPECT_EQ(root.name().namespace_uri, "urn:x");
+  EXPECT_EQ(root.find_attribute("run")->text(), "7");
+  EXPECT_EQ(root.child_count(), 5u);
+  const auto* leaf = dynamic_cast<const LeafElement<double>*>(
+      root.find_child("t"));
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->get(), 287.5);
+  const auto* arr = dynamic_cast<const ArrayElement<std::int32_t>*>(
+      root.find_child("idx"));
+  ASSERT_NE(arr, nullptr);
+  EXPECT_EQ(arr->values(), idx);
+}
+
+TEST(StreamWriter, MatchesTreeEncoderSemantics) {
+  // Same logical document via StreamWriter and via the tree encoder must
+  // decode to deep-equal trees (bytes may differ: streaming pads fields).
+  auto root = make_element(QName("urn:a", "r", "a"));
+  root->declare_namespace("a", "urn:a");
+  root->add_child(make_leaf<std::string>(QName("s"), std::string("v")));
+  root->add_child(make_array<double>(QName("d"), {1.5, 2.5}));
+  auto doc = make_document(std::move(root));
+  const auto tree_bytes = encode(*doc);
+
+  StreamWriter w;
+  w.start_document();
+  const NamespaceDecl ns[] = {{"a", "urn:a"}};
+  w.start_element(QName("urn:a", "r", "a"), ns);
+  w.leaf(QName("s"), std::string("v"));
+  const std::vector<double> vals = {1.5, 2.5};
+  w.array(QName("d"), std::span<const double>(vals));
+  w.end_element();
+  w.end_document();
+  const auto stream_bytes = w.take();
+
+  const NodePtr via_tree = decode(tree_bytes);
+  const NodePtr via_stream = decode(stream_bytes);
+  EXPECT_TRUE(deep_equal(*via_tree, *via_stream))
+      << first_difference(*via_tree, *via_stream);
+}
+
+TEST(StreamWriter, ArrayAlignmentHolds) {
+  StreamWriter w;
+  w.start_document();
+  w.start_element(QName("padme"));
+  const std::vector<double> vals = {1.0, 2.0};
+  w.array(QName("a"), std::span<const double>(vals));
+  w.end_element();
+  w.end_document();
+  const auto bytes = w.take();
+
+  double one = 1.0;
+  std::uint8_t pattern[8];
+  std::memcpy(pattern, &one, 8);
+  for (std::size_t off = 0; off + 8 <= bytes.size(); ++off) {
+    if (std::memcmp(bytes.data() + off, pattern, 8) == 0) {
+      EXPECT_EQ(off % 8, 0u);
+      return;
+    }
+  }
+  FAIL() << "payload not found";
+}
+
+TEST(StreamWriter, BigEndianOutputDecodes) {
+  StreamWriter w(ByteOrder::kBig);
+  w.start_element(QName("r"));
+  const std::vector<std::int16_t> vals = {-1, 256};
+  w.array(QName("a"), std::span<const std::int16_t>(vals));
+  w.leaf(QName("v"), 3.5f);
+  w.end_element();
+  const auto bytes = w.take();
+
+  const NodePtr node = decode(bytes);
+  const auto& root = static_cast<const Element&>(*node);
+  EXPECT_EQ(dynamic_cast<const ArrayElement<std::int16_t>*>(
+                root.find_child("a"))
+                ->values(),
+            vals);
+  EXPECT_EQ(dynamic_cast<const LeafElement<float>*>(root.find_child("v"))
+                ->get(),
+            3.5f);
+}
+
+TEST(StreamWriter, TopLevelElementWithoutDocument) {
+  StreamWriter w;
+  w.start_element(QName("bare"));
+  w.leaf(QName("v"), true);
+  w.end_element();
+  const auto bytes = w.take();
+  const NodePtr node = decode(bytes);
+  EXPECT_EQ(node->kind(), NodeKind::kElement);
+}
+
+TEST(StreamWriter, NamespaceInheritanceAcrossLevels) {
+  StreamWriter w;
+  const NamespaceDecl ns[] = {{"p", "urn:p"}};
+  w.start_element(QName("urn:p", "outer", "p"), ns);
+  w.start_element(QName("urn:p", "inner", "p"));  // resolves via parent
+  w.end_element();
+  w.end_element();
+  const auto bytes = w.take();
+  const NodePtr node = decode(bytes);
+  const auto& outer = static_cast<const Element&>(*node);
+  const ElementBase* inner = outer.find_child("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->name().namespace_uri, "urn:p");
+  EXPECT_EQ(inner->name().prefix, "p");
+}
+
+TEST(StreamWriterErrors, MisnestingDetected) {
+  {
+    StreamWriter w;
+    EXPECT_THROW(w.end_element(), EncodeError);
+  }
+  {
+    StreamWriter w;
+    w.start_document();
+    EXPECT_THROW(w.end_element(), EncodeError) << "document open, not element";
+  }
+  {
+    StreamWriter w;
+    w.start_element(QName("r"));
+    EXPECT_THROW(w.end_document(), EncodeError);
+  }
+  {
+    StreamWriter w;
+    w.start_element(QName("r"));
+    w.start_element(QName("c"));
+    EXPECT_THROW(w.take(), EncodeError) << "unclosed scopes";
+  }
+  {
+    StreamWriter w;
+    w.start_document();
+    EXPECT_THROW(w.start_document(), EncodeError);
+  }
+}
+
+TEST(StreamWriterErrors, UseAfterEndDocumentThrows) {
+  StreamWriter w;
+  w.start_document();
+  w.end_document();
+  EXPECT_THROW(w.text("late"), EncodeError);
+}
+
+TEST(StreamWriter, LargeStreamedDatasetRoundTrips) {
+  SplitMix64 rng(17);
+  StreamWriter w;
+  w.start_document();
+  w.start_element(QName("chunks"));
+  std::vector<double> all;
+  for (int chunk = 0; chunk < 50; ++chunk) {
+    std::vector<double> v(1000);
+    for (auto& x : v) x = rng.next_double01();
+    all.insert(all.end(), v.begin(), v.end());
+    w.array(QName("chunk" + std::to_string(chunk)),
+            std::span<const double>(v));
+  }
+  w.end_element();
+  w.end_document();
+  const auto bytes = w.take();
+
+  const DocumentPtr doc = decode_document(bytes);
+  const auto& root = static_cast<const Element&>(doc->root());
+  EXPECT_EQ(root.child_count(), 50u);
+  std::vector<double> gathered;
+  for (const ElementBase* c : root.child_elements()) {
+    const auto& arr = static_cast<const ArrayElement<double>&>(*c);
+    gathered.insert(gathered.end(), arr.values().begin(), arr.values().end());
+  }
+  EXPECT_EQ(gathered, all);
+}
+
+}  // namespace
+}  // namespace bxsoap::bxsa

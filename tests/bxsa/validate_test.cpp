@@ -1,0 +1,52 @@
+#include "bxsa/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bxsa/encoder.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::bxsa {
+namespace {
+
+using namespace bxsoap::xdm;
+
+TEST(Validate, CountsStructure) {
+  auto root = make_element(QName("r"));
+  root->add_child(make_leaf<double>(QName("t"), 1.5));
+  root->add_child(make_array<std::int32_t>(QName("a"), {1, 2, 3}));
+  auto& mid = root->add_element(QName("m"));
+  mid.add_text("x");
+  mid.add_child(make_array<double>(QName("b"), {1.0}));
+  auto doc = make_document(std::move(root));
+
+  const ValidationReport r = validate(encode(*doc));
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.error.empty());
+  // frames: document, r, leaf, array a, m, text, array b = 7
+  EXPECT_EQ(r.frames, 7u);
+  EXPECT_EQ(r.elements, 5u);
+  EXPECT_EQ(r.arrays, 2u);
+  EXPECT_EQ(r.array_values, 4u);
+  EXPECT_GE(r.max_depth, 3u);
+}
+
+TEST(Validate, RejectsGarbageWithoutThrowing) {
+  const std::uint8_t junk[] = {0xFF, 0x13, 0x00};
+  const ValidationReport r = validate({junk, 3});
+  EXPECT_FALSE(r.valid);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Validate, RejectsTruncation) {
+  Element e{QName("r")};
+  auto bytes = encode(e);
+  bytes.pop_back();
+  EXPECT_FALSE(validate(bytes).valid);
+}
+
+TEST(Validate, EmptyInputInvalid) {
+  EXPECT_FALSE(validate({}).valid);
+}
+
+}  // namespace
+}  // namespace bxsoap::bxsa

@@ -1,0 +1,70 @@
+#include "common/base64.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace bxsoap {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(bytes_of("")), "");
+  EXPECT_EQ(base64_encode(bytes_of("f")), "Zg==");
+  EXPECT_EQ(base64_encode(bytes_of("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(bytes_of("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(bytes_of("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(bytes_of("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(bytes_of("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  EXPECT_EQ(base64_decode("Zm9vYmFy"), bytes_of("foobar"));
+  EXPECT_EQ(base64_decode("Zg=="), bytes_of("f"));
+  EXPECT_EQ(base64_decode(""), bytes_of(""));
+}
+
+TEST(Base64, EncodedSizeFormula) {
+  for (std::size_t n : {0ul, 1ul, 2ul, 3ul, 4ul, 57ul, 1000ul}) {
+    std::vector<std::uint8_t> data(n, 0xAB);
+    EXPECT_EQ(base64_encode(data).size(), base64_encoded_size(n)) << n;
+  }
+}
+
+TEST(Base64, RandomRoundTrip) {
+  SplitMix64 rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> data(rng.next_below(300));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(base64_decode(base64_encode(data)), data);
+  }
+}
+
+TEST(Base64, OverheadIsOneThird) {
+  std::vector<std::uint8_t> data(12000, 0x5A);
+  const auto encoded = base64_encode(data);
+  EXPECT_EQ(encoded.size(), 16000u) << "the attachment-era 33% tax";
+}
+
+TEST(Base64, RejectsBadLength) {
+  EXPECT_THROW(base64_decode("Zg="), DecodeError);
+  EXPECT_THROW(base64_decode("Z"), DecodeError);
+}
+
+TEST(Base64, RejectsBadCharacters) {
+  EXPECT_THROW(base64_decode("Zm9v!A=="), DecodeError);
+  EXPECT_THROW(base64_decode("Zm 9"), DecodeError) << "whitespace is not ours";
+}
+
+TEST(Base64, RejectsBadPadding) {
+  EXPECT_THROW(base64_decode("=Zm9"), DecodeError);
+  EXPECT_THROW(base64_decode("Zm==Zm9v"), DecodeError)
+      << "padding only in the final quantum";
+  EXPECT_THROW(base64_decode("Z==="), DecodeError);
+}
+
+}  // namespace
+}  // namespace bxsoap

@@ -1,0 +1,151 @@
+#include "common/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace bxsoap {
+namespace {
+
+TEST(ByteWriter, StartsEmpty) {
+  ByteWriter w;
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(ByteWriter, WriteU8AppendsInOrder) {
+  ByteWriter w;
+  w.write_u8(0x01);
+  w.write_u8(0xFF);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[1], 0xFF);
+}
+
+TEST(ByteWriter, WriteLittleEndianU32) {
+  ByteWriter w;
+  w.write<std::uint32_t>(0x11223344, ByteOrder::kLittle);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x44);
+  EXPECT_EQ(w.bytes()[1], 0x33);
+  EXPECT_EQ(w.bytes()[2], 0x22);
+  EXPECT_EQ(w.bytes()[3], 0x11);
+}
+
+TEST(ByteWriter, WriteBigEndianU32) {
+  ByteWriter w;
+  w.write<std::uint32_t>(0x11223344, ByteOrder::kBig);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x11);
+  EXPECT_EQ(w.bytes()[3], 0x44);
+}
+
+TEST(ByteWriter, WriteStringAndBytes) {
+  ByteWriter w;
+  w.write_string("ab");
+  const std::uint8_t extra[] = {0x10, 0x20};
+  w.write_bytes(extra, 2);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 'a');
+  EXPECT_EQ(w.bytes()[3], 0x20);
+}
+
+TEST(ByteWriter, PaddingWritesZeros) {
+  ByteWriter w;
+  w.write_u8(0xAA);
+  w.write_padding(3);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[1], 0x00);
+  EXPECT_EQ(w.bytes()[3], 0x00);
+}
+
+TEST(ByteWriter, PatchBytesOverwritesInPlace) {
+  ByteWriter w;
+  w.write_u8(0);
+  w.write_u8(0);
+  w.write_u8(0);
+  const std::uint8_t patch[] = {0xDE, 0xAD};
+  w.patch_bytes(1, patch, 2);
+  EXPECT_EQ(w.bytes()[0], 0x00);
+  EXPECT_EQ(w.bytes()[1], 0xDE);
+  EXPECT_EQ(w.bytes()[2], 0xAD);
+}
+
+TEST(ByteWriter, PatchOutOfRangeThrows) {
+  ByteWriter w;
+  w.write_u8(0);
+  const std::uint8_t patch[] = {1, 2};
+  EXPECT_THROW(w.patch_bytes(0, patch, 2), EncodeError);
+}
+
+TEST(ByteWriter, WriteArrayHostOrderRoundTrip) {
+  ByteWriter w;
+  const std::vector<double> vals = {1.5, -2.25, 1e300};
+  w.write_array<double>(vals, host_byte_order());
+  ByteReader r(w.bytes());
+  auto back = r.read_array<double>(3, host_byte_order());
+  EXPECT_EQ(back, vals);
+}
+
+TEST(ByteWriter, WriteArraySwappedOrderRoundTrip) {
+  const ByteOrder other = host_byte_order() == ByteOrder::kLittle
+                              ? ByteOrder::kBig
+                              : ByteOrder::kLittle;
+  ByteWriter w;
+  const std::vector<std::int32_t> vals = {1, -1, 0x12345678};
+  w.write_array<std::int32_t>(vals, other);
+  ByteReader r(w.bytes());
+  auto back = r.read_array<std::int32_t>(3, other);
+  EXPECT_EQ(back, vals);
+}
+
+TEST(ByteReader, ReadPastEndThrows) {
+  const std::uint8_t data[] = {1, 2};
+  ByteReader r(data, 2);
+  r.skip(2);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_THROW(r.read_u8(), DecodeError);
+}
+
+TEST(ByteReader, SkipPastEndThrows) {
+  const std::uint8_t data[] = {1};
+  ByteReader r(data, 1);
+  EXPECT_THROW(r.skip(2), DecodeError);
+}
+
+TEST(ByteReader, SeekAndPosition) {
+  const std::uint8_t data[] = {10, 20, 30};
+  ByteReader r(data, 3);
+  r.seek(2);
+  EXPECT_EQ(r.position(), 2u);
+  EXPECT_EQ(r.read_u8(), 30);
+  EXPECT_THROW(r.seek(4), DecodeError);
+}
+
+TEST(ByteReader, PeekDoesNotAdvance) {
+  const std::uint8_t data[] = {42};
+  ByteReader r(data, 1);
+  EXPECT_EQ(r.peek_u8(), 42);
+  EXPECT_EQ(r.position(), 0u);
+  EXPECT_EQ(r.read_u8(), 42);
+}
+
+TEST(ByteReader, ReadArrayCountOverflowThrows) {
+  const std::uint8_t data[] = {1, 2, 3, 4};
+  ByteReader r(data, 4);
+  // Huge count must not overflow the size computation.
+  EXPECT_THROW(r.read_array<std::uint64_t>(
+                   std::numeric_limits<std::size_t>::max() / 2,
+                   ByteOrder::kLittle),
+               DecodeError);
+}
+
+TEST(ByteReader, ReadStringExact) {
+  const std::uint8_t data[] = {'h', 'i', '!'};
+  ByteReader r(data, 3);
+  EXPECT_EQ(r.read_string(3), "hi!");
+  EXPECT_TRUE(r.at_end());
+}
+
+}  // namespace
+}  // namespace bxsoap

@@ -1,0 +1,98 @@
+#include "common/endian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bxsoap {
+namespace {
+
+TEST(Endian, HostOrderIsConsistentWithStdEndian) {
+  if constexpr (std::endian::native == std::endian::little) {
+    EXPECT_EQ(host_byte_order(), ByteOrder::kLittle);
+  } else {
+    EXPECT_EQ(host_byte_order(), ByteOrder::kBig);
+  }
+}
+
+TEST(Endian, StoreLoadU16BothOrders) {
+  std::uint8_t buf[2];
+  store<std::uint16_t>(0xABCD, ByteOrder::kBig, buf);
+  EXPECT_EQ(buf[0], 0xAB);
+  EXPECT_EQ(buf[1], 0xCD);
+  EXPECT_EQ(load<std::uint16_t>(buf, ByteOrder::kBig), 0xABCD);
+
+  store<std::uint16_t>(0xABCD, ByteOrder::kLittle, buf);
+  EXPECT_EQ(buf[0], 0xCD);
+  EXPECT_EQ(buf[1], 0xAB);
+  EXPECT_EQ(load<std::uint16_t>(buf, ByteOrder::kLittle), 0xABCD);
+}
+
+TEST(Endian, StoreLoadU64BigEndianLayout) {
+  std::uint8_t buf[8];
+  store<std::uint64_t>(0x0102030405060708ULL, ByteOrder::kBig, buf);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(buf[i], i + 1);
+  }
+}
+
+TEST(Endian, SignedRoundTrip) {
+  std::uint8_t buf[4];
+  store<std::int32_t>(-123456789, ByteOrder::kBig, buf);
+  EXPECT_EQ(load<std::int32_t>(buf, ByteOrder::kBig), -123456789);
+  store<std::int32_t>(-1, ByteOrder::kLittle, buf);
+  EXPECT_EQ(load<std::int32_t>(buf, ByteOrder::kLittle), -1);
+}
+
+TEST(Endian, DoubleRoundTripBothOrders) {
+  std::uint8_t buf[8];
+  const double vals[] = {0.0, -0.0, 1.5, -2.75e-300, 6.02214076e23,
+                         std::numeric_limits<double>::infinity()};
+  for (double v : vals) {
+    for (ByteOrder o : {ByteOrder::kLittle, ByteOrder::kBig}) {
+      store(v, o, buf);
+      EXPECT_EQ(load<double>(buf, o), v);
+    }
+  }
+}
+
+TEST(Endian, NaNPayloadPreservedBitwise) {
+  std::uint8_t buf[8];
+  const std::uint64_t nan_bits = 0x7FF8DEADBEEF0001ULL;
+  double v;
+  std::memcpy(&v, &nan_bits, 8);
+  store(v, ByteOrder::kBig, buf);
+  const double back = load<double>(buf, ByteOrder::kBig);
+  std::uint64_t back_bits;
+  std::memcpy(&back_bits, &back, 8);
+  EXPECT_EQ(back_bits, nan_bits);
+}
+
+TEST(Endian, FloatCrossOrderBytesAreReversed) {
+  std::uint8_t le[4], be[4];
+  store(3.14f, ByteOrder::kLittle, le);
+  store(3.14f, ByteOrder::kBig, be);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(le[i], be[3 - i]);
+  }
+}
+
+TEST(Endian, ByteswapArrayInPlace) {
+  std::uint32_t vals[] = {0x11223344, 0xAABBCCDD};
+  byteswap_array(vals, 2);
+  EXPECT_EQ(vals[0], 0x44332211u);
+  EXPECT_EQ(vals[1], 0xDDCCBBAAu);
+  byteswap_array(vals, 2);
+  EXPECT_EQ(vals[0], 0x11223344u);
+}
+
+TEST(Endian, SingleByteUnaffectedByOrder) {
+  std::uint8_t buf[1];
+  store<std::uint8_t>(0x7F, ByteOrder::kBig, buf);
+  EXPECT_EQ(buf[0], 0x7F);
+  store<std::uint8_t>(0x7F, ByteOrder::kLittle, buf);
+  EXPECT_EQ(buf[0], 0x7F);
+}
+
+}  // namespace
+}  // namespace bxsoap

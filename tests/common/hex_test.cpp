@@ -1,0 +1,33 @@
+#include "common/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bxsoap {
+namespace {
+
+TEST(Hex, ToHexBasic) {
+  const std::uint8_t data[] = {0x00, 0x0A, 0xFF, 0x42};
+  EXPECT_EQ(to_hex({data, 4}), "000aff42");
+}
+
+TEST(Hex, ToHexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+}
+
+TEST(Hex, DumpShowsAsciiGutter) {
+  const std::uint8_t data[] = {'H', 'i', 0x00, 0x7F};
+  const std::string d = hex_dump({data, 4});
+  EXPECT_NE(d.find("48 69 00 7f"), std::string::npos);
+  EXPECT_NE(d.find("|Hi..|"), std::string::npos);
+}
+
+TEST(Hex, DumpMultiLine) {
+  std::vector<std::uint8_t> data(20, 0xAB);
+  const std::string d = hex_dump(data);
+  // 20 bytes -> two lines, second line offset 0x10.
+  EXPECT_NE(d.find("00000010"), std::string::npos);
+  EXPECT_EQ(std::count(d.begin(), d.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace bxsoap

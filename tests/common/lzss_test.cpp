@@ -1,0 +1,124 @@
+#include "common/lzss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace bxsoap {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+void expect_round_trip(const std::vector<std::uint8_t>& data) {
+  const auto compressed = lzss_compress(data);
+  const auto back = lzss_decompress(compressed);
+  EXPECT_EQ(back, data);
+}
+
+TEST(Lzss, Empty) { expect_round_trip({}); }
+
+TEST(Lzss, ShortLiteralOnly) { expect_round_trip(bytes_of("abc")); }
+
+TEST(Lzss, RepetitionCompresses) {
+  std::vector<std::uint8_t> data(10000, 'x');
+  const auto compressed = lzss_compress(data);
+  EXPECT_LT(compressed.size(), data.size() / 20);
+  EXPECT_EQ(lzss_decompress(compressed), data);
+}
+
+TEST(Lzss, OverlappingMatch) {
+  // "abcabcabc..." forces matches with distance < length.
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 1000; ++i) data.push_back("abc"[i % 3]);
+  expect_round_trip(data);
+}
+
+TEST(Lzss, XmlLikeTextCompressesWell) {
+  std::string xml;
+  for (int i = 0; i < 500; ++i) {
+    xml += "<d>" + std::to_string(200 + i % 120) + "." +
+           std::to_string(i % 100) + "</d>";
+  }
+  const auto data = bytes_of(xml);
+  const auto compressed = lzss_compress(data);
+  EXPECT_LT(compressed.size(), data.size() / 2)
+      << "tag redundancy must compress away";
+  EXPECT_EQ(lzss_decompress(compressed), data);
+}
+
+TEST(Lzss, RandomBytesBarelyGrow) {
+  SplitMix64 rng(5);
+  std::vector<std::uint8_t> data(50000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const auto compressed = lzss_compress(data);
+  // Incompressible input: 1 flag bit per literal = 12.5% + header.
+  EXPECT_LT(compressed.size(), data.size() * 9 / 8 + 64);
+  EXPECT_EQ(lzss_decompress(compressed), data);
+}
+
+TEST(Lzss, RandomStructuredRoundTrips) {
+  SplitMix64 rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> data;
+    const std::size_t chunks = rng.next_below(30);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      if (rng.next_bool() && !data.empty()) {
+        // repeat an earlier slice
+        const std::size_t start = rng.next_below(data.size());
+        const std::size_t len =
+            std::min<std::size_t>(rng.next_below(400), data.size() - start);
+        for (std::size_t i = 0; i < len; ++i) {
+          data.push_back(data[start + i]);
+        }
+      } else {
+        for (std::size_t i = 0, n = rng.next_below(100); i < n; ++i) {
+          data.push_back(static_cast<std::uint8_t>(rng.next()));
+        }
+      }
+    }
+    expect_round_trip(data);
+  }
+}
+
+TEST(Lzss, LongMatchesClampToMaxLength) {
+  std::vector<std::uint8_t> data(100000, 'q');
+  expect_round_trip(data);
+}
+
+TEST(Lzss, MatchesBeyondWindowNotUsed) {
+  // A repeat separated by more than 64 KiB cannot be referenced; output
+  // must still round-trip.
+  std::vector<std::uint8_t> data = bytes_of("UNIQUE-PREFIX-0123456789");
+  data.resize(70000, 0);  // zero filler (compresses internally)
+  const auto tail = bytes_of("UNIQUE-PREFIX-0123456789");
+  data.insert(data.end(), tail.begin(), tail.end());
+  expect_round_trip(data);
+}
+
+TEST(LzssErrors, BadMagic) {
+  std::vector<std::uint8_t> junk = {'N', 'O', 'P', 'E', 0, 0, 0, 0,
+                                    0,   0,   0,   0};
+  EXPECT_THROW(lzss_decompress(junk), DecodeError);
+}
+
+TEST(LzssErrors, Truncated) {
+  const auto compressed = lzss_compress(bytes_of("hello hello hello hello"));
+  for (std::size_t cut = 0; cut < compressed.size(); ++cut) {
+    EXPECT_THROW(lzss_decompress({compressed.data(), cut}), DecodeError)
+        << cut;
+  }
+}
+
+TEST(LzssErrors, DistanceBeforeStart) {
+  // Hand-craft: declared size 4, one match token with distance 5.
+  std::vector<std::uint8_t> bad = {'L', 'Z', 'S', '1', 4, 0, 0, 0,
+                                   0,   0,   0,   0,
+                                   0x01,        // flags: first token = match
+                                   4, 0, 0};    // distance-1=4 -> 5, len 4
+  EXPECT_THROW(lzss_decompress(bad), DecodeError);
+}
+
+}  // namespace
+}  // namespace bxsoap

@@ -1,0 +1,106 @@
+#include "common/numeric_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/prng.hpp"
+
+namespace bxsoap {
+namespace {
+
+TEST(NumericText, FormatInt64Basics) {
+  EXPECT_EQ(format_int64(0), "0");
+  EXPECT_EQ(format_int64(-1), "-1");
+  EXPECT_EQ(format_int64(std::numeric_limits<std::int64_t>::max()),
+            "9223372036854775807");
+  EXPECT_EQ(format_int64(std::numeric_limits<std::int64_t>::min()),
+            "-9223372036854775808");
+}
+
+TEST(NumericText, FormatDoubleShortestRoundTrip) {
+  // to_chars default gives the shortest representation that round-trips.
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(*parse_double(format_double(0.1)), 0.1);
+}
+
+TEST(NumericText, ParseInt64Basics) {
+  EXPECT_EQ(*parse_int64("42"), 42);
+  EXPECT_EQ(*parse_int64("-42"), -42);
+  EXPECT_EQ(*parse_int64("+42"), 42) << "XML Schema allows a leading plus";
+  EXPECT_FALSE(parse_int64(""));
+  EXPECT_FALSE(parse_int64("4 2"));
+  EXPECT_FALSE(parse_int64("42x"));
+  EXPECT_FALSE(parse_int64("x42"));
+}
+
+TEST(NumericText, ParseUint64RejectsNegative) {
+  EXPECT_EQ(*parse_uint64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(parse_uint64("-1"));
+}
+
+TEST(NumericText, ParseInt64Overflow) {
+  EXPECT_FALSE(parse_int64("9223372036854775808"));
+  EXPECT_EQ(*parse_int64("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(NumericText, ParseDoubleForms) {
+  EXPECT_DOUBLE_EQ(*parse_double("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e10"), -1e10);
+  EXPECT_DOUBLE_EQ(*parse_double("+0.5"), 0.5);
+  EXPECT_FALSE(parse_double("1.0.0"));
+  EXPECT_FALSE(parse_double(""));
+}
+
+TEST(NumericText, DoubleRoundTripRandom) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double(-1e6, 1e6);
+    auto p = parse_double(format_double(v));
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, v) << "shortest formatting must round-trip exactly";
+  }
+}
+
+TEST(NumericText, DoubleRoundTripExtremes) {
+  for (double v : {std::numeric_limits<double>::max(),
+                   std::numeric_limits<double>::min(),
+                   std::numeric_limits<double>::denorm_min(), -0.0}) {
+    auto p = parse_double(format_double(v));
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, v);
+    EXPECT_EQ(std::signbit(*p), std::signbit(v));
+  }
+}
+
+TEST(NumericText, FloatRoundTripRandom) {
+  SplitMix64 rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = static_cast<float>(rng.next_double(-1e6, 1e6));
+    auto p = parse_float(format_float(v));
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, v);
+  }
+}
+
+TEST(NumericText, AppendAvoidsIntermediate) {
+  std::string out = "x=";
+  append_double(out, 2.5);
+  EXPECT_EQ(out, "x=2.5");
+  append_int64(out, -3);
+  EXPECT_EQ(out, "x=2.5-3");
+}
+
+TEST(NumericText, TrimXmlWs) {
+  EXPECT_EQ(trim_xml_ws("  a b \t\r\n"), "a b");
+  EXPECT_EQ(trim_xml_ws(""), "");
+  EXPECT_EQ(trim_xml_ws(" \n\t "), "");
+  EXPECT_EQ(trim_xml_ws("x"), "x");
+}
+
+}  // namespace
+}  // namespace bxsoap

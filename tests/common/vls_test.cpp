@@ -1,0 +1,110 @@
+#include "common/vls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace bxsoap {
+namespace {
+
+std::uint64_t round_trip(std::uint64_t v) {
+  ByteWriter w;
+  vls_write(w, v);
+  ByteReader r(w.bytes());
+  const std::uint64_t back = vls_read(r);
+  EXPECT_TRUE(r.at_end()) << "decoder must consume the whole encoding";
+  return back;
+}
+
+TEST(Vls, SmallValuesAreOneByte) {
+  for (std::uint64_t v = 0; v < 0x80; ++v) {
+    ByteWriter w;
+    vls_write(w, v);
+    EXPECT_EQ(w.size(), 1u) << v;
+    EXPECT_EQ(round_trip(v), v);
+  }
+}
+
+TEST(Vls, BoundaryLengths) {
+  struct Case {
+    std::uint64_t value;
+    std::size_t bytes;
+  };
+  const Case cases[] = {
+      {0x7F, 1},         {0x80, 2},
+      {0x3FFF, 2},       {0x4000, 3},
+      {0x1FFFFF, 3},     {0x200000, 4},
+      {0xFFFFFFF, 4},    {0x10000000, 5},
+      {0xFFFFFFFFull, 5},
+      {0xFFFFFFFFFFFFFFFFull, 10},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(vls_size(c.value), c.bytes) << c.value;
+    ByteWriter w;
+    vls_write(w, c.value);
+    EXPECT_EQ(w.size(), c.bytes) << c.value;
+    EXPECT_EQ(round_trip(c.value), c.value);
+  }
+}
+
+TEST(Vls, EncodeIntoBufferMatchesWrite) {
+  std::uint8_t buf[kMaxVlsBytes];
+  for (std::uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 1ull << 40}) {
+    const std::size_t n = vls_encode(v, buf);
+    ByteWriter w;
+    vls_write(w, v);
+    ASSERT_EQ(w.size(), n);
+    EXPECT_EQ(std::memcmp(w.bytes().data(), buf, n), 0);
+  }
+}
+
+TEST(Vls, RandomRoundTrip) {
+  SplitMix64 rng(0xBEEF);
+  for (int i = 0; i < 10000; ++i) {
+    // Vary magnitude so all encoded lengths are exercised.
+    const int shift = static_cast<int>(rng.next_below(64));
+    const std::uint64_t v = rng.next() >> shift;
+    EXPECT_EQ(round_trip(v), v);
+  }
+}
+
+TEST(Vls, TruncatedInputThrows) {
+  ByteWriter w;
+  vls_write(w, 0x4000);  // 3-byte encoding
+  auto bytes = w.take();
+  bytes.pop_back();
+  ByteReader r(bytes.data(), bytes.size());
+  EXPECT_THROW(vls_read(r), DecodeError);
+}
+
+TEST(Vls, OverlongInputThrows) {
+  // 11 continuation bytes can never be valid.
+  std::vector<std::uint8_t> bytes(11, 0x80);
+  ByteReader r(bytes.data(), bytes.size());
+  EXPECT_THROW(vls_read(r), DecodeError);
+}
+
+TEST(Vls, TenthByteOverflowThrows) {
+  // 9 continuation bytes then a final byte with more than 1 significant bit
+  // would encode a 65-bit value.
+  std::vector<std::uint8_t> bytes(9, 0x80);
+  bytes.push_back(0x02);
+  ByteReader r(bytes.data(), bytes.size());
+  EXPECT_THROW(vls_read(r), DecodeError);
+}
+
+TEST(Vls, MaxValueRoundTrips) {
+  EXPECT_EQ(round_trip(std::numeric_limits<std::uint64_t>::max()),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Vls, NonCanonicalEncodingStillDecodes) {
+  // 0 encoded with a redundant continuation byte: accepted (decoders are
+  // liberal), value must still be 0.
+  const std::uint8_t bytes[] = {0x80, 0x00};
+  ByteReader r(bytes, 2);
+  EXPECT_EQ(vls_read(r), 0u);
+}
+
+}  // namespace
+}  // namespace bxsoap

@@ -1,0 +1,115 @@
+#include "gridftp/gridftp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <unistd.h>
+
+#include "common/prng.hpp"
+
+namespace bxsoap::gridftp {
+namespace {
+
+class GridFtpFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bxsoap_ftp_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+
+    // A payload big enough to stripe across several blocks.
+    payload_.resize(3 * kBlockSize + 12345);
+    SplitMix64 rng(77);
+    for (auto& b : payload_) b = static_cast<std::uint8_t>(rng.next());
+    std::ofstream out(dir_ / "data.nc", std::ios::binary);
+    out.write(reinterpret_cast<const char*>(payload_.data()),
+              static_cast<std::streamsize>(payload_.size()));
+    out.close();
+
+    server_ = std::make_unique<GridFtpServer>(dir_);
+  }
+
+  void TearDown() override {
+    server_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+  std::vector<std::uint8_t> payload_;
+  std::unique_ptr<GridFtpServer> server_;
+};
+
+TEST_F(GridFtpFixture, SingleStreamFetch) {
+  ClientOptions opt;
+  opt.streams = 1;
+  const auto got = gridftp_fetch(server_->control_port(), "data.nc", opt);
+  EXPECT_EQ(got, payload_);
+}
+
+TEST_F(GridFtpFixture, ParallelStreamsReassembleCorrectly) {
+  for (const int streams : {2, 4, 16}) {
+    ClientOptions opt;
+    opt.streams = streams;
+    const auto got = gridftp_fetch(server_->control_port(), "data.nc", opt);
+    EXPECT_EQ(got, payload_) << streams << " streams";
+  }
+}
+
+TEST_F(GridFtpFixture, SizeQuery) {
+  EXPECT_EQ(gridftp_size(server_->control_port(), "data.nc"),
+            payload_.size());
+}
+
+TEST_F(GridFtpFixture, MissingFileIsError) {
+  EXPECT_THROW(gridftp_fetch(server_->control_port(), "nope.nc"),
+               transport::TransportError);
+  EXPECT_THROW(gridftp_size(server_->control_port(), "nope.nc"),
+               transport::TransportError);
+}
+
+TEST_F(GridFtpFixture, PathTraversalRejected) {
+  EXPECT_THROW(gridftp_fetch(server_->control_port(), "../escape"),
+               transport::TransportError);
+}
+
+TEST_F(GridFtpFixture, AuthHandshakeRoundsConfigurable) {
+  ClientOptions opt;
+  opt.auth_rounds = 0;
+  EXPECT_EQ(gridftp_fetch(server_->control_port(), "data.nc", opt),
+            payload_);
+  opt.auth_rounds = 16;
+  EXPECT_EQ(gridftp_fetch(server_->control_port(), "data.nc", opt),
+            payload_);
+}
+
+TEST_F(GridFtpFixture, UnauthenticatedTransferRejected) {
+  // Speak the protocol manually, skipping AUTH.
+  transport::TcpStream control =
+      transport::TcpStream::connect(server_->control_port());
+  control.write_all(std::string_view("SIZE data.nc\n"));
+  const std::string reply = control.read_until("\n", 256);
+  EXPECT_EQ(reply.substr(0, 3), "ERR");
+}
+
+TEST_F(GridFtpFixture, SequentialSessions) {
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(gridftp_size(server_->control_port(), "data.nc"),
+              payload_.size());
+  }
+}
+
+TEST_F(GridFtpFixture, EmptyFileTransfers) {
+  std::ofstream(dir_ / "empty.nc", std::ios::binary).flush();
+  const auto got = gridftp_fetch(server_->control_port(), "empty.nc");
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(GridFtpFixture, TooManyStreamsRejected) {
+  ClientOptions opt;
+  opt.streams = 100;
+  EXPECT_THROW(gridftp_fetch(server_->control_port(), "data.nc", opt),
+               transport::TransportError);
+}
+
+}  // namespace
+}  // namespace bxsoap::gridftp

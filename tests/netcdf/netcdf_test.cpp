@@ -1,0 +1,199 @@
+#include "netcdf/netcdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+namespace bxsoap::netcdf {
+namespace {
+
+NcFile sample_file() {
+  NcFile f;
+  const auto model = f.add_dimension("model", 4);
+  const auto level = f.add_dimension("level", 2);
+  f.global_attributes().push_back({"title", std::string("unit test")});
+  f.global_attributes().push_back(
+      {"version", std::vector<std::int32_t>{3}});
+
+  Variable& idx = f.add_variable("index", NcType::kInt, {model});
+  idx.set_values(std::vector<std::int32_t>{0, 1, 2, 3});
+
+  Variable& vals = f.add_variable("values", NcType::kDouble, {model});
+  vals.attributes().push_back({"units", std::string("kelvin")});
+  vals.set_values(std::vector<double>{273.15, 274.0, 275.5, -1.25});
+
+  Variable& grid = f.add_variable("grid", NcType::kFloat, {level, model});
+  grid.set_values(
+      std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8});
+  return f;
+}
+
+TEST(NetcdfFormat, MagicAndVersion) {
+  const auto bytes = sample_file().to_bytes();
+  ASSERT_GE(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 'C');
+  EXPECT_EQ(bytes[1], 'D');
+  EXPECT_EQ(bytes[2], 'F');
+  EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(NetcdfFormat, HeaderIsBigEndian) {
+  // numrecs (0) then the NC_DIMENSION tag (0x0000000A big-endian).
+  const auto bytes = sample_file().to_bytes();
+  EXPECT_EQ(bytes[4], 0);  // numrecs
+  EXPECT_EQ(bytes[8], 0x00);
+  EXPECT_EQ(bytes[11], 0x0A);
+}
+
+TEST(NetcdfRoundTrip, FullStructure) {
+  const NcFile original = sample_file();
+  const NcFile back = NcFile::from_bytes(original.to_bytes());
+
+  ASSERT_EQ(back.dimensions().size(), 2u);
+  EXPECT_EQ(back.dimensions()[0].name, "model");
+  EXPECT_EQ(back.dimensions()[0].length, 4u);
+  EXPECT_EQ(back.dimensions()[1].name, "level");
+
+  ASSERT_EQ(back.global_attributes().size(), 2u);
+  EXPECT_EQ(std::get<std::string>(back.global_attributes()[0].value),
+            "unit test");
+  EXPECT_EQ(std::get<std::vector<std::int32_t>>(
+                back.global_attributes()[1].value),
+            (std::vector<std::int32_t>{3}));
+
+  ASSERT_EQ(back.variables().size(), 3u);
+  const Variable* idx = back.find_variable("index");
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->values<std::int32_t>(),
+            (std::vector<std::int32_t>{0, 1, 2, 3}));
+
+  const Variable* vals = back.find_variable("values");
+  ASSERT_NE(vals, nullptr);
+  EXPECT_EQ(vals->values<double>(),
+            (std::vector<double>{273.15, 274.0, 275.5, -1.25}));
+  ASSERT_EQ(vals->attributes().size(), 1u);
+  EXPECT_EQ(vals->attributes()[0].name, "units");
+
+  const Variable* grid = back.find_variable("grid");
+  ASSERT_NE(grid, nullptr);
+  EXPECT_EQ(grid->dim_ids().size(), 2u);
+  EXPECT_EQ(grid->values<float>().size(), 8u);
+  EXPECT_EQ(grid->values<float>()[7], 8.0f);
+}
+
+TEST(NetcdfRoundTrip, EmptyFile) {
+  NcFile f;
+  const NcFile back = NcFile::from_bytes(f.to_bytes());
+  EXPECT_TRUE(back.dimensions().empty());
+  EXPECT_TRUE(back.variables().empty());
+}
+
+TEST(NetcdfRoundTrip, ShortAndByteTypes) {
+  NcFile f;
+  const auto d = f.add_dimension("n", 3);
+  f.add_variable("s", NcType::kShort, {d})
+      .set_values(std::vector<std::int16_t>{-1, 0, 32767});
+  f.add_variable("b", NcType::kByte, {d})
+      .set_values(std::vector<std::int8_t>{-128, 0, 127});
+  const NcFile back = NcFile::from_bytes(f.to_bytes());
+  EXPECT_EQ(back.find_variable("s")->values<std::int16_t>(),
+            (std::vector<std::int16_t>{-1, 0, 32767}));
+  EXPECT_EQ(back.find_variable("b")->values<std::int8_t>(),
+            (std::vector<std::int8_t>{-128, 0, 127}));
+}
+
+TEST(NetcdfRoundTrip, OddLengthPaddingHandled) {
+  // 3 int16 values = 6 bytes, padded to 8 on disk; names with non-multiple
+  // of 4 lengths likewise.
+  NcFile f;
+  const auto d = f.add_dimension("xyzzy", 3);
+  f.add_variable("ab", NcType::kShort, {d})
+      .set_values(std::vector<std::int16_t>{1, 2, 3});
+  f.add_variable("second", NcType::kInt, {d})
+      .set_values(std::vector<std::int32_t>{7, 8, 9});
+  const NcFile back = NcFile::from_bytes(f.to_bytes());
+  EXPECT_EQ(back.find_variable("second")->values<std::int32_t>(),
+            (std::vector<std::int32_t>{7, 8, 9}));
+}
+
+TEST(NetcdfFile, WriteReadDisk) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("bxsoap_nc_test_" + std::to_string(::getpid()) + ".nc");
+  sample_file().write_file(path);
+  const NcFile back = NcFile::read_file(path);
+  EXPECT_EQ(back.find_variable("values")->values<double>()[0], 273.15);
+  std::filesystem::remove(path);
+}
+
+TEST(NetcdfErrors, SizeOverheadIsSmall) {
+  // Table 1: netCDF overhead ~2.2% at model size 1000.
+  NcFile f;
+  const auto d = f.add_dimension("model", 1000);
+  std::vector<std::int32_t> idx(1000);
+  std::vector<double> vals(1000);
+  for (int i = 0; i < 1000; ++i) {
+    idx[i] = i;
+    vals[i] = i * 0.5;
+  }
+  f.add_variable("index", NcType::kInt, {d}).set_values(idx);
+  f.add_variable("values", NcType::kDouble, {d}).set_values(vals);
+  const auto bytes = f.to_bytes();
+  const double overhead = (bytes.size() - 12000.0) / 12000.0;
+  EXPECT_GT(overhead, 0.0);
+  EXPECT_LT(overhead, 0.03);
+}
+
+TEST(NetcdfErrors, BadMagicRejected) {
+  std::vector<std::uint8_t> junk = {'N', 'O', 'P', 'E', 0, 0, 0, 0};
+  EXPECT_THROW(NcFile::from_bytes(junk), DecodeError);
+}
+
+TEST(NetcdfErrors, Cdf2Rejected) {
+  std::vector<std::uint8_t> v2 = {'C', 'D', 'F', 0x02, 0, 0, 0, 0};
+  EXPECT_THROW(NcFile::from_bytes(v2), DecodeError);
+}
+
+TEST(NetcdfErrors, RecordVariablesRejected) {
+  std::vector<std::uint8_t> rec = {'C', 'D', 'F', 0x01, 0, 0, 0, 5,
+                                   0,   0,   0,   0,    0, 0, 0, 0,
+                                   0,   0,   0,   0,    0, 0, 0, 0};
+  EXPECT_THROW(NcFile::from_bytes(rec), DecodeError);
+}
+
+TEST(NetcdfErrors, TruncatedFileRejected) {
+  auto bytes = sample_file().to_bytes();
+  for (const std::size_t cut : {4ul, 12ul, 40ul, bytes.size() - 3}) {
+    EXPECT_THROW(
+        NcFile::from_bytes({bytes.data(), cut}), DecodeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(NetcdfErrors, WrongTypeAccessThrows) {
+  NcFile f = sample_file();
+  EXPECT_THROW(f.find_variable("index")->values<double>(), DecodeError);
+}
+
+TEST(NetcdfErrors, ShapeMismatchRejectedOnWrite) {
+  NcFile f;
+  const auto d = f.add_dimension("n", 10);
+  f.add_variable("v", NcType::kInt, {d})
+      .set_values(std::vector<std::int32_t>{1, 2});  // only 2 of 10
+  EXPECT_THROW(f.to_bytes(), EncodeError);
+}
+
+TEST(NetcdfErrors, UnknownDimensionRejected) {
+  NcFile f;
+  EXPECT_THROW(f.add_variable("v", NcType::kInt, {5}), EncodeError);
+}
+
+TEST(NetcdfErrors, TypeMismatchOnSetRejected) {
+  NcFile f;
+  const auto d = f.add_dimension("n", 2);
+  Variable& v = f.add_variable("v", NcType::kInt, {d});
+  EXPECT_THROW(v.set_values(std::vector<double>{1.0, 2.0}), EncodeError);
+}
+
+}  // namespace
+}  // namespace bxsoap::netcdf

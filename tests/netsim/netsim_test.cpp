@@ -1,0 +1,119 @@
+#include "netsim/netsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bxsoap::netsim {
+namespace {
+
+TEST(NetSim, SpecsMatchThePaperTestbeds) {
+  EXPECT_DOUBLE_EQ(lan().rtt_s, 0.2e-3);
+  EXPECT_DOUBLE_EQ(wan().rtt_s, 5.75e-3);
+  EXPECT_GT(wan().aggregate_bw, wan().stream_bw * 2)
+      << "the WAN must reward striping";
+  EXPECT_LT(lan().aggregate_bw, lan().stream_bw * 2)
+      << "the LAN must not reward striping";
+}
+
+TEST(NetSim, SendTimeScalesLinearlyInBytes) {
+  const LinkSpec l = lan();
+  const double t1 = send_time(l, 1000);
+  const double t2 = send_time(l, 2000);
+  EXPECT_GT(t2, t1);
+  // Slope equals 1/bandwidth.
+  EXPECT_NEAR((t2 - t1), 1000.0 / l.stream_bw, 1e-12);
+}
+
+TEST(NetSim, ZeroBytesStillCostsPropagation) {
+  const LinkSpec l = lan();
+  EXPECT_DOUBLE_EQ(send_time(l, 0), l.rtt_s / 2);
+  EXPECT_DOUBLE_EQ(request_response_time(l, 0, 0), l.rtt_s);
+}
+
+TEST(NetSim, HttpExchangeIncludesConnectAndHeaders) {
+  const LinkSpec l = lan();
+  EXPECT_GT(http_exchange_time(l, 100, 100),
+            request_response_time(l, 100, 100));
+}
+
+TEST(NetSim, WanExchangesCostMoreThanLan) {
+  EXPECT_GT(http_exchange_time(wan(), 1000, 1000),
+            http_exchange_time(lan(), 1000, 1000));
+}
+
+TEST(NetSim, SingleStreamIsCappedAtStreamBandwidth) {
+  const LinkSpec l = lan();
+  const std::size_t bytes = 100 * 1000 * 1000;
+  const double t = parallel_transfer_time(l, bytes, 1);
+  const double expected_wire = static_cast<double>(bytes) / l.stream_bw;
+  EXPECT_NEAR(t, expected_wire, expected_wire * 0.01);
+}
+
+TEST(NetSim, ParallelismHurtsOnTheLan) {
+  // Fig. 5: "over a LAN the parallelism in GridFTP provides little
+  // additional benefit, and indeed somewhat degrades performance".
+  const LinkSpec l = lan();
+  const std::size_t bytes = 64 * 1000 * 1000;
+  const double t1 = parallel_transfer_time(l, bytes, 1);
+  const double t4 = parallel_transfer_time(l, bytes, 4);
+  const double t16 = parallel_transfer_time(l, bytes, 16);
+  EXPECT_GT(t16, t4);
+  EXPECT_GT(t16, t1 * 0.9);
+  // Any gain from the slight aggregate headroom must be outweighed for 16
+  // streams by the reassembly penalty.
+  EXPECT_GT(t16, t1);
+}
+
+TEST(NetSim, ParallelismWinsOnTheWan) {
+  // Fig. 6: 16 streams lead at large sizes.
+  const LinkSpec w = wan();
+  const std::size_t bytes = 64 * 1000 * 1000;
+  const double t1 = parallel_transfer_time(w, bytes, 1);
+  const double t4 = parallel_transfer_time(w, bytes, 4);
+  const double t16 = parallel_transfer_time(w, bytes, 16);
+  EXPECT_LT(t4, t1);
+  EXPECT_LT(t16, t1 / 2);
+}
+
+TEST(NetSim, GridftpAuthDominatesSmallTransfers) {
+  // Fig. 4: GridFTP's flat ~0.23 s floor for tiny payloads.
+  const LinkSpec l = lan();
+  const GridFtpSpec g = gsi_gridftp();
+  const double tiny = gridftp_session_time(l, g, 100, 1);
+  EXPECT_GT(tiny, 0.2);
+  EXPECT_GT(tiny, 100 * http_exchange_time(l, 100, 100))
+      << "GridFTP must be orders of magnitude worse for small messages";
+}
+
+TEST(NetSim, GridftpAuthAmortizesForLargeTransfers) {
+  // Fig. 5: "the overhead of the security is amortized as the message size
+  // increases".
+  const LinkSpec l = lan();
+  const GridFtpSpec g = gsi_gridftp();
+  const std::size_t big = 64 * 1000 * 1000;
+  const double ftp = gridftp_session_time(l, g, big, 1);
+  const double plain = parallel_transfer_time(l, big, 1);
+  EXPECT_LT(ftp, plain * 1.10) << "auth adds <10% at 64 MB";
+}
+
+TEST(NetSim, DiskCostsIncludeOpenOverhead) {
+  const DiskSpec d = local_disk();
+  EXPECT_GT(disk_write_time(d, 0), 0.0);
+  EXPECT_GT(disk_write_time(d, 1000000), disk_write_time(d, 1000));
+  EXPECT_LT(disk_read_time(d, 1000000), disk_write_time(d, 1000000))
+      << "reads are faster than writes";
+}
+
+TEST(NetSim, DeterministicAcrossCalls) {
+  const LinkSpec l = wan();
+  EXPECT_EQ(parallel_transfer_time(l, 123456, 7),
+            parallel_transfer_time(l, 123456, 7));
+}
+
+TEST(NetSim, StreamCountClampedToOne) {
+  const LinkSpec l = lan();
+  EXPECT_EQ(parallel_transfer_time(l, 1000, 0),
+            parallel_transfer_time(l, 1000, 1));
+}
+
+}  // namespace
+}  // namespace bxsoap::netsim

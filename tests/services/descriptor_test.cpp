@@ -1,0 +1,168 @@
+#include "services/descriptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "services/verification.hpp"
+#include "services/schemes.hpp"
+#include "soap/compressed.hpp"
+#include "soap/engine.hpp"
+#include "transport/bindings.hpp"
+#include "transport/striped.hpp"
+#include "workload/lead.hpp"
+
+namespace bxsoap::services {
+namespace {
+
+constexpr std::string_view kSample =
+    "<service name=\"verify\" xmlns=\"urn:bxsoap:service\">"
+    "<endpoint binding=\"tcp\" encoding=\"bxsa\" port=\"9001\"/>"
+    "<endpoint binding=\"http\" encoding=\"xml\" port=\"9002\" "
+    "path=\"/verify\"/>"
+    "</service>";
+
+TEST(Descriptor, ParsesEndpoints) {
+  const ServiceDescription desc = parse_service_description(kSample);
+  EXPECT_EQ(desc.name, "verify");
+  ASSERT_EQ(desc.endpoints.size(), 2u);
+  EXPECT_EQ(desc.endpoints[0].binding, "tcp");
+  EXPECT_EQ(desc.endpoints[0].encoding, "bxsa");
+  EXPECT_EQ(desc.endpoints[0].port, 9001);
+  EXPECT_EQ(desc.endpoints[0].path, "/soap") << "default path";
+  EXPECT_EQ(desc.endpoints[1].path, "/verify");
+}
+
+TEST(Descriptor, FindEncoding) {
+  const ServiceDescription desc = parse_service_description(kSample);
+  ASSERT_NE(desc.find_encoding("xml"), nullptr);
+  EXPECT_EQ(desc.find_encoding("xml")->port, 9002);
+  EXPECT_EQ(desc.find_encoding("exi"), nullptr);
+}
+
+TEST(Descriptor, WriteParsesBack) {
+  const ServiceDescription desc = parse_service_description(kSample);
+  const std::string text = write_service_description(desc);
+  const ServiceDescription back = parse_service_description(text);
+  EXPECT_EQ(back.name, desc.name);
+  ASSERT_EQ(back.endpoints.size(), desc.endpoints.size());
+  EXPECT_EQ(back.endpoints[1].path, "/verify");
+  EXPECT_EQ(back.endpoints[0].encoding, "bxsa");
+}
+
+TEST(Descriptor, RejectsMalformed) {
+  EXPECT_THROW(parse_service_description("<service/>"), DecodeError);
+  EXPECT_THROW(parse_service_description(
+                   "<service name=\"x\" xmlns=\"urn:bxsoap:service\"/>"),
+               DecodeError)
+      << "no endpoints";
+  EXPECT_THROW(
+      parse_service_description(
+          "<service name=\"x\" xmlns=\"urn:bxsoap:service\">"
+          "<endpoint binding=\"smoke\" encoding=\"bxsa\" port=\"1\"/>"
+          "</service>"),
+      DecodeError);
+  EXPECT_THROW(
+      parse_service_description(
+          "<service name=\"x\" xmlns=\"urn:bxsoap:service\">"
+          "<endpoint binding=\"tcp\" encoding=\"morse\" port=\"1\"/>"
+          "</service>"),
+      DecodeError);
+  EXPECT_THROW(
+      parse_service_description(
+          "<service name=\"x\" xmlns=\"urn:bxsoap:service\">"
+          "<endpoint binding=\"tcp\" encoding=\"bxsa\" port=\"0\"/>"
+          "</service>"),
+      DecodeError);
+  EXPECT_THROW(parse_service_description("<service name=\"x\"/>"),
+               DecodeError)
+      << "wrong namespace";
+}
+
+TEST(Descriptor, ConnectDrivesARealService) {
+  // A service advertises its endpoints; clients connect from the
+  // description alone, without compile-time knowledge of the policies.
+  VerificationServer server;
+  ServiceDescription desc;
+  desc.name = "verify";
+  desc.endpoints.push_back({"tcp", "bxsa", server.tcp_port(), "/soap"});
+  desc.endpoints.push_back({"http", "xml", server.http_port(), "/soap"});
+
+  const auto dataset = workload::make_lead_dataset(100);
+  for (const auto& ep : desc.endpoints) {
+    soap::AnySoapEngine engine = connect(ep);
+    soap::SoapEnvelope resp = engine.call(make_data_request(dataset));
+    const auto outcome = parse_verify_response(resp);
+    EXPECT_TRUE(outcome.ok) << ep.encoding;
+    EXPECT_EQ(outcome.count, 100u);
+  }
+}
+
+TEST(Descriptor, StripedEndpointParsesAndConnects) {
+  const ServiceDescription desc = parse_service_description(
+      "<service name=\"bulk\" xmlns=\"urn:bxsoap:service\">"
+      "<endpoint binding=\"tcp-striped\" encoding=\"bxsa\" port=\"9050\" "
+      "streams=\"8\"/></service>");
+  ASSERT_EQ(desc.endpoints.size(), 1u);
+  EXPECT_EQ(desc.endpoints[0].streams, 8);
+  // Round-trips through the writer.
+  const ServiceDescription back =
+      parse_service_description(write_service_description(desc));
+  EXPECT_EQ(back.endpoints[0].streams, 8);
+  EXPECT_EQ(back.endpoints[0].binding, "tcp-striped");
+
+  // And actually drives a striped service.
+  using namespace bxsoap::soap;
+  using namespace bxsoap::transport;
+  StripedServerBinding server_binding;
+  const std::uint16_t port = server_binding.port();
+  SoapEngine<BxsaEncoding, StripedServerBinding> server(
+      {}, std::move(server_binding));
+  std::thread service([&] { server.serve_once(verification_handler); });
+
+  EndpointDescription ep = desc.endpoints[0];
+  ep.port = port;
+  ep.streams = 4;
+  soap::AnySoapEngine engine = connect(ep);
+  const auto dataset = workload::make_lead_dataset(50000);
+  SoapEnvelope resp = engine.call(make_data_request(dataset));
+  service.join();
+  EXPECT_TRUE(parse_verify_response(resp).ok);
+}
+
+TEST(Descriptor, BadStreamCountRejected) {
+  EXPECT_THROW(parse_service_description(
+                   "<service name=\"x\" xmlns=\"urn:bxsoap:service\">"
+                   "<endpoint binding=\"tcp-striped\" encoding=\"bxsa\" "
+                   "port=\"1\" streams=\"0\"/></service>"),
+               DecodeError);
+  EXPECT_THROW(parse_service_description(
+                   "<service name=\"x\" xmlns=\"urn:bxsoap:service\">"
+                   "<endpoint binding=\"tcp-striped\" encoding=\"bxsa\" "
+                   "port=\"1\" streams=\"100\"/></service>"),
+               DecodeError);
+}
+
+TEST(Descriptor, CompressedEncodingEndpoint) {
+  // An endpoint advertising xml+lzss; the server runs the matching policy.
+  using namespace bxsoap::soap;
+  using namespace bxsoap::transport;
+  TcpServerBinding binding;
+  const std::uint16_t port = binding.port();
+  SoapEngine<CompressedEncoding<XmlEncoding>, TcpServerBinding> server(
+      {}, std::move(binding));
+  std::thread service([&] { server.serve_once(verification_handler); });
+
+  ServiceDescription desc;
+  desc.name = "verify";
+  desc.endpoints.push_back({"tcp", "xml+lzss", port, "/soap"});
+
+  soap::AnySoapEngine engine = connect(desc);
+  const auto dataset = workload::make_lead_dataset(64);
+  soap::SoapEnvelope resp = engine.call(make_data_request(dataset));
+  service.join();
+  EXPECT_TRUE(parse_verify_response(resp).ok);
+}
+
+}  // namespace
+}  // namespace bxsoap::services

@@ -1,0 +1,215 @@
+// Integration tests: all four of the paper's deployment schemes end-to-end
+// over real loopback sockets, plus the transcoding intermediary.
+#include "services/schemes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "soap/engine.hpp"
+#include "transport/bindings.hpp"
+
+namespace bxsoap::services {
+namespace {
+
+using workload::LeadDataset;
+using workload::make_lead_dataset;
+
+class SchemesFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    shared_dir_ = std::filesystem::temp_directory_path() /
+                  ("bxsoap_schemes_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(shared_dir_);
+    server_ = std::make_unique<VerificationServer>();
+    file_server_ = std::make_unique<transport::HttpFileServer>(shared_dir_);
+    ftp_ = std::make_unique<gridftp::GridFtpServer>(shared_dir_);
+    dataset_ = make_lead_dataset(500);
+    expected_ = verify_dataset(dataset_);
+  }
+
+  void TearDown() override {
+    ftp_.reset();
+    file_server_.reset();
+    server_.reset();
+    std::filesystem::remove_all(shared_dir_);
+  }
+
+  std::filesystem::path shared_dir_;
+  std::unique_ptr<VerificationServer> server_;
+  std::unique_ptr<transport::HttpFileServer> file_server_;
+  std::unique_ptr<gridftp::GridFtpServer> ftp_;
+  LeadDataset dataset_;
+  VerificationOutcome expected_;
+};
+
+TEST_F(SchemesFixture, VerifyDatasetAcceptsGeneratorOutput) {
+  EXPECT_TRUE(expected_.ok);
+  EXPECT_EQ(expected_.count, 500u);
+}
+
+TEST_F(SchemesFixture, VerifyDatasetRejectsCorruptData) {
+  LeadDataset bad = dataset_;
+  bad.values[7] = 1000.0;  // outside instrument range
+  EXPECT_FALSE(verify_dataset(bad).ok);
+  bad = dataset_;
+  bad.index[3] = 99;
+  EXPECT_FALSE(verify_dataset(bad).ok);
+}
+
+TEST_F(SchemesFixture, UnifiedBxsaTcp) {
+  const VerificationOutcome o =
+      run_unified_bxsa_tcp(dataset_, server_->tcp_port());
+  EXPECT_EQ(o, expected_);
+}
+
+TEST_F(SchemesFixture, UnifiedXmlHttp) {
+  const VerificationOutcome o =
+      run_unified_xml_http(dataset_, server_->http_port());
+  EXPECT_EQ(o, expected_);
+}
+
+TEST_F(SchemesFixture, SeparatedHttp) {
+  const VerificationOutcome o = run_separated_http(
+      dataset_, server_->http_port(), *file_server_, "run1.nc");
+  EXPECT_EQ(o, expected_);
+}
+
+TEST_F(SchemesFixture, SeparatedGridftpSingleStream) {
+  const VerificationOutcome o = run_separated_gridftp(
+      dataset_, server_->http_port(), *ftp_, "run2.nc", 1);
+  EXPECT_EQ(o, expected_);
+}
+
+TEST_F(SchemesFixture, SeparatedGridftpParallelStreams) {
+  const VerificationOutcome o = run_separated_gridftp(
+      dataset_, server_->http_port(), *ftp_, "run3.nc", 4);
+  EXPECT_EQ(o, expected_);
+}
+
+TEST_F(SchemesFixture, AllSchemesAgree) {
+  // The paper's premise: the same logical computation through four very
+  // different stacks. Results must be identical.
+  const auto a = run_unified_bxsa_tcp(dataset_, server_->tcp_port());
+  const auto b = run_unified_xml_http(dataset_, server_->http_port());
+  const auto c = run_separated_http(dataset_, server_->http_port(),
+                                    *file_server_, "agree.nc");
+  const auto d = run_separated_gridftp(dataset_, server_->http_port(), *ftp_,
+                                       "agree2.nc", 2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(c, d);
+}
+
+TEST_F(SchemesFixture, SeparatedHttpMissingFileFaults) {
+  using namespace bxsoap::soap;
+  using namespace bxsoap::transport;
+  SoapEngine<XmlEncoding, HttpClientBinding> client(
+      {}, HttpClientBinding(server_->http_port()));
+  SoapEnvelope resp = client.call(
+      make_http_fetch_request(file_server_->url_for("missing.nc")));
+  ASSERT_TRUE(resp.is_fault());
+  EXPECT_EQ(resp.fault().code, "soap:Server");
+}
+
+TEST_F(SchemesFixture, UnknownChannelFaults) {
+  using namespace bxsoap::soap;
+  using namespace bxsoap::transport;
+  auto payload = xdm::make_element(xdm::QName("urn:lead", "fetch", "lead"));
+  payload->add_attribute(xdm::QName("channel"), std::string("carrier-pigeon"));
+  SoapEngine<XmlEncoding, HttpClientBinding> client(
+      {}, HttpClientBinding(server_->http_port()));
+  SoapEnvelope resp = client.call(SoapEnvelope::wrap(std::move(payload)));
+  ASSERT_TRUE(resp.is_fault());
+  EXPECT_EQ(resp.fault().code, "soap:Client");
+}
+
+TEST_F(SchemesFixture, SequentialRequestsOnAllChannels) {
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(run_unified_bxsa_tcp(dataset_, server_->tcp_port()), expected_);
+    EXPECT_EQ(run_unified_xml_http(dataset_, server_->http_port()),
+              expected_);
+  }
+}
+
+TEST_F(SchemesFixture, TranscodingRelayBridgesXmlClientsToBxsaBackend) {
+  // An XML/HTTP client talks to the relay; the backend only speaks
+  // BXSA/TCP. The intermediary transcodes both directions.
+  TranscodingRelay relay(server_->tcp_port());
+  const VerificationOutcome o =
+      run_unified_xml_http(dataset_, relay.http_port());
+  EXPECT_EQ(o, expected_);
+  relay.stop();
+}
+
+TEST_F(SchemesFixture, BxsaAsIntermediateProtocolBetweenXmlEndpoints) {
+  // Paper §5.1: "transcodability enables BXSA to be the intermediate
+  // protocol over the message hops, even when the message sender and
+  // receiver are communicating via textual XML."
+  //
+  //   XML client --HTTP--> relayA --BXSA/TCP--> relayB --HTTP--> XML server
+  ReverseTranscodingRelay relay_b(server_->http_port());  // BXSA -> XML
+  TranscodingRelay relay_a(relay_b.tcp_port());           // XML -> BXSA
+
+  const VerificationOutcome o =
+      run_unified_xml_http(dataset_, relay_a.http_port());
+  EXPECT_EQ(o, expected_);
+  relay_a.stop();
+  relay_b.stop();
+}
+
+TEST(RelaySecurity, SignatureSurvivesTranscoding) {
+  // The flagship layering claim: a BodyDigestSignature computed at the
+  // bXDM level verifies after the relay transcodes the message from
+  // textual XML to BXSA — security composes with encoding because both are
+  // policies below the data model.
+  using namespace bxsoap::soap;
+  using namespace bxsoap::transport;
+
+  // Backend: BXSA/TCP, signature required.
+  TcpServerBinding backend_binding;
+  const std::uint16_t backend_port = backend_binding.port();
+  SoapEngine<BxsaEncoding, TcpServerBinding, BodyDigestSignature> backend(
+      {}, std::move(backend_binding), BodyDigestSignature("sh4red"));
+  std::thread backend_thread([&] {
+    backend.serve_once([](SoapEnvelope req) {
+      auto out = xdm::make_element(xdm::QName("urn:t", "Ack", "t"));
+      out->add_child(req.body_payload()->clone());
+      return SoapEnvelope::wrap(std::move(out));
+    });
+  });
+
+  // Intermediary: XML/HTTP front, BXSA/TCP back, no security of its own.
+  TranscodingRelay relay(backend_port);
+
+  // Client: XML/HTTP, signs with the shared key.
+  SoapEngine<XmlEncoding, HttpClientBinding, BodyDigestSignature> client(
+      {}, HttpClientBinding(relay.http_port()), BodyDigestSignature("sh4red"));
+
+  auto payload = xdm::make_element(xdm::QName("urn:t", "Order", "t"));
+  payload->add_child(
+      xdm::make_array<double>(xdm::QName("urn:t", "qty", "t"), {1.5, 2.5}));
+  SoapEnvelope resp = client.call(SoapEnvelope::wrap(std::move(payload)));
+  backend_thread.join();
+  relay.stop();
+
+  ASSERT_FALSE(resp.is_fault())
+      << (resp.is_fault() ? resp.fault().reason : "");
+  EXPECT_EQ(resp.body_payload()->name().local, "Ack");
+}
+
+TEST_F(SchemesFixture, RelayForwardsFaultsToo) {
+  using namespace bxsoap::soap;
+  using namespace bxsoap::transport;
+  TranscodingRelay relay(server_->tcp_port());
+  auto payload = xdm::make_element(xdm::QName("urn:lead", "bogus", "lead"));
+  SoapEngine<XmlEncoding, HttpClientBinding> client(
+      {}, HttpClientBinding(relay.http_port()));
+  SoapEnvelope resp = client.call(SoapEnvelope::wrap(std::move(payload)));
+  ASSERT_TRUE(resp.is_fault());
+  EXPECT_EQ(resp.fault().code, "soap:Client");
+  relay.stop();
+}
+
+}  // namespace
+}  // namespace bxsoap::services

@@ -1,0 +1,229 @@
+#include "soap/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "soap/addressing.hpp"
+#include "soap/any_engine.hpp"
+#include "transport/inmemory.hpp"
+#include "xdm/equal.hpp"
+
+namespace bxsoap::soap {
+namespace {
+
+using namespace bxsoap::xdm;
+using transport::InMemoryBinding;
+
+SoapEnvelope echo_request() {
+  auto payload = make_element(QName("urn:t", "Echo", "t"));
+  payload->declare_namespace("t", "urn:t");
+  payload->add_child(make_array<std::int32_t>(QName("urn:t", "nums", "t"),
+                                              {1, 2, 3}));
+  return SoapEnvelope::wrap(std::move(payload));
+}
+
+/// Handler that wraps the request payload in an EchoResponse.
+SoapEnvelope echo_handler(SoapEnvelope request) {
+  const ElementBase* in = request.body_payload();
+  if (in == nullptr) throw SoapFaultError("soap:Client", "empty body");
+  auto out = make_element(QName("urn:t", "EchoResponse", "t"));
+  out->add_child(in->clone());
+  return SoapEnvelope::wrap(std::move(out));
+}
+
+template <typename Encoding>
+void run_echo_exchange() {
+  auto [client_end, server_end] = InMemoryBinding::make_pair();
+  SoapEngine<Encoding, InMemoryBinding> client({}, std::move(client_end));
+  SoapEngine<Encoding, InMemoryBinding> server({}, std::move(server_end));
+
+  std::thread server_thread([&] { server.serve_once(echo_handler); });
+  SoapEnvelope response = client.call(echo_request());
+  server_thread.join();
+
+  response.throw_if_fault();
+  const ElementBase* payload = response.body_payload();
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(payload->name().local, "EchoResponse");
+  const auto* echoed =
+      static_cast<const Element*>(payload)->find_child("Echo");
+  ASSERT_NE(echoed, nullptr);
+}
+
+TEST(SoapEngine, EchoOverXmlEncoding) { run_echo_exchange<XmlEncoding>(); }
+TEST(SoapEngine, EchoOverBxsaEncoding) { run_echo_exchange<BxsaEncoding>(); }
+
+TEST(SoapEngine, HandlerExceptionBecomesFault) {
+  auto [client_end, server_end] = InMemoryBinding::make_pair();
+  SoapEngine<BxsaEncoding, InMemoryBinding> client({}, std::move(client_end));
+  SoapEngine<BxsaEncoding, InMemoryBinding> server({}, std::move(server_end));
+
+  std::thread server_thread([&] {
+    server.serve_once([](SoapEnvelope) -> SoapEnvelope {
+      throw std::runtime_error("database exploded");
+    });
+  });
+  SoapEnvelope response = client.call(echo_request());
+  server_thread.join();
+
+  ASSERT_TRUE(response.is_fault());
+  const Fault f = response.fault();
+  EXPECT_EQ(f.code, "soap:Server");
+  EXPECT_EQ(f.reason, "database exploded");
+  EXPECT_THROW(response.throw_if_fault(), SoapFaultError);
+}
+
+TEST(SoapEngine, SoapFaultErrorKeepsItsCode) {
+  auto [client_end, server_end] = InMemoryBinding::make_pair();
+  SoapEngine<XmlEncoding, InMemoryBinding> client({}, std::move(client_end));
+  SoapEngine<XmlEncoding, InMemoryBinding> server({}, std::move(server_end));
+
+  std::thread server_thread([&] {
+    server.serve_once([](SoapEnvelope) -> SoapEnvelope {
+      throw SoapFaultError("soap:Client", "you sent garbage");
+    });
+  });
+  SoapEnvelope response = client.call(echo_request());
+  server_thread.join();
+
+  ASSERT_TRUE(response.is_fault());
+  EXPECT_EQ(response.fault().code, "soap:Client");
+}
+
+TEST(SoapEngine, MalformedRequestBecomesFaultNotCrash) {
+  auto [client_end, server_end] = InMemoryBinding::make_pair();
+  SoapEngine<BxsaEncoding, InMemoryBinding> server({}, std::move(server_end));
+
+  std::thread server_thread([&] {
+    server.serve_once(echo_handler);
+  });
+  // Hand-deliver garbage bytes as the "request".
+  WireMessage junk;
+  junk.content_type = "application/bxsa";
+  junk.payload = {0xFF, 0x00, 0x13};
+  client_end.send_request(std::move(junk));
+  // The response still arrives, as a decode fault. Reading it requires the
+  // matching encoding; the fault envelope is valid BXSA.
+  WireMessage raw = client_end.receive_response();
+  server_thread.join();
+  BxsaEncoding enc;
+  SoapEnvelope response(enc.deserialize(raw.payload));
+  ASSERT_TRUE(response.is_fault());
+  EXPECT_EQ(response.fault().code, "soap:Server");
+}
+
+TEST(SoapEngine, OneWaySendDoesNotWaitForResponse) {
+  auto [client_end, server_end] = InMemoryBinding::make_pair();
+  SoapEngine<BxsaEncoding, InMemoryBinding> client({}, std::move(client_end));
+  SoapEngine<BxsaEncoding, InMemoryBinding> server({}, std::move(server_end));
+
+  client.send_request(echo_request());  // returns immediately
+  SoapEnvelope received = server.receive_request();
+  EXPECT_EQ(received.body_payload()->name().local, "Echo");
+}
+
+TEST(SoapEngine, SecurityPolicySignsAndVerifies) {
+  auto [client_end, server_end] = InMemoryBinding::make_pair();
+  SoapEngine<BxsaEncoding, InMemoryBinding, BodyDigestSignature> client(
+      {}, std::move(client_end), BodyDigestSignature("k3y"));
+  SoapEngine<BxsaEncoding, InMemoryBinding, BodyDigestSignature> server(
+      {}, std::move(server_end), BodyDigestSignature("k3y"));
+
+  std::thread server_thread([&] { server.serve_once(echo_handler); });
+  SoapEnvelope response = client.call(echo_request());
+  server_thread.join();
+  EXPECT_FALSE(response.is_fault());
+}
+
+TEST(SoapEngine, WrongKeyIsRejectedAsClientFault) {
+  auto [client_end, server_end] = InMemoryBinding::make_pair();
+  SoapEngine<BxsaEncoding, InMemoryBinding, BodyDigestSignature> client(
+      {}, std::move(client_end), BodyDigestSignature("alice"));
+  SoapEngine<BxsaEncoding, InMemoryBinding, BodyDigestSignature> server(
+      {}, std::move(server_end), BodyDigestSignature("mallory"));
+
+  std::thread server_thread([&] { server.serve_once(echo_handler); });
+  SoapEnvelope response = client.call(echo_request());
+  server_thread.join();
+  ASSERT_TRUE(response.is_fault());
+  EXPECT_EQ(response.fault().code, "soap:Client");
+}
+
+TEST(SoapEngine, UnsignedRequestToSignedServerFaults) {
+  auto [client_end, server_end] = InMemoryBinding::make_pair();
+  SoapEngine<BxsaEncoding, InMemoryBinding> client({}, std::move(client_end));
+  SoapEngine<BxsaEncoding, InMemoryBinding, BodyDigestSignature> server(
+      {}, std::move(server_end), BodyDigestSignature("k"));
+
+  std::thread server_thread([&] { server.serve_once(echo_handler); });
+  SoapEnvelope response = client.call(echo_request());
+  server_thread.join();
+  ASSERT_TRUE(response.is_fault());
+  EXPECT_NE(response.fault().reason.find("security"), std::string::npos);
+}
+
+TEST(SoapEngine, SecurityComposesWithXmlEncodingToo) {
+  // The same signature must verify when the message travels as textual XML
+  // (the digest is computed at the bXDM level).
+  auto [client_end, server_end] = InMemoryBinding::make_pair();
+  SoapEngine<XmlEncoding, InMemoryBinding, BodyDigestSignature> client(
+      {}, std::move(client_end), BodyDigestSignature("k3y"));
+  SoapEngine<XmlEncoding, InMemoryBinding, BodyDigestSignature> server(
+      {}, std::move(server_end), BodyDigestSignature("k3y"));
+
+  std::thread server_thread([&] { server.serve_once(echo_handler); });
+  SoapEnvelope response = client.call(echo_request());
+  server_thread.join();
+  EXPECT_FALSE(response.is_fault());
+}
+
+TEST(AnySoapEngine, BehavesLikeStaticEngine) {
+  auto [client_end, server_end] = InMemoryBinding::make_pair();
+  AnySoapEngine client(AnyEncoding::from(BxsaEncoding{}),
+                       AnyBinding::from(std::move(client_end)));
+  AnySoapEngine server(AnyEncoding::from(BxsaEncoding{}),
+                       AnyBinding::from(std::move(server_end)));
+
+  std::thread server_thread([&] {
+    SoapEnvelope req = server.receive_request();
+    server.send_response(echo_handler(std::move(req)));
+  });
+  SoapEnvelope response = client.call(echo_request());
+  server_thread.join();
+  EXPECT_EQ(response.body_payload()->name().local, "EchoResponse");
+}
+
+TEST(Addressing, HeadersRoundTripThroughBothEncodings) {
+  SoapEnvelope env = echo_request();
+  set_action(env, "urn:t/Echo");
+  set_message_id(env, "uuid:1234");
+  set_to(env, "urn:service");
+
+  for (int use_bxsa = 0; use_bxsa < 2; ++use_bxsa) {
+    std::vector<std::uint8_t> bytes;
+    DocumentPtr doc;
+    if (use_bxsa != 0) {
+      BxsaEncoding enc;
+      bytes = enc.serialize(env.document());
+      doc = enc.deserialize(bytes);
+    } else {
+      XmlEncoding enc;
+      bytes = enc.serialize(env.document());
+      doc = enc.deserialize(bytes);
+    }
+    SoapEnvelope back{std::move(doc)};
+    EXPECT_EQ(get_action(back).value_or(""), "urn:t/Echo");
+    EXPECT_EQ(get_message_id(back).value_or(""), "uuid:1234");
+    EXPECT_EQ(get_to(back).value_or(""), "urn:service");
+    EXPECT_FALSE(get_relates_to(back).has_value());
+  }
+}
+
+TEST(Addressing, MissingHeaderYieldsNullopt) {
+  SoapEnvelope env = echo_request();
+  EXPECT_FALSE(get_action(env).has_value());
+}
+
+}  // namespace
+}  // namespace bxsoap::soap

@@ -1,0 +1,139 @@
+#include "soap/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soap/encoding.hpp"
+#include "xdm/equal.hpp"
+
+namespace bxsoap::soap {
+namespace {
+
+using namespace bxsoap::xdm;
+
+TEST(Envelope, FreshEnvelopeHasBodyNoHeader) {
+  SoapEnvelope env;
+  EXPECT_FALSE(env.has_header());
+  EXPECT_EQ(env.body().child_count(), 0u);
+  EXPECT_EQ(env.body_payload(), nullptr);
+  EXPECT_FALSE(env.is_fault());
+}
+
+TEST(Envelope, WrapPutsPayloadInBody) {
+  auto payload = make_element(QName("urn:app", "Run", "app"));
+  payload->add_child(make_leaf<std::int32_t>(QName("id"), 7));
+  SoapEnvelope env = SoapEnvelope::wrap(std::move(payload));
+  const ElementBase* p = env.body_payload();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->name().local, "Run");
+}
+
+TEST(Envelope, HeaderCreatedBeforeBody) {
+  SoapEnvelope env;
+  env.add_header_block(make_leaf<std::string>(QName("h"), std::string("v")));
+  ASSERT_TRUE(env.has_header());
+  // Header must be the first child of Envelope.
+  const auto kids = env.envelope().child_elements();
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(kids[0]->name().local, "Header");
+  EXPECT_EQ(kids[1]->name().local, "Body");
+}
+
+TEST(Envelope, FaultConstructionAndParsing) {
+  SoapEnvelope env = SoapEnvelope::make_fault(
+      {"soap:Server", "boom happened", "stack details"});
+  EXPECT_TRUE(env.is_fault());
+  const Fault f = env.fault();
+  EXPECT_EQ(f.code, "soap:Server");
+  EXPECT_EQ(f.reason, "boom happened");
+  EXPECT_EQ(f.detail, "stack details");
+  EXPECT_THROW(env.throw_if_fault(), SoapFaultError);
+}
+
+TEST(Envelope, NonFaultThrowIfFaultIsNoop) {
+  SoapEnvelope env = SoapEnvelope::wrap(make_element(QName("x")));
+  EXPECT_NO_THROW(env.throw_if_fault());
+  EXPECT_THROW(env.fault(), Error);
+}
+
+TEST(Envelope, CopyIsDeep) {
+  SoapEnvelope a = SoapEnvelope::wrap(make_element(QName("x")));
+  SoapEnvelope b = a;
+  b.set_body_payload(make_element(QName("y")));
+  EXPECT_EQ(a.body().child_count(), 1u);
+  EXPECT_EQ(b.body().child_count(), 2u);
+}
+
+TEST(Envelope, RejectsNonSoapDocument) {
+  auto doc = make_document(make_element(QName("NotSoap")));
+  EXPECT_THROW(SoapEnvelope{std::move(doc)}, DecodeError);
+}
+
+TEST(Envelope, RejectsEnvelopeWithoutBody) {
+  auto env = make_element(QName(std::string(kSoapEnvelopeUri), "Envelope",
+                                std::string(kSoapPrefix)));
+  env->declare_namespace("soap", std::string(kSoapEnvelopeUri));
+  auto doc = make_document(std::move(env));
+  EXPECT_THROW(SoapEnvelope{std::move(doc)}, DecodeError);
+}
+
+class EnvelopeCodecRoundTrip : public ::testing::Test {
+ protected:
+  static SoapEnvelope sample() {
+    auto payload = make_element(QName("urn:app", "Data", "app"));
+    payload->declare_namespace("app", "urn:app");
+    payload->add_child(make_array<double>(QName("urn:app", "v", "app"),
+                                          {1.5, 2.5, 3.5}));
+    payload->add_child(make_leaf<std::int32_t>(QName("urn:app", "n", "app"),
+                                               3));
+    SoapEnvelope env = SoapEnvelope::wrap(std::move(payload));
+    env.add_header_block(
+        make_leaf<std::string>(QName("urn:h", "trace", "h"), std::string("t1")));
+    return env;
+  }
+};
+
+TEST_F(EnvelopeCodecRoundTrip, SurvivesXmlEncoding) {
+  SoapEnvelope env = sample();
+  XmlEncoding enc;
+  const auto bytes = enc.serialize(env.document());
+  SoapEnvelope back(enc.deserialize(bytes));
+  EXPECT_TRUE(deep_equal(env.document(), back.document()))
+      << first_difference(env.document(), back.document());
+}
+
+TEST_F(EnvelopeCodecRoundTrip, SurvivesBxsaEncoding) {
+  SoapEnvelope env = sample();
+  BxsaEncoding enc;
+  const auto bytes = enc.serialize(env.document());
+  SoapEnvelope back(enc.deserialize(bytes));
+  EXPECT_TRUE(deep_equal(env.document(), back.document()))
+      << first_difference(env.document(), back.document());
+}
+
+TEST_F(EnvelopeCodecRoundTrip, EncodingsAgreeOnTheModel) {
+  // The SAME logical message through both codecs decodes to equal trees —
+  // the transparency property the common API promises.
+  SoapEnvelope env = sample();
+  XmlEncoding xml_enc;
+  BxsaEncoding bxsa_enc;
+  SoapEnvelope via_xml(xml_enc.deserialize(xml_enc.serialize(env.document())));
+  SoapEnvelope via_bxsa(
+      bxsa_enc.deserialize(bxsa_enc.serialize(env.document())));
+  EXPECT_TRUE(deep_equal(via_xml.document(), via_bxsa.document()))
+      << first_difference(via_xml.document(), via_bxsa.document());
+}
+
+TEST(EnvelopeCodec, BxsaIsSmallerForNumericPayloads) {
+  auto payload = make_element(QName("p"));
+  std::vector<double> values(500);
+  for (int i = 0; i < 500; ++i) values[i] = 0.123456789 * i;
+  payload->add_child(make_array<double>(QName("v"), std::move(values)));
+  SoapEnvelope env = SoapEnvelope::wrap(std::move(payload));
+  XmlEncoding xml_enc;
+  BxsaEncoding bxsa_enc;
+  EXPECT_LT(bxsa_enc.serialize(env.document()).size(),
+            xml_enc.serialize(env.document()).size() / 2);
+}
+
+}  // namespace
+}  // namespace bxsoap::soap

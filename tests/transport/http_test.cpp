@@ -1,0 +1,213 @@
+#include "transport/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "transport/file_server.hpp"
+
+namespace bxsoap::transport {
+namespace {
+
+TEST(HttpHeaders, CaseInsensitiveLookup) {
+  HttpHeaders h;
+  h.set("Content-Type", "text/xml");
+  EXPECT_EQ(h.get("content-type").value_or(""), "text/xml");
+  EXPECT_EQ(h.get("CONTENT-TYPE").value_or(""), "text/xml");
+  EXPECT_FALSE(h.get("X-Missing").has_value());
+}
+
+TEST(HttpServer, EchoPost) {
+  HttpServer server;
+  server.start([](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.headers.set("Content-Type",
+                     req.headers.get("Content-Type").value_or("none"));
+    resp.body = req.body;
+    return resp;
+  });
+
+  HttpClient client(server.port());
+  const std::vector<std::uint8_t> body = {'d', 'a', 't', 'a'};
+  HttpResponse resp = client.post("/echo", "application/bxsa", body);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, body);
+  EXPECT_EQ(resp.headers.get("Content-Type").value_or(""),
+            "application/bxsa");
+  server.stop();
+}
+
+TEST(HttpServer, HandlerSeesMethodAndTarget) {
+  HttpServer server;
+  server.start([](const HttpRequest& req) {
+    HttpResponse resp;
+    const std::string summary = req.method + " " + req.target;
+    resp.body.assign(summary.begin(), summary.end());
+    return resp;
+  });
+  HttpClient client(server.port());
+  HttpResponse resp = client.get("/a/b?x=1");
+  EXPECT_EQ(std::string(resp.body.begin(), resp.body.end()), "GET /a/b?x=1");
+  server.stop();
+}
+
+TEST(HttpServer, HandlerExceptionBecomes500) {
+  HttpServer server;
+  server.start([](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("kaput");
+  });
+  HttpClient client(server.port());
+  HttpResponse resp = client.get("/");
+  EXPECT_EQ(resp.status, 500);
+  EXPECT_EQ(std::string(resp.body.begin(), resp.body.end()), "kaput");
+  server.stop();
+}
+
+TEST(HttpServer, MultipleSequentialRequests) {
+  HttpServer server;
+  int counter = 0;
+  server.start([&counter](const HttpRequest&) {
+    HttpResponse resp;
+    const std::string n = std::to_string(++counter);
+    resp.body.assign(n.begin(), n.end());
+    return resp;
+  });
+  HttpClient client(server.port());
+  for (int i = 1; i <= 5; ++i) {
+    HttpResponse resp = client.get("/");
+    EXPECT_EQ(std::string(resp.body.begin(), resp.body.end()),
+              std::to_string(i));
+  }
+  server.stop();
+}
+
+TEST(HttpServer, StopIsIdempotent) {
+  HttpServer server;
+  server.start([](const HttpRequest&) { return HttpResponse{}; });
+  server.stop();
+  server.stop();
+}
+
+TEST(HttpServer, LargeBodyRoundTrip) {
+  HttpServer server;
+  server.start([](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = req.body;
+    return resp;
+  });
+  HttpClient client(server.port());
+  std::vector<std::uint8_t> body(3 << 20);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<std::uint8_t>(i);
+  }
+  HttpResponse resp = client.post("/", "application/octet-stream", body);
+  EXPECT_EQ(resp.body, body);
+  server.stop();
+}
+
+class FileServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bxsoap_fs_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    std::ofstream(dir_ / "data.bin", std::ios::binary) << "FILEBYTES";
+    server_ = std::make_unique<HttpFileServer>(dir_);
+  }
+  void TearDown() override {
+    server_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<HttpFileServer> server_;
+};
+
+TEST_F(FileServerFixture, ServesExistingFile) {
+  const auto bytes = http_fetch(server_->url_for("data.bin"));
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "FILEBYTES");
+}
+
+TEST_F(FileServerFixture, MissingFileIs404) {
+  HttpClient client(server_->port());
+  EXPECT_EQ(client.get("/nope.bin").status, 404);
+  EXPECT_THROW(http_fetch(server_->url_for("nope.bin")), TransportError);
+}
+
+TEST_F(FileServerFixture, PathTraversalForbidden) {
+  HttpClient client(server_->port());
+  EXPECT_EQ(client.get("/../etc/passwd").status, 403);
+}
+
+TEST_F(FileServerFixture, PostRejected) {
+  HttpClient client(server_->port());
+  EXPECT_EQ(client.post("/data.bin", "x", {}).status, 405);
+}
+
+TEST(HttpParsing, ResponseWithoutReasonPhrase) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpStream conn = listener.accept();
+    conn.write_all(std::string_view(
+        "HTTP/1.1 204\r\nContent-Length: 0\r\n\r\n"));
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  // Send any request first so the exchange is well-formed.
+  HttpRequest req;
+  write_http_request(client, req);
+  HttpResponse resp = read_http_response(client);
+  EXPECT_EQ(resp.status, 204);
+  EXPECT_EQ(resp.reason, "");
+  EXPECT_TRUE(resp.body.empty());
+  server.join();
+}
+
+TEST(HttpParsing, MalformedResponsesRejected) {
+  for (const char* wire :
+       {"NOTHTTP 200 OK\r\n\r\n", "HTTP/1.1 abc OK\r\n\r\n",
+        "HTTP/1.1 99 Too Low\r\n\r\n", "HTTP/1.1 600 Too High\r\n\r\n",
+        "HTTP/1.1 200 OK\r\nBadHeaderNoColon\r\n\r\n",
+        "HTTP/1.1 200 OK\r\nContent-Length: -5\r\n\r\n"}) {
+    TcpListener listener(0);
+    std::thread server([&] {
+      TcpStream conn = listener.accept();
+      conn.write_all(std::string_view(wire));
+    });
+    TcpStream client = TcpStream::connect(listener.port());
+    EXPECT_THROW(read_http_response(client), TransportError) << wire;
+    server.join();
+  }
+}
+
+TEST(HttpParsing, RequestHeaderWhitespaceTrimmed) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpStream conn = listener.accept();
+    conn.write_all(std::string_view(
+        "POST /x HTTP/1.1\r\nContent-Type:   text/xml  \r\n"
+        "Content-Length: 2\r\n\r\nok"));
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  HttpRequest req = read_http_request(client);
+  EXPECT_EQ(req.headers.get("content-type").value_or(""), "text/xml");
+  EXPECT_EQ(std::string(req.body.begin(), req.body.end()), "ok");
+  server.join();
+}
+
+TEST(ParseLoopbackUrl, Valid) {
+  const ParsedUrl u = parse_loopback_url("http://127.0.0.1:8080/a/b.nc");
+  EXPECT_EQ(u.port, 8080);
+  EXPECT_EQ(u.path, "/a/b.nc");
+}
+
+TEST(ParseLoopbackUrl, Rejects) {
+  EXPECT_THROW(parse_loopback_url("https://127.0.0.1:1/x"), TransportError);
+  EXPECT_THROW(parse_loopback_url("http://example.com/x"), TransportError);
+  EXPECT_THROW(parse_loopback_url("http://127.0.0.1:0/x"), TransportError);
+  EXPECT_THROW(parse_loopback_url("http://127.0.0.1:99999/x"),
+               TransportError);
+  EXPECT_THROW(parse_loopback_url("http://127.0.0.1:80"), TransportError);
+}
+
+}  // namespace
+}  // namespace bxsoap::transport

@@ -1,0 +1,116 @@
+#include "transport/server_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "services/verification.hpp"
+#include "soap/engine.hpp"
+#include "transport/bindings.hpp"
+#include "workload/lead.hpp"
+
+namespace bxsoap::transport {
+namespace {
+
+using namespace bxsoap::soap;
+
+std::unique_ptr<SoapServerPool> make_pool() {
+  return std::make_unique<SoapServerPool>(
+      AnyEncoding::from(BxsaEncoding{}), services::verification_handler);
+}
+
+TEST(ServerPool, SingleClientExchange) {
+  auto pool = make_pool();
+  SoapEngine<BxsaEncoding, TcpClientBinding> client(
+      {}, TcpClientBinding(pool->port()));
+  const auto dataset = workload::make_lead_dataset(100);
+  SoapEnvelope resp = client.call(services::make_data_request(dataset));
+  EXPECT_TRUE(services::parse_verify_response(resp).ok);
+  EXPECT_EQ(pool->exchanges(), 1u);
+}
+
+TEST(ServerPool, ManyConcurrentClients) {
+  auto pool = make_pool();
+  constexpr int kClients = 8;
+  constexpr int kCallsEach = 5;
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        SoapEngine<BxsaEncoding, TcpClientBinding> client(
+            {}, TcpClientBinding(pool->port()));
+        const auto dataset =
+            workload::make_lead_dataset(100 + static_cast<std::size_t>(c));
+        for (int i = 0; i < kCallsEach; ++i) {
+          SoapEnvelope resp =
+              client.call(services::make_data_request(dataset));
+          const auto outcome = services::parse_verify_response(resp);
+          if (!outcome.ok ||
+              outcome.count != 100 + static_cast<std::size_t>(c)) {
+            ++failures;
+          }
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(pool->exchanges(),
+            static_cast<std::size_t>(kClients * kCallsEach));
+}
+
+TEST(ServerPool, HandlerFaultsPropagate) {
+  SoapServerPool pool(AnyEncoding::from(BxsaEncoding{}),
+                      [](SoapEnvelope) -> SoapEnvelope {
+                        throw SoapFaultError("soap:Client", "nope");
+                      });
+  SoapEngine<BxsaEncoding, TcpClientBinding> client(
+      {}, TcpClientBinding(pool.port()));
+  SoapEnvelope resp = client.call(
+      SoapEnvelope::wrap(xdm::make_element(xdm::QName("x"))));
+  ASSERT_TRUE(resp.is_fault());
+  EXPECT_EQ(resp.fault().code, "soap:Client");
+}
+
+TEST(ServerPool, XmlEncodingPool) {
+  SoapServerPool pool(AnyEncoding::from(XmlEncoding{}),
+                      services::verification_handler);
+  SoapEngine<XmlEncoding, TcpClientBinding> client(
+      {}, TcpClientBinding(pool.port()));
+  const auto dataset = workload::make_lead_dataset(10);
+  SoapEnvelope resp = client.call(services::make_data_request(dataset));
+  EXPECT_TRUE(services::parse_verify_response(resp).ok);
+}
+
+TEST(ServerPool, StopWithLiveIdleConnections) {
+  auto pool = make_pool();
+  // Open a connection, complete one exchange, leave it idle.
+  SoapEngine<BxsaEncoding, TcpClientBinding> client(
+      {}, TcpClientBinding(pool->port()));
+  const auto dataset = workload::make_lead_dataset(10);
+  client.call(services::make_data_request(dataset));
+  EXPECT_EQ(pool->active_connections(), 1u);
+  // stop() must not hang on the worker blocked in read.
+  pool->stop();
+}
+
+TEST(ServerPool, MalformedBytesBecomeFaultNotDisconnect) {
+  auto pool = make_pool();
+  TcpStream raw = TcpStream::connect(pool->port());
+  soap::WireMessage junk;
+  junk.content_type = "application/bxsa";
+  junk.payload = {0xDE, 0xAD};
+  write_frame(raw, junk);
+  soap::WireMessage resp = read_frame(raw);
+  BxsaEncoding enc;
+  SoapEnvelope env(enc.deserialize(resp.payload));
+  ASSERT_TRUE(env.is_fault());
+  EXPECT_EQ(env.fault().code, "soap:Server");
+}
+
+}  // namespace
+}  // namespace bxsoap::transport

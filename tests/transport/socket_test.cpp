@@ -1,0 +1,121 @@
+#include "transport/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace bxsoap::transport {
+namespace {
+
+TEST(TcpSocket, ConnectAcceptExchange) {
+  TcpListener listener(0);
+  ASSERT_GT(listener.port(), 0);
+
+  std::thread server([&] {
+    TcpStream conn = listener.accept();
+    auto data = conn.read_exact(5);
+    EXPECT_EQ(std::string(data.begin(), data.end()), "hello");
+    conn.write_all(std::string_view("world!"));
+  });
+
+  TcpStream client = TcpStream::connect(listener.port());
+  client.write_all(std::string_view("hello"));
+  auto reply = client.read_exact(6);
+  EXPECT_EQ(std::string(reply.begin(), reply.end()), "world!");
+  server.join();
+}
+
+TEST(TcpSocket, ReadExactOnClosedPeerThrows) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpStream conn = listener.accept();
+    conn.write_all(std::string_view("ab"));
+    // closes on scope exit
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  server.join();
+  EXPECT_THROW(client.read_exact(10), TransportError);
+}
+
+TEST(TcpSocket, ReadUntilDelimiterWithPushback) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpStream conn = listener.accept();
+    conn.write_all(std::string_view("HEADER\r\n\r\nBODYBYTES"));
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  const std::string head = client.read_until("\r\n\r\n", 1024);
+  EXPECT_EQ(head, "HEADER\r\n\r\n");
+  auto body = client.read_exact(9);
+  EXPECT_EQ(std::string(body.begin(), body.end()), "BODYBYTES");
+  server.join();
+}
+
+TEST(TcpSocket, ReadUntilRespectsLimit) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpStream conn = listener.accept();
+    std::string big(5000, 'x');
+    conn.write_all(big);
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  EXPECT_THROW(client.read_until("\r\n\r\n", 1000), TransportError);
+  server.join();
+}
+
+TEST(TcpSocket, ConnectToClosedPortThrows) {
+  // Bind then immediately close to get a port that is very likely free.
+  std::uint16_t dead_port;
+  {
+    TcpListener l(0);
+    dead_port = l.port();
+  }
+  EXPECT_THROW(TcpStream::connect(dead_port), TransportError);
+}
+
+TEST(TcpSocket, ShutdownUnblocksAccept) {
+  TcpListener listener(0);
+  std::thread blocked([&] {
+    EXPECT_THROW(listener.accept(), TransportError);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  listener.shutdown();
+  blocked.join();
+}
+
+TEST(TcpSocket, ReadTimeoutFires) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    TcpStream conn = listener.accept();
+    // Never send anything; hold the connection open until the client is
+    // done timing out.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  client.set_read_timeout(50);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.read_exact(1), TransportError);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(waited, std::chrono::milliseconds(250))
+      << "timeout must fire well before the peer closes";
+  server.join();
+}
+
+TEST(TcpSocket, LargeTransferIntegrity) {
+  TcpListener listener(0);
+  std::vector<std::uint8_t> payload(1 << 20);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  std::thread server([&] {
+    TcpStream conn = listener.accept();
+    conn.write_all(payload);
+  });
+  TcpStream client = TcpStream::connect(listener.port());
+  auto got = client.read_exact(payload.size());
+  EXPECT_EQ(got, payload);
+  server.join();
+}
+
+}  // namespace
+}  // namespace bxsoap::transport

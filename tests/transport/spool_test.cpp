@@ -1,0 +1,109 @@
+#include "transport/spool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unistd.h>
+
+#include "soap/engine.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::transport {
+namespace {
+
+using namespace bxsoap::soap;
+
+class SpoolFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bxsoap_spool_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SpoolFixture, MessagesFlowBothWays) {
+  SpoolBinding client(dir_, SpoolBinding::Side::kClient);
+  SpoolBinding server(dir_, SpoolBinding::Side::kServer);
+
+  WireMessage m;
+  m.content_type = "application/bxsa";
+  m.payload = {1, 2, 3};
+  client.send_request(m);
+
+  WireMessage got = server.receive_request();
+  EXPECT_EQ(got.content_type, "application/bxsa");
+  EXPECT_EQ(got.payload, m.payload);
+
+  WireMessage reply;
+  reply.content_type = "text/xml";
+  reply.payload = {9};
+  server.send_response(reply);
+  WireMessage back = client.receive_response();
+  EXPECT_EQ(back.content_type, "text/xml");
+  EXPECT_EQ(back.payload, reply.payload);
+}
+
+TEST_F(SpoolFixture, StoreAndForward) {
+  // The client can send BEFORE any server exists — SMTP-style asynchrony.
+  {
+    SpoolBinding client(dir_, SpoolBinding::Side::kClient);
+    WireMessage m;
+    m.content_type = "x";
+    m.payload = {42};
+    client.send_request(std::move(m));
+  }  // client gone
+  SpoolBinding server(dir_, SpoolBinding::Side::kServer);
+  EXPECT_EQ(server.receive_request().payload, std::vector<std::uint8_t>{42});
+}
+
+TEST_F(SpoolFixture, SequencePreserved) {
+  SpoolBinding client(dir_, SpoolBinding::Side::kClient);
+  SpoolBinding server(dir_, SpoolBinding::Side::kServer);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    WireMessage m;
+    m.content_type = "x";
+    m.payload = {i};
+    client.send_request(std::move(m));
+  }
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(server.receive_request().payload[0], i);
+  }
+}
+
+TEST_F(SpoolFixture, WrongSideOperationsThrow) {
+  SpoolBinding client(dir_, SpoolBinding::Side::kClient);
+  SpoolBinding server(dir_, SpoolBinding::Side::kServer);
+  EXPECT_THROW(client.receive_request(), TransportError);
+  EXPECT_THROW(client.send_response({}), TransportError);
+  EXPECT_THROW(server.send_request({}), TransportError);
+  EXPECT_THROW(server.receive_response(), TransportError);
+}
+
+TEST_F(SpoolFixture, FullSoapExchangeOverTheSpool) {
+  SoapEngine<BxsaEncoding, SpoolBinding> client(
+      {}, SpoolBinding(dir_, SpoolBinding::Side::kClient));
+  SoapEngine<BxsaEncoding, SpoolBinding> server(
+      {}, SpoolBinding(dir_, SpoolBinding::Side::kServer));
+
+  std::thread service([&] {
+    server.serve_once([](SoapEnvelope req) {
+      auto out = xdm::make_element(xdm::QName("pong"));
+      out->add_child(req.body_payload()->clone());
+      return SoapEnvelope::wrap(std::move(out));
+    });
+  });
+
+  SoapEnvelope resp = client.call(
+      SoapEnvelope::wrap(xdm::make_element(xdm::QName("ping"))));
+  service.join();
+  ASSERT_NE(resp.body_payload(), nullptr);
+  EXPECT_EQ(resp.body_payload()->name().local, "pong");
+}
+
+}  // namespace
+}  // namespace bxsoap::transport

@@ -1,0 +1,168 @@
+#include "workload/lead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "bxsa/decoder.hpp"
+#include "bxsa/encoder.hpp"
+#include "xml/writer.hpp"
+
+namespace bxsoap::workload {
+namespace {
+
+TEST(LeadDataset, GeneratorIsDeterministic) {
+  const LeadDataset a = make_lead_dataset(100, 7);
+  const LeadDataset b = make_lead_dataset(100, 7);
+  const LeadDataset c = make_lead_dataset(100, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(LeadDataset, ShapeMatchesThePaper) {
+  const LeadDataset d = make_lead_dataset(1000);
+  EXPECT_EQ(d.model_size(), 1000u);
+  EXPECT_EQ(d.native_bytes(), 12000u) << "1000 * (4 + 8)";
+  for (std::size_t i = 0; i < d.model_size(); ++i) {
+    EXPECT_EQ(d.index[i], static_cast<std::int32_t>(i));
+    EXPECT_GE(d.values[i], 200.0);
+    EXPECT_LT(d.values[i], 320.0);
+  }
+}
+
+TEST(LeadDataset, ChecksumDetectsChanges) {
+  LeadDataset d = make_lead_dataset(50);
+  const std::uint64_t base = dataset_checksum(d);
+  d.values[10] += 0.01;
+  EXPECT_NE(dataset_checksum(d), base);
+}
+
+TEST(LeadDataset, BxdmRoundTrip) {
+  const LeadDataset d = make_lead_dataset(128);
+  const xdm::NodePtr payload = to_bxdm(d);
+  const LeadDataset back =
+      from_bxdm(static_cast<const xdm::ElementBase&>(*payload));
+  EXPECT_EQ(d, back);
+}
+
+TEST(LeadDataset, FromBxdmRejectsWrongShapes) {
+  auto wrong = xdm::make_element(xdm::QName("data"));
+  EXPECT_THROW(from_bxdm(*wrong), DecodeError);
+
+  auto mismatched = xdm::make_element(xdm::QName("data"));
+  mismatched->add_child(
+      xdm::make_array<std::int32_t>(xdm::QName("index"), {1, 2}));
+  mismatched->add_child(
+      xdm::make_array<double>(xdm::QName("values"), {1.0}));
+  EXPECT_THROW(from_bxdm(*mismatched), DecodeError);
+}
+
+TEST(LeadDataset, NetcdfRoundTrip) {
+  const LeadDataset d = make_lead_dataset(333);
+  const LeadDataset back = from_netcdf(to_netcdf(d));
+  EXPECT_EQ(d, back);
+}
+
+TEST(LeadDataset, NetcdfFileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() /
+      ("bxsoap_lead_test_" + std::to_string(::getpid()) + ".nc");
+  const LeadDataset d = make_lead_dataset(64);
+  write_netcdf_file(d, path);
+  EXPECT_EQ(read_netcdf_file(path), d);
+  std::filesystem::remove(path);
+}
+
+TEST(LeadDataset, Figure56SizesMatchThePaper) {
+  const auto sizes = figure56_model_sizes();
+  ASSERT_EQ(sizes.size(), 7u);
+  EXPECT_EQ(sizes.front(), 1365u);
+  EXPECT_EQ(sizes[1], 5460u);
+  EXPECT_EQ(sizes.back(), 5591040u);
+  // BXSA size bounds from the paper: 16 KB to 64 MB.
+  EXPECT_NEAR(static_cast<double>(sizes.front()) * 12, 16384, 1000);
+  EXPECT_NEAR(static_cast<double>(sizes.back()) * 12, 64.0 * 1024 * 1024,
+              1.0e6);
+}
+
+TEST(GridDataset, ShapeAndOffsets) {
+  const GridDataset g = make_grid_dataset(2, 3, 4, 5);
+  EXPECT_EQ(g.cell_count(), 120u);
+  EXPECT_EQ(g.index.size(), 120u);
+  EXPECT_EQ(g.offset(0, 0, 0, 0), 0u);
+  EXPECT_EQ(g.offset(0, 0, 0, 4), 4u);
+  EXPECT_EQ(g.offset(0, 0, 1, 0), 5u);
+  EXPECT_EQ(g.offset(1, 2, 3, 4), 119u);
+  // The index array is the identity over the flattened order.
+  EXPECT_EQ(g.index[g.offset(1, 0, 2, 3)],
+            static_cast<std::int32_t>(g.offset(1, 0, 2, 3)));
+}
+
+TEST(GridDataset, NetcdfRoundTripKeepsFourDimensions) {
+  const GridDataset g = make_grid_dataset(3, 4, 5, 2);
+  const auto file = grid_to_netcdf(g);
+  ASSERT_EQ(file.dimensions().size(), 4u);
+  EXPECT_EQ(file.dimensions()[0].name, "time");
+  EXPECT_EQ(file.find_variable("values")->dim_ids().size(), 4u);
+
+  const GridDataset back =
+      grid_from_netcdf(netcdf::NcFile::from_bytes(file.to_bytes()));
+  EXPECT_EQ(back, g);
+}
+
+TEST(GridDataset, BxdmRoundTripThroughBxsa) {
+  const GridDataset g = make_grid_dataset(2, 2, 3, 3);
+  const auto payload = grid_to_bxdm(g);
+  const auto bytes = bxsa::encode(*payload);
+  const auto back_node = bxsa::decode(bytes);
+  const GridDataset back =
+      grid_from_bxdm(static_cast<const xdm::ElementBase&>(*back_node));
+  EXPECT_EQ(back, g);
+}
+
+TEST(GridDataset, FlattenMatchesLeadShape) {
+  const GridDataset g = make_grid_dataset(2, 3, 2, 2);
+  const LeadDataset flat = flatten(g);
+  EXPECT_EQ(flat.model_size(), g.cell_count());
+  EXPECT_EQ(flat.index, g.index);
+  EXPECT_EQ(flat.values, g.values);
+}
+
+TEST(GridDataset, ShapeMismatchRejected) {
+  GridDataset g = make_grid_dataset(2, 2, 2, 2);
+  g.values.pop_back();
+  auto file_ok = grid_to_netcdf(make_grid_dataset(2, 2, 2, 2));
+  // Tamper with a dimension so lengths disagree.
+  auto payload = grid_to_bxdm(make_grid_dataset(2, 2, 2, 2));
+  auto* el = static_cast<xdm::Element*>(payload.get());
+  el->attributes()[0].value = std::uint32_t{9};
+  EXPECT_THROW(grid_from_bxdm(*el), DecodeError);
+}
+
+TEST(LeadDataset, SerializationSizesReproduceTable1Shape) {
+  // Table 1 at model size 1000: native 12000 B, BXSA +1.3%, netCDF +2.2%,
+  // XML +99.1%. We require the ordering and the rough magnitudes.
+  const LeadDataset d = make_lead_dataset(1000);
+  const auto payload = to_bxdm(d);
+
+  const auto bxsa_bytes = bxsa::encode(*payload);
+  const auto nc_bytes = to_netcdf(d).to_bytes();
+  xml::WriteOptions plain;
+  plain.emit_type_info = false;
+  const std::string xml_text = xml::write_xml(*payload, plain);
+
+  const double native = 12000.0;
+  const double bxsa_over = (bxsa_bytes.size() - native) / native;
+  const double nc_over = (nc_bytes.size() - native) / native;
+  const double xml_over = (xml_text.size() - native) / native;
+
+  EXPECT_LT(bxsa_over, 0.02) << "paper: 1.3%";
+  EXPECT_LT(nc_over, 0.03) << "paper: 2.2%";
+  EXPECT_GT(xml_over, 0.7) << "paper: 99.1%";
+  EXPECT_LT(xml_over, 1.4);
+  EXPECT_LT(bxsa_over, nc_over) << "BXSA is the leanest binary form";
+}
+
+}  // namespace
+}  // namespace bxsoap::workload

@@ -1,0 +1,163 @@
+#include "xbs/xbs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace bxsoap::xbs {
+namespace {
+
+TEST(XbsPadding, PaddingFor) {
+  EXPECT_EQ(padding_for(0, 8), 0u);
+  EXPECT_EQ(padding_for(1, 8), 7u);
+  EXPECT_EQ(padding_for(7, 8), 1u);
+  EXPECT_EQ(padding_for(8, 8), 0u);
+  EXPECT_EQ(padding_for(3, 4), 1u);
+  EXPECT_EQ(padding_for(5, 1), 0u);
+}
+
+TEST(XbsWriter, AlignedPutInsertsPadding) {
+  Writer w(ByteOrder::kLittle);
+  w.put_u8(0x01);          // offset 0..1
+  w.put<std::uint32_t>(7); // pads to 4, writes 4 -> total 8
+  EXPECT_EQ(w.offset(), 8u);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0x01);
+  EXPECT_EQ(r.get<std::uint32_t>(ByteOrder::kLittle), 7u);
+}
+
+TEST(XbsWriter, UnalignedPutDoesNotPad) {
+  Writer w(ByteOrder::kLittle);
+  w.put_u8(0x01);
+  w.put_unaligned<std::uint32_t>(7);
+  EXPECT_EQ(w.offset(), 5u);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0x01);
+  EXPECT_EQ(r.get_unaligned<std::uint32_t>(ByteOrder::kLittle), 7u);
+}
+
+TEST(XbsRoundTrip, AllScalarWidthsBothOrders) {
+  for (ByteOrder order : {ByteOrder::kLittle, ByteOrder::kBig}) {
+    Writer w(order);
+    w.put<std::int8_t>(-5);
+    w.put<std::int16_t>(-3000);
+    w.put<std::int32_t>(123456789);
+    w.put<std::int64_t>(-9876543210LL);
+    w.put<float>(2.5f);
+    w.put<double>(-1.25e100);
+
+    Reader r(w.bytes());
+    EXPECT_EQ(r.get<std::int8_t>(order), -5);
+    EXPECT_EQ(r.get<std::int16_t>(order), -3000);
+    EXPECT_EQ(r.get<std::int32_t>(order), 123456789);
+    EXPECT_EQ(r.get<std::int64_t>(order), -9876543210LL);
+    EXPECT_EQ(r.get<float>(order), 2.5f);
+    EXPECT_EQ(r.get<double>(order), -1.25e100);
+  }
+}
+
+TEST(XbsRoundTrip, StringWithVlsLength) {
+  Writer w;
+  w.put_string("hello xbs");
+  w.put_string("");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "hello xbs");
+  EXPECT_EQ(r.get_string(), "");
+}
+
+TEST(XbsArray, PayloadIsAlignedToItemSize) {
+  Writer w(ByteOrder::kLittle);
+  w.put_u8(0xEE);  // misalign
+  const std::vector<double> vals = {1.0, 2.0, 3.0};
+  w.put_array<double>(vals);
+  // Payload must start at offset 8 (next multiple of 8 after 1).
+  EXPECT_EQ(w.offset(), 8u + 3 * 8);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xEE);
+  auto back = r.get_array<double>(3, ByteOrder::kLittle);
+  EXPECT_EQ(back, vals);
+}
+
+TEST(XbsArray, ViewArrayIsZeroCopy) {
+  Writer w(host_byte_order());
+  const std::vector<std::int32_t> vals = {10, 20, 30, 40};
+  w.put_array<std::int32_t>(vals);
+  const auto bytes = w.bytes();
+
+  Reader r(bytes);
+  auto view = r.view_array<std::int32_t>(4);
+  ASSERT_EQ(view.size(), 4u);
+  EXPECT_EQ(view[2], 30);
+  // Zero-copy: the view must point into the original buffer.
+  EXPECT_GE(reinterpret_cast<const std::uint8_t*>(view.data()), bytes.data());
+  EXPECT_LT(reinterpret_cast<const std::uint8_t*>(view.data()),
+            bytes.data() + bytes.size());
+}
+
+TEST(XbsArray, CrossEndianArrayRoundTrip) {
+  const ByteOrder other = host_byte_order() == ByteOrder::kLittle
+                              ? ByteOrder::kBig
+                              : ByteOrder::kLittle;
+  Writer w(other);
+  const std::vector<float> vals = {1.5f, -2.5f, 3.5f};
+  w.put_array<float>(vals);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_array<float>(3, other), vals);
+}
+
+TEST(XbsArray, EmptyArray) {
+  Writer w;
+  w.put_array<double>(std::span<const double>{});
+  Reader r(w.bytes());
+  EXPECT_TRUE(r.get_array<double>(0, w.order()).empty());
+}
+
+TEST(XbsReader, TruncatedArrayThrows) {
+  Writer w(ByteOrder::kLittle);
+  const std::vector<std::int64_t> vals = {1, 2};
+  w.put_array<std::int64_t>(vals);
+  auto bytes = w.take();
+  bytes.pop_back();
+  Reader r({bytes.data(), bytes.size()});
+  EXPECT_THROW(r.get_array<std::int64_t>(2, ByteOrder::kLittle), DecodeError);
+}
+
+TEST(XbsRoundTrip, RandomMixedStream) {
+  SplitMix64 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ByteOrder order =
+        rng.next_bool() ? ByteOrder::kLittle : ByteOrder::kBig;
+    Writer w(order);
+    std::vector<double> doubles(rng.next_below(20));
+    for (auto& d : doubles) d = rng.next_double(-1e9, 1e9);
+    std::vector<std::int32_t> ints(rng.next_below(20));
+    for (auto& i : ints) i = rng.next_i32();
+
+    w.put_vls(doubles.size());
+    w.put_array<double>(doubles);
+    w.put_vls(ints.size());
+    w.put_array<std::int32_t>(ints);
+    w.put<double>(3.25);
+
+    Reader r(w.bytes());
+    const auto nd = r.get_vls();
+    EXPECT_EQ(r.get_array<double>(nd, order), doubles);
+    const auto ni = r.get_vls();
+    EXPECT_EQ(r.get_array<std::int32_t>(ni, order), ints);
+    EXPECT_EQ(r.get<double>(order), 3.25);
+  }
+}
+
+TEST(XbsWriter, AlignToIsIdempotent) {
+  Writer w;
+  w.put_u8(1);
+  w.align_to(8);
+  const auto off = w.offset();
+  w.align_to(8);
+  EXPECT_EQ(w.offset(), off);
+  EXPECT_EQ(off % 8, 0u);
+}
+
+}  // namespace
+}  // namespace bxsoap::xbs

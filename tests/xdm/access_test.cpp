@@ -1,0 +1,67 @@
+#include "xdm/access.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bxsoap::xdm {
+namespace {
+
+class AccessFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = make_element(QName("r"));
+    root_->add_attribute(QName("id"), std::int32_t{7});
+    root_->add_attribute(QName("name"), std::string("alpha"));
+    root_->add_child(make_leaf<double>(QName("temp"), 287.5));
+    root_->add_child(make_leaf<std::string>(QName("unit"),
+                                            std::string("K")));
+    root_->add_child(make_array<std::int32_t>(QName("idx"), {1, 2, 3}));
+    root_->add_element(QName("nested"));
+  }
+
+  std::unique_ptr<Element> root_;
+};
+
+TEST_F(AccessFixture, LeafValueTyped) {
+  EXPECT_EQ(leaf_value<double>(*root_, "temp"), 287.5);
+  EXPECT_EQ(leaf_value<std::string>(*root_, "unit"), "K");
+}
+
+TEST_F(AccessFixture, LeafValueShapeMismatches) {
+  EXPECT_FALSE(leaf_value<double>(*root_, "missing"));
+  EXPECT_FALSE(leaf_value<float>(*root_, "temp")) << "double != float";
+  EXPECT_FALSE(leaf_value<double>(*root_, "nested")) << "not a leaf";
+  EXPECT_FALSE(leaf_value<double>(*root_, "idx")) << "array, not leaf";
+}
+
+TEST_F(AccessFixture, ArrayValuesAndView) {
+  EXPECT_EQ(array_values<std::int32_t>(*root_, "idx"),
+            (std::vector<std::int32_t>{1, 2, 3}));
+  auto view = array_view<std::int32_t>(*root_, "idx");
+  ASSERT_TRUE(view);
+  EXPECT_EQ((*view)[1], 2);
+  EXPECT_FALSE(array_values<double>(*root_, "idx")) << "wrong item type";
+  EXPECT_FALSE(array_view<std::int32_t>(*root_, "temp"));
+}
+
+TEST_F(AccessFixture, AttrValueTyped) {
+  EXPECT_EQ(attr_value<std::int32_t>(*root_, "id"), 7);
+  EXPECT_EQ(attr_value<std::string>(*root_, "name"), "alpha");
+  EXPECT_FALSE(attr_value<double>(*root_, "id")) << "int32 != double";
+  EXPECT_FALSE(attr_value<std::int32_t>(*root_, "missing"));
+}
+
+TEST_F(AccessFixture, RequireVariantsThrowOnAbsence) {
+  EXPECT_EQ(require_leaf<double>(*root_, "temp"), 287.5);
+  EXPECT_EQ(require_attr<std::int32_t>(*root_, "id"), 7);
+  EXPECT_THROW(require_leaf<double>(*root_, "nope"), DecodeError);
+  EXPECT_THROW(require_attr<double>(*root_, "id"), DecodeError);
+}
+
+TEST(AccessOnLeafParent, ReturnsNullopt) {
+  LeafElement<double> leaf{QName("x"), 1.0};
+  EXPECT_FALSE(leaf_value<double>(leaf, "child"));
+  EXPECT_FALSE(array_values<double>(leaf, "child"));
+}
+
+}  // namespace
+}  // namespace bxsoap::xdm

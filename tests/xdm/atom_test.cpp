@@ -1,0 +1,118 @@
+#include "xdm/atom.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bxsoap::xdm {
+namespace {
+
+TEST(Atom, WireSizes) {
+  EXPECT_EQ(atom_wire_size(AtomType::kString), 0u);
+  EXPECT_EQ(atom_wire_size(AtomType::kInt8), 1u);
+  EXPECT_EQ(atom_wire_size(AtomType::kUInt8), 1u);
+  EXPECT_EQ(atom_wire_size(AtomType::kBool), 1u);
+  EXPECT_EQ(atom_wire_size(AtomType::kInt16), 2u);
+  EXPECT_EQ(atom_wire_size(AtomType::kInt32), 4u);
+  EXPECT_EQ(atom_wire_size(AtomType::kFloat32), 4u);
+  EXPECT_EQ(atom_wire_size(AtomType::kInt64), 8u);
+  EXPECT_EQ(atom_wire_size(AtomType::kFloat64), 8u);
+}
+
+TEST(Atom, TraitsMapTypes) {
+  EXPECT_EQ(AtomTraits<double>::kType, AtomType::kFloat64);
+  EXPECT_EQ(AtomTraits<std::int32_t>::kType, AtomType::kInt32);
+  EXPECT_EQ(AtomTraits<std::string>::kType, AtomType::kString);
+  EXPECT_EQ(AtomTraits<bool>::kType, AtomType::kBool);
+  static_assert(Atomic<double>);
+  static_assert(Atomic<std::string>);
+  static_assert(PackedAtomic<double>);
+  static_assert(!PackedAtomic<std::string>);
+}
+
+TEST(Atom, XsdNamesRoundTrip) {
+  for (auto t : {AtomType::kString, AtomType::kInt8, AtomType::kUInt8,
+                 AtomType::kInt16, AtomType::kUInt16, AtomType::kInt32,
+                 AtomType::kUInt32, AtomType::kInt64, AtomType::kUInt64,
+                 AtomType::kFloat32, AtomType::kFloat64, AtomType::kBool}) {
+    const auto xsd = atom_xsd_name(t);
+    ASSERT_TRUE(xsd.starts_with("xsd:"));
+    auto back = atom_from_xsd_local(xsd.substr(4));
+    ASSERT_TRUE(back.has_value()) << xsd;
+    EXPECT_EQ(*back, t);
+  }
+}
+
+TEST(Atom, UnknownXsdLocalIsNullopt) {
+  EXPECT_FALSE(atom_from_xsd_local("decimal"));
+  EXPECT_FALSE(atom_from_xsd_local(""));
+}
+
+TEST(Atom, ScalarTypeAndText) {
+  EXPECT_EQ(scalar_type(ScalarValue(3.5)), AtomType::kFloat64);
+  EXPECT_EQ(scalar_type(ScalarValue(std::string("x"))), AtomType::kString);
+  EXPECT_EQ(scalar_text(ScalarValue(3.5)), "3.5");
+  EXPECT_EQ(scalar_text(ScalarValue(std::int32_t{-7})), "-7");
+  EXPECT_EQ(scalar_text(ScalarValue(true)), "true");
+  EXPECT_EQ(scalar_text(ScalarValue(false)), "false");
+  EXPECT_EQ(scalar_text(ScalarValue(std::string("txt"))), "txt");
+}
+
+TEST(Atom, ParseScalarTyped) {
+  EXPECT_EQ(scalar_get<std::int32_t>(parse_scalar(AtomType::kInt32, "42")),
+            42);
+  EXPECT_EQ(scalar_get<double>(parse_scalar(AtomType::kFloat64, " 2.5 ")),
+            2.5) << "numeric parse trims XML whitespace";
+  EXPECT_EQ(scalar_get<bool>(parse_scalar(AtomType::kBool, "1")), true);
+  EXPECT_EQ(scalar_get<bool>(parse_scalar(AtomType::kBool, "false")), false);
+  EXPECT_EQ(scalar_get<std::string>(parse_scalar(AtomType::kString, " s ")),
+            " s ") << "strings keep their whitespace";
+}
+
+TEST(Atom, ParseScalarRangeChecks) {
+  EXPECT_THROW(parse_scalar(AtomType::kInt8, "128"), DecodeError);
+  EXPECT_NO_THROW(parse_scalar(AtomType::kInt8, "127"));
+  EXPECT_THROW(parse_scalar(AtomType::kUInt8, "-1"), DecodeError);
+  EXPECT_THROW(parse_scalar(AtomType::kUInt16, "65536"), DecodeError);
+  EXPECT_THROW(parse_scalar(AtomType::kInt32, "abc"), DecodeError);
+  EXPECT_THROW(parse_scalar(AtomType::kFloat64, "1..2"), DecodeError);
+  EXPECT_THROW(parse_scalar(AtomType::kBool, "yes"), DecodeError);
+}
+
+TEST(Atom, EraParseAgreesWithModernParse) {
+  // Every value the modern parser accepts must produce the SAME scalar via
+  // the era (strtod/strtoll) path — only the CPU cost differs.
+  const struct {
+    AtomType type;
+    const char* text;
+  } cases[] = {
+      {AtomType::kFloat64, "287.65"},   {AtomType::kFloat64, "-2.5e-300"},
+      {AtomType::kFloat64, " 1.5 "},    {AtomType::kFloat32, "3.25"},
+      {AtomType::kInt8, "-128"},        {AtomType::kInt64, "-5000000000"},
+      {AtomType::kUInt64, "18446744073709551615"},
+      {AtomType::kUInt16, "65535"},     {AtomType::kBool, "true"},
+      {AtomType::kString, " keep me "},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(parse_scalar(c.type, c.text), parse_scalar_era(c.type, c.text))
+        << c.text;
+  }
+}
+
+TEST(Atom, EraParseRejectsGarbageToo) {
+  EXPECT_THROW(parse_scalar_era(AtomType::kFloat64, "1.2.3"), DecodeError);
+  EXPECT_THROW(parse_scalar_era(AtomType::kFloat64, ""), DecodeError);
+  EXPECT_THROW(parse_scalar_era(AtomType::kInt32, "12x"), DecodeError);
+  EXPECT_THROW(parse_scalar_era(AtomType::kInt8, "200"), DecodeError)
+      << "width check still applies";
+  EXPECT_THROW(parse_scalar_era(AtomType::kFloat64, "1e999999"), DecodeError)
+      << "ERANGE";
+  EXPECT_THROW(parse_scalar_era(AtomType::kUInt32, "-1"), DecodeError)
+      << "strtoull must not silently wrap negatives";
+}
+
+TEST(Atom, ScalarGetWrongTypeThrows) {
+  ScalarValue v = 3.5;
+  EXPECT_THROW(scalar_get<std::int32_t>(v), Error);
+}
+
+}  // namespace
+}  // namespace bxsoap::xdm

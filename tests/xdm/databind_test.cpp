@@ -1,0 +1,133 @@
+#include "xdm/databind.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bxsa/decoder.hpp"
+#include "bxsa/encoder.hpp"
+#include "xdm/equal.hpp"
+#include "xml/parser.hpp"
+#include "xml/retype.hpp"
+#include "xml/writer.hpp"
+
+namespace bxsoap::xdm {
+namespace {
+
+struct Observation {
+  std::int32_t station = 0;
+  double temp = 0;
+  std::string site;
+  std::vector<double> samples;
+
+  friend bool operator==(const Observation&, const Observation&) = default;
+};
+
+const auto kObservationBinding =
+    databind::record<Observation>("urn:wx", "observation", "wx")
+        .attribute("station", &Observation::station)
+        .field("temp", &Observation::temp)
+        .field("site", &Observation::site)
+        .array("samples", &Observation::samples);
+
+Observation sample_obs() {
+  Observation o;
+  o.station = 7;
+  o.temp = 287.25;
+  o.site = "KBMG";
+  o.samples = {287.3, 287.2, 287.25};
+  return o;
+}
+
+TEST(Databind, ToElementShape) {
+  const Observation o = sample_obs();
+  auto e = kObservationBinding.to_element(o);
+  EXPECT_EQ(e->name().namespace_uri, "urn:wx");
+  EXPECT_EQ(e->name().local, "observation");
+  EXPECT_EQ(e->find_attribute("station")->text(), "7");
+  EXPECT_EQ(leaf_value<double>(*e, "temp"), 287.25);
+  EXPECT_EQ(leaf_value<std::string>(*e, "site"), "KBMG");
+  EXPECT_EQ(array_values<double>(*e, "samples"), o.samples);
+}
+
+TEST(Databind, RoundTripInMemory) {
+  const Observation o = sample_obs();
+  auto e = kObservationBinding.to_element(o);
+  EXPECT_EQ(kObservationBinding.from_element(*e), o);
+}
+
+TEST(Databind, RoundTripThroughBothCodecs) {
+  const Observation o = sample_obs();
+  auto e = kObservationBinding.to_element(o);
+
+  // Through BXSA.
+  {
+    const auto bytes = bxsa::encode(*e);
+    const NodePtr back = bxsa::decode(bytes);
+    EXPECT_EQ(kObservationBinding.from_element(
+                  static_cast<const ElementBase&>(*back)),
+              o);
+  }
+  // Through typed textual XML.
+  {
+    auto doc = make_document(e->clone());
+    const std::string text = xml::write_xml(*doc);
+    auto typed = xml::retype(*xml::parse_xml(text));
+    EXPECT_EQ(kObservationBinding.from_element(typed->root()), o);
+  }
+}
+
+TEST(Databind, MissingFieldThrows) {
+  auto e = make_element(QName("urn:wx", "observation", "wx"));
+  e->add_attribute(QName("station"), std::int32_t{1});
+  // temp/site/samples missing
+  EXPECT_THROW(kObservationBinding.from_element(*e), DecodeError);
+}
+
+TEST(Databind, WrongElementNameThrows) {
+  auto e = make_element(QName("urn:wx", "other", "wx"));
+  EXPECT_THROW(kObservationBinding.from_element(*e), DecodeError);
+}
+
+TEST(Databind, WrongFieldTypeThrows) {
+  const Observation o = sample_obs();
+  auto e = kObservationBinding.to_element(o);
+  // Replace <temp> (index 0 child) with a float32 leaf of the same name.
+  e->remove_child(0);
+  e->insert_child(0, make_leaf<float>(QName("temp"), 1.0f));
+  EXPECT_THROW(kObservationBinding.from_element(*e), DecodeError);
+}
+
+struct Station {
+  std::string name;
+  Observation latest;
+
+  friend bool operator==(const Station&, const Station&) = default;
+};
+
+TEST(Databind, NestedRecords) {
+  const auto binding =
+      databind::record<Station>("urn:wx", "stationReport", "wx")
+          .field("name", &Station::name)
+          .nested("observation", &Station::latest, kObservationBinding);
+
+  Station s;
+  s.name = "Bloomington";
+  s.latest = sample_obs();
+
+  auto e = binding.to_element(s);
+  EXPECT_EQ(binding.from_element(*e), s);
+
+  // And through BXSA, like everything else.
+  const auto bytes = bxsa::encode(*e);
+  const NodePtr back = bxsa::decode(bytes);
+  EXPECT_EQ(binding.from_element(static_cast<const ElementBase&>(*back)), s);
+}
+
+TEST(Databind, EmptyArrayRoundTrips) {
+  Observation o = sample_obs();
+  o.samples.clear();
+  auto e = kObservationBinding.to_element(o);
+  EXPECT_EQ(kObservationBinding.from_element(*e), o);
+}
+
+}  // namespace
+}  // namespace bxsoap::xdm

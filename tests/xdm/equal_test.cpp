@@ -1,0 +1,115 @@
+#include "xdm/equal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bxsoap::xdm {
+namespace {
+
+std::unique_ptr<Element> sample_tree() {
+  auto root = make_element(QName("urn:x", "root", "x"));
+  root->declare_namespace("x", "urn:x");
+  root->add_attribute(QName("version"), std::int32_t{2});
+  root->add_child(make_leaf<double>(QName("t"), 1.5));
+  root->add_child(make_array<std::int32_t>(QName("a"), {1, 2, 3}));
+  auto& mixed = root->add_element(QName("m"));
+  mixed.add_text("hello");
+  mixed.add_child(std::make_unique<CommentNode>("c"));
+  return root;
+}
+
+TEST(DeepEqual, EqualTrees) {
+  auto a = sample_tree();
+  auto b = a->clone();
+  EXPECT_TRUE(deep_equal(*a, *b));
+  EXPECT_EQ(first_difference(*a, *b), "");
+}
+
+TEST(DeepEqual, DifferentLeafValue) {
+  auto a = sample_tree();
+  auto b = sample_tree();
+  static_cast<LeafElement<double>&>(
+      *const_cast<ElementBase*>(b->find_child("t")))
+      .set(2.5);
+  EXPECT_FALSE(deep_equal(*a, *b));
+  EXPECT_NE(first_difference(*a, *b).find("leaf value"), std::string::npos);
+}
+
+TEST(DeepEqual, DifferentAtomTypeSameText) {
+  auto a = make_element(QName("r"));
+  a->add_child(make_leaf<std::int32_t>(QName("v"), 1));
+  auto b = make_element(QName("r"));
+  b->add_child(make_leaf<std::int64_t>(QName("v"), 1));
+  EXPECT_FALSE(deep_equal(*a, *b)) << "typed model: int32 != int64";
+}
+
+TEST(DeepEqual, DifferentArrayPayload) {
+  auto a = make_element(QName("r"));
+  a->add_child(make_array<double>(QName("a"), {1.0, 2.0}));
+  auto b = make_element(QName("r"));
+  b->add_child(make_array<double>(QName("a"), {1.0, 2.5}));
+  EXPECT_FALSE(deep_equal(*a, *b));
+  EXPECT_NE(first_difference(*a, *b).find("payload"), std::string::npos);
+}
+
+TEST(DeepEqual, DifferentArrayLength) {
+  auto a = make_element(QName("r"));
+  a->add_child(make_array<double>(QName("a"), {1.0}));
+  auto b = make_element(QName("r"));
+  b->add_child(make_array<double>(QName("a"), {1.0, 2.0}));
+  EXPECT_FALSE(deep_equal(*a, *b));
+}
+
+TEST(DeepEqual, PrefixDifferenceIgnoredByDefault) {
+  auto a = make_element(QName("urn:x", "r", "p"));
+  auto b = make_element(QName("urn:x", "r", "q"));
+  EXPECT_TRUE(deep_equal(*a, *b));
+  EqualOptions strict;
+  strict.compare_prefixes = true;
+  EXPECT_FALSE(deep_equal(*a, *b, strict));
+}
+
+TEST(DeepEqual, NamespaceUriMatters) {
+  auto a = make_element(QName("urn:x", "r"));
+  auto b = make_element(QName("urn:y", "r"));
+  EXPECT_FALSE(deep_equal(*a, *b));
+}
+
+TEST(DeepEqual, AttributeOrderMatters) {
+  // Attribute order is significant in our model (frames are ordered).
+  auto a = make_element(QName("r"));
+  a->add_attribute(QName("p"), std::int32_t{1});
+  a->add_attribute(QName("q"), std::int32_t{2});
+  auto b = make_element(QName("r"));
+  b->add_attribute(QName("q"), std::int32_t{2});
+  b->add_attribute(QName("p"), std::int32_t{1});
+  EXPECT_FALSE(deep_equal(*a, *b));
+}
+
+TEST(DeepEqual, ChildCountMismatch) {
+  auto a = make_element(QName("r"));
+  a->add_text("x");
+  auto b = make_element(QName("r"));
+  EXPECT_FALSE(deep_equal(*a, *b));
+  EXPECT_NE(first_difference(*a, *b).find("child count"), std::string::npos);
+}
+
+TEST(DeepEqual, KindMismatch) {
+  TextNode t{"x"};
+  CommentNode c{"x"};
+  EXPECT_FALSE(deep_equal(t, c));
+}
+
+TEST(DeepEqual, DocumentsWithProlog) {
+  auto mk = [] {
+    auto doc = std::make_unique<Document>();
+    doc->add_child(std::make_unique<PINode>("xml-stylesheet", "href='x'"));
+    doc->add_child(make_element(QName("r")));
+    return doc;
+  };
+  auto a = mk();
+  auto b = mk();
+  EXPECT_TRUE(deep_equal(*a, *b));
+}
+
+}  // namespace
+}  // namespace bxsoap::xdm

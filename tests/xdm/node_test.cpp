@@ -1,0 +1,238 @@
+#include "xdm/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xdm/dump.hpp"
+
+namespace bxsoap::xdm {
+namespace {
+
+TEST(QNameTest, LexicalForms) {
+  EXPECT_EQ(QName("urn:x", "a", "p").lexical(), "p:a");
+  EXPECT_EQ(QName("urn:x", "a").lexical(), "a");
+  EXPECT_EQ(QName("a").lexical(), "a");
+}
+
+TEST(QNameTest, EqualityIgnoresPrefix) {
+  EXPECT_EQ(QName("urn:x", "a", "p"), QName("urn:x", "a", "q"));
+  EXPECT_NE(QName("urn:x", "a"), QName("urn:y", "a"));
+  EXPECT_NE(QName("urn:x", "a"), QName("urn:x", "b"));
+}
+
+TEST(ElementTest, BuildTreeAndNavigate) {
+  auto root = make_element(QName("urn:app", "data", "d"));
+  root->declare_namespace("d", "urn:app");
+  root->add_child(make_leaf<double>(QName("temp"), 287.5));
+  root->add_child(make_array<std::int32_t>(QName("idx"), {1, 2, 3}));
+  root->add_text("note");
+
+  EXPECT_EQ(root->child_count(), 3u);
+  EXPECT_EQ(root->child_elements().size(), 2u);
+
+  const ElementBase* leaf = root->find_child("temp");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->kind(), NodeKind::kLeafElement);
+  const auto* typed = dynamic_cast<const LeafElement<double>*>(leaf);
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->get(), 287.5);
+
+  const ElementBase* arr = root->find_child("idx");
+  ASSERT_NE(arr, nullptr);
+  EXPECT_EQ(arr->kind(), NodeKind::kArrayElement);
+  const auto* tarr = dynamic_cast<const ArrayElement<std::int32_t>*>(arr);
+  ASSERT_NE(tarr, nullptr);
+  EXPECT_EQ(tarr->values(), (std::vector<std::int32_t>{1, 2, 3}));
+}
+
+TEST(ElementTest, FindChildByQName) {
+  auto root = make_element(QName("r"));
+  root->add_child(make_element(QName("urn:a", "x")));
+  root->add_child(make_element(QName("urn:b", "x")));
+  const ElementBase* found = root->find_child(QName("urn:b", "x"));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name().namespace_uri, "urn:b");
+  EXPECT_EQ(root->find_child(QName("urn:c", "x")), nullptr);
+}
+
+TEST(ElementTest, AttributesTypedLookup) {
+  auto e = make_element(QName("e"));
+  e->add_attribute(QName("id"), std::int32_t{17});
+  e->add_attribute(QName("urn:meta", "units", "m"), std::string("kelvin"));
+
+  const Attribute* id = e->find_attribute("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->type(), AtomType::kInt32);
+  EXPECT_EQ(id->text(), "17");
+
+  const Attribute* units = e->find_attribute(QName("urn:meta", "units"));
+  ASSERT_NE(units, nullptr);
+  EXPECT_EQ(units->text(), "kelvin");
+
+  EXPECT_EQ(e->find_attribute("units"), nullptr)
+      << "local-name lookup only matches no-namespace attributes";
+}
+
+TEST(LeafElementTest, NativeBytesAreTheMachineValue) {
+  LeafElement<double> leaf(QName("v"), 1.5);
+  const auto bytes = leaf.native_bytes();
+  ASSERT_EQ(bytes.size(), 8u);
+  double v;
+  std::memcpy(&v, bytes.data(), 8);
+  EXPECT_EQ(v, 1.5);
+}
+
+TEST(LeafElementTest, TextRendering) {
+  EXPECT_EQ(LeafElement<double>(QName("v"), 2.5).text(), "2.5");
+  EXPECT_EQ(LeafElement<std::int32_t>(QName("v"), -9).text(), "-9");
+  EXPECT_EQ(LeafElement<bool>(QName("v"), true).text(), "true");
+  EXPECT_EQ(LeafElement<std::string>(QName("v"), "abc").text(), "abc");
+}
+
+TEST(ArrayElementTest, PackedBytesMatchVector) {
+  ArrayElement<std::int16_t> arr(QName("a"), {1, 2, 3});
+  const auto bytes = arr.packed_bytes();
+  ASSERT_EQ(bytes.size(), 6u);
+  std::int16_t v;
+  std::memcpy(&v, bytes.data() + 2, 2);
+  EXPECT_EQ(v, 2);
+}
+
+TEST(ArrayElementTest, ItemTextAndDefaultItemName) {
+  ArrayElement<double> arr(QName("a"), {0.5, 1.5});
+  EXPECT_EQ(arr.item_name(), "d");
+  std::string s;
+  arr.append_item_text(1, s);
+  EXPECT_EQ(s, "1.5");
+  EXPECT_THROW(arr.append_item_text(5, s), std::out_of_range);
+}
+
+TEST(ElementTest, InsertChildAtPositions) {
+  auto root = make_element(QName("r"));
+  root->add_element(QName("b"));
+  root->insert_child(0, make_element(QName("a")));
+  root->insert_child(99, make_element(QName("c")));  // clamped to end
+  const auto kids = root->child_elements();
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(kids[0]->name().local, "a");
+  EXPECT_EQ(kids[1]->name().local, "b");
+  EXPECT_EQ(kids[2]->name().local, "c");
+}
+
+TEST(ElementTest, RemoveChildReturnsOwnership) {
+  auto root = make_element(QName("r"));
+  root->add_element(QName("a"));
+  root->add_element(QName("b"));
+  NodePtr removed = root->remove_child(0);
+  EXPECT_EQ(static_cast<Element*>(removed.get())->name().local, "a");
+  EXPECT_EQ(root->child_count(), 1u);
+  EXPECT_THROW(root->remove_child(5), Error);
+}
+
+TEST(DocumentTest, RootAccess) {
+  auto doc = std::make_unique<Document>();
+  EXPECT_FALSE(doc->has_root());
+  EXPECT_THROW(doc->root(), Error);
+  doc->add_child(std::make_unique<CommentNode>("header"));
+  doc->add_child(make_element(QName("r")));
+  EXPECT_TRUE(doc->has_root());
+  EXPECT_EQ(doc->root().name().local, "r");
+}
+
+TEST(CloneTest, DeepCloneIsIndependent) {
+  auto root = make_element(QName("urn:n", "r", "n"));
+  root->declare_namespace("n", "urn:n");
+  root->add_attribute(QName("k"), std::string("v"));
+  auto& child = root->add_element(QName("c"));
+  child.add_text("t");
+  root->add_child(make_array<double>(QName("arr"), {1.0}));
+
+  NodePtr copy = root->clone();
+  auto* copied = as<Element>(*copy);
+  ASSERT_NE(copied, nullptr);
+  EXPECT_EQ(copied->name().prefix, "n");
+  EXPECT_EQ(copied->namespaces().size(), 1u);
+  EXPECT_EQ(copied->attributes().size(), 1u);
+  EXPECT_EQ(copied->child_count(), 2u);
+
+  // Mutating the original must not affect the clone.
+  root->add_text("more");
+  EXPECT_EQ(copied->child_count(), 2u);
+}
+
+TEST(StringValueTest, ConcatenatesDescendantText) {
+  auto root = make_element(QName("r"));
+  root->add_text("a");
+  auto& mid = root->add_element(QName("m"));
+  mid.add_text("b");
+  root->add_child(make_leaf<std::int32_t>(QName("n"), 7));
+  root->add_child(std::make_unique<CommentNode>("ignored"));
+  EXPECT_EQ(root->string_value(), "ab7");
+}
+
+TEST(StringValueTest, ArrayItemsSpaceSeparated) {
+  auto root = make_element(QName("r"));
+  root->add_child(make_array<std::int32_t>(QName("a"), {1, 2, 3}));
+  EXPECT_EQ(root->string_value(), "1 2 3");
+}
+
+TEST(VisitorTest, DispatchesToConcreteShape) {
+  struct Counter : NodeVisitor {
+    int documents = 0, elements = 0, leaves = 0, arrays = 0, texts = 0,
+        pis = 0, comments = 0;
+    void visit(const Document& d) override {
+      ++documents;
+      for (const auto& c : d.children()) c->accept(*this);
+    }
+    void visit(const Element& e) override {
+      ++elements;
+      for (const auto& c : e.children()) c->accept(*this);
+    }
+    void visit(const LeafElementBase&) override { ++leaves; }
+    void visit(const ArrayElementBase&) override { ++arrays; }
+    void visit(const TextNode&) override { ++texts; }
+    void visit(const PINode&) override { ++pis; }
+    void visit(const CommentNode&) override { ++comments; }
+  };
+
+  auto root = make_element(QName("r"));
+  root->add_child(make_leaf<double>(QName("l"), 1.0));
+  root->add_child(make_array<float>(QName("a"), {1.f}));
+  root->add_text("t");
+  root->add_child(std::make_unique<PINode>("tgt", "data"));
+  root->add_child(std::make_unique<CommentNode>("c"));
+  auto doc = make_document(std::move(root));
+
+  Counter v;
+  doc->accept(v);
+  EXPECT_EQ(v.documents, 1);
+  EXPECT_EQ(v.elements, 1);
+  EXPECT_EQ(v.leaves, 1);
+  EXPECT_EQ(v.arrays, 1);
+  EXPECT_EQ(v.texts, 1);
+  EXPECT_EQ(v.pis, 1);
+  EXPECT_EQ(v.comments, 1);
+}
+
+TEST(DumpTest, RendersShapes) {
+  auto root = make_element(QName("urn:x", "r", "x"));
+  root->add_child(make_leaf<double>(QName("t"), 1.5));
+  root->add_child(make_array<std::int32_t>(QName("i"), {1, 2}));
+  const std::string d = dump(*root);
+  EXPECT_NE(d.find("element x:r"), std::string::npos);
+  EXPECT_NE(d.find("leaf(float64) t = 1.5"), std::string::npos);
+  EXPECT_NE(d.find("array(int32)[2] i"), std::string::npos);
+}
+
+TEST(AsHelpers, ElementShapeChecks) {
+  Element e{QName("e")};
+  LeafElement<double> l{QName("l"), 1.0};
+  TextNode t{"x"};
+  EXPECT_TRUE(is_element(e));
+  EXPECT_TRUE(is_element(l));
+  EXPECT_FALSE(is_element(t));
+  EXPECT_NE(as_element(e), nullptr);
+  EXPECT_EQ(as_element(t), nullptr);
+}
+
+}  // namespace
+}  // namespace bxsoap::xdm

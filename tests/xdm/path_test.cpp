@@ -1,0 +1,182 @@
+#include "xdm/path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bxsoap::xdm {
+namespace {
+
+class PathFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // <x:catalog xmlns:x="urn:cat">
+    //   <x:book id="1"><title>A</title></x:book>
+    //   <x:book id="2" lang="en"><title>B</title></x:book>
+    //   <note><title>N</title></note>
+    //   <count>3</count>           (leaf int32)
+    //   <prices>[1.5 2.5]</prices> (array double)
+    // </x:catalog>
+    auto root = make_element(QName("urn:cat", "catalog", "x"));
+    root->declare_namespace("x", "urn:cat");
+
+    auto book1 = make_element(QName("urn:cat", "book", "x"));
+    book1->add_attribute(QName("id"), std::int32_t{1});
+    book1->add_element(QName("title")).add_text("A");
+    root->add_child(std::move(book1));
+
+    auto book2 = make_element(QName("urn:cat", "book", "x"));
+    book2->add_attribute(QName("id"), std::int32_t{2});
+    book2->add_attribute(QName("lang"), std::string("en"));
+    book2->add_element(QName("title")).add_text("B");
+    root->add_child(std::move(book2));
+
+    auto& note = root->add_element(QName("note"));
+    note.add_element(QName("title")).add_text("N");
+
+    root->add_child(make_leaf<std::int32_t>(QName("count"), 3));
+    root->add_child(make_array<double>(QName("prices"), {1.5, 2.5}));
+
+    doc_ = make_document(std::move(root));
+    prefixes_["c"] = "urn:cat";
+  }
+
+  DocumentPtr doc_;
+  PrefixMap prefixes_;
+};
+
+TEST_F(PathFixture, RootStep) {
+  auto r = select(*doc_, "/c:catalog", prefixes_);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0]->name().local, "catalog");
+}
+
+TEST_F(PathFixture, ChildSteps) {
+  auto r = select(*doc_, "/c:catalog/c:book", prefixes_);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST_F(PathFixture, UnprefixedMatchesAnyNamespace) {
+  auto r = select(*doc_, "/catalog/book", prefixes_);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST_F(PathFixture, WildcardStep) {
+  auto r = select(*doc_, "/c:catalog/*", prefixes_);
+  EXPECT_EQ(r.size(), 5u) << "books, note, leaf and array are all elements";
+}
+
+TEST_F(PathFixture, DescendantSearch) {
+  auto r = select(*doc_, "//title", prefixes_);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST_F(PathFixture, DescendantAfterStep) {
+  auto r = select(*doc_, "/c:catalog/note//title", prefixes_);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(static_cast<const Element*>(r[0])->string_value(), "N");
+}
+
+TEST_F(PathFixture, PositionPredicate) {
+  auto r = select(*doc_, "/c:catalog/c:book[2]", prefixes_);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0]->find_attribute("id")->text(), "2");
+}
+
+TEST_F(PathFixture, AttrPresentPredicate) {
+  auto r = select(*doc_, "//c:book[@lang]", prefixes_);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0]->find_attribute("id")->text(), "2");
+}
+
+TEST_F(PathFixture, AttrEqualsPredicate) {
+  auto r = select(*doc_, "//c:book[@id='1']", prefixes_);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0]->find_attribute("id")->text(), "1");
+}
+
+TEST_F(PathFixture, ChainedPredicates) {
+  auto r = select(*doc_, "//c:book[@id='2'][1]", prefixes_);
+  EXPECT_EQ(r.size(), 1u);
+  auto none = select(*doc_, "//c:book[@id='2'][2]", prefixes_);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(PathFixture, SelectsLeafAndArrayElements) {
+  const ElementBase* count = select_first(*doc_, "//count", prefixes_);
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->kind(), NodeKind::kLeafElement);
+
+  const ElementBase* prices = select_first(*doc_, "//prices", prefixes_);
+  ASSERT_NE(prices, nullptr);
+  EXPECT_EQ(prices->kind(), NodeKind::kArrayElement);
+  EXPECT_EQ(static_cast<const ArrayElementBase*>(prices)->count(), 2u);
+}
+
+TEST_F(PathFixture, FirstReturnsNullOnNoMatch) {
+  EXPECT_EQ(select_first(*doc_, "//missing", prefixes_), nullptr);
+}
+
+TEST_F(PathFixture, RelativePathFromElement) {
+  const ElementBase* cat = select_first(*doc_, "/c:catalog", prefixes_);
+  ASSERT_NE(cat, nullptr);
+  auto titles = select(*cat, "c:book/title", prefixes_);
+  EXPECT_EQ(titles.size(), 2u);
+}
+
+TEST_F(PathFixture, NamespaceQualifiedWildcard) {
+  auto r = select(*doc_, "/c:catalog/c:*", prefixes_);
+  EXPECT_EQ(r.size(), 2u) << "only the two x:book children are in urn:cat";
+}
+
+TEST_F(PathFixture, ChildValuePredicate) {
+  auto r = select(*doc_, "//c:book[title='B']", prefixes_);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0]->find_attribute("id")->text(), "2");
+  EXPECT_TRUE(select(*doc_, "//c:book[title='Z']", prefixes_).empty());
+}
+
+TEST_F(PathFixture, SelfValuePredicate) {
+  auto r = select(*doc_, "//title[.='N']", prefixes_);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(static_cast<const Element*>(r[0])->string_value(), "N");
+}
+
+TEST_F(PathFixture, SelfValuePredicateOnLeaf) {
+  // Leaf elements render their typed value for comparison.
+  auto r = select(*doc_, "/c:catalog/count[.='3']", prefixes_);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(select(*doc_, "/c:catalog/count[.='4']", prefixes_).empty());
+}
+
+TEST_F(PathFixture, SelfValuePredicateOnArray) {
+  // Array string value is space-joined items.
+  auto r = select(*doc_, "/c:catalog/prices[.='1.5 2.5']", prefixes_);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(PathErrors, ValuePredicateSyntax) {
+  EXPECT_THROW(Path::compile("a[.]", {}), PathError);
+  EXPECT_THROW(Path::compile("a[b]", {}), PathError)
+      << "bare child name predicates are not supported";
+  EXPECT_THROW(Path::compile("a[b='v]", {}), PathError);
+}
+
+TEST(PathErrors, SyntaxErrors) {
+  EXPECT_THROW(Path::compile("", {}), PathError);
+  EXPECT_THROW(Path::compile("//", {}), PathError);
+  EXPECT_THROW(Path::compile("a[", {}), PathError);
+  EXPECT_THROW(Path::compile("a[0]", {}), PathError) << "positions 1-based";
+  EXPECT_THROW(Path::compile("a[@x='v]", {}), PathError);
+  EXPECT_THROW(Path::compile("a b", {}), PathError);
+  EXPECT_THROW(Path::compile("p:a", {}), PathError) << "unmapped prefix";
+}
+
+TEST(PathErrors, DescendantDedup) {
+  // //x from a tree where x contains x: each element reported once.
+  auto root = make_element(QName("x"));
+  root->add_element(QName("x")).add_element(QName("x"));
+  auto r = select(*root, "//x");
+  EXPECT_EQ(r.size(), 2u) << "two descendants (self excluded)";
+}
+
+}  // namespace
+}  // namespace bxsoap::xdm

@@ -1,0 +1,31 @@
+#include "xml/escape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bxsoap::xml {
+namespace {
+
+TEST(Escape, TextBasics) {
+  EXPECT_EQ(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+  EXPECT_EQ(escape_text(""), "");
+  EXPECT_EQ(escape_text("plain"), "plain");
+}
+
+TEST(Escape, TextLeavesQuotesAlone) {
+  EXPECT_EQ(escape_text("\"'"), "\"'");
+}
+
+TEST(Escape, AttrEscapesQuotesAndWhitespace) {
+  EXPECT_EQ(escape_attr("a\"b"), "a&quot;b");
+  EXPECT_EQ(escape_attr("a\nb\tc\rd"), "a&#10;b&#9;c&#13;d");
+  EXPECT_EQ(escape_attr("<&>"), "&lt;&amp;&gt;");
+}
+
+TEST(Escape, AppendVariantsAccumulate) {
+  std::string out = "x=";
+  append_escaped_text(out, "<v>");
+  EXPECT_EQ(out, "x=&lt;v&gt;");
+}
+
+}  // namespace
+}  // namespace bxsoap::xml

@@ -1,0 +1,179 @@
+#include "xml/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xdm/node.hpp"
+
+namespace bxsoap::xml {
+namespace {
+
+using namespace bxsoap::xdm;
+
+WriteOptions plain() {
+  WriteOptions o;
+  o.emit_type_info = false;
+  return o;
+}
+
+TEST(XmlWriter, EmptyElement) {
+  Element e{QName("empty")};
+  EXPECT_EQ(write_xml(e, plain()), "<empty/>");
+}
+
+TEST(XmlWriter, NestedElementsAndText) {
+  auto root = make_element(QName("r"));
+  auto& c = root->add_element(QName("c"));
+  c.add_text("hi");
+  EXPECT_EQ(write_xml(*root, plain()), "<r><c>hi</c></r>");
+}
+
+TEST(XmlWriter, TextIsEscaped) {
+  auto root = make_element(QName("r"));
+  root->add_text("a<b&c");
+  EXPECT_EQ(write_xml(*root, plain()), "<r>a&lt;b&amp;c</r>");
+}
+
+TEST(XmlWriter, AttributesEscapedAndQuoted) {
+  Element e{QName("e")};
+  e.add_attribute(QName("k"), std::string("a\"b<c"));
+  EXPECT_EQ(write_xml(e, plain()), "<e k=\"a&quot;b&lt;c\"/>");
+}
+
+TEST(XmlWriter, ExplicitNamespaceDeclarationsHonored) {
+  auto root = make_element(QName("urn:x", "r", "x"));
+  root->declare_namespace("x", "urn:x");
+  EXPECT_EQ(write_xml(*root, plain()), "<x:r xmlns:x=\"urn:x\"/>");
+}
+
+TEST(XmlWriter, AutoDeclaresMissingPrefix) {
+  Element e{QName("urn:x", "r", "x")};
+  EXPECT_EQ(write_xml(e, plain()), "<x:r xmlns:x=\"urn:x\"/>");
+}
+
+TEST(XmlWriter, AutoDeclaresDefaultNamespaceForUnprefixedName) {
+  Element e{QName("urn:x", "r")};
+  EXPECT_EQ(write_xml(e, plain()), "<r xmlns=\"urn:x\"/>");
+}
+
+TEST(XmlWriter, ChildReusesParentDeclaration) {
+  auto root = make_element(QName("urn:x", "r", "x"));
+  root->declare_namespace("x", "urn:x");
+  root->add_child(make_element(QName("urn:x", "c", "x")));
+  EXPECT_EQ(write_xml(*root, plain()),
+            "<x:r xmlns:x=\"urn:x\"><x:c/></x:r>");
+}
+
+TEST(XmlWriter, UnprefixedChildUnderDefaultNamespaceIsUndeclared) {
+  auto root = make_element(QName("urn:x", "r"));
+  root->add_child(make_element(QName("c")));  // no namespace!
+  EXPECT_EQ(write_xml(*root, plain()),
+            "<r xmlns=\"urn:x\"><c xmlns=\"\"/></r>");
+}
+
+TEST(XmlWriter, PrefixConflictGeneratesFreshPrefix) {
+  auto root = make_element(QName("urn:a", "r", "p"));
+  root->declare_namespace("p", "urn:a");
+  // Child claims the same prefix for a different URI; writer must not emit
+  // a lying binding.
+  root->add_child(make_element(QName("urn:b", "c", "p")));
+  const std::string s = write_xml(*root, plain());
+  EXPECT_NE(s.find("xmlns:p=\"urn:a\""), std::string::npos);
+  // The child must use some prefix bound to urn:b.
+  EXPECT_NE(s.find("=\"urn:b\""), std::string::npos);
+  EXPECT_EQ(s.find("<p:c"), std::string::npos);
+}
+
+TEST(XmlWriter, AttributeNeverUsesDefaultNamespace) {
+  auto root = make_element(QName("urn:x", "r"));
+  root->add_attribute(QName("urn:x", "k"), std::string("v"));
+  const std::string s = write_xml(*root, plain());
+  // Attribute must get an explicit prefix even though urn:x is the default.
+  EXPECT_NE(s.find(":k=\"v\""), std::string::npos);
+}
+
+TEST(XmlWriter, LeafWithTypeInfo) {
+  LeafElement<double> leaf{QName("t"), 2.5};
+  const std::string s = write_xml(leaf);
+  EXPECT_EQ(s,
+            "<t xmlns:xsi=\"http://www.w3.org/2001/XMLSchema-instance\" "
+            "xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\" "
+            "xsi:type=\"xsd:double\">2.5</t>");
+}
+
+TEST(XmlWriter, LeafWithoutTypeInfo) {
+  LeafElement<std::int32_t> leaf{QName("n"), -5};
+  EXPECT_EQ(write_xml(leaf, plain()), "<n>-5</n>");
+}
+
+TEST(XmlWriter, ArrayPlainFormMatchesPaperShape) {
+  // Table 1's XML: one element per item with a short tag name.
+  ArrayElement<std::int32_t> arr{QName("a"), {1, 2, 3}};
+  EXPECT_EQ(write_xml(arr, plain()), "<a><d>1</d><d>2</d><d>3</d></a>");
+}
+
+TEST(XmlWriter, ArrayTypedFormCarriesAnnotations) {
+  ArrayElement<double> arr{QName("a"), {0.5}};
+  const std::string s = write_xml(arr);
+  EXPECT_NE(s.find("arrayType=\"xsd:double\""), std::string::npos);
+  EXPECT_NE(s.find("<d>0.5</d>"), std::string::npos);
+}
+
+TEST(XmlWriter, ArrayCustomItemName) {
+  ArrayElement<std::int32_t> arr{QName("a"), {7}};
+  arr.set_item_name("item");
+  const std::string s = write_xml(arr);
+  EXPECT_NE(s.find("itemName=\"item\""), std::string::npos);
+  EXPECT_NE(s.find("<item>7</item>"), std::string::npos);
+}
+
+TEST(XmlWriter, TypedAttributeAnnotation) {
+  Element e{QName("e")};
+  e.add_attribute(QName("id"), std::int32_t{9});
+  const std::string s = write_xml(e);
+  EXPECT_NE(s.find("id=\"9\""), std::string::npos);
+  EXPECT_NE(s.find(":at-id=\"xsd:int\""), std::string::npos);
+}
+
+TEST(XmlWriter, StringAttributeHasNoAnnotation) {
+  Element e{QName("e")};
+  e.add_attribute(QName("k"), std::string("v"));
+  const std::string s = write_xml(e);
+  EXPECT_EQ(s.find("at-"), std::string::npos);
+}
+
+TEST(XmlWriter, CommentAndPi) {
+  auto doc = std::make_unique<Document>();
+  doc->add_child(std::make_unique<CommentNode>(" hello "));
+  doc->add_child(std::make_unique<PINode>("target", "data x"));
+  doc->add_child(make_element(QName("r")));
+  EXPECT_EQ(write_xml(*doc, plain()), "<!-- hello --><?target data x?><r/>");
+}
+
+TEST(XmlWriter, XmlDeclOption) {
+  Element e{QName("r")};
+  WriteOptions o = plain();
+  o.xml_decl = true;
+  EXPECT_EQ(write_xml(e, o),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><r/>");
+}
+
+TEST(XmlWriter, PrettyPrintIndentsElementChildren) {
+  auto root = make_element(QName("r"));
+  root->add_element(QName("a"));
+  root->add_element(QName("b"));
+  WriteOptions o = plain();
+  o.indent = 2;
+  EXPECT_EQ(write_xml(*root, o), "<r>\n  <a/>\n  <b/>\n</r>");
+}
+
+TEST(XmlWriter, PrettyPrintKeepsMixedContentInline) {
+  auto root = make_element(QName("r"));
+  root->add_text("a");
+  root->add_element(QName("b"));
+  WriteOptions o = plain();
+  o.indent = 2;
+  EXPECT_EQ(write_xml(*root, o), "<r>a<b/></r>");
+}
+
+}  // namespace
+}  // namespace bxsoap::xml

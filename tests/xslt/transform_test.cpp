@@ -1,0 +1,269 @@
+#include "xslt/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bxsa/decoder.hpp"
+#include "bxsa/encoder.hpp"
+#include "xdm/equal.hpp"
+#include "xml/parser.hpp"
+#include "xml/retype.hpp"
+#include "xml/writer.hpp"
+
+namespace bxsoap::xslt {
+namespace {
+
+using namespace bxsoap::xdm;
+
+DocumentPtr catalog() {
+  auto root = make_element(QName("urn:obs", "stations", "o"));
+  root->declare_namespace("o", "urn:obs");
+  const struct {
+    int id;
+    const char* name;
+    double temp;
+  } rows[] = {{1, "Bloomington", 281.0}, {2, "Chicago", 279.5},
+              {3, "Indianapolis", 282.25}};
+  for (const auto& r : rows) {
+    auto& s = root->add_element(QName("urn:obs", "station", "o"));
+    s.add_attribute(QName("id"), static_cast<std::int32_t>(r.id));
+    s.add_child(make_leaf<std::string>(QName("urn:obs", "name", "o"),
+                                       std::string(r.name)));
+    s.add_child(make_leaf<double>(QName("urn:obs", "temp", "o"), r.temp));
+  }
+  return make_document(std::move(root));
+}
+
+constexpr std::string_view kReportStylesheet = R"(
+<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+  <xsl:template match="/">
+    <report><xsl:apply-templates select="//o:station"/></report>
+  </xsl:template>
+  <xsl:template match="o:station">
+    <row>
+      <city><xsl:value-of select="o:name"/></city>
+      <kelvin><xsl:value-of select="o:temp"/></kelvin>
+    </row>
+  </xsl:template>
+</xsl:stylesheet>)";
+
+PrefixMap obs_prefixes() {
+  PrefixMap p;
+  p["o"] = "urn:obs";
+  return p;
+}
+
+TEST(Xslt, ReportTransform) {
+  const Stylesheet sheet =
+      Stylesheet::compile(kReportStylesheet, obs_prefixes());
+  const DocumentPtr result = sheet.apply(*catalog());
+
+  xml::WriteOptions plain;
+  plain.emit_type_info = false;
+  EXPECT_EQ(xml::write_xml(*result, plain),
+            "<report>"
+            "<row><city>Bloomington</city><kelvin>281</kelvin></row>"
+            "<row><city>Chicago</city><kelvin>279.5</kelvin></row>"
+            "<row><city>Indianapolis</city><kelvin>282.25</kelvin></row>"
+            "</report>");
+}
+
+TEST(Xslt, SameResultFromAllThreeSources) {
+  // The Figure 3 point: the transform runs identically over binary XML.
+  const Stylesheet sheet =
+      Stylesheet::compile(kReportStylesheet, obs_prefixes());
+
+  const DocumentPtr in_memory = catalog();
+  const auto bxsa_bytes = bxsa::encode(*in_memory);
+  const DocumentPtr from_bxsa = bxsa::decode_document(bxsa_bytes);
+  xml::WriteOptions typed;
+  const DocumentPtr from_xml =
+      xml::retype(*xml::parse_xml(xml::write_xml(*in_memory, typed)));
+
+  const DocumentPtr a = sheet.apply(*in_memory);
+  const DocumentPtr b = sheet.apply(*from_bxsa);
+  const DocumentPtr c = sheet.apply(*from_xml);
+  EXPECT_TRUE(deep_equal(*a, *b)) << first_difference(*a, *b);
+  EXPECT_TRUE(deep_equal(*a, *c)) << first_difference(*a, *c);
+}
+
+TEST(Xslt, BuiltInRulesCopyTextThroughElements) {
+  // No template matches <wrapper>; built-ins recurse and emit text.
+  const Stylesheet sheet = Stylesheet::compile(
+      "<xsl:stylesheet xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"keep\"><kept/></xsl:template>"
+      "</xsl:stylesheet>");
+  auto doc = xml::parse_xml("<wrapper>text <keep>x</keep> tail</wrapper>");
+  const DocumentPtr result = sheet.apply(*doc);
+  xml::WriteOptions plain;
+  plain.emit_type_info = false;
+  // Document has multiple top-level children: text, <kept/>, text.
+  std::string out;
+  for (const auto& c : result->children()) {
+    out += xml::write_xml(*c, plain);
+  }
+  EXPECT_EQ(out, "text <kept/> tail");
+}
+
+TEST(Xslt, ValueOfAttributeAndSelf) {
+  const Stylesheet sheet = Stylesheet::compile(
+      "<xsl:stylesheet xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"item\">"
+      "<out id=\"copied\"><xsl:value-of select=\"@id\"/>:"
+      "<xsl:value-of select=\".\"/></out>"
+      "</xsl:template></xsl:stylesheet>");
+  auto doc = xml::parse_xml("<item id=\"i7\">payload</item>");
+  const DocumentPtr result = sheet.apply(*doc);
+  xml::WriteOptions plain;
+  plain.emit_type_info = false;
+  EXPECT_EQ(xml::write_xml(*result, plain),
+            "<out id=\"copied\">i7:payload</out>");
+}
+
+TEST(Xslt, IfInstruction) {
+  const Stylesheet sheet = Stylesheet::compile(
+      "<xsl:stylesheet xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"e\">"
+      "<xsl:if test=\"@flag\"><flagged/></xsl:if>"
+      "<xsl:if test=\"child\"><has-child/></xsl:if>"
+      "</xsl:template></xsl:stylesheet>");
+  {
+    auto doc = xml::parse_xml("<e flag=\"1\"/>");
+    const DocumentPtr result = sheet.apply(*doc);
+    ASSERT_EQ(result->children().size(), 1u);
+    EXPECT_EQ(result->root().name().local, "flagged");
+  }
+  {
+    auto doc = xml::parse_xml("<e><child/></e>");
+    const DocumentPtr result = sheet.apply(*doc);
+    ASSERT_EQ(result->children().size(), 1u);
+    EXPECT_EQ(result->root().name().local, "has-child");
+  }
+}
+
+TEST(Xslt, TypedLeavesRenderThroughValueOf) {
+  // A leaf decoded from BXSA renders its native double via value-of.
+  auto root = make_element(QName("m"));
+  root->add_child(make_leaf<double>(QName("v"), 0.5));
+  root->add_child(make_array<std::int32_t>(QName("a"), {1, 2, 3}));
+  const auto bytes = bxsa::encode(*make_document(std::move(root)));
+  const DocumentPtr doc = bxsa::decode_document(bytes);
+
+  const Stylesheet sheet = Stylesheet::compile(
+      "<xsl:stylesheet xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"m\">"
+      "<t><xsl:value-of select=\"v\"/>|<xsl:value-of select=\"a\"/></t>"
+      "</xsl:template></xsl:stylesheet>");
+  const DocumentPtr result = sheet.apply(*doc);
+  xml::WriteOptions plain;
+  plain.emit_type_info = false;
+  EXPECT_EQ(xml::write_xml(*result, plain), "<t>0.5|1 2 3</t>");
+}
+
+TEST(Xslt, TemplatePrecedenceNameOverWildcard) {
+  const Stylesheet sheet = Stylesheet::compile(
+      "<xsl:stylesheet xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"*\"><other/></xsl:template>"
+      "<xsl:template match=\"special\"><special-out/></xsl:template>"
+      "</xsl:stylesheet>");
+  auto doc = xml::parse_xml("<special/>");
+  const DocumentPtr result = sheet.apply(*doc);
+  EXPECT_EQ(result->root().name().local, "special-out");
+}
+
+TEST(Xslt, ForEachSwitchesContext) {
+  const Stylesheet sheet = Stylesheet::compile(
+      "<xsl:stylesheet xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"list\">"
+      "<ul><xsl:for-each select=\"item\">"
+      "<li><xsl:value-of select=\"@n\"/>=<xsl:value-of select=\".\"/></li>"
+      "</xsl:for-each></ul>"
+      "</xsl:template></xsl:stylesheet>");
+  auto doc = xml::parse_xml(
+      "<list><item n=\"a\">1</item><item n=\"b\">2</item></list>");
+  xml::WriteOptions plain;
+  plain.emit_type_info = false;
+  EXPECT_EQ(xml::write_xml(*sheet.apply(*doc), plain),
+            "<ul><li>a=1</li><li>b=2</li></ul>");
+}
+
+TEST(Xslt, ChooseTakesFirstTrueBranch) {
+  const Stylesheet sheet = Stylesheet::compile(
+      "<xsl:stylesheet xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"e\"><xsl:choose>"
+      "<xsl:when test=\"@hot\"><hot/></xsl:when>"
+      "<xsl:when test=\"@cold\"><cold/></xsl:when>"
+      "<xsl:otherwise><mild/></xsl:otherwise>"
+      "</xsl:choose></xsl:template></xsl:stylesheet>");
+  auto check = [&](const char* in, const char* expected) {
+    auto doc = xml::parse_xml(in);
+    EXPECT_EQ(sheet.apply(*doc)->root().name().local, expected) << in;
+  };
+  check("<e hot=\"1\"/>", "hot");
+  check("<e cold=\"1\"/>", "cold");
+  check("<e hot=\"1\" cold=\"1\"/>", "hot");
+  check("<e/>", "mild");
+}
+
+TEST(Xslt, AttributeValueTemplates) {
+  const Stylesheet sheet = Stylesheet::compile(
+      "<xsl:stylesheet xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"p\">"
+      "<a href=\"/users/{@id}\" note=\"{{literal}} {name}\"/>"
+      "</xsl:template></xsl:stylesheet>");
+  auto doc = xml::parse_xml("<p id=\"42\"><name>ada</name></p>");
+  xml::WriteOptions plain;
+  plain.emit_type_info = false;
+  EXPECT_EQ(xml::write_xml(*sheet.apply(*doc), plain),
+            "<a href=\"/users/42\" note=\"{literal} ada\"/>");
+}
+
+TEST(XsltErrors, BadAvtAndChoose) {
+  const Stylesheet unterminated = Stylesheet::compile(
+      "<xsl:stylesheet xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"p\"><a x=\"{oops\"/></xsl:template>"
+      "</xsl:stylesheet>");
+  EXPECT_THROW(unterminated.apply(*xml::parse_xml("<p/>")), TransformError);
+
+  const Stylesheet bad_choose = Stylesheet::compile(
+      "<xsl:stylesheet xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+      "<xsl:template match=\"p\"><xsl:choose><xsl:value-of select=\".\"/>"
+      "</xsl:choose></xsl:template></xsl:stylesheet>");
+  EXPECT_THROW(bad_choose.apply(*xml::parse_xml("<p/>")), TransformError);
+}
+
+TEST(XsltErrors, Malformed) {
+  EXPECT_THROW(Stylesheet::compile("<notxsl/>"), TransformError);
+  EXPECT_THROW(
+      Stylesheet::compile(
+          "<xsl:stylesheet "
+          "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\"/>"),
+      TransformError)
+      << "no templates";
+  EXPECT_THROW(
+      Stylesheet::compile(
+          "<xsl:stylesheet "
+          "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+          "<xsl:template><x/></xsl:template></xsl:stylesheet>"),
+      TransformError)
+      << "missing @match";
+  EXPECT_THROW(
+      Stylesheet::compile(
+          "<xsl:stylesheet "
+          "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+          "<xsl:template match=\"a/b\"><x/></xsl:template>"
+          "</xsl:stylesheet>"),
+      TransformError)
+      << "unsupported pattern";
+  EXPECT_THROW(
+      Stylesheet::compile(
+          "<xsl:stylesheet "
+          "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\">"
+          "<xsl:template match=\"a\"><xsl:copy-of select=\"b\"/>"
+          "</xsl:template></xsl:stylesheet>")
+          .apply(*xml::parse_xml("<a/>")),
+      TransformError)
+      << "unsupported instruction";
+}
+
+}  // namespace
+}  // namespace bxsoap::xslt
