@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_convert.cpp" "bench/CMakeFiles/bench_ablation_convert.dir/bench_ablation_convert.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_convert.dir/bench_ablation_convert.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/bxsoap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bxsa/CMakeFiles/bxsoap_bxsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcdf/CMakeFiles/bxsoap_netcdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbs/CMakeFiles/bxsoap_xbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/bxsoap_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdm/CMakeFiles/bxsoap_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bxsoap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

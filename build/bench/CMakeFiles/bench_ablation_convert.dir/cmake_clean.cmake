@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_convert.dir/bench_ablation_convert.cpp.o"
+  "CMakeFiles/bench_ablation_convert.dir/bench_ablation_convert.cpp.o.d"
+  "bench_ablation_convert"
+  "bench_ablation_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

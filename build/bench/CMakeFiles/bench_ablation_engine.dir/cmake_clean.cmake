@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_engine.dir/bench_ablation_engine.cpp.o"
+  "CMakeFiles/bench_ablation_engine.dir/bench_ablation_engine.cpp.o.d"
+  "bench_ablation_engine"
+  "bench_ablation_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_frames.dir/bench_ablation_frames.cpp.o"
+  "CMakeFiles/bench_ablation_frames.dir/bench_ablation_frames.cpp.o.d"
+  "bench_ablation_frames"
+  "bench_ablation_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sockets.dir/bench_ablation_sockets.cpp.o"
+  "CMakeFiles/bench_ablation_sockets.dir/bench_ablation_sockets.cpp.o.d"
+  "bench_ablation_sockets"
+  "bench_ablation_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_striping.dir/bench_ablation_striping.cpp.o"
+  "CMakeFiles/bench_ablation_striping.dir/bench_ablation_striping.cpp.o.d"
+  "bench_ablation_striping"
+  "bench_ablation_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_large_lan.dir/bench_fig5_large_lan.cpp.o"
+  "CMakeFiles/bench_fig5_large_lan.dir/bench_fig5_large_lan.cpp.o.d"
+  "bench_fig5_large_lan"
+  "bench_fig5_large_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_large_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

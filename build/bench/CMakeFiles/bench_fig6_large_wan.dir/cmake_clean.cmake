@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_large_wan.dir/bench_fig6_large_wan.cpp.o"
+  "CMakeFiles/bench_fig6_large_wan.dir/bench_fig6_large_wan.cpp.o.d"
+  "bench_fig6_large_wan"
+  "bench_fig6_large_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_large_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sizes.dir/bench_table1_sizes.cpp.o"
+  "CMakeFiles/bench_table1_sizes.dir/bench_table1_sizes.cpp.o.d"
+  "bench_table1_sizes"
+  "bench_table1_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_bench_costs.dir/scheme_costs.cpp.o"
+  "CMakeFiles/bxsoap_bench_costs.dir/scheme_costs.cpp.o.d"
+  "libbxsoap_bench_costs.a"
+  "libbxsoap_bench_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_bench_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_mining.dir/data_mining.cpp.o"
+  "CMakeFiles/data_mining.dir/data_mining.cpp.o.d"
+  "data_mining"
+  "data_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapped_analytics.dir/mapped_analytics.cpp.o"
+  "CMakeFiles/mapped_analytics.dir/mapped_analytics.cpp.o.d"
+  "mapped_analytics"
+  "mapped_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapped_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

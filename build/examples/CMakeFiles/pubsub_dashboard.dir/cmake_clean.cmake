@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_dashboard.dir/pubsub_dashboard.cpp.o"
+  "CMakeFiles/pubsub_dashboard.dir/pubsub_dashboard.cpp.o.d"
+  "pubsub_dashboard"
+  "pubsub_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

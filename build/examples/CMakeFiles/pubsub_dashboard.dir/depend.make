@@ -1,0 +1,2 @@
+# Empty dependencies file for pubsub_dashboard.
+# This may be replaced when dependencies are built.

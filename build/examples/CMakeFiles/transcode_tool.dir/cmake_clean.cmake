@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transcode_tool.dir/transcode_tool.cpp.o"
+  "CMakeFiles/transcode_tool.dir/transcode_tool.cpp.o.d"
+  "transcode_tool"
+  "transcode_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transcode_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_service.dir/weather_service.cpp.o"
+  "CMakeFiles/weather_service.dir/weather_service.cpp.o.d"
+  "weather_service"
+  "weather_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

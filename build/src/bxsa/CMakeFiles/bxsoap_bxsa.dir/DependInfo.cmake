@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bxsa/decoder.cpp" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/decoder.cpp.o" "gcc" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/decoder.cpp.o.d"
+  "/root/repo/src/bxsa/encoder.cpp" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/encoder.cpp.o" "gcc" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/encoder.cpp.o.d"
+  "/root/repo/src/bxsa/mapped.cpp" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/mapped.cpp.o" "gcc" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/mapped.cpp.o.d"
+  "/root/repo/src/bxsa/scanner.cpp" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/scanner.cpp.o" "gcc" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/scanner.cpp.o.d"
+  "/root/repo/src/bxsa/stream_reader.cpp" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/stream_reader.cpp.o" "gcc" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/stream_reader.cpp.o.d"
+  "/root/repo/src/bxsa/stream_writer.cpp" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/stream_writer.cpp.o" "gcc" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/stream_writer.cpp.o.d"
+  "/root/repo/src/bxsa/transcode.cpp" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/transcode.cpp.o" "gcc" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/transcode.cpp.o.d"
+  "/root/repo/src/bxsa/validate.cpp" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/validate.cpp.o" "gcc" "src/bxsa/CMakeFiles/bxsoap_bxsa.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xdm/CMakeFiles/bxsoap_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbs/CMakeFiles/bxsoap_xbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/bxsoap_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bxsoap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_bxsa.dir/decoder.cpp.o"
+  "CMakeFiles/bxsoap_bxsa.dir/decoder.cpp.o.d"
+  "CMakeFiles/bxsoap_bxsa.dir/encoder.cpp.o"
+  "CMakeFiles/bxsoap_bxsa.dir/encoder.cpp.o.d"
+  "CMakeFiles/bxsoap_bxsa.dir/mapped.cpp.o"
+  "CMakeFiles/bxsoap_bxsa.dir/mapped.cpp.o.d"
+  "CMakeFiles/bxsoap_bxsa.dir/scanner.cpp.o"
+  "CMakeFiles/bxsoap_bxsa.dir/scanner.cpp.o.d"
+  "CMakeFiles/bxsoap_bxsa.dir/stream_reader.cpp.o"
+  "CMakeFiles/bxsoap_bxsa.dir/stream_reader.cpp.o.d"
+  "CMakeFiles/bxsoap_bxsa.dir/stream_writer.cpp.o"
+  "CMakeFiles/bxsoap_bxsa.dir/stream_writer.cpp.o.d"
+  "CMakeFiles/bxsoap_bxsa.dir/transcode.cpp.o"
+  "CMakeFiles/bxsoap_bxsa.dir/transcode.cpp.o.d"
+  "CMakeFiles/bxsoap_bxsa.dir/validate.cpp.o"
+  "CMakeFiles/bxsoap_bxsa.dir/validate.cpp.o.d"
+  "libbxsoap_bxsa.a"
+  "libbxsoap_bxsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_bxsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

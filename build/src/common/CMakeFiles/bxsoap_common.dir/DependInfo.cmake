@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/base64.cpp" "src/common/CMakeFiles/bxsoap_common.dir/base64.cpp.o" "gcc" "src/common/CMakeFiles/bxsoap_common.dir/base64.cpp.o.d"
+  "/root/repo/src/common/buffer.cpp" "src/common/CMakeFiles/bxsoap_common.dir/buffer.cpp.o" "gcc" "src/common/CMakeFiles/bxsoap_common.dir/buffer.cpp.o.d"
+  "/root/repo/src/common/hex.cpp" "src/common/CMakeFiles/bxsoap_common.dir/hex.cpp.o" "gcc" "src/common/CMakeFiles/bxsoap_common.dir/hex.cpp.o.d"
+  "/root/repo/src/common/lzss.cpp" "src/common/CMakeFiles/bxsoap_common.dir/lzss.cpp.o" "gcc" "src/common/CMakeFiles/bxsoap_common.dir/lzss.cpp.o.d"
+  "/root/repo/src/common/numeric_text.cpp" "src/common/CMakeFiles/bxsoap_common.dir/numeric_text.cpp.o" "gcc" "src/common/CMakeFiles/bxsoap_common.dir/numeric_text.cpp.o.d"
+  "/root/repo/src/common/vls.cpp" "src/common/CMakeFiles/bxsoap_common.dir/vls.cpp.o" "gcc" "src/common/CMakeFiles/bxsoap_common.dir/vls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_common.dir/base64.cpp.o"
+  "CMakeFiles/bxsoap_common.dir/base64.cpp.o.d"
+  "CMakeFiles/bxsoap_common.dir/buffer.cpp.o"
+  "CMakeFiles/bxsoap_common.dir/buffer.cpp.o.d"
+  "CMakeFiles/bxsoap_common.dir/hex.cpp.o"
+  "CMakeFiles/bxsoap_common.dir/hex.cpp.o.d"
+  "CMakeFiles/bxsoap_common.dir/lzss.cpp.o"
+  "CMakeFiles/bxsoap_common.dir/lzss.cpp.o.d"
+  "CMakeFiles/bxsoap_common.dir/numeric_text.cpp.o"
+  "CMakeFiles/bxsoap_common.dir/numeric_text.cpp.o.d"
+  "CMakeFiles/bxsoap_common.dir/vls.cpp.o"
+  "CMakeFiles/bxsoap_common.dir/vls.cpp.o.d"
+  "libbxsoap_common.a"
+  "libbxsoap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_gridftp.dir/gridftp.cpp.o"
+  "CMakeFiles/bxsoap_gridftp.dir/gridftp.cpp.o.d"
+  "libbxsoap_gridftp.a"
+  "libbxsoap_gridftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_gridftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_netcdf.dir/netcdf.cpp.o"
+  "CMakeFiles/bxsoap_netcdf.dir/netcdf.cpp.o.d"
+  "libbxsoap_netcdf.a"
+  "libbxsoap_netcdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_netcdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

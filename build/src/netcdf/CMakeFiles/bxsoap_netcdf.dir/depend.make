@@ -1,0 +1,2 @@
+# Empty dependencies file for bxsoap_netcdf.
+# This may be replaced when dependencies are built.

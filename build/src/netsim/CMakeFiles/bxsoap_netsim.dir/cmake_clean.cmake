@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_netsim.dir/netsim.cpp.o"
+  "CMakeFiles/bxsoap_netsim.dir/netsim.cpp.o.d"
+  "libbxsoap_netsim.a"
+  "libbxsoap_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

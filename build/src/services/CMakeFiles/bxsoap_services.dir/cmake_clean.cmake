@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_services.dir/descriptor.cpp.o"
+  "CMakeFiles/bxsoap_services.dir/descriptor.cpp.o.d"
+  "CMakeFiles/bxsoap_services.dir/eventing.cpp.o"
+  "CMakeFiles/bxsoap_services.dir/eventing.cpp.o.d"
+  "CMakeFiles/bxsoap_services.dir/schemes.cpp.o"
+  "CMakeFiles/bxsoap_services.dir/schemes.cpp.o.d"
+  "CMakeFiles/bxsoap_services.dir/verification.cpp.o"
+  "CMakeFiles/bxsoap_services.dir/verification.cpp.o.d"
+  "libbxsoap_services.a"
+  "libbxsoap_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_soap.dir/addressing.cpp.o"
+  "CMakeFiles/bxsoap_soap.dir/addressing.cpp.o.d"
+  "CMakeFiles/bxsoap_soap.dir/envelope.cpp.o"
+  "CMakeFiles/bxsoap_soap.dir/envelope.cpp.o.d"
+  "CMakeFiles/bxsoap_soap.dir/security.cpp.o"
+  "CMakeFiles/bxsoap_soap.dir/security.cpp.o.d"
+  "libbxsoap_soap.a"
+  "libbxsoap_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

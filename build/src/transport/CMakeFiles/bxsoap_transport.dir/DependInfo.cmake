@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/file_server.cpp" "src/transport/CMakeFiles/bxsoap_transport.dir/file_server.cpp.o" "gcc" "src/transport/CMakeFiles/bxsoap_transport.dir/file_server.cpp.o.d"
+  "/root/repo/src/transport/framing.cpp" "src/transport/CMakeFiles/bxsoap_transport.dir/framing.cpp.o" "gcc" "src/transport/CMakeFiles/bxsoap_transport.dir/framing.cpp.o.d"
+  "/root/repo/src/transport/http.cpp" "src/transport/CMakeFiles/bxsoap_transport.dir/http.cpp.o" "gcc" "src/transport/CMakeFiles/bxsoap_transport.dir/http.cpp.o.d"
+  "/root/repo/src/transport/server_pool.cpp" "src/transport/CMakeFiles/bxsoap_transport.dir/server_pool.cpp.o" "gcc" "src/transport/CMakeFiles/bxsoap_transport.dir/server_pool.cpp.o.d"
+  "/root/repo/src/transport/socket.cpp" "src/transport/CMakeFiles/bxsoap_transport.dir/socket.cpp.o" "gcc" "src/transport/CMakeFiles/bxsoap_transport.dir/socket.cpp.o.d"
+  "/root/repo/src/transport/spool.cpp" "src/transport/CMakeFiles/bxsoap_transport.dir/spool.cpp.o" "gcc" "src/transport/CMakeFiles/bxsoap_transport.dir/spool.cpp.o.d"
+  "/root/repo/src/transport/striped.cpp" "src/transport/CMakeFiles/bxsoap_transport.dir/striped.cpp.o" "gcc" "src/transport/CMakeFiles/bxsoap_transport.dir/striped.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soap/CMakeFiles/bxsoap_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bxsoap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bxsa/CMakeFiles/bxsoap_bxsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbs/CMakeFiles/bxsoap_xbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/bxsoap_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdm/CMakeFiles/bxsoap_xdm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_transport.dir/file_server.cpp.o"
+  "CMakeFiles/bxsoap_transport.dir/file_server.cpp.o.d"
+  "CMakeFiles/bxsoap_transport.dir/framing.cpp.o"
+  "CMakeFiles/bxsoap_transport.dir/framing.cpp.o.d"
+  "CMakeFiles/bxsoap_transport.dir/http.cpp.o"
+  "CMakeFiles/bxsoap_transport.dir/http.cpp.o.d"
+  "CMakeFiles/bxsoap_transport.dir/server_pool.cpp.o"
+  "CMakeFiles/bxsoap_transport.dir/server_pool.cpp.o.d"
+  "CMakeFiles/bxsoap_transport.dir/socket.cpp.o"
+  "CMakeFiles/bxsoap_transport.dir/socket.cpp.o.d"
+  "CMakeFiles/bxsoap_transport.dir/spool.cpp.o"
+  "CMakeFiles/bxsoap_transport.dir/spool.cpp.o.d"
+  "CMakeFiles/bxsoap_transport.dir/striped.cpp.o"
+  "CMakeFiles/bxsoap_transport.dir/striped.cpp.o.d"
+  "libbxsoap_transport.a"
+  "libbxsoap_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

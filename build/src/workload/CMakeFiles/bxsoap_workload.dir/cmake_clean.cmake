@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_workload.dir/lead.cpp.o"
+  "CMakeFiles/bxsoap_workload.dir/lead.cpp.o.d"
+  "libbxsoap_workload.a"
+  "libbxsoap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

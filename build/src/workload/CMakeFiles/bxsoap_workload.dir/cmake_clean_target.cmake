@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbxsoap_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_xbs.dir/xbs.cpp.o"
+  "CMakeFiles/bxsoap_xbs.dir/xbs.cpp.o.d"
+  "libbxsoap_xbs.a"
+  "libbxsoap_xbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_xbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xdm/atom.cpp" "src/xdm/CMakeFiles/bxsoap_xdm.dir/atom.cpp.o" "gcc" "src/xdm/CMakeFiles/bxsoap_xdm.dir/atom.cpp.o.d"
+  "/root/repo/src/xdm/dump.cpp" "src/xdm/CMakeFiles/bxsoap_xdm.dir/dump.cpp.o" "gcc" "src/xdm/CMakeFiles/bxsoap_xdm.dir/dump.cpp.o.d"
+  "/root/repo/src/xdm/equal.cpp" "src/xdm/CMakeFiles/bxsoap_xdm.dir/equal.cpp.o" "gcc" "src/xdm/CMakeFiles/bxsoap_xdm.dir/equal.cpp.o.d"
+  "/root/repo/src/xdm/node.cpp" "src/xdm/CMakeFiles/bxsoap_xdm.dir/node.cpp.o" "gcc" "src/xdm/CMakeFiles/bxsoap_xdm.dir/node.cpp.o.d"
+  "/root/repo/src/xdm/path.cpp" "src/xdm/CMakeFiles/bxsoap_xdm.dir/path.cpp.o" "gcc" "src/xdm/CMakeFiles/bxsoap_xdm.dir/path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bxsoap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_xdm.dir/atom.cpp.o"
+  "CMakeFiles/bxsoap_xdm.dir/atom.cpp.o.d"
+  "CMakeFiles/bxsoap_xdm.dir/dump.cpp.o"
+  "CMakeFiles/bxsoap_xdm.dir/dump.cpp.o.d"
+  "CMakeFiles/bxsoap_xdm.dir/equal.cpp.o"
+  "CMakeFiles/bxsoap_xdm.dir/equal.cpp.o.d"
+  "CMakeFiles/bxsoap_xdm.dir/node.cpp.o"
+  "CMakeFiles/bxsoap_xdm.dir/node.cpp.o.d"
+  "CMakeFiles/bxsoap_xdm.dir/path.cpp.o"
+  "CMakeFiles/bxsoap_xdm.dir/path.cpp.o.d"
+  "libbxsoap_xdm.a"
+  "libbxsoap_xdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_xdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

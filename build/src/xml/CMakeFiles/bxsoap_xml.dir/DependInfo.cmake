@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/escape.cpp" "src/xml/CMakeFiles/bxsoap_xml.dir/escape.cpp.o" "gcc" "src/xml/CMakeFiles/bxsoap_xml.dir/escape.cpp.o.d"
+  "/root/repo/src/xml/parser.cpp" "src/xml/CMakeFiles/bxsoap_xml.dir/parser.cpp.o" "gcc" "src/xml/CMakeFiles/bxsoap_xml.dir/parser.cpp.o.d"
+  "/root/repo/src/xml/retype.cpp" "src/xml/CMakeFiles/bxsoap_xml.dir/retype.cpp.o" "gcc" "src/xml/CMakeFiles/bxsoap_xml.dir/retype.cpp.o.d"
+  "/root/repo/src/xml/writer.cpp" "src/xml/CMakeFiles/bxsoap_xml.dir/writer.cpp.o" "gcc" "src/xml/CMakeFiles/bxsoap_xml.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xdm/CMakeFiles/bxsoap_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bxsoap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_xml.dir/escape.cpp.o"
+  "CMakeFiles/bxsoap_xml.dir/escape.cpp.o.d"
+  "CMakeFiles/bxsoap_xml.dir/parser.cpp.o"
+  "CMakeFiles/bxsoap_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/bxsoap_xml.dir/retype.cpp.o"
+  "CMakeFiles/bxsoap_xml.dir/retype.cpp.o.d"
+  "CMakeFiles/bxsoap_xml.dir/writer.cpp.o"
+  "CMakeFiles/bxsoap_xml.dir/writer.cpp.o.d"
+  "libbxsoap_xml.a"
+  "libbxsoap_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxsoap_xslt.dir/transform.cpp.o"
+  "CMakeFiles/bxsoap_xslt.dir/transform.cpp.o.d"
+  "libbxsoap_xslt.a"
+  "libbxsoap_xslt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxsoap_xslt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bxsoap_xslt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bxsa.dir/bxsa/codec_test.cpp.o"
+  "CMakeFiles/test_bxsa.dir/bxsa/codec_test.cpp.o.d"
+  "CMakeFiles/test_bxsa.dir/bxsa/golden_test.cpp.o"
+  "CMakeFiles/test_bxsa.dir/bxsa/golden_test.cpp.o.d"
+  "CMakeFiles/test_bxsa.dir/bxsa/mapped_test.cpp.o"
+  "CMakeFiles/test_bxsa.dir/bxsa/mapped_test.cpp.o.d"
+  "CMakeFiles/test_bxsa.dir/bxsa/scanner_test.cpp.o"
+  "CMakeFiles/test_bxsa.dir/bxsa/scanner_test.cpp.o.d"
+  "CMakeFiles/test_bxsa.dir/bxsa/stream_reader_test.cpp.o"
+  "CMakeFiles/test_bxsa.dir/bxsa/stream_reader_test.cpp.o.d"
+  "CMakeFiles/test_bxsa.dir/bxsa/stream_writer_test.cpp.o"
+  "CMakeFiles/test_bxsa.dir/bxsa/stream_writer_test.cpp.o.d"
+  "CMakeFiles/test_bxsa.dir/bxsa/three_sources_test.cpp.o"
+  "CMakeFiles/test_bxsa.dir/bxsa/three_sources_test.cpp.o.d"
+  "CMakeFiles/test_bxsa.dir/bxsa/transcode_test.cpp.o"
+  "CMakeFiles/test_bxsa.dir/bxsa/transcode_test.cpp.o.d"
+  "CMakeFiles/test_bxsa.dir/bxsa/validate_test.cpp.o"
+  "CMakeFiles/test_bxsa.dir/bxsa/validate_test.cpp.o.d"
+  "test_bxsa"
+  "test_bxsa.pdb"
+  "test_bxsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bxsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/base64_test.cpp" "tests/CMakeFiles/test_common.dir/common/base64_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/base64_test.cpp.o.d"
+  "/root/repo/tests/common/buffer_test.cpp" "tests/CMakeFiles/test_common.dir/common/buffer_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/buffer_test.cpp.o.d"
+  "/root/repo/tests/common/endian_test.cpp" "tests/CMakeFiles/test_common.dir/common/endian_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/endian_test.cpp.o.d"
+  "/root/repo/tests/common/hex_test.cpp" "tests/CMakeFiles/test_common.dir/common/hex_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/hex_test.cpp.o.d"
+  "/root/repo/tests/common/lzss_test.cpp" "tests/CMakeFiles/test_common.dir/common/lzss_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/lzss_test.cpp.o.d"
+  "/root/repo/tests/common/numeric_text_test.cpp" "tests/CMakeFiles/test_common.dir/common/numeric_text_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/numeric_text_test.cpp.o.d"
+  "/root/repo/tests/common/vls_test.cpp" "tests/CMakeFiles/test_common.dir/common/vls_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/vls_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bxsoap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/base64_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/base64_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/buffer_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/buffer_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/endian_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/endian_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/hex_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/hex_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/lzss_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/lzss_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/numeric_text_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/numeric_text_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/vls_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/vls_test.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

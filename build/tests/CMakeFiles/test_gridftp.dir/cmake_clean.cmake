@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gridftp.dir/gridftp/gridftp_test.cpp.o"
+  "CMakeFiles/test_gridftp.dir/gridftp/gridftp_test.cpp.o.d"
+  "test_gridftp"
+  "test_gridftp.pdb"
+  "test_gridftp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gridftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

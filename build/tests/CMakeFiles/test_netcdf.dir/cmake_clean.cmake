@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netcdf.dir/netcdf/netcdf_property_test.cpp.o"
+  "CMakeFiles/test_netcdf.dir/netcdf/netcdf_property_test.cpp.o.d"
+  "CMakeFiles/test_netcdf.dir/netcdf/netcdf_test.cpp.o"
+  "CMakeFiles/test_netcdf.dir/netcdf/netcdf_test.cpp.o.d"
+  "test_netcdf"
+  "test_netcdf.pdb"
+  "test_netcdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netcdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

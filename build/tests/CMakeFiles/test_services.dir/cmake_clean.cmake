@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_services.dir/services/descriptor_test.cpp.o"
+  "CMakeFiles/test_services.dir/services/descriptor_test.cpp.o.d"
+  "CMakeFiles/test_services.dir/services/eventing_test.cpp.o"
+  "CMakeFiles/test_services.dir/services/eventing_test.cpp.o.d"
+  "CMakeFiles/test_services.dir/services/schemes_test.cpp.o"
+  "CMakeFiles/test_services.dir/services/schemes_test.cpp.o.d"
+  "test_services"
+  "test_services.pdb"
+  "test_services[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

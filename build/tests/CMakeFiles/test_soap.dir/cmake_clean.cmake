@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soap.dir/soap/combo_property_test.cpp.o"
+  "CMakeFiles/test_soap.dir/soap/combo_property_test.cpp.o.d"
+  "CMakeFiles/test_soap.dir/soap/compressed_test.cpp.o"
+  "CMakeFiles/test_soap.dir/soap/compressed_test.cpp.o.d"
+  "CMakeFiles/test_soap.dir/soap/engine_test.cpp.o"
+  "CMakeFiles/test_soap.dir/soap/engine_test.cpp.o.d"
+  "CMakeFiles/test_soap.dir/soap/envelope_test.cpp.o"
+  "CMakeFiles/test_soap.dir/soap/envelope_test.cpp.o.d"
+  "test_soap"
+  "test_soap.pdb"
+  "test_soap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport.dir/transport/binding_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/binding_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/http_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/http_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/server_pool_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/server_pool_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/socket_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/socket_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/spool_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/spool_test.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/striped_test.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/striped_test.cpp.o.d"
+  "test_transport"
+  "test_transport.pdb"
+  "test_transport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

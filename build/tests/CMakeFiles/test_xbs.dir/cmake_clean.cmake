@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xbs.dir/xbs/xbs_test.cpp.o"
+  "CMakeFiles/test_xbs.dir/xbs/xbs_test.cpp.o.d"
+  "test_xbs"
+  "test_xbs.pdb"
+  "test_xbs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

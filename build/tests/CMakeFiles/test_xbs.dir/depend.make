@@ -1,0 +1,2 @@
+# Empty dependencies file for test_xbs.
+# This may be replaced when dependencies are built.

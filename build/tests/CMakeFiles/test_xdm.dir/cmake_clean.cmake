@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xdm.dir/xdm/access_test.cpp.o"
+  "CMakeFiles/test_xdm.dir/xdm/access_test.cpp.o.d"
+  "CMakeFiles/test_xdm.dir/xdm/atom_test.cpp.o"
+  "CMakeFiles/test_xdm.dir/xdm/atom_test.cpp.o.d"
+  "CMakeFiles/test_xdm.dir/xdm/databind_test.cpp.o"
+  "CMakeFiles/test_xdm.dir/xdm/databind_test.cpp.o.d"
+  "CMakeFiles/test_xdm.dir/xdm/equal_test.cpp.o"
+  "CMakeFiles/test_xdm.dir/xdm/equal_test.cpp.o.d"
+  "CMakeFiles/test_xdm.dir/xdm/node_test.cpp.o"
+  "CMakeFiles/test_xdm.dir/xdm/node_test.cpp.o.d"
+  "CMakeFiles/test_xdm.dir/xdm/path_test.cpp.o"
+  "CMakeFiles/test_xdm.dir/xdm/path_test.cpp.o.d"
+  "test_xdm"
+  "test_xdm.pdb"
+  "test_xdm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xml/escape_test.cpp" "tests/CMakeFiles/test_xml.dir/xml/escape_test.cpp.o" "gcc" "tests/CMakeFiles/test_xml.dir/xml/escape_test.cpp.o.d"
+  "/root/repo/tests/xml/fuzz_test.cpp" "tests/CMakeFiles/test_xml.dir/xml/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_xml.dir/xml/fuzz_test.cpp.o.d"
+  "/root/repo/tests/xml/parser_test.cpp" "tests/CMakeFiles/test_xml.dir/xml/parser_test.cpp.o" "gcc" "tests/CMakeFiles/test_xml.dir/xml/parser_test.cpp.o.d"
+  "/root/repo/tests/xml/retype_test.cpp" "tests/CMakeFiles/test_xml.dir/xml/retype_test.cpp.o" "gcc" "tests/CMakeFiles/test_xml.dir/xml/retype_test.cpp.o.d"
+  "/root/repo/tests/xml/writer_test.cpp" "tests/CMakeFiles/test_xml.dir/xml/writer_test.cpp.o" "gcc" "tests/CMakeFiles/test_xml.dir/xml/writer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/bxsoap_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdm/CMakeFiles/bxsoap_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bxsoap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

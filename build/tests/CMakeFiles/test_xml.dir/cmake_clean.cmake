@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml.dir/xml/escape_test.cpp.o"
+  "CMakeFiles/test_xml.dir/xml/escape_test.cpp.o.d"
+  "CMakeFiles/test_xml.dir/xml/fuzz_test.cpp.o"
+  "CMakeFiles/test_xml.dir/xml/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_xml.dir/xml/parser_test.cpp.o"
+  "CMakeFiles/test_xml.dir/xml/parser_test.cpp.o.d"
+  "CMakeFiles/test_xml.dir/xml/retype_test.cpp.o"
+  "CMakeFiles/test_xml.dir/xml/retype_test.cpp.o.d"
+  "CMakeFiles/test_xml.dir/xml/writer_test.cpp.o"
+  "CMakeFiles/test_xml.dir/xml/writer_test.cpp.o.d"
+  "test_xml"
+  "test_xml.pdb"
+  "test_xml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

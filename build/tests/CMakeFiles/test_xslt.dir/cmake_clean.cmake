@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xslt.dir/xslt/transform_test.cpp.o"
+  "CMakeFiles/test_xslt.dir/xslt/transform_test.cpp.o.d"
+  "test_xslt"
+  "test_xslt.pdb"
+  "test_xslt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xslt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
