@@ -7,10 +7,14 @@
 // binding, where transport cost is near zero and dispatch overhead shows.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <thread>
 
+#include "bench/harness.hpp"
+#include "obs/observer.hpp"
 #include "soap/any_engine.hpp"
 #include "soap/engine.hpp"
+#include "transport/bindings.hpp"
 #include "transport/inmemory.hpp"
 
 using namespace bxsoap;
@@ -51,6 +55,35 @@ void BM_StaticEngineRoundTrip(benchmark::State& state) {
   service.join();
 }
 BENCHMARK(BM_StaticEngineRoundTrip);
+
+// Same round trip with the MetricsObserver policy: the cost of full
+// per-stage instrumentation relative to the NullObserver default above.
+void BM_ObservedEngineRoundTrip(benchmark::State& state) {
+  obs::Registry registry;
+  auto [client_end, server_end] = InMemoryBinding::make_pair();
+  SoapEngine<BxsaEncoding, InMemoryBinding, NoSecurity, obs::MetricsObserver>
+      client({}, std::move(client_end), {},
+             obs::MetricsObserver(registry, "client"));
+  SoapEngine<BxsaEncoding, InMemoryBinding> server({}, std::move(server_end));
+
+  std::atomic<bool> stop{false};
+  std::thread service([&] {
+    try {
+      while (!stop.load()) server.serve_once(echo);
+    } catch (const TransportError&) {
+    }
+  });
+
+  const SoapEnvelope req = tiny_request();
+  for (auto _ : state) {
+    SoapEnvelope resp = client.call(req);
+    benchmark::DoNotOptimize(resp.body_payload());
+  }
+  stop.store(true);
+  client.binding().close();  // unblock the server
+  service.join();
+}
+BENCHMARK(BM_ObservedEngineRoundTrip);
 
 void BM_VirtualEngineRoundTrip(benchmark::State& state) {
   auto [client_end, server_end] = InMemoryBinding::make_pair();
@@ -103,6 +136,69 @@ void BM_VirtualEncodePolicy(benchmark::State& state) {
 }
 BENCHMARK(BM_VirtualEncodePolicy);
 
+// ---- per-stage breakdown dump ----------------------------------------------
+//
+// After the ablation numbers, run every Encoding x Binding stack of the
+// paper over real sockets with MetricsObserver on both ends and persist
+// the registry snapshot as BENCH_ablation_engine.json. This is the
+// machine-readable companion to the stdout table: per-stage latency
+// histograms (serialize/send/receive/deserialize/handler/security),
+// payload byte counters and exchange counts for each stack.
+template <typename Encoding, typename ClientBinding, typename ServerBinding>
+void run_observed_stack(obs::Registry& registry, const std::string& prefix) {
+  constexpr int kCalls = 50;
+  ServerBinding server_binding;
+  const std::uint16_t port = server_binding.port();
+  SoapEngine<Encoding, ServerBinding, NoSecurity, obs::MetricsObserver>
+      server({}, std::move(server_binding), {},
+             obs::MetricsObserver(registry, prefix + ".server"));
+  std::thread service([&server] {
+    for (int i = 0; i < kCalls; ++i) server.serve_once(echo);
+  });
+  SoapEngine<Encoding, ClientBinding, NoSecurity, obs::MetricsObserver>
+      client({}, ClientBinding(port), {},
+             obs::MetricsObserver(registry, prefix + ".client"));
+  const SoapEnvelope req = tiny_request();
+  for (int i = 0; i < kCalls; ++i) {
+    SoapEnvelope resp = client.call(req);
+    benchmark::DoNotOptimize(resp.body_payload());
+  }
+  service.join();
+}
+
+void dump_stage_breakdown() {
+  using transport::HttpClientBinding;
+  using transport::HttpServerBinding;
+  using transport::TcpClientBinding;
+  using transport::TcpServerBinding;
+
+  obs::Registry registry;
+  run_observed_stack<BxsaEncoding, TcpClientBinding, TcpServerBinding>(
+      registry, "bxsa_tcp");
+  run_observed_stack<BxsaEncoding, HttpClientBinding, HttpServerBinding>(
+      registry, "bxsa_http");
+  run_observed_stack<XmlEncoding, TcpClientBinding, TcpServerBinding>(
+      registry, "xml_tcp");
+  run_observed_stack<XmlEncoding, HttpClientBinding, HttpServerBinding>(
+      registry, "xml_http");
+
+  const std::string path =
+      bench::dump_registry_snapshot(registry, "ablation_engine");
+  if (path.empty()) {
+    std::fprintf(stderr, "could not write BENCH_ablation_engine.json\n");
+  } else {
+    std::printf("per-stage breakdown (4 stacks x 50 calls): %s\n",
+                path.c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dump_stage_breakdown();
+  return 0;
+}

@@ -12,7 +12,26 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace bxsoap::bench {
+
+/// Write a metrics-registry snapshot next to the bench's stdout table:
+/// BENCH_<name>.json in the working directory. This is how the ablation
+/// benches persist their per-stage breakdown (stage histograms, io and
+/// codec tallies) in a form scripts can diff across runs. Returns the
+/// file name, or "" if the file could not be written.
+inline std::string dump_registry_snapshot(const obs::Registry& registry,
+                                          const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  const std::string json = registry.to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return path;
+}
 
 /// Seconds per invocation of `op`, repeated until at least `min_time`
 /// seconds total (minimum one run, so very slow ops are timed once).

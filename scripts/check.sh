@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + full test suite, then the same suite under
+# AddressSanitizer + UBSan (the asan-ubsan preset in CMakePresets.json).
+#
+#   scripts/check.sh          # default build + tests + ASan/UBSan run
+#   scripts/check.sh --fast   # default build + tests only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== configure + build (default preset) =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+
+echo "== ctest (default preset) =="
+ctest --preset default -j "$jobs"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "check.sh: fast mode, skipping sanitizer pass"
+  exit 0
+fi
+
+echo "== configure + build (asan-ubsan preset) =="
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan -j "$jobs"
+
+echo "== ctest (asan-ubsan preset) =="
+ctest --preset asan-ubsan -j "$jobs"
+
+echo "check.sh: all green"

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "bxsa/frame.hpp"
+#include "obs/metrics.hpp"
 #include "xbs/xbs.hpp"
 
 namespace bxsoap::bxsa {
@@ -17,7 +18,8 @@ constexpr std::size_t kMaxFrameDepth = 1024;
 
 class Decoder {
  public:
-  explicit Decoder(std::span<const std::uint8_t> bytes) : r_(bytes) {}
+  Decoder(std::span<const std::uint8_t> bytes, obs::CodecStats* stats)
+      : r_(bytes), stats_(stats) {}
 
   NodePtr read_node() {
     if (++depth_guard_ > kMaxFrameDepth) {
@@ -25,6 +27,9 @@ class Decoder {
                         std::to_string(kMaxFrameDepth));
     }
     const FramePrefix prefix = parse_prefix_byte(r_.get_u8());
+    if (stats_ != nullptr) {
+      stats_->frames_by_type[static_cast<std::size_t>(prefix.type)].add();
+    }
     const std::uint64_t body = r_.get_vls();
     if (body > r_.remaining()) {
       throw DecodeError("frame size " + std::to_string(body) +
@@ -281,12 +286,13 @@ class Decoder {
   xbs::Reader r_;
   std::vector<std::vector<NamespaceDecl>> ns_stack_;
   std::size_t depth_guard_ = 0;
+  obs::CodecStats* stats_;
 };
 
 }  // namespace
 
-NodePtr decode(std::span<const std::uint8_t> bytes) {
-  Decoder d(bytes);
+NodePtr decode(std::span<const std::uint8_t> bytes, obs::CodecStats* stats) {
+  Decoder d(bytes, stats);
   NodePtr node = d.read_node();
   if (!d.at_end()) {
     throw DecodeError("trailing bytes after the top-level frame");
@@ -294,8 +300,9 @@ NodePtr decode(std::span<const std::uint8_t> bytes) {
   return node;
 }
 
-DocumentPtr decode_document(std::span<const std::uint8_t> bytes) {
-  NodePtr node = decode(bytes);
+DocumentPtr decode_document(std::span<const std::uint8_t> bytes,
+                            obs::CodecStats* stats) {
+  NodePtr node = decode(bytes, stats);
   if (node->kind() != NodeKind::kDocument) {
     throw DecodeError("top-level frame is not a Document frame");
   }

@@ -6,14 +6,21 @@
 
 #include "xdm/node.hpp"
 
+namespace bxsoap::obs {
+struct CodecStats;
+}
+
 namespace bxsoap::bxsa {
 
 /// Decode one frame sequence starting at the beginning of `bytes` (offset 0
 /// is the alignment origin). Returns the node for the first frame; trailing
-/// bytes after it are an error.
-xdm::NodePtr decode(std::span<const std::uint8_t> bytes);
+/// bytes after it are an error. `stats` (obs/metrics.hpp) optionally
+/// tallies frames read by type.
+xdm::NodePtr decode(std::span<const std::uint8_t> bytes,
+                    obs::CodecStats* stats = nullptr);
 
 /// Like decode() but requires the top frame to be a Document.
-xdm::DocumentPtr decode_document(std::span<const std::uint8_t> bytes);
+xdm::DocumentPtr decode_document(std::span<const std::uint8_t> bytes,
+                                 obs::CodecStats* stats = nullptr);
 
 }  // namespace bxsoap::bxsa

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "bxsa/frame.hpp"
+#include "obs/metrics.hpp"
 #include "xbs/xbs.hpp"
 
 namespace bxsoap::bxsa {
@@ -53,7 +54,8 @@ std::size_t scalar_value_size(const ScalarValue& v) {
 
 class Encoder final : public NodeVisitor {
  public:
-  explicit Encoder(ByteOrder order) : order_(order), w_(order) {}
+  explicit Encoder(ByteOrder order, obs::CodecStats* stats)
+      : order_(order), w_(order), stats_(stats) {}
 
   std::vector<std::uint8_t> take() { return w_.take(); }
 
@@ -80,6 +82,7 @@ class Encoder final : public NodeVisitor {
     const std::size_t body =
         header_size(e, plan) + 1 + scalar_value_size(value);
 
+    count_frame(FrameType::kLeafElement);
     w_.put_u8(make_prefix_byte(FrameType::kLeafElement, order_));
     w_.put_vls(body);
     emit_header(e, plan);
@@ -110,6 +113,7 @@ class Encoder final : public NodeVisitor {
   void visit(const PINode& pi) override {
     const std::size_t body =
         string_field_size(pi.target()) + string_field_size(pi.data());
+    count_frame(FrameType::kPI);
     w_.put_u8(make_prefix_byte(FrameType::kPI, order_));
     w_.put_vls(body);
     w_.put_string(pi.target());
@@ -123,6 +127,7 @@ class Encoder final : public NodeVisitor {
   class BackpatchedFrame {
    public:
     BackpatchedFrame(Encoder& enc, FrameType type) : enc_(enc) {
+      enc_.count_frame(type);
       enc_.w_.put_u8(make_prefix_byte(type, enc_.order_));
       size_pos_ = enc_.w_.offset();
       enc_.w_.raw_writer().write_padding(kSizeFieldWidth);
@@ -141,6 +146,7 @@ class Encoder final : public NodeVisitor {
   };
 
   void put_string_frame(FrameType type, const std::string& s) {
+    count_frame(type);
     w_.put_u8(make_prefix_byte(type, order_));
     w_.put_vls(string_field_size(s));
     w_.put_string(s);
@@ -169,8 +175,15 @@ class Encoder final : public NodeVisitor {
       return std::nullopt;
     };
 
-    if (auto r = search(/*exact=*/true)) return *r;
-    if (auto r = search(/*exact=*/false)) return *r;
+    if (auto r = search(/*exact=*/true)) {
+      count_symtab(/*hit=*/true);
+      return *r;
+    }
+    if (auto r = search(/*exact=*/false)) {
+      count_symtab(/*hit=*/true);
+      return *r;
+    }
+    count_symtab(/*hit=*/false);
     own_table.push_back({q.prefix, q.namespace_uri});
     return {1, own_table.size() - 1};
   }
@@ -289,15 +302,28 @@ class Encoder final : public NodeVisitor {
         std::span<const T>(reinterpret_cast<const T*>(bytes.data()), count));
   }
 
+  void count_frame(FrameType type) {
+    if (stats_ != nullptr) {
+      stats_->frames_by_type[static_cast<std::size_t>(type)].add();
+    }
+  }
+
+  void count_symtab(bool hit) {
+    if (stats_ != nullptr) {
+      (hit ? stats_->symtab_hits : stats_->symtab_auto_decls).add();
+    }
+  }
+
   ByteOrder order_;
   xbs::Writer w_;
   std::vector<std::vector<NamespaceDecl>> ns_stack_;
+  obs::CodecStats* stats_;
 };
 
 }  // namespace
 
 std::vector<std::uint8_t> encode(const Node& node, const EncodeOptions& opt) {
-  Encoder enc(opt.order);
+  Encoder enc(opt.order, opt.stats);
   node.accept(enc);
   return enc.take();
 }

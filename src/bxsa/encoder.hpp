@@ -7,12 +7,19 @@
 #include "common/endian.hpp"
 #include "xdm/node.hpp"
 
+namespace bxsoap::obs {
+struct CodecStats;
+}
+
 namespace bxsoap::bxsa {
 
 struct EncodeOptions {
   /// Byte order written into every frame (the host's by default, so array
   /// payloads need no swapping on either side of a same-order exchange).
   ByteOrder order = host_byte_order();
+  /// Optional codec tallies (obs/metrics.hpp): frames emitted by type,
+  /// symbol-table hit/auto-declaration counts. Null = no accounting.
+  obs::CodecStats* stats = nullptr;
 };
 
 /// Encode a whole document (or any single node) as a BXSA frame sequence.

@@ -1,0 +1,186 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace bxsoap::obs {
+
+void Histogram::record(std::uint64_t v) noexcept {
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::quantile_upper_bound(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  // Rank of the q-quantile, 1-based, clamped into [1, n].
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= rank) {
+      // Upper edge of bucket i: largest value with bit_width == i.
+      return i == 0 ? 0 : (i >= 64 ? ~0ull : (1ull << i) - 1);
+    }
+  }
+  return max();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return histograms_[name];
+}
+
+IoStats& Registry::io(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return io_[name];
+}
+
+CodecStats& Registry::codec(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return codec_[name];
+}
+
+namespace {
+
+/// JSON names for CodecStats::frames_by_type slots (bxsa::FrameType codes).
+constexpr std::string_view kFrameTypeNames[CodecStats::kFrameTypeSlots] = {
+    "unused",     "document", "component_element", "leaf_element",
+    "array_element", "character_data", "pi",        "comment",
+};
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_key(std::string& out, std::string_view name) {
+  out += '"';
+  append_escaped(out, name);
+  out += "\":";
+}
+
+template <typename Map, typename Fn>
+void append_object(std::string& out, std::string_view section, const Map& map,
+                   Fn&& emit_value) {
+  append_key(out, section);
+  out += '{';
+  bool first = true;
+  for (const auto& [name, metric] : map) {
+    if (!first) out += ',';
+    first = false;
+    append_key(out, name);
+    emit_value(out, metric);
+  }
+  out += '}';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_histogram(std::string& out, const Histogram& h) {
+  const std::uint64_t n = h.count();
+  out += "{\"count\":";
+  append_u64(out, n);
+  out += ",\"sum\":";
+  append_u64(out, h.sum());
+  out += ",\"mean\":";
+  append_u64(out, n == 0 ? 0 : h.sum() / n);
+  out += ",\"max\":";
+  append_u64(out, h.max());
+  out += ",\"p50\":";
+  append_u64(out, h.quantile_upper_bound(0.50));
+  out += ",\"p95\":";
+  append_u64(out, h.quantile_upper_bound(0.95));
+  out += ",\"p99\":";
+  append_u64(out, h.quantile_upper_bound(0.99));
+  out += '}';
+}
+
+void append_io(std::string& out, const IoStats& io) {
+  out += "{\"bytes_in\":";
+  append_u64(out, io.bytes_in.value());
+  out += ",\"bytes_out\":";
+  append_u64(out, io.bytes_out.value());
+  out += ",\"read_calls\":";
+  append_u64(out, io.read_calls.value());
+  out += ",\"write_calls\":";
+  append_u64(out, io.write_calls.value());
+  out += '}';
+}
+
+void append_codec(std::string& out, const CodecStats& c) {
+  out += "{\"frames\":{";
+  bool first = true;
+  for (std::size_t i = 1; i < CodecStats::kFrameTypeSlots; ++i) {
+    if (!first) out += ',';
+    first = false;
+    append_key(out, kFrameTypeNames[i]);
+    append_u64(out, c.frames_by_type[i].value());
+  }
+  out += "},\"symtab_hits\":";
+  append_u64(out, c.symtab_hits.value());
+  out += ",\"symtab_auto_decls\":";
+  append_u64(out, c.symtab_auto_decls.value());
+  out += '}';
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::lock_guard lock(mu_);
+  std::string out = "{";
+  append_object(out, "counters", counters_,
+                [](std::string& o, const Counter& c) {
+                  append_u64(o, c.value());
+                });
+  out += ',';
+  append_object(out, "gauges", gauges_, [](std::string& o, const Gauge& g) {
+    o += std::to_string(g.value());
+  });
+  out += ',';
+  append_object(out, "histograms", histograms_,
+                [](std::string& o, const Histogram& h) {
+                  append_histogram(o, h);
+                });
+  out += ',';
+  append_object(out, "io", io_, [](std::string& o, const IoStats& io) {
+    append_io(o, io);
+  });
+  out += ',';
+  append_object(out, "codec", codec_, [](std::string& o, const CodecStats& c) {
+    append_codec(o, c);
+  });
+  out += '}';
+  return out;
+}
+
+}  // namespace bxsoap::obs

@@ -1,0 +1,154 @@
+// ObserverPolicy — the fourth engine policy.
+//
+//   SoapEngine<Encoding, Binding, Security, Observer = NullObserver>
+//
+// An observer sees every stage of a message exchange (how long it took,
+// how many bytes moved) plus exchange/fault counts. Like the other
+// policies it binds at COMPILE time: NullObserver is the default and
+// compiles to nothing — its hooks are empty inlines and StageTimer<
+// NullObserver> never reads the clock — so an unobserved engine is
+// bit-for-bit the engine this repo always had. MetricsObserver records
+// into a Registry (obs/metrics.hpp) whose JSON snapshot gives the
+// per-stage breakdown the paper's §6 analysis is built on.
+#pragma once
+
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace bxsoap::obs {
+
+/// The stages of one message exchange, client or server side. A stack's
+/// end-to-end latency decomposes into these (plus wire time).
+enum class Stage : std::uint8_t {
+  kSerialize,    // bXDM document -> payload octets (encoding policy)
+  kFrameWrite,   // payload octets -> framed/striped bytes on the socket
+  kSend,         // whole binding send operation
+  kReceive,      // whole binding receive operation (includes blocking)
+  kFrameRead,    // framed/striped bytes off the socket -> payload octets
+  kDeserialize,  // payload octets -> bXDM document (encoding policy)
+  kHandler,      // application handler dispatch
+  kSecurity,     // security policy apply/verify
+};
+
+inline constexpr std::size_t kStageCount = 8;
+
+constexpr std::string_view stage_name(Stage s) noexcept {
+  constexpr std::string_view names[kStageCount] = {
+      "serialize", "frame_write", "send",    "receive",
+      "frame_read", "deserialize", "handler", "security",
+  };
+  return names[static_cast<std::size_t>(s)];
+}
+
+template <typename O>
+concept ObserverPolicy = requires(O& o, Stage s, std::uint64_t n) {
+  { O::kEnabled } -> std::convertible_to<bool>;
+  { o.stage_ns(s, n) } -> std::same_as<void>;
+  { o.stage_bytes(s, n) } -> std::same_as<void>;
+  { o.count_exchange() } -> std::same_as<void>;
+  { o.count_fault() } -> std::same_as<void>;
+};
+
+/// The default: observe nothing, cost nothing.
+class NullObserver {
+ public:
+  static constexpr bool kEnabled = false;
+
+  void stage_ns(Stage, std::uint64_t) noexcept {}
+  void stage_bytes(Stage, std::uint64_t) noexcept {}
+  void count_exchange() noexcept {}
+  void count_fault() noexcept {}
+};
+
+/// Records into a Registry under a name prefix:
+///
+///   <prefix>.stage.<stage>.ns      latency histogram per stage
+///   <prefix>.stage.<stage>.bytes   bytes through the payload stages
+///   <prefix>.exchanges             completed exchanges
+///   <prefix>.faults                fault envelopes produced/seen
+///
+/// Metric references are resolved once at construction; recording is a
+/// couple of relaxed atomic adds. Copyable (copies share the metrics).
+/// A default-constructed MetricsObserver is detached and records nowhere
+/// — one predictable branch per hook — so runtime components (the server
+/// pool) can hold one unconditionally.
+class MetricsObserver {
+ public:
+  static constexpr bool kEnabled = true;
+
+  MetricsObserver() = default;
+
+  MetricsObserver(Registry& registry, const std::string& prefix) {
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      const std::string base =
+          prefix + ".stage." + std::string(stage_name(static_cast<Stage>(i)));
+      stage_ns_[i] = &registry.histogram(base + ".ns");
+      stage_bytes_[i] = &registry.counter(base + ".bytes");
+    }
+    exchanges_ = &registry.counter(prefix + ".exchanges");
+    faults_ = &registry.counter(prefix + ".faults");
+  }
+
+  bool attached() const noexcept { return exchanges_ != nullptr; }
+
+  void stage_ns(Stage s, std::uint64_t ns) noexcept {
+    if (auto* h = stage_ns_[static_cast<std::size_t>(s)]) h->record(ns);
+  }
+  void stage_bytes(Stage s, std::uint64_t bytes) noexcept {
+    if (auto* c = stage_bytes_[static_cast<std::size_t>(s)]) c->add(bytes);
+  }
+  void count_exchange() noexcept {
+    if (exchanges_ != nullptr) exchanges_->add();
+  }
+  void count_fault() noexcept {
+    if (faults_ != nullptr) faults_->add();
+  }
+
+ private:
+  Histogram* stage_ns_[kStageCount]{};
+  Counter* stage_bytes_[kStageCount]{};
+  Counter* exchanges_ = nullptr;
+  Counter* faults_ = nullptr;
+};
+
+static_assert(ObserverPolicy<NullObserver>);
+static_assert(ObserverPolicy<MetricsObserver>);
+
+/// RAII stage timer: reads the clock on entry and reports elapsed ns to
+/// the observer on scope exit.
+template <ObserverPolicy Observer>
+class StageTimer {
+ public:
+  StageTimer(Observer& obs, Stage stage) noexcept
+      : obs_(obs), stage_(stage), start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    obs_.stage_ns(stage_, static_cast<std::uint64_t>(
+                              std::chrono::duration_cast<
+                                  std::chrono::nanoseconds>(elapsed)
+                                  .count()));
+  }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  Observer& obs_;
+  Stage stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// NullObserver never touches the clock: the timer is an empty object the
+/// optimizer erases, keeping the default engine's codegen identical.
+template <>
+class StageTimer<NullObserver> {
+ public:
+  StageTimer(NullObserver&, Stage) noexcept {}
+};
+
+}  // namespace bxsoap::obs

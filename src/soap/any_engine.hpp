@@ -20,19 +20,27 @@ namespace bxsoap::soap {
 class AnyEncoding {
  public:
   virtual ~AnyEncoding() = default;
-  virtual std::string content_type() const = 0;
+  /// The single source of the media type: a view of the policy's static
+  /// string, valid for the program's lifetime. Consumers (framing, HTTP
+  /// headers) take the view; nothing re-derives or re-copies it per
+  /// message.
+  virtual std::string_view content_type() const = 0;
   virtual std::vector<std::uint8_t> serialize(
       const xdm::Document& doc) const = 0;
   virtual xdm::DocumentPtr deserialize(
       std::span<const std::uint8_t> bytes) const = 0;
+
+  /// Forward codec tallies to the wrapped policy when it supports them
+  /// (BxsaEncoding does); a no-op for encodings with nothing to count.
+  virtual void set_codec_stats(obs::CodecStats*) {}
 
   /// Type-erase any static encoding policy.
   template <EncodingPolicy E>
   static std::unique_ptr<AnyEncoding> from(E enc) {
     struct Model final : AnyEncoding {
       explicit Model(E e) : enc(std::move(e)) {}
-      std::string content_type() const override {
-        return std::string(E::content_type());
+      std::string_view content_type() const override {
+        return E::content_type();
       }
       std::vector<std::uint8_t> serialize(
           const xdm::Document& doc) const override {
@@ -41,6 +49,11 @@ class AnyEncoding {
       xdm::DocumentPtr deserialize(
           std::span<const std::uint8_t> bytes) const override {
         return enc.deserialize(bytes);
+      }
+      void set_codec_stats(obs::CodecStats* stats) override {
+        if constexpr (requires { enc.set_codec_stats(stats); }) {
+          enc.set_codec_stats(stats);
+        }
       }
       E enc;
     };

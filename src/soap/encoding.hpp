@@ -64,18 +64,24 @@ class BxsaEncoding {
   explicit BxsaEncoding(ByteOrder order = host_byte_order())
       : order_(order) {}
 
+  /// Tally codec work (frames by type, symbol-table hits) into `stats`
+  /// (obs/metrics.hpp, typically Registry::codec("bxsa")). Null detaches.
+  void set_codec_stats(obs::CodecStats* stats) noexcept { stats_ = stats; }
+
   std::vector<std::uint8_t> serialize(const xdm::Document& doc) const {
     bxsa::EncodeOptions opt;
     opt.order = order_;
+    opt.stats = stats_;
     return bxsa::encode(doc, opt);
   }
 
   xdm::DocumentPtr deserialize(std::span<const std::uint8_t> bytes) const {
-    return bxsa::decode_document(bytes);
+    return bxsa::decode_document(bytes, stats_);
   }
 
  private:
   ByteOrder order_;
+  obs::CodecStats* stats_ = nullptr;
 };
 
 static_assert(EncodingPolicy<XmlEncoding>);

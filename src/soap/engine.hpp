@@ -12,7 +12,10 @@
 //   SoapEngine<BxsaEncoding, HttpBinding>  ...
 //
 // — all type-check against the same engine, no virtual dispatch on the hot
-// path. A third parameter adds the security policy the paper sketches.
+// path. A third parameter adds the security policy the paper sketches; a
+// fourth adds observability (obs/observer.hpp): NullObserver by default,
+// which compiles to zero instrumentation, or MetricsObserver to get the
+// per-stage timing breakdown the paper's §6 measurements are made of.
 //
 // For the ablation quantifying what compile-time binding buys, see
 // soap/any_engine.hpp, a deliberately virtual twin of this class.
@@ -21,6 +24,7 @@
 #include <functional>
 #include <utility>
 
+#include "obs/observer.hpp"
 #include "soap/binding.hpp"
 #include "soap/encoding.hpp"
 #include "soap/envelope.hpp"
@@ -28,21 +32,26 @@
 
 namespace bxsoap::soap {
 
+using obs::NullObserver;  // the default fourth policy, re-exported
+
 template <EncodingPolicy Encoding, BindingPolicy Binding,
-          SecurityPolicy Security = NoSecurity>
+          SecurityPolicy Security = NoSecurity,
+          obs::ObserverPolicy Observer = NullObserver>
 class SoapEngine {
  public:
   using HandlerFn = std::function<SoapEnvelope(SoapEnvelope)>;
 
   explicit SoapEngine(Encoding encoding = {}, Binding binding = {},
-                      Security security = {})
+                      Security security = {}, Observer observer = {})
       : encoding_(std::move(encoding)),
         binding_(std::move(binding)),
-        security_(std::move(security)) {}
+        security_(std::move(security)),
+        observer_(std::move(observer)) {}
 
   Encoding& encoding() { return encoding_; }
   Binding& binding() { return binding_; }
   Security& security() { return security_; }
+  Observer& observer() { return observer_; }
 
   // ---- client side ----------------------------------------------------------
 
@@ -50,45 +59,77 @@ class SoapEngine {
   /// envelopes; call resp.throw_if_fault() to turn them into exceptions.
   SoapEnvelope call(SoapEnvelope request) {
     send_request(std::move(request));
-    return receive_response();
+    SoapEnvelope response = receive_response();
+    observer_.count_exchange();
+    return response;
   }
 
   /// One-way MEP: fire and forget.
   void send_request(SoapEnvelope request) {
-    security_.apply(request);
-    binding_.send_request(encode(request));
+    {
+      obs::StageTimer<Observer> t(observer_, obs::Stage::kSecurity);
+      security_.apply(request);
+    }
+    WireMessage m = encode(request);
+    obs::StageTimer<Observer> t(observer_, obs::Stage::kSend);
+    binding_.send_request(std::move(m));
   }
 
   SoapEnvelope receive_response() {
-    SoapEnvelope env = decode(binding_.receive_response());
+    WireMessage raw = timed_receive([this] {
+      return binding_.receive_response();
+    });
+    SoapEnvelope env = decode(std::move(raw));
     // Faults are not signed (the fault path must not require the requester's
     // security context); everything else is verified.
-    if (!env.is_fault()) security_.verify(env);
+    if (env.is_fault()) {
+      observer_.count_fault();
+    } else {
+      obs::StageTimer<Observer> t(observer_, obs::Stage::kSecurity);
+      security_.verify(env);
+    }
     return env;
   }
 
   // ---- server side ----------------------------------------------------------
 
   SoapEnvelope receive_request() {
-    SoapEnvelope env = decode(binding_.receive_request());
+    WireMessage raw = timed_receive([this] {
+      return binding_.receive_request();
+    });
+    SoapEnvelope env = decode(std::move(raw));
+    obs::StageTimer<Observer> t(observer_, obs::Stage::kSecurity);
     security_.verify(env);
     return env;
   }
 
   void send_response(SoapEnvelope response) {
-    if (!response.is_fault()) security_.apply(response);
-    binding_.send_response(encode(response));
+    if (response.is_fault()) {
+      observer_.count_fault();
+    } else {
+      obs::StageTimer<Observer> t(observer_, obs::Stage::kSecurity);
+      security_.apply(response);
+    }
+    WireMessage m = encode(response);
+    obs::StageTimer<Observer> t(observer_, obs::Stage::kSend);
+    binding_.send_response(std::move(m));
   }
 
   /// One full server exchange: receive, dispatch, respond. Exceptions from
   /// the handler (and security verification failures) become SOAP faults
   /// rather than crashing the server loop.
   void serve_once(const HandlerFn& handler) {
-    WireMessage raw = binding_.receive_request();
+    WireMessage raw = timed_receive([this] {
+      return binding_.receive_request();
+    });
     SoapEnvelope response = [&]() -> SoapEnvelope {
       try {
         SoapEnvelope request = decode(std::move(raw));
-        security_.verify(request);
+        {
+          obs::StageTimer<Observer> t(observer_, obs::Stage::kSecurity);
+          security_.verify(request);
+        }
+        obs::StageTimer<Observer> t(observer_, obs::Stage::kHandler);
         return handler(std::move(request));
       } catch (const SoapFaultError& e) {
         return SoapEnvelope::make_fault({e.code(), e.reason(), ""});
@@ -97,23 +138,37 @@ class SoapEngine {
       }
     }();
     send_response(std::move(response));
+    observer_.count_exchange();
   }
 
  private:
-  WireMessage encode(const SoapEnvelope& env) const {
+  WireMessage encode(const SoapEnvelope& env) {
     WireMessage m;
     m.content_type = std::string(Encoding::content_type());
-    m.payload = encoding_.serialize(env.document());
+    {
+      obs::StageTimer<Observer> t(observer_, obs::Stage::kSerialize);
+      m.payload = encoding_.serialize(env.document());
+    }
+    observer_.stage_bytes(obs::Stage::kSerialize, m.payload.size());
     return m;
   }
 
-  SoapEnvelope decode(WireMessage m) const {
+  SoapEnvelope decode(WireMessage m) {
+    observer_.stage_bytes(obs::Stage::kDeserialize, m.payload.size());
+    obs::StageTimer<Observer> t(observer_, obs::Stage::kDeserialize);
     return SoapEnvelope(encoding_.deserialize(m.payload));
+  }
+
+  template <typename ReceiveOp>
+  WireMessage timed_receive(ReceiveOp&& op) {
+    obs::StageTimer<Observer> t(observer_, obs::Stage::kReceive);
+    return op();
   }
 
   Encoding encoding_;
   Binding binding_;
   Security security_;
+  Observer observer_;
 };
 
 }  // namespace bxsoap::soap

@@ -47,16 +47,24 @@ class TcpClientBinding {
 
   void close() { stream_.close(); }
 
+  /// Tally this connection's bytes/syscalls into `io` (obs/metrics.hpp).
+  void set_io_stats(obs::IoStats* io) noexcept {
+    io_ = io;
+    stream_.set_io_stats(io);
+  }
+
  private:
   void ensure_connected() {
     if (!stream_.valid()) {
       stream_ = TcpStream::connect(port_);
+      stream_.set_io_stats(io_);
       stream_.set_no_delay(true);
     }
   }
 
   std::uint16_t port_;
   TcpStream stream_;
+  obs::IoStats* io_ = nullptr;
 };
 
 /// Server endpoint of SOAP-over-TCP: accepts one connection at a time and
@@ -78,6 +86,7 @@ class TcpServerBinding {
       std::shared_ptr<TcpStream> conn = state_->current_conn();
       if (conn == nullptr) {
         auto accepted = std::make_shared<TcpStream>(state_->listener.accept());
+        accepted->set_io_stats(state_->io);
         accepted->set_no_delay(true);
         state_->set_conn(accepted);
         conn = std::move(accepted);
@@ -109,11 +118,16 @@ class TcpServerBinding {
     if (auto conn = state_->current_conn()) conn->shutdown_both();
   }
 
+  /// Tally every accepted connection's bytes/syscalls into `io`. Applies
+  /// to connections accepted after the call.
+  void set_io_stats(obs::IoStats* io) noexcept { state_->io = io; }
+
  private:
   struct State {
     TcpListener listener{0};
     std::mutex mu;
     std::shared_ptr<TcpStream> conn;
+    obs::IoStats* io = nullptr;
 
     std::shared_ptr<TcpStream> current_conn() {
       std::lock_guard lock(mu);
@@ -162,6 +176,9 @@ class HttpClientBinding {
     throw TransportError("send_response on a client binding");
   }
 
+  /// Tally each POST connection's bytes/syscalls into `io`.
+  void set_io_stats(obs::IoStats* io) noexcept { client_.set_io_stats(io); }
+
  private:
   HttpClient client_;
   std::string target_;
@@ -179,6 +196,7 @@ class HttpServerBinding {
 
   soap::WireMessage receive_request() {
     auto conn = std::make_shared<TcpStream>(state_->listener.accept());
+    conn->set_io_stats(state_->io);
     conn->set_no_delay(true);
     state_->set_conn(conn);
     HttpRequest req = read_http_request(*conn);
@@ -216,11 +234,15 @@ class HttpServerBinding {
     if (auto conn = state_->current_conn()) conn->shutdown_both();
   }
 
+  /// Tally every accepted connection's bytes/syscalls into `io`.
+  void set_io_stats(obs::IoStats* io) noexcept { state_->io = io; }
+
  private:
   struct State {
     TcpListener listener{0};
     std::mutex mu;
     std::shared_ptr<TcpStream> conn;
+    obs::IoStats* io = nullptr;
 
     std::shared_ptr<TcpStream> current_conn() {
       std::lock_guard lock(mu);

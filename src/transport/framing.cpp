@@ -5,15 +5,20 @@
 
 namespace bxsoap::transport {
 
-void write_frame(TcpStream& stream, const soap::WireMessage& m) {
+void write_frame(TcpStream& stream, std::string_view content_type,
+                 std::span<const std::uint8_t> payload) {
   ByteWriter header;
   header.write_bytes(kFrameMagic, sizeof(kFrameMagic));
   header.write_u8(kFrameVersion);
-  vls_write(header, m.content_type.size());
-  header.write_string(m.content_type);
-  header.write<std::uint64_t>(m.payload.size(), ByteOrder::kBig);
+  vls_write(header, content_type.size());
+  header.write_string(content_type);
+  header.write<std::uint64_t>(payload.size(), ByteOrder::kBig);
   stream.write_all(header.bytes());
-  stream.write_all(m.payload);
+  stream.write_all(payload);
+}
+
+void write_frame(TcpStream& stream, const soap::WireMessage& m) {
+  write_frame(stream, m.content_type, m.payload);
 }
 
 soap::WireMessage read_frame(TcpStream& stream) {

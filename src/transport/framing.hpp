@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string_view>
 
 #include "soap/binding.hpp"
 #include "transport/socket.hpp"
@@ -21,7 +23,11 @@ namespace bxsoap::transport {
 inline constexpr char kFrameMagic[4] = {'B', 'X', 'T', 'P'};
 inline constexpr std::uint8_t kFrameVersion = 1;
 
-/// Write one framed message to the stream.
+/// Write one framed message to the stream. The content type is taken as a
+/// view so callers that hold the encoding policy's static string (e.g.
+/// AnyEncoding::content_type()) pass it straight through with no copy.
+void write_frame(TcpStream& stream, std::string_view content_type,
+                 std::span<const std::uint8_t> payload);
 void write_frame(TcpStream& stream, const soap::WireMessage& m);
 
 /// Read one framed message; throws TransportError on malformed frames or a

@@ -172,6 +172,7 @@ HttpResponse HttpClient::post(std::string target, std::string content_type,
 
 HttpResponse HttpClient::send(HttpRequest req) {
   TcpStream stream = TcpStream::connect(port_);
+  stream.set_io_stats(io_);
   stream.set_no_delay(true);
   write_http_request(stream, req);
   return read_http_response(stream);

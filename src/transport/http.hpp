@@ -60,8 +60,13 @@ class HttpClient {
                     std::vector<std::uint8_t> body);
   HttpResponse send(HttpRequest req);
 
+  /// Tally bytes/syscalls of every request's connection into `io`
+  /// (obs/metrics.hpp). The stats object must outlive the client.
+  void set_io_stats(obs::IoStats* io) noexcept { io_ = io; }
+
  private:
   std::uint16_t port_;
+  obs::IoStats* io_ = nullptr;
 };
 
 /// Threaded accept-loop server: one handler invocation per connection.

@@ -4,11 +4,19 @@
 
 namespace bxsoap::transport {
 
-SoapServerPool::SoapServerPool(std::unique_ptr<soap::AnyEncoding> encoding,
-                               Handler handler)
-    : encoding_(std::move(encoding)),
-      handler_(std::move(handler)),
-      listener_(0) {
+SoapServerPool::SoapServerPool(ServerPoolConfig config)
+    : encoding_(std::move(config.encoding)),
+      handler_(std::move(config.handler)),
+      listener_(config.port, config.backlog) {
+  if (obs::Registry* reg = config.registry) {
+    const std::string& prefix = config.metrics_prefix;
+    obs_ = obs::MetricsObserver(*reg, prefix);
+    io_ = &reg->io(prefix + ".io");
+    active_gauge_ = &reg->gauge(prefix + ".connections.active");
+    unreaped_gauge_ = &reg->gauge(prefix + ".workers.unreaped");
+    accepted_ = &reg->counter(prefix + ".connections.accepted");
+    encoding_->set_codec_stats(&reg->codec(prefix + ".bxsa"));
+  }
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -23,15 +31,28 @@ void SoapServerPool::stop() {
     std::lock_guard lock(conns_mu_);
     for (TcpStream* c : conns_) c->shutdown_both();
   }
-  std::vector<std::thread> workers;
+  std::vector<Worker> workers;
   {
     std::lock_guard lock(workers_mu_);
     workers.swap(workers_);
   }
   for (auto& w : workers) {
-    if (w.joinable()) w.join();
+    if (w.thread.joinable()) w.thread.join();
   }
+  if (unreaped_gauge_ != nullptr) unreaped_gauge_->set(0);
   listener_.close();
+}
+
+/// Join workers whose connection loop has finished. Called with
+/// workers_mu_ held; each join is instant because the done flag is the
+/// worker's final act before returning.
+void SoapServerPool::reap_finished_locked() {
+  std::erase_if(workers_, [this](Worker& w) {
+    if (!w.done->load(std::memory_order_acquire)) return false;
+    if (w.thread.joinable()) w.thread.join();
+    if (unreaped_gauge_ != nullptr) unreaped_gauge_->sub();
+    return true;
+  });
 }
 
 void SoapServerPool::accept_loop() {
@@ -42,13 +63,25 @@ void SoapServerPool::accept_loop() {
     } catch (const TransportError&) {
       break;  // listener shut down
     }
+    if (accepted_ != nullptr) accepted_->add();
     std::lock_guard lock(workers_mu_);
-    workers_.emplace_back(
-        [this, stream = std::move(conn)]() mutable {
+    // A long-lived pool must not accumulate one dead thread per served
+    // connection: reap the finished ones before adding the new worker.
+    reap_finished_locked();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    Worker w;
+    w.done = done;
+    w.thread = std::thread(
+        [this, done, stream = std::move(conn)]() mutable {
           ++active_;
+          if (active_gauge_ != nullptr) active_gauge_->add();
           serve_connection(std::move(stream));
+          if (active_gauge_ != nullptr) active_gauge_->sub();
           --active_;
+          done->store(true, std::memory_order_release);
         });
+    workers_.push_back(std::move(w));
+    if (unreaped_gauge_ != nullptr) unreaped_gauge_->add();
   }
 }
 
@@ -67,13 +100,22 @@ void SoapServerPool::serve_connection(TcpStream stream) {
   } unregister{this, &stream};
 
   try {
+    stream.set_io_stats(io_);
     stream.set_no_delay(true);
     // Serve exchanges until the peer hangs up.
     for (;;) {
-      soap::WireMessage raw = read_frame(stream);
+      soap::WireMessage raw = [&] {
+        obs::StageTimer t(obs_, obs::Stage::kFrameRead);
+        return read_frame(stream);
+      }();
       soap::SoapEnvelope response = [&]() -> soap::SoapEnvelope {
         try {
-          soap::SoapEnvelope request(encoding_->deserialize(raw.payload));
+          soap::SoapEnvelope request = [&] {
+            obs_.stage_bytes(obs::Stage::kDeserialize, raw.payload.size());
+            obs::StageTimer t(obs_, obs::Stage::kDeserialize);
+            return soap::SoapEnvelope(encoding_->deserialize(raw.payload));
+          }();
+          obs::StageTimer t(obs_, obs::Stage::kHandler);
           return handler_(std::move(request));
         } catch (const SoapFaultError& e) {
           return soap::SoapEnvelope::make_fault({e.code(), e.reason(), ""});
@@ -82,13 +124,21 @@ void SoapServerPool::serve_connection(TcpStream stream) {
               {"soap:Server", e.what(), ""});
         }
       }();
-      soap::WireMessage out;
-      out.content_type = encoding_->content_type();
-      out.payload = encoding_->serialize(response.document());
+      if (response.is_fault()) {
+        ++faults_;
+        obs_.count_fault();
+      }
+      const std::vector<std::uint8_t> payload = [&] {
+        obs::StageTimer t(obs_, obs::Stage::kSerialize);
+        return encoding_->serialize(response.document());
+      }();
+      obs_.stage_bytes(obs::Stage::kSerialize, payload.size());
       // Count before the reply bytes leave: a client that has its response
       // must observe the exchange as recorded.
       ++exchanges_;
-      write_frame(stream, out);
+      obs_.count_exchange();
+      obs::StageTimer t(obs_, obs::Stage::kFrameWrite);
+      write_frame(stream, encoding_->content_type(), payload);
     }
   } catch (const TransportError&) {
     // Peer disconnected (normal end of conversation) or stop() shut the

@@ -7,28 +7,57 @@
 // Encoding is type-erased (AnyEncoding) so one pool class serves any
 // policy; per-message cost is one virtual call, which bench_ablation_engine
 // shows is noise.
+//
+// Construction takes a ServerPoolConfig so options grow by field, not by
+// positional argument. Hooking a metrics Registry in gives the full
+// per-stage observability story: stage timers, exchange/fault counters,
+// connection gauges, socket byte/syscall tallies and BXSA codec stats.
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "soap/any_engine.hpp"
 #include "soap/envelope.hpp"
 #include "transport/socket.hpp"
 
 namespace bxsoap::transport {
 
-class SoapServerPool {
- public:
+/// Everything a SoapServerPool needs. Only `encoding` and `handler` are
+/// mandatory; the rest default to the pool's historical behavior.
+struct ServerPoolConfig {
   using Handler = std::function<soap::SoapEnvelope(soap::SoapEnvelope)>;
 
-  /// Starts accepting immediately on an ephemeral port.
-  SoapServerPool(std::unique_ptr<soap::AnyEncoding> encoding,
-                 Handler handler);
+  std::unique_ptr<soap::AnyEncoding> encoding;
+  Handler handler;
+
+  /// Port to listen on; 0 requests a kernel-assigned ephemeral port (read
+  /// it back via SoapServerPool::port()).
+  std::uint16_t port = 0;
+  int backlog = 64;
+
+  /// Observability hook. When set, the pool records under
+  /// "<metrics_prefix>.*": per-stage timings and exchange/fault counts
+  /// (MetricsObserver naming scheme), connections.active /
+  /// workers.unreaped gauges, connections.accepted counter, io.* socket
+  /// tallies, and bxsa.* codec stats if the encoding supports them. The
+  /// registry must outlive the pool. Null = zero instrumentation.
+  obs::Registry* registry = nullptr;
+  std::string metrics_prefix = "pool";
+};
+
+class SoapServerPool {
+ public:
+  using Handler = ServerPoolConfig::Handler;
+
+  /// Starts accepting immediately.
+  explicit SoapServerPool(ServerPoolConfig config);
   ~SoapServerPool();
 
   std::uint16_t port() const noexcept { return listener_.port(); }
@@ -37,24 +66,40 @@ class SoapServerPool {
   std::size_t active_connections() const noexcept { return active_.load(); }
   /// Total exchanges completed since start.
   std::size_t exchanges() const noexcept { return exchanges_.load(); }
+  /// Exchanges whose response was a fault envelope.
+  std::size_t faults() const noexcept { return faults_.load(); }
 
   void stop();
 
  private:
+  struct Worker {
+    std::thread thread;
+    // Set by the worker as its last action; a true flag means join() will
+    // not block, so the accept loop can reap opportunistically.
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void accept_loop();
   void serve_connection(TcpStream stream);
+  void reap_finished_locked();
 
   std::unique_ptr<soap::AnyEncoding> encoding_;
   Handler handler_;
   TcpListener listener_;
+  obs::MetricsObserver obs_;           // detached when no registry is given
+  obs::IoStats* io_ = nullptr;         // per-connection socket tallies
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Gauge* unreaped_gauge_ = nullptr;
+  obs::Counter* accepted_ = nullptr;
   std::thread acceptor_;
   std::mutex workers_mu_;
-  std::vector<std::thread> workers_;
+  std::vector<Worker> workers_;
   std::mutex conns_mu_;
   std::vector<TcpStream*> conns_;  // live connections, for forced shutdown
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> active_{0};
   std::atomic<std::size_t> exchanges_{0};
+  std::atomic<std::size_t> faults_{0};
 };
 
 }  // namespace bxsoap::transport

@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace bxsoap::transport {
 
 namespace {
@@ -72,6 +74,10 @@ void TcpStream::write_all(std::span<const std::uint8_t> data) {
       if (errno == EINTR) continue;
       throw_errno("send");
     }
+    if (io_ != nullptr) {
+      io_->write_calls.add();
+      io_->bytes_out.add(static_cast<std::uint64_t>(n));
+    }
     sent += static_cast<std::size_t>(n);
   }
 }
@@ -97,6 +103,10 @@ std::size_t TcpStream::read_some(std::uint8_t* out, std::size_t n) {
       throw TransportError("read timed out");
     }
     throw_errno("recv");
+  }
+  if (io_ != nullptr) {
+    io_->read_calls.add();
+    io_->bytes_in.add(static_cast<std::uint64_t>(r));
   }
   return static_cast<std::size_t>(r);
 }

@@ -13,6 +13,10 @@
 
 #include "common/error.hpp"
 
+namespace bxsoap::obs {
+struct IoStats;
+}
+
 namespace bxsoap::transport {
 
 /// Transport failures reuse the shared error hierarchy; the alias lets
@@ -78,9 +82,16 @@ class TcpStream {
   /// servers against stalled or malicious peers.
   void set_read_timeout(int ms);
 
+  /// Attach byte/syscall counters (obs/metrics.hpp); every recv/send on
+  /// this stream tallies into them. Pass nullptr to detach. The stats
+  /// object must outlive the stream; unattached streams pay one pointer
+  /// test per syscall.
+  void set_io_stats(obs::IoStats* io) noexcept { io_ = io; }
+
  private:
   Socket sock_;
   std::string pushback_;  // bytes read past a delimiter, served first
+  obs::IoStats* io_ = nullptr;
 };
 
 /// A listening socket on 127.0.0.1 (port 0 = kernel-assigned).

@@ -148,6 +148,7 @@ void StripedClientBinding::ensure_connected() {
   streams.reserve(static_cast<std::size_t>(streams_));
   for (int i = 0; i < streams_; ++i) {
     TcpStream s = TcpStream::connect(port_);
+    s.set_io_stats(io_);
     s.set_no_delay(true);
     std::uint8_t hello[6] = {'B', 'X', 'S', 'P',
                              static_cast<std::uint8_t>(i),
@@ -179,6 +180,7 @@ std::shared_ptr<detail::StripedChannel> StripedServerBinding::ensure_session() {
   std::size_t got = 0;
   do {
     TcpStream s = state_->listener.accept();
+    s.set_io_stats(state_->io);
     s.set_no_delay(true);
     std::uint8_t hello[6];
     s.read_exact(hello, sizeof(hello));

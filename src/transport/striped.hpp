@@ -53,6 +53,11 @@ class StripedChannel {
     for (auto& s : streams_) s.shutdown_both();
   }
 
+  /// Tally all member streams' bytes/syscalls into `io` (obs/metrics.hpp).
+  void set_io_stats(obs::IoStats* io) noexcept {
+    for (auto& s : streams_) s.set_io_stats(io);
+  }
+
  private:
   std::vector<TcpStream> streams_;
 };
@@ -76,12 +81,19 @@ class StripedClientBinding {
 
   void close() { channel_.close(); }
 
+  /// Tally every stripe stream's bytes/syscalls into `io`.
+  void set_io_stats(obs::IoStats* io) noexcept {
+    io_ = io;
+    channel_.set_io_stats(io);
+  }
+
  private:
   void ensure_connected();
 
   std::uint16_t port_;
   int streams_;
   detail::StripedChannel channel_;
+  obs::IoStats* io_ = nullptr;
 };
 
 class StripedServerBinding {
@@ -106,6 +118,10 @@ class StripedServerBinding {
     if (auto ch = state_->current()) ch->shutdown();
   }
 
+  /// Tally every accepted session's bytes/syscalls into `io`. Applies to
+  /// sessions established after the call.
+  void set_io_stats(obs::IoStats* io) noexcept { state_->io = io; }
+
  private:
   std::shared_ptr<detail::StripedChannel> ensure_session();
 
@@ -113,6 +129,7 @@ class StripedServerBinding {
     TcpListener listener{0};
     std::mutex mu;
     std::shared_ptr<detail::StripedChannel> channel;
+    obs::IoStats* io = nullptr;
 
     std::shared_ptr<detail::StripedChannel> current() {
       std::lock_guard lock(mu);

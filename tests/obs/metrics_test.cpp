@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace bxsoap::obs {
+namespace {
+
+TEST(Counter, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TracksLevel) {
+  Gauge g;
+  g.add(5);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 3);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST(Histogram, CountSumMax) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_EQ(h.max(), 100u);
+}
+
+TEST(Histogram, Log2Buckets) {
+  Histogram h;
+  h.record(0);  // bucket 0
+  h.record(1);  // bit_width 1
+  h.record(2);  // bit_width 2
+  h.record(3);  // bit_width 2
+  h.record(1023);  // bit_width 10
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(10), 1u);
+}
+
+TEST(Histogram, QuantileUpperBound) {
+  Histogram h;
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 0u);  // empty
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  // The 50th value is 50 (bit_width 6); the bucket's upper edge is 63.
+  EXPECT_EQ(h.quantile_upper_bound(0.50), 63u);
+  // The 99th value is 99 (bit_width 7); upper edge 127.
+  EXPECT_EQ(h.quantile_upper_bound(0.99), 127u);
+}
+
+TEST(Histogram, ConcurrentRecording) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPer = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPer; ++i) h.record(8);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPer);
+  EXPECT_EQ(h.sum(), kThreads * kPer * 8);
+  EXPECT_EQ(h.bucket(4), kThreads * kPer);
+}
+
+TEST(Registry, HandsOutStableReferences) {
+  Registry r;
+  Counter& a = r.counter("x");
+  a.add(3);
+  Counter& b = r.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  // Different families share a namespace-free map each.
+  r.gauge("x").set(9);
+  EXPECT_EQ(r.counter("x").value(), 3u);
+  EXPECT_EQ(r.gauge("x").value(), 9);
+}
+
+TEST(Registry, ConcurrentRegistrationAndUse) {
+  Registry r;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r, t] {
+      for (int i = 0; i < 1000; ++i) {
+        r.counter("shared").add();
+        r.counter("own." + std::to_string(t)).add();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(r.counter("shared").value(), 8000u);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(r.counter("own." + std::to_string(t)).value(), 1000u);
+  }
+}
+
+TEST(Registry, JsonSnapshot) {
+  Registry r;
+  r.counter("req.total").add(7);
+  r.gauge("conn.active").set(2);
+  r.histogram("lat.ns").record(1000);
+  r.io("tcp").bytes_in.add(512);
+  r.io("tcp").write_calls.add(3);
+  r.codec("bxsa").frames_by_type[1].add(4);
+  r.codec("bxsa").symtab_hits.add(9);
+
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"req.total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"conn.active\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"lat.ns\":{\"count\":1,\"sum\":1000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bytes_in\":512"), std::string::npos);
+  EXPECT_NE(json.find("\"write_calls\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"document\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"symtab_hits\":9"), std::string::npos);
+  // Structured: one top-level object with the five sections.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* section :
+       {"\"counters\":", "\"gauges\":", "\"histograms\":", "\"io\":",
+        "\"codec\":"}) {
+    EXPECT_NE(json.find(section), std::string::npos) << section;
+  }
+}
+
+TEST(Registry, JsonEscapesMetricNames) {
+  Registry r;
+  r.counter("weird\"name\\x").add(1);
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"weird\\\"name\\\\x\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bxsoap::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "services/verification.hpp"
@@ -14,9 +16,12 @@ namespace {
 
 using namespace bxsoap::soap;
 
-std::unique_ptr<SoapServerPool> make_pool() {
-  return std::make_unique<SoapServerPool>(
-      AnyEncoding::from(BxsaEncoding{}), services::verification_handler);
+std::unique_ptr<SoapServerPool> make_pool(obs::Registry* registry = nullptr) {
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = services::verification_handler;
+  cfg.registry = registry;
+  return std::make_unique<SoapServerPool>(std::move(cfg));
 }
 
 TEST(ServerPool, SingleClientExchange) {
@@ -27,6 +32,7 @@ TEST(ServerPool, SingleClientExchange) {
   SoapEnvelope resp = client.call(services::make_data_request(dataset));
   EXPECT_TRUE(services::parse_verify_response(resp).ok);
   EXPECT_EQ(pool->exchanges(), 1u);
+  EXPECT_EQ(pool->faults(), 0u);
 }
 
 TEST(ServerPool, ManyConcurrentClients) {
@@ -63,22 +69,173 @@ TEST(ServerPool, ManyConcurrentClients) {
             static_cast<std::size_t>(kClients * kCallsEach));
 }
 
+// The observability satellite: N parallel clients, a handler that faults on
+// a known subset of requests, and a Registry hooked into the pool. The
+// pool's own tallies, the registry's counters and the clients' view of the
+// traffic must all agree.
+TEST(ServerPool, ConcurrentMetricsAgreeWithClientTallies) {
+  constexpr int kClients = 6;
+  constexpr int kCallsEach = 8;
+
+  obs::Registry registry;
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  // Faults on request #0 of every client's batch (payload count == 7).
+  cfg.handler = [](SoapEnvelope req) -> SoapEnvelope {
+    SoapEnvelope resp = services::verification_handler(std::move(req));
+    if (services::parse_verify_response(resp).count == 7) {
+      throw SoapFaultError("soap:Client", "seven refused");
+    }
+    return resp;
+  };
+  cfg.registry = &registry;
+  SoapServerPool pool(std::move(cfg));
+
+  std::atomic<int> ok_responses{0};
+  std::atomic<int> fault_responses{0};
+  // Engines live past the join so every connection is still open while the
+  // gauges and histograms are checked (a closed connection would also let
+  // its worker record one final aborted frame_read).
+  using Client = SoapEngine<BxsaEncoding, TcpClientBinding>;
+  std::vector<std::unique_ptr<Client>> engines;
+  for (int c = 0; c < kClients; ++c) {
+    engines.push_back(std::make_unique<Client>(
+        BxsaEncoding{}, TcpClientBinding(pool.port())));
+  }
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client& client = *engines[c];
+      for (int i = 0; i < kCallsEach; ++i) {
+        // One poisoned request (count 7) per client, the rest normal.
+        const std::size_t n = (i == 0) ? 7 : 10 + static_cast<std::size_t>(i);
+        SoapEnvelope resp = client.call(
+            services::make_data_request(workload::make_lead_dataset(n)));
+        if (resp.is_fault()) {
+          ++fault_responses;
+        } else {
+          ++ok_responses;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const std::size_t total = kClients * kCallsEach;
+  EXPECT_EQ(ok_responses.load() + fault_responses.load(),
+            static_cast<int>(total));
+  EXPECT_EQ(fault_responses.load(), kClients);
+
+  // Pool-native counters.
+  EXPECT_EQ(pool.exchanges(), total);
+  EXPECT_EQ(pool.faults(), static_cast<std::size_t>(kClients));
+  EXPECT_EQ(pool.active_connections(), static_cast<std::size_t>(kClients));
+
+  // Registry view must match the pool and the clients.
+  EXPECT_EQ(registry.counter("pool.exchanges").value(), total);
+  EXPECT_EQ(registry.counter("pool.faults").value(),
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(registry.counter("pool.connections.accepted").value(),
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(registry.gauge("pool.connections.active").value(),
+            static_cast<std::int64_t>(kClients));
+
+  // Per-stage timings: every server stage saw every exchange. The last
+  // frame_write timer records just *after* the reply bytes reach the
+  // client, so give the workers a moment to finish the final destructor.
+  const std::vector<std::string> stages = {
+      "frame_read", "deserialize", "handler", "serialize", "frame_write"};
+  const auto stage_count = [&](const std::string& stage) {
+    return registry.histogram("pool.stage." + stage + ".ns").count();
+  };
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (std::chrono::steady_clock::now() < deadline &&
+         std::any_of(stages.begin(), stages.end(), [&](const auto& s) {
+           return stage_count(s) < total;
+         })) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (const auto& stage : stages) {
+    EXPECT_EQ(stage_count(stage), total) << stage;
+  }
+  EXPECT_GT(registry.histogram("pool.stage.handler.ns").sum(), 0u);
+
+  // Socket and codec tallies moved.
+  EXPECT_GT(registry.io("pool.io").bytes_in.value(), 0u);
+  EXPECT_GT(registry.io("pool.io").bytes_out.value(), 0u);
+  EXPECT_GT(registry.io("pool.io").read_calls.value(), 0u);
+  const auto& codec = registry.codec("pool.bxsa");
+  EXPECT_GT(codec.frames_by_type[1].value(), 0u);  // documents
+
+  // The JSON snapshot carries the same numbers.
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"pool.exchanges\":" + std::to_string(total)),
+            std::string::npos);
+  EXPECT_NE(json.find("pool.stage.handler.ns"), std::string::npos);
+
+  pool.stop();
+  EXPECT_EQ(registry.gauge("pool.connections.active").value(), 0);
+}
+
+// Satellite: finished connection threads must be reaped while the pool
+// runs, not hoarded until destruction.
+TEST(ServerPool, ReapsFinishedWorkers) {
+  obs::Registry registry;
+  auto pool = make_pool(&registry);
+  constexpr int kSequentialClients = 16;
+  for (int c = 0; c < kSequentialClients; ++c) {
+    SoapEngine<BxsaEncoding, TcpClientBinding> client(
+        {}, TcpClientBinding(pool->port()));
+    client.call(
+        services::make_data_request(workload::make_lead_dataset(10)));
+    client.binding().close();
+  }
+  EXPECT_EQ(pool->exchanges(), static_cast<std::size_t>(kSequentialClients));
+  // Reaping happens in the accept loop, and a worker becomes reapable only
+  // once it has set its done flag — which can lag the next accept under
+  // load. Keep poking the pool with fresh connections until the sweep has
+  // caught up; each accept reaps everything finished by then. Steady state
+  // is the trigger's own worker plus at most one not-yet-flagged laggard.
+  bool reaped = false;
+  for (int attempt = 0; attempt < 200 && !reaped; ++attempt) {
+    {
+      SoapEngine<BxsaEncoding, TcpClientBinding> trigger(
+          {}, TcpClientBinding(pool->port()));
+      trigger.call(
+          services::make_data_request(workload::make_lead_dataset(1)));
+      trigger.binding().close();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    reaped = registry.gauge("pool.workers.unreaped").value() <= 2;
+  }
+  EXPECT_TRUE(reaped) << "unreaped stuck at "
+                      << registry.gauge("pool.workers.unreaped").value();
+  pool->stop();
+  EXPECT_EQ(registry.gauge("pool.workers.unreaped").value(), 0);
+}
+
 TEST(ServerPool, HandlerFaultsPropagate) {
-  SoapServerPool pool(AnyEncoding::from(BxsaEncoding{}),
-                      [](SoapEnvelope) -> SoapEnvelope {
-                        throw SoapFaultError("soap:Client", "nope");
-                      });
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = [](SoapEnvelope) -> SoapEnvelope {
+    throw SoapFaultError("soap:Client", "nope");
+  };
+  SoapServerPool pool(std::move(cfg));
   SoapEngine<BxsaEncoding, TcpClientBinding> client(
       {}, TcpClientBinding(pool.port()));
   SoapEnvelope resp = client.call(
       SoapEnvelope::wrap(xdm::make_element(xdm::QName("x"))));
   ASSERT_TRUE(resp.is_fault());
   EXPECT_EQ(resp.fault().code, "soap:Client");
+  EXPECT_EQ(pool.faults(), 1u);
 }
 
 TEST(ServerPool, XmlEncodingPool) {
-  SoapServerPool pool(AnyEncoding::from(XmlEncoding{}),
-                      services::verification_handler);
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(XmlEncoding{});
+  cfg.handler = services::verification_handler;
+  SoapServerPool pool(std::move(cfg));
   SoapEngine<XmlEncoding, TcpClientBinding> client(
       {}, TcpClientBinding(pool.port()));
   const auto dataset = workload::make_lead_dataset(10);
