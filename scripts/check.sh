@@ -28,4 +28,11 @@ cmake --build --preset asan-ubsan -j "$jobs"
 echo "== ctest (asan-ubsan preset) =="
 ctest --preset asan-ubsan -j "$jobs"
 
+echo "== chaos suite (asan-ubsan, -L chaos) =="
+# The seeded mutation + fault-injection matrices, run explicitly under the
+# sanitizers: every mutant must die with a typed error, never a report.
+(cd build-asan && ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1" \
+  UBSAN_OPTIONS="print_stacktrace=1" \
+  ctest -L chaos --output-on-failure -j "$jobs")
+
 echo "check.sh: all green"

@@ -157,6 +157,13 @@ class Decoder {
   /// (the caller pops it when the frame ends).
   void read_header(ElementBase& e, const FramePrefix& prefix) {
     const std::uint64_t n1 = r_.get_vls();
+    // The count is attacker-controlled; every declaration costs at least
+    // two VLS length bytes of input, so a count the remaining bytes cannot
+    // possibly back is rejected BEFORE it sizes an allocation.
+    if (n1 > r_.remaining() / 2) {
+      throw DecodeError("namespace decl count " + std::to_string(n1) +
+                        " exceeds remaining input");
+    }
     std::vector<NamespaceDecl> table;
     table.reserve(static_cast<std::size_t>(n1));
     for (std::uint64_t i = 0; i < n1; ++i) {
@@ -170,6 +177,12 @@ class Decoder {
     e.set_name(read_qname_ref());
 
     const std::uint64_t n2 = r_.get_vls();
+    // Same defense: an attribute is at least a QNameRef, an atom code and
+    // one value byte.
+    if (n2 > r_.remaining() / 3) {
+      throw DecodeError("attribute count " + std::to_string(n2) +
+                        " exceeds remaining input");
+    }
     for (std::uint64_t i = 0; i < n2; ++i) {
       QName name = read_qname_ref();
       const AtomType t = read_atom_code();

@@ -145,6 +145,11 @@ FrameScanner::ArrayView FrameScanner::array_view(const FrameInfo& f) const {
   r.skip(static_cast<std::size_t>(r.get_vls()));  // item name
   const std::size_t count = static_cast<std::size_t>(r.get_vls());
   r.align_to(item);
+  // Divide, don't multiply: count * item can wrap size_t on a hostile
+  // count and defeat get_raw's own bounds check.
+  if (count > r.remaining() / item) {
+    throw DecodeError("array count exceeds remaining input");
+  }
   ArrayView view;
   view.type = t;
   view.count = count;

@@ -6,7 +6,22 @@ namespace bxsoap::bxsa {
 
 using namespace bxsoap::xdm;
 
+namespace {
+// Matches the tree decoder's kMaxFrameDepth: deep enough for any real
+// document, shallow enough that a nesting bomb cannot grow the scope
+// stack without bound.
+constexpr std::size_t kMaxStreamDepth = 1024;
+}  // namespace
+
 StreamReader::StreamReader(std::span<const std::uint8_t> bytes) : r_(bytes) {}
+
+void StreamReader::push_scope(Scope scope) {
+  if (scopes_.size() >= kMaxStreamDepth) {
+    throw DecodeError("stream: nesting exceeds the depth limit of " +
+                      std::to_string(kMaxStreamDepth));
+  }
+  scopes_.push_back(scope);
+}
 
 QName StreamReader::read_qname_ref() {
   const std::uint64_t depth = r_.get_vls();
@@ -71,6 +86,12 @@ AtomType read_stream_atom_code(xbs::Reader& r) {
 
 void StreamReader::read_element_header(StreamEvent& ev, ByteOrder order) {
   const std::uint64_t n1 = r_.get_vls();
+  // Counts come off the wire: reject any that the remaining bytes cannot
+  // possibly back (a declaration is >= 2 bytes, an attribute >= 3) BEFORE
+  // they size an allocation.
+  if (n1 > r_.remaining() / 2) {
+    throw DecodeError("stream: namespace decl count exceeds remaining input");
+  }
   std::vector<NamespaceDecl> table;
   table.reserve(static_cast<std::size_t>(n1));
   for (std::uint64_t i = 0; i < n1; ++i) {
@@ -84,6 +105,9 @@ void StreamReader::read_element_header(StreamEvent& ev, ByteOrder order) {
   ev.name = read_qname_ref();
 
   const std::uint64_t n2 = r_.get_vls();
+  if (n2 > r_.remaining() / 3) {
+    throw DecodeError("stream: attribute count exceeds remaining input");
+  }
   ev.attributes.reserve(static_cast<std::size_t>(n2));
   for (std::uint64_t i = 0; i < n2; ++i) {
     QName name = read_qname_ref();
@@ -106,14 +130,14 @@ StreamEvent StreamReader::read_frame() {
     case FrameType::kDocument: {
       ev.kind = EventKind::kStartDocument;
       const std::uint64_t n = r_.get_vls();
-      scopes_.push_back({n, /*is_document=*/true, end});
+      push_scope({n, /*is_document=*/true, end});
       return ev;
     }
     case FrameType::kComponentElement: {
       ev.kind = EventKind::kStartElement;
       read_element_header(ev, prefix.order);
       const std::uint64_t n = r_.get_vls();
-      scopes_.push_back({n, /*is_document=*/false, end});
+      push_scope({n, /*is_document=*/false, end});
       return ev;
     }
     case FrameType::kLeafElement: {
@@ -134,6 +158,11 @@ StreamEvent StreamReader::read_frame() {
       ev.array.count = static_cast<std::size_t>(r_.get_vls());
       ev.array.order = prefix.order;
       r_.align_to(item);
+      // Divide, don't multiply: count * item can wrap size_t on a hostile
+      // count and defeat get_raw's own bounds check.
+      if (ev.array.count > r_.remaining() / item) {
+        throw DecodeError("stream: array count exceeds remaining input");
+      }
       ev.array.payload = r_.get_raw(ev.array.count * item);
       ns_stack_.pop_back();
       break;

@@ -108,6 +108,7 @@ class StreamReader {
   StreamEvent read_frame();
   void read_element_header(StreamEvent& ev, ByteOrder order);
   xdm::QName read_qname_ref();
+  void push_scope(Scope scope);
 
   xbs::Reader r_;
   std::vector<Scope> scopes_;

@@ -126,6 +126,13 @@ std::vector<std::uint8_t> lzss_decompress(
   if (size > (1ull << 33)) {
     throw DecodeError("lzss: implausible decompressed size");
   }
+  // Amplification bound: a token stream of N bytes can expand to at most
+  // N * kMaxMatch output bytes, so a declared size beyond that is a forged
+  // header. Rejecting it here keeps a tiny hostile message from reserving
+  // gigabytes before the token loop would detect the lie.
+  if (size > static_cast<std::uint64_t>(compressed.size()) * kMaxMatch) {
+    throw DecodeError("lzss: declared size exceeds maximum expansion");
+  }
   std::vector<std::uint8_t> out;
   out.reserve(static_cast<std::size_t>(size));
 

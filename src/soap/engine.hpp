@@ -133,6 +133,10 @@ class SoapEngine {
         return handler(std::move(request));
       } catch (const SoapFaultError& e) {
         return SoapEnvelope::make_fault({e.code(), e.reason(), ""});
+      } catch (const DecodeError& e) {
+        // The peer sent bytes we could not decode — the client's fault,
+        // answered in-band (same taxonomy as SoapServerPool).
+        return SoapEnvelope::make_fault({"soap:Client", e.what(), ""});
       } catch (const std::exception& e) {
         return SoapEnvelope::make_fault({"soap:Server", e.what(), ""});
       }

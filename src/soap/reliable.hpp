@@ -1,0 +1,165 @@
+// Client-side reliability: bounded retries with deterministic backoff.
+//
+// The grid deployments the paper targets lose peers routinely; the classic
+// client answer is retry-with-backoff under an overall deadline. The one
+// semantic rule that keeps retries SAFE is encoded here and nowhere else:
+//
+//   only transport-level failures retry.
+//
+// A TransportError means the exchange never completed — the bytes did not
+// arrive, so reissuing the request is harmless (for the read-style services
+// in this repo; see DESIGN.md §8 for the idempotency caveat). A SOAP fault,
+// by contrast, IS the server's answer: it travelled the wire intact and is
+// returned to the caller untouched, never retried. DecodeError and friends
+// likewise propagate — the transport worked; retrying cannot fix a payload
+// the peer chose to send.
+//
+// Backoff is exponential with deterministic jitter (SplitMix64 from the
+// policy's jitter_seed): given the same policy and the same failure
+// sequence, the delays are byte-for-byte reproducible, which keeps the
+// chaos matrix replayable. Tests inject a sleep hook so no wall-clock time
+// passes at all.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "obs/metrics.hpp"
+#include "soap/envelope.hpp"
+
+namespace bxsoap::soap {
+
+/// Retry shape for a ReliableCaller. All-default gives 3 attempts, 10 ms
+/// initial backoff doubling to a 1 s cap, no overall deadline.
+struct RetryPolicy {
+  /// Total attempts including the first (>= 1). 1 = no retries.
+  int max_attempts = 3;
+  std::chrono::milliseconds initial_backoff{10};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{1000};
+  /// Overall budget across all attempts and backoffs; zero = unbounded.
+  /// A retry is abandoned if its backoff could not complete in budget.
+  std::chrono::milliseconds deadline{0};
+  /// Seed for deterministic jitter; the same seed replays the same delays.
+  std::uint64_t jitter_seed = 0;
+};
+
+/// Wraps any engine exposing `SoapEnvelope call(SoapEnvelope)` with the
+/// retry policy above. Attempts, retries, give-ups and backoff time flow
+/// into an obs::Registry when one is attached.
+template <typename Engine>
+class ReliableCaller {
+ public:
+  explicit ReliableCaller(Engine& engine, RetryPolicy policy = {},
+                          obs::Registry* registry = nullptr,
+                          const std::string& prefix = "client.retry")
+      : engine_(engine), policy_(policy), rng_(policy.jitter_seed) {
+    if (registry != nullptr) {
+      attempts_ = &registry->counter(prefix + ".attempts");
+      retries_ = &registry->counter(prefix + ".retries");
+      giveups_ = &registry->counter(prefix + ".giveups");
+      successes_ = &registry->counter(prefix + ".successes");
+      backoff_ms_ = &registry->counter(prefix + ".backoff_ms");
+    }
+  }
+
+  /// Test seam: replaces std::this_thread::sleep_for so backoff schedules
+  /// can be asserted on without waiting them out.
+  void set_sleep_hook(std::function<void(std::chrono::milliseconds)> hook) {
+    sleep_hook_ = std::move(hook);
+  }
+
+  /// Issue the call, retrying transport failures per policy. Fault
+  /// envelopes are returned as-is (the server answered; see header note).
+  /// Throws the last TransportError once attempts or deadline run out.
+  SoapEnvelope call(const SoapEnvelope& request) {
+    const auto start = std::chrono::steady_clock::now();
+    std::chrono::milliseconds delay = policy_.initial_backoff;
+    for (int attempt = 1;; ++attempt) {
+      if (attempts_) attempts_->add();
+      try {
+        SoapEnvelope response = engine_.call(SoapEnvelope(request));
+        if (successes_) successes_->add();
+        return response;
+      } catch (const TransportError&) {
+        // The connection is in an unknown state; drop it so the next
+        // attempt starts clean (bindings without reset() are stateless).
+        reset_binding();
+        const auto jittered = jitter(delay);
+        if (attempt >= policy_.max_attempts ||
+            past_deadline(start, jittered)) {
+          if (giveups_) giveups_->add();
+          throw;
+        }
+        if (retries_) retries_->add();
+        if (backoff_ms_) {
+          backoff_ms_->add(static_cast<std::uint64_t>(jittered.count()));
+        }
+        sleep(jittered);
+        delay = next_delay(delay);
+      }
+    }
+  }
+
+ private:
+  void reset_binding() {
+    if constexpr (requires { engine_.binding().reset(); }) {
+      try {
+        engine_.binding().reset();
+      } catch (const TransportError&) {
+        // Tearing down an already-dead connection may itself fail; the
+        // retry loop is exactly the place to swallow that.
+      }
+    }
+  }
+
+  /// Half fixed, half uniformly random — "equal jitter". Deterministic:
+  /// driven by the policy's seed, not the wall clock.
+  std::chrono::milliseconds jitter(std::chrono::milliseconds delay) {
+    const auto half = delay.count() / 2;
+    return std::chrono::milliseconds(
+        half + static_cast<std::int64_t>(
+                   rng_.next_below(static_cast<std::uint64_t>(half) + 1)));
+  }
+
+  bool past_deadline(std::chrono::steady_clock::time_point start,
+                     std::chrono::milliseconds next_sleep) const {
+    if (policy_.deadline.count() <= 0) return false;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    return elapsed + next_sleep >= policy_.deadline;
+  }
+
+  std::chrono::milliseconds next_delay(std::chrono::milliseconds d) const {
+    const double grown =
+        static_cast<double>(d.count()) * policy_.backoff_multiplier;
+    const auto cap = static_cast<double>(policy_.max_backoff.count());
+    return std::chrono::milliseconds(
+        static_cast<std::int64_t>(grown < cap ? grown : cap));
+  }
+
+  void sleep(std::chrono::milliseconds d) {
+    if (sleep_hook_) {
+      sleep_hook_(d);
+    } else if (d.count() > 0) {
+      std::this_thread::sleep_for(d);
+    }
+  }
+
+  Engine& engine_;
+  RetryPolicy policy_;
+  SplitMix64 rng_;
+  std::function<void(std::chrono::milliseconds)> sleep_hook_;
+  obs::Counter* attempts_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* giveups_ = nullptr;
+  obs::Counter* successes_ = nullptr;
+  obs::Counter* backoff_ms_ = nullptr;
+};
+
+}  // namespace bxsoap::soap

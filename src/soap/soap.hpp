@@ -7,4 +7,5 @@
 #include "soap/encoding.hpp"    // IWYU pragma: export
 #include "soap/engine.hpp"      // IWYU pragma: export
 #include "soap/envelope.hpp"    // IWYU pragma: export
+#include "soap/reliable.hpp"    // IWYU pragma: export
 #include "soap/security.hpp"    // IWYU pragma: export

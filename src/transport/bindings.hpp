@@ -36,7 +36,7 @@ class TcpClientBinding {
   }
   soap::WireMessage receive_response() {
     if (!stream_.valid()) throw TransportError("not connected");
-    return read_frame(stream_);
+    return read_frame(stream_, limits_);
   }
   soap::WireMessage receive_request() {
     throw TransportError("receive_request on a client binding");
@@ -46,6 +46,14 @@ class TcpClientBinding {
   }
 
   void close() { stream_.close(); }
+
+  /// Drop the connection; the next send reconnects. The retry layer
+  /// (soap::ReliableCaller) calls this between attempts so a half-written
+  /// frame on a dead connection never bleeds into the next one.
+  void reset() { stream_.close(); }
+
+  /// Ceilings applied to incoming frames (see transport/framing.hpp).
+  void set_frame_limits(FrameLimits limits) noexcept { limits_ = limits; }
 
   /// Tally this connection's bytes/syscalls into `io` (obs/metrics.hpp).
   void set_io_stats(obs::IoStats* io) noexcept {
@@ -64,6 +72,7 @@ class TcpClientBinding {
 
   std::uint16_t port_;
   TcpStream stream_;
+  FrameLimits limits_{};
   obs::IoStats* io_ = nullptr;
 };
 
@@ -175,6 +184,10 @@ class HttpClientBinding {
   void send_response(soap::WireMessage) {
     throw TransportError("send_response on a client binding");
   }
+
+  /// Forget any in-flight exchange so the next attempt starts clean
+  /// (each POST opens its own connection, so there is no socket to drop).
+  void reset() { pending_.reset(); }
 
   /// Tally each POST connection's bytes/syscalls into `io`.
   void set_io_stats(obs::IoStats* io) noexcept { client_.set_io_stats(io); }

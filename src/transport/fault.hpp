@@ -1,0 +1,383 @@
+// Deterministic fault injection for the transport layer.
+//
+// A production engine must survive lost peers, truncated frames and hostile
+// bytes — so the test suite needs a way to produce exactly those, on
+// demand, reproducibly. Everything here is seeded and pure in the netsim
+// spirit: the SAME seed yields the SAME faults at the SAME byte offsets,
+// every run, on every platform (SplitMix64, common/prng.hpp). A failing
+// chaos seed is therefore a one-line reproducer.
+//
+// Three layers:
+//
+//   * FaultPlan      — a pure function (seed, connection#) -> FaultSpec, or
+//                      an explicitly scripted scenario ("reset the 3rd
+//                      connection", "truncate after 17 bytes").
+//   * FaultyStream   — byte-level injector wrapping any FrameStream
+//                      (TcpStream for real sockets, MemoryStream for pure
+//                      unit tests): resets, truncations, read delays and
+//                      bit flips at exact byte offsets.
+//   * FaultyBinding  — message-level injector; a BindingPolicy combinator,
+//                      so any SoapEngine stack can run behind it unchanged.
+//
+// Injected faults surface as ordinary TransportErrors (plus optional obs
+// counters), so the system under test cannot tell them from real ones.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "obs/metrics.hpp"
+#include "soap/binding.hpp"
+#include "transport/socket.hpp"
+
+namespace bxsoap::transport {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,  // clean connection (part of every realistic mix)
+  kReset,     // cut the connection dead at a byte offset (RST-like)
+  kTruncate,  // deliver exactly the first K bytes, then close
+  kDelay,     // stall the first read by a fixed number of milliseconds
+  kCorrupt,   // flip one bit of the outgoing byte stream
+};
+
+inline constexpr std::size_t kFaultKindCount = 5;
+
+constexpr const char* fault_kind_name(FaultKind k) noexcept {
+  constexpr const char* names[kFaultKindCount] = {
+      "none", "reset", "truncate", "delay", "corrupt"};
+  return names[static_cast<std::size_t>(k)];
+}
+
+/// One scripted fault. `offset` is the write-stream byte position that
+/// triggers reset/truncate/corrupt; `bit` selects the flipped bit within
+/// the byte at `offset`; `delay_ms` is the read stall for kDelay.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t offset = 0;
+  std::uint8_t bit = 0;
+  std::uint32_t delay_ms = 0;
+};
+
+/// Shape of the random scenario mix a seeded FaultPlan draws from.
+struct FaultPlanConfig {
+  // Relative weights; kNone in the mix keeps clean traffic interleaved
+  // with the faults, the way a real fleet misbehaves.
+  std::uint32_t weight_none = 2;
+  std::uint32_t weight_reset = 1;
+  std::uint32_t weight_truncate = 1;
+  std::uint32_t weight_delay = 1;
+  std::uint32_t weight_corrupt = 2;
+  std::uint64_t max_offset = 256;  // trigger offsets drawn from [0, max)
+  std::uint32_t max_delay_ms = 5;  // delays drawn from [1, max]
+};
+
+/// Replayable per-connection fault script. Either seeded (a pure function
+/// of (seed, n) — no stored state, so plans are trivially copyable and
+/// thread-safe) or explicitly scripted for pinpoint scenarios.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed, FaultPlanConfig config = {})
+      : seed_(seed), config_(config) {}
+
+  /// An explicit scenario: connection n gets specs[n]; connections past
+  /// the end of the script run clean.
+  static FaultPlan script(std::vector<FaultSpec> specs) {
+    FaultPlan p(0);
+    p.scripted_ = true;
+    p.script_ = std::move(specs);
+    return p;
+  }
+
+  /// The fault for the n-th connection (or n-th message, at the binding
+  /// layer). Pure: same plan, same n, same spec.
+  FaultSpec for_connection(std::uint64_t n) const {
+    if (scripted_) {
+      return n < script_.size() ? script_[n] : FaultSpec{};
+    }
+    // Decorrelate connections: each draws from its own stream.
+    SplitMix64 rng(seed_ ^ (n * 0x9E3779B97F4A7C15ULL) ^ 0xB5297A4D3F84D5A2ULL);
+    const std::uint64_t total = config_.weight_none + config_.weight_reset +
+                                config_.weight_truncate + config_.weight_delay +
+                                config_.weight_corrupt;
+    FaultSpec spec;
+    if (total == 0) return spec;
+    std::uint64_t pick = rng.next_below(total);
+    const auto take = [&pick](std::uint32_t w) {
+      if (pick < w) return true;
+      pick -= w;
+      return false;
+    };
+    if (take(config_.weight_none)) {
+      spec.kind = FaultKind::kNone;
+    } else if (take(config_.weight_reset)) {
+      spec.kind = FaultKind::kReset;
+    } else if (take(config_.weight_truncate)) {
+      spec.kind = FaultKind::kTruncate;
+    } else if (take(config_.weight_delay)) {
+      spec.kind = FaultKind::kDelay;
+    } else {
+      spec.kind = FaultKind::kCorrupt;
+    }
+    spec.offset = config_.max_offset > 0 ? rng.next_below(config_.max_offset) : 0;
+    spec.bit = static_cast<std::uint8_t>(rng.next_below(8));
+    spec.delay_ms = config_.max_delay_ms > 0
+                        ? 1 + rng.next_u32() % config_.max_delay_ms
+                        : 0;
+    return spec;
+  }
+
+ private:
+  bool scripted_ = false;
+  std::vector<FaultSpec> script_;
+  std::uint64_t seed_ = 0;
+  FaultPlanConfig config_{};
+};
+
+/// In-memory loopback byte stream — the no-socket twin of TcpStream for
+/// framing and fault-injection unit tests. Bytes written are read back in
+/// FIFO order; reading past what was written behaves like a peer that hung
+/// up (read_some returns 0, read_exact throws TransportError). Single
+/// threaded by design.
+class MemoryStream {
+ public:
+  void write_all(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void write_all(std::string_view s) {
+    write_all(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  std::size_t read_some(std::uint8_t* out, std::size_t n) {
+    const std::size_t take = std::min(n, buf_.size());
+    std::copy_n(buf_.begin(), take, out);
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(take));
+    return take;  // 0 = orderly EOF, like a closed socket
+  }
+
+  void read_exact(std::uint8_t* out, std::size_t n) {
+    if (n > buf_.size()) {
+      throw TransportError("connection closed mid-message (got " +
+                           std::to_string(buf_.size()) + " of " +
+                           std::to_string(n) + " bytes)");
+    }
+    read_some(out, n);
+  }
+
+  std::vector<std::uint8_t> read_exact(std::size_t n) {
+    std::vector<std::uint8_t> out(n);
+    read_exact(out.data(), n);
+    return out;
+  }
+
+  void shutdown_both() noexcept {}  // interface parity with TcpStream
+
+  std::size_t pending() const noexcept { return buf_.size(); }
+
+ private:
+  std::deque<std::uint8_t> buf_;
+};
+
+/// Byte-level fault injector over any stream with TcpStream's shape.
+/// Write-path faults (reset/truncate/corrupt) trigger at exact byte
+/// offsets of the outgoing stream; kDelay stalls the first read. After a
+/// terminal fault fires, every further operation throws the same
+/// TransportError a real dead connection would.
+template <typename S>
+class FaultyStream {
+ public:
+  FaultyStream(S inner, FaultSpec spec)
+      : inner_(std::move(inner)), spec_(spec) {}
+
+  S& inner() noexcept { return inner_; }
+  const FaultSpec& spec() const noexcept { return spec_; }
+  bool triggered() const noexcept { return triggered_; }
+  std::uint64_t bytes_written() const noexcept { return written_; }
+  std::uint64_t bytes_read() const noexcept { return read_; }
+
+  void write_all(std::span<const std::uint8_t> data) {
+    if (triggered_) trip("write after injected fault");
+    switch (spec_.kind) {
+      case FaultKind::kReset:
+        // Cut dead at the trigger offset: nothing from this write past the
+        // offset leaves, and the connection is aborted both ways.
+        if (written_ + data.size() > spec_.offset) {
+          const std::uint64_t can =
+              spec_.offset > written_ ? spec_.offset - written_ : 0;
+          forward(data.first(static_cast<std::size_t>(can)));
+          abort_inner();
+          trip("connection reset");
+        }
+        break;
+      case FaultKind::kTruncate:
+        // Deliver exactly the first `offset` bytes of the conversation,
+        // then close. The peer sees a clean EOF mid-message.
+        if (written_ + data.size() > spec_.offset) {
+          const std::uint64_t can =
+              spec_.offset > written_ ? spec_.offset - written_ : 0;
+          forward(data.first(static_cast<std::size_t>(can)));
+          abort_inner();
+          trip("truncated after " + std::to_string(spec_.offset) + " bytes");
+        }
+        break;
+      case FaultKind::kCorrupt:
+        if (spec_.offset >= written_ && spec_.offset < written_ + data.size()) {
+          std::vector<std::uint8_t> copy(data.begin(), data.end());
+          copy[static_cast<std::size_t>(spec_.offset - written_)] ^=
+              static_cast<std::uint8_t>(1u << (spec_.bit & 7));
+          forward(copy);
+          return;
+        }
+        break;
+      case FaultKind::kDelay:
+      case FaultKind::kNone:
+        break;
+    }
+    forward(data);
+  }
+
+  void write_all(std::string_view s) {
+    write_all(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  std::size_t read_some(std::uint8_t* out, std::size_t n) {
+    if (triggered_) trip("read after injected fault");
+    maybe_delay();
+    const std::size_t r = inner_.read_some(out, n);
+    read_ += r;
+    return r;
+  }
+
+  void read_exact(std::uint8_t* out, std::size_t n) {
+    if (triggered_) trip("read after injected fault");
+    maybe_delay();
+    inner_.read_exact(out, n);
+    read_ += n;
+  }
+
+  std::vector<std::uint8_t> read_exact(std::size_t n) {
+    std::vector<std::uint8_t> out(n);
+    read_exact(out.data(), n);
+    return out;
+  }
+
+ private:
+  void forward(std::span<const std::uint8_t> data) {
+    inner_.write_all(data);
+    written_ += data.size();
+  }
+
+  void maybe_delay() {
+    if (spec_.kind == FaultKind::kDelay && !delayed_) {
+      delayed_ = true;
+      if (spec_.delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(spec_.delay_ms));
+      }
+    }
+  }
+
+  void abort_inner() noexcept {
+    if constexpr (requires { inner_.shutdown_both(); }) {
+      inner_.shutdown_both();
+    }
+  }
+
+  [[noreturn]] void trip(const std::string& what) {
+    triggered_ = true;
+    throw TransportError("injected fault: " + what);
+  }
+
+  S inner_;
+  FaultSpec spec_;
+  std::uint64_t written_ = 0;
+  std::uint64_t read_ = 0;
+  bool triggered_ = false;
+  bool delayed_ = false;
+};
+
+/// Message-level fault injector: wraps any BindingPolicy and mutates (or
+/// kills) outgoing messages per plan — message i gets plan.for_connection(i).
+/// Works identically across all Encoding x Binding stacks because it
+/// operates on the WireMessage, after encoding and before the wire.
+template <soap::BindingPolicy B>
+class FaultyBinding {
+ public:
+  FaultyBinding(B inner, FaultPlan plan, obs::Registry* registry = nullptr,
+                const std::string& prefix = "inject")
+      : inner_(std::move(inner)), plan_(std::move(plan)) {
+    if (registry != nullptr) {
+      for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+        injected_[k] = &registry->counter(
+            prefix + ".injected." +
+            fault_kind_name(static_cast<FaultKind>(k)));
+      }
+    }
+  }
+
+  B& inner() noexcept { return inner_; }
+
+  void send_request(soap::WireMessage m) {
+    apply(m);
+    inner_.send_request(std::move(m));
+  }
+  soap::WireMessage receive_response() { return inner_.receive_response(); }
+  soap::WireMessage receive_request() { return inner_.receive_request(); }
+  void send_response(soap::WireMessage m) {
+    apply(m);
+    inner_.send_response(std::move(m));
+  }
+
+  /// Drop transport state so the next use reconnects (the ReliableCaller
+  /// reset hook); forwarded when the wrapped binding supports it.
+  void reset() {
+    if constexpr (requires(B& b) { b.reset(); }) {
+      inner_.reset();
+    }
+  }
+
+ private:
+  void apply(soap::WireMessage& m) {
+    const FaultSpec spec = plan_.for_connection(next_message_++);
+    if (auto* c = injected_[static_cast<std::size_t>(spec.kind)]) c->add();
+    switch (spec.kind) {
+      case FaultKind::kNone:
+        return;
+      case FaultKind::kDelay:
+        if (spec.delay_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(spec.delay_ms));
+        }
+        return;
+      case FaultKind::kReset:
+        // The message never leaves; the caller sees a dead connection.
+        reset();
+        throw TransportError("injected fault: connection reset");
+      case FaultKind::kTruncate:
+        m.payload.resize(std::min<std::size_t>(
+            m.payload.size(), static_cast<std::size_t>(spec.offset)));
+        return;
+      case FaultKind::kCorrupt:
+        if (!m.payload.empty()) {
+          m.payload[static_cast<std::size_t>(spec.offset % m.payload.size())] ^=
+              static_cast<std::uint8_t>(1u << (spec.bit & 7));
+        }
+        return;
+    }
+  }
+
+  B inner_;
+  FaultPlan plan_;
+  std::uint64_t next_message_ = 0;
+  obs::Counter* injected_[kFaultKindCount]{};
+};
+
+}  // namespace bxsoap::transport

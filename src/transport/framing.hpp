@@ -9,12 +9,25 @@
 //   ctype   VLS len + bytes   content type declared by the encoding policy
 //   length  u64 big-endian    payload byte count
 //   payload
+//
+// The functions are templates over any FrameStream (TcpStream, the fault
+// injector's FaultyStream, the in-memory MemoryStream), so the same framing
+// code is exercised on real sockets and in deterministic no-socket tests.
+//
+// Reading is defensive: the declared lengths come from the peer, so every
+// one is checked against FrameLimits BEFORE any allocation sized by it. A
+// corrupt or hostile length field costs a TransportError, not a multi-GB
+// allocation.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string_view>
+#include <vector>
 
+#include "common/buffer.hpp"
+#include "common/vls.hpp"
 #include "soap/binding.hpp"
 #include "transport/socket.hpp"
 
@@ -23,15 +36,94 @@ namespace bxsoap::transport {
 inline constexpr char kFrameMagic[4] = {'B', 'X', 'T', 'P'};
 inline constexpr std::uint8_t kFrameVersion = 1;
 
+/// Default payload ceiling: generous for scientific datasets, small enough
+/// that a corrupt length prefix cannot take the process down.
+inline constexpr std::size_t kDefaultMaxMessageBytes = 256u << 20;  // 256 MiB
+
+/// Ceilings applied while parsing an incoming frame. Every field is
+/// enforced before the corresponding bytes are read or allocated.
+struct FrameLimits {
+  std::size_t max_message_bytes = kDefaultMaxMessageBytes;
+  std::size_t max_content_type_bytes = 1024;
+};
+
+/// Any byte stream framing can run over: whole-buffer writes and exact
+/// reads, both throwing TransportError on failure.
+template <typename S>
+concept FrameStream = requires(S& s, std::span<const std::uint8_t> out,
+                               std::uint8_t* in, std::size_t n) {
+  s.write_all(out);
+  s.read_exact(in, n);
+};
+
 /// Write one framed message to the stream. The content type is taken as a
 /// view so callers that hold the encoding policy's static string (e.g.
 /// AnyEncoding::content_type()) pass it straight through with no copy.
-void write_frame(TcpStream& stream, std::string_view content_type,
-                 std::span<const std::uint8_t> payload);
-void write_frame(TcpStream& stream, const soap::WireMessage& m);
+template <FrameStream S>
+void write_frame(S& stream, std::string_view content_type,
+                 std::span<const std::uint8_t> payload) {
+  ByteWriter header;
+  header.write_bytes(kFrameMagic, sizeof(kFrameMagic));
+  header.write_u8(kFrameVersion);
+  vls_write(header, content_type.size());
+  header.write_string(content_type);
+  header.write<std::uint64_t>(payload.size(), ByteOrder::kBig);
+  stream.write_all(header.bytes());
+  stream.write_all(payload);
+}
 
-/// Read one framed message; throws TransportError on malformed frames or a
-/// closed connection.
-soap::WireMessage read_frame(TcpStream& stream);
+template <FrameStream S>
+void write_frame(S& stream, const soap::WireMessage& m) {
+  write_frame(stream, m.content_type, m.payload);
+}
+
+/// Read one framed message; throws TransportError on malformed frames, a
+/// closed connection, or a frame that exceeds `limits`.
+template <FrameStream S>
+soap::WireMessage read_frame(S& stream, const FrameLimits& limits = {}) {
+  std::uint8_t fixed[5];
+  stream.read_exact(fixed, sizeof(fixed));
+  if (std::memcmp(fixed, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw TransportError("bad frame magic");
+  }
+  if (fixed[4] != kFrameVersion) {
+    throw TransportError("unsupported frame version " +
+                         std::to_string(fixed[4]));
+  }
+  // Content-type length: VLS, read byte by byte off the stream.
+  std::uint64_t ct_len = 0;
+  int shift = 0;
+  for (std::size_t i = 0; i < kMaxVlsBytes; ++i) {
+    std::uint8_t b;
+    stream.read_exact(&b, 1);
+    ct_len |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+    if (i + 1 == kMaxVlsBytes) throw TransportError("malformed frame VLS");
+  }
+  if (ct_len > limits.max_content_type_bytes) {
+    throw TransportError("content type unreasonably long");
+  }
+  soap::WireMessage m;
+  m.content_type.resize(static_cast<std::size_t>(ct_len));
+  stream.read_exact(reinterpret_cast<std::uint8_t*>(m.content_type.data()),
+                    m.content_type.size());
+
+  std::uint8_t len_be[8];
+  stream.read_exact(len_be, 8);
+  const std::uint64_t payload_len =
+      load<std::uint64_t>(len_be, ByteOrder::kBig);
+  // Checked against the cap BEFORE sizing the buffer: a corrupt or hostile
+  // u64 must not reach the allocator.
+  if (payload_len > limits.max_message_bytes) {
+    throw TransportError("frame payload of " + std::to_string(payload_len) +
+                         " bytes exceeds the " +
+                         std::to_string(limits.max_message_bytes) +
+                         "-byte message limit");
+  }
+  m.payload.resize(static_cast<std::size_t>(payload_len));
+  stream.read_exact(m.payload.data(), m.payload.size());
+  return m;
+}
 
 }  // namespace bxsoap::transport

@@ -1,5 +1,7 @@
 #include "transport/server_pool.hpp"
 
+#include <algorithm>
+
 #include "transport/framing.hpp"
 
 namespace bxsoap::transport {
@@ -7,7 +9,11 @@ namespace bxsoap::transport {
 SoapServerPool::SoapServerPool(ServerPoolConfig config)
     : encoding_(std::move(config.encoding)),
       handler_(std::move(config.handler)),
-      listener_(config.port, config.backlog) {
+      listener_(config.port, config.backlog),
+      read_timeout_ms_(config.read_timeout_ms),
+      frame_limits_(config.frame_limits),
+      max_workers_(config.max_workers),
+      drain_timeout_(config.drain_timeout) {
   if (obs::Registry* reg = config.registry) {
     const std::string& prefix = config.metrics_prefix;
     obs_ = obs::MetricsObserver(*reg, prefix);
@@ -25,11 +31,32 @@ SoapServerPool::~SoapServerPool() { stop(); }
 void SoapServerPool::stop() {
   if (stopping_.exchange(true)) return;
   listener_.shutdown();
+  workers_cv_.notify_all();  // wake an acceptor parked at the worker ceiling
   if (acceptor_.joinable()) acceptor_.join();
+  // Graceful drain: cut idle connections immediately (their workers are
+  // blocked in read_frame waiting for a request that is never coming), but
+  // give in-flight exchanges up to drain_timeout_ to write their response.
+  const auto deadline = std::chrono::steady_clock::now() + drain_timeout_;
+  for (;;) {
+    bool any_busy = false;
+    {
+      std::lock_guard lock(conns_mu_);
+      for (const ConnEntry& e : conns_) {
+        if (e.busy->load(std::memory_order_acquire)) {
+          any_busy = true;
+        } else {
+          e.stream->shutdown_both();
+        }
+      }
+    }
+    if (!any_busy || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   {
-    // Wake workers blocked mid-read on live client connections.
+    // Whatever is still here either finished (worker will exit on its own)
+    // or overstayed the drain budget; force it down.
     std::lock_guard lock(conns_mu_);
-    for (TcpStream* c : conns_) c->shutdown_both();
+    for (const ConnEntry& e : conns_) e.stream->shutdown_both();
   }
   std::vector<Worker> workers;
   {
@@ -57,6 +84,17 @@ void SoapServerPool::reap_finished_locked() {
 
 void SoapServerPool::accept_loop() {
   while (!stopping_.load()) {
+    if (max_workers_ > 0) {
+      // Backpressure at the ceiling: park instead of accepting, so excess
+      // clients wait in the kernel's listen backlog rather than each
+      // getting a thread.
+      std::unique_lock lock(workers_mu_);
+      workers_cv_.wait(lock, [this] {
+        reap_finished_locked();
+        return stopping_.load() || workers_.size() < max_workers_;
+      });
+      if (stopping_.load()) break;
+    }
     TcpStream conn;
     try {
       conn = listener_.accept();
@@ -79,6 +117,7 @@ void SoapServerPool::accept_loop() {
           if (active_gauge_ != nullptr) active_gauge_->sub();
           --active_;
           done->store(true, std::memory_order_release);
+          workers_cv_.notify_all();  // free a slot at the worker ceiling
         });
     workers_.push_back(std::move(w));
     if (unreaped_gauge_ != nullptr) unreaped_gauge_->add();
@@ -86,28 +125,35 @@ void SoapServerPool::accept_loop() {
 }
 
 void SoapServerPool::serve_connection(TcpStream stream) {
+  // In-exchange marker for graceful drain: true from "request fully read"
+  // to "response written". stop() only force-closes connections whose flag
+  // is false.
+  std::atomic<bool> busy{false};
   {
     std::lock_guard lock(conns_mu_);
-    conns_.push_back(&stream);
+    conns_.push_back({&stream, &busy});
   }
   struct Unregister {
     SoapServerPool* pool;
     TcpStream* stream;
     ~Unregister() {
       std::lock_guard lock(pool->conns_mu_);
-      std::erase(pool->conns_, stream);
+      std::erase_if(pool->conns_,
+                    [this](const ConnEntry& e) { return e.stream == stream; });
     }
   } unregister{this, &stream};
 
   try {
     stream.set_io_stats(io_);
     stream.set_no_delay(true);
+    if (read_timeout_ms_ > 0) stream.set_read_timeout(read_timeout_ms_);
     // Serve exchanges until the peer hangs up.
     for (;;) {
       soap::WireMessage raw = [&] {
         obs::StageTimer t(obs_, obs::Stage::kFrameRead);
-        return read_frame(stream);
+        return read_frame(stream, frame_limits_);
       }();
+      busy.store(true, std::memory_order_release);
       soap::SoapEnvelope response = [&]() -> soap::SoapEnvelope {
         try {
           soap::SoapEnvelope request = [&] {
@@ -119,6 +165,10 @@ void SoapServerPool::serve_connection(TcpStream stream) {
           return handler_(std::move(request));
         } catch (const SoapFaultError& e) {
           return soap::SoapEnvelope::make_fault({e.code(), e.reason(), ""});
+        } catch (const DecodeError& e) {
+          // The peer sent bytes we could not decode — that is the client's
+          // fault, answered in-band; the connection stays up.
+          return soap::SoapEnvelope::make_fault({"soap:Client", e.what(), ""});
         } catch (const std::exception& e) {
           return soap::SoapEnvelope::make_fault(
               {"soap:Server", e.what(), ""});
@@ -137,12 +187,18 @@ void SoapServerPool::serve_connection(TcpStream stream) {
       // must observe the exchange as recorded.
       ++exchanges_;
       obs_.count_exchange();
-      obs::StageTimer t(obs_, obs::Stage::kFrameWrite);
-      write_frame(stream, encoding_->content_type(), payload);
+      {
+        obs::StageTimer t(obs_, obs::Stage::kFrameWrite);
+        write_frame(stream, encoding_->content_type(), payload);
+      }
+      busy.store(false, std::memory_order_release);
+      // A stop() that arrived mid-exchange deliberately left this
+      // connection open so the response above could drain; honor it now.
+      if (stopping_.load(std::memory_order_acquire)) break;
     }
   } catch (const TransportError&) {
-    // Peer disconnected (normal end of conversation) or stop() shut the
-    // socket down; either way this worker is done.
+    // Peer disconnected (normal end of conversation), the read timeout
+    // expired, or stop() shut the socket down; this worker is done.
   }
 }
 

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -25,6 +27,7 @@
 #include "obs/observer.hpp"
 #include "soap/any_engine.hpp"
 #include "soap/envelope.hpp"
+#include "transport/framing.hpp"
 #include "transport/socket.hpp"
 
 namespace bxsoap::transport {
@@ -50,6 +53,29 @@ struct ServerPoolConfig {
   /// registry must outlive the pool. Null = zero instrumentation.
   obs::Registry* registry = nullptr;
   std::string metrics_prefix = "pool";
+
+  // ---- hardening knobs ------------------------------------------------------
+
+  /// Per-connection read timeout in milliseconds (slowloris defense): a
+  /// peer that opens a frame and stalls gets disconnected instead of
+  /// pinning a worker forever. 0 (the default) keeps the historical
+  /// block-forever behavior, which idle keep-alive clients rely on.
+  int read_timeout_ms = 0;
+
+  /// Ceilings on incoming frames; the declared payload length is checked
+  /// against max_message_bytes BEFORE any allocation.
+  FrameLimits frame_limits{};
+
+  /// Maximum concurrent worker threads; 0 = unbounded. At the ceiling the
+  /// accept loop stops accepting, so excess clients queue in the kernel's
+  /// listen backlog (and beyond it, get connection refused) instead of
+  /// spawning unbounded threads.
+  std::size_t max_workers = 0;
+
+  /// How long stop() waits for in-flight exchanges (request already read,
+  /// response not yet written) to finish before force-closing them. Idle
+  /// connections are cut immediately.
+  std::chrono::milliseconds drain_timeout{1000};
 };
 
 class SoapServerPool {
@@ -79,6 +105,14 @@ class SoapServerPool {
     std::shared_ptr<std::atomic<bool>> done;
   };
 
+  /// A live connection plus whether its worker is mid-exchange (request
+  /// read, response not yet written). stop() cuts idle connections at once
+  /// but lets busy ones drain.
+  struct ConnEntry {
+    TcpStream* stream;
+    const std::atomic<bool>* busy;
+  };
+
   void accept_loop();
   void serve_connection(TcpStream stream);
   void reap_finished_locked();
@@ -86,6 +120,10 @@ class SoapServerPool {
   std::unique_ptr<soap::AnyEncoding> encoding_;
   Handler handler_;
   TcpListener listener_;
+  int read_timeout_ms_ = 0;
+  FrameLimits frame_limits_{};
+  std::size_t max_workers_ = 0;
+  std::chrono::milliseconds drain_timeout_{1000};
   obs::MetricsObserver obs_;           // detached when no registry is given
   obs::IoStats* io_ = nullptr;         // per-connection socket tallies
   obs::Gauge* active_gauge_ = nullptr;
@@ -93,9 +131,10 @@ class SoapServerPool {
   obs::Counter* accepted_ = nullptr;
   std::thread acceptor_;
   std::mutex workers_mu_;
+  std::condition_variable workers_cv_;  // signaled when a worker finishes
   std::vector<Worker> workers_;
   std::mutex conns_mu_;
-  std::vector<TcpStream*> conns_;  // live connections, for forced shutdown
+  std::vector<ConnEntry> conns_;  // live connections, for shutdown/drain
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> active_{0};
   std::atomic<std::size_t> exchanges_{0};

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -147,7 +148,11 @@ std::string TcpStream::read_until(std::string_view delimiter,
       throw TransportError("delimiter not found within " +
                            std::to_string(max_bytes) + " bytes");
     }
-    const std::size_t r = read_some(chunk, sizeof(chunk));
+    // Strict cap: never buffer more than max_bytes, even transiently, so an
+    // endless unterminated header costs max_bytes of memory, not
+    // max_bytes + one chunk per hostile peer.
+    const std::size_t take = std::min(sizeof(chunk), max_bytes - buf.size());
+    const std::size_t r = read_some(chunk, take);
     if (r == 0) {
       throw TransportError("connection closed while waiting for delimiter");
     }

@@ -43,10 +43,9 @@ void SpoolBinding::deliver(const char* kind, std::uint64_t seq,
 soap::WireMessage SpoolBinding::collect(const char* kind,
                                         std::uint64_t seq) const {
   const auto path = dir_ / file_name(kind, seq);
-  // Poll: the spool is asynchronous by design (SMTP-like). A generous
-  // deadline keeps a lost peer from hanging tests forever.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  // Poll: the spool is asynchronous by design (SMTP-like). The deadline is
+  // caller-configurable (ctor) so retry layers can bound it.
+  const auto deadline = std::chrono::steady_clock::now() + poll_timeout_;
   while (!std::filesystem::exists(path)) {
     if (std::chrono::steady_clock::now() > deadline) {
       throw TransportError("spool: timed out waiting for " + path.string());

@@ -9,6 +9,7 @@
 // partial messages. One client/server pair per directory.
 #pragma once
 
+#include <chrono>
 #include <filesystem>
 
 #include "soap/binding.hpp"
@@ -20,8 +21,13 @@ class SpoolBinding {
  public:
   enum class Side { kClient, kServer };
 
-  SpoolBinding(std::filesystem::path dir, Side side)
-      : dir_(std::move(dir)), side_(side) {
+  /// `poll_timeout` bounds how long a receive polls the mailbox before
+  /// throwing TransportError — the spool's equivalent of a read deadline,
+  /// tuned by the same callers that pick RetryPolicy deadlines. The
+  /// 30-second default keeps a lost peer from hanging tests forever.
+  SpoolBinding(std::filesystem::path dir, Side side,
+               std::chrono::milliseconds poll_timeout = std::chrono::seconds(30))
+      : dir_(std::move(dir)), side_(side), poll_timeout_(poll_timeout) {
     std::filesystem::create_directories(dir_);
   }
 
@@ -57,6 +63,7 @@ class SpoolBinding {
 
   std::filesystem::path dir_;
   Side side_;
+  std::chrono::milliseconds poll_timeout_;
   std::uint64_t send_seq_ = 0;
   std::uint64_t recv_seq_ = 0;
 };

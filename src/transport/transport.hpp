@@ -2,6 +2,7 @@
 #pragma once
 
 #include "transport/bindings.hpp"     // IWYU pragma: export
+#include "transport/fault.hpp"        // IWYU pragma: export
 #include "transport/file_server.hpp"  // IWYU pragma: export
 #include "transport/framing.hpp"      // IWYU pragma: export
 #include "transport/http.hpp"         // IWYU pragma: export

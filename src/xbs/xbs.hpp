@@ -133,6 +133,11 @@ class Reader {
   template <typename T>
   std::span<const T> view_array(std::size_t count) {
     align_to(sizeof(T));
+    // Divide, don't multiply: count * sizeof(T) can wrap size_t on a
+    // hostile count and sail past the bounds check inside read_bytes.
+    if (count > in_.remaining() / sizeof(T)) {
+      throw DecodeError("array count exceeds remaining input");
+    }
     auto raw = in_.read_bytes(count * sizeof(T));
     return {reinterpret_cast<const T*>(raw.data()), count};
   }

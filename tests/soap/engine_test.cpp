@@ -110,7 +110,8 @@ TEST(SoapEngine, MalformedRequestBecomesFaultNotCrash) {
   BxsaEncoding enc;
   SoapEnvelope response(enc.deserialize(raw.payload));
   ASSERT_TRUE(response.is_fault());
-  EXPECT_EQ(response.fault().code, "soap:Server");
+  // Undecodable bytes are the sender's fault, answered in-band.
+  EXPECT_EQ(response.fault().code, "soap:Client");
 }
 
 TEST(SoapEngine, OneWaySendDoesNotWaitForResponse) {

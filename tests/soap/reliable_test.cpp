@@ -1,0 +1,216 @@
+#include "soap/reliable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "services/verification.hpp"
+#include "soap/engine.hpp"
+#include "transport/bindings.hpp"
+#include "transport/fault.hpp"
+#include "transport/server_pool.hpp"
+#include "workload/lead.hpp"
+
+namespace bxsoap::soap {
+namespace {
+
+SoapEnvelope probe_request() {
+  return SoapEnvelope::wrap(xdm::make_element(xdm::QName("probe")));
+}
+
+/// Engine stub: fails the first `failures_remaining` calls with a
+/// TransportError, then echoes the request (or a fault / DecodeError,
+/// per flags).
+struct FlakyEngine {
+  int failures_remaining = 0;
+  bool return_fault = false;
+  bool throw_decode = false;
+  int calls = 0;
+
+  SoapEnvelope call(SoapEnvelope request) {
+    ++calls;
+    if (failures_remaining > 0) {
+      --failures_remaining;
+      throw TransportError("synthetic transport failure");
+    }
+    if (throw_decode) throw DecodeError("synthetic decode failure");
+    if (return_fault) {
+      return SoapEnvelope::make_fault({"soap:Server", "declined", ""});
+    }
+    return request;
+  }
+};
+
+RetryPolicy fast_policy() {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.initial_backoff = std::chrono::milliseconds(0);  // tests never sleep
+  return p;
+}
+
+TEST(ReliableCaller, FirstAttemptSuccessIsPassthrough) {
+  FlakyEngine engine;
+  obs::Registry registry;
+  ReliableCaller<FlakyEngine> caller(engine, fast_policy(), &registry);
+  const SoapEnvelope resp = caller.call(probe_request());
+  EXPECT_FALSE(resp.is_fault());
+  EXPECT_EQ(engine.calls, 1);
+  EXPECT_EQ(registry.counter("client.retry.attempts").value(), 1u);
+  EXPECT_EQ(registry.counter("client.retry.retries").value(), 0u);
+  EXPECT_EQ(registry.counter("client.retry.successes").value(), 1u);
+  EXPECT_EQ(registry.counter("client.retry.giveups").value(), 0u);
+}
+
+TEST(ReliableCaller, RetriesTransportFailuresUntilSuccess) {
+  FlakyEngine engine;
+  engine.failures_remaining = 2;
+  obs::Registry registry;
+  ReliableCaller<FlakyEngine> caller(engine, fast_policy(), &registry);
+  const SoapEnvelope resp = caller.call(probe_request());
+  EXPECT_FALSE(resp.is_fault());
+  EXPECT_EQ(engine.calls, 3);
+  EXPECT_EQ(registry.counter("client.retry.attempts").value(), 3u);
+  EXPECT_EQ(registry.counter("client.retry.retries").value(), 2u);
+  EXPECT_EQ(registry.counter("client.retry.successes").value(), 1u);
+}
+
+TEST(ReliableCaller, GivesUpAfterMaxAttempts) {
+  FlakyEngine engine;
+  engine.failures_remaining = 100;
+  obs::Registry registry;
+  ReliableCaller<FlakyEngine> caller(engine, fast_policy(), &registry);
+  EXPECT_THROW(caller.call(probe_request()), TransportError);
+  EXPECT_EQ(engine.calls, 3);
+  EXPECT_EQ(registry.counter("client.retry.giveups").value(), 1u);
+  EXPECT_EQ(registry.counter("client.retry.successes").value(), 0u);
+}
+
+TEST(ReliableCaller, SoapFaultIsAnAnswerNotARetry) {
+  FlakyEngine engine;
+  engine.return_fault = true;
+  obs::Registry registry;
+  ReliableCaller<FlakyEngine> caller(engine, fast_policy(), &registry);
+  const SoapEnvelope resp = caller.call(probe_request());
+  ASSERT_TRUE(resp.is_fault());
+  EXPECT_EQ(resp.fault().code, "soap:Server");
+  EXPECT_EQ(engine.calls, 1);  // never retried
+  EXPECT_EQ(registry.counter("client.retry.retries").value(), 0u);
+}
+
+TEST(ReliableCaller, DecodeErrorPropagatesWithoutRetry) {
+  FlakyEngine engine;
+  engine.throw_decode = true;
+  ReliableCaller<FlakyEngine> caller(engine, fast_policy());
+  EXPECT_THROW(caller.call(probe_request()), DecodeError);
+  EXPECT_EQ(engine.calls, 1);  // the transport worked; retry can't help
+}
+
+TEST(ReliableCaller, BackoffScheduleIsDeterministic) {
+  const auto schedule_for = [](std::uint64_t seed) {
+    FlakyEngine engine;
+    engine.failures_remaining = 100;
+    RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.initial_backoff = std::chrono::milliseconds(16);
+    policy.backoff_multiplier = 2.0;
+    policy.max_backoff = std::chrono::milliseconds(50);
+    policy.jitter_seed = seed;
+    ReliableCaller<FlakyEngine> caller(engine, policy);
+    std::vector<std::int64_t> delays;
+    caller.set_sleep_hook([&delays](std::chrono::milliseconds d) {
+      delays.push_back(d.count());
+    });
+    EXPECT_THROW(caller.call(probe_request()), TransportError);
+    return delays;
+  };
+
+  const auto a = schedule_for(11);
+  const auto b = schedule_for(11);
+  EXPECT_EQ(a, b);  // same seed, same failure sequence -> same delays
+  ASSERT_EQ(a.size(), 5u);  // 6 attempts = 5 backoffs
+
+  // Equal jitter: each delay lies in [base/2, base], base doubling to the
+  // 50 ms cap: 16, 32, 50, 50, 50.
+  const std::int64_t bases[] = {16, 32, 50, 50, 50};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i], bases[i] / 2) << i;
+    EXPECT_LE(a[i], bases[i]) << i;
+  }
+}
+
+TEST(ReliableCaller, DeadlineBoundsTheWholeCall) {
+  FlakyEngine engine;
+  engine.failures_remaining = 100;
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff = std::chrono::milliseconds(400);
+  policy.deadline = std::chrono::milliseconds(100);
+  obs::Registry registry;
+  ReliableCaller<FlakyEngine> caller(engine, policy, &registry);
+  caller.set_sleep_hook([](std::chrono::milliseconds) {});
+  // The first backoff (>= 200 ms jittered) can never fit the 100 ms
+  // deadline, so the caller gives up after one attempt instead of
+  // sleeping past its budget.
+  EXPECT_THROW(caller.call(probe_request()), TransportError);
+  EXPECT_EQ(engine.calls, 1);
+  EXPECT_EQ(registry.counter("client.retry.giveups").value(), 1u);
+}
+
+// ---- end to end: retry over a real pool with injected faults ---------------
+
+TEST(ReliableCaller, RecoversFromInjectedConnectionReset) {
+  using transport::FaultKind;
+  using transport::FaultPlan;
+  using transport::FaultyBinding;
+  using transport::TcpClientBinding;
+
+  transport::ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = services::verification_handler;
+  transport::SoapServerPool pool(std::move(cfg));
+
+  // First message dies before it leaves; the retry must reconnect and win.
+  const FaultPlan plan = FaultPlan::script({{FaultKind::kReset, 0, 0, 0}});
+  SoapEngine<BxsaEncoding, FaultyBinding<TcpClientBinding>> client(
+      {}, FaultyBinding<TcpClientBinding>(TcpClientBinding(pool.port()), plan));
+
+  obs::Registry registry;
+  ReliableCaller caller(client, fast_policy(), &registry);
+  const auto dataset = workload::make_lead_dataset(25);
+  const SoapEnvelope resp = caller.call(services::make_data_request(dataset));
+  EXPECT_TRUE(services::parse_verify_response(resp).ok);
+  EXPECT_EQ(registry.counter("client.retry.attempts").value(), 2u);
+  EXPECT_EQ(registry.counter("client.retry.retries").value(), 1u);
+  EXPECT_EQ(pool.exchanges(), 1u);
+}
+
+TEST(ReliableCaller, InjectedCorruptionComesBackAsClientFault) {
+  using transport::FaultKind;
+  using transport::FaultPlan;
+  using transport::FaultyBinding;
+  using transport::TcpClientBinding;
+
+  transport::ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = services::verification_handler;
+  transport::SoapServerPool pool(std::move(cfg));
+
+  // Truncate the first request's payload: the frame arrives intact, the
+  // BXSA bytes inside don't decode, and the pool answers with a fault the
+  // retry layer must NOT retry.
+  const FaultPlan plan = FaultPlan::script({{FaultKind::kTruncate, 4, 0, 0}});
+  SoapEngine<BxsaEncoding, FaultyBinding<TcpClientBinding>> client(
+      {}, FaultyBinding<TcpClientBinding>(TcpClientBinding(pool.port()), plan));
+
+  obs::Registry registry;
+  ReliableCaller caller(client, fast_policy(), &registry);
+  const SoapEnvelope resp = caller.call(probe_request());
+  ASSERT_TRUE(resp.is_fault());
+  EXPECT_EQ(resp.fault().code, "soap:Client");
+  EXPECT_EQ(registry.counter("client.retry.retries").value(), 0u);
+  EXPECT_EQ(pool.faults(), 1u);
+}
+
+}  // namespace
+}  // namespace bxsoap::soap

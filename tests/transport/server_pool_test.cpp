@@ -266,7 +266,119 @@ TEST(ServerPool, MalformedBytesBecomeFaultNotDisconnect) {
   BxsaEncoding enc;
   SoapEnvelope env(enc.deserialize(resp.payload));
   ASSERT_TRUE(env.is_fault());
-  EXPECT_EQ(env.fault().code, "soap:Server");
+  // Undecodable bytes are the client's fault, answered in-band.
+  EXPECT_EQ(env.fault().code, "soap:Client");
+}
+
+// Hardening: a frame whose declared length exceeds the pool's cap is
+// refused before allocation — the connection is dropped (we cannot trust
+// another byte of it) and the pool keeps serving everyone else.
+TEST(ServerPool, OversizedFrameRefusedAndPoolSurvives) {
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = services::verification_handler;
+  cfg.frame_limits.max_message_bytes = 1024;
+  SoapServerPool pool(std::move(cfg));
+
+  // Handcraft a header declaring a 1 GiB payload we never send.
+  ByteWriter header;
+  header.write_bytes(kFrameMagic, sizeof(kFrameMagic));
+  header.write_u8(kFrameVersion);
+  const std::string_view ct = "application/bxsa";
+  vls_write(header, ct.size());
+  header.write_string(ct);
+  header.write<std::uint64_t>(1u << 30, ByteOrder::kBig);
+
+  TcpStream hostile = TcpStream::connect(pool.port());
+  hostile.write_all(header.bytes());
+  // The pool rejects the declared length and closes the connection rather
+  // than waiting for (or allocating) a gigabyte.
+  hostile.set_read_timeout(2000);
+  std::uint8_t b;
+  EXPECT_THROW(hostile.read_exact(&b, 1), TransportError);
+
+  // A well-behaved client is untouched.
+  SoapEngine<BxsaEncoding, TcpClientBinding> client(
+      {}, TcpClientBinding(pool.port()));
+  SoapEnvelope resp = client.call(
+      services::make_data_request(workload::make_lead_dataset(5)));
+  EXPECT_TRUE(services::parse_verify_response(resp).ok);
+  EXPECT_EQ(pool.exchanges(), 1u);
+}
+
+// Hardening: with a worker ceiling the pool stops accepting while at
+// capacity (the kernel backlog holds the overflow), so concurrency never
+// exceeds the ceiling — yet every queued client is eventually served.
+TEST(ServerPool, WorkerCeilingAppliesBackpressure) {
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = [](SoapEnvelope req) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return services::verification_handler(std::move(req));
+  };
+  cfg.max_workers = 2;
+  SoapServerPool pool(std::move(cfg));
+
+  constexpr int kClients = 6;
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      try {
+        SoapEngine<BxsaEncoding, TcpClientBinding> client(
+            {}, TcpClientBinding(pool.port()));
+        SoapEnvelope resp = client.call(
+            services::make_data_request(workload::make_lead_dataset(3)));
+        if (!services::parse_verify_response(resp).ok) ++failures;
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  // Sample the pool's concurrency while the queue drains.
+  std::size_t max_active = 0;
+  std::thread sampler([&] {
+    while (!done.load()) {
+      max_active = std::max(max_active, pool.active_connections());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& t : clients) t.join();
+  done.store(true);
+  sampler.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(pool.exchanges(), static_cast<std::size_t>(kClients));
+  EXPECT_LE(max_active, 2u);
+}
+
+// Hardening: stop() drains in-flight exchanges — a client mid-call when
+// shutdown begins still gets its full response.
+TEST(ServerPool, GracefulStopDrainsInFlightExchange) {
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = [](SoapEnvelope req) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    return services::verification_handler(std::move(req));
+  };
+  cfg.drain_timeout = std::chrono::seconds(2);
+  SoapServerPool pool(std::move(cfg));
+
+  std::atomic<bool> got_response{false};
+  std::thread client_thread([&] {
+    SoapEngine<BxsaEncoding, TcpClientBinding> client(
+        {}, TcpClientBinding(pool.port()));
+    SoapEnvelope resp = client.call(
+        services::make_data_request(workload::make_lead_dataset(4)));
+    got_response.store(services::parse_verify_response(resp).ok);
+  });
+  // Let the exchange get into the handler, then shut down around it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  pool.stop();
+  client_thread.join();
+  EXPECT_TRUE(got_response.load());
+  EXPECT_EQ(pool.exchanges(), 1u);
 }
 
 }  // namespace
