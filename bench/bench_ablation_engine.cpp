@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "bench/harness.hpp"
+#include "common/buffer_pool.hpp"
 #include "obs/observer.hpp"
 #include "soap/any_engine.hpp"
 #include "soap/engine.hpp"
@@ -31,6 +32,88 @@ SoapEnvelope tiny_request() {
 }
 
 SoapEnvelope echo(SoapEnvelope req) { return req; }
+
+// The zero-copy hot path's target traffic: one packed array of 128 Ki
+// doubles (1 MiB on the wire).
+constexpr std::size_t kLargeCount = 128 * 1024;
+
+SoapEnvelope large_request() {
+  std::vector<double> values(kLargeCount);
+  for (std::size_t i = 0; i < kLargeCount; ++i) {
+    values[i] = static_cast<double>(i) * 0.5;
+  }
+  auto payload = xdm::make_element(xdm::QName("urn:b", "Grid", "b"));
+  payload->add_child(xdm::make_array<double>(
+      xdm::QName("urn:b", "values", "b"), std::move(values)));
+  return SoapEnvelope::wrap(std::move(payload));
+}
+
+/// BxsaEncoding stripped down to the base EncodingPolicy concept: no
+/// serialize_into, no deserialize_shared, so every engine falls back to
+/// the historical copy-per-call path. The "before" leg of the zero-copy
+/// ablation below.
+class CopyingBxsaEncoding {
+ public:
+  static constexpr std::string_view content_type() {
+    return BxsaEncoding::content_type();
+  }
+  std::vector<std::uint8_t> serialize(const xdm::Document& d) const {
+    return enc_.serialize(d);
+  }
+  xdm::DocumentPtr deserialize(std::span<const std::uint8_t> bytes) const {
+    return enc_.deserialize(bytes);
+  }
+
+ private:
+  BxsaEncoding enc_;
+};
+static_assert(EncodingPolicy<CopyingBxsaEncoding>);
+static_assert(!AppendSerializeEncoding<CopyingBxsaEncoding>);
+static_assert(!SharedDeserializeEncoding<CopyingBxsaEncoding>);
+
+// ---- zero-copy ablation: large-array echo over real TCP --------------------
+//
+// Same traffic, same sockets; the only variable is whether the encoding
+// exposes the zero-copy extensions (pooled append-serialize + shared-buffer
+// deserialize with array views) or forces the engines onto the copy path.
+template <typename Encoding>
+void large_array_tcp_round_trip(benchmark::State& state) {
+  transport::TcpServerBinding server_binding;
+  const std::uint16_t port = server_binding.port();
+  SoapEngine<Encoding, transport::TcpServerBinding> server(
+      {}, std::move(server_binding));
+  std::atomic<bool> stop{false};
+  std::thread service([&] {
+    try {
+      while (!stop.load()) server.serve_once(echo);
+    } catch (const TransportError&) {
+    }
+  });
+
+  SoapEngine<Encoding, transport::TcpClientBinding> client(
+      {}, transport::TcpClientBinding(port));
+  const SoapEnvelope req = large_request();
+  for (auto _ : state) {
+    SoapEnvelope resp = client.call(req);
+    benchmark::DoNotOptimize(resp.body_payload());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(kLargeCount * 8));
+  stop.store(true);
+  server.binding().shutdown();  // make the re-accept after close() throw
+  client.binding().close();
+  service.join();
+}
+
+void BM_LargeArrayTcpZeroCopy(benchmark::State& state) {
+  large_array_tcp_round_trip<BxsaEncoding>(state);
+}
+BENCHMARK(BM_LargeArrayTcpZeroCopy)->Unit(benchmark::kMicrosecond);
+
+void BM_LargeArrayTcpCopying(benchmark::State& state) {
+  large_array_tcp_round_trip<CopyingBxsaEncoding>(state);
+}
+BENCHMARK(BM_LargeArrayTcpCopying)->Unit(benchmark::kMicrosecond);
 
 void BM_StaticEngineRoundTrip(benchmark::State& state) {
   auto [client_end, server_end] = InMemoryBinding::make_pair();
@@ -145,21 +228,22 @@ BENCHMARK(BM_VirtualEncodePolicy);
 // histograms (serialize/send/receive/deserialize/handler/security),
 // payload byte counters and exchange counts for each stack.
 template <typename Encoding, typename ClientBinding, typename ServerBinding>
-void run_observed_stack(obs::Registry& registry, const std::string& prefix) {
-  constexpr int kCalls = 50;
+void run_observed_stack(obs::Registry& registry, const std::string& prefix,
+                        SoapEnvelope (*make_request)() = tiny_request,
+                        int calls = 50) {
   ServerBinding server_binding;
   const std::uint16_t port = server_binding.port();
   SoapEngine<Encoding, ServerBinding, NoSecurity, obs::MetricsObserver>
       server({}, std::move(server_binding), {},
              obs::MetricsObserver(registry, prefix + ".server"));
-  std::thread service([&server] {
-    for (int i = 0; i < kCalls; ++i) server.serve_once(echo);
+  std::thread service([&server, calls] {
+    for (int i = 0; i < calls; ++i) server.serve_once(echo);
   });
   SoapEngine<Encoding, ClientBinding, NoSecurity, obs::MetricsObserver>
       client({}, ClientBinding(port), {},
              obs::MetricsObserver(registry, prefix + ".client"));
-  const SoapEnvelope req = tiny_request();
-  for (int i = 0; i < kCalls; ++i) {
+  const SoapEnvelope req = make_request();
+  for (int i = 0; i < calls; ++i) {
     SoapEnvelope resp = client.call(req);
     benchmark::DoNotOptimize(resp.body_payload());
   }
@@ -181,6 +265,26 @@ void dump_stage_breakdown() {
       registry, "xml_tcp");
   run_observed_stack<XmlEncoding, HttpClientBinding, HttpServerBinding>(
       registry, "xml_http");
+
+  // Large-array legs with the global buffer pool's counters mirrored into
+  // the registry, one counter set per leg: the per-leg pool.hit / pool.miss
+  // / pool.recycled_bytes deltas in the snapshot quantify allocations saved
+  // per call on the zero-copy path (a miss is the only place the pool
+  // mallocs; the copying leg additionally allocates fresh serialize /
+  // deserialize buffers the pool never sees).
+  BufferPool::global().attach_counters(
+      &registry.counter("bxsa_tcp_large_copy.pool.hit"),
+      &registry.counter("bxsa_tcp_large_copy.pool.miss"),
+      &registry.counter("bxsa_tcp_large_copy.pool.recycled_bytes"));
+  run_observed_stack<CopyingBxsaEncoding, TcpClientBinding, TcpServerBinding>(
+      registry, "bxsa_tcp_large_copy", large_request, 20);
+  BufferPool::global().attach_counters(
+      &registry.counter("bxsa_tcp_large_zerocopy.pool.hit"),
+      &registry.counter("bxsa_tcp_large_zerocopy.pool.miss"),
+      &registry.counter("bxsa_tcp_large_zerocopy.pool.recycled_bytes"));
+  run_observed_stack<BxsaEncoding, TcpClientBinding, TcpServerBinding>(
+      registry, "bxsa_tcp_large_zerocopy", large_request, 20);
+  BufferPool::global().attach_counters(nullptr, nullptr, nullptr);
 
   const std::string path =
       bench::dump_registry_snapshot(registry, "ablation_engine");

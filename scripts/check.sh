@@ -35,4 +35,15 @@ echo "== chaos suite (asan-ubsan, -L chaos) =="
   UBSAN_OPTIONS="print_stacktrace=1" \
   ctest -L chaos --output-on-failure -j "$jobs")
 
+echo "== configure + build (tsan preset) =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$jobs" --target test_common test_transport
+
+echo "== ctest (tsan: buffer pool + server pool) =="
+# The concurrency-heavy surfaces under ThreadSanitizer: the BufferPool /
+# SharedBuffer recycling machinery and the multi-threaded server pool.
+(cd build-tsan && TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool' --output-on-failure \
+  -j "$jobs")
+
 echo "check.sh: all green"

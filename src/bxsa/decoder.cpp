@@ -1,5 +1,8 @@
 #include "bxsa/decoder.hpp"
 
+#include <cstring>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bxsa/frame.hpp"
@@ -18,8 +21,9 @@ constexpr std::size_t kMaxFrameDepth = 1024;
 
 class Decoder {
  public:
-  Decoder(std::span<const std::uint8_t> bytes, obs::CodecStats* stats)
-      : r_(bytes), stats_(stats) {}
+  Decoder(std::span<const std::uint8_t> bytes, obs::CodecStats* stats,
+          const SharedBuffer* wire = nullptr)
+      : r_(bytes), stats_(stats), wire_(wire) {}
 
   NodePtr read_node() {
     if (++depth_guard_ > kMaxFrameDepth) {
@@ -108,8 +112,8 @@ class Decoder {
                         " out of range for symbol table of size " +
                         std::to_string(table.size()));
     }
-    const NamespaceDecl& d = table[index];
-    return QName(d.uri, r_.get_string(), d.prefix);
+    const NsEntry& d = table[index];
+    return QName(std::string(d.uri), r_.get_string(), std::string(d.prefix));
   }
 
   ScalarValue read_scalar(AtomType t, ByteOrder order) {
@@ -164,13 +168,16 @@ class Decoder {
       throw DecodeError("namespace decl count " + std::to_string(n1) +
                         " exceeds remaining input");
     }
-    std::vector<NamespaceDecl> table;
+    // The decoder's own symbol stack holds views into the wire bytes (which
+    // outlive decoding), so only the strings interned into the element cost
+    // an allocation.
+    std::vector<NsEntry> table;
     table.reserve(static_cast<std::size_t>(n1));
     for (std::uint64_t i = 0; i < n1; ++i) {
-      std::string pfx = r_.get_string();
-      std::string uri = r_.get_string();
-      e.declare_namespace(pfx, uri);
-      table.push_back({std::move(pfx), std::move(uri)});
+      const std::string_view pfx = r_.get_string_view();
+      const std::string_view uri = r_.get_string_view();
+      e.declare_namespace(std::string(pfx), std::string(uri));
+      table.push_back({pfx, uri});
     }
     ns_stack_.push_back(std::move(table));
 
@@ -241,12 +248,45 @@ class Decoder {
                        std::size_t count, ByteOrder order) {
     auto arr = std::make_unique<ArrayElement<T>>(header_holder.name());
     arr->set_item_name(std::move(item_name));
-    arr->values() = r_.get_array<T>(count, order);
+    read_items<T>(*arr, count, order);
     for (const auto& d : header_holder.namespaces()) {
       arr->declare_namespace(d.prefix, d.uri);
     }
     arr->attributes() = std::move(header_holder.attributes());
     return arr;
+  }
+
+  /// Array payload: a zero-copy view into the wire buffer when a lifetime
+  /// owner is present, the byte order already matches the host, and the
+  /// payload lands machine-aligned; otherwise one memcpy (+ swap).
+  template <PackedAtomic T>
+  void read_items(ArrayElement<T>& arr, std::size_t count, ByteOrder order) {
+    r_.align_to(sizeof(T));
+    // Divide, don't multiply: count * sizeof(T) can wrap size_t on a
+    // hostile count and defeat get_raw's own bounds check.
+    if (count > r_.remaining() / sizeof(T)) {
+      throw DecodeError("array count exceeds remaining input");
+    }
+    const auto raw = r_.get_raw(count * sizeof(T));
+    // XBS aligns relative to the stream origin; the buffer's own base
+    // address decides whether a native T* may point at the payload.
+    const bool aligned =
+        reinterpret_cast<std::uintptr_t>(raw.data()) % alignof(T) == 0;
+    if (wire_ != nullptr && count != 0 && order == host_byte_order() &&
+        aligned) {
+      arr.set_view(
+          std::span<const T>(reinterpret_cast<const T*>(raw.data()), count),
+          wire_->handle());
+      return;
+    }
+    std::vector<T> vals(count);
+    if (count != 0) {
+      std::memcpy(vals.data(), raw.data(), raw.size());
+      if (order != host_byte_order()) {
+        byteswap_array(vals.data(), vals.size());
+      }
+    }
+    arr.values() = std::move(vals);
   }
 
   NodePtr read_array(const FramePrefix& prefix) {
@@ -296,10 +336,16 @@ class Decoder {
     throw DecodeError("unknown array atom type");
   }
 
+  struct NsEntry {
+    std::string_view prefix;
+    std::string_view uri;
+  };
+
   xbs::Reader r_;
-  std::vector<std::vector<NamespaceDecl>> ns_stack_;
+  std::vector<std::vector<NsEntry>> ns_stack_;
   std::size_t depth_guard_ = 0;
   obs::CodecStats* stats_;
+  const SharedBuffer* wire_;
 };
 
 }  // namespace
@@ -320,6 +366,21 @@ DocumentPtr decode_document(std::span<const std::uint8_t> bytes,
     throw DecodeError("top-level frame is not a Document frame");
   }
   return DocumentPtr(static_cast<Document*>(node.release()));
+}
+
+DecodedMessage decode_message(SharedBuffer wire, obs::CodecStats* stats) {
+  Decoder d(wire.bytes(), stats, &wire);
+  NodePtr node = d.read_node();
+  if (!d.at_end()) {
+    throw DecodeError("trailing bytes after the top-level frame");
+  }
+  if (node->kind() != NodeKind::kDocument) {
+    throw DecodeError("top-level frame is not a Document frame");
+  }
+  DecodedMessage m;
+  m.document = DocumentPtr(static_cast<Document*>(node.release()));
+  m.wire = std::move(wire);
+  return m;
 }
 
 }  // namespace bxsoap::bxsa

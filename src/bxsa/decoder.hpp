@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 
+#include "common/buffer_pool.hpp"
 #include "xdm/node.hpp"
 
 namespace bxsoap::obs {
@@ -22,5 +23,22 @@ xdm::NodePtr decode(std::span<const std::uint8_t> bytes,
 /// Like decode() but requires the top frame to be a Document.
 xdm::DocumentPtr decode_document(std::span<const std::uint8_t> bytes,
                                  obs::CodecStats* stats = nullptr);
+
+/// A decoded document whose ArrayElement payloads may be zero-copy views
+/// into the wire buffer. Each view-backed array node pins `wire` via a
+/// shared handle, so the tree (and any subtree moved out of it) stays valid
+/// for as long as any such node lives — `wire` here is just the decoder's
+/// own reference.
+struct DecodedMessage {
+  xdm::DocumentPtr document;
+  SharedBuffer wire;
+};
+
+/// Decode a whole wire buffer, keeping packed arrays as views into it when
+/// the frame byte order matches the host (and the payload is suitably
+/// aligned); copies only on mismatch. The returned message shares ownership
+/// of `wire` with every view-backed node.
+DecodedMessage decode_message(SharedBuffer wire,
+                              obs::CodecStats* stats = nullptr);
 
 }  // namespace bxsoap::bxsa

@@ -57,7 +57,11 @@ class Encoder final : public NodeVisitor {
   explicit Encoder(ByteOrder order, obs::CodecStats* stats)
       : order_(order), w_(order), stats_(stats) {}
 
+  Encoder(ByteOrder order, obs::CodecStats* stats, ByteWriter out)
+      : order_(order), w_(order, std::move(out)), stats_(stats) {}
+
   std::vector<std::uint8_t> take() { return w_.take(); }
+  ByteWriter take_writer() { return w_.take_writer(); }
 
   void visit(const Document& d) override {
     BackpatchedFrame frame(*this, FrameType::kDocument);
@@ -137,7 +141,10 @@ class Encoder final : public NodeVisitor {
           enc_.w_.offset() - size_pos_ - kSizeFieldWidth;
       std::uint8_t buf[kSizeFieldWidth];
       vls_encode_padded(body, kSizeFieldWidth, buf);
-      enc_.w_.raw_writer().patch_bytes(size_pos_, buf, kSizeFieldWidth);
+      // size_pos_ is stream-relative; patch_at adds the writer's origin so
+      // appending after a reserved transport header still patches the right
+      // bytes.
+      enc_.w_.patch_at(size_pos_, buf, kSizeFieldWidth);
     }
 
    private:
@@ -326,6 +333,13 @@ std::vector<std::uint8_t> encode(const Node& node, const EncodeOptions& opt) {
   Encoder enc(opt.order, opt.stats);
   node.accept(enc);
   return enc.take();
+}
+
+void encode_append(const Node& node, ByteWriter& out,
+                   const EncodeOptions& opt) {
+  Encoder enc(opt.order, opt.stats, std::move(out));
+  node.accept(enc);
+  out = enc.take_writer();
 }
 
 }  // namespace bxsoap::bxsa

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/endian.hpp"
 #include "xdm/node.hpp"
 
@@ -27,5 +28,13 @@ struct EncodeOptions {
 /// relative to its beginning.
 std::vector<std::uint8_t> encode(const xdm::Node& node,
                                  const EncodeOptions& opt = {});
+
+/// Encode into an existing ByteWriter (e.g. a pooled buffer with a transport
+/// frame header already reserved). The BXSA stream origin is wherever `out`
+/// currently ends, so array alignment — and therefore every emitted byte —
+/// is identical to encode(): receivers that treat the payload start as
+/// offset 0 decode it unchanged.
+void encode_append(const xdm::Node& node, ByteWriter& out,
+                   const EncodeOptions& opt = {});
 
 }  // namespace bxsoap::bxsa

@@ -11,11 +11,12 @@ bool is_element_frame(FrameType t) {
          t == FrameType::kArrayElement;
 }
 
-/// Skip a QNameRef, returning the local name.
-std::string skip_qname_ref(xbs::Reader& r) {
+/// Skip a QNameRef without materializing the local name (a string_view read
+/// costs no allocation; most scans discard the name anyway).
+std::string_view skip_qname_ref(xbs::Reader& r) {
   const std::uint64_t depth = r.get_vls();
   if (depth != 0) r.get_vls();  // ns index
-  return r.get_string();
+  return r.get_string_view();
 }
 
 /// Skip a typed value given its atom code.
@@ -126,7 +127,7 @@ std::string FrameScanner::element_local_name(const FrameInfo& f) const {
     r.skip(static_cast<std::size_t>(r.get_vls()));
     r.skip(static_cast<std::size_t>(r.get_vls()));
   }
-  return skip_qname_ref(r);
+  return std::string(skip_qname_ref(r));
 }
 
 FrameScanner::ArrayView FrameScanner::array_view(const FrameInfo& f) const {

@@ -21,6 +21,9 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  /// Adopt an existing buffer (e.g. one recycled from a BufferPool) and
+  /// append to it. The buffer keeps whatever bytes it already holds.
+  explicit ByteWriter(std::vector<std::uint8_t> buf) : buf_(std::move(buf)) {}
 
   void write_u8(std::uint8_t v) { buf_.push_back(v); }
 
@@ -64,7 +67,8 @@ class ByteWriter {
   /// Overwrite previously written bytes at `offset` (used to backpatch frame
   /// sizes once a frame body is complete).
   void patch_bytes(std::size_t offset, const void* data, std::size_t n) {
-    if (offset + n > buf_.size()) {
+    // offset + n can wrap size_t; compare subtractively instead.
+    if (offset > buf_.size() || n > buf_.size() - offset) {
       throw EncodeError("patch out of range");
     }
     std::memcpy(buf_.data() + offset, data, n);
@@ -132,6 +136,13 @@ class ByteReader {
   std::string read_string(std::size_t n) {
     auto s = read_bytes(n);
     return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+
+  /// Non-owning variant of read_string for callers that immediately intern
+  /// or compare the name: valid only while the underlying buffer lives.
+  std::string_view read_string_view(std::size_t n) {
+    auto s = read_bytes(n);
+    return {reinterpret_cast<const char*>(s.data()), s.size()};
   }
 
   /// Read `count` arithmetic values written with write_array.

@@ -1,0 +1,112 @@
+#include "common/buffer_pool.hpp"
+
+#include <bit>
+
+#include "obs/metrics.hpp"
+
+namespace bxsoap {
+
+namespace {
+
+std::size_t floor_log2(std::size_t v) {
+  return static_cast<std::size_t>(std::bit_width(v) - 1);
+}
+
+}  // namespace
+
+BufferPool::BufferPool(Config cfg) : cfg_(cfg) {
+  if (cfg_.min_class_bytes < 16) cfg_.min_class_bytes = 16;
+  cfg_.min_class_bytes = std::bit_ceil(cfg_.min_class_bytes);
+  cfg_.max_class_bytes = std::bit_ceil(cfg_.max_class_bytes);
+  if (cfg_.max_class_bytes < cfg_.min_class_bytes) {
+    cfg_.max_class_bytes = cfg_.min_class_bytes;
+  }
+  num_classes_ =
+      floor_log2(cfg_.max_class_bytes) - floor_log2(cfg_.min_class_bytes) + 1;
+  classes_.resize(num_classes_);
+}
+
+std::size_t BufferPool::class_index_up(std::size_t bytes) const noexcept {
+  if (bytes <= cfg_.min_class_bytes) return 0;
+  return floor_log2(std::bit_ceil(bytes)) - floor_log2(cfg_.min_class_bytes);
+}
+
+std::vector<std::uint8_t> BufferPool::acquire(std::size_t min_capacity) {
+  if (min_capacity <= cfg_.max_class_bytes) {
+    const std::size_t idx = class_index_up(min_capacity);
+    std::unique_lock<std::mutex> lock(mu_);
+    // Serve from the requested class or any larger one: a bigger recycled
+    // buffer still satisfies the caller and keeps its capacity in use.
+    for (std::size_t i = idx; i < num_classes_; ++i) {
+      if (!classes_[i].empty()) {
+        std::vector<std::uint8_t> buf = std::move(classes_[i].back());
+        classes_[i].pop_back();
+        lock.unlock();
+        hit_.fetch_add(1, std::memory_order_relaxed);
+        if (auto* c = hit_counter_.load(std::memory_order_relaxed)) c->add();
+        buf.clear();
+        return buf;
+      }
+    }
+  }
+  miss_.fetch_add(1, std::memory_order_relaxed);
+  if (auto* c = miss_counter_.load(std::memory_order_relaxed)) c->add();
+  std::vector<std::uint8_t> buf;
+  const std::size_t cap = min_capacity <= cfg_.max_class_bytes
+                              ? cfg_.min_class_bytes << class_index_up(min_capacity)
+                              : min_capacity;
+  buf.reserve(cap);
+  return buf;
+}
+
+void BufferPool::release(std::vector<std::uint8_t> buf) {
+  const std::size_t cap = buf.capacity();
+  if (cap < cfg_.min_class_bytes || cap > cfg_.max_class_bytes) {
+    return;  // too small to be worth pooling, or too big to pin
+  }
+  // File under the class this capacity fully covers (round down), so a
+  // future acquire from that class never triggers an immediate regrow.
+  const std::size_t idx =
+      floor_log2(cap) - floor_log2(cfg_.min_class_bytes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (classes_[idx].size() >= cfg_.max_buffers_per_class) {
+      return;  // class full: let the vector free on scope exit
+    }
+    buf.clear();
+    classes_[idx].push_back(std::move(buf));
+  }
+  recycled_bytes_.fetch_add(cap, std::memory_order_relaxed);
+  if (auto* c = recycled_counter_.load(std::memory_order_relaxed)) {
+    c->add(cap);
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const noexcept {
+  Stats s;
+  s.hit = hit_.load(std::memory_order_relaxed);
+  s.miss = miss_.load(std::memory_order_relaxed);
+  s.recycled_bytes = recycled_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t BufferPool::pooled_buffers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& c : classes_) n += c.size();
+  return n;
+}
+
+void BufferPool::attach_counters(obs::Counter* hit, obs::Counter* miss,
+                                 obs::Counter* recycled_bytes) noexcept {
+  hit_counter_.store(hit, std::memory_order_relaxed);
+  miss_counter_.store(miss, std::memory_order_relaxed);
+  recycled_counter_.store(recycled_bytes, std::memory_order_relaxed);
+}
+
+BufferPool& BufferPool::global() {
+  static BufferPool pool;
+  return pool;
+}
+
+}  // namespace bxsoap

@@ -1,0 +1,146 @@
+// Size-class-aware recycling of payload buffers (the zero-copy hot path's
+// allocation amortizer).
+//
+// Every message on the wire used to cost at least three fresh heap
+// allocations: the encoder's output vector, the WireMessage payload, and the
+// receive-side frame buffer. BufferPool recycles those vectors across
+// messages so a steady-state server allocates (almost) nothing per call.
+//
+// Design:
+//   * Buffers are plain std::vector<std::uint8_t>; the pool only keeps their
+//     *capacity* alive. Releasing a buffer into a different pool than it was
+//     acquired from is therefore harmless — it is just a vector.
+//   * Power-of-two size classes. acquire(min_capacity) rounds the request UP
+//     to the next class so a recycled buffer always satisfies the caller
+//     without an immediate regrow; release() files a buffer under the class
+//     its capacity fully covers (round DOWN).
+//   * Each class holds at most `max_buffers_per_class` buffers; extra
+//     releases simply free. Buffers above the largest class are never pooled
+//     (a multi-GiB outlier must not pin memory forever).
+//   * hit/miss/recycled_bytes are relaxed internal atomics, optionally
+//     mirrored into obs::Counter instances via attach_counters() (the
+//     counters' methods are inline, so common/ takes no link dependency on
+//     obs/).
+//
+// Thread safety: all members are safe to call concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace bxsoap::obs {
+class Counter;
+}  // namespace bxsoap::obs
+
+namespace bxsoap {
+
+class BufferPool {
+ public:
+  struct Config {
+    /// Smallest size class, in bytes (requests below round up to this).
+    std::size_t min_class_bytes = 256;
+    /// Largest poolable capacity; bigger buffers are freed, not pooled.
+    std::size_t max_class_bytes = std::size_t{1} << 26;  // 64 MiB
+    /// Cap per size class: extra releases free instead of pooling.
+    std::size_t max_buffers_per_class = 16;
+  };
+
+  struct Stats {
+    std::uint64_t hit = 0;             ///< acquire() served from the pool
+    std::uint64_t miss = 0;            ///< acquire() fell through to malloc
+    std::uint64_t recycled_bytes = 0;  ///< capacity returned via release()
+  };
+
+  BufferPool() : BufferPool(Config{}) {}
+  explicit BufferPool(Config cfg);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns an empty vector with capacity >= min_capacity, recycled when a
+  /// matching size class has one.
+  std::vector<std::uint8_t> acquire(std::size_t min_capacity);
+
+  /// Hands a buffer's storage back for reuse. Clears it; keeps capacity.
+  void release(std::vector<std::uint8_t> buf);
+
+  Stats stats() const noexcept;
+
+  /// Number of buffers currently cached (for tests).
+  std::size_t pooled_buffers() const;
+
+  /// Mirror hit/miss/recycled_bytes into observability counters (typically
+  /// registry.counter("pool.hit") etc.). Pass nullptrs to detach. The
+  /// counters must outlive the pool or the next detach, whichever is first.
+  void attach_counters(obs::Counter* hit, obs::Counter* miss,
+                       obs::Counter* recycled_bytes) noexcept;
+
+  /// Process-wide default pool, used wherever no explicit pool is plumbed.
+  static BufferPool& global();
+
+ private:
+  std::size_t class_index_up(std::size_t bytes) const noexcept;
+
+  Config cfg_;
+  std::size_t num_classes_;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::vector<std::uint8_t>>> classes_;
+
+  std::atomic<std::uint64_t> hit_{0};
+  std::atomic<std::uint64_t> miss_{0};
+  std::atomic<std::uint64_t> recycled_bytes_{0};
+
+  std::atomic<obs::Counter*> hit_counter_{nullptr};
+  std::atomic<obs::Counter*> miss_counter_{nullptr};
+  std::atomic<obs::Counter*> recycled_counter_{nullptr};
+};
+
+/// Shared ownership of one wire buffer, recycled into a BufferPool when the
+/// last reference drops. This is what ties a zero-copy decoded tree to the
+/// bytes it points into: every view-backed ArrayElement holds handle().
+class SharedBuffer {
+ public:
+  SharedBuffer() = default;
+
+  /// Take ownership of `bytes`; recycle into `pool` on last release
+  /// (pool == nullptr: plain free).
+  static SharedBuffer adopt(std::vector<std::uint8_t> bytes,
+                            BufferPool* pool = nullptr) {
+    SharedBuffer b;
+    b.holder_ = std::make_shared<Holder>(std::move(bytes), pool);
+    return b;
+  }
+
+  bool valid() const noexcept { return holder_ != nullptr; }
+
+  std::span<const std::uint8_t> bytes() const noexcept {
+    if (!holder_) return {};
+    return {holder_->bytes.data(), holder_->bytes.size()};
+  }
+
+  /// Type-erased keepalive for decoded views into bytes().
+  std::shared_ptr<const void> handle() const noexcept {
+    if (!holder_) return nullptr;
+    return std::shared_ptr<const void>(holder_, holder_->bytes.data());
+  }
+
+ private:
+  struct Holder {
+    Holder(std::vector<std::uint8_t> b, BufferPool* p)
+        : bytes(std::move(b)), pool(p) {}
+    ~Holder() {
+      if (pool != nullptr) pool->release(std::move(bytes));
+    }
+    std::vector<std::uint8_t> bytes;
+    BufferPool* pool;
+  };
+
+  std::shared_ptr<Holder> holder_;
+};
+
+}  // namespace bxsoap

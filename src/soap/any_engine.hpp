@@ -30,6 +30,19 @@ class AnyEncoding {
   virtual xdm::DocumentPtr deserialize(
       std::span<const std::uint8_t> bytes) const = 0;
 
+  /// Serialize by appending to `out` (a pooled buffer, possibly holding a
+  /// reserved frame header). Default: serialize() then copy.
+  virtual void serialize_into(const xdm::Document& doc, ByteWriter& out) const {
+    const std::vector<std::uint8_t> bytes = serialize(doc);
+    out.write_bytes(bytes.data(), bytes.size());
+  }
+
+  /// Deserialize from a shared wire buffer; policies that support zero-copy
+  /// views keep `wire` alive through the tree. Default: plain deserialize.
+  virtual xdm::DocumentPtr deserialize_shared(const SharedBuffer& wire) const {
+    return deserialize(wire.bytes());
+  }
+
   /// Forward codec tallies to the wrapped policy when it supports them
   /// (BxsaEncoding does); a no-op for encodings with nothing to count.
   virtual void set_codec_stats(obs::CodecStats*) {}
@@ -49,6 +62,22 @@ class AnyEncoding {
       xdm::DocumentPtr deserialize(
           std::span<const std::uint8_t> bytes) const override {
         return enc.deserialize(bytes);
+      }
+      void serialize_into(const xdm::Document& doc,
+                          ByteWriter& out) const override {
+        if constexpr (AppendSerializeEncoding<E>) {
+          enc.serialize_into(doc, out);
+        } else {
+          AnyEncoding::serialize_into(doc, out);
+        }
+      }
+      xdm::DocumentPtr deserialize_shared(
+          const SharedBuffer& wire) const override {
+        if constexpr (SharedDeserializeEncoding<E>) {
+          return enc.deserialize_shared(wire);
+        } else {
+          return enc.deserialize(wire.bytes());
+        }
       }
       void set_codec_stats(obs::CodecStats* stats) override {
         if constexpr (requires { enc.set_codec_stats(stats); }) {
@@ -98,10 +127,12 @@ class AnySoapEngine {
                 std::unique_ptr<AnyBinding> binding)
       : encoding_(std::move(encoding)), binding_(std::move(binding)) {}
 
+  /// Same recycling contract as SoapEngine::set_buffer_pool.
+  void set_buffer_pool(BufferPool& pool) noexcept { pool_ = &pool; }
+
   SoapEnvelope call(SoapEnvelope request) {
     binding_->send_request(encode(request));
-    return SoapEnvelope(
-        encoding_->deserialize(binding_->receive_response().payload));
+    return decode(binding_->receive_response());
   }
 
   /// One-way MEP: encode and send without waiting for a response.
@@ -109,10 +140,7 @@ class AnySoapEngine {
     binding_->send_request(encode(request));
   }
 
-  SoapEnvelope receive_request() {
-    return SoapEnvelope(
-        encoding_->deserialize(binding_->receive_request().payload));
-  }
+  SoapEnvelope receive_request() { return decode(binding_->receive_request()); }
 
   void send_response(SoapEnvelope response) {
     binding_->send_response(encode(response));
@@ -122,12 +150,20 @@ class AnySoapEngine {
   WireMessage encode(const SoapEnvelope& env) const {
     WireMessage m;
     m.content_type = encoding_->content_type();
-    m.payload = encoding_->serialize(env.document());
+    ByteWriter w(pool_->acquire(256));
+    encoding_->serialize_into(env.document(), w);
+    m.payload = w.take();
     return m;
+  }
+
+  SoapEnvelope decode(WireMessage m) const {
+    SharedBuffer wire = SharedBuffer::adopt(std::move(m.payload), pool_);
+    return SoapEnvelope(encoding_->deserialize_shared(wire));
   }
 
   std::unique_ptr<AnyEncoding> encoding_;
   std::unique_ptr<AnyBinding> binding_;
+  BufferPool* pool_ = &BufferPool::global();
 };
 
 }  // namespace bxsoap::soap

@@ -30,6 +30,25 @@ concept EncodingPolicy = requires(const E e, const xdm::Document& d,
   { E::content_type() } -> std::convertible_to<std::string_view>;
 };
 
+/// Optional policy extension: serialize by APPENDING to an existing
+/// ByteWriter (typically a pooled buffer with a frame header reserved up
+/// front). Engines fall back to serialize() + copy when absent.
+template <typename E>
+concept AppendSerializeEncoding =
+    EncodingPolicy<E> &&
+    requires(const E e, const xdm::Document& d, ByteWriter& w) {
+      { e.serialize_into(d, w) } -> std::same_as<void>;
+    };
+
+/// Optional policy extension: deserialize from a shared wire buffer,
+/// allowing the decoded tree to keep zero-copy views into it. Engines fall
+/// back to deserialize(bytes) when absent.
+template <typename E>
+concept SharedDeserializeEncoding =
+    EncodingPolicy<E> && requires(const E e, const SharedBuffer& wire) {
+      { e.deserialize_shared(wire) } -> std::same_as<xdm::DocumentPtr>;
+    };
+
 /// XML 1.0 encoding with explicit type information (SOAP encoding rule:
 /// schema-less messages carry xsi:type), re-typed on receive so the
 /// application sees the same typed bXDM either way.
@@ -44,6 +63,12 @@ class XmlEncoding {
     opt.emit_type_info = true;
     const std::string text = xml::write_xml(doc, opt);
     return {text.begin(), text.end()};
+  }
+
+  void serialize_into(const xdm::Document& doc, ByteWriter& out) const {
+    xml::WriteOptions opt;
+    opt.emit_type_info = true;
+    out.write_string(xml::write_xml(doc, opt));
   }
 
   xdm::DocumentPtr deserialize(std::span<const std::uint8_t> bytes) const {
@@ -79,6 +104,19 @@ class BxsaEncoding {
     return bxsa::decode_document(bytes, stats_);
   }
 
+  void serialize_into(const xdm::Document& doc, ByteWriter& out) const {
+    bxsa::EncodeOptions opt;
+    opt.order = order_;
+    opt.stats = stats_;
+    bxsa::encode_append(doc, out, opt);
+  }
+
+  /// Zero-copy decode: packed arrays stay views into `wire`, pinned per
+  /// node, so the document outliving `wire`'s other references is safe.
+  xdm::DocumentPtr deserialize_shared(const SharedBuffer& wire) const {
+    return bxsa::decode_message(wire, stats_).document;
+  }
+
  private:
   ByteOrder order_;
   obs::CodecStats* stats_ = nullptr;
@@ -86,5 +124,9 @@ class BxsaEncoding {
 
 static_assert(EncodingPolicy<XmlEncoding>);
 static_assert(EncodingPolicy<BxsaEncoding>);
+static_assert(AppendSerializeEncoding<XmlEncoding>);
+static_assert(AppendSerializeEncoding<BxsaEncoding>);
+static_assert(!SharedDeserializeEncoding<XmlEncoding>);
+static_assert(SharedDeserializeEncoding<BxsaEncoding>);
 
 }  // namespace bxsoap::soap

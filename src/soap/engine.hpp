@@ -24,6 +24,7 @@
 #include <functional>
 #include <utility>
 
+#include "common/buffer_pool.hpp"
 #include "obs/observer.hpp"
 #include "soap/binding.hpp"
 #include "soap/encoding.hpp"
@@ -52,6 +53,12 @@ class SoapEngine {
   Binding& binding() { return binding_; }
   Security& security() { return security_; }
   Observer& observer() { return observer_; }
+
+  /// Buffer recycling for encode (output vectors) and decode (received
+  /// payloads returned to the pool once the decoded tree drops its last
+  /// view). Defaults to the process-wide pool; never null.
+  void set_buffer_pool(BufferPool& pool) noexcept { pool_ = &pool; }
+  BufferPool& buffer_pool() noexcept { return *pool_; }
 
   // ---- client side ----------------------------------------------------------
 
@@ -151,7 +158,15 @@ class SoapEngine {
     m.content_type = std::string(Encoding::content_type());
     {
       obs::StageTimer<Observer> t(observer_, obs::Stage::kSerialize);
-      m.payload = encoding_.serialize(env.document());
+      if constexpr (AppendSerializeEncoding<Encoding>) {
+        // Serialize straight into a recycled buffer instead of letting the
+        // policy allocate a fresh vector per message.
+        ByteWriter w(pool_->acquire(256));
+        encoding_.serialize_into(env.document(), w);
+        m.payload = w.take();
+      } else {
+        m.payload = encoding_.serialize(env.document());
+      }
     }
     observer_.stage_bytes(obs::Stage::kSerialize, m.payload.size());
     return m;
@@ -160,7 +175,15 @@ class SoapEngine {
   SoapEnvelope decode(WireMessage m) {
     observer_.stage_bytes(obs::Stage::kDeserialize, m.payload.size());
     obs::StageTimer<Observer> t(observer_, obs::Stage::kDeserialize);
-    return SoapEnvelope(encoding_.deserialize(m.payload));
+    if constexpr (SharedDeserializeEncoding<Encoding>) {
+      // Share the payload with the decoded tree: packed arrays decode as
+      // views, and the buffer recycles into the pool when the last view
+      // (or this call frame) lets go.
+      SharedBuffer wire = SharedBuffer::adopt(std::move(m.payload), pool_);
+      return SoapEnvelope(encoding_.deserialize_shared(wire));
+    } else {
+      return SoapEnvelope(encoding_.deserialize(m.payload));
+    }
   }
 
   template <typename ReceiveOp>
@@ -173,6 +196,7 @@ class SoapEngine {
   Binding binding_;
   Security security_;
   Observer observer_;
+  BufferPool* pool_ = &BufferPool::global();
 };
 
 }  // namespace bxsoap::soap

@@ -33,10 +33,12 @@ class TcpClientBinding {
   void send_request(soap::WireMessage m) {
     ensure_connected();
     write_frame(stream_, m);
+    // The payload's storage is done with; recycle it for the next encode.
+    pool_->release(std::move(m.payload));
   }
   soap::WireMessage receive_response() {
     if (!stream_.valid()) throw TransportError("not connected");
-    return read_frame(stream_, limits_);
+    return read_frame(stream_, limits_, pool_);
   }
   soap::WireMessage receive_request() {
     throw TransportError("receive_request on a client binding");
@@ -54,6 +56,10 @@ class TcpClientBinding {
 
   /// Ceilings applied to incoming frames (see transport/framing.hpp).
   void set_frame_limits(FrameLimits limits) noexcept { limits_ = limits; }
+
+  /// Recycle receive buffers (and sent payloads) through `pool`; defaults
+  /// to the process-wide pool.
+  void set_buffer_pool(BufferPool& pool) noexcept { pool_ = &pool; }
 
   /// Tally this connection's bytes/syscalls into `io` (obs/metrics.hpp).
   void set_io_stats(obs::IoStats* io) noexcept {
@@ -74,6 +80,7 @@ class TcpClientBinding {
   TcpStream stream_;
   FrameLimits limits_{};
   obs::IoStats* io_ = nullptr;
+  BufferPool* pool_ = &BufferPool::global();
 };
 
 /// Server endpoint of SOAP-over-TCP: accepts one connection at a time and
@@ -101,7 +108,7 @@ class TcpServerBinding {
         conn = std::move(accepted);
       }
       try {
-        return read_frame(*conn);
+        return read_frame(*conn, FrameLimits{}, state_->pool);
       } catch (const TransportError&) {
         // Peer hung up between exchanges; wait for the next client.
         state_->drop_conn(conn);
@@ -112,6 +119,7 @@ class TcpServerBinding {
     std::shared_ptr<TcpStream> conn = state_->current_conn();
     if (conn == nullptr) throw TransportError("no client connected");
     write_frame(*conn, m);
+    state_->pool->release(std::move(m.payload));
   }
   void send_request(soap::WireMessage) {
     throw TransportError("send_request on a server binding");
@@ -131,12 +139,16 @@ class TcpServerBinding {
   /// to connections accepted after the call.
   void set_io_stats(obs::IoStats* io) noexcept { state_->io = io; }
 
+  /// Recycle receive buffers (and sent payloads) through `pool`.
+  void set_buffer_pool(BufferPool& pool) noexcept { state_->pool = &pool; }
+
  private:
   struct State {
     TcpListener listener{0};
     std::mutex mu;
     std::shared_ptr<TcpStream> conn;
     obs::IoStats* io = nullptr;
+    BufferPool* pool = &BufferPool::global();
 
     std::shared_ptr<TcpStream> current_conn() {
       std::lock_guard lock(mu);

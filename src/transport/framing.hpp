@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/buffer.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/vls.hpp"
 #include "soap/binding.hpp"
 #include "transport/socket.hpp"
@@ -56,9 +57,43 @@ concept FrameStream = requires(S& s, std::span<const std::uint8_t> out,
   s.read_exact(in, n);
 };
 
+/// Streams that can additionally gather two buffers into one syscall
+/// (TcpStream via sendmsg). Test streams (MemoryStream, FaultyStream) stay
+/// plain FrameStreams, so their byte-offset-deterministic fault injection
+/// is unchanged.
+template <typename S>
+concept VectoredStream =
+    FrameStream<S> && requires(S& s, std::span<const std::uint8_t> buf) {
+      s.write_vectored(buf, buf);
+    };
+
+/// Append the frame header for `content_type` to `w`, reserving the 8-byte
+/// payload-length field as zeros. Returns the length field's offset in `w`;
+/// pass it to end_frame once the payload has been appended. This is how an
+/// encoder emits header + payload into ONE buffer, sent with one write_all.
+inline std::size_t begin_frame(ByteWriter& w, std::string_view content_type) {
+  w.write_bytes(kFrameMagic, sizeof(kFrameMagic));
+  w.write_u8(kFrameVersion);
+  vls_write(w, content_type.size());
+  w.write_string(content_type);
+  const std::size_t len_pos = w.size();
+  w.write_padding(8);
+  return len_pos;
+}
+
+/// Backpatch the payload length: everything appended after begin_frame
+/// returned `len_pos` is the payload.
+inline void end_frame(ByteWriter& w, std::size_t len_pos) {
+  std::uint8_t len_be[8];
+  store<std::uint64_t>(w.size() - len_pos - 8, ByteOrder::kBig, len_be);
+  w.patch_bytes(len_pos, len_be, sizeof(len_be));
+}
+
 /// Write one framed message to the stream. The content type is taken as a
 /// view so callers that hold the encoding policy's static string (e.g.
 /// AnyEncoding::content_type()) pass it straight through with no copy.
+/// Streams that support it get header + payload in one gathered syscall;
+/// the rest keep the two-write behavior.
 template <FrameStream S>
 void write_frame(S& stream, std::string_view content_type,
                  std::span<const std::uint8_t> payload) {
@@ -68,8 +103,12 @@ void write_frame(S& stream, std::string_view content_type,
   vls_write(header, content_type.size());
   header.write_string(content_type);
   header.write<std::uint64_t>(payload.size(), ByteOrder::kBig);
-  stream.write_all(header.bytes());
-  stream.write_all(payload);
+  if constexpr (VectoredStream<S>) {
+    stream.write_vectored(header.bytes(), payload);
+  } else {
+    stream.write_all(header.bytes());
+    stream.write_all(payload);
+  }
 }
 
 template <FrameStream S>
@@ -78,9 +117,12 @@ void write_frame(S& stream, const soap::WireMessage& m) {
 }
 
 /// Read one framed message; throws TransportError on malformed frames, a
-/// closed connection, or a frame that exceeds `limits`.
+/// closed connection, or a frame that exceeds `limits`. When `pool` is
+/// given, the payload buffer is recycled from it (the caller returns it by
+/// releasing the payload — or by adopting it into a SharedBuffer).
 template <FrameStream S>
-soap::WireMessage read_frame(S& stream, const FrameLimits& limits = {}) {
+soap::WireMessage read_frame(S& stream, const FrameLimits& limits = {},
+                             BufferPool* pool = nullptr) {
   std::uint8_t fixed[5];
   stream.read_exact(fixed, sizeof(fixed));
   if (std::memcmp(fixed, kFrameMagic, sizeof(kFrameMagic)) != 0) {
@@ -120,6 +162,11 @@ soap::WireMessage read_frame(S& stream, const FrameLimits& limits = {}) {
                          " bytes exceeds the " +
                          std::to_string(limits.max_message_bytes) +
                          "-byte message limit");
+  }
+  if (pool != nullptr) {
+    // The limit check above has already run: a hostile length never
+    // reaches the pool's allocator either.
+    m.payload = pool->acquire(static_cast<std::size_t>(payload_len));
   }
   m.payload.resize(static_cast<std::size_t>(payload_len));
   stream.read_exact(m.payload.data(), m.payload.size());

@@ -21,6 +21,9 @@ SoapServerPool::SoapServerPool(ServerPoolConfig config)
     active_gauge_ = &reg->gauge(prefix + ".connections.active");
     unreaped_gauge_ = &reg->gauge(prefix + ".workers.unreaped");
     accepted_ = &reg->counter(prefix + ".connections.accepted");
+    buffer_pool_.attach_counters(&reg->counter(prefix + ".pool.hit"),
+                                 &reg->counter(prefix + ".pool.miss"),
+                                 &reg->counter(prefix + ".pool.recycled_bytes"));
     encoding_->set_codec_stats(&reg->codec(prefix + ".bxsa"));
   }
   acceptor_ = std::thread([this] { accept_loop(); });
@@ -151,7 +154,7 @@ void SoapServerPool::serve_connection(TcpStream stream) {
     for (;;) {
       soap::WireMessage raw = [&] {
         obs::StageTimer t(obs_, obs::Stage::kFrameRead);
-        return read_frame(stream, frame_limits_);
+        return read_frame(stream, frame_limits_, &buffer_pool_);
       }();
       busy.store(true, std::memory_order_release);
       soap::SoapEnvelope response = [&]() -> soap::SoapEnvelope {
@@ -159,7 +162,12 @@ void SoapServerPool::serve_connection(TcpStream stream) {
           soap::SoapEnvelope request = [&] {
             obs_.stage_bytes(obs::Stage::kDeserialize, raw.payload.size());
             obs::StageTimer t(obs_, obs::Stage::kDeserialize);
-            return soap::SoapEnvelope(encoding_->deserialize(raw.payload));
+            // Adopting the payload lets packed arrays decode as views; the
+            // buffer recycles into the pool when the last view (usually the
+            // request tree, at the end of this exchange) lets go.
+            SharedBuffer wire =
+                SharedBuffer::adopt(std::move(raw.payload), &buffer_pool_);
+            return soap::SoapEnvelope(encoding_->deserialize_shared(wire));
           }();
           obs::StageTimer t(obs_, obs::Stage::kHandler);
           return handler_(std::move(request));
@@ -178,19 +186,25 @@ void SoapServerPool::serve_connection(TcpStream stream) {
         ++faults_;
         obs_.count_fault();
       }
-      const std::vector<std::uint8_t> payload = [&] {
+      // Serialize into ONE pooled buffer with the frame header reserved up
+      // front, so header + payload leave in a single write_all.
+      ByteWriter out(buffer_pool_.acquire(256));
+      const std::size_t len_pos = begin_frame(out, encoding_->content_type());
+      {
         obs::StageTimer t(obs_, obs::Stage::kSerialize);
-        return encoding_->serialize(response.document());
-      }();
-      obs_.stage_bytes(obs::Stage::kSerialize, payload.size());
+        encoding_->serialize_into(response.document(), out);
+      }
+      end_frame(out, len_pos);
+      obs_.stage_bytes(obs::Stage::kSerialize, out.size() - len_pos - 8);
       // Count before the reply bytes leave: a client that has its response
       // must observe the exchange as recorded.
       ++exchanges_;
       obs_.count_exchange();
       {
         obs::StageTimer t(obs_, obs::Stage::kFrameWrite);
-        write_frame(stream, encoding_->content_type(), payload);
+        stream.write_all(out.bytes());
       }
+      buffer_pool_.release(out.take());
       busy.store(false, std::memory_order_release);
       // A stop() that arrived mid-exchange deliberately left this
       // connection open so the response above could drain; honor it now.

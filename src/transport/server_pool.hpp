@@ -49,7 +49,8 @@ struct ServerPoolConfig {
   /// "<metrics_prefix>.*": per-stage timings and exchange/fault counts
   /// (MetricsObserver naming scheme), connections.active /
   /// workers.unreaped gauges, connections.accepted counter, io.* socket
-  /// tallies, and bxsa.* codec stats if the encoding supports them. The
+  /// tallies, pool.hit / pool.miss / pool.recycled_bytes buffer-pool
+  /// counters, and bxsa.* codec stats if the encoding supports them. The
   /// registry must outlive the pool. Null = zero instrumentation.
   obs::Registry* registry = nullptr;
   std::string metrics_prefix = "pool";
@@ -119,6 +120,10 @@ class SoapServerPool {
 
   std::unique_ptr<soap::AnyEncoding> encoding_;
   Handler handler_;
+  /// Recycles receive payloads and response buffers across exchanges and
+  /// connections. Declared before listener_ so it outlives every worker's
+  /// SharedBuffer (workers are joined in stop()).
+  BufferPool buffer_pool_;
   TcpListener listener_;
   int read_timeout_ms_ = 0;
   FrameLimits frame_limits_{};

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -86,6 +87,45 @@ void TcpStream::write_all(std::span<const std::uint8_t> data) {
 void TcpStream::write_all(std::string_view s) {
   write_all(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void TcpStream::write_vectored(std::span<const std::uint8_t> a,
+                               std::span<const std::uint8_t> b) {
+  iovec iov[2];
+  iov[0].iov_base = const_cast<std::uint8_t*>(a.data());
+  iov[0].iov_len = a.size();
+  iov[1].iov_base = const_cast<std::uint8_t*>(b.data());
+  iov[1].iov_len = b.size();
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 2;
+  // Skip leading empty iovecs (and advance past fully-sent ones below).
+  while (msg.msg_iovlen > 0 && msg.msg_iov[0].iov_len == 0) {
+    ++msg.msg_iov;
+    --msg.msg_iovlen;
+  }
+  while (msg.msg_iovlen > 0) {
+    const ssize_t n = ::sendmsg(sock_.fd(), &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("sendmsg");
+    }
+    if (io_ != nullptr) {
+      io_->write_calls.add();
+      io_->bytes_out.add(static_cast<std::uint64_t>(n));
+    }
+    std::size_t advanced = static_cast<std::size_t>(n);
+    while (msg.msg_iovlen > 0 && advanced >= msg.msg_iov[0].iov_len) {
+      advanced -= msg.msg_iov[0].iov_len;
+      ++msg.msg_iov;
+      --msg.msg_iovlen;
+    }
+    if (msg.msg_iovlen > 0) {
+      msg.msg_iov[0].iov_base =
+          static_cast<std::uint8_t*>(msg.msg_iov[0].iov_base) + advanced;
+      msg.msg_iov[0].iov_len -= advanced;
+    }
+  }
 }
 
 std::size_t TcpStream::read_some(std::uint8_t* out, std::size_t n) {

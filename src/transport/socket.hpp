@@ -63,6 +63,12 @@ class TcpStream {
   void write_all(std::span<const std::uint8_t> data);
   void write_all(std::string_view s);
 
+  /// Write two buffers (typically frame header + payload) with a single
+  /// sendmsg per syscall round, so header and payload leave in one segment
+  /// instead of two Nagle-split writes.
+  void write_vectored(std::span<const std::uint8_t> a,
+                      std::span<const std::uint8_t> b);
+
   /// Read exactly n bytes; throws TransportError on EOF/error.
   std::vector<std::uint8_t> read_exact(std::size_t n);
   void read_exact(std::uint8_t* out, std::size_t n);

@@ -76,8 +76,8 @@ LeadDataset from_bxdm(const ElementBase& payload) {
     throw DecodeError("lead payload arrays differ in length");
   }
   LeadDataset d;
-  d.index = idx->values();
-  d.values = val->values();
+  d.index.assign(idx->view().begin(), idx->view().end());
+  d.values.assign(val->view().begin(), val->view().end());
   return d;
 }
 
@@ -233,8 +233,8 @@ GridDataset grid_from_bxdm(const xdm::ElementBase& payload) {
   if (idx == nullptr || val == nullptr) {
     throw DecodeError("grid payload arrays missing or mistyped");
   }
-  d.index = idx->values();
-  d.values = val->values();
+  d.index.assign(idx->view().begin(), idx->view().end());
+  d.values.assign(val->view().begin(), val->view().end());
   if (d.index.size() != d.cell_count() ||
       d.values.size() != d.cell_count()) {
     throw DecodeError("grid payload lengths disagree with shape");

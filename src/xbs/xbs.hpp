@@ -36,8 +36,15 @@ class Writer {
  public:
   explicit Writer(ByteOrder order = host_byte_order()) : order_(order) {}
 
+  /// Adopt a ByteWriter that may already hold bytes (e.g. a reserved frame
+  /// header in a pooled buffer). The XBS stream origin is wherever the
+  /// adopted writer currently ends, so array alignment stays relative to the
+  /// *payload* start — wire-identical to encoding into a fresh buffer.
+  Writer(ByteOrder order, ByteWriter out)
+      : order_(order), out_(std::move(out)), origin_(out_.size()) {}
+
   ByteOrder order() const noexcept { return order_; }
-  std::size_t offset() const noexcept { return out_.size(); }
+  std::size_t offset() const noexcept { return out_.size() - origin_; }
 
   /// Write a scalar without alignment (BXSA stores scalar frame values
   /// unaligned; only array payloads are aligned).
@@ -75,16 +82,24 @@ class Writer {
   }
 
   void align_to(std::size_t alignment) {
-    out_.write_padding(padding_for(out_.size(), alignment));
+    out_.write_padding(padding_for(offset(), alignment));
+  }
+
+  /// Backpatch at a stream-relative offset (see offset()).
+  void patch_at(std::size_t rel_offset, const void* data, std::size_t n) {
+    out_.patch_bytes(origin_ + rel_offset, data, n);
   }
 
   std::vector<std::uint8_t> take() { return out_.take(); }
+  /// Release the underlying ByteWriter, header prefix and all.
+  ByteWriter take_writer() { return std::move(out_); }
   std::span<const std::uint8_t> bytes() const { return out_.bytes(); }
   ByteWriter& raw_writer() { return out_; }
 
  private:
   ByteOrder order_;
   ByteWriter out_;
+  std::size_t origin_ = 0;
 };
 
 /// Deserializes values written by Writer. The reader is told the byte order
@@ -115,6 +130,13 @@ class Reader {
   std::string get_string() {
     const auto n = get_vls();
     return in_.read_string(static_cast<std::size_t>(n));
+  }
+
+  /// Non-owning get_string for names that are immediately interned; valid
+  /// only while the underlying buffer lives.
+  std::string_view get_string_view() {
+    const auto n = get_vls();
+    return in_.read_string_view(static_cast<std::size_t>(n));
   }
 
   std::span<const std::uint8_t> get_raw(std::size_t n) {

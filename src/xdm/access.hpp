@@ -38,7 +38,8 @@ std::optional<std::vector<T>> array_values(const ElementBase& parent,
       static_cast<const Element&>(parent).find_child(child_local);
   const auto* arr = dynamic_cast<const ArrayElement<T>*>(child);
   if (arr == nullptr) return std::nullopt;
-  return arr->values();
+  const auto v = arr->view();
+  return std::vector<T>(v.begin(), v.end());
 }
 
 /// Zero-copy span over an ArrayElement child (valid while the tree lives).

@@ -23,6 +23,7 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -332,31 +333,80 @@ class ArrayElement final : public ArrayElementBase {
 
   void accept(NodeVisitor& v) const override;
   NodePtr clone() const override {
-    auto p = std::make_unique<ArrayElement<T>>(name(), values_);
+    // Clones always own their items: a view's lifetime contract should not
+    // silently propagate to copies.
+    auto p = std::make_unique<ArrayElement<T>>(
+        name(), std::vector<T>(view().begin(), view().end()));
     p->copy_element_base(*this);
     p->set_item_name(item_name());
     return p;
   }
 
   AtomType atom_type() const noexcept override { return AtomTraits<T>::kType; }
-  std::size_t count() const noexcept override { return values_.size(); }
+  std::size_t count() const noexcept override { return view().size(); }
   std::span<const std::uint8_t> packed_bytes() const noexcept override {
-    return {reinterpret_cast<const std::uint8_t*>(values_.data()),
-            values_.size() * sizeof(T)};
+    const auto v = view();
+    return {reinterpret_cast<const std::uint8_t*>(v.data()),
+            v.size() * sizeof(T)};
   }
   void append_item_text(std::size_t i, std::string& out) const override {
-    append_scalar_text(out, ScalarValue(values_.at(i)));
+    append_scalar_text(out, ScalarValue(item(i)));
   }
   ScalarValue item_scalar(std::size_t i) const override {
-    return ScalarValue(values_.at(i));
+    return ScalarValue(item(i));
   }
 
-  const std::vector<T>& values() const noexcept { return values_; }
-  std::vector<T>& values() noexcept { return values_; }
-  std::span<const T> view() const noexcept { return values_; }
+  /// The items, whether owned or viewed — the accessor new code should use.
+  std::span<const T> view() const noexcept {
+    return backing_ != nullptr ? view_ : std::span<const T>(values_);
+  }
+
+  /// Point this element at a packed payload owned elsewhere; `keepalive`
+  /// (typically SharedBuffer::handle()) pins that owner for this node's
+  /// lifetime, so moving the node between documents stays safe.
+  void set_view(std::span<const T> items,
+                std::shared_ptr<const void> keepalive) {
+    view_ = items;
+    backing_ = std::move(keepalive);
+    values_.clear();
+  }
+
+  /// True when the items live in a wire buffer rather than in this node.
+  bool is_view() const noexcept { return backing_ != nullptr; }
+
+  /// Copy viewed items into owned storage and drop the wire buffer pin.
+  /// No-op for already-owned arrays.
+  void materialize() {
+    if (backing_ == nullptr) return;
+    values_.assign(view_.begin(), view_.end());
+    view_ = {};
+    backing_.reset();
+  }
+
+  /// Owned-storage accessor; throws for view-backed arrays (call
+  /// materialize() first, or use view()).
+  const std::vector<T>& values() const {
+    if (backing_ != nullptr) {
+      throw Error("ArrayElement::values() on a zero-copy view; use view()");
+    }
+    return values_;
+  }
+  /// Mutable access materializes a view first: writers always own.
+  std::vector<T>& values() {
+    materialize();
+    return values_;
+  }
 
  private:
+  const T& item(std::size_t i) const {
+    const auto v = view();
+    if (i >= v.size()) throw std::out_of_range("array item index out of range");
+    return v[i];
+  }
+
   std::vector<T> values_;
+  std::span<const T> view_;
+  std::shared_ptr<const void> backing_;
 };
 
 /// Document node: at most one root element plus top-level PIs/comments.

@@ -1,0 +1,205 @@
+// Differential coverage for the zero-copy decode path: decode_message must
+// produce trees deep_equal to the copying decode for every packed type and
+// both byte orders, arrays must actually be views (no copy) exactly when
+// the wire order matches the host, encode_append must be byte-identical to
+// encode() from any buffer origin, and view-backed nodes must keep the wire
+// buffer alive however they are moved around.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "bxsa/decoder.hpp"
+#include "bxsa/encoder.hpp"
+#include "common/buffer_pool.hpp"
+#include "xdm/equal.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::bxsa {
+namespace {
+
+using namespace bxsoap::xdm;
+
+template <typename T>
+std::vector<T> sample_values(std::size_t n) {
+  std::vector<T> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<T>(static_cast<long long>(i * 37 % 120) - 40);
+  }
+  return v;
+}
+
+/// A document that surrounds the array with namespaces, attributes, leaves
+/// and mixed content, so the differential check also covers the header
+/// paths around the array payload.
+template <typename T>
+DocumentPtr sample_document(std::size_t n) {
+  auto root = make_element(QName("urn:test", "data", "t"));
+  root->declare_namespace("t", "urn:test");
+  root->add_attribute(QName("rows"), std::int32_t{7});
+  root->add_child(make_leaf<std::string>(QName("label"), "zero-copy"));
+  auto arr = make_array<T>(QName("urn:test", "payload", "t"),
+                           sample_values<T>(n));
+  arr->set_item_name("d");
+  arr->add_attribute(QName("units"), std::string("K"));
+  root->add_child(std::move(arr));
+  root->add_text("trailing mixed content");
+  return make_document(std::move(root));
+}
+
+const ArrayElementBase* find_array(const Document& doc) {
+  const auto& root = static_cast<const Element&>(doc.root());
+  const ElementBase* child = root.find_child("payload");
+  return dynamic_cast<const ArrayElementBase*>(child);
+}
+
+template <typename T>
+void check_type(ByteOrder order, std::size_t n) {
+  SCOPED_TRACE(std::string("order=") +
+               (order == ByteOrder::kLittle ? "little" : "big") +
+               " n=" + std::to_string(n));
+  const DocumentPtr original = sample_document<T>(n);
+  EncodeOptions opt;
+  opt.order = order;
+  const std::vector<std::uint8_t> bytes = encode(*original, opt);
+
+  // Copying reference path.
+  const DocumentPtr copied = decode_document(bytes);
+  // Zero-copy path over a shared wire buffer.
+  DecodedMessage msg = decode_message(SharedBuffer::adopt(bytes));
+
+  EXPECT_TRUE(deep_equal(*original, *copied));
+  ASSERT_TRUE(deep_equal(*copied, *msg.document));
+
+  const auto* arr =
+      dynamic_cast<const ArrayElement<T>*>(find_array(*msg.document));
+  ASSERT_NE(arr, nullptr);
+  if (order == host_byte_order() && n != 0) {
+    EXPECT_TRUE(arr->is_view());
+    // A real view: the items point INTO the wire buffer.
+    const auto wire = msg.wire.bytes();
+    const auto* p = reinterpret_cast<const std::uint8_t*>(arr->view().data());
+    EXPECT_GE(p, wire.data());
+    EXPECT_LE(p + arr->view().size() * sizeof(T), wire.data() + wire.size());
+  } else {
+    // Endian mismatch (or empty array): the decoder must copy.
+    EXPECT_FALSE(arr->is_view());
+  }
+  EXPECT_EQ(arr->view().size(), n);
+  const std::vector<T> expected = sample_values<T>(n);
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                         arr->view().begin(), arr->view().end()));
+}
+
+template <typename T>
+void check_type_all_orders() {
+  for (const ByteOrder order : {ByteOrder::kLittle, ByteOrder::kBig}) {
+    check_type<T>(order, 257);  // odd count: exercises padding after it
+    check_type<T>(order, 0);
+  }
+}
+
+TEST(ZeroCopyDecode, Int8) { check_type_all_orders<std::int8_t>(); }
+TEST(ZeroCopyDecode, UInt8) { check_type_all_orders<std::uint8_t>(); }
+TEST(ZeroCopyDecode, Int16) { check_type_all_orders<std::int16_t>(); }
+TEST(ZeroCopyDecode, UInt16) { check_type_all_orders<std::uint16_t>(); }
+TEST(ZeroCopyDecode, Int32) { check_type_all_orders<std::int32_t>(); }
+TEST(ZeroCopyDecode, UInt32) { check_type_all_orders<std::uint32_t>(); }
+TEST(ZeroCopyDecode, Int64) { check_type_all_orders<std::int64_t>(); }
+TEST(ZeroCopyDecode, UInt64) { check_type_all_orders<std::uint64_t>(); }
+TEST(ZeroCopyDecode, Float32) { check_type_all_orders<float>(); }
+TEST(ZeroCopyDecode, Float64) { check_type_all_orders<double>(); }
+
+// encode_append from any buffer origin (aligned or odd) must emit payload
+// bytes identical to a from-scratch encode: alignment is origin-relative.
+TEST(ZeroCopyDecode, EncodeAppendIsOriginIndependent) {
+  const DocumentPtr doc = sample_document<double>(33);
+  const std::vector<std::uint8_t> reference = encode(*doc);
+  for (std::size_t origin = 0; origin < 10; ++origin) {
+    SCOPED_TRACE("origin=" + std::to_string(origin));
+    ByteWriter w;
+    for (std::size_t i = 0; i < origin; ++i) {
+      w.write_u8(static_cast<std::uint8_t>(0xC0 + i));  // fake header bytes
+    }
+    encode_append(*doc, w);
+    const std::vector<std::uint8_t> whole = w.take();
+    ASSERT_EQ(whole.size(), origin + reference.size());
+    EXPECT_EQ(0, std::memcmp(whole.data() + origin, reference.data(),
+                             reference.size()));
+    // And the suffix decodes on its own, views included.
+    std::vector<std::uint8_t> payload(whole.begin() + origin, whole.end());
+    DecodedMessage msg = decode_message(SharedBuffer::adopt(std::move(payload)));
+    EXPECT_TRUE(deep_equal(*doc, *msg.document));
+  }
+}
+
+// A view-backed node moved out of its document must keep the wire buffer
+// (and therefore its items) alive on its own.
+TEST(ZeroCopyDecode, MovedNodeKeepsWireAlive) {
+  BufferPool pool;
+  const DocumentPtr doc = sample_document<double>(512);
+  std::vector<std::uint8_t> bytes = encode(*doc);
+
+  NodePtr stolen;
+  {
+    DecodedMessage msg =
+        decode_message(SharedBuffer::adopt(std::move(bytes), &pool));
+    auto& root = static_cast<Element&>(msg.document->root());
+    // "payload" is the second child of the root.
+    stolen = root.remove_child(1);
+    // msg (document + wire reference) dies here.
+  }
+  EXPECT_EQ(pool.pooled_buffers(), 0u);  // the view still pins the buffer
+  auto* arr = dynamic_cast<ArrayElement<double>*>(stolen.get());
+  ASSERT_NE(arr, nullptr);
+  if (arr->is_view()) {
+    const std::vector<double> expected = sample_values<double>(512);
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                           arr->view().begin(), arr->view().end()));
+  }
+  stolen.reset();
+  EXPECT_EQ(pool.pooled_buffers(), 1u);  // last reference recycled it
+}
+
+TEST(ZeroCopyDecode, ValuesAccessorContract) {
+  const DocumentPtr doc = sample_document<std::int32_t>(64);
+  const std::vector<std::uint8_t> bytes = encode(*doc);
+  DecodedMessage msg = decode_message(SharedBuffer::adopt(bytes));
+  auto& root = static_cast<Element&>(msg.document->root());
+  auto* arr = dynamic_cast<ArrayElement<std::int32_t>*>(
+      const_cast<ElementBase*>(root.find_child("payload")));
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(arr->is_view());
+
+  // Const owned-storage access on a view is a contract violation.
+  const auto* carr = arr;
+  EXPECT_THROW((void)carr->values(), Error);
+
+  // clone() always owns.
+  NodePtr copy = arr->clone();
+  auto* cloned = dynamic_cast<ArrayElement<std::int32_t>*>(copy.get());
+  ASSERT_NE(cloned, nullptr);
+  EXPECT_FALSE(cloned->is_view());
+  EXPECT_TRUE(deep_equal(*arr, *cloned));
+
+  // Mutable access materializes, detaching from the wire buffer.
+  arr->values().push_back(999);
+  EXPECT_FALSE(arr->is_view());
+  EXPECT_EQ(arr->view().size(), 65u);
+  EXPECT_EQ(arr->view()[64], 999);
+}
+
+// The copying and zero-copy paths must agree on hostile input too: both
+// reject a truncated array payload.
+TEST(ZeroCopyDecode, TruncatedArrayRejectedOnBothPaths) {
+  const DocumentPtr doc = sample_document<double>(128);
+  std::vector<std::uint8_t> bytes = encode(*doc);
+  bytes.resize(bytes.size() - 64);
+  EXPECT_THROW((void)decode_document(bytes), DecodeError);
+  EXPECT_THROW((void)decode_message(SharedBuffer::adopt(bytes)), DecodeError);
+}
+
+}  // namespace
+}  // namespace bxsoap::bxsa

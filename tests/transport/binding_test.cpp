@@ -38,7 +38,7 @@ SoapEnvelope sum_handler(SoapEnvelope request) {
   }
   const auto& arr = static_cast<const ArrayElement<double>&>(*values);
   double sum = 0;
-  for (double v : arr.values()) sum += v;
+  for (double v : arr.view()) sum += v;
   auto out = make_element(QName("urn:calc", "SumResponse", "c"));
   out->add_child(make_leaf<double>(QName("urn:calc", "total", "c"), sum));
   return SoapEnvelope::wrap(std::move(out));
