@@ -1,0 +1,176 @@
+// Concurrency shoot-out: thread-per-connection SoapServerPool vs the epoll
+// SoapEventServer, same encoding, same handler, same clients.
+//
+// Each leg runs N concurrent clients (one persistent connection each, as
+// TcpClientBinding behaves), each firing an equal share of the leg's op
+// total. The share is fixed per client rather than drawn from a shared
+// budget: on one core, thread spawn is slow enough that early spawners
+// would drain a shared budget before late ones ever dialed, quietly
+// turning a 256-client leg into a ~50-client one. Reported per leg:
+// throughput, exact
+// p50/p95/p99 latency (bench::LatencySamples), and the server's thread
+// count — the number the event server exists to bound. Registry snapshot:
+// BENCH_concurrency.json, carrying the same numbers plus the event
+// server's reactor counters and the zero-copy pool hit/miss tallies.
+//
+//   bench_concurrency          # full ladder: 1 / 8 / 64 / 256 clients
+//   bench_concurrency --short  # CI ladder: 1 / 8 / 32, fewer ops
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "services/verification.hpp"
+#include "soap/engine.hpp"
+#include "transport/bindings.hpp"
+#include "transport/event_server.hpp"
+#include "transport/server_pool.hpp"
+#include "workload/lead.hpp"
+
+namespace {
+
+using namespace bxsoap;
+using namespace bxsoap::soap;
+using namespace bxsoap::transport;
+
+constexpr std::size_t kLeads = 50;  // per-request payload (~moderate frame)
+
+struct LegResult {
+  double seconds = 0.0;
+  std::size_t ops = 0;
+  bench::LatencySamples latency;
+  std::size_t server_threads = 0;
+};
+
+/// N client threads, each serving an equal share of `total_ops` against
+/// the server at `port`.
+LegResult drive_clients(std::uint16_t port, std::size_t clients,
+                        std::size_t total_ops) {
+  const SoapEnvelope request =
+      services::make_data_request(workload::make_lead_dataset(kLeads));
+  std::atomic<std::size_t> failures{0};
+  std::vector<bench::LatencySamples> per_thread(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    const std::size_t quota =
+        total_ops / clients + (c < total_ops % clients ? 1 : 0);
+    threads.emplace_back([&, c, quota] {
+      try {
+        SoapEngine<BxsaEncoding, TcpClientBinding> client(
+            {}, TcpClientBinding(port));
+        per_thread[c].reserve(quota);
+        for (std::size_t i = 0; i < quota; ++i) {
+          const auto t0 = std::chrono::steady_clock::now();
+          SoapEnvelope resp = client.call(SoapEnvelope(request));
+          per_thread[c].record(std::chrono::steady_clock::now() - t0);
+          if (!services::parse_verify_response(resp).ok) ++failures;
+        }
+      } catch (const std::exception& e) {
+        ++failures;
+        std::fprintf(stderr, "client %zu: %s\n", c, e.what());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  LegResult r;
+  r.seconds = std::chrono::duration<double>(elapsed).count();
+  for (const auto& samples : per_thread) r.latency.merge(samples);
+  r.ops = r.latency.count();  // completed calls; an aborted client's
+                              // unserved share is simply not counted
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "%zu failed exchanges\n", failures.load());
+  }
+  return r;
+}
+
+ServerPoolConfig make_config(obs::Registry& registry, std::string prefix) {
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = services::verification_handler;
+  cfg.registry = &registry;
+  cfg.metrics_prefix = std::move(prefix);
+  // All clients of a leg dial at once; a default backlog drops SYNs at 256
+  // concurrent connects and the 1s retransmit poisons the latency tail.
+  cfg.backlog = 1024;
+  return cfg;
+}
+
+void publish_leg(obs::Registry& registry, const std::string& prefix,
+                 const LegResult& r) {
+  r.latency.publish(registry, prefix);
+  registry.gauge(prefix + ".throughput.ops_per_sec")
+      .set(static_cast<std::int64_t>(
+          static_cast<double>(r.ops) / r.seconds));
+  registry.gauge(prefix + ".server.threads")
+      .set(static_cast<std::int64_t>(r.server_threads));
+}
+
+void print_row(const bench::Table& table, const std::string& server,
+               std::size_t clients, const LegResult& r) {
+  table.cell(server);
+  table.cell(clients);
+  table.cell(static_cast<std::size_t>(r.server_threads));
+  table.cell(static_cast<double>(r.ops) / r.seconds, "%.0f");
+  table.cell(static_cast<double>(r.latency.percentile_ns(50)) / 1e6, "%.3f");
+  table.cell(static_cast<double>(r.latency.percentile_ns(95)) / 1e6, "%.3f");
+  table.cell(static_cast<double>(r.latency.percentile_ns(99)) / 1e6, "%.3f");
+  table.cell(static_cast<double>(r.latency.max_ns()) / 1e6, "%.1f");
+  table.end_row();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) short_mode = true;
+  }
+  const std::vector<std::size_t> ladder =
+      short_mode ? std::vector<std::size_t>{1, 8, 32}
+                 : std::vector<std::size_t>{1, 8, 64, 256};
+  const std::size_t total_ops = short_mode ? 256 : 2048;
+
+  obs::Registry registry;
+  bench::Table table({"server", "clients", "threads", "ops/s", "p50 ms",
+                      "p95 ms", "p99 ms", "max ms"},
+                     10);
+  std::printf("bench_concurrency: %zu ops per leg, %zu leads per request%s\n",
+              total_ops, kLeads, short_mode ? " (short mode)" : "");
+  table.print_header();
+
+  for (const std::size_t clients : ladder) {
+    // Thread-per-connection pool: server threads == live connections.
+    {
+      const std::string prefix = "pool.c" + std::to_string(clients);
+      SoapServerPool server(make_config(registry, prefix));
+      LegResult r = drive_clients(server.port(), clients, total_ops);
+      r.server_threads = clients;  // one worker per connection, plus accept
+      server.stop();
+      publish_leg(registry, prefix, r);
+      print_row(table, "pool", clients, r);
+    }
+    // Epoll event server: thread count bounded by cores, not clients.
+    {
+      const std::string prefix = "event.c" + std::to_string(clients);
+      SoapEventServer server(make_config(registry, prefix));
+      LegResult r = drive_clients(server.port(), clients, total_ops);
+      r.server_threads = 1 + server.worker_count();  // reactor + workers
+      server.stop();
+      publish_leg(registry, prefix, r);
+      print_row(table, "event", clients, r);
+    }
+  }
+
+  const std::string path =
+      bench::dump_registry_snapshot(registry, "concurrency");
+  if (!path.empty()) std::printf("snapshot: %s\n", path.c_str());
+  return 0;
+}

@@ -20,12 +20,16 @@ cmake --build --preset release-bench -j "$jobs"
 
 names=("$@")
 if [[ ${#names[@]} -eq 0 ]]; then
-  names=(engine frames sockets striping convert compression)
+  names=(engine frames sockets striping convert compression concurrency)
 fi
 
 repo="$PWD"
 for name in "${names[@]}"; do
   bin="$repo/build-bench/bench/bench_ablation_${name}"
+  # The concurrency shoot-out is not an ablation; map its name directly.
+  if [[ "$name" == "concurrency" ]]; then
+    bin="$repo/build-bench/bench/bench_concurrency"
+  fi
   if [[ ! -x "$bin" ]]; then
     echo "bench.sh: no such bench: $bin" >&2
     exit 1

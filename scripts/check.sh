@@ -37,13 +37,21 @@ echo "== chaos suite (asan-ubsan, -L chaos) =="
 
 echo "== configure + build (tsan preset) =="
 cmake --preset tsan >/dev/null
-cmake --build --preset tsan -j "$jobs" --target test_common test_transport
+cmake --build --preset tsan -j "$jobs" \
+  --target test_common test_transport test_soap
 
-echo "== ctest (tsan: buffer pool + server pool) =="
+echo "== ctest (tsan: buffer pool + server pool + event server) =="
 # The concurrency-heavy surfaces under ThreadSanitizer: the BufferPool /
-# SharedBuffer recycling machinery and the multi-threaded server pool.
+# SharedBuffer recycling machinery, the multi-threaded server pool, the
+# epoll reactor's worker handoff, and the client channel pool.
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool' --output-on-failure \
-  -j "$jobs")
+  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool|EventServer|ChannelPool' \
+  --output-on-failure -j "$jobs")
+
+echo "== bench_concurrency (short mode, smoke) =="
+# The concurrency bench doubles as an end-to-end smoke of both server
+# architectures under load; short mode keeps it CI-sized.
+# Run from build/ so the BENCH_*.json snapshot lands out of the tree.
+(cd build && ./bench/bench_concurrency --short >/dev/null)
 
 echo "check.sh: all green"

@@ -1,0 +1,142 @@
+// TcpChannelPool — a concurrent client channel pool.
+//
+// A single SoapEngine<_, TcpClientBinding> is one connection driven by one
+// caller at a time; the moment an application fans work across threads it
+// either serializes every call on that connection or opens one connection
+// per thread. This pool is the middle path the event server is built for:
+// K persistent connections multiplexing any number of concurrent callers.
+// call() checks a channel out (blocking while all K are busy), runs the
+// exchange on it, and checks it back in. A channel whose exchange threw a
+// TransportError is poisoned — its connection is in an unknown state, maybe
+// mid-frame — so checkin reset()s it and the next checkout reconnects
+// lazily, replacing dead channels for free.
+//
+// The pool has the engine's call(SoapEnvelope) shape, so it composes under
+// soap::ReliableCaller unchanged: ReliableCaller retries TransportError
+// with backoff, the pool replaces the broken channel underneath, and the
+// retry lands on a healthy connection.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "soap/engine.hpp"
+#include "soap/envelope.hpp"
+#include "transport/bindings.hpp"
+
+namespace bxsoap::soap {
+
+template <EncodingPolicy Encoding>
+class TcpChannelPool {
+ public:
+  struct Config {
+    /// Server port (loopback, matching TcpClientBinding).
+    std::uint16_t port = 0;
+    /// Number of persistent connections to multiplex callers over.
+    std::size_t channels = 4;
+    /// Ceilings applied to response frames on every channel.
+    transport::FrameLimits frame_limits{};
+    /// When set, records under "<metrics_prefix>.*": calls / resets
+    /// counters, channels.in_use gauge, checkout.wait.ns histogram, and
+    /// io.* socket tallies across all channels. Must outlive the pool.
+    obs::Registry* registry = nullptr;
+    std::string metrics_prefix = "client.channels";
+  };
+
+  explicit TcpChannelPool(Config config) {
+    if (config.channels == 0) config.channels = 1;
+    if (obs::Registry* reg = config.registry) {
+      const std::string& prefix = config.metrics_prefix;
+      calls_ = &reg->counter(prefix + ".calls");
+      resets_ = &reg->counter(prefix + ".resets");
+      in_use_ = &reg->gauge(prefix + ".channels.in_use");
+      wait_ns_ = &reg->histogram(prefix + ".checkout.wait.ns");
+      io_ = &reg->io(prefix + ".io");
+    }
+    channels_.reserve(config.channels);
+    for (std::size_t i = 0; i < config.channels; ++i) {
+      channels_.emplace_back(Encoding{},
+                             transport::TcpClientBinding(config.port));
+      channels_.back().binding().set_frame_limits(config.frame_limits);
+      channels_.back().binding().set_io_stats(io_);
+      free_.push_back(i);
+    }
+  }
+
+  std::size_t size() const noexcept { return channels_.size(); }
+
+  /// Channels reset after a failed exchange (reconnect on next use).
+  std::size_t resets() const noexcept { return reset_count_.load(); }
+
+  /// One request/response exchange on a pooled channel. Blocks while all
+  /// channels are checked out. Fault envelopes return normally (the server
+  /// answered); TransportError propagates after the channel is poisoned
+  /// and reset so a concurrent or retried caller gets a fresh connection.
+  SoapEnvelope call(SoapEnvelope request) {
+    const std::size_t idx = checkout();
+    if (calls_ != nullptr) calls_->add();
+    try {
+      SoapEnvelope response = channels_[idx].call(std::move(request));
+      checkin(idx, /*poisoned=*/false);
+      return response;
+    } catch (...) {
+      checkin(idx, /*poisoned=*/true);
+      throw;
+    }
+  }
+
+ private:
+  using Engine = SoapEngine<Encoding, transport::TcpClientBinding>;
+
+  std::size_t checkout() {
+    const auto start = std::chrono::steady_clock::now();
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return !free_.empty(); });
+    const std::size_t idx = free_.back();
+    free_.pop_back();
+    if (in_use_ != nullptr) in_use_->add();
+    if (wait_ns_ != nullptr) {
+      const auto waited = std::chrono::steady_clock::now() - start;
+      wait_ns_->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+              .count()));
+    }
+    return idx;
+  }
+
+  void checkin(std::size_t idx, bool poisoned) {
+    if (poisoned) {
+      // The connection may hold half a frame; drop it now so the channel
+      // re-enters the free list healthy (reconnect happens lazily).
+      channels_[idx].binding().reset();
+      ++reset_count_;
+      if (resets_ != nullptr) resets_->add();
+    }
+    {
+      std::lock_guard lock(mu_);
+      free_.push_back(idx);
+      if (in_use_ != nullptr) in_use_->sub();
+    }
+    cv_.notify_one();
+  }
+
+  std::vector<Engine> channels_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::size_t> free_;  // indices of checked-in channels
+  std::atomic<std::size_t> reset_count_{0};
+
+  obs::Counter* calls_ = nullptr;
+  obs::Counter* resets_ = nullptr;
+  obs::Gauge* in_use_ = nullptr;
+  obs::Histogram* wait_ns_ = nullptr;
+  obs::IoStats* io_ = nullptr;
+};
+
+}  // namespace bxsoap::soap

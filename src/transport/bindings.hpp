@@ -197,9 +197,21 @@ class HttpClientBinding {
     throw TransportError("send_response on a client binding");
   }
 
-  /// Forget any in-flight exchange so the next attempt starts clean
-  /// (each POST opens its own connection, so there is no socket to drop).
-  void reset() { pending_.reset(); }
+  /// Forget any in-flight exchange and drop the persistent connection (if
+  /// keep-alive is on) so the next attempt starts clean.
+  void reset() {
+    pending_.reset();
+    client_.reset();
+  }
+
+  /// Reuse one connection across POSTs (HTTP keep-alive). Falls back to
+  /// per-POST connections whenever the server answers Connection: close.
+  void set_keep_alive(bool on) noexcept { client_.set_keep_alive(on); }
+
+  /// Connections the underlying client has dialed (keep-alive telemetry).
+  std::size_t connections_opened() const noexcept {
+    return client_.connections_opened();
+  }
 
   /// Tally each POST connection's bytes/syscalls into `io`.
   void set_io_stats(obs::IoStats* io) noexcept { client_.set_io_stats(io); }

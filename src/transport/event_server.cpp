@@ -1,0 +1,472 @@
+#include "transport/event_server.hpp"
+
+#include <algorithm>
+
+namespace bxsoap::transport {
+
+namespace {
+
+/// Per-EPOLLIN read budget: up to this many recv() rounds of kReadChunk
+/// bytes before yielding back to the event loop (level-triggered epoll
+/// re-reports the fd if more is pending, so no data is lost — this just
+/// keeps one firehose connection from starving the rest).
+constexpr int kReadRounds = 4;
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+constexpr int kMaxEvents = 64;
+
+}  // namespace
+
+SoapEventServer::SoapEventServer(ServerPoolConfig config)
+    : encoding_(std::move(config.encoding)),
+      handler_(std::move(config.handler)),
+      listener_(config.port, config.backlog),
+      read_timeout_ms_(config.read_timeout_ms),
+      frame_limits_(config.frame_limits),
+      max_connections_(config.max_workers),
+      drain_timeout_(config.drain_timeout) {
+  if (obs::Registry* reg = config.registry) {
+    const std::string& prefix = config.metrics_prefix;
+    obs_ = obs::MetricsObserver(*reg, prefix);
+    io_ = &reg->io(prefix + ".io");
+    active_gauge_ = &reg->gauge(prefix + ".connections.active");
+    queue_depth_gauge_ = &reg->gauge(prefix + ".reactor.queue.depth");
+    accepted_ = &reg->counter(prefix + ".connections.accepted");
+    wakeups_ = &reg->counter(prefix + ".reactor.wakeups");
+    pipelined_ = &reg->counter(prefix + ".pipelined.exchanges");
+    loop_ns_ = &reg->histogram(prefix + ".reactor.loop.ns");
+    buffer_pool_.attach_counters(&reg->counter(prefix + ".pool.hit"),
+                                 &reg->counter(prefix + ".pool.miss"),
+                                 &reg->counter(prefix + ".pool.recycled_bytes"));
+    encoding_->set_codec_stats(&reg->codec(prefix + ".bxsa"));
+  }
+  listener_.set_nonblocking(true);
+  epoll_.add(wakeup_.fd(), EPOLLIN);
+  update_listener_interest();
+
+  std::size_t n = config.worker_threads;
+  if (n == 0) {
+    n = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  reactor_ = std::thread([this] { reactor_loop(); });
+}
+
+SoapEventServer::~SoapEventServer() { stop(); }
+
+void SoapEventServer::stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+  wakeup_.signal();
+  jobs_cv_.notify_all();  // idle workers re-check the stop condition
+  if (reactor_.joinable()) reactor_.join();
+  jobs_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  listener_.close();
+}
+
+/// Desired epoll interest for a connection given its current state.
+static std::uint32_t conn_interest(bool reading, bool want_write) {
+  std::uint32_t events = 0;
+  if (reading) events |= EPOLLIN;
+  if (want_write) events |= EPOLLOUT;
+  return events;
+}
+
+void SoapEventServer::update_listener_interest() {
+  const bool want = !stopping_.load(std::memory_order_relaxed) &&
+                    (max_connections_ == 0 ||
+                     conns_.size() < max_connections_);
+  if (want == accept_armed_) return;
+  if (want) {
+    epoll_.add(listener_.fd(), EPOLLIN);
+  } else {
+    epoll_.del(listener_.fd());
+  }
+  accept_armed_ = want;
+}
+
+void SoapEventServer::reactor_loop() {
+  epoll_event events[kMaxEvents];
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_deadline;
+
+  for (;;) {
+    int timeout_ms = -1;
+    if (draining) {
+      timeout_ms = 2;
+    } else if (read_timeout_ms_ > 0) {
+      timeout_ms = std::min(read_timeout_ms_, 100);
+    }
+    const int n = epoll_.wait(events, kMaxEvents, timeout_ms);
+    const auto woke = std::chrono::steady_clock::now();
+    if (wakeups_ != nullptr) wakeups_->add();
+
+    if (!draining && stopping_.load(std::memory_order_acquire)) {
+      // Entering drain: stop accepting and reading. Partially assembled
+      // frames are abandoned; every fully read request still completes.
+      draining = true;
+      drain_deadline = woke + drain_timeout_;
+      update_listener_interest();
+      for (auto& [fd, conn] : conns_) {
+        std::lock_guard lock(conn->mu);
+        epoll_.mod(fd, conn_interest(false, conn->want_write));
+      }
+    }
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t ev = events[i].events;
+      if (fd == wakeup_.fd()) {
+        wakeup_.drain();
+        continue;
+      }
+      if (fd == listener_.fd()) {
+        if (!draining) accept_ready();
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // dropped earlier this batch
+      std::shared_ptr<Conn> conn = it->second;
+      if ((ev & (EPOLLERR | EPOLLHUP)) != 0) {
+        // The peer is gone in both directions; nothing can be delivered.
+        drop(conn);
+        continue;
+      }
+      if ((ev & EPOLLOUT) != 0) flush(conn);
+      if ((ev & EPOLLIN) != 0 && !draining) read_ready(conn);
+    }
+
+    // Worker completions since the last pass: flush their connections.
+    std::vector<std::shared_ptr<Conn>> ready;
+    {
+      std::lock_guard lock(flush_mu_);
+      ready.swap(flush_queue_);
+    }
+    for (const auto& conn : ready) flush(conn);
+
+    if (!draining && read_timeout_ms_ > 0) sweep_idle();
+
+    if (draining) {
+      // Cut every connection with nothing left to deliver; leave the busy
+      // ones to finish until the drain budget runs out.
+      std::vector<std::shared_ptr<Conn>> done;
+      for (auto& [fd, conn] : conns_) {
+        if (fully_drained(*conn)) done.push_back(conn);
+      }
+      for (const auto& conn : done) drop(conn);
+      if (conns_.empty()) break;
+      if (std::chrono::steady_clock::now() >= drain_deadline) {
+        std::vector<std::shared_ptr<Conn>> rest;
+        rest.reserve(conns_.size());
+        for (auto& [fd, conn] : conns_) rest.push_back(conn);
+        for (const auto& conn : rest) drop(conn);
+        break;
+      }
+    }
+
+    if (loop_ns_ != nullptr) {
+      const auto spent = std::chrono::steady_clock::now() - woke;
+      loop_ns_->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(spent)
+              .count()));
+    }
+  }
+}
+
+bool SoapEventServer::fully_drained(Conn& conn) {
+  std::lock_guard lock(conn.mu);
+  return conn.inflight == 0 && conn.completed.empty() && conn.outbox.empty();
+}
+
+void SoapEventServer::accept_ready() {
+  for (;;) {
+    if (max_connections_ > 0 && conns_.size() >= max_connections_) {
+      update_listener_interest();  // park the listener at the ceiling
+      return;
+    }
+    std::optional<TcpStream> accepted;
+    try {
+      accepted = listener_.try_accept();
+    } catch (const TransportError&) {
+      return;  // listener shut down
+    }
+    if (!accepted) return;
+    TcpStream stream = std::move(*accepted);
+    try {
+      stream.set_nonblocking(true);
+      stream.set_no_delay(true);
+    } catch (const TransportError&) {
+      continue;  // raced a disconnect; nothing to serve
+    }
+    stream.set_io_stats(io_);
+    auto conn =
+        std::make_shared<Conn>(std::move(stream), frame_limits_, &buffer_pool_);
+    conn->last_activity = std::chrono::steady_clock::now();
+    const int conn_fd = conn->stream.fd();
+    conns_.emplace(conn_fd, conn);
+    epoll_.add(conn_fd, EPOLLIN);
+    ++active_;
+    if (active_gauge_ != nullptr) active_gauge_->add();
+    if (accepted_ != nullptr) accepted_->add();
+  }
+}
+
+void SoapEventServer::read_ready(const std::shared_ptr<Conn>& conn) {
+  std::uint8_t buf[kReadChunk];
+  for (int round = 0; round < kReadRounds; ++round) {
+    std::optional<std::size_t> r;
+    try {
+      r = conn->stream.try_read_some(buf, sizeof(buf));
+    } catch (const TransportError&) {
+      drop(conn);
+      return;
+    }
+    if (!r) return;  // EAGAIN: fully drained the socket for now
+    if (*r == 0) {
+      // Orderly EOF. A pipelining client may half-close after its last
+      // request; responses still in flight must be delivered, so the
+      // connection only dies once its outbox drains (see flush()).
+      conn->read_closed = true;
+      bool drained;
+      {
+        std::lock_guard lock(conn->mu);
+        drained = conn->inflight == 0 && conn->completed.empty() &&
+                  conn->outbox.empty();
+        if (!drained) {
+          epoll_.mod(conn->stream.fd(),
+                     conn_interest(false, conn->want_write));
+        }
+      }
+      if (drained) drop(conn);
+      return;
+    }
+    conn->last_activity = std::chrono::steady_clock::now();
+    std::span<const std::uint8_t> chunk(buf, *r);
+    try {
+      obs::StageTimer frame_timer(obs_, obs::Stage::kFrameRead);
+      while (!chunk.empty()) {
+        const std::size_t used = conn->assembler.feed(chunk);
+        chunk = chunk.subspan(used);
+        if (conn->assembler.ready()) {
+          soap::WireMessage request = conn->assembler.take();
+          const std::uint64_t seq = conn->next_seq++;
+          {
+            std::lock_guard lock(conn->mu);
+            ++conn->inflight;
+            // A second request arriving before the first response left is
+            // the pipelining case the thread-per-connection pool can't do.
+            if (pipelined_ != nullptr &&
+                (conn->inflight > 1 || !conn->outbox.empty() ||
+                 !conn->completed.empty())) {
+              pipelined_->add();
+            }
+          }
+          {
+            std::lock_guard lock(jobs_mu_);
+            jobs_.push_back(Job{conn, seq, std::move(request)});
+            if (queue_depth_gauge_ != nullptr) {
+              queue_depth_gauge_->set(
+                  static_cast<std::int64_t>(jobs_.size()));
+            }
+          }
+          jobs_cv_.notify_one();
+        }
+      }
+    } catch (const TransportError&) {
+      // Malformed or over-limit frame: the byte stream cannot be trusted
+      // past this point; cut the connection (same as the pool).
+      drop(conn);
+      return;
+    }
+  }
+}
+
+void SoapEventServer::flush(const std::shared_ptr<Conn>& conn) {
+  bool should_drop = false;
+  {
+    std::lock_guard lock(conn->mu);
+    if (conn->dead) return;
+    try {
+      while (!conn->outbox.empty()) {
+        std::vector<std::uint8_t>& front = conn->outbox.front();
+        const std::span<const std::uint8_t> rest(
+            front.data() + conn->out_offset, front.size() - conn->out_offset);
+        obs::StageTimer t(obs_, obs::Stage::kFrameWrite);
+        const std::optional<std::size_t> n = conn->stream.try_write_some(rest);
+        if (!n) {
+          if (!conn->want_write) {
+            conn->want_write = true;
+            epoll_.mod(conn->stream.fd(),
+                       conn_interest(!conn->read_closed, true));
+          }
+          return;
+        }
+        conn->last_activity = std::chrono::steady_clock::now();
+        conn->out_offset += *n;
+        if (conn->out_offset == front.size()) {
+          buffer_pool_.release(std::move(front));
+          conn->outbox.pop_front();
+          conn->out_offset = 0;
+        }
+      }
+    } catch (const TransportError&) {
+      should_drop = true;
+    }
+    if (!should_drop) {
+      if (conn->want_write) {
+        conn->want_write = false;
+        epoll_.mod(conn->stream.fd(),
+                   conn_interest(!conn->read_closed, false));
+      }
+      // A half-closed pipeliner is done once its last response left.
+      should_drop = conn->read_closed && conn->inflight == 0 &&
+                    conn->completed.empty();
+    }
+  }
+  if (should_drop) drop(conn);
+}
+
+void SoapEventServer::drop(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard lock(conn->mu);
+    if (conn->dead) return;
+    conn->dead = true;
+    // Undeliverable responses go back to the pool instead of leaking.
+    for (auto& buf : conn->outbox) buffer_pool_.release(std::move(buf));
+    conn->outbox.clear();
+    for (auto& [seq, buf] : conn->completed) {
+      buffer_pool_.release(std::move(buf));
+    }
+    conn->completed.clear();
+  }
+  epoll_.del(conn->stream.fd());
+  conns_.erase(conn->stream.fd());
+  conn->stream.close();
+  --active_;
+  if (active_gauge_ != nullptr) active_gauge_->sub();
+  update_listener_interest();
+}
+
+void SoapEventServer::sweep_idle() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(read_timeout_ms_);
+  std::vector<std::shared_ptr<Conn>> stale;
+  for (auto& [fd, conn] : conns_) {
+    if (now - conn->last_activity > limit) stale.push_back(conn);
+  }
+  // Same contract as the pool's SO_RCVTIMEO: a peer that goes silent for
+  // read_timeout_ms is disconnected, mid-frame or not.
+  for (const auto& conn : stale) drop(conn);
+}
+
+void SoapEventServer::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(jobs_mu_);
+      jobs_cv_.wait(lock, [this] {
+        return !jobs_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (jobs_.empty()) {
+        // stopping_ and nothing queued: the reactor has stopped reading,
+        // so no more work can arrive.
+        return;
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->set(static_cast<std::int64_t>(jobs_.size()));
+      }
+    }
+
+    soap::SoapEnvelope response = [&]() -> soap::SoapEnvelope {
+      try {
+        soap::SoapEnvelope request = [&] {
+          obs_.stage_bytes(obs::Stage::kDeserialize, job.request.payload.size());
+          obs::StageTimer t(obs_, obs::Stage::kDeserialize);
+          // Adopting the payload keeps the PR 3 zero-copy path: packed
+          // arrays decode as views, and the wire buffer recycles into the
+          // pool when the request tree drops its last reference.
+          SharedBuffer wire = SharedBuffer::adopt(std::move(job.request.payload),
+                                                  &buffer_pool_);
+          return soap::SoapEnvelope(encoding_->deserialize_shared(wire));
+        }();
+        obs::StageTimer t(obs_, obs::Stage::kHandler);
+        return handler_(std::move(request));
+      } catch (const SoapFaultError& e) {
+        return soap::SoapEnvelope::make_fault({e.code(), e.reason(), ""});
+      } catch (const DecodeError& e) {
+        // The peer sent bytes we could not decode — the client's fault,
+        // answered in-band; the connection stays up.
+        return soap::SoapEnvelope::make_fault({"soap:Client", e.what(), ""});
+      } catch (const std::exception& e) {
+        return soap::SoapEnvelope::make_fault({"soap:Server", e.what(), ""});
+      }
+    }();
+    if (response.is_fault()) {
+      ++faults_;
+      obs_.count_fault();
+    }
+    // One pooled buffer per response, BXTP header reserved up front and
+    // backpatched, so the reactor writes header + payload as one unit.
+    ByteWriter out(buffer_pool_.acquire(256));
+    const std::size_t len_pos = begin_frame(out, encoding_->content_type());
+    {
+      obs::StageTimer t(obs_, obs::Stage::kSerialize);
+      encoding_->serialize_into(response.document(), out);
+    }
+    end_frame(out, len_pos);
+    obs_.stage_bytes(obs::Stage::kSerialize, out.size() - len_pos - 8);
+    complete(job.conn, job.seq, out.take());
+  }
+}
+
+void SoapEventServer::complete(const std::shared_ptr<Conn>& conn,
+                               std::uint64_t seq,
+                               std::vector<std::uint8_t> frame) {
+  bool notify = false;
+  {
+    std::lock_guard lock(conn->mu);
+    if (conn->dead) {
+      buffer_pool_.release(std::move(frame));
+      if (conn->inflight > 0) --conn->inflight;
+      return;
+    }
+    conn->completed.emplace(seq, std::move(frame));
+    // Release strictly in request order: a response completed out of order
+    // parks in `completed` until every earlier sequence has passed.
+    for (auto it = conn->completed.find(conn->next_to_send);
+         it != conn->completed.end();
+         it = conn->completed.find(conn->next_to_send)) {
+      conn->outbox.push_back(std::move(it->second));
+      conn->completed.erase(it);
+      ++conn->next_to_send;
+      --conn->inflight;
+      // Counted when the reply is committed to the wire queue, matching
+      // the pool's "count before the bytes leave" rule.
+      ++exchanges_;
+      obs_.count_exchange();
+      notify = true;
+    }
+  }
+  if (notify) {
+    bool first = false;
+    {
+      std::lock_guard lock(flush_mu_);
+      first = flush_queue_.empty();
+      flush_queue_.push_back(conn);
+    }
+    // The reactor drains the whole queue per wakeup, so only the
+    // emptiness transition needs a signal — under load this coalesces a
+    // burst of completions into one eventfd write + one epoll wakeup.
+    if (first) wakeup_.signal();
+  }
+}
+
+}  // namespace bxsoap::transport

@@ -1,0 +1,169 @@
+// SoapEventServer — the scalable sibling of SoapServerPool.
+//
+// The pool burns one OS thread per connection, which is honest but tops
+// out long before "millions of users": at N connections the kernel
+// schedules N mostly-idle threads, and every blocked read pins a stack.
+// This server serves the same ServerPoolConfig surface on an epoll
+// reactor: ONE thread owns every socket (accept, frame reassembly,
+// response writes) and a small fixed worker pool (default
+// hardware_concurrency) runs the CPU work — decode, handler, encode — so
+// thread count is bounded by cores, not by clients.
+//
+// Pipelining: a client may write many frames back to back on one
+// connection. Each request gets a per-connection sequence number when it
+// leaves the FrameAssembler; workers complete them in any order; the
+// connection's completion map releases responses strictly in sequence, so
+// M pipelined requests always produce M in-order responses. (Handlers for
+// requests of ONE connection may run concurrently — ordering is restored
+// at the write queue, not in the handler.)
+//
+// The PR 3 zero-copy path carries over intact: receive payloads are
+// pool-recycled SharedBuffers decoded as view spans, responses serialize
+// into one pooled buffer behind a reserved BXTP header, and the reactor
+// writes that single buffer per response.
+//
+// Failure taxonomy matches the pool: DecodeError -> in-band soap:Client
+// fault, SoapFaultError/std::exception -> fault envelope, frame-level
+// TransportError (bad magic, over-limit length) -> the connection is cut.
+// read_timeout_ms is the same slowloris defense: a peer that goes silent
+// for that long is disconnected by the reactor's idle sweep.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/observer.hpp"
+#include "soap/any_engine.hpp"
+#include "soap/envelope.hpp"
+#include "transport/framing.hpp"
+#include "transport/server_pool.hpp"
+#include "transport/socket.hpp"
+
+namespace bxsoap::transport {
+
+class SoapEventServer {
+ public:
+  using Handler = ServerPoolConfig::Handler;
+
+  /// Starts the reactor and workers immediately.
+  explicit SoapEventServer(ServerPoolConfig config);
+  ~SoapEventServer();
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Connections currently registered with the reactor.
+  std::size_t active_connections() const noexcept { return active_.load(); }
+  /// Total exchanges completed (response queued for the wire) since start.
+  std::size_t exchanges() const noexcept { return exchanges_.load(); }
+  /// Exchanges whose response was a fault envelope.
+  std::size_t faults() const noexcept { return faults_.load(); }
+  /// Worker threads serving this instance.
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Graceful shutdown: stop accepting and reading, let every request
+  /// already assembled finish its handler and flush its response (up to
+  /// drain_timeout), then close everything. Idempotent.
+  void stop();
+
+ private:
+  /// One connection's reactor-plus-worker shared state. The reactor owns
+  /// the socket and the assembler exclusively; everything under `mu` is
+  /// the response-ordering handshake with the workers.
+  struct Conn {
+    Conn(TcpStream s, const FrameLimits& limits, BufferPool* pool)
+        : stream(std::move(s)), assembler(limits, pool) {}
+
+    TcpStream stream;          // reactor-only
+    FrameAssembler assembler;  // reactor-only
+    std::uint64_t next_seq = 0;  // reactor-only: next request sequence
+    std::chrono::steady_clock::time_point last_activity;  // reactor-only
+    bool want_write = false;   // reactor-only: EPOLLOUT armed
+    bool read_closed = false;  // reactor-only: peer EOF seen
+
+    std::mutex mu;
+    /// Responses completed out of order, keyed by request sequence.
+    std::map<std::uint64_t, std::vector<std::uint8_t>> completed;
+    /// In-order responses waiting for (or mid-) socket write.
+    std::deque<std::vector<std::uint8_t>> outbox;
+    std::size_t out_offset = 0;  // bytes of outbox.front() already sent
+    std::uint64_t next_to_send = 0;  // sequence the outbox tail expects
+    std::size_t inflight = 0;  // requests dispatched, response not in outbox
+    bool dead = false;  // reactor dropped the conn; workers discard results
+  };
+
+  struct Job {
+    std::shared_ptr<Conn> conn;
+    std::uint64_t seq = 0;
+    soap::WireMessage request;
+  };
+
+  void reactor_loop();
+  void worker_loop();
+
+  // Reactor-side helpers (all run on the reactor thread).
+  void accept_ready();
+  void read_ready(const std::shared_ptr<Conn>& conn);
+  void flush(const std::shared_ptr<Conn>& conn);
+  void drop(const std::shared_ptr<Conn>& conn);
+  void sweep_idle();
+  void update_listener_interest();
+  bool fully_drained(Conn& conn);
+
+  // Worker-side helper: hand a finished response to the connection.
+  void complete(const std::shared_ptr<Conn>& conn, std::uint64_t seq,
+                std::vector<std::uint8_t> frame);
+
+  std::unique_ptr<soap::AnyEncoding> encoding_;
+  Handler handler_;
+  /// Declared before listener_/threads so it outlives every SharedBuffer
+  /// still referenced by in-flight decoded trees at teardown.
+  BufferPool buffer_pool_;
+  TcpListener listener_;
+  Epoll epoll_;
+  EventFd wakeup_;
+  int read_timeout_ms_ = 0;
+  FrameLimits frame_limits_{};
+  std::size_t max_connections_ = 0;
+  std::chrono::milliseconds drain_timeout_{1000};
+
+  obs::MetricsObserver obs_;  // detached when no registry is given
+  obs::IoStats* io_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* wakeups_ = nullptr;
+  obs::Counter* pipelined_ = nullptr;
+  obs::Histogram* loop_ns_ = nullptr;
+
+  // Reactor-owned connection table (fd -> conn).
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+  bool accept_armed_ = false;
+
+  // Worker job queue.
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+
+  // Connections with responses ready to flush (workers -> reactor).
+  std::mutex flush_mu_;
+  std::vector<std::shared_ptr<Conn>> flush_queue_;
+
+  std::thread reactor_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::size_t> active_{0};
+  std::atomic<std::size_t> exchanges_{0};
+  std::atomic<std::size_t> faults_{0};
+};
+
+}  // namespace bxsoap::transport

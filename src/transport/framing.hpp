@@ -120,6 +120,169 @@ void write_frame(S& stream, const soap::WireMessage& m) {
 /// closed connection, or a frame that exceeds `limits`. When `pool` is
 /// given, the payload buffer is recycled from it (the caller returns it by
 /// releasing the payload — or by adopting it into a SharedBuffer).
+/// Incremental BXTP frame reassembly from arbitrary byte chunks — the
+/// event server's counterpart to read_frame, which owns a blocking stream.
+/// A reactor feeds whatever the socket had; the assembler consumes up to
+/// one frame per feed() call and parks the rest for the next call. The
+/// same defensive order as read_frame holds: every peer-declared length is
+/// checked against FrameLimits BEFORE the corresponding allocation, so a
+/// hostile length field costs a TransportError, not memory.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(FrameLimits limits = {}, BufferPool* pool = nullptr)
+      : limits_(limits), pool_(pool) {}
+
+  /// Consume bytes from the front of `data` until one frame completes or
+  /// the input runs out; returns the number consumed. When a frame
+  /// completed, ready() is true and the caller must take() it before
+  /// feeding again (the unconsumed tail belongs to the next frame).
+  /// Malformed or over-limit input throws TransportError and poisons the
+  /// connection — there is no way to resynchronize a byte stream.
+  std::size_t feed(std::span<const std::uint8_t> data) {
+    std::size_t consumed = 0;
+    while (consumed < data.size() && state_ != State::kReady) {
+      consumed += step(data.subspan(consumed));
+    }
+    return consumed;
+  }
+
+  bool ready() const noexcept { return state_ == State::kReady; }
+
+  /// True between the first byte of a frame and its completion — the
+  /// window a slowloris peer stalls in.
+  bool mid_frame() const noexcept {
+    return state_ != State::kReady &&
+           !(state_ == State::kFixed && have_ == 0);
+  }
+
+  /// The completed frame; resets the assembler for the next one.
+  soap::WireMessage take() {
+    if (state_ != State::kReady) {
+      throw TransportError("no assembled frame to take");
+    }
+    soap::WireMessage m;
+    m.content_type = std::move(message_.content_type);
+    m.payload = std::move(message_.payload);
+    message_ = {};
+    state_ = State::kFixed;
+    have_ = 0;
+    return m;
+  }
+
+ private:
+  enum class State : std::uint8_t {
+    kFixed,    // magic + version (5 bytes)
+    kCtLen,    // content-type length, VLS byte by byte
+    kCtBytes,  // content-type bytes
+    kLen,      // payload length, u64 big-endian
+    kPayload,  // payload bytes
+    kReady,
+  };
+
+  /// Advance one state with the bytes at hand; returns bytes consumed.
+  std::size_t step(std::span<const std::uint8_t> data) {
+    switch (state_) {
+      case State::kFixed: {
+        const std::size_t take = std::min(data.size(), sizeof(fixed_) - have_);
+        std::memcpy(fixed_ + have_, data.data(), take);
+        have_ += take;
+        if (have_ == sizeof(fixed_)) {
+          if (std::memcmp(fixed_, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+            throw TransportError("bad frame magic");
+          }
+          if (fixed_[4] != kFrameVersion) {
+            throw TransportError("unsupported frame version " +
+                                 std::to_string(fixed_[4]));
+          }
+          state_ = State::kCtLen;
+          ct_len_ = 0;
+          vls_shift_ = 0;
+          vls_bytes_ = 0;
+        }
+        return take;
+      }
+      case State::kCtLen: {
+        const std::uint8_t b = data[0];
+        ct_len_ |= static_cast<std::uint64_t>(b & 0x7F) << vls_shift_;
+        vls_shift_ += 7;
+        ++vls_bytes_;
+        if ((b & 0x80) == 0) {
+          if (ct_len_ > limits_.max_content_type_bytes) {
+            throw TransportError("content type unreasonably long");
+          }
+          message_.content_type.clear();
+          message_.content_type.reserve(static_cast<std::size_t>(ct_len_));
+          state_ = ct_len_ == 0 ? State::kLen : State::kCtBytes;
+          have_ = 0;
+        } else if (vls_bytes_ == kMaxVlsBytes) {
+          throw TransportError("malformed frame VLS");
+        }
+        return 1;
+      }
+      case State::kCtBytes: {
+        const std::size_t want =
+            static_cast<std::size_t>(ct_len_) - message_.content_type.size();
+        const std::size_t take = std::min(data.size(), want);
+        message_.content_type.append(
+            reinterpret_cast<const char*>(data.data()), take);
+        if (message_.content_type.size() == ct_len_) {
+          state_ = State::kLen;
+          have_ = 0;
+        }
+        return take;
+      }
+      case State::kLen: {
+        const std::size_t take = std::min(data.size(), std::size_t{8} - have_);
+        std::memcpy(len_be_ + have_, data.data(), take);
+        have_ += take;
+        if (have_ == 8) {
+          const std::uint64_t payload_len =
+              load<std::uint64_t>(len_be_, ByteOrder::kBig);
+          // Cap check BEFORE sizing any buffer, exactly like read_frame.
+          if (payload_len > limits_.max_message_bytes) {
+            throw TransportError(
+                "frame payload of " + std::to_string(payload_len) +
+                " bytes exceeds the " +
+                std::to_string(limits_.max_message_bytes) +
+                "-byte message limit");
+          }
+          payload_len_ = static_cast<std::size_t>(payload_len);
+          if (pool_ != nullptr) {
+            message_.payload = pool_->acquire(payload_len_);
+          } else {
+            message_.payload.reserve(payload_len_);
+          }
+          state_ = payload_len_ == 0 ? State::kReady : State::kPayload;
+        }
+        return take;
+      }
+      case State::kPayload: {
+        const std::size_t want = payload_len_ - message_.payload.size();
+        const std::size_t take = std::min(data.size(), want);
+        message_.payload.insert(message_.payload.end(), data.data(),
+                                data.data() + take);
+        if (message_.payload.size() == payload_len_) state_ = State::kReady;
+        return take;
+      }
+      case State::kReady:
+        return 0;
+    }
+    return 0;  // unreachable
+  }
+
+  FrameLimits limits_;
+  BufferPool* pool_ = nullptr;
+  State state_ = State::kFixed;
+  std::uint8_t fixed_[5]{};
+  std::uint8_t len_be_[8]{};
+  std::size_t have_ = 0;
+  std::uint64_t ct_len_ = 0;
+  int vls_shift_ = 0;
+  std::size_t vls_bytes_ = 0;
+  std::size_t payload_len_ = 0;
+  soap::WireMessage message_;
+};
+
 template <FrameStream S>
 soap::WireMessage read_frame(S& stream, const FrameLimits& limits = {},
                              BufferPool* pool = nullptr) {

@@ -71,7 +71,8 @@ std::optional<std::string> HttpHeaders::get(std::string_view name) const {
 void write_http_request(TcpStream& stream, const HttpRequest& req) {
   std::string head = req.method + " " + req.target + " HTTP/1.1\r\n";
   head += "Host: 127.0.0.1\r\n";
-  head += "Connection: close\r\n";
+  head += req.keep_alive ? "Connection: keep-alive\r\n"
+                         : "Connection: close\r\n";
   head += "Content-Length: " + std::to_string(req.body.size()) + "\r\n";
   for (const auto& [n, v] : req.headers.entries) {
     head += n + ": " + v + "\r\n";
@@ -84,7 +85,8 @@ void write_http_request(TcpStream& stream, const HttpRequest& req) {
 void write_http_response(TcpStream& stream, const HttpResponse& resp) {
   std::string head =
       "HTTP/1.1 " + std::to_string(resp.status) + " " + resp.reason + "\r\n";
-  head += "Connection: close\r\n";
+  head += resp.keep_alive ? "Connection: keep-alive\r\n"
+                          : "Connection: close\r\n";
   head += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
   for (const auto& [n, v] : resp.headers.entries) {
     head += n + ": " + v + "\r\n";
@@ -115,6 +117,8 @@ HttpRequest read_http_request(TcpStream& stream) {
   }
   req.headers =
       parse_header_lines(std::string_view(block).substr(line_end + 2));
+  req.keep_alive =
+      iequals(req.headers.get("Connection").value_or(""), "keep-alive");
   req.body = read_body(stream, req.headers);
   return req;
 }
@@ -149,6 +153,8 @@ HttpResponse read_http_response(TcpStream& stream) {
                     : std::string(start_line.substr(sp2 + 1));
   resp.headers =
       parse_header_lines(std::string_view(block).substr(line_end + 2));
+  resp.keep_alive =
+      iequals(resp.headers.get("Connection").value_or(""), "keep-alive");
   resp.body = read_body(stream, resp.headers);
   return resp;
 }
@@ -170,12 +176,47 @@ HttpResponse HttpClient::post(std::string target, std::string content_type,
   return send(std::move(req));
 }
 
+TcpStream& HttpClient::ensure_connected() {
+  if (!stream_.valid()) {
+    stream_ = TcpStream::connect(port_);
+    stream_.set_io_stats(io_);
+    stream_.set_no_delay(true);
+    ++opened_;
+  }
+  return stream_;
+}
+
 HttpResponse HttpClient::send(HttpRequest req) {
-  TcpStream stream = TcpStream::connect(port_);
-  stream.set_io_stats(io_);
-  stream.set_no_delay(true);
-  write_http_request(stream, req);
-  return read_http_response(stream);
+  if (!keep_alive_) {
+    TcpStream stream = TcpStream::connect(port_);
+    ++opened_;
+    stream.set_io_stats(io_);
+    stream.set_no_delay(true);
+    write_http_request(stream, req);
+    return read_http_response(stream);
+  }
+  req.keep_alive = true;
+  bool reused = stream_.valid();
+  for (;;) {
+    TcpStream& stream = ensure_connected();
+    HttpResponse resp;
+    try {
+      write_http_request(stream, req);
+      resp = read_http_response(stream);
+    } catch (const TransportError&) {
+      stream_.close();
+      if (reused) {
+        // The server closed the idle connection between our requests (or
+        // never honored keep-alive). Nothing of this exchange reached the
+        // application, so one retry on a fresh connection is safe.
+        reused = false;
+        continue;
+      }
+      throw;
+    }
+    if (!resp.keep_alive) stream_.close();  // server opted out; fall back
+    return resp;
+  }
 }
 
 void HttpServer::start(Handler handler) {
@@ -187,34 +228,53 @@ void HttpServer::stop() {
   if (!thread_.joinable()) return;
   stopping_.store(true);
   listener_.shutdown();
+  {
+    // A keep-alive client parked between requests has the serving thread
+    // blocked in read_http_request; cut the connection to unblock it.
+    std::lock_guard lock(conn_mu_);
+    if (conn_ != nullptr) conn_->shutdown_both();
+  }
   thread_.join();
   listener_.close();
 }
 
 void HttpServer::run() {
   while (!stopping_.load()) {
-    TcpStream conn;
+    auto conn = std::make_shared<TcpStream>();
     try {
-      conn = listener_.accept();
+      *conn = listener_.accept();
     } catch (const TransportError&) {
       break;  // listener shut down
     }
+    {
+      std::lock_guard lock(conn_mu_);
+      conn_ = conn;
+    }
     try {
-      conn.set_no_delay(true);
-      const HttpRequest req = read_http_request(conn);
-      HttpResponse resp;
-      try {
-        resp = handler_(req);
-      } catch (const std::exception& e) {
-        resp.status = 500;
-        resp.reason = "Internal Server Error";
-        const std::string msg = e.what();
-        resp.body.assign(msg.begin(), msg.end());
+      conn->set_no_delay(true);
+      // Serve requests until the client is done: one request per
+      // connection historically, or as many as the client asks for when
+      // keep-alive is enabled on both sides.
+      for (;;) {
+        const HttpRequest req = read_http_request(*conn);
+        HttpResponse resp;
+        try {
+          resp = handler_(req);
+        } catch (const std::exception& e) {
+          resp.status = 500;
+          resp.reason = "Internal Server Error";
+          const std::string msg = e.what();
+          resp.body.assign(msg.begin(), msg.end());
+        }
+        resp.keep_alive = keep_alive_ && req.keep_alive && !stopping_.load();
+        write_http_response(*conn, resp);
+        if (!resp.keep_alive) break;
       }
-      write_http_response(conn, resp);
     } catch (const TransportError&) {
       // A broken client connection must not kill the server loop.
     }
+    std::lock_guard lock(conn_mu_);
+    conn_.reset();
   }
 }
 

@@ -2,15 +2,20 @@
 // scheme's data channel (the paper's Apache + libcurl stand-in).
 //
 // Scope: request/response with Content-Length bodies, case-insensitive
-// header lookup, Connection: close semantics (one exchange per connection,
-// as HTTP/1.0-style SOAP stacks of the era behaved). No chunked encoding,
-// no TLS, no pipelining — none of which the paper's experiments exercise.
+// header lookup. The historical default is Connection: close (one exchange
+// per connection, as HTTP/1.0-style SOAP stacks of the era behaved);
+// keep-alive is an opt-in on both HttpClient and HttpServer, negotiated
+// per-exchange via the Connection header so either side can fall back to
+// per-POST connections. No chunked encoding, no TLS, no pipelining — none
+// of which the paper's experiments exercise.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -33,6 +38,8 @@ struct HttpRequest {
   std::string target = "/";
   HttpHeaders headers;
   std::vector<std::uint8_t> body;
+  /// Written as the Connection header; set from it when parsed.
+  bool keep_alive = false;
 };
 
 struct HttpResponse {
@@ -40,6 +47,8 @@ struct HttpResponse {
   std::string reason = "OK";
   HttpHeaders headers;
   std::vector<std::uint8_t> body;
+  /// Written as the Connection header; set from it when parsed.
+  bool keep_alive = false;
 
   bool ok() const noexcept { return status >= 200 && status < 300; }
 };
@@ -50,7 +59,11 @@ void write_http_response(TcpStream& stream, const HttpResponse& resp);
 HttpRequest read_http_request(TcpStream& stream);
 HttpResponse read_http_response(TcpStream& stream);
 
-/// One-connection-per-request client.
+/// HTTP client. Historically one connection per request; call
+/// set_keep_alive(true) to request persistent connections. A server that
+/// answers Connection: close (or closes a reused connection between
+/// requests — the stale-socket race) transparently falls back to a fresh
+/// connection, so keep-alive is always safe to enable.
 class HttpClient {
  public:
   explicit HttpClient(std::uint16_t port) : port_(port) {}
@@ -60,12 +73,27 @@ class HttpClient {
                     std::vector<std::uint8_t> body);
   HttpResponse send(HttpRequest req);
 
+  /// Opt in to persistent connections (Connection: keep-alive).
+  void set_keep_alive(bool on) noexcept { keep_alive_ = on; }
+
+  /// Connections dialed since construction; with keep-alive this stays at
+  /// 1 across any number of requests the server agrees to coalesce.
+  std::size_t connections_opened() const noexcept { return opened_; }
+
+  /// Drop the persistent connection (next request redials).
+  void reset() noexcept { stream_.close(); }
+
   /// Tally bytes/syscalls of every request's connection into `io`
   /// (obs/metrics.hpp). The stats object must outlive the client.
   void set_io_stats(obs::IoStats* io) noexcept { io_ = io; }
 
  private:
+  TcpStream& ensure_connected();
+
   std::uint16_t port_;
+  bool keep_alive_ = false;
+  TcpStream stream_;  // persistent connection when keep-alive is on
+  std::size_t opened_ = 0;
   obs::IoStats* io_ = nullptr;
 };
 
@@ -82,6 +110,11 @@ class HttpServer {
   /// Start serving on a background thread. Handler exceptions become 500s.
   void start(Handler handler);
 
+  /// Honor clients' Connection: keep-alive (serve multiple requests per
+  /// connection). Off by default — per-connection semantics are the
+  /// historical contract. Call before start().
+  void set_keep_alive(bool on) noexcept { keep_alive_ = on; }
+
   /// Stop accepting, join the thread. Idempotent.
   void stop();
 
@@ -92,6 +125,9 @@ class HttpServer {
   Handler handler_;
   std::thread thread_;
   std::atomic<bool> stopping_{false};
+  bool keep_alive_ = false;
+  std::mutex conn_mu_;
+  std::shared_ptr<TcpStream> conn_;  // live connection, for stop() unblock
 };
 
 }  // namespace bxsoap::transport

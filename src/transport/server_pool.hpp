@@ -70,8 +70,15 @@ struct ServerPoolConfig {
   /// Maximum concurrent worker threads; 0 = unbounded. At the ceiling the
   /// accept loop stops accepting, so excess clients queue in the kernel's
   /// listen backlog (and beyond it, get connection refused) instead of
-  /// spawning unbounded threads.
+  /// spawning unbounded threads. The event server (SoapEventServer) reads
+  /// this as its connection ceiling: at the limit it parks the listener
+  /// instead of spawning anything, with the same kernel-backlog overflow.
   std::size_t max_workers = 0;
+
+  /// SoapEventServer only: size of the fixed worker pool that runs
+  /// decode/handle/encode off the reactor. 0 = hardware_concurrency.
+  /// SoapServerPool ignores this (its workers are one-per-connection).
+  std::size_t worker_threads = 0;
 
   /// How long stop() waits for in-flight exchanges (request already read,
   /// response not yet written) to finish before force-closing them. Idle

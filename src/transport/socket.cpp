@@ -1,8 +1,10 @@
 #include "transport/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
@@ -27,6 +29,13 @@ sockaddr_in loopback(std::uint16_t port) {
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   return addr;
+}
+
+void set_fd_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) throw_errno("fcntl(F_SETFL)");
 }
 
 }  // namespace
@@ -152,6 +161,50 @@ std::size_t TcpStream::read_some(std::uint8_t* out, std::size_t n) {
   return static_cast<std::size_t>(r);
 }
 
+std::optional<std::size_t> TcpStream::try_read_some(std::uint8_t* out,
+                                                    std::size_t n) {
+  if (!pushback_.empty()) {
+    const std::size_t take = std::min(n, pushback_.size());
+    std::memcpy(out, pushback_.data(), take);
+    pushback_.erase(0, take);
+    return take;
+  }
+  ssize_t r;
+  do {
+    r = ::recv(sock_.fd(), out, n, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    throw_errno("recv");
+  }
+  if (io_ != nullptr) {
+    io_->read_calls.add();
+    io_->bytes_in.add(static_cast<std::uint64_t>(r));
+  }
+  return static_cast<std::size_t>(r);
+}
+
+std::optional<std::size_t> TcpStream::try_write_some(
+    std::span<const std::uint8_t> data) {
+  ssize_t n;
+  do {
+    n = ::send(sock_.fd(), data.data(), data.size(), MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    throw_errno("send");
+  }
+  if (io_ != nullptr) {
+    io_->write_calls.add();
+    io_->bytes_out.add(static_cast<std::uint64_t>(n));
+  }
+  return static_cast<std::size_t>(n);
+}
+
+void TcpStream::set_nonblocking(bool on) {
+  set_fd_nonblocking(sock_.fd(), on);
+}
+
 void TcpStream::read_exact(std::uint8_t* out, std::size_t n) {
   std::size_t got = 0;
   while (got < n) {
@@ -245,6 +298,83 @@ TcpStream TcpListener::accept() {
   } while (fd < 0 && errno == EINTR);
   if (fd < 0) throw_errno("accept");
   return TcpStream(Socket(fd));
+}
+
+std::optional<TcpStream> TcpListener::try_accept() {
+  int fd;
+  do {
+    fd = ::accept(sock_.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    throw_errno("accept");
+  }
+  return TcpStream(Socket(fd));
+}
+
+void TcpListener::set_nonblocking(bool on) {
+  set_fd_nonblocking(sock_.fd(), on);
+}
+
+Epoll::Epoll() {
+  fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (fd_ < 0) throw_errno("epoll_create1");
+}
+
+Epoll::~Epoll() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Epoll::add(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throw_errno("epoll_ctl(ADD)");
+  }
+}
+
+void Epoll::mod(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    throw_errno("epoll_ctl(MOD)");
+  }
+}
+
+void Epoll::del(int fd) noexcept {
+  ::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int Epoll::wait(epoll_event* events, int max_events, int timeout_ms) {
+  int n;
+  do {
+    n = ::epoll_wait(fd_, events, max_events, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("epoll_wait");
+  return n;
+}
+
+EventFd::EventFd() {
+  fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (fd_ < 0) throw_errno("eventfd");
+}
+
+EventFd::~EventFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void EventFd::signal() noexcept {
+  const std::uint64_t one = 1;
+  // A full counter (EAGAIN) already guarantees a pending wakeup; any other
+  // failure here is unrecoverable and the reactor's timeout still saves us.
+  [[maybe_unused]] const ssize_t rc = ::write(fd_, &one, sizeof(one));
+}
+
+void EventFd::drain() noexcept {
+  std::uint64_t count;
+  [[maybe_unused]] const ssize_t rc = ::read(fd_, &count, sizeof(count));
 }
 
 }  // namespace bxsoap::transport

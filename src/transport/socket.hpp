@@ -1,9 +1,13 @@
 // RAII TCP sockets over IPv4 loopback (the engine's real-network substrate).
 //
 // Deliberately small: connect/accept/read/write with EINTR handling and
-// whole-buffer semantics. Everything the SOAP bindings, the HTTP layer and
-// the GridFTP-like striped transfer need — and nothing else.
+// whole-buffer semantics, plus the non-blocking surface the epoll reactor
+// (transport/event_server.hpp) is built on: set_nonblocking, EAGAIN-aware
+// try_read_some / try_write_some / try_accept, and RAII wrappers for the
+// two kernel primitives a reactor needs (Epoll, EventFd).
 #pragma once
+
+#include <sys/epoll.h>
 
 #include <cstdint>
 #include <optional>
@@ -56,6 +60,7 @@ class TcpStream {
   static TcpStream connect(std::uint16_t port);
 
   bool valid() const noexcept { return sock_.valid(); }
+  int fd() const noexcept { return sock_.fd(); }
   void close() noexcept { sock_.close(); }
   void shutdown_both() noexcept { sock_.shutdown_both(); }
 
@@ -75,6 +80,18 @@ class TcpStream {
 
   /// Read at most n bytes (one recv); 0 = orderly EOF.
   std::size_t read_some(std::uint8_t* out, std::size_t n);
+
+  /// Non-blocking read: bytes read (0 = orderly EOF), or nullopt when the
+  /// socket has no data right now (EAGAIN). Requires set_nonblocking(true);
+  /// any other error throws TransportError.
+  std::optional<std::size_t> try_read_some(std::uint8_t* out, std::size_t n);
+
+  /// Non-blocking write of at most data.size() bytes: bytes accepted by the
+  /// kernel, or nullopt when the send buffer is full (EAGAIN).
+  std::optional<std::size_t> try_write_some(std::span<const std::uint8_t> data);
+
+  /// Switch the fd between blocking (default) and non-blocking mode.
+  void set_nonblocking(bool on);
 
   /// Read until the delimiter appears (inclusive) or max_bytes is hit;
   /// returns everything read. Used by the HTTP header parser.
@@ -111,6 +128,15 @@ class TcpListener {
   /// listener has been shut down (the server-stop path).
   TcpStream accept();
 
+  /// Non-blocking accept: the next pending connection, or nullopt when none
+  /// is queued (EAGAIN). Requires set_nonblocking(true).
+  std::optional<TcpStream> try_accept();
+
+  /// Switch the listening fd between blocking and non-blocking mode.
+  void set_nonblocking(bool on);
+
+  int fd() const noexcept { return sock_.fd(); }
+
   /// Unblock any pending accept() and refuse new connections.
   void shutdown() noexcept { sock_.shutdown_both(); }
   void close() noexcept { sock_.close(); }
@@ -118,6 +144,48 @@ class TcpListener {
  private:
   Socket sock_;
   std::uint16_t port_ = 0;
+};
+
+/// RAII epoll instance. Interest registration carries the fd in
+/// event.data.fd; the owner maps fds back to its own connection state.
+class Epoll {
+ public:
+  Epoll();
+  ~Epoll();
+  Epoll(const Epoll&) = delete;
+  Epoll& operator=(const Epoll&) = delete;
+
+  void add(int fd, std::uint32_t events);
+  void mod(int fd, std::uint32_t events);
+  /// Remove interest; ignores ENOENT/EBADF so teardown paths can call it
+  /// unconditionally (closing an fd also drops it from the set).
+  void del(int fd) noexcept;
+
+  /// EINTR-retrying epoll_wait; returns the number of ready events
+  /// (0 on timeout). timeout_ms = -1 blocks indefinitely.
+  int wait(epoll_event* events, int max_events, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII eventfd used to wake a reactor parked in epoll_wait from another
+/// thread (worker completions, stop()). Non-blocking on both ends.
+class EventFd {
+ public:
+  EventFd();
+  ~EventFd();
+  EventFd(const EventFd&) = delete;
+  EventFd& operator=(const EventFd&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  /// Post one wakeup; safe from any thread, never blocks.
+  void signal() noexcept;
+  /// Consume all pending wakeups (called by the reactor after waking).
+  void drain() noexcept;
+
+ private:
+  int fd_ = -1;
 };
 
 }  // namespace bxsoap::transport

@@ -1,0 +1,120 @@
+#include "soap/channel_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "services/verification.hpp"
+#include "soap/reliable.hpp"
+#include "transport/event_server.hpp"
+#include "workload/lead.hpp"
+
+namespace bxsoap::soap {
+namespace {
+
+using transport::ServerPoolConfig;
+using transport::SoapEventServer;
+
+std::unique_ptr<SoapEventServer> make_server() {
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = services::verification_handler;
+  return std::make_unique<SoapEventServer>(std::move(cfg));
+}
+
+TEST(ChannelPool, ConcurrentCallersShareKChannels) {
+  auto server = make_server();
+  obs::Registry registry;
+  TcpChannelPool<BxsaEncoding>::Config cfg;
+  cfg.port = server->port();
+  cfg.channels = 3;
+  cfg.registry = &registry;
+  TcpChannelPool<BxsaEncoding> pool(cfg);
+  EXPECT_EQ(pool.size(), 3u);
+
+  constexpr int kThreads = 8;
+  constexpr int kCallsEach = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCallsEach; ++i) {
+        const std::size_t n = 10 + static_cast<std::size_t>(t);
+        SoapEnvelope resp = pool.call(
+            services::make_data_request(workload::make_lead_dataset(n)));
+        const auto outcome = services::parse_verify_response(resp);
+        if (!outcome.ok || outcome.count != n) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const std::size_t total = kThreads * kCallsEach;
+  EXPECT_EQ(server->exchanges(), total);
+  EXPECT_EQ(pool.resets(), 0u);
+  EXPECT_EQ(registry.counter("client.channels.calls").value(), total);
+  EXPECT_EQ(registry.gauge("client.channels.channels.in_use").value(), 0);
+  // 8 threads over 3 channels: somebody must have waited at checkout.
+  EXPECT_EQ(registry.histogram("client.channels.checkout.wait.ns").count(),
+            total);
+  // K persistent connections, not one per call.
+  EXPECT_EQ(server->active_connections(), 3u);
+}
+
+TEST(ChannelPool, DeadChannelIsResetAndReplaced) {
+  auto server = make_server();
+  TcpChannelPool<BxsaEncoding>::Config cfg;
+  cfg.port = server->port();
+  cfg.channels = 1;
+  TcpChannelPool<BxsaEncoding> pool(cfg);
+
+  SoapEnvelope ok = pool.call(
+      services::make_data_request(workload::make_lead_dataset(4)));
+  EXPECT_TRUE(services::parse_verify_response(ok).ok);
+
+  // Kill the server mid-pool: the channel's connection dies with it.
+  const std::uint16_t port = server->port();
+  server->stop();
+  EXPECT_THROW(pool.call(services::make_data_request(
+                   workload::make_lead_dataset(4))),
+               TransportError);
+  EXPECT_GE(pool.resets(), 1u);
+
+  // A replacement server on the same port: the reset channel reconnects
+  // lazily and the pool is healthy again without rebuilding it.
+  ServerPoolConfig cfg2;
+  cfg2.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg2.handler = services::verification_handler;
+  cfg2.port = port;
+  SoapEventServer revived(std::move(cfg2));
+  SoapEnvelope again = pool.call(
+      services::make_data_request(workload::make_lead_dataset(6)));
+  EXPECT_TRUE(services::parse_verify_response(again).ok);
+}
+
+// The pool has the engine's call() shape, so ReliableCaller composes on
+// top: a transient failure poisons the channel, the pool resets it, and
+// the retry lands on a fresh connection.
+TEST(ChannelPool, ComposesUnderReliableCaller) {
+  auto server = make_server();
+  TcpChannelPool<BxsaEncoding>::Config cfg;
+  cfg.port = server->port();
+  cfg.channels = 2;
+  TcpChannelPool<BxsaEncoding> pool(cfg);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  ReliableCaller<TcpChannelPool<BxsaEncoding>> caller(pool, policy);
+  caller.set_sleep_hook([](std::chrono::milliseconds) {});
+
+  SoapEnvelope resp = caller.call(
+      services::make_data_request(workload::make_lead_dataset(9)));
+  EXPECT_TRUE(services::parse_verify_response(resp).ok);
+}
+
+}  // namespace
+}  // namespace bxsoap::soap

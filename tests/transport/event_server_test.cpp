@@ -1,0 +1,334 @@
+#include "transport/event_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "services/verification.hpp"
+#include "soap/engine.hpp"
+#include "transport/bindings.hpp"
+#include "workload/lead.hpp"
+
+namespace bxsoap::transport {
+namespace {
+
+using namespace bxsoap::soap;
+
+std::unique_ptr<SoapEventServer> make_server(
+    obs::Registry* registry = nullptr) {
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = services::verification_handler;
+  cfg.registry = registry;
+  cfg.metrics_prefix = "event";
+  return std::make_unique<SoapEventServer>(std::move(cfg));
+}
+
+/// Encode a verification request as a raw wire frame (for driving the
+/// server below the engine layer, where pipelining is visible).
+soap::WireMessage encode_request(std::size_t count) {
+  BxsaEncoding enc;
+  SoapEnvelope env =
+      services::make_data_request(workload::make_lead_dataset(count));
+  soap::WireMessage m;
+  m.content_type = std::string(BxsaEncoding::content_type());
+  m.payload = enc.serialize(env.document());
+  return m;
+}
+
+services::VerificationOutcome decode_response(const soap::WireMessage& m) {
+  BxsaEncoding enc;
+  SoapEnvelope env(enc.deserialize(m.payload));
+  return services::parse_verify_response(env);
+}
+
+TEST(EventServer, SingleClientExchange) {
+  auto server = make_server();
+  SoapEngine<BxsaEncoding, TcpClientBinding> client(
+      {}, TcpClientBinding(server->port()));
+  const auto dataset = workload::make_lead_dataset(100);
+  SoapEnvelope resp = client.call(services::make_data_request(dataset));
+  EXPECT_TRUE(services::parse_verify_response(resp).ok);
+  EXPECT_EQ(server->exchanges(), 1u);
+  EXPECT_EQ(server->faults(), 0u);
+}
+
+TEST(EventServer, ManyConcurrentClients) {
+  auto server = make_server();
+  constexpr int kClients = 8;
+  constexpr int kCallsEach = 5;
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        SoapEngine<BxsaEncoding, TcpClientBinding> client(
+            {}, TcpClientBinding(server->port()));
+        const auto dataset =
+            workload::make_lead_dataset(100 + static_cast<std::size_t>(c));
+        for (int i = 0; i < kCallsEach; ++i) {
+          SoapEnvelope resp =
+              client.call(services::make_data_request(dataset));
+          const auto outcome = services::parse_verify_response(resp);
+          if (!outcome.ok ||
+              outcome.count != 100 + static_cast<std::size_t>(c)) {
+            ++failures;
+          }
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server->exchanges(),
+            static_cast<std::size_t>(kClients * kCallsEach));
+}
+
+// The tentpole behavior the thread-per-connection pool cannot offer: M
+// requests written back to back on ONE connection come back as M responses
+// in request order, even though their handlers may run concurrently on
+// different workers.
+TEST(EventServer, PipelinedRequestsAnswerInOrder) {
+  obs::Registry registry;
+  auto server = make_server(&registry);
+  constexpr std::size_t kRequests = 16;
+
+  TcpStream conn = TcpStream::connect(server->port());
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    write_frame(conn, encode_request(10 + i));
+  }
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const auto outcome = decode_response(read_frame(conn));
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.count, 10 + i) << "response " << i << " out of order";
+  }
+  EXPECT_EQ(server->exchanges(), kRequests);
+  // The burst must actually have overlapped on the connection.
+  EXPECT_GT(registry.counter("event.pipelined.exchanges").value(), 0u);
+}
+
+// Responses must come back in request order even when an early request is
+// much slower than the ones behind it (out-of-order completion is the rule,
+// not the exception, with concurrent workers).
+TEST(EventServer, SlowFirstRequestDoesNotReorderResponses) {
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = [](SoapEnvelope req) {
+    SoapEnvelope resp = services::verification_handler(std::move(req));
+    // Invert the natural completion order: earlier = slower.
+    const auto n = services::parse_verify_response(resp).count;
+    if (n == 50) std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    if (n == 51) std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    return resp;
+  };
+  cfg.worker_threads = 4;  // enough to run the whole burst concurrently
+  SoapEventServer server(std::move(cfg));
+  EXPECT_EQ(server.worker_count(), 4u);
+
+  TcpStream conn = TcpStream::connect(server.port());
+  for (std::size_t i = 0; i < 4; ++i) {
+    write_frame(conn, encode_request(50 + i));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(decode_response(read_frame(conn)).count, 50 + i);
+  }
+}
+
+// Graceful stop: requests already assembled when stop() lands finish their
+// handlers and their responses drain before the connection closes.
+TEST(EventServer, GracefulStopDrainsPipelinedResponses) {
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = [](SoapEnvelope req) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    return services::verification_handler(std::move(req));
+  };
+  cfg.drain_timeout = std::chrono::seconds(5);
+  SoapEventServer server(std::move(cfg));
+  constexpr std::size_t kRequests = 3;
+
+  TcpStream conn = TcpStream::connect(server.port());
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    write_frame(conn, encode_request(20 + i));
+  }
+  // Give the reactor a moment to assemble all three requests, then shut
+  // down around them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread stopper([&] { server.stop(); });
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const auto outcome = decode_response(read_frame(conn));
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.count, 20 + i);
+  }
+  stopper.join();
+  EXPECT_EQ(server.exchanges(), kRequests);
+}
+
+TEST(EventServer, StopWithLiveIdleConnections) {
+  auto server = make_server();
+  SoapEngine<BxsaEncoding, TcpClientBinding> client(
+      {}, TcpClientBinding(server->port()));
+  client.call(services::make_data_request(workload::make_lead_dataset(10)));
+  EXPECT_EQ(server->active_connections(), 1u);
+  // stop() must cut the idle connection instead of waiting on it.
+  server->stop();
+  EXPECT_EQ(server->active_connections(), 0u);
+}
+
+TEST(EventServer, MalformedBytesBecomeFaultNotDisconnect) {
+  auto server = make_server();
+  TcpStream raw = TcpStream::connect(server->port());
+  soap::WireMessage junk;
+  junk.content_type = "application/bxsa";
+  junk.payload = {0xDE, 0xAD};
+  write_frame(raw, junk);
+  soap::WireMessage resp = read_frame(raw);
+  BxsaEncoding enc;
+  SoapEnvelope env(enc.deserialize(resp.payload));
+  ASSERT_TRUE(env.is_fault());
+  EXPECT_EQ(env.fault().code, "soap:Client");
+  // The connection survived the in-band fault; a good request follows.
+  write_frame(raw, encode_request(5));
+  EXPECT_TRUE(decode_response(read_frame(raw)).ok);
+}
+
+// A frame declaring an over-limit payload is refused before allocation and
+// the connection is cut; the server keeps serving everyone else.
+TEST(EventServer, OversizedFrameRefusedAndServerSurvives) {
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = services::verification_handler;
+  cfg.frame_limits.max_message_bytes = 1024;
+  SoapEventServer server(std::move(cfg));
+
+  ByteWriter header;
+  header.write_bytes(kFrameMagic, sizeof(kFrameMagic));
+  header.write_u8(kFrameVersion);
+  const std::string_view ct = "application/bxsa";
+  vls_write(header, ct.size());
+  header.write_string(ct);
+  header.write<std::uint64_t>(1u << 30, ByteOrder::kBig);
+
+  TcpStream hostile = TcpStream::connect(server.port());
+  hostile.write_all(header.bytes());
+  hostile.set_read_timeout(2000);
+  std::uint8_t b;
+  EXPECT_THROW(hostile.read_exact(&b, 1), TransportError);
+
+  SoapEngine<BxsaEncoding, TcpClientBinding> client(
+      {}, TcpClientBinding(server.port()));
+  SoapEnvelope resp = client.call(
+      services::make_data_request(workload::make_lead_dataset(5)));
+  EXPECT_TRUE(services::parse_verify_response(resp).ok);
+  EXPECT_EQ(server.exchanges(), 1u);
+}
+
+// The registry view: pool-compatible counters plus the reactor-specific
+// ones, and the zero-copy buffer pool actually taking hits on this path.
+TEST(EventServer, MetricsAgreeWithTraffic) {
+  obs::Registry registry;
+  auto server = make_server(&registry);
+  constexpr std::size_t kCalls = 12;
+
+  SoapEngine<BxsaEncoding, TcpClientBinding> client(
+      {}, TcpClientBinding(server->port()));
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    SoapEnvelope resp = client.call(
+        services::make_data_request(workload::make_lead_dataset(10 + i)));
+    EXPECT_TRUE(services::parse_verify_response(resp).ok);
+  }
+
+  EXPECT_EQ(server->exchanges(), kCalls);
+  EXPECT_EQ(registry.counter("event.exchanges").value(), kCalls);
+  EXPECT_EQ(registry.counter("event.connections.accepted").value(), 1u);
+  EXPECT_EQ(registry.gauge("event.connections.active").value(), 1);
+  EXPECT_GT(registry.counter("event.reactor.wakeups").value(), 0u);
+  EXPECT_GT(registry.histogram("event.reactor.loop.ns").count(), 0u);
+  EXPECT_GT(registry.io("event.io").bytes_in.value(), 0u);
+  EXPECT_GT(registry.io("event.io").bytes_out.value(), 0u);
+  // Per-stage timings saw every exchange.
+  for (const char* stage :
+       {"deserialize", "handler", "serialize"}) {
+    EXPECT_EQ(
+        registry.histogram("event.stage." + std::string(stage) + ".ns")
+            .count(),
+        kCalls)
+        << stage;
+  }
+  // The PR 3 zero-copy path: after warmup, receive payloads and response
+  // buffers recycle through the pool instead of malloc.
+  EXPECT_GT(registry.counter("event.pool.hit").value(), 0u);
+  EXPECT_GT(registry.counter("event.pool.recycled_bytes").value(), 0u);
+
+  server->stop();
+  EXPECT_EQ(registry.gauge("event.connections.active").value(), 0);
+}
+
+// max_workers is the connection ceiling: at the limit the listener parks,
+// excess clients queue in the kernel backlog, and everyone is eventually
+// served without concurrency ever exceeding the cap.
+TEST(EventServer, ConnectionCeilingAppliesBackpressure) {
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = [](SoapEnvelope req) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return services::verification_handler(std::move(req));
+  };
+  cfg.max_workers = 2;
+  SoapEventServer server(std::move(cfg));
+
+  constexpr int kClients = 6;
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      try {
+        SoapEngine<BxsaEncoding, TcpClientBinding> client(
+            {}, TcpClientBinding(server.port()));
+        SoapEnvelope resp = client.call(
+            services::make_data_request(workload::make_lead_dataset(3)));
+        if (!services::parse_verify_response(resp).ok) ++failures;
+        // Closing promptly frees the slot for a queued client.
+        client.binding().close();
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  std::size_t max_active = 0;
+  std::thread sampler([&] {
+    while (!done.load()) {
+      max_active = std::max(max_active, server.active_connections());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& t : clients) t.join();
+  done.store(true);
+  sampler.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.exchanges(), static_cast<std::size_t>(kClients));
+  EXPECT_LE(max_active, 2u);
+}
+
+TEST(EventServer, XmlEncodingServed) {
+  ServerPoolConfig cfg;
+  cfg.encoding = AnyEncoding::from(XmlEncoding{});
+  cfg.handler = services::verification_handler;
+  SoapEventServer server(std::move(cfg));
+  SoapEngine<XmlEncoding, TcpClientBinding> client(
+      {}, TcpClientBinding(server.port()));
+  const auto dataset = workload::make_lead_dataset(10);
+  SoapEnvelope resp = client.call(services::make_data_request(dataset));
+  EXPECT_TRUE(services::parse_verify_response(resp).ok);
+}
+
+}  // namespace
+}  // namespace bxsoap::transport

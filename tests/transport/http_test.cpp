@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <thread>
 
 #include "transport/file_server.hpp"
 
@@ -78,6 +79,112 @@ TEST(HttpServer, MultipleSequentialRequests) {
     EXPECT_EQ(std::string(resp.body.begin(), resp.body.end()),
               std::to_string(i));
   }
+  server.stop();
+}
+
+// Keep-alive opt-in: with both sides agreeing, any number of requests
+// coalesce onto one connection.
+TEST(HttpServer, KeepAliveReusesOneConnection) {
+  HttpServer server;
+  server.set_keep_alive(true);
+  int counter = 0;
+  server.start([&counter](const HttpRequest&) {
+    HttpResponse resp;
+    const std::string n = std::to_string(++counter);
+    resp.body.assign(n.begin(), n.end());
+    return resp;
+  });
+  HttpClient client(server.port());
+  client.set_keep_alive(true);
+  for (int i = 1; i <= 5; ++i) {
+    HttpResponse resp = client.get("/");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_TRUE(resp.keep_alive);
+    EXPECT_EQ(std::string(resp.body.begin(), resp.body.end()),
+              std::to_string(i));
+  }
+  EXPECT_EQ(client.connections_opened(), 1u);
+  server.stop();
+}
+
+// A keep-alive client against a close-only server falls back to one
+// connection per request — same responses, no errors.
+TEST(HttpServer, KeepAliveClientFallsBackWhenServerCloses) {
+  HttpServer server;  // keep-alive NOT enabled: answers Connection: close
+  server.start([](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = req.body;
+    return resp;
+  });
+  HttpClient client(server.port());
+  client.set_keep_alive(true);
+  const std::vector<std::uint8_t> body = {'x', 'y'};
+  for (int i = 0; i < 3; ++i) {
+    HttpResponse resp = client.post("/echo", "application/bxsa", body);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_FALSE(resp.keep_alive);
+    EXPECT_EQ(resp.body, body);
+  }
+  EXPECT_EQ(client.connections_opened(), 3u);
+  server.stop();
+}
+
+// A plain client against a keep-alive server keeps the historical
+// one-exchange-per-connection behavior (the server honors the client's
+// Connection: close).
+TEST(HttpServer, PlainClientUnaffectedByKeepAliveServer) {
+  HttpServer server;
+  server.set_keep_alive(true);
+  server.start([](const HttpRequest&) { return HttpResponse{}; });
+  HttpClient client(server.port());
+  for (int i = 0; i < 3; ++i) {
+    HttpResponse resp = client.get("/");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_FALSE(resp.keep_alive);
+  }
+  EXPECT_EQ(client.connections_opened(), 3u);
+  server.stop();
+}
+
+// The stale-reuse race: a server that promises keep-alive but closes the
+// idle connection between requests. The client's next send lands on a dead
+// socket; it must redial and retry once instead of surfacing the error.
+TEST(HttpServer, KeepAliveClientRetriesStaleConnection) {
+  TcpListener listener(0);
+  std::thread treacherous([&] {
+    // First connection: answer one request with keep-alive, then close.
+    {
+      TcpStream conn = listener.accept();
+      (void)read_http_request(conn);
+      HttpResponse resp;
+      resp.keep_alive = true;
+      write_http_response(conn, resp);
+    }  // closed here, while the client believes it is reusable
+    // Second connection: the client's retry. Serve it properly.
+    TcpStream conn = listener.accept();
+    (void)read_http_request(conn);
+    write_http_response(conn, HttpResponse{});
+  });
+
+  HttpClient client(listener.port());
+  client.set_keep_alive(true);
+  EXPECT_EQ(client.get("/").status, 200);
+  EXPECT_EQ(client.connections_opened(), 1u);
+  // The persistent connection is now dead; this request must transparently
+  // redial.
+  EXPECT_EQ(client.get("/").status, 200);
+  EXPECT_EQ(client.connections_opened(), 2u);
+  treacherous.join();
+}
+
+TEST(HttpServer, StopWithParkedKeepAliveClientDoesNotHang) {
+  HttpServer server;
+  server.set_keep_alive(true);
+  server.start([](const HttpRequest&) { return HttpResponse{}; });
+  HttpClient client(server.port());
+  client.set_keep_alive(true);
+  EXPECT_EQ(client.get("/").status, 200);
+  // The connection is idle-open; stop() must cut it rather than wait.
   server.stop();
 }
 
