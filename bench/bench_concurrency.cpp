@@ -26,8 +26,7 @@
 #include "services/verification.hpp"
 #include "soap/engine.hpp"
 #include "transport/bindings.hpp"
-#include "transport/event_server.hpp"
-#include "transport/server_pool.hpp"
+#include "transport/server.hpp"
 #include "workload/lead.hpp"
 
 namespace {
@@ -91,8 +90,8 @@ LegResult drive_clients(std::uint16_t port, std::size_t clients,
   return r;
 }
 
-ServerPoolConfig make_config(obs::Registry& registry, std::string prefix) {
-  ServerPoolConfig cfg;
+ServerConfig make_config(obs::Registry& registry, std::string prefix) {
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
   cfg.registry = &registry;
@@ -146,26 +145,31 @@ int main(int argc, char** argv) {
               total_ops, kLeads, short_mode ? " (short mode)" : "");
   table.print_header();
 
+  // Both legs now run through the unified SoapServer::create surface; the
+  // concurrency model is the loop variable, not a code path.
+  struct Leg {
+    ConcurrencyModel model;
+    const char* name;
+  };
+  constexpr Leg kLegs[] = {
+      {ConcurrencyModel::kThreadPerConnection, "pool"},  // threads == clients
+      {ConcurrencyModel::kEventLoop, "event"},  // threads bounded by cores
+  };
   for (const std::size_t clients : ladder) {
-    // Thread-per-connection pool: server threads == live connections.
-    {
-      const std::string prefix = "pool.c" + std::to_string(clients);
-      SoapServerPool server(make_config(registry, prefix));
-      LegResult r = drive_clients(server.port(), clients, total_ops);
-      r.server_threads = clients;  // one worker per connection, plus accept
-      server.stop();
+    for (const Leg& leg : kLegs) {
+      const std::string prefix =
+          std::string(leg.name) + ".c" + std::to_string(clients);
+      auto server =
+          SoapServer::create(leg.model, make_config(registry, prefix));
+      LegResult r = drive_clients(server->port(), clients, total_ops);
+      // The pool's workers are gone by now (clients hung up), so report its
+      // peak instead of sampling: one worker per connection.
+      r.server_threads = leg.model == ConcurrencyModel::kThreadPerConnection
+                             ? clients
+                             : server->serving_threads();
+      server->stop();
       publish_leg(registry, prefix, r);
-      print_row(table, "pool", clients, r);
-    }
-    // Epoll event server: thread count bounded by cores, not clients.
-    {
-      const std::string prefix = "event.c" + std::to_string(clients);
-      SoapEventServer server(make_config(registry, prefix));
-      LegResult r = drive_clients(server.port(), clients, total_ops);
-      r.server_threads = 1 + server.worker_count();  // reactor + workers
-      server.stop();
-      publish_leg(registry, prefix, r);
-      print_row(table, "event", clients, r);
+      print_row(table, leg.name, clients, r);
     }
   }
 

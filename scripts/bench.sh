@@ -20,15 +20,16 @@ cmake --build --preset release-bench -j "$jobs"
 
 names=("$@")
 if [[ ${#names[@]} -eq 0 ]]; then
-  names=(engine frames sockets striping convert compression concurrency)
+  names=(engine frames sockets striping convert compression concurrency
+         streaming)
 fi
 
 repo="$PWD"
 for name in "${names[@]}"; do
   bin="$repo/build-bench/bench/bench_ablation_${name}"
-  # The concurrency shoot-out is not an ablation; map its name directly.
-  if [[ "$name" == "concurrency" ]]; then
-    bin="$repo/build-bench/bench/bench_concurrency"
+  # The shoot-out benches are not ablations; map their names directly.
+  if [[ "$name" == "concurrency" || "$name" == "streaming" ]]; then
+    bin="$repo/build-bench/bench/bench_${name}"
   fi
   if [[ ! -x "$bin" ]]; then
     echo "bench.sh: no such bench: $bin" >&2

@@ -16,6 +16,13 @@ cmake --build --preset default -j "$jobs"
 echo "== ctest (default preset) =="
 ctest --preset default -j "$jobs"
 
+echo "== streaming residency gate (256 MiB echo, bounded memory) =="
+# The full-size acceptance check for the chunked path: stream 256 MiB
+# through the event server and hold the stream.buffered_bytes waterline to
+# at most two chunks (the test asserts peak <= 2 * chunk_size <= 8 MiB).
+(cd build && BXSOAP_STREAM_MIB=256 \
+  ctest -R 'StreamingResidency\.' --output-on-failure)
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "check.sh: fast mode, skipping sanitizer pass"
   exit 0
@@ -40,12 +47,13 @@ cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" \
   --target test_common test_transport test_soap
 
-echo "== ctest (tsan: buffer pool + server pool + event server) =="
+echo "== ctest (tsan: buffer pool + server pool + event server + streaming) =="
 # The concurrency-heavy surfaces under ThreadSanitizer: the BufferPool /
 # SharedBuffer recycling machinery, the multi-threaded server pool, the
-# epoll reactor's worker handoff, and the client channel pool.
+# epoll reactor's worker handoff, the client channel pool, and the chunked
+# streaming path (per-stream threads + bounded queues on both servers).
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool|EventServer|ChannelPool' \
+  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool|EventServer|ChannelPool|Streaming' \
   --output-on-failure -j "$jobs")
 
 echo "== bench_concurrency (short mode, smoke) =="

@@ -1,5 +1,6 @@
 #include "bxsa/stream_writer.hpp"
 
+#include <cstring>
 #include <optional>
 
 #include "bxsa/frame.hpp"
@@ -46,10 +47,50 @@ NsRef resolve(const QName& q, std::vector<NamespaceDecl>& own_table,
 
 StreamWriter::StreamWriter(ByteOrder order) : order_(order), w_(order) {}
 
+StreamWriter::StreamWriter(ByteOrder order, std::size_t chunk_bytes,
+                           BufferPool& pool, ChunkSink sink)
+    : order_(order),
+      w_(order, ByteWriter(pool.acquire(chunk_bytes))),
+      chunk_bytes_(chunk_bytes),
+      pool_(&pool),
+      sink_(std::move(sink)) {
+  if (chunk_bytes_ == 0) {
+    throw EncodeError("chunked stream writer needs a non-zero chunk size");
+  }
+  if (!sink_) {
+    throw EncodeError("chunked stream writer needs a sink");
+  }
+}
+
 void StreamWriter::require_open(const char* what) const {
   if (done_) {
     throw EncodeError(std::string("stream writer already finished: ") + what);
   }
+  if (array_.active && std::strcmp(what, "append_array_items") != 0 &&
+      std::strcmp(what, "end_array") != 0) {
+    throw EncodeError(std::string(what) + " inside an open begin_array");
+  }
+}
+
+void StreamWriter::patch_field(std::size_t pos, const std::uint8_t* buf) {
+  if (chunked() && pos < w_.stream_base()) {
+    PatchRecord p;
+    p.offset = pos;
+    p.len = kSizeFieldWidth;
+    std::memcpy(p.bytes, buf, kSizeFieldWidth);
+    patches_.push_back(p);
+  } else {
+    w_.patch_at(pos, buf, kSizeFieldWidth);
+  }
+}
+
+void StreamWriter::maybe_flush() {
+  if (chunked() && w_.buffered() >= chunk_bytes_) flush_chunk();
+}
+
+void StreamWriter::flush_chunk() {
+  if (w_.buffered() == 0) return;
+  sink_(w_.drain(pool_->acquire(chunk_bytes_)));
 }
 
 void StreamWriter::begin_backpatched(std::uint8_t prefix_byte) {
@@ -70,11 +111,11 @@ void StreamWriter::end_backpatched() {
   std::uint8_t buf[kSizeFieldWidth];
   // Child count was reserved at fixed width; patch it now.
   vls_encode_padded(f.child_count, kSizeFieldWidth, buf);
-  w_.raw_writer().patch_bytes(f.count_pos, buf, kSizeFieldWidth);
+  patch_field(f.count_pos, buf);
   // Then the frame size.
   const std::uint64_t body = w_.offset() - f.size_pos - kSizeFieldWidth;
   vls_encode_padded(body, kSizeFieldWidth, buf);
-  w_.raw_writer().patch_bytes(f.size_pos, buf, kSizeFieldWidth);
+  patch_field(f.size_pos, buf);
 }
 
 void StreamWriter::note_child() {
@@ -92,6 +133,7 @@ void StreamWriter::start_document() {
   open_.back().is_document = true;
   open_.back().count_pos = w_.offset();
   w_.raw_writer().write_padding(kSizeFieldWidth);
+  maybe_flush();
 }
 
 void StreamWriter::end_document() {
@@ -101,6 +143,7 @@ void StreamWriter::end_document() {
   }
   end_backpatched();
   done_ = true;
+  if (chunked()) flush_chunk();
 }
 
 void StreamWriter::write_header(const QName& name,
@@ -157,6 +200,7 @@ void StreamWriter::start_element(const QName& name,
   write_header(name, namespaces, attributes);
   open_.back().count_pos = w_.offset();
   w_.raw_writer().write_padding(kSizeFieldWidth);
+  maybe_flush();
 }
 
 void StreamWriter::end_element() {
@@ -166,6 +210,7 @@ void StreamWriter::end_element() {
   }
   end_backpatched();
   ns_stack_.pop_back();
+  maybe_flush();
 }
 
 void StreamWriter::leaf_impl(const QName& name, const ScalarValue& value,
@@ -198,7 +243,8 @@ void StreamWriter::leaf_impl(const QName& name, const ScalarValue& value,
   std::uint8_t buf[kSizeFieldWidth];
   const std::uint64_t body = w_.offset() - f.size_pos - kSizeFieldWidth;
   vls_encode_padded(body, kSizeFieldWidth, buf);
-  w_.raw_writer().patch_bytes(f.size_pos, buf, kSizeFieldWidth);
+  patch_field(f.size_pos, buf);
+  maybe_flush();
 }
 
 void StreamWriter::array_impl(const QName& name, AtomType type,
@@ -206,6 +252,19 @@ void StreamWriter::array_impl(const QName& name, AtomType type,
                               std::size_t count, std::string_view item_name,
                               std::span<const NamespaceDecl> namespaces,
                               std::span<const Attribute> attributes) {
+  // One-shot array == incremental array with a single append; routing both
+  // through the same code keeps their bytes identical by construction (the
+  // differential tests pin this).
+  begin_array_impl(name, type, count, item_name, namespaces, attributes);
+  append_array_impl(packed, count);
+  end_array();
+}
+
+void StreamWriter::begin_array_impl(const QName& name, AtomType type,
+                                    std::uint64_t count,
+                                    std::string_view item_name,
+                                    std::span<const NamespaceDecl> namespaces,
+                                    std::span<const Attribute> attributes) {
   require_open("array");
   note_child();
   begin_backpatched(make_prefix_byte(FrameType::kArrayElement, order_));
@@ -216,32 +275,83 @@ void StreamWriter::array_impl(const QName& name, AtomType type,
 
   const std::size_t item = atom_wire_size(type);
   w_.align_to(item);
-  if (order_ == host_byte_order() || item == 1) {
-    w_.put_raw(packed);
-  } else {
-    switch (item) {
-      case 2:
-        w_.raw_writer().write_array(
-            std::span<const std::uint16_t>(
-                reinterpret_cast<const std::uint16_t*>(packed.data()), count),
-            order_);
-        break;
-      case 4:
-        w_.raw_writer().write_array(
-            std::span<const std::uint32_t>(
-                reinterpret_cast<const std::uint32_t*>(packed.data()), count),
-            order_);
-        break;
-      case 8:
-        w_.raw_writer().write_array(
-            std::span<const std::uint64_t>(
-                reinterpret_cast<const std::uint64_t*>(packed.data()), count),
-            order_);
-        break;
-      default:
-        throw EncodeError("stream writer: unknown item width");
-    }
+  array_.declared = count;
+  array_.appended = 0;
+  array_.item_width = item;
+  array_.active = true;
+}
+
+void StreamWriter::append_array_impl(std::span<const std::uint8_t> packed,
+                                     std::size_t count) {
+  require_open("append_array_items");
+  if (!array_.active) {
+    throw EncodeError("append_array_items without an open begin_array");
   }
+  if (array_.appended + count > array_.declared) {
+    throw EncodeError("array items exceed the declared count");
+  }
+  array_.appended += count;
+  const std::size_t item = array_.item_width;
+
+  // Emit in slices that never carry the buffer past the chunk size, so a
+  // multi-hundred-MiB payload flushes as it is produced instead of pooling
+  // up first. Unchunked mode takes everything in one slice.
+  std::size_t done = 0;
+  while (done < count) {
+    std::size_t take = count - done;
+    if (chunked()) {
+      const std::size_t room =
+          chunk_bytes_ > w_.buffered() ? chunk_bytes_ - w_.buffered() : 0;
+      const std::size_t fit = room / item;
+      if (fit == 0) {
+        flush_chunk();
+        continue;
+      }
+      take = std::min(take, fit);
+    }
+    const std::uint8_t* base = packed.data() + done * item;
+    if (order_ == host_byte_order() || item == 1) {
+      w_.put_raw(base, take * item);
+    } else {
+      switch (item) {
+        case 2:
+          w_.raw_writer().write_array(
+              std::span<const std::uint16_t>(
+                  reinterpret_cast<const std::uint16_t*>(base), take),
+              order_);
+          break;
+        case 4:
+          w_.raw_writer().write_array(
+              std::span<const std::uint32_t>(
+                  reinterpret_cast<const std::uint32_t*>(base), take),
+              order_);
+          break;
+        case 8:
+          w_.raw_writer().write_array(
+              std::span<const std::uint64_t>(
+                  reinterpret_cast<const std::uint64_t*>(base), take),
+              order_);
+          break;
+        default:
+          throw EncodeError("stream writer: unknown item width");
+      }
+    }
+    done += take;
+    maybe_flush();
+  }
+}
+
+void StreamWriter::end_array() {
+  require_open("end_array");
+  if (!array_.active) {
+    throw EncodeError("end_array without an open begin_array");
+  }
+  if (array_.appended != array_.declared) {
+    throw EncodeError("array closed with " + std::to_string(array_.appended) +
+                      " of " + std::to_string(array_.declared) +
+                      " declared items");
+  }
+  array_.active = false;
   ns_stack_.pop_back();
 
   const OpenFrame f = open_.back();
@@ -249,7 +359,8 @@ void StreamWriter::array_impl(const QName& name, AtomType type,
   std::uint8_t buf[kSizeFieldWidth];
   const std::uint64_t body = w_.offset() - f.size_pos - kSizeFieldWidth;
   vls_encode_padded(body, kSizeFieldWidth, buf);
-  w_.raw_writer().patch_bytes(f.size_pos, buf, kSizeFieldWidth);
+  patch_field(f.size_pos, buf);
+  maybe_flush();
 }
 
 void StreamWriter::text(std::string_view content) {
@@ -258,6 +369,7 @@ void StreamWriter::text(std::string_view content) {
   w_.put_u8(make_prefix_byte(FrameType::kCharacterData, order_));
   w_.put_vls(vls_size(content.size()) + content.size());
   w_.put_string(content);
+  maybe_flush();
 }
 
 void StreamWriter::comment(std::string_view content) {
@@ -266,6 +378,7 @@ void StreamWriter::comment(std::string_view content) {
   w_.put_u8(make_prefix_byte(FrameType::kComment, order_));
   w_.put_vls(vls_size(content.size()) + content.size());
   w_.put_string(content);
+  maybe_flush();
 }
 
 void StreamWriter::pi(std::string_view target, std::string_view data) {
@@ -276,15 +389,32 @@ void StreamWriter::pi(std::string_view target, std::string_view data) {
              vls_size(data.size()) + data.size());
   w_.put_string(target);
   w_.put_string(data);
+  maybe_flush();
 }
 
 std::vector<std::uint8_t> StreamWriter::take() {
+  if (chunked()) {
+    throw EncodeError("take() on a chunked stream writer; use finish()");
+  }
   if (!open_.empty()) {
     throw EncodeError("stream writer has " + std::to_string(open_.size()) +
                       " unclosed scopes");
   }
   done_ = true;
   return w_.take();
+}
+
+std::vector<PatchRecord> StreamWriter::finish() {
+  if (!chunked()) {
+    throw EncodeError("finish() on an unchunked stream writer; use take()");
+  }
+  if (!open_.empty()) {
+    throw EncodeError("stream writer has " + std::to_string(open_.size()) +
+                      " unclosed scopes");
+  }
+  done_ = true;
+  flush_chunk();
+  return std::move(patches_);
 }
 
 }  // namespace bxsoap::bxsa

@@ -55,4 +55,16 @@ std::uint64_t vls_read(ByteReader& r) {
   throw DecodeError("VLS integer longer than 10 bytes");
 }
 
+std::size_t vls_read_size(ByteReader& r, std::size_t limit) {
+  const std::uint64_t v = vls_read(r);
+  // `limit` is a size_t, so v <= limit also proves v fits in size_t: one
+  // comparison covers both the policy ceiling and 32-bit size_t overflow.
+  if (v > limit) {
+    throw DecodeError("declared size " + std::to_string(v) +
+                      " exceeds the " + std::to_string(limit) +
+                      "-byte limit");
+  }
+  return static_cast<std::size_t>(v);
+}
+
 }  // namespace bxsoap

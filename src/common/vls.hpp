@@ -28,6 +28,12 @@ std::size_t vls_encode(std::uint64_t v, std::uint8_t* out);
 /// (>10 byte) input.
 std::uint64_t vls_read(ByteReader& r);
 
+/// Decode one VLS integer that will be used as an in-memory byte count:
+/// rejects values that exceed `limit` OR cannot be represented in size_t
+/// (32-bit hosts) BEFORE the caller sizes any allocation from it. The
+/// chunked transfer path reads every peer-declared Size through this.
+std::size_t vls_read_size(ByteReader& r, std::size_t limit);
+
 /// Encode `v` in EXACTLY `n` bytes using redundant continuation bytes
 /// (base-128 allows non-canonical encodings). Used for frame Size fields
 /// that are reserved up front and backpatched once the frame body is

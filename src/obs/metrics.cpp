@@ -48,6 +48,11 @@ Histogram& Registry::histogram(const std::string& name) {
   return histograms_[name];
 }
 
+Waterline& Registry::waterline(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return waterlines_[name];
+}
+
 IoStats& Registry::io(const std::string& name) {
   std::lock_guard lock(mu_);
   return io_[name];
@@ -170,6 +175,15 @@ std::string Registry::to_json() const {
   append_object(out, "histograms", histograms_,
                 [](std::string& o, const Histogram& h) {
                   append_histogram(o, h);
+                });
+  out += ',';
+  append_object(out, "waterlines", waterlines_,
+                [](std::string& o, const Waterline& w) {
+                  o += "{\"value\":";
+                  append_u64(o, w.value());
+                  o += ",\"peak\":";
+                  append_u64(o, w.peak());
+                  o += '}';
                 });
   out += ',';
   append_object(out, "io", io_, [](std::string& o, const IoStats& io) {

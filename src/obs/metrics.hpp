@@ -86,6 +86,36 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// A level with a high-water mark: tracks the current value like a Gauge
+/// and additionally remembers the maximum it ever reached (CAS max on a
+/// relaxed atomic). This is what bounded-memory claims are verified
+/// against — e.g. the streaming path's peak pooled-buffer residency.
+class Waterline {
+ public:
+  void add(std::uint64_t n) noexcept {
+    const std::uint64_t now =
+        v_.fetch_add(n, std::memory_order_relaxed) + n;
+    std::uint64_t seen = peak_.load(std::memory_order_relaxed);
+    while (seen < now &&
+           !peak_.compare_exchange_weak(seen, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  void sub(std::uint64_t n) noexcept {
+    v_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
 /// Byte/syscall tallies for one transport endpoint. A TcpStream records
 /// into one of these when attached (see TcpStream::set_io_stats).
 struct IoStats {
@@ -112,12 +142,14 @@ class Registry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+  Waterline& waterline(const std::string& name);
   IoStats& io(const std::string& name);
   CodecStats& codec(const std::string& name);
 
   /// Structured JSON snapshot of every registered metric:
   ///   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
-  ///    mean,max,p50,p95,p99}},"io":{...},"codec":{...}}
+  ///    mean,max,p50,p95,p99}},"waterlines":{name:{value,peak}},
+  ///    "io":{...},"codec":{...}}
   /// Values are read with relaxed loads — a snapshot taken under load is
   /// approximate, which is all a metrics dump needs to be.
   std::string to_json() const;
@@ -127,6 +159,7 @@ class Registry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Waterline> waterlines_;
   std::map<std::string, IoStats> io_;
   std::map<std::string, CodecStats> codec_;
 };

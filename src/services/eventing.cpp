@@ -185,7 +185,8 @@ struct EventListener::Impl {
     while (!stopping.load()) {
       try {
         soap::WireMessage raw = binding.receive_request();
-        SoapEnvelope env(encoding->deserialize(raw.payload));
+        SharedBuffer wire = SharedBuffer::adopt(std::move(raw.payload));
+        SoapEnvelope env(encoding->deserialize_shared(wire));
         {
           std::lock_guard lock(mu);
           queue.push_back(std::move(env));

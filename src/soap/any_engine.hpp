@@ -16,7 +16,9 @@
 
 namespace bxsoap::soap {
 
-/// Runtime-polymorphic encoding interface.
+/// Runtime-polymorphic encoding interface: the unified Encoding concept's
+/// three operations, virtualized, nothing else. Every engine and server
+/// dispatches through this one surface.
 class AnyEncoding {
  public:
   virtual ~AnyEncoding() = default;
@@ -25,63 +27,59 @@ class AnyEncoding {
   /// headers) take the view; nothing re-derives or re-copies it per
   /// message.
   virtual std::string_view content_type() const = 0;
-  virtual std::vector<std::uint8_t> serialize(
-      const xdm::Document& doc) const = 0;
-  virtual xdm::DocumentPtr deserialize(
-      std::span<const std::uint8_t> bytes) const = 0;
 
   /// Serialize by appending to `out` (a pooled buffer, possibly holding a
-  /// reserved frame header). Default: serialize() then copy.
-  virtual void serialize_into(const xdm::Document& doc, ByteWriter& out) const {
-    const std::vector<std::uint8_t> bytes = serialize(doc);
-    out.write_bytes(bytes.data(), bytes.size());
-  }
+  /// reserved frame header).
+  virtual void serialize_into(const xdm::Document& doc,
+                              ByteWriter& out) const = 0;
 
   /// Deserialize from a shared wire buffer; policies that support zero-copy
-  /// views keep `wire` alive through the tree. Default: plain deserialize.
-  virtual xdm::DocumentPtr deserialize_shared(const SharedBuffer& wire) const {
-    return deserialize(wire.bytes());
-  }
+  /// views keep `wire` alive through the tree.
+  virtual xdm::DocumentPtr deserialize_shared(
+      const SharedBuffer& wire) const = 0;
 
   /// Forward codec tallies to the wrapped policy when it supports them
   /// (BxsaEncoding does); a no-op for encodings with nothing to count.
   virtual void set_codec_stats(obs::CodecStats*) {}
 
-  /// Type-erase any static encoding policy.
-  template <EncodingPolicy E>
+  /// Streaming production (soap::StreamingEncoding) when the wrapped
+  /// policy supports it; null for tree-only encodings — callers fall back
+  /// to the materialized path.
+  virtual std::unique_ptr<bxsa::StreamWriter> make_stream_writer(
+      std::size_t /*chunk_bytes*/, BufferPool& /*pool*/,
+      bxsa::ChunkSink /*sink*/) const {
+    return nullptr;
+  }
+
+  /// Type-erase any unified encoding policy.
+  template <Encoding E>
   static std::unique_ptr<AnyEncoding> from(E enc) {
     struct Model final : AnyEncoding {
       explicit Model(E e) : enc(std::move(e)) {}
       std::string_view content_type() const override {
         return E::content_type();
       }
-      std::vector<std::uint8_t> serialize(
-          const xdm::Document& doc) const override {
-        return enc.serialize(doc);
-      }
-      xdm::DocumentPtr deserialize(
-          std::span<const std::uint8_t> bytes) const override {
-        return enc.deserialize(bytes);
-      }
       void serialize_into(const xdm::Document& doc,
                           ByteWriter& out) const override {
-        if constexpr (AppendSerializeEncoding<E>) {
-          enc.serialize_into(doc, out);
-        } else {
-          AnyEncoding::serialize_into(doc, out);
-        }
+        enc.serialize_into(doc, out);
       }
       xdm::DocumentPtr deserialize_shared(
           const SharedBuffer& wire) const override {
-        if constexpr (SharedDeserializeEncoding<E>) {
-          return enc.deserialize_shared(wire);
-        } else {
-          return enc.deserialize(wire.bytes());
-        }
+        return enc.deserialize_shared(wire);
       }
       void set_codec_stats(obs::CodecStats* stats) override {
         if constexpr (requires { enc.set_codec_stats(stats); }) {
           enc.set_codec_stats(stats);
+        }
+      }
+      std::unique_ptr<bxsa::StreamWriter> make_stream_writer(
+          std::size_t chunk_bytes, BufferPool& pool,
+          bxsa::ChunkSink sink) const override {
+        if constexpr (StreamingEncoding<E>) {
+          return std::make_unique<bxsa::StreamWriter>(
+              enc.make_stream_writer(chunk_bytes, pool, std::move(sink)));
+        } else {
+          return nullptr;
         }
       }
       E enc;

@@ -32,7 +32,7 @@
 
 namespace bxsoap::soap {
 
-template <EncodingPolicy Encoding>
+template <Encoding Enc>
 class TcpChannelPool {
  public:
   struct Config {
@@ -61,7 +61,7 @@ class TcpChannelPool {
     }
     channels_.reserve(config.channels);
     for (std::size_t i = 0; i < config.channels; ++i) {
-      channels_.emplace_back(Encoding{},
+      channels_.emplace_back(Enc{},
                              transport::TcpClientBinding(config.port));
       channels_.back().binding().set_frame_limits(config.frame_limits);
       channels_.back().binding().set_io_stats(io_);
@@ -92,7 +92,7 @@ class TcpChannelPool {
   }
 
  private:
-  using Engine = SoapEngine<Encoding, transport::TcpClientBinding>;
+  using Engine = SoapEngine<Enc, transport::TcpClientBinding>;
 
   std::size_t checkout() {
     const auto start = std::chrono::steady_clock::now();

@@ -18,7 +18,7 @@
 
 namespace bxsoap::soap {
 
-template <EncodingPolicy Inner>
+template <LegacyEncoding Inner>
 class CompressedEncoding {
  public:
   static constexpr std::string_view content_type() {
@@ -36,11 +36,23 @@ class CompressedEncoding {
     return inner_.deserialize(raw);
   }
 
+  // Unified-concept surface. Compression inherently re-buffers (the LZSS
+  // pass reads the whole serialization), so these are the copy semantics
+  // of LegacyEncodingAdapter, spelled out.
+  void serialize_into(const xdm::Document& doc, ByteWriter& out) const {
+    const std::vector<std::uint8_t> bytes = serialize(doc);
+    out.write_bytes(bytes.data(), bytes.size());
+  }
+
+  xdm::DocumentPtr deserialize_shared(const SharedBuffer& wire) const {
+    return deserialize(wire.bytes());
+  }
+
  private:
   Inner inner_;
 };
 
-static_assert(EncodingPolicy<CompressedEncoding<XmlEncoding>>);
-static_assert(EncodingPolicy<CompressedEncoding<BxsaEncoding>>);
+static_assert(Encoding<CompressedEncoding<XmlEncoding>>);
+static_assert(Encoding<CompressedEncoding<BxsaEncoding>>);
 
 }  // namespace bxsoap::soap

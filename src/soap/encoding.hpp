@@ -1,10 +1,17 @@
 // Encoding policies: how a SOAP envelope's bXDM document becomes octets.
 //
-// A policy is any type modeling the EncodingPolicy concept below; the
-// generic engine binds one at compile time ("because the binding is at
-// compile time, compiler optimizations are not impacted, and inlining is
-// still enabled"). Two models ship by default, exactly as in the paper:
+// A policy is any type modeling THE Encoding concept below; the generic
+// engine binds one at compile time ("because the binding is at compile
+// time, compiler optimizations are not impacted, and inlining is still
+// enabled"). Two models ship by default, exactly as in the paper:
 // XmlEncoding (XML 1.0) and BxsaEncoding (binary XML).
+//
+// History note: PRs 1-4 grew three overlapping concepts (EncodingPolicy,
+// AppendSerializeEncoding, SharedDeserializeEncoding) plus per-engine
+// if-constexpr fallbacks. They are collapsed here into ONE surface —
+// append-serialize and shared-buffer deserialize, the forms every engine
+// actually runs — with LegacyEncodingAdapter lifting old whole-buffer
+// policies onto it.
 #pragma once
 
 #include <concepts>
@@ -15,6 +22,7 @@
 
 #include "bxsa/decoder.hpp"
 #include "bxsa/encoder.hpp"
+#include "bxsa/stream_writer.hpp"
 #include "xdm/node.hpp"
 #include "xml/parser.hpp"
 #include "xml/retype.hpp"
@@ -22,31 +30,77 @@
 
 namespace bxsoap::soap {
 
+/// The unified encoding concept. Three requirements, no optional tiers:
+///
+///   * content_type() — static; the media type the bytes travel under.
+///   * serialize_into(doc, w) — APPEND the serialization to a ByteWriter
+///     (typically a pooled buffer with a frame header reserved up front).
+///   * deserialize_shared(wire) — decode from a shared wire buffer; the
+///     decoded tree may keep zero-copy views pinned into it.
+///
+/// A policy with nothing to gain from pooling or sharing just appends to
+/// the writer and ignores the sharing (see XmlEncoding) — the fallback
+/// lives in the policy, once, instead of in every engine.
 template <typename E>
-concept EncodingPolicy = requires(const E e, const xdm::Document& d,
+concept Encoding = requires(const E e, const xdm::Document& d, ByteWriter& w,
+                            const SharedBuffer& wire) {
+  { E::content_type() } -> std::convertible_to<std::string_view>;
+  { e.serialize_into(d, w) } -> std::same_as<void>;
+  { e.deserialize_shared(wire) } -> std::same_as<xdm::DocumentPtr>;
+};
+
+/// The pre-unification surface: whole-buffer serialize()/deserialize().
+/// Kept only as the gate for LegacyEncodingAdapter; engines no longer
+/// accept it directly.
+template <typename E>
+concept LegacyEncoding = requires(const E e, const xdm::Document& d,
                                   std::span<const std::uint8_t> bytes) {
   { e.serialize(d) } -> std::same_as<std::vector<std::uint8_t>>;
   { e.deserialize(bytes) } -> std::same_as<xdm::DocumentPtr>;
   { E::content_type() } -> std::convertible_to<std::string_view>;
 };
 
-/// Optional policy extension: serialize by APPENDING to an existing
-/// ByteWriter (typically a pooled buffer with a frame header reserved up
-/// front). Engines fall back to serialize() + copy when absent.
-template <typename E>
-concept AppendSerializeEncoding =
-    EncodingPolicy<E> &&
-    requires(const E e, const xdm::Document& d, ByteWriter& w) {
-      { e.serialize_into(d, w) } -> std::same_as<void>;
-    };
+/// Default-adapter lifting a legacy whole-buffer policy onto the unified
+/// concept, with the historical copy semantics: serialize then append,
+/// deserialize without keeping views. Anything zero-copy needs native
+/// support in the policy; this is the compatibility shim.
+template <LegacyEncoding L>
+class LegacyEncodingAdapter {
+ public:
+  static constexpr std::string_view content_type() {
+    return L::content_type();
+  }
 
-/// Optional policy extension: deserialize from a shared wire buffer,
-/// allowing the decoded tree to keep zero-copy views into it. Engines fall
-/// back to deserialize(bytes) when absent.
+  explicit LegacyEncodingAdapter(L inner = {}) : inner_(std::move(inner)) {}
+
+  void serialize_into(const xdm::Document& doc, ByteWriter& out) const {
+    const std::vector<std::uint8_t> bytes = inner_.serialize(doc);
+    out.write_bytes(bytes.data(), bytes.size());
+  }
+
+  xdm::DocumentPtr deserialize_shared(const SharedBuffer& wire) const {
+    return inner_.deserialize(wire.bytes());
+  }
+
+  L& inner() noexcept { return inner_; }
+  const L& inner() const noexcept { return inner_; }
+
+ private:
+  L inner_;
+};
+
+/// Encodings that can additionally emit a message as a bounded-memory
+/// chunk stream (the v2 transfer path, DESIGN.md §11): the policy hands
+/// out a bxsa::StreamWriter that flushes pooled ~chunk_bytes buffers into
+/// `sink` as the document is produced. Modeled by BxsaEncoding; textual
+/// XML has no frame structure to chunk against.
 template <typename E>
-concept SharedDeserializeEncoding =
-    EncodingPolicy<E> && requires(const E e, const SharedBuffer& wire) {
-      { e.deserialize_shared(wire) } -> std::same_as<xdm::DocumentPtr>;
+concept StreamingEncoding =
+    Encoding<E> && requires(const E e, std::size_t chunk_bytes,
+                            BufferPool& pool, bxsa::ChunkSink sink) {
+      {
+        e.make_stream_writer(chunk_bytes, pool, std::move(sink))
+      } -> std::same_as<bxsa::StreamWriter>;
     };
 
 /// XML 1.0 encoding with explicit type information (SOAP encoding rule:
@@ -76,6 +130,12 @@ class XmlEncoding {
                                 bytes.size());
     const xdm::DocumentPtr untyped = xml::parse_xml(text);
     return xml::retype(*untyped);
+  }
+
+  /// Text holds no packed payloads, so there is nothing to share: decode
+  /// the bytes and let the buffer go.
+  xdm::DocumentPtr deserialize_shared(const SharedBuffer& wire) const {
+    return deserialize(wire.bytes());
   }
 };
 
@@ -117,16 +177,25 @@ class BxsaEncoding {
     return bxsa::decode_message(wire, stats_).document;
   }
 
+  /// Streaming production (StreamingEncoding): a StreamWriter that flushes
+  /// pooled ~chunk_bytes buffers into `sink` as events are pushed.
+  bxsa::StreamWriter make_stream_writer(std::size_t chunk_bytes,
+                                        BufferPool& pool,
+                                        bxsa::ChunkSink sink) const {
+    return bxsa::StreamWriter(order_, chunk_bytes, pool, std::move(sink));
+  }
+
  private:
   ByteOrder order_;
   obs::CodecStats* stats_ = nullptr;
 };
 
-static_assert(EncodingPolicy<XmlEncoding>);
-static_assert(EncodingPolicy<BxsaEncoding>);
-static_assert(AppendSerializeEncoding<XmlEncoding>);
-static_assert(AppendSerializeEncoding<BxsaEncoding>);
-static_assert(!SharedDeserializeEncoding<XmlEncoding>);
-static_assert(SharedDeserializeEncoding<BxsaEncoding>);
+static_assert(Encoding<XmlEncoding>);
+static_assert(Encoding<BxsaEncoding>);
+static_assert(LegacyEncoding<XmlEncoding>);
+static_assert(LegacyEncoding<BxsaEncoding>);
+static_assert(Encoding<LegacyEncodingAdapter<XmlEncoding>>);
+static_assert(!StreamingEncoding<XmlEncoding>);
+static_assert(StreamingEncoding<BxsaEncoding>);
 
 }  // namespace bxsoap::soap

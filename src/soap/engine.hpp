@@ -35,21 +35,21 @@ namespace bxsoap::soap {
 
 using obs::NullObserver;  // the default fourth policy, re-exported
 
-template <EncodingPolicy Encoding, BindingPolicy Binding,
+template <Encoding Enc, BindingPolicy Binding,
           SecurityPolicy Security = NoSecurity,
           obs::ObserverPolicy Observer = NullObserver>
 class SoapEngine {
  public:
   using HandlerFn = std::function<SoapEnvelope(SoapEnvelope)>;
 
-  explicit SoapEngine(Encoding encoding = {}, Binding binding = {},
+  explicit SoapEngine(Enc encoding = {}, Binding binding = {},
                       Security security = {}, Observer observer = {})
       : encoding_(std::move(encoding)),
         binding_(std::move(binding)),
         security_(std::move(security)),
         observer_(std::move(observer)) {}
 
-  Encoding& encoding() { return encoding_; }
+  Enc& encoding() { return encoding_; }
   Binding& binding() { return binding_; }
   Security& security() { return security_; }
   Observer& observer() { return observer_; }
@@ -69,6 +69,33 @@ class SoapEngine {
     SoapEnvelope response = receive_response();
     observer_.count_exchange();
     return response;
+  }
+
+  /// Streaming request-response MEP, for messages too large to
+  /// materialize. `produce(bxsa::StreamWriter&)` pushes the request as
+  /// events — the writer flushes ~chunk_bytes pooled buffers to the wire
+  /// as they fill, so peak memory is chunks, not the message. `consume`
+  /// receives the response as a pull-based chunk stream
+  /// (transport::StreamRequest — duck-typed here so the soap layer names
+  /// no transport types; the binding must provide stream_exchange, e.g.
+  /// transport::TcpClientBinding). Security policies do not apply: there
+  /// is never a whole envelope to sign or verify.
+  template <typename Produce, typename Consume>
+    requires StreamingEncoding<Enc>
+  void call_streamed(Produce&& produce, Consume&& consume,
+                     std::size_t chunk_bytes = std::size_t{1} << 20) {
+    binding_.stream_exchange(
+        Enc::content_type(), chunk_bytes,
+        [&](auto& tx) {
+          bxsa::StreamWriter writer = encoding_.make_stream_writer(
+              chunk_bytes, *pool_, [&tx](std::vector<std::uint8_t> bytes) {
+                tx.write_data(std::move(bytes));
+              });
+          produce(writer);
+          tx.finish_stream(writer);
+        },
+        [&](auto& rx) { consume(rx); });
+    observer_.count_exchange();
   }
 
   /// One-way MEP: fire and forget.
@@ -155,18 +182,14 @@ class SoapEngine {
  private:
   WireMessage encode(const SoapEnvelope& env) {
     WireMessage m;
-    m.content_type = std::string(Encoding::content_type());
+    m.content_type = std::string(Enc::content_type());
     {
       obs::StageTimer<Observer> t(observer_, obs::Stage::kSerialize);
-      if constexpr (AppendSerializeEncoding<Encoding>) {
-        // Serialize straight into a recycled buffer instead of letting the
-        // policy allocate a fresh vector per message.
-        ByteWriter w(pool_->acquire(256));
-        encoding_.serialize_into(env.document(), w);
-        m.payload = w.take();
-      } else {
-        m.payload = encoding_.serialize(env.document());
-      }
+      // Serialize straight into a recycled buffer instead of letting the
+      // policy allocate a fresh vector per message.
+      ByteWriter w(pool_->acquire(256));
+      encoding_.serialize_into(env.document(), w);
+      m.payload = w.take();
     }
     observer_.stage_bytes(obs::Stage::kSerialize, m.payload.size());
     return m;
@@ -175,15 +198,11 @@ class SoapEngine {
   SoapEnvelope decode(WireMessage m) {
     observer_.stage_bytes(obs::Stage::kDeserialize, m.payload.size());
     obs::StageTimer<Observer> t(observer_, obs::Stage::kDeserialize);
-    if constexpr (SharedDeserializeEncoding<Encoding>) {
-      // Share the payload with the decoded tree: packed arrays decode as
-      // views, and the buffer recycles into the pool when the last view
-      // (or this call frame) lets go.
-      SharedBuffer wire = SharedBuffer::adopt(std::move(m.payload), pool_);
-      return SoapEnvelope(encoding_.deserialize_shared(wire));
-    } else {
-      return SoapEnvelope(encoding_.deserialize(m.payload));
-    }
+    // Share the payload with the decoded tree: packed arrays decode as
+    // views, and the buffer recycles into the pool when the last view
+    // (or this call frame) lets go.
+    SharedBuffer wire = SharedBuffer::adopt(std::move(m.payload), pool_);
+    return SoapEnvelope(encoding_.deserialize_shared(wire));
   }
 
   template <typename ReceiveOp>
@@ -192,7 +211,7 @@ class SoapEngine {
     return op();
   }
 
-  Encoding encoding_;
+  Enc encoding_;
   Binding binding_;
   Security security_;
   Observer observer_;

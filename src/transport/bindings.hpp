@@ -12,15 +12,18 @@
 // role.
 #pragma once
 
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "soap/binding.hpp"
 #include "transport/framing.hpp"
 #include "transport/http.hpp"
 #include "transport/socket.hpp"
+#include "transport/stream.hpp"
 
 namespace bxsoap::transport {
 
@@ -45,6 +48,99 @@ class TcpClientBinding {
   }
   void send_response(soap::WireMessage) {
     throw TransportError("send_response on a client binding");
+  }
+
+  /// One full-duplex chunked exchange (BXTP v2). `tx(ResponseWriter&)`
+  /// produces the request on a dedicated thread while `rx(StreamRequest&)`
+  /// consumes the response on the calling thread. Full duplex is not an
+  /// optimization here but a correctness requirement: against an echoing
+  /// peer, response chunks start arriving long before the request ends,
+  /// and if nobody read them both TCP windows would fill and deadlock.
+  ///
+  /// A server that faulted before its first response chunk answers with a
+  /// v1 frame; `rx` then sees the fault envelope as a single-data-chunk
+  /// stream and can decode it normally.
+  template <typename Tx, typename Rx>
+  void stream_exchange(std::string_view content_type,
+                       std::size_t chunk_bytes, Tx&& tx, Rx&& rx) {
+    ensure_connected();
+    struct WireSink final : StreamSink {
+      ChunkedFrameWriter<TcpStream> writer;
+      BufferPool* pool;
+      WireSink(TcpStream& s, std::string_view ct, BufferPool* p)
+          : writer(s, ct), pool(p) {}
+      void write(StreamChunk c) override {
+        if (c.kind == ChunkKind::kData) {
+          writer.write_data(c.bytes);
+        } else {
+          writer.write_raw(c.kind, c.bytes);
+        }
+        pool->release(std::move(c.bytes));
+      }
+      void finish() override { writer.finish(); }
+    } sink(stream_, content_type, pool_);
+    ResponseWriter request(sink, *pool_, chunk_bytes);
+
+    std::exception_ptr tx_err;
+    std::thread producer([&] {
+      try {
+        tx(request);
+        if (!request.finished()) request.finish();
+      } catch (...) {
+        tx_err = std::current_exception();
+        // Unblock the response reader: the exchange cannot complete.
+        stream_.shutdown_both();
+      }
+    });
+    try {
+      FrameStart start = read_frame_start(stream_, limits_);
+      if (start.chunked()) {
+        struct ReaderSource final : StreamSource {
+          ChunkedFrameReader<TcpStream> reader;
+          ReaderSource(TcpStream& s, const FrameLimits& l, BufferPool* p)
+              : reader(s, l, p) {}
+          std::optional<StreamChunk> next() override {
+            if (reader.done()) return std::nullopt;
+            StreamChunk c = reader.next();
+            if (c.kind == ChunkKind::kEnd) return std::nullopt;
+            return c;
+          }
+        } source(stream_, limits_, pool_);
+        StreamRequest response(std::move(start.content_type), source);
+        rx(response);
+        response.drain(*pool_);
+      } else {
+        // The in-band fault path: present the v1 envelope as a one-chunk
+        // stream so the consumer decodes it like any other response.
+        soap::WireMessage m =
+            read_frame_body(stream_, std::move(start), limits_, pool_);
+        struct OneShot final : StreamSource {
+          std::vector<std::uint8_t> payload;
+          bool given = false;
+          std::optional<StreamChunk> next() override {
+            if (given) return std::nullopt;
+            given = true;
+            return StreamChunk{ChunkKind::kData, std::move(payload)};
+          }
+        } source;
+        source.payload = std::move(m.payload);
+        StreamRequest response(std::move(m.content_type), source);
+        rx(response);
+        response.drain(*pool_);
+      }
+    } catch (...) {
+      // The wire is in an unknown state; kill the connection so the next
+      // call starts fresh, and never leak the producer thread.
+      stream_.shutdown_both();
+      producer.join();
+      stream_.close();
+      throw;
+    }
+    producer.join();
+    if (tx_err) {
+      stream_.close();
+      std::rethrow_exception(tx_err);
+    }
   }
 
   void close() { stream_.close(); }

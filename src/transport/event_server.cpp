@@ -15,11 +15,18 @@ constexpr std::size_t kReadChunk = 64 * 1024;
 
 constexpr int kMaxEvents = 64;
 
+/// Depth of each stream queue (chunks). One each way keeps per-stream
+/// residency at ~2 chunk buffers and still overlaps the handler with the
+/// socket; raising it buys pipelining at the price of memory.
+constexpr std::size_t kStreamQueueDepth = 1;
+
 }  // namespace
 
-SoapEventServer::SoapEventServer(ServerPoolConfig config)
+SoapEventServer::SoapEventServer(ServerConfig config)
     : encoding_(std::move(config.encoding)),
       handler_(std::move(config.handler)),
+      stream_handler_(std::move(config.stream_handler)),
+      stream_chunk_bytes_(config.stream_chunk_bytes),
       listener_(config.port, config.backlog),
       read_timeout_ms_(config.read_timeout_ms),
       frame_limits_(config.frame_limits),
@@ -34,6 +41,9 @@ SoapEventServer::SoapEventServer(ServerPoolConfig config)
     accepted_ = &reg->counter(prefix + ".connections.accepted");
     wakeups_ = &reg->counter(prefix + ".reactor.wakeups");
     pipelined_ = &reg->counter(prefix + ".pipelined.exchanges");
+    stream_chunks_ = &reg->counter(prefix + ".stream.chunks");
+    stream_flushes_ = &reg->counter(prefix + ".stream.flushes");
+    stream_buffered_ = &reg->waterline(prefix + ".stream.buffered_bytes");
     loop_ns_ = &reg->histogram(prefix + ".reactor.loop.ns");
     buffer_pool_.attach_counters(&reg->counter(prefix + ".pool.hit"),
                                  &reg->counter(prefix + ".pool.miss"),
@@ -109,7 +119,8 @@ void SoapEventServer::reactor_loop() {
 
     if (!draining && stopping_.load(std::memory_order_acquire)) {
       // Entering drain: stop accepting and reading. Partially assembled
-      // frames are abandoned; every fully read request still completes.
+      // frames (and streams still awaiting input) are abandoned; every
+      // fully read request still completes.
       draining = true;
       drain_deadline = woke + drain_timeout_;
       update_listener_interest();
@@ -142,13 +153,19 @@ void SoapEventServer::reactor_loop() {
       if ((ev & EPOLLIN) != 0 && !draining) read_ready(conn);
     }
 
-    // Worker completions since the last pass: flush their connections.
+    // Worker/stream completions since the last pass: flush their
+    // connections; then re-open the taps streams drained room for.
     std::vector<std::shared_ptr<Conn>> ready;
+    std::vector<std::shared_ptr<Conn>> resume;
     {
       std::lock_guard lock(flush_mu_);
       ready.swap(flush_queue_);
+      resume.swap(resume_queue_);
     }
     for (const auto& conn : ready) flush(conn);
+    if (!draining) {
+      for (const auto& conn : resume) resume_stream_read(conn);
+    }
 
     if (!draining && read_timeout_ms_ > 0) sweep_idle();
 
@@ -181,7 +198,8 @@ void SoapEventServer::reactor_loop() {
 
 bool SoapEventServer::fully_drained(Conn& conn) {
   std::lock_guard lock(conn.mu);
-  return conn.inflight == 0 && conn.completed.empty() && conn.outbox.empty();
+  return conn.inflight == 0 && conn.completed.empty() &&
+         conn.outbox.empty() && conn.streams.empty();
 }
 
 void SoapEventServer::accept_ready() {
@@ -220,6 +238,7 @@ void SoapEventServer::accept_ready() {
 void SoapEventServer::read_ready(const std::shared_ptr<Conn>& conn) {
   std::uint8_t buf[kReadChunk];
   for (int round = 0; round < kReadRounds; ++round) {
+    if (conn->stream_parked) return;  // backpressure: tap is closed
     std::optional<std::size_t> r;
     try {
       r = conn->stream.try_read_some(buf, sizeof(buf));
@@ -229,6 +248,13 @@ void SoapEventServer::read_ready(const std::shared_ptr<Conn>& conn) {
     }
     if (!r) return;  // EAGAIN: fully drained the socket for now
     if (*r == 0) {
+      if (conn->rx_stream != nullptr) {
+        // EOF inside a chunked message: the stream can never complete and
+        // its handler would wait forever — cut it (truncation is an
+        // error, same as a torn v1 frame).
+        drop(conn);
+        return;
+      }
       // Orderly EOF. A pipelining client may half-close after its last
       // request; responses still in flight must be delivered, so the
       // connection only dies once its outbox drains (see flush()).
@@ -237,7 +263,7 @@ void SoapEventServer::read_ready(const std::shared_ptr<Conn>& conn) {
       {
         std::lock_guard lock(conn->mu);
         drained = conn->inflight == 0 && conn->completed.empty() &&
-                  conn->outbox.empty();
+                  conn->outbox.empty() && conn->streams.empty();
         if (!drained) {
           epoll_.mod(conn->stream.fd(),
                      conn_interest(false, conn->want_write));
@@ -247,36 +273,10 @@ void SoapEventServer::read_ready(const std::shared_ptr<Conn>& conn) {
       return;
     }
     conn->last_activity = std::chrono::steady_clock::now();
-    std::span<const std::uint8_t> chunk(buf, *r);
     try {
       obs::StageTimer frame_timer(obs_, obs::Stage::kFrameRead);
-      while (!chunk.empty()) {
-        const std::size_t used = conn->assembler.feed(chunk);
-        chunk = chunk.subspan(used);
-        if (conn->assembler.ready()) {
-          soap::WireMessage request = conn->assembler.take();
-          const std::uint64_t seq = conn->next_seq++;
-          {
-            std::lock_guard lock(conn->mu);
-            ++conn->inflight;
-            // A second request arriving before the first response left is
-            // the pipelining case the thread-per-connection pool can't do.
-            if (pipelined_ != nullptr &&
-                (conn->inflight > 1 || !conn->outbox.empty() ||
-                 !conn->completed.empty())) {
-              pipelined_->add();
-            }
-          }
-          {
-            std::lock_guard lock(jobs_mu_);
-            jobs_.push_back(Job{conn, seq, std::move(request)});
-            if (queue_depth_gauge_ != nullptr) {
-              queue_depth_gauge_->set(
-                  static_cast<std::int64_t>(jobs_.size()));
-            }
-          }
-          jobs_cv_.notify_one();
-        }
+      if (!pump(conn, std::span<const std::uint8_t>(buf, *r))) {
+        return;  // in-queue full: parked mid-buffer, remainder stashed
       }
     } catch (const TransportError&) {
       // Malformed or over-limit frame: the byte stream cannot be trusted
@@ -287,52 +287,281 @@ void SoapEventServer::read_ready(const std::shared_ptr<Conn>& conn) {
   }
 }
 
-void SoapEventServer::flush(const std::shared_ptr<Conn>& conn) {
-  bool should_drop = false;
+/// Feed bytes through the assembler, dispatching completed v1 frames to
+/// the worker queue and v2 chunks to the connection's stream. Returns
+/// false when the stream in-queue filled: the unconsumed remainder is
+/// stashed in stream_backlog and EPOLLIN is parked until the stream
+/// thread frees room.
+bool SoapEventServer::pump(const std::shared_ptr<Conn>& conn,
+                           std::span<const std::uint8_t> data) {
+  for (;;) {
+    const std::size_t used = conn->assembler.feed(data);
+    data = data.subspan(used);
+    if (conn->assembler.ready()) {
+      soap::WireMessage request = conn->assembler.take();
+      const std::uint64_t seq = conn->next_seq++;
+      {
+        std::lock_guard lock(conn->mu);
+        ++conn->inflight;
+        // A second request arriving before the first response left is
+        // the pipelining case the thread-per-connection pool can't do.
+        if (pipelined_ != nullptr &&
+            (conn->inflight > 1 || !conn->outbox.empty() ||
+             !conn->completed.empty() || !conn->streams.empty())) {
+          pipelined_->add();
+        }
+      }
+      {
+        std::lock_guard lock(jobs_mu_);
+        jobs_.push_back(Job{conn, seq, std::move(request)});
+        if (queue_depth_gauge_ != nullptr) {
+          queue_depth_gauge_->set(static_cast<std::int64_t>(jobs_.size()));
+        }
+      }
+      jobs_cv_.notify_one();
+      continue;
+    }
+    if (conn->assembler.chunk_ready()) {
+      if (!on_stream_chunk(conn)) {
+        conn->stream_backlog.assign(data.begin(), data.end());
+        return false;
+      }
+      continue;
+    }
+    if (data.empty()) return true;
+  }
+}
+
+/// Route one assembled chunk into the connection's stream. Returns false
+/// when the push filled the in-queue (the caller must park).
+bool SoapEventServer::on_stream_chunk(const std::shared_ptr<Conn>& conn) {
+  if (conn->rx_stream == nullptr) begin_stream(conn);
+  const std::shared_ptr<StreamState> st = conn->rx_stream;
+  StreamChunk c = conn->assembler.take_chunk();
+  if (stream_chunks_ != nullptr) stream_chunks_->add();
+  if (c.kind == ChunkKind::kEnd) {
+    {
+      std::lock_guard lock(st->mu);
+      st->in_end = true;
+    }
+    st->cv.notify_all();
+    conn->rx_stream = nullptr;  // the next bytes start a fresh frame
+    return true;
+  }
+  const std::size_t n = c.bytes.size();
+  bool full;
+  {
+    std::lock_guard lock(st->mu);
+    st->in.push_back(std::move(c));
+    st->in_bytes += n;
+    full = st->in.size() >= kStreamQueueDepth;
+  }
+  if (stream_buffered_ != nullptr) stream_buffered_->add(n);
+  st->cv.notify_all();
+  if (full) {
+    conn->stream_parked = true;
+    epoll_.mod(conn->stream.fd(), conn_interest(false, conn->want_write));
+    return false;
+  }
+  return true;
+}
+
+void SoapEventServer::begin_stream(const std::shared_ptr<Conn>& conn) {
+  if (!stream_handler_) {
+    throw TransportError(
+        "chunked frame on an endpoint without a stream handler");
+  }
+  auto st = std::make_shared<StreamState>();
+  st->content_type = conn->assembler.stream_content_type();
+  st->seq = conn->next_seq++;
+  {
+    std::lock_guard lock(conn->mu);
+    conn->streams.emplace(st->seq, st);
+  }
+  conn->rx_stream = st;
+  st->thread = std::thread([this, conn, st] { stream_main(conn, st); });
+}
+
+/// The stream thread freed in-queue room: un-park EPOLLIN, replaying any
+/// bytes that were read ahead of the park first.
+void SoapEventServer::resume_stream_read(const std::shared_ptr<Conn>& conn) {
+  if (!conn->stream_parked) return;
   {
     std::lock_guard lock(conn->mu);
     if (conn->dead) return;
+  }
+  conn->stream_parked = false;
+  // The pause was OUR backpressure, not peer silence; don't let the idle
+  // sweep bill the peer for it.
+  conn->last_activity = std::chrono::steady_clock::now();
+  std::vector<std::uint8_t> backlog = std::move(conn->stream_backlog);
+  conn->stream_backlog = {};
+  try {
+    obs::StageTimer frame_timer(obs_, obs::Stage::kFrameRead);
+    if (!pump(conn, backlog)) return;  // re-parked; remainder re-stashed
+  } catch (const TransportError&) {
+    drop(conn);
+    return;
+  }
+  // Level-triggered epoll re-reports whatever the kernel buffered while
+  // the tap was closed.
+  epoll_.mod(conn->stream.fd(),
+             conn_interest(!conn->read_closed, conn->want_write));
+}
+
+void SoapEventServer::flush(const std::shared_ptr<Conn>& conn) {
+  bool should_drop = false;
+  std::vector<std::shared_ptr<StreamState>> finished;  // joined outside mu
+  {
+    std::lock_guard lock(conn->mu);
+    if (conn->dead) return;
+    bool blocked = false;
     try {
-      while (!conn->outbox.empty()) {
-        std::vector<std::uint8_t>& front = conn->outbox.front();
-        const std::span<const std::uint8_t> rest(
-            front.data() + conn->out_offset, front.size() - conn->out_offset);
-        obs::StageTimer t(obs_, obs::Stage::kFrameWrite);
-        const std::optional<std::size_t> n = conn->stream.try_write_some(rest);
-        if (!n) {
-          if (!conn->want_write) {
-            conn->want_write = true;
-            epoll_.mod(conn->stream.fd(),
-                       conn_interest(!conn->read_closed, true));
+      for (;;) {
+        // Phase 1: materialized responses ahead of any stream.
+        while (!blocked && !conn->outbox.empty()) {
+          std::vector<std::uint8_t>& front = conn->outbox.front();
+          const std::span<const std::uint8_t> rest(
+              front.data() + conn->out_offset,
+              front.size() - conn->out_offset);
+          obs::StageTimer t(obs_, obs::Stage::kFrameWrite);
+          const std::optional<std::size_t> n =
+              conn->stream.try_write_some(rest);
+          if (!n) {
+            blocked = true;
+            break;
           }
-          return;
+          conn->last_activity = std::chrono::steady_clock::now();
+          conn->out_offset += *n;
+          if (conn->out_offset == front.size()) {
+            buffer_pool_.release(std::move(front));
+            conn->outbox.pop_front();
+            conn->out_offset = 0;
+          }
         }
-        conn->last_activity = std::chrono::steady_clock::now();
-        conn->out_offset += *n;
-        if (conn->out_offset == front.size()) {
-          buffer_pool_.release(std::move(front));
-          conn->outbox.pop_front();
-          conn->out_offset = 0;
+        if (blocked) break;
+        // Phase 2: the stream occupying the next sequence slot, if any.
+        // Its frames go straight from its bounded queue to the wire; the
+        // slot is held until the stream ends, so pipelined responses
+        // behind it stay ordered.
+        const auto sit = conn->streams.find(conn->next_to_send);
+        if (sit == conn->streams.end()) break;
+        const std::shared_ptr<StreamState>& st = sit->second;
+        bool advanced = false;
+        std::vector<std::uint8_t> fault_frame;
+        {
+          std::lock_guard slock(st->mu);
+          if (st->failed) {
+            if (!st->wire_started && !st->fault_frame.empty()) {
+              // Nothing reached the wire: discard the queued chunks and
+              // answer with the prepared v1 fault envelope instead.
+              std::size_t residue = st->out_bytes;
+              for (OutFrame& f : st->out) {
+                buffer_pool_.release(std::move(f.bytes));
+              }
+              st->out.clear();
+              st->out_bytes = 0;
+              if (stream_buffered_ != nullptr && residue > 0) {
+                stream_buffered_->sub(residue);
+              }
+              fault_frame = std::move(st->fault_frame);
+              ++faults_;
+              obs_.count_fault();
+              advanced = true;
+            } else {
+              should_drop = true;
+            }
+          } else {
+            while (!st->out.empty()) {
+              OutFrame& f = st->out.front();
+              bool frame_done = false;
+              obs::StageTimer t(obs_, obs::Stage::kFrameWrite);
+              for (;;) {
+                std::span<const std::uint8_t> rest;
+                const bool in_hdr = f.hdr_off < f.hdr.size();
+                if (in_hdr) {
+                  rest = {f.hdr.data() + f.hdr_off,
+                          f.hdr.size() - f.hdr_off};
+                } else if (f.body_off < f.bytes.size()) {
+                  rest = {f.bytes.data() + f.body_off,
+                          f.bytes.size() - f.body_off};
+                } else {
+                  frame_done = true;
+                  break;
+                }
+                const std::optional<std::size_t> n =
+                    conn->stream.try_write_some(rest);
+                if (!n) {
+                  blocked = true;
+                  break;
+                }
+                st->wire_started = true;
+                conn->last_activity = std::chrono::steady_clock::now();
+                if (in_hdr) {
+                  f.hdr_off += *n;
+                } else {
+                  f.body_off += *n;
+                }
+              }
+              if (!frame_done) break;
+              const std::size_t freed = f.bytes.size();
+              buffer_pool_.release(std::move(f.bytes));
+              st->out.pop_front();
+              st->out_bytes -= freed;
+              if (stream_buffered_ != nullptr && freed > 0) {
+                stream_buffered_->sub(freed);
+              }
+              if (stream_flushes_ != nullptr) stream_flushes_->add();
+              st->cv.notify_all();
+            }
+            if (!blocked && st->out_end && st->out.empty() && st->exited) {
+              advanced = true;
+            }
+          }
         }
+        if (should_drop || !advanced) break;
+        finished.push_back(sit->second);
+        conn->streams.erase(sit);
+        ++conn->next_to_send;
+        if (!fault_frame.empty()) {
+          // The fault rides the ordinary outbox in the stream's slot.
+          conn->outbox.push_back(std::move(fault_frame));
+        }
+        ++exchanges_;
+        obs_.count_exchange();
+        release_ready_locked(*conn);
+        // Loop: phase 1 again for the newly released responses.
       }
     } catch (const TransportError&) {
       should_drop = true;
     }
-    if (!should_drop) {
+    if (blocked && !should_drop) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        epoll_.mod(conn->stream.fd(),
+                   conn_interest(!conn->read_closed && !conn->stream_parked,
+                                 true));
+      }
+    } else if (!should_drop) {
       if (conn->want_write) {
         conn->want_write = false;
         epoll_.mod(conn->stream.fd(),
-                   conn_interest(!conn->read_closed, false));
+                   conn_interest(!conn->read_closed && !conn->stream_parked,
+                                 false));
       }
       // A half-closed pipeliner is done once its last response left.
       should_drop = conn->read_closed && conn->inflight == 0 &&
-                    conn->completed.empty();
+                    conn->completed.empty() && conn->streams.empty();
     }
+  }
+  for (const auto& st : finished) {
+    if (st->thread.joinable()) st->thread.join();
   }
   if (should_drop) drop(conn);
 }
 
 void SoapEventServer::drop(const std::shared_ptr<Conn>& conn) {
+  std::vector<std::shared_ptr<StreamState>> streams;
   {
     std::lock_guard lock(conn->mu);
     if (conn->dead) return;
@@ -344,13 +573,40 @@ void SoapEventServer::drop(const std::shared_ptr<Conn>& conn) {
       buffer_pool_.release(std::move(buf));
     }
     conn->completed.clear();
+    for (auto& [seq, st] : conn->streams) streams.push_back(st);
+    conn->streams.clear();
   }
+  for (const auto& st : streams) {
+    std::size_t residue = 0;
+    {
+      std::lock_guard slock(st->mu);
+      st->dead = true;
+      residue = st->in_bytes + st->out_bytes;
+      for (StreamChunk& c : st->in) buffer_pool_.release(std::move(c.bytes));
+      st->in.clear();
+      st->in_bytes = 0;
+      for (OutFrame& f : st->out) buffer_pool_.release(std::move(f.bytes));
+      st->out.clear();
+      st->out_bytes = 0;
+    }
+    if (stream_buffered_ != nullptr && residue > 0) {
+      stream_buffered_->sub(residue);
+    }
+    st->cv.notify_all();
+  }
+  conn->rx_stream = nullptr;
+  conn->stream_backlog.clear();
   epoll_.del(conn->stream.fd());
   conns_.erase(conn->stream.fd());
   conn->stream.close();
   --active_;
   if (active_gauge_ != nullptr) active_gauge_->sub();
   update_listener_interest();
+  // Joined last, with no locks held: the dead flag has already unblocked
+  // any queue wait, so each join is prompt.
+  for (const auto& st : streams) {
+    if (st->thread.joinable()) st->thread.join();
+  }
 }
 
 void SoapEventServer::sweep_idle() {
@@ -358,6 +614,9 @@ void SoapEventServer::sweep_idle() {
   const auto limit = std::chrono::milliseconds(read_timeout_ms_);
   std::vector<std::shared_ptr<Conn>> stale;
   for (auto& [fd, conn] : conns_) {
+    // A connection parked by OUR stream backpressure is not idle — the
+    // peer may be waiting on us.
+    if (conn->stream_parked) continue;
     if (now - conn->last_activity > limit) stale.push_back(conn);
   }
   // Same contract as the pool's SO_RCVTIMEO: a peer that goes silent for
@@ -427,6 +686,25 @@ void SoapEventServer::worker_loop() {
   }
 }
 
+void SoapEventServer::release_ready_locked(Conn& conn) {
+  // Release strictly in request order: a response completed out of order
+  // parks in `completed` until every earlier sequence has passed. A
+  // sequence owned by a stream never appears here, so the walk stops at
+  // it and flush()'s stream phase takes over.
+  for (auto it = conn.completed.find(conn.next_to_send);
+       it != conn.completed.end();
+       it = conn.completed.find(conn.next_to_send)) {
+    conn.outbox.push_back(std::move(it->second));
+    conn.completed.erase(it);
+    ++conn.next_to_send;
+    --conn.inflight;
+    // Counted when the reply is committed to the wire queue, matching
+    // the pool's "count before the bytes leave" rule.
+    ++exchanges_;
+    obs_.count_exchange();
+  }
+}
+
 void SoapEventServer::complete(const std::shared_ptr<Conn>& conn,
                                std::uint64_t seq,
                                std::vector<std::uint8_t> frame) {
@@ -439,34 +717,180 @@ void SoapEventServer::complete(const std::shared_ptr<Conn>& conn,
       return;
     }
     conn->completed.emplace(seq, std::move(frame));
-    // Release strictly in request order: a response completed out of order
-    // parks in `completed` until every earlier sequence has passed.
-    for (auto it = conn->completed.find(conn->next_to_send);
-         it != conn->completed.end();
-         it = conn->completed.find(conn->next_to_send)) {
-      conn->outbox.push_back(std::move(it->second));
-      conn->completed.erase(it);
-      ++conn->next_to_send;
-      --conn->inflight;
-      // Counted when the reply is committed to the wire queue, matching
-      // the pool's "count before the bytes leave" rule.
-      ++exchanges_;
-      obs_.count_exchange();
-      notify = true;
+    const std::size_t before = conn->outbox.size();
+    release_ready_locked(*conn);
+    notify = conn->outbox.size() != before;
+  }
+  if (notify) request_flush(conn);
+}
+
+void SoapEventServer::request_flush(const std::shared_ptr<Conn>& conn) {
+  bool first = false;
+  {
+    std::lock_guard lock(flush_mu_);
+    first = flush_queue_.empty() && resume_queue_.empty();
+    flush_queue_.push_back(conn);
+  }
+  // The reactor drains the whole queue per wakeup, so only the
+  // emptiness transition needs a signal — under load this coalesces a
+  // burst of completions into one eventfd write + one epoll wakeup.
+  if (first) wakeup_.signal();
+}
+
+void SoapEventServer::request_resume(const std::shared_ptr<Conn>& conn) {
+  bool first = false;
+  {
+    std::lock_guard lock(flush_mu_);
+    first = flush_queue_.empty() && resume_queue_.empty();
+    resume_queue_.push_back(conn);
+  }
+  if (first) wakeup_.signal();
+}
+
+/// Body of a stream's dedicated thread: run the handler between the two
+/// bounded queues, then report how it ended.
+void SoapEventServer::stream_main(std::shared_ptr<Conn> conn,
+                                  std::shared_ptr<StreamState> st) {
+  struct QueueSource final : StreamSource {
+    SoapEventServer* srv;
+    const std::shared_ptr<Conn>& conn;
+    StreamState* st;
+    QueueSource(SoapEventServer* s, const std::shared_ptr<Conn>& c,
+                StreamState* t)
+        : srv(s), conn(c), st(t) {}
+    std::optional<StreamChunk> next() override {
+      StreamChunk c;
+      {
+        std::unique_lock lock(st->mu);
+        st->cv.wait(lock, [&] {
+          return !st->in.empty() || st->in_end || st->dead;
+        });
+        if (st->dead) throw TransportError("connection dropped mid-stream");
+        if (st->in.empty()) return std::nullopt;
+        c = std::move(st->in.front());
+        st->in.pop_front();
+        st->in_bytes -= c.bytes.size();
+      }
+      if (srv->stream_buffered_ != nullptr) {
+        srv->stream_buffered_->sub(c.bytes.size());
+      }
+      srv->request_resume(conn);  // in-queue has room: re-open the tap
+      return c;
+    }
+  } source(this, conn, st.get());
+
+  struct QueueSink final : StreamSink {
+    SoapEventServer* srv;
+    const std::shared_ptr<Conn>& conn;
+    StreamState* st;
+    std::uint64_t total = 0;
+    bool pushed_any = false;
+    bool wrote_header = false;
+    QueueSink(SoapEventServer* s, const std::shared_ptr<Conn>& c,
+              StreamState* t)
+        : srv(s), conn(c), st(t) {}
+    void write(StreamChunk c) override {
+      if (c.kind == ChunkKind::kData) total += c.bytes.size();
+      push(static_cast<std::uint8_t>(c.kind), std::move(c.bytes), false);
+    }
+    void finish() override {
+      std::vector<std::uint8_t> body(8);
+      store<std::uint64_t>(total, ByteOrder::kBig, body.data());
+      push(static_cast<std::uint8_t>(ChunkKind::kEnd), std::move(body), true);
+    }
+    void push(std::uint8_t kind, std::vector<std::uint8_t> body,
+              bool is_end) {
+      if (!wrote_header) {
+        // The response's BXTP v2 header rides the queue as a frame with
+        // no chunk header of its own (hdr already "written").
+        wrote_header = true;
+        ByteWriter h(srv->buffer_pool_.acquire(64));
+        h.write_bytes(kFrameMagic, sizeof(kFrameMagic));
+        h.write_u8(kFrameVersionChunked);
+        const std::string_view ct = srv->encoding_->content_type();
+        vls_write(h, ct.size());
+        h.write_string(ct);
+        OutFrame hf;
+        hf.hdr_off = hf.hdr.size();
+        hf.bytes = h.take();
+        enqueue(std::move(hf), false);
+      }
+      OutFrame f;
+      f.hdr[0] = kind;
+      store<std::uint64_t>(body.size(), ByteOrder::kBig, f.hdr.data() + 1);
+      f.bytes = std::move(body);
+      enqueue(std::move(f), is_end);
+    }
+    void enqueue(OutFrame f, bool is_end) {
+      const std::size_t n = f.bytes.size();
+      {
+        std::unique_lock lock(st->mu);
+        st->cv.wait(lock, [&] {
+          return st->out.size() < kStreamQueueDepth || st->dead;
+        });
+        if (st->dead) throw TransportError("connection dropped mid-stream");
+        st->out.push_back(std::move(f));
+        st->out_bytes += n;
+        if (is_end) st->out_end = true;
+        pushed_any = true;
+      }
+      if (srv->stream_buffered_ != nullptr) srv->stream_buffered_->add(n);
+      srv->request_flush(conn);
+    }
+  } sink(this, conn, st.get());
+
+  StreamRequest request(st->content_type, source);
+  ResponseWriter response(sink, buffer_pool_, stream_chunk_bytes_,
+                          encoding_.get());
+  soap::Fault fault;
+  bool faulted = false;
+  bool torn = false;
+  try {
+    stream_handler_(request, response);
+    if (!response.finished()) response.finish();
+    // An unread request tail would starve the parked connection forever;
+    // consume and recycle it.
+    request.drain(buffer_pool_);
+  } catch (const TransportError&) {
+    torn = true;  // connection already dead or dying; nothing to send
+  } catch (const SoapFaultError& e) {
+    faulted = true;
+    fault = {e.code(), e.reason(), ""};
+  } catch (const DecodeError& e) {
+    faulted = true;
+    fault = {"soap:Client", e.what(), ""};
+  } catch (const std::exception& e) {
+    faulted = true;
+    fault = {"soap:Server", e.what(), ""};
+  }
+  if (faulted) {
+    if (sink.pushed_any) {
+      // Chunks already committed to the wire queue cannot be retracted.
+      torn = true;
+      faulted = false;
+    } else {
+      try {
+        request.drain(buffer_pool_);
+        soap::SoapEnvelope env = soap::SoapEnvelope::make_fault(fault);
+        ByteWriter out(buffer_pool_.acquire(256));
+        const std::size_t len_pos =
+            begin_frame(out, encoding_->content_type());
+        encoding_->serialize_into(env.document(), out);
+        end_frame(out, len_pos);
+        std::lock_guard lock(st->mu);
+        st->fault_frame = out.take();
+      } catch (...) {
+        torn = true;
+        faulted = false;
+      }
     }
   }
-  if (notify) {
-    bool first = false;
-    {
-      std::lock_guard lock(flush_mu_);
-      first = flush_queue_.empty();
-      flush_queue_.push_back(conn);
-    }
-    // The reactor drains the whole queue per wakeup, so only the
-    // emptiness transition needs a signal — under load this coalesces a
-    // burst of completions into one eventfd write + one epoll wakeup.
-    if (first) wakeup_.signal();
+  {
+    std::lock_guard lock(st->mu);
+    if (faulted || torn) st->failed = true;
+    st->exited = true;
   }
+  request_flush(conn);  // the reactor advances (or cuts) the stream
 }
 
 }  // namespace bxsoap::transport

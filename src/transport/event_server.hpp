@@ -3,7 +3,7 @@
 // The pool burns one OS thread per connection, which is honest but tops
 // out long before "millions of users": at N connections the kernel
 // schedules N mostly-idle threads, and every blocked read pins a stack.
-// This server serves the same ServerPoolConfig surface on an epoll
+// This server serves the same ServerConfig surface on an epoll
 // reactor: ONE thread owns every socket (accept, frame reassembly,
 // response writes) and a small fixed worker pool (default
 // hardware_concurrency) runs the CPU work — decode, handler, encode — so
@@ -17,6 +17,19 @@
 // requests of ONE connection may run concurrently — ordering is restored
 // at the write queue, not in the handler.)
 //
+// Streaming (BXTP v2): a chunked frame must not monopolize a worker (the
+// handler blocks on chunk arrival) nor flood the reactor (a 256 MiB stream
+// cannot be assembled). Each active stream gets a DEDICATED thread and two
+// depth-1 queues: the reactor pushes request chunks in; the handler pushes
+// framed response chunks out. When the in-queue is full the reactor parks
+// the connection's EPOLLIN, so a fast sender backs up into the kernel's
+// TCP window; when the out-queue is full the handler blocks, so a slow
+// receiver stalls its own stream and nothing else. Per-stream residency is
+// therefore ~2 chunk buffers regardless of message size. A stream's
+// response occupies its request's sequence slot: the outbox holds earlier
+// responses first, then the stream flushes to the wire directly, then
+// later pipelined responses — order is preserved across both paths.
+//
 // The PR 3 zero-copy path carries over intact: receive payloads are
 // pool-recycled SharedBuffers decoded as view spans, responses serialize
 // into one pooled buffer behind a reserved BXTP header, and the reactor
@@ -25,10 +38,14 @@
 // Failure taxonomy matches the pool: DecodeError -> in-band soap:Client
 // fault, SoapFaultError/std::exception -> fault envelope, frame-level
 // TransportError (bad magic, over-limit length) -> the connection is cut.
-// read_timeout_ms is the same slowloris defense: a peer that goes silent
-// for that long is disconnected by the reactor's idle sweep.
+// A stream handler that fails before its first response chunk gets a v1
+// fault envelope; after that the connection is cut (chunks cannot be
+// retracted). read_timeout_ms is the same slowloris defense: a peer that
+// goes silent for that long is disconnected by the reactor's idle sweep
+// (a connection parked by OUR backpressure is exempt).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -45,39 +62,82 @@
 #include "soap/any_engine.hpp"
 #include "soap/envelope.hpp"
 #include "transport/framing.hpp"
-#include "transport/server_pool.hpp"
+#include "transport/server.hpp"
 #include "transport/socket.hpp"
+#include "transport/stream.hpp"
 
 namespace bxsoap::transport {
 
-class SoapEventServer {
+class SoapEventServer : public SoapServer {
  public:
-  using Handler = ServerPoolConfig::Handler;
+  using Handler = ServerConfig::Handler;
 
   /// Starts the reactor and workers immediately.
-  explicit SoapEventServer(ServerPoolConfig config);
-  ~SoapEventServer();
+  explicit SoapEventServer(ServerConfig config);
+  ~SoapEventServer() override;
 
-  std::uint16_t port() const noexcept { return listener_.port(); }
+  std::uint16_t port() const noexcept override { return listener_.port(); }
 
   /// Connections currently registered with the reactor.
-  std::size_t active_connections() const noexcept { return active_.load(); }
+  std::size_t active_connections() const noexcept override {
+    return active_.load();
+  }
   /// Total exchanges completed (response queued for the wire) since start.
-  std::size_t exchanges() const noexcept { return exchanges_.load(); }
+  std::size_t exchanges() const noexcept override { return exchanges_.load(); }
   /// Exchanges whose response was a fault envelope.
-  std::size_t faults() const noexcept { return faults_.load(); }
+  std::size_t faults() const noexcept override { return faults_.load(); }
   /// Worker threads serving this instance.
   std::size_t worker_count() const noexcept { return workers_.size(); }
+  /// Reactor plus the fixed worker pool (transient per-stream threads are
+  /// not counted; they live only as long as one chunked exchange).
+  std::size_t serving_threads() const noexcept override {
+    return 1 + workers_.size();
+  }
 
   /// Graceful shutdown: stop accepting and reading, let every request
   /// already assembled finish its handler and flush its response (up to
   /// drain_timeout), then close everything. Idempotent.
-  void stop();
+  void stop() override;
 
  private:
+  /// A response chunk frame staged for the wire: 9-byte chunk header +
+  /// pooled body, written without re-copying the body.
+  struct OutFrame {
+    std::array<std::uint8_t, 9> hdr{};
+    std::vector<std::uint8_t> bytes;
+    std::size_t hdr_off = 0;   // header bytes already written
+    std::size_t body_off = 0;  // body bytes already written
+  };
+
+  /// One active chunked exchange: the handshake between the reactor (both
+  /// queues' far end) and the stream's dedicated handler thread.
+  struct StreamState {
+    std::mutex mu;
+    std::condition_variable cv;  // stream thread waits: in empty / out full
+    std::deque<StreamChunk> in;  // reactor -> handler (cap kStreamQueueDepth)
+    bool in_end = false;         // end chunk arrived; no more input
+    std::deque<OutFrame> out;    // handler -> reactor (cap kStreamQueueDepth)
+    bool out_end = false;        // end frame queued; no more output
+    bool failed = false;         // handler threw: fault or cut the conn
+    bool dead = false;           // connection dropped: handler must bail
+    bool exited = false;         // stream thread finished; join is instant
+    /// Reactor-only: a response byte reached the wire. Decides whether a
+    /// failed handler can still be answered with an in-band v1 fault.
+    bool wire_started = false;
+    /// Set with `failed` when the handler faulted before any response
+    /// chunk: a fully framed v1 fault envelope to send in the stream's
+    /// sequence slot instead.
+    std::vector<std::uint8_t> fault_frame;
+    std::size_t in_bytes = 0;    // queue accounting (waterline)
+    std::size_t out_bytes = 0;
+    std::string content_type;
+    std::uint64_t seq = 0;  // the response sequence this stream occupies
+    std::thread thread;
+  };
+
   /// One connection's reactor-plus-worker shared state. The reactor owns
   /// the socket and the assembler exclusively; everything under `mu` is
-  /// the response-ordering handshake with the workers.
+  /// the response-ordering handshake with the workers and stream threads.
   struct Conn {
     Conn(TcpStream s, const FrameLimits& limits, BufferPool* pool)
         : stream(std::move(s)), assembler(limits, pool) {}
@@ -88,6 +148,12 @@ class SoapEventServer {
     std::chrono::steady_clock::time_point last_activity;  // reactor-only
     bool want_write = false;   // reactor-only: EPOLLOUT armed
     bool read_closed = false;  // reactor-only: peer EOF seen
+    /// Reactor-only streaming state: the stream currently receiving input,
+    /// whether EPOLLIN is parked on a full in-queue, and socket bytes read
+    /// but not yet fed to the assembler when the park hit mid-buffer.
+    std::shared_ptr<StreamState> rx_stream;
+    bool stream_parked = false;
+    std::vector<std::uint8_t> stream_backlog;
 
     std::mutex mu;
     /// Responses completed out of order, keyed by request sequence.
@@ -97,6 +163,8 @@ class SoapEventServer {
     std::size_t out_offset = 0;  // bytes of outbox.front() already sent
     std::uint64_t next_to_send = 0;  // sequence the outbox tail expects
     std::size_t inflight = 0;  // requests dispatched, response not in outbox
+    /// Streams by sequence; flushed to the wire when their turn comes.
+    std::map<std::uint64_t, std::shared_ptr<StreamState>> streams;
     bool dead = false;  // reactor dropped the conn; workers discard results
   };
 
@@ -112,18 +180,32 @@ class SoapEventServer {
   // Reactor-side helpers (all run on the reactor thread).
   void accept_ready();
   void read_ready(const std::shared_ptr<Conn>& conn);
+  bool pump(const std::shared_ptr<Conn>& conn,
+            std::span<const std::uint8_t> data);
+  bool on_stream_chunk(const std::shared_ptr<Conn>& conn);
+  void begin_stream(const std::shared_ptr<Conn>& conn);
+  void resume_stream_read(const std::shared_ptr<Conn>& conn);
   void flush(const std::shared_ptr<Conn>& conn);
   void drop(const std::shared_ptr<Conn>& conn);
   void sweep_idle();
   void update_listener_interest();
   bool fully_drained(Conn& conn);
+  /// conn.mu held: move newly in-order completed responses to the outbox.
+  void release_ready_locked(Conn& conn);
 
   // Worker-side helper: hand a finished response to the connection.
   void complete(const std::shared_ptr<Conn>& conn, std::uint64_t seq,
                 std::vector<std::uint8_t> frame);
+  // Stream-thread body and its reactor notifications.
+  void stream_main(std::shared_ptr<Conn> conn,
+                   std::shared_ptr<StreamState> st);
+  void request_flush(const std::shared_ptr<Conn>& conn);
+  void request_resume(const std::shared_ptr<Conn>& conn);
 
   std::unique_ptr<soap::AnyEncoding> encoding_;
   Handler handler_;
+  StreamHandler stream_handler_;
+  std::size_t stream_chunk_bytes_ = 1u << 20;
   /// Declared before listener_/threads so it outlives every SharedBuffer
   /// still referenced by in-flight decoded trees at teardown.
   BufferPool buffer_pool_;
@@ -142,6 +224,9 @@ class SoapEventServer {
   obs::Counter* accepted_ = nullptr;
   obs::Counter* wakeups_ = nullptr;
   obs::Counter* pipelined_ = nullptr;
+  obs::Counter* stream_chunks_ = nullptr;    // request chunks received
+  obs::Counter* stream_flushes_ = nullptr;   // response chunk frames sent
+  obs::Waterline* stream_buffered_ = nullptr;  // stream queue residency
   obs::Histogram* loop_ns_ = nullptr;
 
   // Reactor-owned connection table (fd -> conn).
@@ -153,9 +238,11 @@ class SoapEventServer {
   std::condition_variable jobs_cv_;
   std::deque<Job> jobs_;
 
-  // Connections with responses ready to flush (workers -> reactor).
+  // Connections with responses ready to flush, and connections whose
+  // stream freed in-queue room (workers / stream threads -> reactor).
   std::mutex flush_mu_;
   std::vector<std::shared_ptr<Conn>> flush_queue_;
+  std::vector<std::shared_ptr<Conn>> resume_queue_;
 
   std::thread reactor_;
   std::vector<std::thread> workers_;

@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bxsa/stream_writer.hpp"
 #include "common/buffer.hpp"
 #include "common/buffer_pool.hpp"
 #include "common/vls.hpp"
@@ -36,17 +37,91 @@ namespace bxsoap::transport {
 
 inline constexpr char kFrameMagic[4] = {'B', 'X', 'T', 'P'};
 inline constexpr std::uint8_t kFrameVersion = 1;
+/// BXTP v2: a chunked transfer, for messages produced and consumed in
+/// bounded memory. Same magic + ctype header, then chunk frames instead of
+/// one length-prefixed payload (see docs/FORMAT.md "Chunked transfer").
+inline constexpr std::uint8_t kFrameVersionChunked = 2;
 
 /// Default payload ceiling: generous for scientific datasets, small enough
 /// that a corrupt length prefix cannot take the process down.
 inline constexpr std::size_t kDefaultMaxMessageBytes = 256u << 20;  // 256 MiB
+/// Per-chunk ceiling on the v2 path — this is the unit of buffering, so it
+/// bounds receiver residency, not message size.
+inline constexpr std::size_t kDefaultMaxChunkBytes = 8u << 20;  // 8 MiB
+/// Whole-stream ceiling on the v2 path (sum of data chunks).
+inline constexpr std::size_t kDefaultMaxStreamBytes = 1u << 30;  // 1 GiB
 
 /// Ceilings applied while parsing an incoming frame. Every field is
 /// enforced before the corresponding bytes are read or allocated.
 struct FrameLimits {
   std::size_t max_message_bytes = kDefaultMaxMessageBytes;
   std::size_t max_content_type_bytes = 1024;
+  std::size_t max_chunk_bytes = kDefaultMaxChunkBytes;
+  std::size_t max_stream_bytes = kDefaultMaxStreamBytes;
 };
+
+/// Chunk frame kinds on the v2 path. Wire layout of every chunk:
+/// kind u8, length u64 big-endian, then `length` body bytes.
+enum class ChunkKind : std::uint8_t {
+  kData = 0,   ///< body appends to the message payload
+  kPatch = 1,  ///< body is PatchRecords fixing up already-sent payload bytes
+  kEnd = 2,    ///< body is the u64 BE total payload byte count; closes the
+               ///< stream
+};
+
+/// One received chunk. For kEnd the payload total has already been decoded
+/// and verified by the reader; `bytes` is empty.
+struct StreamChunk {
+  ChunkKind kind = ChunkKind::kData;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Wire-encode patch records into `w`: offset u64 BE, len u8, bytes.
+inline void encode_patch_records(ByteWriter& w,
+                                 std::span<const bxsa::PatchRecord> patches) {
+  for (const auto& p : patches) {
+    w.write<std::uint64_t>(p.offset, ByteOrder::kBig);
+    w.write_u8(p.len);
+    w.write_bytes(p.bytes, p.len);
+  }
+}
+
+/// Decode a patch-chunk body. Throws TransportError on a malformed record
+/// (truncation, zero or oversized len).
+inline std::vector<bxsa::PatchRecord> decode_patch_records(
+    std::span<const std::uint8_t> body) {
+  std::vector<bxsa::PatchRecord> out;
+  ByteReader r(body);
+  try {
+    while (!r.at_end()) {
+      bxsa::PatchRecord p;
+      p.offset = r.read<std::uint64_t>(ByteOrder::kBig);
+      p.len = r.read_u8();
+      if (p.len == 0 || p.len > sizeof(p.bytes)) {
+        throw TransportError("patch record with bad length");
+      }
+      const auto bytes = r.read_bytes(p.len);
+      std::memcpy(p.bytes, bytes.data(), p.len);
+      out.push_back(p);
+    }
+  } catch (const DecodeError&) {
+    throw TransportError("truncated patch record");
+  }
+  return out;
+}
+
+/// Apply patch records to a reassembled payload. Every target must lie
+/// fully inside the payload; a hostile offset throws instead of writing.
+inline void apply_patches(std::span<std::uint8_t> payload,
+                          std::span<const bxsa::PatchRecord> patches) {
+  for (const auto& p : patches) {
+    if (p.len > sizeof(p.bytes) || p.offset > payload.size() ||
+        p.len > payload.size() - p.offset) {
+      throw TransportError("patch record outside the payload");
+    }
+    std::memcpy(payload.data() + p.offset, p.bytes, p.len);
+  }
+}
 
 /// Any byte stream framing can run over: whole-buffer writes and exact
 /// reads, both throwing TransportError on failure.
@@ -116,6 +191,222 @@ void write_frame(S& stream, const soap::WireMessage& m) {
   write_frame(stream, m.content_type, m.payload);
 }
 
+/// The part of a BXTP header shared by both versions: everything up to
+/// (v1) the payload length or (v2) the first chunk. Reading it first lets
+/// a server decide per-message whether the materialized or the streaming
+/// path handles the rest of the bytes.
+struct FrameStart {
+  std::uint8_t version = kFrameVersion;
+  std::string content_type;
+
+  bool chunked() const noexcept { return version == kFrameVersionChunked; }
+};
+
+template <FrameStream S>
+FrameStart read_frame_start(S& stream, const FrameLimits& limits = {}) {
+  std::uint8_t fixed[5];
+  stream.read_exact(fixed, sizeof(fixed));
+  if (std::memcmp(fixed, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw TransportError("bad frame magic");
+  }
+  if (fixed[4] != kFrameVersion && fixed[4] != kFrameVersionChunked) {
+    throw TransportError("unsupported frame version " +
+                         std::to_string(fixed[4]));
+  }
+  // Content-type length: VLS, read byte by byte off the stream.
+  std::uint64_t ct_len = 0;
+  int shift = 0;
+  for (std::size_t i = 0; i < kMaxVlsBytes; ++i) {
+    std::uint8_t b;
+    stream.read_exact(&b, 1);
+    ct_len |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+    if (i + 1 == kMaxVlsBytes) throw TransportError("malformed frame VLS");
+  }
+  if (ct_len > limits.max_content_type_bytes) {
+    throw TransportError("content type unreasonably long");
+  }
+  FrameStart start;
+  start.version = fixed[4];
+  start.content_type.resize(static_cast<std::size_t>(ct_len));
+  stream.read_exact(
+      reinterpret_cast<std::uint8_t*>(start.content_type.data()),
+      start.content_type.size());
+  return start;
+}
+
+/// Finish reading a v1 frame whose header `start` was already consumed.
+template <FrameStream S>
+soap::WireMessage read_frame_body(S& stream, FrameStart start,
+                                  const FrameLimits& limits = {},
+                                  BufferPool* pool = nullptr) {
+  if (start.chunked()) {
+    throw TransportError(
+        "chunked frame on an endpoint without a stream handler");
+  }
+  std::uint8_t len_be[8];
+  stream.read_exact(len_be, 8);
+  const std::uint64_t payload_len =
+      load<std::uint64_t>(len_be, ByteOrder::kBig);
+  // Checked against the cap BEFORE sizing the buffer: a corrupt or hostile
+  // u64 must not reach the allocator.
+  if (payload_len > limits.max_message_bytes) {
+    throw TransportError("frame payload of " + std::to_string(payload_len) +
+                         " bytes exceeds the " +
+                         std::to_string(limits.max_message_bytes) +
+                         "-byte message limit");
+  }
+  soap::WireMessage m;
+  m.content_type = std::move(start.content_type);
+  if (pool != nullptr) {
+    // The limit check above has already run: a hostile length never
+    // reaches the pool's allocator either.
+    m.payload = pool->acquire(static_cast<std::size_t>(payload_len));
+  }
+  m.payload.resize(static_cast<std::size_t>(payload_len));
+  stream.read_exact(m.payload.data(), m.payload.size());
+  return m;
+}
+
+/// Writer side of a v2 chunked transfer: header once, then any number of
+/// data chunks, optional patch chunks, and one end chunk. Each chunk goes
+/// out in a single gathered syscall on streams that support it.
+template <FrameStream S>
+class ChunkedFrameWriter {
+ public:
+  ChunkedFrameWriter(S& stream, std::string_view content_type)
+      : stream_(stream) {
+    ByteWriter h;
+    h.write_bytes(kFrameMagic, sizeof(kFrameMagic));
+    h.write_u8(kFrameVersionChunked);
+    vls_write(h, content_type.size());
+    h.write_string(content_type);
+    stream_.write_all(h.bytes());
+  }
+
+  void write_data(std::span<const std::uint8_t> chunk) {
+    write_chunk(ChunkKind::kData, chunk);
+    total_ += chunk.size();
+  }
+
+  void write_patches(std::span<const bxsa::PatchRecord> patches) {
+    if (patches.empty()) return;
+    ByteWriter body;
+    encode_patch_records(body, patches);
+    write_chunk(ChunkKind::kPatch, body.bytes());
+  }
+
+  /// Forward an already-encoded chunk body verbatim (the pass-through
+  /// path: an echo or relay handler never decodes the records).
+  void write_raw(ChunkKind kind, std::span<const std::uint8_t> body) {
+    if (kind == ChunkKind::kEnd) {
+      throw TransportError("end chunks are emitted by finish()");
+    }
+    write_chunk(kind, body);
+    if (kind == ChunkKind::kData) total_ += body.size();
+  }
+
+  /// Close the stream: emits the end chunk carrying the data-byte total.
+  void finish() {
+    std::uint8_t total_be[8];
+    store<std::uint64_t>(total_, ByteOrder::kBig, total_be);
+    write_chunk(ChunkKind::kEnd, {total_be, sizeof(total_be)});
+  }
+
+  std::uint64_t total_data_bytes() const noexcept { return total_; }
+
+ private:
+  void write_chunk(ChunkKind kind, std::span<const std::uint8_t> body) {
+    std::uint8_t hdr[9];
+    hdr[0] = static_cast<std::uint8_t>(kind);
+    store<std::uint64_t>(body.size(), ByteOrder::kBig, hdr + 1);
+    if constexpr (VectoredStream<S>) {
+      stream_.write_vectored({hdr, sizeof(hdr)}, body);
+    } else {
+      stream_.write_all({hdr, sizeof(hdr)});
+      stream_.write_all(body);
+    }
+  }
+
+  S& stream_;
+  std::uint64_t total_ = 0;
+};
+
+/// Reader side of a v2 chunked transfer, for blocking endpoints (the
+/// thread-per-connection pool, the streaming client). The BXTP header must
+/// already have been consumed by read_frame_start. Every peer-declared
+/// length is checked against `limits` BEFORE the buffer it sizes exists.
+template <FrameStream S>
+class ChunkedFrameReader {
+ public:
+  ChunkedFrameReader(S& stream, FrameLimits limits = {},
+                     BufferPool* pool = nullptr)
+      : stream_(stream), limits_(limits), pool_(pool) {}
+
+  /// Read the next chunk. After the end chunk arrives, done() is true and
+  /// further calls throw.
+  StreamChunk next() {
+    if (done_) throw TransportError("read past the end of a chunked stream");
+    std::uint8_t hdr[9];
+    stream_.read_exact(hdr, sizeof(hdr));
+    const std::uint64_t len = load<std::uint64_t>(hdr + 1, ByteOrder::kBig);
+    StreamChunk c;
+    switch (hdr[0]) {
+      case static_cast<std::uint8_t>(ChunkKind::kData):
+        c.kind = ChunkKind::kData;
+        if (len > limits_.max_chunk_bytes) {
+          throw TransportError("chunk of " + std::to_string(len) +
+                               " bytes exceeds the chunk limit");
+        }
+        if (len > limits_.max_stream_bytes - total_) {
+          throw TransportError("chunked stream exceeds the stream limit");
+        }
+        break;
+      case static_cast<std::uint8_t>(ChunkKind::kPatch):
+        c.kind = ChunkKind::kPatch;
+        if (len > limits_.max_chunk_bytes) {
+          throw TransportError("patch chunk exceeds the chunk limit");
+        }
+        break;
+      case static_cast<std::uint8_t>(ChunkKind::kEnd):
+        c.kind = ChunkKind::kEnd;
+        if (len != 8) throw TransportError("malformed end chunk");
+        break;
+      default:
+        throw TransportError("unknown chunk kind " +
+                             std::to_string(hdr[0]));
+    }
+    if (c.kind == ChunkKind::kEnd) {
+      std::uint8_t total_be[8];
+      stream_.read_exact(total_be, sizeof(total_be));
+      if (load<std::uint64_t>(total_be, ByteOrder::kBig) != total_) {
+        throw TransportError("chunked stream total mismatch");
+      }
+      done_ = true;
+      return c;
+    }
+    if (pool_ != nullptr) {
+      c.bytes = pool_->acquire(static_cast<std::size_t>(len));
+    }
+    c.bytes.resize(static_cast<std::size_t>(len));
+    stream_.read_exact(c.bytes.data(), c.bytes.size());
+    if (c.kind == ChunkKind::kData) total_ += len;
+    return c;
+  }
+
+  bool done() const noexcept { return done_; }
+  /// Data bytes seen so far (the verified total once done()).
+  std::uint64_t total_data_bytes() const noexcept { return total_; }
+
+ private:
+  S& stream_;
+  FrameLimits limits_;
+  BufferPool* pool_ = nullptr;
+  std::uint64_t total_ = 0;
+  bool done_ = false;
+};
+
 /// Read one framed message; throws TransportError on malformed frames, a
 /// closed connection, or a frame that exceeds `limits`. When `pool` is
 /// given, the payload buffer is recycled from it (the caller returns it by
@@ -132,15 +423,17 @@ class FrameAssembler {
   explicit FrameAssembler(FrameLimits limits = {}, BufferPool* pool = nullptr)
       : limits_(limits), pool_(pool) {}
 
-  /// Consume bytes from the front of `data` until one frame completes or
-  /// the input runs out; returns the number consumed. When a frame
-  /// completed, ready() is true and the caller must take() it before
-  /// feeding again (the unconsumed tail belongs to the next frame).
-  /// Malformed or over-limit input throws TransportError and poisons the
-  /// connection — there is no way to resynchronize a byte stream.
+  /// Consume bytes from the front of `data` until one frame (v1) or one
+  /// chunk (v2) completes or the input runs out; returns the number
+  /// consumed. When a frame completed, ready() is true and the caller must
+  /// take() it before feeding again; when a chunk completed, chunk_ready()
+  /// is true and the caller must take_chunk(). Malformed or over-limit
+  /// input throws TransportError and poisons the connection — there is no
+  /// way to resynchronize a byte stream.
   std::size_t feed(std::span<const std::uint8_t> data) {
     std::size_t consumed = 0;
-    while (consumed < data.size() && state_ != State::kReady) {
+    while (consumed < data.size() && state_ != State::kReady &&
+           state_ != State::kChunkReady) {
       consumed += step(data.subspan(consumed));
     }
     return consumed;
@@ -149,10 +442,46 @@ class FrameAssembler {
   bool ready() const noexcept { return state_ == State::kReady; }
 
   /// True between the first byte of a frame and its completion — the
-  /// window a slowloris peer stalls in.
+  /// window a slowloris peer stalls in. Chunk gaps of a v2 stream count:
+  /// an idle mid-stream peer holds the same resources.
   bool mid_frame() const noexcept {
     return state_ != State::kReady &&
            !(state_ == State::kFixed && have_ == 0);
+  }
+
+  /// True while a v2 chunked message is in flight (header parsed, end
+  /// chunk not yet taken). The content type is available from
+  /// stream_content_type() for the stream's whole lifetime.
+  bool streaming() const noexcept { return streaming_; }
+
+  bool chunk_ready() const noexcept { return state_ == State::kChunkReady; }
+
+  const std::string& stream_content_type() const noexcept {
+    return message_.content_type;
+  }
+
+  /// The completed chunk; rearms the assembler for the next chunk, or for
+  /// the next message once this was the end chunk.
+  StreamChunk take_chunk() {
+    if (state_ != State::kChunkReady) {
+      throw TransportError("no assembled chunk to take");
+    }
+    StreamChunk c;
+    c.kind = chunk_kind_;
+    have_ = 0;
+    if (chunk_kind_ == ChunkKind::kEnd) {
+      // Stream complete: the next bytes start a fresh BXTP header.
+      chunk_.clear();
+      message_ = {};
+      streaming_ = false;
+      stream_total_ = 0;
+      state_ = State::kFixed;
+    } else {
+      c.bytes = std::move(chunk_);
+      chunk_ = {};
+      state_ = State::kChunkHdr;
+    }
+    return c;
   }
 
   /// The completed frame; resets the assembler for the next one.
@@ -171,12 +500,15 @@ class FrameAssembler {
 
  private:
   enum class State : std::uint8_t {
-    kFixed,    // magic + version (5 bytes)
-    kCtLen,    // content-type length, VLS byte by byte
-    kCtBytes,  // content-type bytes
-    kLen,      // payload length, u64 big-endian
-    kPayload,  // payload bytes
-    kReady,
+    kFixed,       // magic + version (5 bytes)
+    kCtLen,       // content-type length, VLS byte by byte
+    kCtBytes,     // content-type bytes
+    kLen,         // v1: payload length, u64 big-endian
+    kPayload,     // v1: payload bytes
+    kReady,       // v1: one whole frame assembled
+    kChunkHdr,    // v2: chunk kind u8 + length u64 big-endian
+    kChunkBody,   // v2: chunk body bytes
+    kChunkReady,  // v2: one chunk assembled
   };
 
   /// Advance one state with the bytes at hand; returns bytes consumed.
@@ -190,10 +522,12 @@ class FrameAssembler {
           if (std::memcmp(fixed_, kFrameMagic, sizeof(kFrameMagic)) != 0) {
             throw TransportError("bad frame magic");
           }
-          if (fixed_[4] != kFrameVersion) {
+          if (fixed_[4] != kFrameVersion &&
+              fixed_[4] != kFrameVersionChunked) {
             throw TransportError("unsupported frame version " +
                                  std::to_string(fixed_[4]));
           }
+          version_ = fixed_[4];
           state_ = State::kCtLen;
           ct_len_ = 0;
           vls_shift_ = 0;
@@ -212,7 +546,7 @@ class FrameAssembler {
           }
           message_.content_type.clear();
           message_.content_type.reserve(static_cast<std::size_t>(ct_len_));
-          state_ = ct_len_ == 0 ? State::kLen : State::kCtBytes;
+          state_ = ct_len_ == 0 ? after_content_type() : State::kCtBytes;
           have_ = 0;
         } else if (vls_bytes_ == kMaxVlsBytes) {
           throw TransportError("malformed frame VLS");
@@ -226,7 +560,7 @@ class FrameAssembler {
         message_.content_type.append(
             reinterpret_cast<const char*>(data.data()), take);
         if (message_.content_type.size() == ct_len_) {
-          state_ = State::kLen;
+          state_ = after_content_type();
           have_ = 0;
         }
         return take;
@@ -264,10 +598,86 @@ class FrameAssembler {
         if (message_.payload.size() == payload_len_) state_ = State::kReady;
         return take;
       }
+      case State::kChunkHdr: {
+        const std::size_t take =
+            std::min(data.size(), sizeof(chunk_hdr_) - have_);
+        std::memcpy(chunk_hdr_ + have_, data.data(), take);
+        have_ += take;
+        if (have_ == sizeof(chunk_hdr_)) {
+          const std::uint64_t len =
+              load<std::uint64_t>(chunk_hdr_ + 1, ByteOrder::kBig);
+          switch (chunk_hdr_[0]) {
+            case static_cast<std::uint8_t>(ChunkKind::kData):
+              chunk_kind_ = ChunkKind::kData;
+              if (len > limits_.max_chunk_bytes) {
+                throw TransportError("chunk of " + std::to_string(len) +
+                                     " bytes exceeds the chunk limit");
+              }
+              if (len > limits_.max_stream_bytes - stream_total_) {
+                throw TransportError(
+                    "chunked stream exceeds the stream limit");
+              }
+              stream_total_ += len;
+              break;
+            case static_cast<std::uint8_t>(ChunkKind::kPatch):
+              chunk_kind_ = ChunkKind::kPatch;
+              if (len > limits_.max_chunk_bytes) {
+                throw TransportError("patch chunk exceeds the chunk limit");
+              }
+              break;
+            case static_cast<std::uint8_t>(ChunkKind::kEnd):
+              chunk_kind_ = ChunkKind::kEnd;
+              if (len != 8) throw TransportError("malformed end chunk");
+              break;
+            default:
+              throw TransportError("unknown chunk kind " +
+                                   std::to_string(chunk_hdr_[0]));
+          }
+          // The cap check above already ran; the pool never sees a
+          // hostile length.
+          chunk_len_ = static_cast<std::size_t>(len);
+          if (pool_ != nullptr && chunk_kind_ != ChunkKind::kEnd) {
+            chunk_ = pool_->acquire(chunk_len_);
+            chunk_.clear();
+          } else {
+            chunk_.clear();
+            chunk_.reserve(chunk_len_);
+          }
+          state_ =
+              chunk_len_ == 0 ? State::kChunkReady : State::kChunkBody;
+          have_ = 0;
+        }
+        return take;
+      }
+      case State::kChunkBody: {
+        const std::size_t want = chunk_len_ - chunk_.size();
+        const std::size_t take = std::min(data.size(), want);
+        chunk_.insert(chunk_.end(), data.data(), data.data() + take);
+        if (chunk_.size() == chunk_len_) {
+          if (chunk_kind_ == ChunkKind::kEnd) {
+            if (load<std::uint64_t>(chunk_.data(), ByteOrder::kBig) !=
+                stream_total_) {
+              throw TransportError("chunked stream total mismatch");
+            }
+          }
+          state_ = State::kChunkReady;
+        }
+        return take;
+      }
       case State::kReady:
+      case State::kChunkReady:
         return 0;
     }
     return 0;  // unreachable
+  }
+
+  /// Where the header hands off: v1 reads a payload length, v2 reads
+  /// chunks. Entering the chunk path marks the stream live.
+  State after_content_type() {
+    if (version_ != kFrameVersionChunked) return State::kLen;
+    streaming_ = true;
+    stream_total_ = 0;
+    return State::kChunkHdr;
   }
 
   FrameLimits limits_;
@@ -281,59 +691,21 @@ class FrameAssembler {
   std::size_t vls_bytes_ = 0;
   std::size_t payload_len_ = 0;
   soap::WireMessage message_;
+  // v2 chunk state.
+  std::uint8_t version_ = kFrameVersion;
+  std::uint8_t chunk_hdr_[9]{};
+  ChunkKind chunk_kind_ = ChunkKind::kData;
+  std::size_t chunk_len_ = 0;
+  std::uint64_t stream_total_ = 0;
+  std::vector<std::uint8_t> chunk_;
+  bool streaming_ = false;
 };
 
 template <FrameStream S>
 soap::WireMessage read_frame(S& stream, const FrameLimits& limits = {},
                              BufferPool* pool = nullptr) {
-  std::uint8_t fixed[5];
-  stream.read_exact(fixed, sizeof(fixed));
-  if (std::memcmp(fixed, kFrameMagic, sizeof(kFrameMagic)) != 0) {
-    throw TransportError("bad frame magic");
-  }
-  if (fixed[4] != kFrameVersion) {
-    throw TransportError("unsupported frame version " +
-                         std::to_string(fixed[4]));
-  }
-  // Content-type length: VLS, read byte by byte off the stream.
-  std::uint64_t ct_len = 0;
-  int shift = 0;
-  for (std::size_t i = 0; i < kMaxVlsBytes; ++i) {
-    std::uint8_t b;
-    stream.read_exact(&b, 1);
-    ct_len |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-    if ((b & 0x80) == 0) break;
-    shift += 7;
-    if (i + 1 == kMaxVlsBytes) throw TransportError("malformed frame VLS");
-  }
-  if (ct_len > limits.max_content_type_bytes) {
-    throw TransportError("content type unreasonably long");
-  }
-  soap::WireMessage m;
-  m.content_type.resize(static_cast<std::size_t>(ct_len));
-  stream.read_exact(reinterpret_cast<std::uint8_t*>(m.content_type.data()),
-                    m.content_type.size());
-
-  std::uint8_t len_be[8];
-  stream.read_exact(len_be, 8);
-  const std::uint64_t payload_len =
-      load<std::uint64_t>(len_be, ByteOrder::kBig);
-  // Checked against the cap BEFORE sizing the buffer: a corrupt or hostile
-  // u64 must not reach the allocator.
-  if (payload_len > limits.max_message_bytes) {
-    throw TransportError("frame payload of " + std::to_string(payload_len) +
-                         " bytes exceeds the " +
-                         std::to_string(limits.max_message_bytes) +
-                         "-byte message limit");
-  }
-  if (pool != nullptr) {
-    // The limit check above has already run: a hostile length never
-    // reaches the pool's allocator either.
-    m.payload = pool->acquire(static_cast<std::size_t>(payload_len));
-  }
-  m.payload.resize(static_cast<std::size_t>(payload_len));
-  stream.read_exact(m.payload.data(), m.payload.size());
-  return m;
+  return read_frame_body(stream, read_frame_start(stream, limits), limits,
+                         pool);
 }
 
 }  // namespace bxsoap::transport

@@ -1,0 +1,19 @@
+#include "transport/server.hpp"
+
+#include "transport/event_server.hpp"
+#include "transport/server_pool.hpp"
+
+namespace bxsoap::transport {
+
+std::unique_ptr<SoapServer> SoapServer::create(ConcurrencyModel model,
+                                               ServerConfig config) {
+  switch (model) {
+    case ConcurrencyModel::kThreadPerConnection:
+      return std::make_unique<SoapServerPool>(std::move(config));
+    case ConcurrencyModel::kEventLoop:
+      return std::make_unique<SoapEventServer>(std::move(config));
+  }
+  throw TransportError("unknown concurrency model");
+}
+
+}  // namespace bxsoap::transport

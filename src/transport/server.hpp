@@ -1,0 +1,128 @@
+// The unified server surface: one config, one interface, two concurrency
+// models.
+//
+// SoapServerPool (thread-per-connection) and SoapEventServer (epoll
+// reactor + worker pool) answer the same wire protocol and expose the same
+// statistics; what differs is how they spend threads. This header makes
+// that a RUNTIME choice: build one ServerConfig, pick a ConcurrencyModel,
+// and SoapServer::create returns whichever implementation fits the
+// deployment. Benchmarks and chaos tests drive both models through this
+// interface with the selection as a parameter instead of a code path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/observer.hpp"
+#include "soap/any_engine.hpp"
+#include "soap/envelope.hpp"
+#include "transport/framing.hpp"
+#include "transport/stream.hpp"
+
+namespace bxsoap::transport {
+
+/// How a server spends threads on connections.
+enum class ConcurrencyModel {
+  kThreadPerConnection,  ///< SoapServerPool: one blocking worker per client
+  kEventLoop,            ///< SoapEventServer: epoll reactor + fixed workers
+};
+
+/// Everything either server needs. Only `encoding` and `handler` (or
+/// `stream_handler`) are mandatory; the rest default to the historical
+/// behavior.
+struct ServerConfig {
+  using Handler = std::function<soap::SoapEnvelope(soap::SoapEnvelope)>;
+
+  std::unique_ptr<soap::AnyEncoding> encoding;
+  Handler handler;
+
+  /// Serves BXTP v2 chunked exchanges (see transport/stream.hpp). Null =
+  /// chunked frames are a protocol error and cut the connection; `handler`
+  /// keeps serving v1 frames either way, so one endpoint can speak both.
+  StreamHandler stream_handler;
+
+  /// Flush granularity for streamed responses: the unit of buffering, and
+  /// with it the per-stream memory bound (a stream parks at most one chunk
+  /// inbound and one outbound).
+  std::size_t stream_chunk_bytes = 1u << 20;  // 1 MiB
+
+  /// Port to listen on; 0 requests a kernel-assigned ephemeral port (read
+  /// it back via port()).
+  std::uint16_t port = 0;
+  int backlog = 64;
+
+  /// Observability hook. When set, the server records under
+  /// "<metrics_prefix>.*": per-stage timings and exchange/fault counts
+  /// (MetricsObserver naming scheme), connections.active /
+  /// workers.unreaped gauges, connections.accepted counter, io.* socket
+  /// tallies, pool.hit / pool.miss / pool.recycled_bytes buffer-pool
+  /// counters, bxsa.* codec stats if the encoding supports them, and
+  /// stream.{chunks,flushes,buffered_bytes} for the chunked path (the
+  /// waterline's peak field is the residency high-water mark). The
+  /// registry must outlive the server. Null = zero instrumentation.
+  obs::Registry* registry = nullptr;
+  std::string metrics_prefix = "pool";
+
+  // ---- hardening knobs ------------------------------------------------------
+
+  /// Per-connection read timeout in milliseconds (slowloris defense): a
+  /// peer that opens a frame and stalls gets disconnected instead of
+  /// pinning a worker forever. 0 (the default) keeps the historical
+  /// block-forever behavior, which idle keep-alive clients rely on.
+  int read_timeout_ms = 0;
+
+  /// Ceilings on incoming frames; every declared length is checked
+  /// against these BEFORE any allocation.
+  FrameLimits frame_limits{};
+
+  /// Maximum concurrent worker threads; 0 = unbounded. At the ceiling the
+  /// accept loop stops accepting, so excess clients queue in the kernel's
+  /// listen backlog (and beyond it, get connection refused) instead of
+  /// spawning unbounded threads. The event server reads this as its
+  /// connection ceiling: at the limit it parks the listener instead of
+  /// spawning anything, with the same kernel-backlog overflow.
+  std::size_t max_workers = 0;
+
+  /// SoapEventServer only: size of the fixed worker pool that runs
+  /// decode/handle/encode off the reactor. 0 = hardware_concurrency.
+  /// SoapServerPool ignores this (its workers are one-per-connection).
+  std::size_t worker_threads = 0;
+
+  /// How long stop() waits for in-flight exchanges (request already read,
+  /// response not yet written) to finish before force-closing them. Idle
+  /// connections are cut immediately.
+  std::chrono::milliseconds drain_timeout{1000};
+};
+
+/// The historical name, kept so existing call sites compile unchanged.
+using ServerPoolConfig = ServerConfig;
+
+/// What every server implementation answers for. Both concrete classes are
+/// still constructible directly when the model is fixed at compile time.
+class SoapServer {
+ public:
+  virtual ~SoapServer() = default;
+
+  virtual std::uint16_t port() const noexcept = 0;
+  /// Connections currently being served.
+  virtual std::size_t active_connections() const noexcept = 0;
+  /// Total exchanges completed since start (streamed exchanges included).
+  virtual std::size_t exchanges() const noexcept = 0;
+  /// Exchanges whose response was a fault envelope.
+  virtual std::size_t faults() const noexcept = 0;
+  /// Threads dedicated to serving traffic right now: the pool's live
+  /// per-connection workers, or the event server's reactor plus its fixed
+  /// worker pool. The number the two concurrency models exist to trade.
+  virtual std::size_t serving_threads() const noexcept = 0;
+  /// Graceful shutdown; idempotent.
+  virtual void stop() = 0;
+
+  /// Construct the implementation for `model`, already listening.
+  static std::unique_ptr<SoapServer> create(ConcurrencyModel model,
+                                            ServerConfig config);
+};
+
+}  // namespace bxsoap::transport

@@ -1,14 +1,17 @@
 #include "transport/server_pool.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "transport/framing.hpp"
 
 namespace bxsoap::transport {
 
-SoapServerPool::SoapServerPool(ServerPoolConfig config)
+SoapServerPool::SoapServerPool(ServerConfig config)
     : encoding_(std::move(config.encoding)),
       handler_(std::move(config.handler)),
+      stream_handler_(std::move(config.stream_handler)),
+      stream_chunk_bytes_(config.stream_chunk_bytes),
       listener_(config.port, config.backlog),
       read_timeout_ms_(config.read_timeout_ms),
       frame_limits_(config.frame_limits),
@@ -21,6 +24,9 @@ SoapServerPool::SoapServerPool(ServerPoolConfig config)
     active_gauge_ = &reg->gauge(prefix + ".connections.active");
     unreaped_gauge_ = &reg->gauge(prefix + ".workers.unreaped");
     accepted_ = &reg->counter(prefix + ".connections.accepted");
+    stream_chunks_ = &reg->counter(prefix + ".stream.chunks");
+    stream_flushes_ = &reg->counter(prefix + ".stream.flushes");
+    stream_buffered_ = &reg->waterline(prefix + ".stream.buffered_bytes");
     buffer_pool_.attach_counters(&reg->counter(prefix + ".pool.hit"),
                                  &reg->counter(prefix + ".pool.miss"),
                                  &reg->counter(prefix + ".pool.recycled_bytes"));
@@ -152,10 +158,27 @@ void SoapServerPool::serve_connection(TcpStream stream) {
     if (read_timeout_ms_ > 0) stream.set_read_timeout(read_timeout_ms_);
     // Serve exchanges until the peer hangs up.
     for (;;) {
-      soap::WireMessage raw = [&] {
+      FrameStart start;
+      std::optional<soap::WireMessage> body;
+      {
+        // One frame-read sample per exchange, spanning header + body.
         obs::StageTimer t(obs_, obs::Stage::kFrameRead);
-        return read_frame(stream, frame_limits_, &buffer_pool_);
-      }();
+        start = read_frame_start(stream, frame_limits_);
+        if (!start.chunked() || !stream_handler_) {
+          // Without a stream handler a chunked frame throws here, cutting
+          // the connection — bytes past the header cannot be reframed.
+          body = read_frame_body(stream, std::move(start), frame_limits_,
+                                 &buffer_pool_);
+        }
+      }
+      if (!body) {
+        busy.store(true, std::memory_order_release);
+        serve_stream(stream, std::move(start));
+        busy.store(false, std::memory_order_release);
+        if (stopping_.load(std::memory_order_acquire)) break;
+        continue;
+      }
+      soap::WireMessage raw = std::move(*body);
       busy.store(true, std::memory_order_release);
       soap::SoapEnvelope response = [&]() -> soap::SoapEnvelope {
         try {
@@ -214,6 +237,108 @@ void SoapServerPool::serve_connection(TcpStream stream) {
     // Peer disconnected (normal end of conversation), the read timeout
     // expired, or stop() shut the socket down; this worker is done.
   }
+}
+
+void SoapServerPool::serve_stream(TcpStream& stream, FrameStart start) {
+  // Pull side: request chunks come one at a time off the blocking socket,
+  // so the pull rate of the handler is the read rate of the connection.
+  ChunkedFrameReader<TcpStream> reader(stream, frame_limits_, &buffer_pool_);
+  struct SocketSource final : StreamSource {
+    SoapServerPool* pool;
+    ChunkedFrameReader<TcpStream>& reader;
+    SocketSource(SoapServerPool* p, ChunkedFrameReader<TcpStream>& r)
+        : pool(p), reader(r) {}
+    std::optional<StreamChunk> next() override {
+      if (reader.done()) return std::nullopt;
+      StreamChunk c = reader.next();
+      if (c.kind == ChunkKind::kEnd) return std::nullopt;
+      if (pool->stream_chunks_ != nullptr) pool->stream_chunks_->add();
+      return c;
+    }
+  } source(this, reader);
+
+  // Push side: response chunks go straight back out. The writer (and with
+  // it the v2 response header) is created lazily, so a handler that faults
+  // before producing anything can still be answered with a v1 fault
+  // envelope on the same connection.
+  struct SocketSink final : StreamSink {
+    SoapServerPool* pool;
+    TcpStream& stream;
+    std::optional<ChunkedFrameWriter<TcpStream>> writer;
+    SocketSink(SoapServerPool* p, TcpStream& s) : pool(p), stream(s) {}
+    void ensure_writer() {
+      if (!writer) writer.emplace(stream, pool->encoding_->content_type());
+    }
+    void write(StreamChunk c) override {
+      ensure_writer();
+      const std::size_t n = c.bytes.size();
+      if (pool->stream_buffered_ != nullptr) pool->stream_buffered_->add(n);
+      {
+        obs::StageTimer t(pool->obs_, obs::Stage::kFrameWrite);
+        if (c.kind == ChunkKind::kData) {
+          writer->write_data(c.bytes);
+        } else {
+          writer->write_raw(c.kind, c.bytes);
+        }
+      }
+      if (pool->stream_buffered_ != nullptr) pool->stream_buffered_->sub(n);
+      if (pool->stream_flushes_ != nullptr) pool->stream_flushes_->add();
+      pool->buffer_pool_.release(std::move(c.bytes));
+    }
+    void finish() override {
+      ensure_writer();
+      writer->finish();
+    }
+  } sink(this, stream);
+
+  StreamRequest request(std::move(start.content_type), source);
+  ResponseWriter response(sink, buffer_pool_, stream_chunk_bytes_,
+                          encoding_.get());
+  soap::Fault fault;
+  bool faulted = false;
+  try {
+    {
+      obs::StageTimer t(obs_, obs::Stage::kHandler);
+      stream_handler_(request, response);
+    }
+    if (!response.finished()) response.finish();
+    // An unread request tail would desynchronize the next frame; consume
+    // it (the chunk buffers recycle, nothing accumulates).
+    request.drain(buffer_pool_);
+    ++exchanges_;
+    obs_.count_exchange();
+    return;
+  } catch (const TransportError&) {
+    throw;  // connection-level failure: the caller cuts the connection
+  } catch (const SoapFaultError& e) {
+    faulted = true;
+    fault = {e.code(), e.reason(), ""};
+  } catch (const DecodeError& e) {
+    faulted = true;
+    fault = {"soap:Client", e.what(), ""};
+  } catch (const std::exception& e) {
+    faulted = true;
+    fault = {"soap:Server", e.what(), ""};
+  }
+  if (!faulted) return;
+  if (sink.writer) {
+    // Response chunks already left; there is no in-band way to retract
+    // them, so the stream (and connection) dies — same contract as a
+    // torn frame.
+    throw TransportError("stream handler failed mid-response");
+  }
+  request.drain(buffer_pool_);
+  ++faults_;
+  obs_.count_fault();
+  soap::SoapEnvelope env = soap::SoapEnvelope::make_fault(fault);
+  ByteWriter out(buffer_pool_.acquire(256));
+  const std::size_t len_pos = begin_frame(out, encoding_->content_type());
+  encoding_->serialize_into(env.document(), out);
+  end_frame(out, len_pos);
+  ++exchanges_;
+  obs_.count_exchange();
+  stream.write_all(out.bytes());
+  buffer_pool_.release(out.take());
 }
 
 }  // namespace bxsoap::transport

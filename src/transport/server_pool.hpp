@@ -8,16 +8,21 @@
 // policy; per-message cost is one virtual call, which bench_ablation_engine
 // shows is noise.
 //
-// Construction takes a ServerPoolConfig so options grow by field, not by
+// Construction takes a ServerConfig so options grow by field, not by
 // positional argument. Hooking a metrics Registry in gives the full
 // per-stage observability story: stage timers, exchange/fault counters,
 // connection gauges, socket byte/syscall tallies and BXSA codec stats.
+//
+// Streaming (BXTP v2): when the config carries a stream_handler, a chunked
+// frame flips the connection's worker into a synchronous streaming
+// exchange — request chunks are pulled straight off the blocking socket,
+// response chunks written straight back — so per-stream residency is one
+// chunk each way and backpressure is the socket itself.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -28,82 +33,36 @@
 #include "soap/any_engine.hpp"
 #include "soap/envelope.hpp"
 #include "transport/framing.hpp"
+#include "transport/server.hpp"
 #include "transport/socket.hpp"
+#include "transport/stream.hpp"
 
 namespace bxsoap::transport {
 
-/// Everything a SoapServerPool needs. Only `encoding` and `handler` are
-/// mandatory; the rest default to the pool's historical behavior.
-struct ServerPoolConfig {
-  using Handler = std::function<soap::SoapEnvelope(soap::SoapEnvelope)>;
-
-  std::unique_ptr<soap::AnyEncoding> encoding;
-  Handler handler;
-
-  /// Port to listen on; 0 requests a kernel-assigned ephemeral port (read
-  /// it back via SoapServerPool::port()).
-  std::uint16_t port = 0;
-  int backlog = 64;
-
-  /// Observability hook. When set, the pool records under
-  /// "<metrics_prefix>.*": per-stage timings and exchange/fault counts
-  /// (MetricsObserver naming scheme), connections.active /
-  /// workers.unreaped gauges, connections.accepted counter, io.* socket
-  /// tallies, pool.hit / pool.miss / pool.recycled_bytes buffer-pool
-  /// counters, and bxsa.* codec stats if the encoding supports them. The
-  /// registry must outlive the pool. Null = zero instrumentation.
-  obs::Registry* registry = nullptr;
-  std::string metrics_prefix = "pool";
-
-  // ---- hardening knobs ------------------------------------------------------
-
-  /// Per-connection read timeout in milliseconds (slowloris defense): a
-  /// peer that opens a frame and stalls gets disconnected instead of
-  /// pinning a worker forever. 0 (the default) keeps the historical
-  /// block-forever behavior, which idle keep-alive clients rely on.
-  int read_timeout_ms = 0;
-
-  /// Ceilings on incoming frames; the declared payload length is checked
-  /// against max_message_bytes BEFORE any allocation.
-  FrameLimits frame_limits{};
-
-  /// Maximum concurrent worker threads; 0 = unbounded. At the ceiling the
-  /// accept loop stops accepting, so excess clients queue in the kernel's
-  /// listen backlog (and beyond it, get connection refused) instead of
-  /// spawning unbounded threads. The event server (SoapEventServer) reads
-  /// this as its connection ceiling: at the limit it parks the listener
-  /// instead of spawning anything, with the same kernel-backlog overflow.
-  std::size_t max_workers = 0;
-
-  /// SoapEventServer only: size of the fixed worker pool that runs
-  /// decode/handle/encode off the reactor. 0 = hardware_concurrency.
-  /// SoapServerPool ignores this (its workers are one-per-connection).
-  std::size_t worker_threads = 0;
-
-  /// How long stop() waits for in-flight exchanges (request already read,
-  /// response not yet written) to finish before force-closing them. Idle
-  /// connections are cut immediately.
-  std::chrono::milliseconds drain_timeout{1000};
-};
-
-class SoapServerPool {
+class SoapServerPool : public SoapServer {
  public:
-  using Handler = ServerPoolConfig::Handler;
+  using Handler = ServerConfig::Handler;
 
   /// Starts accepting immediately.
-  explicit SoapServerPool(ServerPoolConfig config);
-  ~SoapServerPool();
+  explicit SoapServerPool(ServerConfig config);
+  ~SoapServerPool() override;
 
-  std::uint16_t port() const noexcept { return listener_.port(); }
+  std::uint16_t port() const noexcept override { return listener_.port(); }
 
   /// Connections currently being served.
-  std::size_t active_connections() const noexcept { return active_.load(); }
+  std::size_t active_connections() const noexcept override {
+    return active_.load();
+  }
   /// Total exchanges completed since start.
-  std::size_t exchanges() const noexcept { return exchanges_.load(); }
+  std::size_t exchanges() const noexcept override { return exchanges_.load(); }
   /// Exchanges whose response was a fault envelope.
-  std::size_t faults() const noexcept { return faults_.load(); }
+  std::size_t faults() const noexcept override { return faults_.load(); }
+  /// One blocking worker per live connection.
+  std::size_t serving_threads() const noexcept override {
+    return active_.load();
+  }
 
-  void stop();
+  void stop() override;
 
  private:
   struct Worker {
@@ -123,10 +82,15 @@ class SoapServerPool {
 
   void accept_loop();
   void serve_connection(TcpStream stream);
+  /// One BXTP v2 exchange on the connection's worker thread. The frame
+  /// header `start` was already consumed.
+  void serve_stream(TcpStream& stream, FrameStart start);
   void reap_finished_locked();
 
   std::unique_ptr<soap::AnyEncoding> encoding_;
   Handler handler_;
+  StreamHandler stream_handler_;
+  std::size_t stream_chunk_bytes_ = 1u << 20;
   /// Recycles receive payloads and response buffers across exchanges and
   /// connections. Declared before listener_ so it outlives every worker's
   /// SharedBuffer (workers are joined in stop()).
@@ -141,6 +105,9 @@ class SoapServerPool {
   obs::Gauge* active_gauge_ = nullptr;
   obs::Gauge* unreaped_gauge_ = nullptr;
   obs::Counter* accepted_ = nullptr;
+  obs::Counter* stream_chunks_ = nullptr;    // request chunks received
+  obs::Counter* stream_flushes_ = nullptr;   // response chunks written
+  obs::Waterline* stream_buffered_ = nullptr;  // in-flight stream bytes
   std::thread acceptor_;
   std::mutex workers_mu_;
   std::condition_variable workers_cv_;  // signaled when a worker finishes

@@ -1,0 +1,230 @@
+// The pull-based streaming message API (BXTP v2 chunked transfers).
+//
+// A materialized handler gets a whole SoapEnvelope and returns one; a
+// STREAM handler never sees a whole message. It pulls request chunks
+// through a StreamRequest and pushes response chunks through a
+// ResponseWriter, so a 256 MiB array round-trips through a server whose
+// per-stream residency is a couple of chunk buffers, not the message.
+//
+// The two abstract endpoints (StreamSource, StreamSink) are what a server
+// plugs in: the thread-per-connection pool backs them with blocking socket
+// reads/writes, the event server with bounded queues into its reactor. In
+// BOTH cases the blocking behavior of next()/write() IS the backpressure:
+// a handler that outruns its peer stalls on its own stream, nothing else.
+//
+// Patch records are the price of bounded memory: BXSA's Size and
+// child-count fields are backpatched, so chunks already on the wire may
+// need fix-ups. Producers ship them in a trailing patch chunk; a consumer
+// that materializes applies them in assemble(); a pass-through consumer
+// (echo, relay) forwards them verbatim and never decodes them.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bxsa/stream_writer.hpp"
+#include "common/buffer_pool.hpp"
+#include "soap/any_engine.hpp"
+#include "transport/framing.hpp"
+
+namespace bxsoap::transport {
+
+/// Where a handler's request chunks come from. next() blocks until a chunk
+/// is available and returns nullopt once the end chunk has arrived; it
+/// throws TransportError if the connection dies mid-stream.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+  virtual std::optional<StreamChunk> next() = 0;
+};
+
+/// Where a handler's response chunks go. write() blocks while the wire (or
+/// the reactor's bounded queue) is full; finish() emits the end chunk.
+class StreamSink {
+ public:
+  virtual ~StreamSink() = default;
+  virtual void write(StreamChunk chunk) = 0;
+  virtual void finish() = 0;
+};
+
+/// The handler's view of an incoming chunked message.
+///
+/// Three consumption styles, cheapest first:
+///   * next_chunk(): raw chunks, data and patch alike — a relay forwards
+///     them without understanding them.
+///   * next_data(): data chunks only; patch chunks are decoded and
+///     collected, readable via patches() once the stream ends.
+///   * assemble(): materialize everything (data + patches applied) into one
+///     SharedBuffer — the escape hatch for handlers that want the tree (or
+///     a bxsa::StreamReader) and accept message-sized memory.
+class StreamRequest {
+ public:
+  StreamRequest(std::string content_type, StreamSource& source)
+      : content_type_(std::move(content_type)), source_(source) {}
+
+  const std::string& content_type() const noexcept { return content_type_; }
+
+  /// Next chunk verbatim; nullopt at end of stream.
+  std::optional<StreamChunk> next_chunk() {
+    if (done_) return std::nullopt;
+    std::optional<StreamChunk> c = source_.next();
+    if (!c) {
+      done_ = true;
+      return std::nullopt;
+    }
+    if (c->kind == ChunkKind::kData) data_bytes_ += c->bytes.size();
+    return c;
+  }
+
+  /// Next DATA chunk; patch chunks are decoded into patches() on the way.
+  std::optional<std::vector<std::uint8_t>> next_data() {
+    for (;;) {
+      std::optional<StreamChunk> c = next_chunk();
+      if (!c) return std::nullopt;
+      if (c->kind == ChunkKind::kPatch) {
+        std::vector<bxsa::PatchRecord> decoded =
+            decode_patch_records(c->bytes);
+        patches_.insert(patches_.end(), decoded.begin(), decoded.end());
+        continue;
+      }
+      return std::move(c->bytes);
+    }
+  }
+
+  /// Patches seen so far; complete once next_data()/next_chunk() returned
+  /// nullopt. (Producers send them after the last data chunk.)
+  std::span<const bxsa::PatchRecord> patches() const noexcept {
+    return patches_;
+  }
+
+  /// Data bytes pulled so far (the message size once the stream ended).
+  std::uint64_t data_bytes() const noexcept { return data_bytes_; }
+
+  bool done() const noexcept { return done_; }
+
+  /// Drain and discard the rest of the stream, recycling chunk buffers
+  /// into `pool`. Servers call this after the handler returns so an
+  /// unconsumed request tail cannot wedge the connection's backpressure.
+  void drain(BufferPool& pool) {
+    while (std::optional<StreamChunk> c = next_chunk()) {
+      pool.release(std::move(c->bytes));
+    }
+  }
+
+  /// Materialize the whole message: concatenate every data chunk, apply
+  /// the patch records, share the result. Memory use is the full message —
+  /// by calling this the handler opts out of the bounded-memory path (the
+  /// stream limits in FrameLimits were already enforced upstream, so the
+  /// size is at least capped). Chunk buffers recycle into `pool`.
+  SharedBuffer assemble(BufferPool& pool) {
+    std::vector<std::uint8_t> all;
+    while (std::optional<std::vector<std::uint8_t>> chunk = next_data()) {
+      all.insert(all.end(), chunk->begin(), chunk->end());
+      pool.release(std::move(*chunk));
+    }
+    apply_patches(all, patches_);
+    return SharedBuffer::adopt(std::move(all), &pool);
+  }
+
+ private:
+  std::string content_type_;
+  StreamSource& source_;
+  std::vector<bxsa::PatchRecord> patches_;
+  std::uint64_t data_bytes_ = 0;
+  bool done_ = false;
+};
+
+/// The handler's outgoing half. Two production styles:
+///   * pass-through: write_chunk()/write_data()/write_patches(), then
+///     finish() — an echo or relay moves pooled buffers straight across.
+///   * event-level: make_stream_writer() hands back a chunk-mode
+///     bxsa::StreamWriter whose buffers flush through this writer as they
+///     fill; finish_stream() collects its patch records and closes.
+/// Also drives the CLIENT's request stream (same push surface, other
+/// direction) — see TcpClientBinding::stream_exchange.
+class ResponseWriter {
+ public:
+  ResponseWriter(StreamSink& sink, BufferPool& pool, std::size_t chunk_bytes,
+                 const soap::AnyEncoding* encoding = nullptr)
+      : sink_(sink),
+        pool_(pool),
+        chunk_bytes_(chunk_bytes),
+        encoding_(encoding) {}
+
+  BufferPool& pool() noexcept { return pool_; }
+  std::size_t chunk_bytes() const noexcept { return chunk_bytes_; }
+
+  /// Forward one chunk verbatim (data or patch).
+  void write_chunk(StreamChunk chunk) {
+    if (chunk.kind == ChunkKind::kEnd) {
+      throw TransportError("end chunks are emitted by finish()");
+    }
+    require_open();
+    sink_.write(std::move(chunk));
+  }
+
+  void write_data(std::vector<std::uint8_t> bytes) {
+    require_open();
+    sink_.write(StreamChunk{ChunkKind::kData, std::move(bytes)});
+  }
+
+  void write_patches(std::span<const bxsa::PatchRecord> patches) {
+    if (patches.empty()) return;
+    require_open();
+    ByteWriter body(pool_.acquire(patches.size() * 17));
+    encode_patch_records(body, patches);
+    sink_.write(StreamChunk{ChunkKind::kPatch, body.take()});
+  }
+
+  /// A chunk-mode BXSA event writer flushing into this response. Null when
+  /// the server's encoding cannot stream (e.g. textual XML) — the handler
+  /// should fall back to pass-through or materialized production.
+  std::unique_ptr<bxsa::StreamWriter> make_stream_writer() {
+    if (encoding_ == nullptr) return nullptr;
+    return encoding_->make_stream_writer(
+        chunk_bytes_, pool_,
+        [this](std::vector<std::uint8_t> b) { write_data(std::move(b)); });
+  }
+
+  /// Close an event-level stream: flush the writer's tail, forward its
+  /// patch records, end the message.
+  void finish_stream(bxsa::StreamWriter& writer) {
+    const std::vector<bxsa::PatchRecord> patches = writer.finish();
+    write_patches(patches);
+    finish();
+  }
+
+  /// End the message (pass-through path; forward patches first if any).
+  void finish() {
+    require_open();
+    finished_ = true;
+    sink_.finish();
+  }
+
+  bool finished() const noexcept { return finished_; }
+
+ private:
+  void require_open() const {
+    if (finished_) throw TransportError("write on a finished stream");
+  }
+
+  StreamSink& sink_;
+  BufferPool& pool_;
+  std::size_t chunk_bytes_;
+  const soap::AnyEncoding* encoding_;
+  bool finished_ = false;
+};
+
+/// A streaming exchange handler. Runs on a thread that may block (the
+/// pool's connection worker, the event server's per-stream thread); it
+/// must consume the request and finish the response (servers drain an
+/// unread tail and auto-finish an unfinished response as an empty stream).
+using StreamHandler = std::function<void(StreamRequest&, ResponseWriter&)>;
+
+}  // namespace bxsoap::transport

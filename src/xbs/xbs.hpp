@@ -44,7 +44,31 @@ class Writer {
       : order_(order), out_(std::move(out)), origin_(out_.size()) {}
 
   ByteOrder order() const noexcept { return order_; }
-  std::size_t offset() const noexcept { return out_.size() - origin_; }
+  std::size_t offset() const noexcept {
+    return base_ + (out_.size() - origin_);
+  }
+
+  /// Bytes currently buffered past the origin (what a drain would return).
+  std::size_t buffered() const noexcept { return out_.size() - origin_; }
+
+  /// Logical offset of the first byte still in the buffer: everything
+  /// before it has been drained and can no longer be patched in place.
+  std::size_t stream_base() const noexcept { return base_; }
+
+  /// Chunk-mode flush: hand back the buffered bytes and continue writing
+  /// into `fresh` (an empty, typically pooled, vector). Logical positions
+  /// — offset(), patch_at() — keep counting across the drain, so the
+  /// stream reads as one contiguous sequence even though its storage left
+  /// in pieces. Only meaningful on a writer whose origin is 0 (no adopted
+  /// header prefix); patch_at() on a drained offset is out of bounds.
+  std::vector<std::uint8_t> drain(std::vector<std::uint8_t> fresh = {}) {
+    base_ += out_.size() - origin_;
+    std::vector<std::uint8_t> full = out_.take();
+    fresh.clear();
+    out_ = ByteWriter(std::move(fresh));
+    origin_ = 0;
+    return full;
+  }
 
   /// Write a scalar without alignment (BXSA stores scalar frame values
   /// unaligned; only array payloads are aligned).
@@ -85,9 +109,14 @@ class Writer {
     out_.write_padding(padding_for(offset(), alignment));
   }
 
-  /// Backpatch at a stream-relative offset (see offset()).
+  /// Backpatch at a stream-relative offset (see offset()). The offset must
+  /// still be buffered: patching bytes that a drain() already shipped is a
+  /// caller bug (the chunked encoder records a PatchRecord instead).
   void patch_at(std::size_t rel_offset, const void* data, std::size_t n) {
-    out_.patch_bytes(origin_ + rel_offset, data, n);
+    if (rel_offset < base_) {
+      throw EncodeError("patch target was already drained");
+    }
+    out_.patch_bytes(origin_ + (rel_offset - base_), data, n);
   }
 
   std::vector<std::uint8_t> take() { return out_.take(); }
@@ -100,6 +129,7 @@ class Writer {
   ByteOrder order_;
   ByteWriter out_;
   std::size_t origin_ = 0;
+  std::size_t base_ = 0;  // logical offset of the buffer's first byte
 };
 
 /// Deserializes values written by Writer. The reader is told the byte order

@@ -16,7 +16,7 @@
 #include "transport/bindings.hpp"
 #include "transport/fault.hpp"
 #include "transport/framing.hpp"
-#include "transport/server_pool.hpp"
+#include "transport/server.hpp"
 #include "workload/lead.hpp"
 
 namespace bxsoap::transport {
@@ -33,12 +33,13 @@ SoapEnvelope data_request(std::size_t n) {
 // clean response, a fault envelope, or a typed Error. After the storm the
 // pool must still serve.
 TEST(EngineChaos, RawStreamFaultMatrixNeverWedgesThePool) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
   cfg.read_timeout_ms = 250;  // a stalled or short-counted frame times out
   cfg.frame_limits.max_message_bytes = 1u << 20;
-  SoapServerPool pool(std::move(cfg));
+  auto pool = SoapServer::create(ConcurrencyModel::kThreadPerConnection,
+                                 std::move(cfg));
 
   BxsaEncoding enc;
   const SoapEnvelope req = data_request(20);
@@ -54,7 +55,7 @@ TEST(EngineChaos, RawStreamFaultMatrixNeverWedgesThePool) {
     pc.max_delay_ms = 3;
     const FaultSpec spec = FaultPlan(seed, pc).for_connection(seed);
     try {
-      FaultyStream<TcpStream> fs(TcpStream::connect(pool.port()), spec);
+      FaultyStream<TcpStream> fs(TcpStream::connect(pool->port()), spec);
       fs.inner().set_read_timeout(2000);  // hang detector, not the contract
       soap::WireMessage m;
       m.content_type = std::string(BxsaEncoding::content_type());
@@ -74,17 +75,18 @@ TEST(EngineChaos, RawStreamFaultMatrixNeverWedgesThePool) {
 
   // The pool survived all of it.
   SoapEngine<BxsaEncoding, TcpClientBinding> client(
-      {}, TcpClientBinding(pool.port()));
+      {}, TcpClientBinding(pool->port()));
   EXPECT_TRUE(services::parse_verify_response(client.call(req)).ok);
 }
 
 // Message-level chaos behind the retry layer: every exchange must resolve
 // to a response, a fault envelope, or a typed give-up.
 TEST(EngineChaos, RetryingClientResolvesEveryExchange) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
-  SoapServerPool pool(std::move(cfg));
+  auto pool = SoapServer::create(ConcurrencyModel::kThreadPerConnection,
+                                 std::move(cfg));
 
   const SoapEnvelope req = data_request(10);
   int ok = 0;
@@ -96,7 +98,7 @@ TEST(EngineChaos, RetryingClientResolvesEveryExchange) {
     FaultPlanConfig pc;
     pc.max_delay_ms = 2;
     SoapEngine<BxsaEncoding, FaultyBinding<TcpClientBinding>> client(
-        {}, FaultyBinding<TcpClientBinding>(TcpClientBinding(pool.port()),
+        {}, FaultyBinding<TcpClientBinding>(TcpClientBinding(pool->port()),
                                             FaultPlan(seed, pc)));
     RetryPolicy policy;
     policy.max_attempts = 8;
@@ -116,7 +118,7 @@ TEST(EngineChaos, RetryingClientResolvesEveryExchange) {
 
   // Pool still healthy.
   SoapEngine<BxsaEncoding, TcpClientBinding> client(
-      {}, TcpClientBinding(pool.port()));
+      {}, TcpClientBinding(pool->port()));
   EXPECT_TRUE(services::parse_verify_response(client.call(req)).ok);
 }
 
@@ -124,14 +126,15 @@ TEST(EngineChaos, RetryingClientResolvesEveryExchange) {
 // pool's read timeout must keep it from pinning a worker while other
 // clients are served untouched.
 TEST(EngineChaos, MisbehavingClientCannotStallOthers) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
   cfg.read_timeout_ms = 150;
-  SoapServerPool pool(std::move(cfg));
+  auto pool = SoapServer::create(ConcurrencyModel::kThreadPerConnection,
+                                 std::move(cfg));
 
   // The slowloris: valid magic, then silence.
-  TcpStream slow = TcpStream::connect(pool.port());
+  TcpStream slow = TcpStream::connect(pool->port());
   slow.write_all(std::string_view("BXT"));
 
   // Meanwhile, honest clients hammer the pool.
@@ -143,7 +146,7 @@ TEST(EngineChaos, MisbehavingClientCannotStallOthers) {
     threads.emplace_back([&, c] {
       try {
         SoapEngine<BxsaEncoding, TcpClientBinding> client(
-            {}, TcpClientBinding(pool.port()));
+            {}, TcpClientBinding(pool->port()));
         for (int i = 0; i < kCallsEach; ++i) {
           const SoapEnvelope resp =
               client.call(data_request(5 + static_cast<std::size_t>(c)));
@@ -156,7 +159,7 @@ TEST(EngineChaos, MisbehavingClientCannotStallOthers) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
-  EXPECT_EQ(pool.exchanges(),
+  EXPECT_EQ(pool->exchanges(),
             static_cast<std::size_t>(kClients * kCallsEach));
 
   // The stalled connection gets cut by the read timeout: our next read

@@ -14,7 +14,7 @@
 #include "services/verification.hpp"
 #include "soap/engine.hpp"
 #include "transport/bindings.hpp"
-#include "transport/event_server.hpp"
+#include "transport/server.hpp"
 #include "transport/fault.hpp"
 #include "transport/framing.hpp"
 #include "workload/lead.hpp"
@@ -40,7 +40,7 @@ std::vector<std::uint8_t> framed_request(std::size_t n) {
 
 /// Wait until the server has no registered connections (the reactor reaps
 /// asynchronously after a peer vanishes). Fails the test on timeout.
-void expect_drains_to_zero(SoapEventServer& server) {
+void expect_drains_to_zero(SoapServer& server) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (server.active_connections() != 0 &&
@@ -53,12 +53,13 @@ void expect_drains_to_zero(SoapEventServer& server) {
 // Byte-level chaos matrix, ported from the pool suite: each seed derives
 // one fault spec applied to a raw framed exchange.
 TEST(EventChaos, RawStreamFaultMatrixNeverWedgesTheServer) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
   cfg.read_timeout_ms = 250;  // a stalled or short-counted frame times out
   cfg.frame_limits.max_message_bytes = 1u << 20;
-  SoapEventServer server(std::move(cfg));
+  auto server =
+      SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
 
   BxsaEncoding enc;
   const SoapEnvelope req = data_request(20);
@@ -74,7 +75,7 @@ TEST(EventChaos, RawStreamFaultMatrixNeverWedgesTheServer) {
     pc.max_delay_ms = 3;
     const FaultSpec spec = FaultPlan(seed, pc).for_connection(seed);
     try {
-      FaultyStream<TcpStream> fs(TcpStream::connect(server.port()), spec);
+      FaultyStream<TcpStream> fs(TcpStream::connect(server->port()), spec);
       fs.inner().set_read_timeout(2000);  // hang detector, not the contract
       soap::WireMessage m;
       m.content_type = std::string(BxsaEncoding::content_type());
@@ -92,10 +93,10 @@ TEST(EventChaos, RawStreamFaultMatrixNeverWedgesTheServer) {
 
   // The server survived all of it and leaked nothing.
   SoapEngine<BxsaEncoding, TcpClientBinding> client(
-      {}, TcpClientBinding(server.port()));
+      {}, TcpClientBinding(server->port()));
   EXPECT_TRUE(services::parse_verify_response(client.call(req)).ok);
   client.binding().close();
-  expect_drains_to_zero(server);
+  expect_drains_to_zero(*server);
 }
 
 // Truncation sweep: a client that sends the first k bytes of a valid frame
@@ -103,10 +104,11 @@ TEST(EventChaos, RawStreamFaultMatrixNeverWedgesTheServer) {
 // point — inside the magic, the VLS length, the content type, the declared
 // length, or the payload body.
 TEST(EventChaos, MidFrameTruncationAtEveryOffsetDisconnectsCleanly) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
-  SoapEventServer server(std::move(cfg));
+  auto server =
+      SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
 
   const std::vector<std::uint8_t> frame = framed_request(8);
   // Every header offset, then strides through the payload.
@@ -116,17 +118,17 @@ TEST(EventChaos, MidFrameTruncationAtEveryOffsetDisconnectsCleanly) {
 
   for (const std::size_t cut : cuts) {
     SCOPED_TRACE("cut at " + std::to_string(cut));
-    TcpStream conn = TcpStream::connect(server.port());
+    TcpStream conn = TcpStream::connect(server->port());
     conn.write_all(std::span(frame.data(), cut));
     conn.close();
   }
-  expect_drains_to_zero(server);
+  expect_drains_to_zero(*server);
 
   // No exchange ever completed from a truncated frame, and the server
   // still serves full ones.
-  EXPECT_EQ(server.exchanges(), 0u);
+  EXPECT_EQ(server->exchanges(), 0u);
   SoapEngine<BxsaEncoding, TcpClientBinding> client(
-      {}, TcpClientBinding(server.port()));
+      {}, TcpClientBinding(server->port()));
   EXPECT_TRUE(
       services::parse_verify_response(client.call(data_request(3))).ok);
 }
@@ -136,26 +138,27 @@ TEST(EventChaos, MidFrameTruncationAtEveryOffsetDisconnectsCleanly) {
 // dead connection; the reactor must discard those responses (returning
 // their buffers) without wedging or leaking the connection.
 TEST(EventChaos, AbandonedPipelineBurstIsDiscarded) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = [](SoapEnvelope req) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
     return services::verification_handler(std::move(req));
   };
-  SoapEventServer server(std::move(cfg));
+  auto server =
+      SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
 
   for (int round = 0; round < 8; ++round) {
-    TcpStream conn = TcpStream::connect(server.port());
+    TcpStream conn = TcpStream::connect(server->port());
     for (int i = 0; i < 4; ++i) {
       const auto frame = framed_request(5 + static_cast<std::size_t>(i));
       conn.write_all(std::span(frame.data(), frame.size()));
     }
     conn.close();  // gone before any response lands
   }
-  expect_drains_to_zero(server);
+  expect_drains_to_zero(*server);
 
   SoapEngine<BxsaEncoding, TcpClientBinding> client(
-      {}, TcpClientBinding(server.port()));
+      {}, TcpClientBinding(server->port()));
   EXPECT_TRUE(
       services::parse_verify_response(client.call(data_request(2))).ok);
 }
@@ -163,13 +166,14 @@ TEST(EventChaos, AbandonedPipelineBurstIsDiscarded) {
 // Slowloris: a peer that opens a frame and stalls is disconnected by the
 // reactor's idle sweep instead of holding its connection slot forever.
 TEST(EventChaos, SlowlorisPeerIsSweptOut) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
   cfg.read_timeout_ms = 100;
-  SoapEventServer server(std::move(cfg));
+  auto server =
+      SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
 
-  TcpStream sly = TcpStream::connect(server.port());
+  TcpStream sly = TcpStream::connect(server->port());
   const std::vector<std::uint8_t> frame = framed_request(8);
   sly.write_all(std::span(frame.data(), 7));  // magic + version + a dribble
   // The server must cut us loose: the next read sees EOF/reset, bounded by
@@ -177,10 +181,10 @@ TEST(EventChaos, SlowlorisPeerIsSweptOut) {
   sly.set_read_timeout(3000);
   std::uint8_t b;
   EXPECT_THROW(sly.read_exact(&b, 1), TransportError);
-  expect_drains_to_zero(server);
+  expect_drains_to_zero(*server);
 
   SoapEngine<BxsaEncoding, TcpClientBinding> client(
-      {}, TcpClientBinding(server.port()));
+      {}, TcpClientBinding(server->port()));
   EXPECT_TRUE(
       services::parse_verify_response(client.call(data_request(3))).ok);
 }
@@ -189,13 +193,14 @@ TEST(EventChaos, SlowlorisPeerIsSweptOut) {
 // shorter than the idle timeout; every one must still be answered in
 // order (the sweep must not cut an active-but-slow pipeliner).
 TEST(EventChaos, SlowButLivePipelinerIsServedNotSwept) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
   cfg.read_timeout_ms = 500;
-  SoapEventServer server(std::move(cfg));
+  auto server =
+      SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
 
-  TcpStream conn = TcpStream::connect(server.port());
+  TcpStream conn = TcpStream::connect(server->port());
   BxsaEncoding enc;
   constexpr std::size_t kRequests = 5;
   for (std::size_t i = 0; i < kRequests; ++i) {
@@ -211,7 +216,7 @@ TEST(EventChaos, SlowButLivePipelinerIsServedNotSwept) {
     const SoapEnvelope env(enc.deserialize(resp.payload));
     EXPECT_EQ(services::parse_verify_response(env).count, 30 + i);
   }
-  EXPECT_EQ(server.exchanges(), kRequests);
+  EXPECT_EQ(server->exchanges(), kRequests);
 }
 
 }  // namespace

@@ -98,6 +98,46 @@ TEST(Vls, MaxValueRoundTrips) {
             std::numeric_limits<std::uint64_t>::max());
 }
 
+TEST(VlsReadSize, AtLimitPassesAboveLimitThrows) {
+  ByteWriter w;
+  vls_write(w, 4096);
+  {
+    ByteReader r(w.bytes());
+    EXPECT_EQ(vls_read_size(r, 4096), 4096u);
+  }
+  {
+    ByteReader r(w.bytes());
+    EXPECT_THROW(vls_read_size(r, 4095), DecodeError);
+  }
+}
+
+TEST(VlsReadSize, SixtyFourBitValueRejectedBeforeAllocation) {
+  // A hostile peer declares 2^64 - 1 bytes. The size gate must throw on
+  // the DECLARED value — before any caller sizes an allocation from it.
+  ByteWriter w;
+  vls_write(w, std::numeric_limits<std::uint64_t>::max());
+  ByteReader r(w.bytes());
+  EXPECT_THROW(vls_read_size(r, 1u << 20), DecodeError);
+}
+
+TEST(VlsReadSize, ValuesJustOverSizeTtlBoundaryRejected) {
+  // Every power of two from 2^32 up: each must be rejected under a small
+  // limit (on 32-bit hosts these also cannot be represented in size_t;
+  // the single limit comparison covers both).
+  for (int shift = 32; shift < 64; ++shift) {
+    ByteWriter w;
+    vls_write(w, std::uint64_t{1} << shift);
+    ByteReader r(w.bytes());
+    EXPECT_THROW(vls_read_size(r, 256u << 20), DecodeError) << shift;
+  }
+}
+
+TEST(VlsReadSize, TruncatedEncodingThrows) {
+  const std::uint8_t bytes[] = {0xFF, 0xFF};  // continuation, then nothing
+  ByteReader r(bytes, 2);
+  EXPECT_THROW(vls_read_size(r, 1024), DecodeError);
+}
+
 TEST(Vls, NonCanonicalEncodingStillDecodes) {
   // 0 encoded with a redundant continuation byte: accepted (decoders are
   // liberal), value must still be 0.
