@@ -28,6 +28,8 @@ repo="$PWD"
 for name in "${names[@]}"; do
   bin="$repo/build-bench/bench/bench_ablation_${name}"
   # The shoot-out benches are not ablations; map their names directly.
+  # "concurrency" includes the c10k saturation ladder (1k/4k/10k
+  # connections against the sharded event server) in full mode.
   if [[ "$name" == "concurrency" || "$name" == "streaming" ]]; then
     bin="$repo/build-bench/bench/bench_${name}"
   fi

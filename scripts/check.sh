@@ -9,6 +9,16 @@ cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
+echo "== API surface gate =="
+# PR 6 finalized the server API: SoapServer::create is the only public
+# construction path and the ServerPoolConfig alias is gone. Nothing under
+# the public trees may mention it (src/transport/internal is the
+# implementation and uses ServerConfig too).
+if grep -rn "ServerPoolConfig" src tests bench examples 2>/dev/null; then
+  echo "check.sh: ServerPoolConfig is dead; use ServerConfig + SoapServer::create" >&2
+  exit 1
+fi
+
 echo "== configure + build (default preset) =="
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs"
@@ -49,17 +59,20 @@ cmake --build --preset tsan -j "$jobs" \
 
 echo "== ctest (tsan: buffer pool + server pool + event server + streaming) =="
 # The concurrency-heavy surfaces under ThreadSanitizer: the BufferPool /
-# SharedBuffer recycling machinery, the multi-threaded server pool, the
-# epoll reactor's worker handoff, the client channel pool, and the chunked
-# streaming path (per-stream threads + bounded queues on both servers).
+# SharedBuffer recycling machinery (including the per-thread cache churn
+# test), the multi-threaded server pool, the sharded epoll reactors and
+# their cross-reactor handoffs (EventShard), the client channel pool, and
+# the chunked streaming path (per-stream threads + bounded queues on both
+# servers).
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool|EventServer|ChannelPool|Streaming' \
+  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool|ServerConfig|EventServer|EventShard|ChannelPool|Streaming' \
   --output-on-failure -j "$jobs")
 
-echo "== bench_concurrency (short mode, smoke) =="
+echo "== bench_concurrency (short mode, smoke, 2 reactor shards) =="
 # The concurrency bench doubles as an end-to-end smoke of both server
-# architectures under load; short mode keeps it CI-sized.
+# architectures under load; short mode keeps it CI-sized, and pinning two
+# reactors exercises the cross-reactor handoff path even on one core.
 # Run from build/ so the BENCH_*.json snapshot lands out of the tree.
-(cd build && ./bench/bench_concurrency --short >/dev/null)
+(cd build && ./bench/bench_concurrency --short --reactors 2 >/dev/null)
 
 echo "check.sh: all green"

@@ -1,5 +1,6 @@
 #include "common/buffer_pool.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "obs/metrics.hpp"
@@ -12,9 +13,14 @@ std::size_t floor_log2(std::size_t v) {
   return static_cast<std::size_t>(std::bit_width(v) - 1);
 }
 
+std::uint64_t next_pool_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
-BufferPool::BufferPool(Config cfg) : cfg_(cfg) {
+BufferPool::BufferPool(Config cfg) : cfg_(cfg), id_(next_pool_id()) {
   if (cfg_.min_class_bytes < 16) cfg_.min_class_bytes = 16;
   cfg_.min_class_bytes = std::bit_ceil(cfg_.min_class_bytes);
   cfg_.max_class_bytes = std::bit_ceil(cfg_.max_class_bytes);
@@ -26,17 +32,80 @@ BufferPool::BufferPool(Config cfg) : cfg_(cfg) {
   classes_.resize(num_classes_);
 }
 
+BufferPool::~BufferPool() {
+  // Kill every thread cache handed out for this pool. Threads that outlive
+  // the pool still hold a shared_ptr to the husk, but it is empty and marked
+  // dead, so nothing dangles and no capacity stays pinned.
+  std::lock_guard<std::mutex> reg_lock(caches_mu_);
+  for (const auto& cache : caches_) {
+    std::lock_guard<std::mutex> lock(cache->mu);
+    cache->dead = true;
+    cache->classes.clear();
+  }
+}
+
 std::size_t BufferPool::class_index_up(std::size_t bytes) const noexcept {
   if (bytes <= cfg_.min_class_bytes) return 0;
   return floor_log2(std::bit_ceil(bytes)) - floor_log2(cfg_.min_class_bytes);
 }
 
+BufferPool::ThreadCache* BufferPool::this_thread_cache() {
+  struct Slot {
+    std::uint64_t pool_id = 0;
+    std::shared_ptr<ThreadCache> cache;
+  };
+  // Most threads touch one or two pools; a tiny move-to-front vector beats a
+  // hash map. Keyed by pool id, never address: ids are not reused, so a new
+  // pool allocated where a dead one lived cannot inherit its cache.
+  thread_local std::vector<Slot> slots;
+
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].pool_id == id_) {
+      if (i != 0) std::swap(slots[0], slots[i]);
+      return slots[0].cache.get();
+    }
+  }
+  // Drop husks of destroyed pools before adding a slot, so a long-lived
+  // thread cycling through many short-lived pools stays O(live pools).
+  std::erase_if(slots, [](const Slot& s) {
+    std::lock_guard<std::mutex> lock(s.cache->mu);
+    return s.cache->dead;
+  });
+
+  auto cache = std::make_shared<ThreadCache>();
+  cache->classes.resize(num_classes_);
+  {
+    std::lock_guard<std::mutex> lock(caches_mu_);
+    caches_.push_back(cache);
+  }
+  slots.insert(slots.begin(), Slot{id_, cache});
+  return slots.front().cache.get();
+}
+
 std::vector<std::uint8_t> BufferPool::acquire(std::size_t min_capacity) {
   if (min_capacity <= cfg_.max_class_bytes) {
     const std::size_t idx = class_index_up(min_capacity);
+    // Tier 1: this thread's cache. The lock is private to this thread except
+    // during pool teardown / pooled_buffers(), so it is effectively free.
+    if (cfg_.thread_cache_buffers_per_class > 0) {
+      ThreadCache* tc = this_thread_cache();
+      std::unique_lock<std::mutex> lock(tc->mu);
+      for (std::size_t i = idx; i < tc->classes.size(); ++i) {
+        if (!tc->classes[i].empty()) {
+          std::vector<std::uint8_t> buf = std::move(tc->classes[i].back());
+          tc->classes[i].pop_back();
+          lock.unlock();
+          hit_.fetch_add(1, std::memory_order_relaxed);
+          if (auto* c = hit_counter_.load(std::memory_order_relaxed)) c->add();
+          buf.clear();
+          return buf;
+        }
+      }
+    }
+    // Tier 2: the shared pool. Serve from the requested class or any larger
+    // one: a bigger recycled buffer still satisfies the caller and keeps its
+    // capacity in use.
     std::unique_lock<std::mutex> lock(mu_);
-    // Serve from the requested class or any larger one: a bigger recycled
-    // buffer still satisfies the caller and keeps its capacity in use.
     for (std::size_t i = idx; i < num_classes_; ++i) {
       if (!classes_[i].empty()) {
         std::vector<std::uint8_t> buf = std::move(classes_[i].back());
@@ -68,7 +137,18 @@ void BufferPool::release(std::vector<std::uint8_t> buf) {
   // future acquire from that class never triggers an immediate regrow.
   const std::size_t idx =
       floor_log2(cap) - floor_log2(cfg_.min_class_bytes);
-  {
+  bool pooled = false;
+  if (cfg_.thread_cache_buffers_per_class > 0) {
+    ThreadCache* tc = this_thread_cache();
+    std::lock_guard<std::mutex> lock(tc->mu);
+    if (!tc->dead &&
+        tc->classes[idx].size() < cfg_.thread_cache_buffers_per_class) {
+      buf.clear();
+      tc->classes[idx].push_back(std::move(buf));
+      pooled = true;
+    }
+  }
+  if (!pooled) {
     std::lock_guard<std::mutex> lock(mu_);
     if (classes_[idx].size() >= cfg_.max_buffers_per_class) {
       return;  // class full: let the vector free on scope exit
@@ -91,9 +171,16 @@ BufferPool::Stats BufferPool::stats() const noexcept {
 }
 
 std::size_t BufferPool::pooled_buffers() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
-  for (const auto& c : classes_) n += c.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& c : classes_) n += c.size();
+  }
+  std::lock_guard<std::mutex> reg_lock(caches_mu_);
+  for (const auto& cache : caches_) {
+    std::lock_guard<std::mutex> lock(cache->mu);
+    for (const auto& c : cache->classes) n += c.size();
+  }
   return n;
 }
 

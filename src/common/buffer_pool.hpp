@@ -14,15 +14,27 @@
 //     to the next class so a recycled buffer always satisfies the caller
 //     without an immediate regrow; release() files a buffer under the class
 //     its capacity fully covers (round DOWN).
-//   * Each class holds at most `max_buffers_per_class` buffers; extra
-//     releases simply free. Buffers above the largest class are never pooled
-//     (a multi-GiB outlier must not pin memory forever).
+//   * Each class holds at most `max_buffers_per_class` buffers in the shared
+//     tier; extra releases simply free. Buffers above the largest class are
+//     never pooled (a multi-GiB outlier must not pin memory forever).
+//   * In front of the shared tier sits a per-thread cache: a small free list
+//     (up to `thread_cache_buffers_per_class` per class) owned by the calling
+//     thread, so steady-state acquire/release on a reactor or worker thread
+//     never touches the shared mutex. Each cache carries its own (otherwise
+//     uncontended) mutex so the owning pool can drain it at destruction and
+//     pooled_buffers() can observe it — under TSan as well as in production
+//     this makes the handoff a proper synchronized edge, not a data race.
 //   * hit/miss/recycled_bytes are relaxed internal atomics, optionally
 //     mirrored into obs::Counter instances via attach_counters() (the
 //     counters' methods are inline, so common/ takes no link dependency on
-//     obs/).
+//     obs/). Thread-cache hits count as ordinary hits: the `pool.*` counter
+//     names aggregate both tiers.
 //
-// Thread safety: all members are safe to call concurrently.
+// Thread safety: all members are safe to call concurrently. Thread caches are
+// keyed by a process-unique pool id (never an address, so a pool constructed
+// at a dead pool's address cannot inherit its buffers), and a destroyed
+// pool's caches are emptied eagerly — a thread that outlives the pool keeps
+// only an empty, dead husk until it next touches a pool.
 #pragma once
 
 #include <atomic>
@@ -45,8 +57,12 @@ class BufferPool {
     std::size_t min_class_bytes = 256;
     /// Largest poolable capacity; bigger buffers are freed, not pooled.
     std::size_t max_class_bytes = std::size_t{1} << 26;  // 64 MiB
-    /// Cap per size class: extra releases free instead of pooling.
+    /// Cap per size class in the shared tier: extra releases free instead of
+    /// pooling.
     std::size_t max_buffers_per_class = 16;
+    /// Per-thread cache depth per size class. 0 disables the caches and every
+    /// acquire/release goes straight to the shared tier.
+    std::size_t thread_cache_buffers_per_class = 4;
   };
 
   struct Stats {
@@ -57,12 +73,13 @@ class BufferPool {
 
   BufferPool() : BufferPool(Config{}) {}
   explicit BufferPool(Config cfg);
+  ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Returns an empty vector with capacity >= min_capacity, recycled when a
-  /// matching size class has one.
+  /// matching size class has one (this thread's cache first, then shared).
   std::vector<std::uint8_t> acquire(std::size_t min_capacity);
 
   /// Hands a buffer's storage back for reuse. Clears it; keeps capacity.
@@ -70,7 +87,8 @@ class BufferPool {
 
   Stats stats() const noexcept;
 
-  /// Number of buffers currently cached (for tests).
+  /// Number of buffers currently cached, shared tier plus every live thread
+  /// cache (for tests).
   std::size_t pooled_buffers() const;
 
   /// Mirror hit/miss/recycled_bytes into observability counters (typically
@@ -83,13 +101,28 @@ class BufferPool {
   static BufferPool& global();
 
  private:
+  /// One thread's private free lists for one pool. Shared ownership between
+  /// the owning thread (thread_local slot) and the pool's registry; `mu` is
+  /// uncontended except when the pool drains at destruction or a test calls
+  /// pooled_buffers().
+  struct ThreadCache {
+    std::mutex mu;
+    bool dead = false;  ///< the owning pool is gone; never refill
+    std::vector<std::vector<std::vector<std::uint8_t>>> classes;
+  };
+
   std::size_t class_index_up(std::size_t bytes) const noexcept;
+  ThreadCache* this_thread_cache();
 
   Config cfg_;
   std::size_t num_classes_;
+  std::uint64_t id_;  ///< process-unique, never reused
 
   mutable std::mutex mu_;
   std::vector<std::vector<std::vector<std::uint8_t>>> classes_;
+
+  mutable std::mutex caches_mu_;
+  std::vector<std::shared_ptr<ThreadCache>> caches_;
 
   std::atomic<std::uint64_t> hit_{0};
   std::atomic<std::uint64_t> miss_{0};

@@ -1,4 +1,4 @@
-#include "transport/event_server.hpp"
+#include "transport/internal/event_server.hpp"
 
 #include <algorithm>
 
@@ -27,13 +27,29 @@ SoapEventServer::SoapEventServer(ServerConfig config)
       handler_(std::move(config.handler)),
       stream_handler_(std::move(config.stream_handler)),
       stream_chunk_bytes_(config.stream_chunk_bytes),
-      listener_(config.port, config.backlog),
+      buffer_pool_(config.buffer_pool),
       read_timeout_ms_(config.read_timeout_ms),
       frame_limits_(config.frame_limits),
       max_connections_(config.max_workers),
       drain_timeout_(config.drain_timeout) {
-  if (obs::Registry* reg = config.registry) {
-    const std::string& prefix = config.metrics_prefix;
+  std::size_t shards = config.reactor_threads;
+  if (shards == 0) {
+    shards = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  if (config.reuse_port) {
+    // Per-shard listeners on one SO_REUSEPORT port: the kernel deals.
+    listeners_ = TcpListener::sharded(shards, config.port, config.backlog);
+  } else {
+    // One listener, owned by reactor 0, dealing round-robin.
+    listeners_.emplace_back(
+        TcpListener::Options{config.port, config.backlog, false});
+  }
+  for (TcpListener& l : listeners_) l.set_nonblocking(true);
+
+  obs::Registry* reg = config.registry;
+  const std::string& prefix = config.metrics_prefix;
+  if (reg != nullptr) {
     obs_ = obs::MetricsObserver(*reg, prefix);
     io_ = &reg->io(prefix + ".io");
     active_gauge_ = &reg->gauge(prefix + ".connections.active");
@@ -50,9 +66,25 @@ SoapEventServer::SoapEventServer(ServerConfig config)
                                  &reg->counter(prefix + ".pool.recycled_bytes"));
     encoding_->set_codec_stats(&reg->codec(prefix + ".bxsa"));
   }
-  listener_.set_nonblocking(true);
-  epoll_.add(wakeup_.fd(), EPOLLIN);
-  update_listener_interest();
+
+  reactors_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->index = i;
+    r->epoll.add(r->wakeup.fd(), EPOLLIN);
+    if (config.reuse_port) {
+      r->listener = &listeners_[i];
+    } else if (i == 0) {
+      r->listener = &listeners_.front();
+    }
+    if (reg != nullptr) {
+      const std::string shard = prefix + ".reactor." + std::to_string(i);
+      // Per-shard views; the unsuffixed reactor.* names stay the rollup.
+      r->loop_ns = &reg->histogram(shard + ".loop.ns");
+      r->assigned = &reg->counter(shard + ".connections");
+    }
+    reactors_.push_back(std::move(r));
+  }
 
   std::size_t n = config.worker_threads;
   if (n == 0) {
@@ -62,7 +94,10 @@ SoapEventServer::SoapEventServer(ServerConfig config)
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
-  reactor_ = std::thread([this] { reactor_loop(); });
+  for (auto& r : reactors_) {
+    Reactor* shard_ptr = r.get();
+    r->thread = std::thread([this, shard_ptr] { reactor_loop(*shard_ptr); });
+  }
 }
 
 SoapEventServer::~SoapEventServer() { stop(); }
@@ -70,14 +105,27 @@ SoapEventServer::~SoapEventServer() { stop(); }
 void SoapEventServer::stop() {
   if (stopped_.exchange(true)) return;
   stopping_.store(true, std::memory_order_release);
-  wakeup_.signal();
+  for (auto& r : reactors_) r->wakeup.signal();
   jobs_cv_.notify_all();  // idle workers re-check the stop condition
-  if (reactor_.joinable()) reactor_.join();
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
+  }
   jobs_cv_.notify_all();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
-  listener_.close();
+  // Sockets accepted by reactor 0 but never adopted by their shard (the
+  // handoff raced the stop): close and account for them here.
+  for (auto& r : reactors_) {
+    std::lock_guard lock(r->mu);
+    for (TcpStream& s : r->incoming) {
+      s.close();
+      --active_;
+      if (active_gauge_ != nullptr) active_gauge_->sub();
+    }
+    r->incoming.clear();
+  }
+  for (TcpListener& l : listeners_) l.close();
 }
 
 /// Desired epoll interest for a connection given its current state.
@@ -88,32 +136,38 @@ static std::uint32_t conn_interest(bool reading, bool want_write) {
   return events;
 }
 
-void SoapEventServer::update_listener_interest() {
+void SoapEventServer::update_listener_interest(Reactor& r) {
+  if (r.listener == nullptr) return;
   const bool want = !stopping_.load(std::memory_order_relaxed) &&
                     (max_connections_ == 0 ||
-                     conns_.size() < max_connections_);
-  if (want == accept_armed_) return;
+                     active_.load(std::memory_order_relaxed) <
+                         max_connections_);
+  if (want == r.accept_armed) return;
   if (want) {
-    epoll_.add(listener_.fd(), EPOLLIN);
+    r.epoll.add(r.listener->fd(), EPOLLIN);
   } else {
-    epoll_.del(listener_.fd());
+    r.epoll.del(r.listener->fd());
   }
-  accept_armed_ = want;
+  r.accept_armed = want;
 }
 
-void SoapEventServer::reactor_loop() {
+void SoapEventServer::reactor_loop(Reactor& r) {
   epoll_event events[kMaxEvents];
   bool draining = false;
   std::chrono::steady_clock::time_point drain_deadline;
 
   for (;;) {
+    // Re-check every pass: a drop on ANOTHER shard may have opened room
+    // under max_connections_ (that shard signals our wakeup).
+    if (!draining) update_listener_interest(r);
+
     int timeout_ms = -1;
     if (draining) {
       timeout_ms = 2;
     } else if (read_timeout_ms_ > 0) {
       timeout_ms = std::min(read_timeout_ms_, 100);
     }
-    const int n = epoll_.wait(events, kMaxEvents, timeout_ms);
+    const int n = r.epoll.wait(events, kMaxEvents, timeout_ms);
     const auto woke = std::chrono::steady_clock::now();
     if (wakeups_ != nullptr) wakeups_->add();
 
@@ -123,26 +177,26 @@ void SoapEventServer::reactor_loop() {
       // fully read request still completes.
       draining = true;
       drain_deadline = woke + drain_timeout_;
-      update_listener_interest();
-      for (auto& [fd, conn] : conns_) {
+      update_listener_interest(r);
+      for (auto& [fd, conn] : r.conns) {
         std::lock_guard lock(conn->mu);
-        epoll_.mod(fd, conn_interest(false, conn->want_write));
+        r.epoll.mod(fd, conn_interest(false, conn->want_write));
       }
     }
 
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       const std::uint32_t ev = events[i].events;
-      if (fd == wakeup_.fd()) {
-        wakeup_.drain();
+      if (fd == r.wakeup.fd()) {
+        r.wakeup.drain();
         continue;
       }
-      if (fd == listener_.fd()) {
-        if (!draining) accept_ready();
+      if (r.listener != nullptr && fd == r.listener->fd()) {
+        if (!draining) accept_ready(r);
         continue;
       }
-      const auto it = conns_.find(fd);
-      if (it == conns_.end()) continue;  // dropped earlier this batch
+      const auto it = r.conns.find(fd);
+      if (it == r.conns.end()) continue;  // dropped earlier this batch
       std::shared_ptr<Conn> conn = it->second;
       if ((ev & (EPOLLERR | EPOLLHUP)) != 0) {
         // The peer is gone in both directions; nothing can be delivered.
@@ -153,35 +207,47 @@ void SoapEventServer::reactor_loop() {
       if ((ev & EPOLLIN) != 0 && !draining) read_ready(conn);
     }
 
-    // Worker/stream completions since the last pass: flush their
-    // connections; then re-open the taps streams drained room for.
+    // Connections dealt to this shard since the last pass, then worker /
+    // stream completions: flush their connections; then re-open the taps
+    // streams drained room for.
+    std::vector<TcpStream> fresh;
     std::vector<std::shared_ptr<Conn>> ready;
     std::vector<std::shared_ptr<Conn>> resume;
     {
-      std::lock_guard lock(flush_mu_);
-      ready.swap(flush_queue_);
-      resume.swap(resume_queue_);
+      std::lock_guard lock(r.mu);
+      fresh.swap(r.incoming);
+      ready.swap(r.flush_queue);
+      resume.swap(r.resume_queue);
+    }
+    for (TcpStream& s : fresh) {
+      if (draining) {
+        s.close();
+        --active_;
+        if (active_gauge_ != nullptr) active_gauge_->sub();
+      } else {
+        adopt(r, std::move(s));
+      }
     }
     for (const auto& conn : ready) flush(conn);
     if (!draining) {
       for (const auto& conn : resume) resume_stream_read(conn);
     }
 
-    if (!draining && read_timeout_ms_ > 0) sweep_idle();
+    if (!draining && read_timeout_ms_ > 0) sweep_idle(r);
 
     if (draining) {
       // Cut every connection with nothing left to deliver; leave the busy
       // ones to finish until the drain budget runs out.
       std::vector<std::shared_ptr<Conn>> done;
-      for (auto& [fd, conn] : conns_) {
+      for (auto& [fd, conn] : r.conns) {
         if (fully_drained(*conn)) done.push_back(conn);
       }
       for (const auto& conn : done) drop(conn);
-      if (conns_.empty()) break;
+      if (r.conns.empty()) break;
       if (std::chrono::steady_clock::now() >= drain_deadline) {
         std::vector<std::shared_ptr<Conn>> rest;
-        rest.reserve(conns_.size());
-        for (auto& [fd, conn] : conns_) rest.push_back(conn);
+        rest.reserve(r.conns.size());
+        for (auto& [fd, conn] : r.conns) rest.push_back(conn);
         for (const auto& conn : rest) drop(conn);
         break;
       }
@@ -189,9 +255,11 @@ void SoapEventServer::reactor_loop() {
 
     if (loop_ns_ != nullptr) {
       const auto spent = std::chrono::steady_clock::now() - woke;
-      loop_ns_->record(static_cast<std::uint64_t>(
+      const auto ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(spent)
-              .count()));
+              .count());
+      loop_ns_->record(ns);                          // rollup
+      if (r.loop_ns != nullptr) r.loop_ns->record(ns);  // this shard
     }
   }
 }
@@ -202,15 +270,16 @@ bool SoapEventServer::fully_drained(Conn& conn) {
          conn.outbox.empty() && conn.streams.empty();
 }
 
-void SoapEventServer::accept_ready() {
+void SoapEventServer::accept_ready(Reactor& r) {
   for (;;) {
-    if (max_connections_ > 0 && conns_.size() >= max_connections_) {
-      update_listener_interest();  // park the listener at the ceiling
+    if (max_connections_ > 0 &&
+        active_.load(std::memory_order_relaxed) >= max_connections_) {
+      update_listener_interest(r);  // park the listener at the ceiling
       return;
     }
     std::optional<TcpStream> accepted;
     try {
-      accepted = listener_.try_accept();
+      accepted = r.listener->try_accept();
     } catch (const TransportError&) {
       return;  // listener shut down
     }
@@ -223,16 +292,39 @@ void SoapEventServer::accept_ready() {
       continue;  // raced a disconnect; nothing to serve
     }
     stream.set_io_stats(io_);
-    auto conn =
-        std::make_shared<Conn>(std::move(stream), frame_limits_, &buffer_pool_);
-    conn->last_activity = std::chrono::steady_clock::now();
-    const int conn_fd = conn->stream.fd();
-    conns_.emplace(conn_fd, conn);
-    epoll_.add(conn_fd, EPOLLIN);
     ++active_;
     if (active_gauge_ != nullptr) active_gauge_->add();
     if (accepted_ != nullptr) accepted_->add();
+    // Pick the shard. With per-reactor SO_REUSEPORT listeners the kernel
+    // already chose us; otherwise reactor 0 deals round-robin — exactly
+    // fair, and deterministic for the distribution tests.
+    Reactor& target = listeners_.size() > 1
+                          ? r
+                          : *reactors_[next_reactor_++ % reactors_.size()];
+    if (target.assigned != nullptr) target.assigned->add();
+    if (&target == &r) {
+      adopt(r, std::move(stream));
+      continue;
+    }
+    bool first = false;
+    {
+      std::lock_guard lock(target.mu);
+      first = target.incoming.empty() && target.flush_queue.empty() &&
+              target.resume_queue.empty();
+      target.incoming.push_back(std::move(stream));
+    }
+    if (first) target.wakeup.signal();
   }
+}
+
+void SoapEventServer::adopt(Reactor& r, TcpStream stream) {
+  auto conn =
+      std::make_shared<Conn>(std::move(stream), frame_limits_, &buffer_pool_);
+  conn->owner = &r;
+  conn->last_activity = std::chrono::steady_clock::now();
+  const int conn_fd = conn->stream.fd();
+  r.conns.emplace(conn_fd, conn);
+  r.epoll.add(conn_fd, EPOLLIN);
 }
 
 void SoapEventServer::read_ready(const std::shared_ptr<Conn>& conn) {
@@ -265,8 +357,8 @@ void SoapEventServer::read_ready(const std::shared_ptr<Conn>& conn) {
         drained = conn->inflight == 0 && conn->completed.empty() &&
                   conn->outbox.empty() && conn->streams.empty();
         if (!drained) {
-          epoll_.mod(conn->stream.fd(),
-                     conn_interest(false, conn->want_write));
+          conn->owner->epoll.mod(conn->stream.fd(),
+                                 conn_interest(false, conn->want_write));
         }
       }
       if (drained) drop(conn);
@@ -360,7 +452,8 @@ bool SoapEventServer::on_stream_chunk(const std::shared_ptr<Conn>& conn) {
   st->cv.notify_all();
   if (full) {
     conn->stream_parked = true;
-    epoll_.mod(conn->stream.fd(), conn_interest(false, conn->want_write));
+    conn->owner->epoll.mod(conn->stream.fd(),
+                           conn_interest(false, conn->want_write));
     return false;
   }
   return true;
@@ -405,8 +498,8 @@ void SoapEventServer::resume_stream_read(const std::shared_ptr<Conn>& conn) {
   }
   // Level-triggered epoll re-reports whatever the kernel buffered while
   // the tap was closed.
-  epoll_.mod(conn->stream.fd(),
-             conn_interest(!conn->read_closed, conn->want_write));
+  conn->owner->epoll.mod(conn->stream.fd(),
+                         conn_interest(!conn->read_closed, conn->want_write));
 }
 
 void SoapEventServer::flush(const std::shared_ptr<Conn>& conn) {
@@ -538,16 +631,16 @@ void SoapEventServer::flush(const std::shared_ptr<Conn>& conn) {
     if (blocked && !should_drop) {
       if (!conn->want_write) {
         conn->want_write = true;
-        epoll_.mod(conn->stream.fd(),
-                   conn_interest(!conn->read_closed && !conn->stream_parked,
-                                 true));
+        conn->owner->epoll.mod(
+            conn->stream.fd(),
+            conn_interest(!conn->read_closed && !conn->stream_parked, true));
       }
     } else if (!should_drop) {
       if (conn->want_write) {
         conn->want_write = false;
-        epoll_.mod(conn->stream.fd(),
-                   conn_interest(!conn->read_closed && !conn->stream_parked,
-                                 false));
+        conn->owner->epoll.mod(
+            conn->stream.fd(),
+            conn_interest(!conn->read_closed && !conn->stream_parked, false));
       }
       // A half-closed pipeliner is done once its last response left.
       should_drop = conn->read_closed && conn->inflight == 0 &&
@@ -561,6 +654,7 @@ void SoapEventServer::flush(const std::shared_ptr<Conn>& conn) {
 }
 
 void SoapEventServer::drop(const std::shared_ptr<Conn>& conn) {
+  Reactor& r = *conn->owner;
   std::vector<std::shared_ptr<StreamState>> streams;
   {
     std::lock_guard lock(conn->mu);
@@ -596,12 +690,21 @@ void SoapEventServer::drop(const std::shared_ptr<Conn>& conn) {
   }
   conn->rx_stream = nullptr;
   conn->stream_backlog.clear();
-  epoll_.del(conn->stream.fd());
-  conns_.erase(conn->stream.fd());
+  r.epoll.del(conn->stream.fd());
+  r.conns.erase(conn->stream.fd());
   conn->stream.close();
   --active_;
   if (active_gauge_ != nullptr) active_gauge_->sub();
-  update_listener_interest();
+  update_listener_interest(r);
+  if (max_connections_ > 0) {
+    // Room opened under the ceiling: listeners parked on OTHER shards
+    // must hear about it (their loops re-check on wakeup).
+    for (auto& other : reactors_) {
+      if (other.get() != &r && other->listener != nullptr) {
+        other->wakeup.signal();
+      }
+    }
+  }
   // Joined last, with no locks held: the dead flag has already unblocked
   // any queue wait, so each join is prompt.
   for (const auto& st : streams) {
@@ -609,11 +712,11 @@ void SoapEventServer::drop(const std::shared_ptr<Conn>& conn) {
   }
 }
 
-void SoapEventServer::sweep_idle() {
+void SoapEventServer::sweep_idle(Reactor& r) {
   const auto now = std::chrono::steady_clock::now();
   const auto limit = std::chrono::milliseconds(read_timeout_ms_);
   std::vector<std::shared_ptr<Conn>> stale;
-  for (auto& [fd, conn] : conns_) {
+  for (auto& [fd, conn] : r.conns) {
     // A connection parked by OUR stream backpressure is not idle — the
     // peer may be waiting on us.
     if (conn->stream_parked) continue;
@@ -633,8 +736,8 @@ void SoapEventServer::worker_loop() {
         return !jobs_.empty() || stopping_.load(std::memory_order_acquire);
       });
       if (jobs_.empty()) {
-        // stopping_ and nothing queued: the reactor has stopped reading,
-        // so no more work can arrive.
+        // stopping_ and nothing queued: the reactors have stopped
+        // reading, so no more work can arrive.
         return;
       }
       job = std::move(jobs_.front());
@@ -725,26 +828,30 @@ void SoapEventServer::complete(const std::shared_ptr<Conn>& conn,
 }
 
 void SoapEventServer::request_flush(const std::shared_ptr<Conn>& conn) {
+  Reactor& r = *conn->owner;
   bool first = false;
   {
-    std::lock_guard lock(flush_mu_);
-    first = flush_queue_.empty() && resume_queue_.empty();
-    flush_queue_.push_back(conn);
+    std::lock_guard lock(r.mu);
+    first = r.flush_queue.empty() && r.resume_queue.empty() &&
+            r.incoming.empty();
+    r.flush_queue.push_back(conn);
   }
-  // The reactor drains the whole queue per wakeup, so only the
+  // The owning reactor drains its whole inbox per wakeup, so only the
   // emptiness transition needs a signal — under load this coalesces a
   // burst of completions into one eventfd write + one epoll wakeup.
-  if (first) wakeup_.signal();
+  if (first) r.wakeup.signal();
 }
 
 void SoapEventServer::request_resume(const std::shared_ptr<Conn>& conn) {
+  Reactor& r = *conn->owner;
   bool first = false;
   {
-    std::lock_guard lock(flush_mu_);
-    first = flush_queue_.empty() && resume_queue_.empty();
-    resume_queue_.push_back(conn);
+    std::lock_guard lock(r.mu);
+    first = r.flush_queue.empty() && r.resume_queue.empty() &&
+            r.incoming.empty();
+    r.resume_queue.push_back(conn);
   }
-  if (first) wakeup_.signal();
+  if (first) r.wakeup.signal();
 }
 
 /// Body of a stream's dedicated thread: run the handler between the two

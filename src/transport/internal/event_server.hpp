@@ -1,13 +1,26 @@
 // SoapEventServer — the scalable sibling of SoapServerPool.
+// INTERNAL header: construct via SoapServer::create (transport/server.hpp).
 //
 // The pool burns one OS thread per connection, which is honest but tops
 // out long before "millions of users": at N connections the kernel
 // schedules N mostly-idle threads, and every blocked read pins a stack.
-// This server serves the same ServerConfig surface on an epoll
-// reactor: ONE thread owns every socket (accept, frame reassembly,
-// response writes) and a small fixed worker pool (default
-// hardware_concurrency) runs the CPU work — decode, handler, encode — so
-// thread count is bounded by cores, not by clients.
+// This server serves the same ServerConfig surface on SHARDED epoll
+// reactors: `reactor_threads` threads (default one per core) each own a
+// slice of the connections end-to-end — their epoll set, their frame
+// reassembly, their outbox writes, their idle sweep, their eventfd — and
+// a small fixed worker pool (default hardware_concurrency) runs the CPU
+// work: decode, handler, encode. Thread count is bounded by cores, not by
+// clients, and no lock is shared between reactors on the data path: a
+// connection's life happens entirely on its owning shard, with workers
+// and stream threads signalling completions through that shard's private
+// queues and eventfd.
+//
+// Connections reach their shard one of two ways. Default: reactor 0 owns
+// the single listener and deals accepted sockets round-robin (exactly
+// fair, deterministic — N shards under 4N clients each see 4). With
+// ServerConfig::reuse_port, every reactor binds its own SO_REUSEPORT
+// listener on the shared port and the kernel's 4-tuple hash spreads the
+// load (no handoff at all, but statistically balanced rather than fair).
 //
 // Pipelining: a client may write many frames back to back on one
 // connection. Each request gets a per-connection sequence number when it
@@ -20,11 +33,12 @@
 // Streaming (BXTP v2): a chunked frame must not monopolize a worker (the
 // handler blocks on chunk arrival) nor flood the reactor (a 256 MiB stream
 // cannot be assembled). Each active stream gets a DEDICATED thread and two
-// depth-1 queues: the reactor pushes request chunks in; the handler pushes
-// framed response chunks out. When the in-queue is full the reactor parks
-// the connection's EPOLLIN, so a fast sender backs up into the kernel's
-// TCP window; when the out-queue is full the handler blocks, so a slow
-// receiver stalls its own stream and nothing else. Per-stream residency is
+// depth-1 queues: the owning reactor pushes request chunks in; the handler
+// pushes framed response chunks out. When the in-queue is full the reactor
+// parks the connection's EPOLLIN, so a fast sender backs up into the
+// kernel's TCP window; when the out-queue is full the handler blocks, so a
+// slow receiver stalls its own stream and nothing else. Park and wake
+// always target the connection's OWNING reactor. Per-stream residency is
 // therefore ~2 chunk buffers regardless of message size. A stream's
 // response occupies its request's sequence slot: the outbox holds earlier
 // responses first, then the stream flushes to the wire directly, then
@@ -33,7 +47,9 @@
 // The PR 3 zero-copy path carries over intact: receive payloads are
 // pool-recycled SharedBuffers decoded as view spans, responses serialize
 // into one pooled buffer behind a reserved BXTP header, and the reactor
-// writes that single buffer per response.
+// writes that single buffer per response. The BufferPool's per-thread
+// caches (PR 6) mean each reactor and worker recycles through a private
+// free list, so the pool's shared mutex is off the hot path too.
 //
 // Failure taxonomy matches the pool: DecodeError -> in-band soap:Client
 // fault, SoapFaultError/std::exception -> fault envelope, frame-level
@@ -41,7 +57,7 @@
 // A stream handler that fails before its first response chunk gets a v1
 // fault envelope; after that the connection is cut (chunks cannot be
 // retracted). read_timeout_ms is the same slowloris defense: a peer that
-// goes silent for that long is disconnected by the reactor's idle sweep
+// goes silent for that long is disconnected by its shard's idle sweep
 // (a connection parked by OUR backpressure is exempt).
 #pragma once
 
@@ -72,13 +88,15 @@ class SoapEventServer : public SoapServer {
  public:
   using Handler = ServerConfig::Handler;
 
-  /// Starts the reactor and workers immediately.
+  /// Starts the reactors and workers immediately.
   explicit SoapEventServer(ServerConfig config);
   ~SoapEventServer() override;
 
-  std::uint16_t port() const noexcept override { return listener_.port(); }
+  std::uint16_t port() const noexcept override {
+    return listeners_.front().port();
+  }
 
-  /// Connections currently registered with the reactor.
+  /// Connections currently owned by a reactor (or in flight to one).
   std::size_t active_connections() const noexcept override {
     return active_.load();
   }
@@ -86,12 +104,12 @@ class SoapEventServer : public SoapServer {
   std::size_t exchanges() const noexcept override { return exchanges_.load(); }
   /// Exchanges whose response was a fault envelope.
   std::size_t faults() const noexcept override { return faults_.load(); }
-  /// Worker threads serving this instance.
-  std::size_t worker_count() const noexcept { return workers_.size(); }
-  /// Reactor plus the fixed worker pool (transient per-stream threads are
+  /// Reactor shards serving this instance.
+  std::size_t reactor_count() const noexcept { return reactors_.size(); }
+  /// Reactors plus the fixed worker pool (transient per-stream threads are
   /// not counted; they live only as long as one chunked exchange).
   std::size_t serving_threads() const noexcept override {
-    return 1 + workers_.size();
+    return reactors_.size() + workers_.size();
   }
 
   /// Graceful shutdown: stop accepting and reading, let every request
@@ -100,6 +118,8 @@ class SoapEventServer : public SoapServer {
   void stop() override;
 
  private:
+  struct Reactor;
+
   /// A response chunk frame staged for the wire: 9-byte chunk header +
   /// pooled body, written without re-copying the body.
   struct OutFrame {
@@ -109,8 +129,8 @@ class SoapEventServer : public SoapServer {
     std::size_t body_off = 0;  // body bytes already written
   };
 
-  /// One active chunked exchange: the handshake between the reactor (both
-  /// queues' far end) and the stream's dedicated handler thread.
+  /// One active chunked exchange: the handshake between the owning reactor
+  /// (both queues' far end) and the stream's dedicated handler thread.
   struct StreamState {
     std::mutex mu;
     std::condition_variable cv;  // stream thread waits: in empty / out full
@@ -135,13 +155,14 @@ class SoapEventServer : public SoapServer {
     std::thread thread;
   };
 
-  /// One connection's reactor-plus-worker shared state. The reactor owns
-  /// the socket and the assembler exclusively; everything under `mu` is
+  /// One connection's reactor-plus-worker shared state. The owning reactor
+  /// has the socket and the assembler exclusively; everything under `mu` is
   /// the response-ordering handshake with the workers and stream threads.
   struct Conn {
     Conn(TcpStream s, const FrameLimits& limits, BufferPool* pool)
         : stream(std::move(s)), assembler(limits, pool) {}
 
+    Reactor* owner = nullptr;  // fixed at adoption; read by any thread
     TcpStream stream;          // reactor-only
     FrameAssembler assembler;  // reactor-only
     std::uint64_t next_seq = 0;  // reactor-only: next request sequence
@@ -174,11 +195,39 @@ class SoapEventServer : public SoapServer {
     soap::WireMessage request;
   };
 
-  void reactor_loop();
+  /// One shard: a reactor thread plus everything it owns. Nothing here is
+  /// touched by another reactor's loop; `mu` guards only the inbound
+  /// handoff queues that workers, stream threads, and (in accept-assign
+  /// mode) reactor 0 push into.
+  struct Reactor {
+    std::size_t index = 0;
+    Epoll epoll;
+    EventFd wakeup;
+    /// The listener this reactor accepts on: every reactor in reuse_port
+    /// mode, only reactor 0 otherwise (others leave it null).
+    TcpListener* listener = nullptr;
+    bool accept_armed = false;  // reactor-only
+    std::unordered_map<int, std::shared_ptr<Conn>> conns;  // reactor-only
+
+    /// Cross-thread inbox. `incoming` carries accepted sockets dealt to
+    /// this shard; flush/resume are the worker/stream completion queues.
+    std::mutex mu;
+    std::vector<TcpStream> incoming;
+    std::vector<std::shared_ptr<Conn>> flush_queue;
+    std::vector<std::shared_ptr<Conn>> resume_queue;
+
+    obs::Histogram* loop_ns = nullptr;  // reactor.N.loop.ns
+    obs::Counter* assigned = nullptr;   // reactor.N.connections
+
+    std::thread thread;
+  };
+
+  void reactor_loop(Reactor& r);
   void worker_loop();
 
-  // Reactor-side helpers (all run on the reactor thread).
-  void accept_ready();
+  // Reactor-side helpers. Those taking a Conn run on its owning reactor.
+  void accept_ready(Reactor& r);
+  void adopt(Reactor& r, TcpStream stream);
   void read_ready(const std::shared_ptr<Conn>& conn);
   bool pump(const std::shared_ptr<Conn>& conn,
             std::span<const std::uint8_t> data);
@@ -187,8 +236,8 @@ class SoapEventServer : public SoapServer {
   void resume_stream_read(const std::shared_ptr<Conn>& conn);
   void flush(const std::shared_ptr<Conn>& conn);
   void drop(const std::shared_ptr<Conn>& conn);
-  void sweep_idle();
-  void update_listener_interest();
+  void sweep_idle(Reactor& r);
+  void update_listener_interest(Reactor& r);
   bool fully_drained(Conn& conn);
   /// conn.mu held: move newly in-order completed responses to the outbox.
   void release_ready_locked(Conn& conn);
@@ -196,7 +245,7 @@ class SoapEventServer : public SoapServer {
   // Worker-side helper: hand a finished response to the connection.
   void complete(const std::shared_ptr<Conn>& conn, std::uint64_t seq,
                 std::vector<std::uint8_t> frame);
-  // Stream-thread body and its reactor notifications.
+  // Stream-thread body and its owning-reactor notifications.
   void stream_main(std::shared_ptr<Conn> conn,
                    std::shared_ptr<StreamState> st);
   void request_flush(const std::shared_ptr<Conn>& conn);
@@ -206,12 +255,11 @@ class SoapEventServer : public SoapServer {
   Handler handler_;
   StreamHandler stream_handler_;
   std::size_t stream_chunk_bytes_ = 1u << 20;
-  /// Declared before listener_/threads so it outlives every SharedBuffer
+  /// Declared before listeners_/threads so it outlives every SharedBuffer
   /// still referenced by in-flight decoded trees at teardown.
   BufferPool buffer_pool_;
-  TcpListener listener_;
-  Epoll epoll_;
-  EventFd wakeup_;
+  /// One listener in accept-assign mode; one per reactor with reuse_port.
+  std::vector<TcpListener> listeners_;
   int read_timeout_ms_ = 0;
   FrameLimits frame_limits_{};
   std::size_t max_connections_ = 0;
@@ -227,24 +275,18 @@ class SoapEventServer : public SoapServer {
   obs::Counter* stream_chunks_ = nullptr;    // request chunks received
   obs::Counter* stream_flushes_ = nullptr;   // response chunk frames sent
   obs::Waterline* stream_buffered_ = nullptr;  // stream queue residency
-  obs::Histogram* loop_ns_ = nullptr;
+  obs::Histogram* loop_ns_ = nullptr;  // rollup across all shards
 
-  // Reactor-owned connection table (fd -> conn).
-  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
-  bool accept_armed_ = false;
+  /// The shards. unique_ptr keeps each Reactor's address stable for
+  /// Conn::owner across the vector's lifetime.
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::size_t next_reactor_ = 0;  // reactor-0-only: round-robin cursor
 
-  // Worker job queue.
+  // Worker job queue (shared by all shards; workers are a common pool).
   std::mutex jobs_mu_;
   std::condition_variable jobs_cv_;
   std::deque<Job> jobs_;
 
-  // Connections with responses ready to flush, and connections whose
-  // stream freed in-queue room (workers / stream threads -> reactor).
-  std::mutex flush_mu_;
-  std::vector<std::shared_ptr<Conn>> flush_queue_;
-  std::vector<std::shared_ptr<Conn>> resume_queue_;
-
-  std::thread reactor_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};

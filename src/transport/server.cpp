@@ -1,12 +1,89 @@
 #include "transport/server.hpp"
 
-#include "transport/event_server.hpp"
-#include "transport/server_pool.hpp"
+#include "transport/internal/event_server.hpp"
+#include "transport/internal/server_pool.hpp"
 
 namespace bxsoap::transport {
 
+std::string ServerConfig::validate(ConcurrencyModel model) const {
+  std::vector<std::string> errors;
+  const auto fail = [&errors](std::string msg) {
+    errors.push_back(std::move(msg));
+  };
+
+  if (encoding == nullptr) {
+    fail("encoding must be set (AnyEncoding::from(...))");
+  }
+  if (!handler && !stream_handler) {
+    fail("at least one of handler / stream_handler must be set");
+  }
+  if (model == ConcurrencyModel::kThreadPerConnection) {
+    if (reactor_threads > 0) {
+      fail("reactor_threads is meaningless with kThreadPerConnection "
+           "(there is no reactor); use kEventLoop or leave it 0");
+    }
+    if (worker_threads > 0) {
+      fail("worker_threads is meaningless with kThreadPerConnection "
+           "(workers are one-per-connection); use kEventLoop or leave it 0");
+    }
+    if (reuse_port) {
+      fail("reuse_port shards listeners across reactors; it requires "
+           "kEventLoop");
+    }
+  }
+  if (stream_chunk_bytes == 0) {
+    fail("stream_chunk_bytes must be > 0");
+  }
+  if (stream_chunk_bytes > frame_limits.max_chunk_bytes) {
+    fail("stream_chunk_bytes (" + std::to_string(stream_chunk_bytes) +
+         ") exceeds frame_limits.max_chunk_bytes (" +
+         std::to_string(frame_limits.max_chunk_bytes) +
+         "): the server would emit chunks it refuses to accept");
+  }
+  if (frame_limits.max_message_bytes == 0) {
+    fail("frame_limits.max_message_bytes must be > 0");
+  }
+  if (frame_limits.max_chunk_bytes == 0) {
+    fail("frame_limits.max_chunk_bytes must be > 0");
+  }
+  if (backlog <= 0) {
+    fail("backlog must be > 0");
+  }
+  if (read_timeout_ms < 0) {
+    fail("read_timeout_ms must be >= 0 (0 disables the timeout)");
+  }
+  if (drain_timeout.count() < 0) {
+    fail("drain_timeout must be >= 0");
+  }
+  if (buffer_pool.max_buffers_per_class == 0) {
+    fail("buffer_pool.max_buffers_per_class must be > 0 (a zero-capacity "
+         "pool recycles nothing; to disable only the per-thread tier set "
+         "thread_cache_buffers_per_class = 0)");
+  }
+  if (buffer_pool.max_class_bytes < buffer_pool.min_class_bytes) {
+    fail("buffer_pool.max_class_bytes must be >= min_class_bytes");
+  }
+
+  std::string joined;
+  for (const std::string& e : errors) {
+    if (!joined.empty()) joined += "; ";
+    joined += e;
+  }
+  return joined;
+}
+
 std::unique_ptr<SoapServer> SoapServer::create(ConcurrencyModel model,
                                                ServerConfig config) {
+  const std::string errors = config.validate(model);
+  if (!errors.empty()) {
+    throw TransportError("invalid ServerConfig: " + errors);
+  }
+  if (config.metrics_prefix.empty()) {
+    // Per-model default namespace, so BENCH snapshots from the two models
+    // never collide under one prefix.
+    config.metrics_prefix =
+        model == ConcurrencyModel::kThreadPerConnection ? "pool" : "event";
+  }
   switch (model) {
     case ConcurrencyModel::kThreadPerConnection:
       return std::make_unique<SoapServerPool>(std::move(config));

@@ -1,13 +1,19 @@
 // The unified server surface: one config, one interface, two concurrency
 // models.
 //
-// SoapServerPool (thread-per-connection) and SoapEventServer (epoll
-// reactor + worker pool) answer the same wire protocol and expose the same
+// SoapServerPool (thread-per-connection) and SoapEventServer (sharded epoll
+// reactors + worker pool) answer the same wire protocol and expose the same
 // statistics; what differs is how they spend threads. This header makes
 // that a RUNTIME choice: build one ServerConfig, pick a ConcurrencyModel,
 // and SoapServer::create returns whichever implementation fits the
 // deployment. Benchmarks and chaos tests drive both models through this
 // interface with the selection as a parameter instead of a code path.
+//
+// This API is STABLE as of PR 6: SoapServer::create is the only way to
+// construct a server (the concrete classes live in transport/internal/ and
+// are not part of the public surface), ServerConfig is validated up front,
+// and the metrics contract below is fixed. Reactor topology is a config
+// knob (`reactor_threads`), not a third server class.
 #pragma once
 
 #include <chrono>
@@ -16,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "common/buffer_pool.hpp"
 #include "obs/observer.hpp"
 #include "soap/any_engine.hpp"
 #include "soap/envelope.hpp"
@@ -27,7 +34,7 @@ namespace bxsoap::transport {
 /// How a server spends threads on connections.
 enum class ConcurrencyModel {
   kThreadPerConnection,  ///< SoapServerPool: one blocking worker per client
-  kEventLoop,            ///< SoapEventServer: epoll reactor + fixed workers
+  kEventLoop,            ///< SoapEventServer: epoll reactors + fixed workers
 };
 
 /// Everything either server needs. Only `encoding` and `handler` (or
@@ -46,7 +53,9 @@ struct ServerConfig {
 
   /// Flush granularity for streamed responses: the unit of buffering, and
   /// with it the per-stream memory bound (a stream parks at most one chunk
-  /// inbound and one outbound).
+  /// inbound and one outbound). Must not exceed
+  /// frame_limits.max_chunk_bytes — a server must never emit chunks it
+  /// would itself refuse to accept.
   std::size_t stream_chunk_bytes = 1u << 20;  // 1 MiB
 
   /// Port to listen on; 0 requests a kernel-assigned ephemeral port (read
@@ -61,10 +70,15 @@ struct ServerConfig {
   /// tallies, pool.hit / pool.miss / pool.recycled_bytes buffer-pool
   /// counters, bxsa.* codec stats if the encoding supports them, and
   /// stream.{chunks,flushes,buffered_bytes} for the chunked path (the
-  /// waterline's peak field is the residency high-water mark). The
-  /// registry must outlive the server. Null = zero instrumentation.
+  /// waterline's peak field is the residency high-water mark). The event
+  /// server adds reactor.* (wakeups, queue.depth, rolled-up loop.ns) and
+  /// per-shard reactor.N.{loop.ns,connections}. The registry must outlive
+  /// the server. Null = zero instrumentation.
   obs::Registry* registry = nullptr;
-  std::string metrics_prefix = "pool";
+  /// Metric namespace. Empty (the default) = create() picks the model's
+  /// canonical prefix: "pool" for kThreadPerConnection, "event" for
+  /// kEventLoop, so snapshots from the two models never collide.
+  std::string metrics_prefix;
 
   // ---- hardening knobs ------------------------------------------------------
 
@@ -82,26 +96,49 @@ struct ServerConfig {
   /// accept loop stops accepting, so excess clients queue in the kernel's
   /// listen backlog (and beyond it, get connection refused) instead of
   /// spawning unbounded threads. The event server reads this as its
-  /// connection ceiling: at the limit it parks the listener instead of
+  /// connection ceiling: at the limit it parks the listener(s) instead of
   /// spawning anything, with the same kernel-backlog overflow.
   std::size_t max_workers = 0;
 
   /// SoapEventServer only: size of the fixed worker pool that runs
-  /// decode/handle/encode off the reactor. 0 = hardware_concurrency.
-  /// SoapServerPool ignores this (its workers are one-per-connection).
+  /// decode/handle/encode off the reactors. 0 = hardware_concurrency.
+  /// Setting it with kThreadPerConnection is a validation error (that
+  /// model's workers are one-per-connection by definition).
   std::size_t worker_threads = 0;
+
+  /// SoapEventServer only: number of reactor shards, each owning its
+  /// connections' socket I/O end-to-end (own epoll set, outbox, idle
+  /// sweep, eventfd). 0 = one per core. Setting it with
+  /// kThreadPerConnection is a validation error.
+  std::size_t reactor_threads = 0;
+
+  /// SoapEventServer only: give every reactor its own SO_REUSEPORT
+  /// listener and let the kernel spread connections across shards, instead
+  /// of the default single accept loop that assigns round-robin. Kernel
+  /// hashing balances well at scale but is not deterministic; the default
+  /// is exactly fair.
+  bool reuse_port = false;
+
+  /// Sizing of the server's payload BufferPool (size classes, shared-tier
+  /// cap, per-thread cache depth). The defaults suit hundreds of
+  /// connections; a c10k deployment should raise max_buffers_per_class
+  /// toward its expected concurrent connection count so steady-state
+  /// acquire stays a pool hit.
+  BufferPool::Config buffer_pool{};
 
   /// How long stop() waits for in-flight exchanges (request already read,
   /// response not yet written) to finish before force-closing them. Idle
   /// connections are cut immediately.
   std::chrono::milliseconds drain_timeout{1000};
+
+  /// Check this config against `model`. Returns an empty string when the
+  /// config is usable, otherwise a "; "-separated list of actionable
+  /// errors. create() calls this and throws TransportError on any error.
+  std::string validate(ConcurrencyModel model) const;
 };
 
-/// The historical name, kept so existing call sites compile unchanged.
-using ServerPoolConfig = ServerConfig;
-
-/// What every server implementation answers for. Both concrete classes are
-/// still constructible directly when the model is fixed at compile time.
+/// What every server implementation answers for. Construct via create():
+/// the concrete classes (transport/internal/) are implementation detail.
 class SoapServer {
  public:
   virtual ~SoapServer() = default;
@@ -114,13 +151,14 @@ class SoapServer {
   /// Exchanges whose response was a fault envelope.
   virtual std::size_t faults() const noexcept = 0;
   /// Threads dedicated to serving traffic right now: the pool's live
-  /// per-connection workers, or the event server's reactor plus its fixed
+  /// per-connection workers, or the event server's reactors plus its fixed
   /// worker pool. The number the two concurrency models exist to trade.
   virtual std::size_t serving_threads() const noexcept = 0;
   /// Graceful shutdown; idempotent.
   virtual void stop() = 0;
 
-  /// Construct the implementation for `model`, already listening.
+  /// Construct the implementation for `model`, already listening. Throws
+  /// TransportError when config.validate(model) reports errors.
   static std::unique_ptr<SoapServer> create(ConcurrencyModel model,
                                             ServerConfig config);
 };

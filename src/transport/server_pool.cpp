@@ -1,4 +1,4 @@
-#include "transport/server_pool.hpp"
+#include "transport/internal/server_pool.hpp"
 
 #include <algorithm>
 #include <optional>

@@ -4,8 +4,13 @@
 // every exchange ends in a clean response, an in-band soap:Client fault,
 // or a clean disconnect. Never a hang, a wedged reactor, or a leaked
 // connection.
+//
+// The whole matrix runs at reactor_threads = 1, 2 and one-per-core: the
+// sharded topology (PR 6) must uphold the contract whether a connection
+// lives on the accepting reactor or crossed a handoff to another shard.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -23,6 +28,33 @@ namespace bxsoap::transport {
 namespace {
 
 using namespace bxsoap::soap;
+
+/// The reactor-shard matrix: 1 (the pre-shard topology), 2 (cross-reactor
+/// handoff guaranteed), one-per-core (the default deployment). Deduped so
+/// single- and dual-core hosts don't run identical legs twice.
+std::vector<std::size_t> shard_matrix() {
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> m = {1, 2};
+  if (cores != 1 && cores != 2) m.push_back(cores);
+  return m;
+}
+
+class EventChaos : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  /// Finish a chaos config with this leg's shard count and build the
+  /// server through the one public construction path.
+  static std::unique_ptr<SoapServer> start(ServerConfig cfg) {
+    cfg.reactor_threads = GetParam();
+    return SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Reactors, EventChaos,
+                         ::testing::ValuesIn(shard_matrix()),
+                         [](const auto& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
 
 SoapEnvelope data_request(std::size_t n) {
   return services::make_data_request(workload::make_lead_dataset(n));
@@ -52,14 +84,13 @@ void expect_drains_to_zero(SoapServer& server) {
 
 // Byte-level chaos matrix, ported from the pool suite: each seed derives
 // one fault spec applied to a raw framed exchange.
-TEST(EventChaos, RawStreamFaultMatrixNeverWedgesTheServer) {
+TEST_P(EventChaos, RawStreamFaultMatrixNeverWedgesTheServer) {
   ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
   cfg.read_timeout_ms = 250;  // a stalled or short-counted frame times out
   cfg.frame_limits.max_message_bytes = 1u << 20;
-  auto server =
-      SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
+  auto server = start(std::move(cfg));
 
   BxsaEncoding enc;
   const SoapEnvelope req = data_request(20);
@@ -103,12 +134,11 @@ TEST(EventChaos, RawStreamFaultMatrixNeverWedgesTheServer) {
 // and disconnects must produce a clean server-side drop at EVERY cut
 // point — inside the magic, the VLS length, the content type, the declared
 // length, or the payload body.
-TEST(EventChaos, MidFrameTruncationAtEveryOffsetDisconnectsCleanly) {
+TEST_P(EventChaos, MidFrameTruncationAtEveryOffsetDisconnectsCleanly) {
   ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
-  auto server =
-      SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
+  auto server = start(std::move(cfg));
 
   const std::vector<std::uint8_t> frame = framed_request(8);
   // Every header offset, then strides through the payload.
@@ -137,15 +167,14 @@ TEST(EventChaos, MidFrameTruncationAtEveryOffsetDisconnectsCleanly) {
 // and vanishes without reading a single response. Workers complete into a
 // dead connection; the reactor must discard those responses (returning
 // their buffers) without wedging or leaking the connection.
-TEST(EventChaos, AbandonedPipelineBurstIsDiscarded) {
+TEST_P(EventChaos, AbandonedPipelineBurstIsDiscarded) {
   ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = [](SoapEnvelope req) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
     return services::verification_handler(std::move(req));
   };
-  auto server =
-      SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
+  auto server = start(std::move(cfg));
 
   for (int round = 0; round < 8; ++round) {
     TcpStream conn = TcpStream::connect(server->port());
@@ -165,13 +194,12 @@ TEST(EventChaos, AbandonedPipelineBurstIsDiscarded) {
 
 // Slowloris: a peer that opens a frame and stalls is disconnected by the
 // reactor's idle sweep instead of holding its connection slot forever.
-TEST(EventChaos, SlowlorisPeerIsSweptOut) {
+TEST_P(EventChaos, SlowlorisPeerIsSweptOut) {
   ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
   cfg.read_timeout_ms = 100;
-  auto server =
-      SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
+  auto server = start(std::move(cfg));
 
   TcpStream sly = TcpStream::connect(server->port());
   const std::vector<std::uint8_t> frame = framed_request(8);
@@ -192,13 +220,12 @@ TEST(EventChaos, SlowlorisPeerIsSweptOut) {
 // Delay chaos on a pipelined connection: requests dribble in with pauses
 // shorter than the idle timeout; every one must still be answered in
 // order (the sweep must not cut an active-but-slow pipeliner).
-TEST(EventChaos, SlowButLivePipelinerIsServedNotSwept) {
+TEST_P(EventChaos, SlowButLivePipelinerIsServedNotSwept) {
   ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
   cfg.read_timeout_ms = 500;
-  auto server =
-      SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
+  auto server = start(std::move(cfg));
 
   TcpStream conn = TcpStream::connect(server->port());
   BxsaEncoding enc;

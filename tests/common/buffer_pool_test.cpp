@@ -86,6 +86,7 @@ TEST(BufferPool, OversizedAndTinyBuffersAreNotPooled) {
 TEST(BufferPool, PerClassCapBoundsPooledBuffers) {
   BufferPool::Config cfg;
   cfg.max_buffers_per_class = 2;
+  cfg.thread_cache_buffers_per_class = 0;  // shared tier only
   BufferPool pool(cfg);
   for (int i = 0; i < 5; ++i) {
     std::vector<std::uint8_t> b;
@@ -93,6 +94,61 @@ TEST(BufferPool, PerClassCapBoundsPooledBuffers) {
     pool.release(std::move(b));
   }
   EXPECT_EQ(pool.pooled_buffers(), 2u);
+}
+
+TEST(BufferPool, ThreadCacheFillsFirstThenSpillsToSharedTier) {
+  BufferPool::Config cfg;
+  cfg.thread_cache_buffers_per_class = 2;
+  cfg.max_buffers_per_class = 1;
+  BufferPool pool(cfg);
+  // 4 releases into one class: 2 land in this thread's cache, 1 spills to
+  // the shared tier, the 4th frees (both tiers full).
+  for (int i = 0; i < 4; ++i) {
+    std::vector<std::uint8_t> b;
+    b.reserve(1024);
+    pool.release(std::move(b));
+  }
+  EXPECT_EQ(pool.pooled_buffers(), 3u);
+  // All three are reachable from this thread: cache first, then shared.
+  for (int i = 0; i < 3; ++i) (void)pool.acquire(1024);
+  EXPECT_EQ(pool.stats().hit, 3u);
+  EXPECT_EQ(pool.pooled_buffers(), 0u);
+}
+
+TEST(BufferPool, AnotherThreadsCacheIsInvisibleButSpillIsShared) {
+  BufferPool::Config cfg;
+  cfg.thread_cache_buffers_per_class = 4;
+  cfg.max_buffers_per_class = 16;
+  BufferPool pool(cfg);
+  std::thread releaser([&pool] {
+    for (int i = 0; i < 5; ++i) {
+      std::vector<std::uint8_t> b;
+      b.reserve(2048);
+      pool.release(std::move(b));
+    }
+  });
+  releaser.join();
+  // 4 buffers sit in the (now idle) releaser thread's cache, 1 spilled to
+  // the shared tier. This thread can only reach the spilled one.
+  EXPECT_EQ(pool.pooled_buffers(), 5u);
+  (void)pool.acquire(2048);
+  EXPECT_EQ(pool.stats().hit, 1u);
+  (void)pool.acquire(2048);
+  EXPECT_EQ(pool.stats().miss, 1u);
+}
+
+TEST(BufferPool, DestroyedPoolDrainsItsThreadCaches) {
+  auto pool = std::make_unique<BufferPool>();
+  auto buf = pool->acquire(4096);
+  pool->release(std::move(buf));  // sits in this thread's cache
+  EXPECT_EQ(pool->pooled_buffers(), 1u);
+  pool.reset();  // must drop the cached buffer, not leak or dangle
+  // A fresh pool on this thread starts cold: pool ids are never reused, so
+  // it cannot inherit the dead pool's cache slot.
+  BufferPool fresh;
+  (void)fresh.acquire(4096);
+  EXPECT_EQ(fresh.stats().miss, 1u);
+  EXPECT_EQ(fresh.stats().hit, 0u);
 }
 
 TEST(SharedBuffer, RecyclesIntoPoolOnLastRelease) {
@@ -170,6 +226,60 @@ TEST(BufferPool, MultiThreadedStress) {
   EXPECT_EQ(s.hit + s.miss, kThreads * kIterations);
   EXPECT_GT(s.hit, 0u);
   EXPECT_GT(s.recycled_bytes, 0u);
+}
+
+// TSan target for the per-thread caches: 8 threads churn acquire/release
+// while buffers also migrate across threads (acquired on one, dropped on
+// another via SharedBuffer) and the main thread polls pooled_buffers(),
+// exercising every cache's mutex from a foreign thread concurrently with its
+// owner's fast path.
+TEST(BufferPool, ThreadCacheChurnAcrossThreads) {
+  BufferPool pool;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 1000;
+  std::mutex handoff_mu;
+  std::vector<SharedBuffer> handoff;
+  std::atomic<bool> failed{false};
+  std::atomic<int> running{kThreads};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const std::size_t want = 256u << (i % 6);
+        auto buf = pool.acquire(want);
+        if (buf.capacity() < want) {
+          failed.store(true);
+          break;
+        }
+        buf.resize(want, static_cast<std::uint8_t>(t));
+        if (i % 2 == 0) {
+          pool.release(std::move(buf));  // same-thread recycle
+        } else {
+          // Park the buffer for some other thread to drop: the release then
+          // lands in a different thread's cache than the acquire came from.
+          SharedBuffer wire = SharedBuffer::adopt(std::move(buf), &pool);
+          std::lock_guard<std::mutex> lock(handoff_mu);
+          handoff.push_back(std::move(wire));
+          if (handoff.size() > 16) handoff.erase(handoff.begin());
+        }
+      }
+      running.fetch_sub(1);
+    });
+  }
+  while (running.load() > 0) {
+    (void)pool.pooled_buffers();  // foreign-thread walk of every cache
+    std::this_thread::yield();
+  }
+  for (auto& th : threads) th.join();
+  {
+    std::lock_guard<std::mutex> lock(handoff_mu);
+    handoff.clear();
+  }
+  EXPECT_FALSE(failed.load());
+  const auto s = pool.stats();
+  EXPECT_EQ(s.hit + s.miss, kThreads * kIterations);
+  EXPECT_GT(s.hit, 0u);
 }
 
 }  // namespace

@@ -8,20 +8,21 @@
 
 #include "services/verification.hpp"
 #include "soap/reliable.hpp"
-#include "transport/event_server.hpp"
+#include "transport/server.hpp"
 #include "workload/lead.hpp"
 
 namespace bxsoap::soap {
 namespace {
 
-using transport::ServerPoolConfig;
-using transport::SoapEventServer;
+using transport::ConcurrencyModel;
+using transport::ServerConfig;
+using transport::SoapServer;
 
-std::unique_ptr<SoapEventServer> make_server() {
-  ServerPoolConfig cfg;
+std::unique_ptr<SoapServer> make_server() {
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
-  return std::make_unique<SoapEventServer>(std::move(cfg));
+  return SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
 }
 
 TEST(ChannelPool, ConcurrentCallersShareKChannels) {
@@ -85,11 +86,12 @@ TEST(ChannelPool, DeadChannelIsResetAndReplaced) {
 
   // A replacement server on the same port: the reset channel reconnects
   // lazily and the pool is healthy again without rebuilding it.
-  ServerPoolConfig cfg2;
+  ServerConfig cfg2;
   cfg2.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg2.handler = services::verification_handler;
   cfg2.port = port;
-  SoapEventServer revived(std::move(cfg2));
+  auto revived = SoapServer::create(ConcurrencyModel::kEventLoop,
+                                    std::move(cfg2));
   SoapEnvelope again = pool.call(
       services::make_data_request(workload::make_lead_dataset(6)));
   EXPECT_TRUE(services::parse_verify_response(again).ok);

@@ -9,7 +9,7 @@
 #include "soap/engine.hpp"
 #include "transport/bindings.hpp"
 #include "transport/fault.hpp"
-#include "transport/server_pool.hpp"
+#include "transport/server.hpp"
 #include "workload/lead.hpp"
 
 namespace bxsoap::soap {
@@ -165,15 +165,16 @@ TEST(ReliableCaller, RecoversFromInjectedConnectionReset) {
   using transport::FaultyBinding;
   using transport::TcpClientBinding;
 
-  transport::ServerPoolConfig cfg;
+  transport::ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
-  transport::SoapServerPool pool(std::move(cfg));
+  auto pool = transport::SoapServer::create(
+      transport::ConcurrencyModel::kThreadPerConnection, std::move(cfg));
 
   // First message dies before it leaves; the retry must reconnect and win.
   const FaultPlan plan = FaultPlan::script({{FaultKind::kReset, 0, 0, 0}});
   SoapEngine<BxsaEncoding, FaultyBinding<TcpClientBinding>> client(
-      {}, FaultyBinding<TcpClientBinding>(TcpClientBinding(pool.port()), plan));
+      {}, FaultyBinding<TcpClientBinding>(TcpClientBinding(pool->port()), plan));
 
   obs::Registry registry;
   ReliableCaller caller(client, fast_policy(), &registry);
@@ -182,7 +183,7 @@ TEST(ReliableCaller, RecoversFromInjectedConnectionReset) {
   EXPECT_TRUE(services::parse_verify_response(resp).ok);
   EXPECT_EQ(registry.counter("client.retry.attempts").value(), 2u);
   EXPECT_EQ(registry.counter("client.retry.retries").value(), 1u);
-  EXPECT_EQ(pool.exchanges(), 1u);
+  EXPECT_EQ(pool->exchanges(), 1u);
 }
 
 TEST(ReliableCaller, InjectedCorruptionComesBackAsClientFault) {
@@ -191,17 +192,18 @@ TEST(ReliableCaller, InjectedCorruptionComesBackAsClientFault) {
   using transport::FaultyBinding;
   using transport::TcpClientBinding;
 
-  transport::ServerPoolConfig cfg;
+  transport::ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
-  transport::SoapServerPool pool(std::move(cfg));
+  auto pool = transport::SoapServer::create(
+      transport::ConcurrencyModel::kThreadPerConnection, std::move(cfg));
 
   // Truncate the first request's payload: the frame arrives intact, the
   // BXSA bytes inside don't decode, and the pool answers with a fault the
   // retry layer must NOT retry.
   const FaultPlan plan = FaultPlan::script({{FaultKind::kTruncate, 4, 0, 0}});
   SoapEngine<BxsaEncoding, FaultyBinding<TcpClientBinding>> client(
-      {}, FaultyBinding<TcpClientBinding>(TcpClientBinding(pool.port()), plan));
+      {}, FaultyBinding<TcpClientBinding>(TcpClientBinding(pool->port()), plan));
 
   obs::Registry registry;
   ReliableCaller caller(client, fast_policy(), &registry);
@@ -209,7 +211,7 @@ TEST(ReliableCaller, InjectedCorruptionComesBackAsClientFault) {
   ASSERT_TRUE(resp.is_fault());
   EXPECT_EQ(resp.fault().code, "soap:Client");
   EXPECT_EQ(registry.counter("client.retry.retries").value(), 0u);
-  EXPECT_EQ(pool.faults(), 1u);
+  EXPECT_EQ(pool->faults(), 1u);
 }
 
 }  // namespace

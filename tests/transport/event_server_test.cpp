@@ -1,5 +1,3 @@
-#include "transport/event_server.hpp"
-
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,6 +8,7 @@
 #include "services/verification.hpp"
 #include "soap/engine.hpp"
 #include "transport/bindings.hpp"
+#include "transport/server.hpp"
 #include "workload/lead.hpp"
 
 namespace bxsoap::transport {
@@ -17,14 +16,12 @@ namespace {
 
 using namespace bxsoap::soap;
 
-std::unique_ptr<SoapEventServer> make_server(
-    obs::Registry* registry = nullptr) {
-  ServerPoolConfig cfg;
+std::unique_ptr<SoapServer> make_server(obs::Registry* registry = nullptr) {
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
   cfg.registry = registry;
-  cfg.metrics_prefix = "event";
-  return std::make_unique<SoapEventServer>(std::move(cfg));
+  return SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
 }
 
 /// Encode a verification request as a raw wire frame (for driving the
@@ -117,7 +114,7 @@ TEST(EventServer, PipelinedRequestsAnswerInOrder) {
 // much slower than the ones behind it (out-of-order completion is the rule,
 // not the exception, with concurrent workers).
 TEST(EventServer, SlowFirstRequestDoesNotReorderResponses) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = [](SoapEnvelope req) {
     SoapEnvelope resp = services::verification_handler(std::move(req));
@@ -127,11 +124,13 @@ TEST(EventServer, SlowFirstRequestDoesNotReorderResponses) {
     if (n == 51) std::this_thread::sleep_for(std::chrono::milliseconds(40));
     return resp;
   };
+  cfg.reactor_threads = 1;
   cfg.worker_threads = 4;  // enough to run the whole burst concurrently
-  SoapEventServer server(std::move(cfg));
-  EXPECT_EQ(server.worker_count(), 4u);
+  auto server = SoapServer::create(ConcurrencyModel::kEventLoop,
+                                   std::move(cfg));
+  EXPECT_EQ(server->serving_threads(), 5u);  // 1 reactor + 4 workers
 
-  TcpStream conn = TcpStream::connect(server.port());
+  TcpStream conn = TcpStream::connect(server->port());
   for (std::size_t i = 0; i < 4; ++i) {
     write_frame(conn, encode_request(50 + i));
   }
@@ -143,31 +142,32 @@ TEST(EventServer, SlowFirstRequestDoesNotReorderResponses) {
 // Graceful stop: requests already assembled when stop() lands finish their
 // handlers and their responses drain before the connection closes.
 TEST(EventServer, GracefulStopDrainsPipelinedResponses) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = [](SoapEnvelope req) {
     std::this_thread::sleep_for(std::chrono::milliseconds(60));
     return services::verification_handler(std::move(req));
   };
   cfg.drain_timeout = std::chrono::seconds(5);
-  SoapEventServer server(std::move(cfg));
+  auto server = SoapServer::create(ConcurrencyModel::kEventLoop,
+                                   std::move(cfg));
   constexpr std::size_t kRequests = 3;
 
-  TcpStream conn = TcpStream::connect(server.port());
+  TcpStream conn = TcpStream::connect(server->port());
   for (std::size_t i = 0; i < kRequests; ++i) {
     write_frame(conn, encode_request(20 + i));
   }
   // Give the reactor a moment to assemble all three requests, then shut
   // down around them.
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
-  std::thread stopper([&] { server.stop(); });
+  std::thread stopper([&] { server->stop(); });
   for (std::size_t i = 0; i < kRequests; ++i) {
     const auto outcome = decode_response(read_frame(conn));
     EXPECT_TRUE(outcome.ok);
     EXPECT_EQ(outcome.count, 20 + i);
   }
   stopper.join();
-  EXPECT_EQ(server.exchanges(), kRequests);
+  EXPECT_EQ(server->exchanges(), kRequests);
 }
 
 TEST(EventServer, StopWithLiveIdleConnections) {
@@ -201,11 +201,12 @@ TEST(EventServer, MalformedBytesBecomeFaultNotDisconnect) {
 // A frame declaring an over-limit payload is refused before allocation and
 // the connection is cut; the server keeps serving everyone else.
 TEST(EventServer, OversizedFrameRefusedAndServerSurvives) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
   cfg.frame_limits.max_message_bytes = 1024;
-  SoapEventServer server(std::move(cfg));
+  auto server = SoapServer::create(ConcurrencyModel::kEventLoop,
+                                   std::move(cfg));
 
   ByteWriter header;
   header.write_bytes(kFrameMagic, sizeof(kFrameMagic));
@@ -215,18 +216,18 @@ TEST(EventServer, OversizedFrameRefusedAndServerSurvives) {
   header.write_string(ct);
   header.write<std::uint64_t>(1u << 30, ByteOrder::kBig);
 
-  TcpStream hostile = TcpStream::connect(server.port());
+  TcpStream hostile = TcpStream::connect(server->port());
   hostile.write_all(header.bytes());
   hostile.set_read_timeout(2000);
   std::uint8_t b;
   EXPECT_THROW(hostile.read_exact(&b, 1), TransportError);
 
   SoapEngine<BxsaEncoding, TcpClientBinding> client(
-      {}, TcpClientBinding(server.port()));
+      {}, TcpClientBinding(server->port()));
   SoapEnvelope resp = client.call(
       services::make_data_request(workload::make_lead_dataset(5)));
   EXPECT_TRUE(services::parse_verify_response(resp).ok);
-  EXPECT_EQ(server.exchanges(), 1u);
+  EXPECT_EQ(server->exchanges(), 1u);
 }
 
 // The registry view: pool-compatible counters plus the reactor-specific
@@ -250,6 +251,10 @@ TEST(EventServer, MetricsAgreeWithTraffic) {
   EXPECT_EQ(registry.gauge("event.connections.active").value(), 1);
   EXPECT_GT(registry.counter("event.reactor.wakeups").value(), 0u);
   EXPECT_GT(registry.histogram("event.reactor.loop.ns").count(), 0u);
+  // The round-robin cursor starts at shard 0, so the run's single
+  // connection was dealt there — whatever the shard count.
+  EXPECT_EQ(registry.counter("event.reactor.0.connections").value(), 1u);
+  EXPECT_GT(registry.histogram("event.reactor.0.loop.ns").count(), 0u);
   EXPECT_GT(registry.io("event.io").bytes_in.value(), 0u);
   EXPECT_GT(registry.io("event.io").bytes_out.value(), 0u);
   // Per-stage timings saw every exchange.
@@ -274,14 +279,15 @@ TEST(EventServer, MetricsAgreeWithTraffic) {
 // excess clients queue in the kernel backlog, and everyone is eventually
 // served without concurrency ever exceeding the cap.
 TEST(EventServer, ConnectionCeilingAppliesBackpressure) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = [](SoapEnvelope req) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     return services::verification_handler(std::move(req));
   };
   cfg.max_workers = 2;
-  SoapEventServer server(std::move(cfg));
+  auto server = SoapServer::create(ConcurrencyModel::kEventLoop,
+                                   std::move(cfg));
 
   constexpr int kClients = 6;
   std::atomic<int> failures{0};
@@ -291,7 +297,7 @@ TEST(EventServer, ConnectionCeilingAppliesBackpressure) {
     clients.emplace_back([&] {
       try {
         SoapEngine<BxsaEncoding, TcpClientBinding> client(
-            {}, TcpClientBinding(server.port()));
+            {}, TcpClientBinding(server->port()));
         SoapEnvelope resp = client.call(
             services::make_data_request(workload::make_lead_dataset(3)));
         if (!services::parse_verify_response(resp).ok) ++failures;
@@ -305,7 +311,7 @@ TEST(EventServer, ConnectionCeilingAppliesBackpressure) {
   std::size_t max_active = 0;
   std::thread sampler([&] {
     while (!done.load()) {
-      max_active = std::max(max_active, server.active_connections());
+      max_active = std::max(max_active, server->active_connections());
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   });
@@ -314,20 +320,161 @@ TEST(EventServer, ConnectionCeilingAppliesBackpressure) {
   sampler.join();
 
   EXPECT_EQ(failures.load(), 0);
-  EXPECT_EQ(server.exchanges(), static_cast<std::size_t>(kClients));
+  EXPECT_EQ(server->exchanges(), static_cast<std::size_t>(kClients));
   EXPECT_LE(max_active, 2u);
 }
 
 TEST(EventServer, XmlEncodingServed) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(XmlEncoding{});
   cfg.handler = services::verification_handler;
-  SoapEventServer server(std::move(cfg));
+  auto server = SoapServer::create(ConcurrencyModel::kEventLoop,
+                                   std::move(cfg));
   SoapEngine<XmlEncoding, TcpClientBinding> client(
-      {}, TcpClientBinding(server.port()));
+      {}, TcpClientBinding(server->port()));
   const auto dataset = workload::make_lead_dataset(10);
   SoapEnvelope resp = client.call(services::make_data_request(dataset));
   EXPECT_TRUE(services::parse_verify_response(resp).ok);
+}
+
+// ---- sharded-reactor behavior (PR 6 tentpole) -------------------------------
+
+std::unique_ptr<SoapServer> make_sharded(std::size_t reactors,
+                                         obs::Registry* registry = nullptr,
+                                         bool reuse_port = false) {
+  ServerConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = services::verification_handler;
+  cfg.reactor_threads = reactors;
+  cfg.reuse_port = reuse_port;
+  cfg.worker_threads = 2;
+  cfg.registry = registry;
+  return SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
+}
+
+// The accept loop deals connections round-robin: under 4xN sequential
+// clients every one of the N shards must end up owning exactly 4.
+TEST(EventShard, ConnectionsDistributeRoundRobinAcrossReactors) {
+  constexpr std::size_t kReactors = 3;
+  obs::Registry registry;
+  auto server = make_sharded(kReactors, &registry);
+
+  std::vector<std::unique_ptr<SoapEngine<BxsaEncoding, TcpClientBinding>>>
+      clients;
+  for (std::size_t c = 0; c < 4 * kReactors; ++c) {
+    // Sequential connect + call: each socket is accepted (and dealt)
+    // before the next connect, so the deal order is deterministic.
+    clients.push_back(
+        std::make_unique<SoapEngine<BxsaEncoding, TcpClientBinding>>(
+            BxsaEncoding{}, TcpClientBinding(server->port())));
+    SoapEnvelope resp = clients.back()->call(
+        services::make_data_request(workload::make_lead_dataset(5)));
+    EXPECT_TRUE(services::parse_verify_response(resp).ok);
+  }
+
+  EXPECT_EQ(server->exchanges(), 4 * kReactors);
+  for (std::size_t i = 0; i < kReactors; ++i) {
+    EXPECT_EQ(registry
+                  .counter("event.reactor." + std::to_string(i) +
+                           ".connections")
+                  .value(),
+              4u)
+        << "shard " << i;
+  }
+}
+
+// serving_threads() is the contract the two models trade on: for the event
+// server it is exactly reactors + fixed workers, independent of clients.
+TEST(EventShard, ServingThreadsIsReactorsPlusWorkers) {
+  auto server = make_sharded(3);
+  EXPECT_EQ(server->serving_threads(), 5u);  // 3 reactors + 2 workers
+}
+
+// reuse_port mode: every reactor has its own SO_REUSEPORT listener on ONE
+// port; the kernel spreads connections, and traffic is served identically.
+TEST(EventShard, ReusePortListenersServeConcurrentClients) {
+  obs::Registry registry;
+  auto server = make_sharded(2, &registry, /*reuse_port=*/true);
+
+  constexpr int kClients = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      try {
+        SoapEngine<BxsaEncoding, TcpClientBinding> client(
+            {}, TcpClientBinding(server->port()));
+        SoapEnvelope resp = client.call(
+            services::make_data_request(workload::make_lead_dataset(7)));
+        if (!services::parse_verify_response(resp).ok) ++failures;
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server->exchanges(), static_cast<std::size_t>(kClients));
+  // Kernel hashing chose the shard, but every connection was counted by
+  // exactly one.
+  EXPECT_EQ(registry.counter("event.reactor.0.connections").value() +
+                registry.counter("event.reactor.1.connections").value(),
+            static_cast<std::uint64_t>(kClients));
+}
+
+// Pipelining still holds when the connection lives on a non-accepting
+// shard: the handoff must not reorder or drop back-to-back requests.
+TEST(EventShard, PipeliningSurvivesCrossReactorHandoff) {
+  auto server = make_sharded(2);
+  constexpr std::size_t kRequests = 8;
+
+  // Two connections: with round-robin they land on DIFFERENT shards, and
+  // the second one's socket crossed the reactor-0 -> reactor-1 handoff.
+  TcpStream first = TcpStream::connect(server->port());
+  TcpStream second = TcpStream::connect(server->port());
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    write_frame(first, encode_request(30 + i));
+    write_frame(second, encode_request(60 + i));
+  }
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(decode_response(read_frame(first)).count, 30 + i);
+    EXPECT_EQ(decode_response(read_frame(second)).count, 60 + i);
+  }
+  EXPECT_EQ(server->exchanges(), 2 * kRequests);
+}
+
+// The connection ceiling spans shards: a drop on one shard must un-park
+// the listener owned by another.
+TEST(EventShard, ConnectionCeilingSpansShards) {
+  ServerConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = services::verification_handler;
+  cfg.reactor_threads = 2;
+  cfg.worker_threads = 2;
+  cfg.max_workers = 2;
+  auto server = SoapServer::create(ConcurrencyModel::kEventLoop,
+                                   std::move(cfg));
+
+  constexpr int kClients = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      try {
+        SoapEngine<BxsaEncoding, TcpClientBinding> client(
+            {}, TcpClientBinding(server->port()));
+        SoapEnvelope resp = client.call(
+            services::make_data_request(workload::make_lead_dataset(3)));
+        if (!services::parse_verify_response(resp).ok) ++failures;
+        client.binding().close();
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server->exchanges(), static_cast<std::size_t>(kClients));
 }
 
 }  // namespace

@@ -1,5 +1,3 @@
-#include "transport/server_pool.hpp"
-
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -9,6 +7,7 @@
 #include "services/verification.hpp"
 #include "soap/engine.hpp"
 #include "transport/bindings.hpp"
+#include "transport/server.hpp"
 #include "workload/lead.hpp"
 
 namespace bxsoap::transport {
@@ -16,12 +15,13 @@ namespace {
 
 using namespace bxsoap::soap;
 
-std::unique_ptr<SoapServerPool> make_pool(obs::Registry* registry = nullptr) {
-  ServerPoolConfig cfg;
+std::unique_ptr<SoapServer> make_pool(obs::Registry* registry = nullptr) {
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
   cfg.registry = registry;
-  return std::make_unique<SoapServerPool>(std::move(cfg));
+  return SoapServer::create(ConcurrencyModel::kThreadPerConnection,
+                            std::move(cfg));
 }
 
 TEST(ServerPool, SingleClientExchange) {
@@ -78,7 +78,7 @@ TEST(ServerPool, ConcurrentMetricsAgreeWithClientTallies) {
   constexpr int kCallsEach = 8;
 
   obs::Registry registry;
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   // Faults on request #0 of every client's batch (payload count == 7).
   cfg.handler = [](SoapEnvelope req) -> SoapEnvelope {
@@ -89,7 +89,8 @@ TEST(ServerPool, ConcurrentMetricsAgreeWithClientTallies) {
     return resp;
   };
   cfg.registry = &registry;
-  SoapServerPool pool(std::move(cfg));
+  auto pool = SoapServer::create(ConcurrencyModel::kThreadPerConnection,
+                                 std::move(cfg));
 
   std::atomic<int> ok_responses{0};
   std::atomic<int> fault_responses{0};
@@ -100,7 +101,7 @@ TEST(ServerPool, ConcurrentMetricsAgreeWithClientTallies) {
   std::vector<std::unique_ptr<Client>> engines;
   for (int c = 0; c < kClients; ++c) {
     engines.push_back(std::make_unique<Client>(
-        BxsaEncoding{}, TcpClientBinding(pool.port())));
+        BxsaEncoding{}, TcpClientBinding(pool->port())));
   }
   std::vector<std::thread> clients;
   for (int c = 0; c < kClients; ++c) {
@@ -127,9 +128,9 @@ TEST(ServerPool, ConcurrentMetricsAgreeWithClientTallies) {
   EXPECT_EQ(fault_responses.load(), kClients);
 
   // Pool-native counters.
-  EXPECT_EQ(pool.exchanges(), total);
-  EXPECT_EQ(pool.faults(), static_cast<std::size_t>(kClients));
-  EXPECT_EQ(pool.active_connections(), static_cast<std::size_t>(kClients));
+  EXPECT_EQ(pool->exchanges(), total);
+  EXPECT_EQ(pool->faults(), static_cast<std::size_t>(kClients));
+  EXPECT_EQ(pool->active_connections(), static_cast<std::size_t>(kClients));
 
   // Registry view must match the pool and the clients.
   EXPECT_EQ(registry.counter("pool.exchanges").value(), total);
@@ -174,7 +175,7 @@ TEST(ServerPool, ConcurrentMetricsAgreeWithClientTallies) {
             std::string::npos);
   EXPECT_NE(json.find("pool.stage.handler.ns"), std::string::npos);
 
-  pool.stop();
+  pool->stop();
   EXPECT_EQ(registry.gauge("pool.connections.active").value(), 0);
 }
 
@@ -216,28 +217,30 @@ TEST(ServerPool, ReapsFinishedWorkers) {
 }
 
 TEST(ServerPool, HandlerFaultsPropagate) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = [](SoapEnvelope) -> SoapEnvelope {
     throw SoapFaultError("soap:Client", "nope");
   };
-  SoapServerPool pool(std::move(cfg));
+  auto pool = SoapServer::create(ConcurrencyModel::kThreadPerConnection,
+                                 std::move(cfg));
   SoapEngine<BxsaEncoding, TcpClientBinding> client(
-      {}, TcpClientBinding(pool.port()));
+      {}, TcpClientBinding(pool->port()));
   SoapEnvelope resp = client.call(
       SoapEnvelope::wrap(xdm::make_element(xdm::QName("x"))));
   ASSERT_TRUE(resp.is_fault());
   EXPECT_EQ(resp.fault().code, "soap:Client");
-  EXPECT_EQ(pool.faults(), 1u);
+  EXPECT_EQ(pool->faults(), 1u);
 }
 
 TEST(ServerPool, XmlEncodingPool) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(XmlEncoding{});
   cfg.handler = services::verification_handler;
-  SoapServerPool pool(std::move(cfg));
+  auto pool = SoapServer::create(ConcurrencyModel::kThreadPerConnection,
+                                 std::move(cfg));
   SoapEngine<XmlEncoding, TcpClientBinding> client(
-      {}, TcpClientBinding(pool.port()));
+      {}, TcpClientBinding(pool->port()));
   const auto dataset = workload::make_lead_dataset(10);
   SoapEnvelope resp = client.call(services::make_data_request(dataset));
   EXPECT_TRUE(services::parse_verify_response(resp).ok);
@@ -274,11 +277,12 @@ TEST(ServerPool, MalformedBytesBecomeFaultNotDisconnect) {
 // refused before allocation — the connection is dropped (we cannot trust
 // another byte of it) and the pool keeps serving everyone else.
 TEST(ServerPool, OversizedFrameRefusedAndPoolSurvives) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = services::verification_handler;
   cfg.frame_limits.max_message_bytes = 1024;
-  SoapServerPool pool(std::move(cfg));
+  auto pool = SoapServer::create(ConcurrencyModel::kThreadPerConnection,
+                                 std::move(cfg));
 
   // Handcraft a header declaring a 1 GiB payload we never send.
   ByteWriter header;
@@ -289,7 +293,7 @@ TEST(ServerPool, OversizedFrameRefusedAndPoolSurvives) {
   header.write_string(ct);
   header.write<std::uint64_t>(1u << 30, ByteOrder::kBig);
 
-  TcpStream hostile = TcpStream::connect(pool.port());
+  TcpStream hostile = TcpStream::connect(pool->port());
   hostile.write_all(header.bytes());
   // The pool rejects the declared length and closes the connection rather
   // than waiting for (or allocating) a gigabyte.
@@ -299,25 +303,26 @@ TEST(ServerPool, OversizedFrameRefusedAndPoolSurvives) {
 
   // A well-behaved client is untouched.
   SoapEngine<BxsaEncoding, TcpClientBinding> client(
-      {}, TcpClientBinding(pool.port()));
+      {}, TcpClientBinding(pool->port()));
   SoapEnvelope resp = client.call(
       services::make_data_request(workload::make_lead_dataset(5)));
   EXPECT_TRUE(services::parse_verify_response(resp).ok);
-  EXPECT_EQ(pool.exchanges(), 1u);
+  EXPECT_EQ(pool->exchanges(), 1u);
 }
 
 // Hardening: with a worker ceiling the pool stops accepting while at
 // capacity (the kernel backlog holds the overflow), so concurrency never
 // exceeds the ceiling — yet every queued client is eventually served.
 TEST(ServerPool, WorkerCeilingAppliesBackpressure) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = [](SoapEnvelope req) {
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
     return services::verification_handler(std::move(req));
   };
   cfg.max_workers = 2;
-  SoapServerPool pool(std::move(cfg));
+  auto pool = SoapServer::create(ConcurrencyModel::kThreadPerConnection,
+                                 std::move(cfg));
 
   constexpr int kClients = 6;
   std::atomic<int> failures{0};
@@ -327,7 +332,7 @@ TEST(ServerPool, WorkerCeilingAppliesBackpressure) {
     clients.emplace_back([&] {
       try {
         SoapEngine<BxsaEncoding, TcpClientBinding> client(
-            {}, TcpClientBinding(pool.port()));
+            {}, TcpClientBinding(pool->port()));
         SoapEnvelope resp = client.call(
             services::make_data_request(workload::make_lead_dataset(3)));
         if (!services::parse_verify_response(resp).ok) ++failures;
@@ -340,7 +345,7 @@ TEST(ServerPool, WorkerCeilingAppliesBackpressure) {
   std::size_t max_active = 0;
   std::thread sampler([&] {
     while (!done.load()) {
-      max_active = std::max(max_active, pool.active_connections());
+      max_active = std::max(max_active, pool->active_connections());
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   });
@@ -349,36 +354,37 @@ TEST(ServerPool, WorkerCeilingAppliesBackpressure) {
   sampler.join();
 
   EXPECT_EQ(failures.load(), 0);
-  EXPECT_EQ(pool.exchanges(), static_cast<std::size_t>(kClients));
+  EXPECT_EQ(pool->exchanges(), static_cast<std::size_t>(kClients));
   EXPECT_LE(max_active, 2u);
 }
 
 // Hardening: stop() drains in-flight exchanges — a client mid-call when
 // shutdown begins still gets its full response.
 TEST(ServerPool, GracefulStopDrainsInFlightExchange) {
-  ServerPoolConfig cfg;
+  ServerConfig cfg;
   cfg.encoding = AnyEncoding::from(BxsaEncoding{});
   cfg.handler = [](SoapEnvelope req) {
     std::this_thread::sleep_for(std::chrono::milliseconds(150));
     return services::verification_handler(std::move(req));
   };
   cfg.drain_timeout = std::chrono::seconds(2);
-  SoapServerPool pool(std::move(cfg));
+  auto pool = SoapServer::create(ConcurrencyModel::kThreadPerConnection,
+                                 std::move(cfg));
 
   std::atomic<bool> got_response{false};
   std::thread client_thread([&] {
     SoapEngine<BxsaEncoding, TcpClientBinding> client(
-        {}, TcpClientBinding(pool.port()));
+        {}, TcpClientBinding(pool->port()));
     SoapEnvelope resp = client.call(
         services::make_data_request(workload::make_lead_dataset(4)));
     got_response.store(services::parse_verify_response(resp).ok);
   });
   // Let the exchange get into the handler, then shut down around it.
   std::this_thread::sleep_for(std::chrono::milliseconds(40));
-  pool.stop();
+  pool->stop();
   client_thread.join();
   EXPECT_TRUE(got_response.load());
-  EXPECT_EQ(pool.exchanges(), 1u);
+  EXPECT_EQ(pool->exchanges(), 1u);
 }
 
 }  // namespace
