@@ -1,0 +1,289 @@
+// Overload ladder: a paced open-loop driver offers 1x / 2x / 4x / 8x the
+// server's nominal capacity against an event server with bounded
+// admission (DESIGN.md §12) and classifies every response — served,
+// shed (the retryable Overloaded fault), or deadline-expired. The claim
+// under test is the one admission control exists for: as offered load
+// grows past saturation, goodput stays flat instead of collapsing, the
+// p99 of ACCEPTED requests stays bounded (the queue can only hold
+// max_queue_depth requests' worth of wait), and the overflow is turned
+// away cheaply and explicitly.
+//
+// The binary self-checks the §12 acceptance criteria at the 4x rung and
+// exits nonzero on violation, so CI can run it as a gate:
+//
+//   * queue waterline peak <= max_queue_depth
+//   * overflow requests got Overloaded faults (shed > 0, all classified)
+//   * p99 of accepted requests within 3x of the 1x rung's p99
+//   * zero requests entered the handler with an exhausted deadline
+//
+//   bench_overload            # full ladder: 1x 2x 4x 8x, ~1 s per rung
+//   bench_overload --short    # CI smoke: 1x 4x, ~0.4 s per rung
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "services/verification.hpp"
+#include "soap/engine.hpp"
+#include "soap/overload.hpp"
+#include "transport/bindings.hpp"
+#include "transport/framing.hpp"
+#include "transport/server.hpp"
+#include "workload/lead.hpp"
+
+namespace {
+
+using namespace bxsoap;
+using namespace bxsoap::soap;
+using namespace bxsoap::transport;
+using std::chrono::milliseconds;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kLeads = 10;          // light payload: the cost under
+                                            // test is queueing, not codec
+constexpr std::size_t kConns = 16;          // driver connections
+constexpr std::size_t kWorkers = 2;         // server worker threads
+constexpr auto kServiceTime = milliseconds(2);   // per-request handler cost
+// Admission bound under test. Sized so the worst bounded wait
+// (depth * service / workers = 16 ms) stays inside the 3x-of-baseline
+// p99 criterion even with park/unpark hysteresis on top.
+constexpr std::size_t kQueueDepth = 16;
+constexpr auto kDeadline = milliseconds(250);    // stamped on every request
+// Nominal capacity: kWorkers requests in flight, kServiceTime each.
+constexpr double kCapacityOpsPerSec =
+    static_cast<double>(kWorkers) * 1000.0 / kServiceTime.count();
+
+struct RungResult {
+  double offered_per_sec = 0.0;  // what the pacer actually achieved
+  double seconds = 0.0;
+  std::size_t served = 0;
+  std::size_t shed = 0;
+  std::size_t expired = 0;
+  std::size_t other_faults = 0;
+  bench::LatencySamples accepted;  // latency of SERVED requests only
+  std::uint64_t waterline_peak = 0;
+};
+
+/// One paced connection: a writer firing requests on a fixed schedule
+/// (open loop — it does not wait for responses) and a reader classifying
+/// the in-order responses against the writer's send-time queue.
+struct PacedConn {
+  TcpStream stream;
+  std::mutex mu;
+  std::deque<Clock::time_point> sent;  // send times awaiting a response
+  std::size_t written = 0;
+};
+
+RungResult drive_rung(std::uint16_t port, double offered_per_sec,
+                      std::chrono::milliseconds duration) {
+  // One canonical frame; the deadline header is RELATIVE, so the same
+  // bytes carry the same budget on every send.
+  BxsaEncoding enc;
+  SoapEnvelope req =
+      services::make_data_request(workload::make_lead_dataset(kLeads));
+  set_deadline(req, kDeadline);
+  ByteWriter w;
+  const std::size_t len_pos = begin_frame(w, BxsaEncoding::content_type());
+  enc.serialize_into(req.document(), w);
+  end_frame(w, len_pos);
+  const std::vector<std::uint8_t> frame = w.take();
+
+  const std::size_t total_ops = static_cast<std::size_t>(
+      offered_per_sec * static_cast<double>(duration.count()) / 1000.0);
+  const std::size_t per_conn = std::max<std::size_t>(1, total_ops / kConns);
+  const auto interval = std::chrono::nanoseconds(static_cast<std::int64_t>(
+      1e9 * static_cast<double>(kConns) / offered_per_sec));
+
+  std::vector<std::unique_ptr<PacedConn>> conns;
+  for (std::size_t c = 0; c < kConns; ++c) {
+    auto pc = std::make_unique<PacedConn>();
+    pc->stream = TcpStream::connect(port);
+    pc->stream.set_read_timeout(15000);  // hang detector, not the contract
+    conns.push_back(std::move(pc));
+  }
+
+  RungResult r;
+  r.accepted.reserve(total_ops);
+  std::mutex result_mu;
+  const auto start = Clock::now();
+
+  std::vector<std::thread> writers;
+  std::vector<std::thread> readers;
+  for (std::size_t c = 0; c < kConns; ++c) {
+    PacedConn& pc = *conns[c];
+    // Writer: fire per_conn requests at the paced schedule, staggered
+    // across connections so the aggregate arrival process is smooth.
+    writers.emplace_back([&pc, &frame, start, interval, per_conn, c] {
+      const auto phase = interval * static_cast<std::int64_t>(c) / kConns;
+      for (std::size_t i = 0; i < per_conn; ++i) {
+        std::this_thread::sleep_until(
+            start + phase + interval * static_cast<std::int64_t>(i));
+        {
+          std::lock_guard lock(pc.mu);
+          pc.sent.push_back(Clock::now());
+        }
+        // If this connection is parked (queue backpressure), write_all
+        // blocks once the kernel buffers fill: TCP pushes the overload
+        // back to the producer, which is exactly the §12 design.
+        pc.stream.write_all(frame);
+        ++pc.written;
+      }
+    });
+    // Reader: every request gets exactly one in-order response — served
+    // result, Overloaded shed, or DeadlineExpired drop.
+    readers.emplace_back([&pc, &r, &result_mu, per_conn] {
+      BxsaEncoding dec;
+      bench::LatencySamples local;
+      std::size_t served = 0, shed = 0, expired = 0, other = 0;
+      for (std::size_t i = 0; i < per_conn; ++i) {
+        const soap::WireMessage m = read_frame(pc.stream);
+        Clock::time_point t0;
+        {
+          std::lock_guard lock(pc.mu);
+          t0 = pc.sent.front();
+          pc.sent.pop_front();
+        }
+        const SoapEnvelope env(dec.deserialize(m.payload));
+        if (!env.is_fault()) {
+          ++served;
+          local.record(Clock::now() - t0);
+        } else if (is_overloaded(env.fault())) {
+          ++shed;
+        } else if (env.fault().reason == kDeadlineExpiredReason) {
+          ++expired;
+        } else {
+          ++other;
+        }
+      }
+      std::lock_guard lock(result_mu);
+      r.accepted.merge(local);
+      r.served += served;
+      r.shed += shed;
+      r.expired += expired;
+      r.other_faults += other;
+    });
+  }
+  for (auto& t : writers) t.join();
+  for (auto& t : readers) t.join();
+
+  const auto elapsed = Clock::now() - start;
+  r.seconds = std::chrono::duration<double>(elapsed).count();
+  std::size_t offered = 0;
+  for (const auto& pc : conns) offered += pc->written;
+  r.offered_per_sec = static_cast<double>(offered) / r.seconds;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) short_mode = true;
+  }
+  const std::vector<double> ladder =
+      short_mode ? std::vector<double>{1.0, 4.0}
+                 : std::vector<double>{1.0, 2.0, 4.0, 8.0};
+  const auto duration = milliseconds(short_mode ? 400 : 1000);
+
+  std::printf(
+      "bench_overload: capacity ~%.0f ops/s (%zu workers x %lld ms), "
+      "queue depth %zu, deadline %lld ms%s\n",
+      kCapacityOpsPerSec, kWorkers,
+      static_cast<long long>(kServiceTime.count()), kQueueDepth,
+      static_cast<long long>(kDeadline.count()),
+      short_mode ? " (short mode)" : "");
+
+  obs::Registry registry;
+  // Zero tolerance: a request whose deadline is already exhausted must
+  // never enter the handler. remaining_deadline() is the witness.
+  std::atomic<std::uint64_t> deadline_violations{0};
+
+  bench::Table table({"load", "offered/s", "goodput/s", "served", "shed",
+                      "expired", "p50 ms", "p99 ms", "q.peak"},
+                     11);
+  table.print_header();
+
+  std::vector<RungResult> rungs;
+  for (const double factor : ladder) {
+    const std::string prefix =
+        "overload.x" + std::to_string(static_cast<int>(factor));
+    ServerConfig cfg;
+    cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+    cfg.handler = [&deadline_violations](SoapEnvelope env) {
+      const auto rem = soap::remaining_deadline();
+      if (rem.has_value() && rem->count() == 0) ++deadline_violations;
+      std::this_thread::sleep_for(kServiceTime);
+      return services::verification_handler(std::move(env));
+    };
+    cfg.registry = &registry;
+    cfg.metrics_prefix = prefix;
+    cfg.reactor_threads = 1;
+    cfg.worker_threads = kWorkers;
+    cfg.max_queue_depth = kQueueDepth;
+    cfg.shed_retry_after = milliseconds(5);
+    auto server = SoapServer::create(ConcurrencyModel::kEventLoop,
+                                     std::move(cfg));
+
+    RungResult r =
+        drive_rung(server->port(), factor * kCapacityOpsPerSec, duration);
+    r.waterline_peak = registry.waterline(prefix + ".queue.waterline").peak();
+    server->stop();
+    rungs.push_back(r);
+
+    const double goodput = static_cast<double>(r.served) / r.seconds;
+    table.cell(std::to_string(static_cast<int>(factor)) + "x");
+    table.cell(r.offered_per_sec, "%.0f");
+    table.cell(goodput, "%.0f");
+    table.cell(r.served);
+    table.cell(r.shed);
+    table.cell(r.expired);
+    table.cell(static_cast<double>(r.accepted.percentile_ns(50)) / 1e6,
+               "%.3f");
+    table.cell(static_cast<double>(r.accepted.percentile_ns(99)) / 1e6,
+               "%.3f");
+    table.cell(static_cast<std::size_t>(r.waterline_peak));
+    table.end_row();
+
+    r.accepted.publish(registry, prefix + ".accepted");
+    registry.gauge(prefix + ".offered.ops_per_sec")
+        .set(static_cast<std::int64_t>(r.offered_per_sec));
+    registry.gauge(prefix + ".goodput.ops_per_sec")
+        .set(static_cast<std::int64_t>(goodput));
+    registry.gauge(prefix + ".served").set(static_cast<std::int64_t>(r.served));
+    registry.gauge(prefix + ".shed.total")
+        .set(static_cast<std::int64_t>(r.shed));
+    registry.gauge(prefix + ".expired.total")
+        .set(static_cast<std::int64_t>(r.expired));
+  }
+  registry.gauge("overload.meta.deadline_violations")
+      .set(static_cast<std::int64_t>(deadline_violations.load()));
+
+  // ---- §12 acceptance self-check (compared at the saturated rung) ---------
+  const RungResult& base = rungs.front();       // the 1x rung
+  const RungResult& hot = rungs[ladder.size() > 2 ? 2 : ladder.size() - 1];
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+  check(hot.waterline_peak <= kQueueDepth,
+        "queue waterline peak <= max_queue_depth");
+  check(hot.shed > 0 && hot.other_faults == 0,
+        "overflow shed with retryable Overloaded faults (none unclassified)");
+  check(base.accepted.count() > 0 && hot.accepted.count() > 0 &&
+            hot.accepted.percentile_ns(99) <=
+                3 * std::max<std::uint64_t>(base.accepted.percentile_ns(99), 1),
+        "p99 of accepted at saturation within 3x of the 1x rung");
+  check(deadline_violations.load() == 0,
+        "zero requests entered a handler with an exhausted deadline");
+
+  const std::string path = bench::dump_registry_snapshot(registry, "overload");
+  if (!path.empty()) std::printf("snapshot: %s\n", path.c_str());
+  return failures == 0 ? 0 : 1;
+}

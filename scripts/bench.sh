@@ -21,7 +21,7 @@ cmake --build --preset release-bench -j "$jobs"
 names=("$@")
 if [[ ${#names[@]} -eq 0 ]]; then
   names=(engine frames sockets striping convert compression concurrency
-         streaming)
+         streaming overload)
 fi
 
 repo="$PWD"
@@ -30,7 +30,8 @@ for name in "${names[@]}"; do
   # The shoot-out benches are not ablations; map their names directly.
   # "concurrency" includes the c10k saturation ladder (1k/4k/10k
   # connections against the sharded event server) in full mode.
-  if [[ "$name" == "concurrency" || "$name" == "streaming" ]]; then
+  if [[ "$name" == "concurrency" || "$name" == "streaming" ||
+        "$name" == "overload" ]]; then
     bin="$repo/build-bench/bench/bench_${name}"
   fi
   if [[ ! -x "$bin" ]]; then

@@ -55,18 +55,27 @@ echo "== chaos suite (asan-ubsan, -L chaos) =="
 echo "== configure + build (tsan preset) =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" \
-  --target test_common test_transport test_soap
+  --target test_common test_transport test_soap test_chaos
 
 echo "== ctest (tsan: buffer pool + server pool + event server + streaming) =="
 # The concurrency-heavy surfaces under ThreadSanitizer: the BufferPool /
 # SharedBuffer recycling machinery (including the per-thread cache churn
 # test), the multi-threaded server pool, the sharded epoll reactors and
-# their cross-reactor handoffs (EventShard), the client channel pool, and
-# the chunked streaming path (per-stream threads + bounded queues on both
-# servers).
+# their cross-reactor handoffs (EventShard), the client channel pool, the
+# chunked streaming path (per-stream threads + bounded queues on both
+# servers), and the overload-control surfaces (admission/shed/park state
+# shared between reactors and workers, the ReliableCaller retry budget and
+# circuit breaker, deadline propagation into handler threads).
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool|ServerConfig|EventServer|EventShard|ChannelPool|Streaming' \
+  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool|ServerConfig|EventServer|EventShard|ChannelPool|Streaming|Overload|ExpiredDrop|DeadlineContext|ReliableCaller' \
   --output-on-failure -j "$jobs")
+
+echo "== overload chaos gate (tsan, retry storms + saturated sheds) =="
+# The retry-storm and saturation chaos matrix specifically under TSan:
+# many clients sharing one OverloadControl against a shedding server is
+# the densest lock/atomic interleaving in the codebase.
+(cd build-tsan && TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ctest -R 'OverloadChaos' --output-on-failure -j "$jobs")
 
 echo "== bench_concurrency (short mode, smoke, 2 reactor shards) =="
 # The concurrency bench doubles as an end-to-end smoke of both server
@@ -74,5 +83,12 @@ echo "== bench_concurrency (short mode, smoke, 2 reactor shards) =="
 # reactors exercises the cross-reactor handoff path even on one core.
 # Run from build/ so the BENCH_*.json snapshot lands out of the tree.
 (cd build && ./bench/bench_concurrency --short --reactors 2 >/dev/null)
+
+echo "== bench_overload (short mode, overload acceptance gate) =="
+# The overload ladder self-checks the DESIGN.md §12 acceptance criteria
+# (queue bound held, overflow shed with retryable faults, bounded p99 of
+# accepted work, zero expired requests entering a handler) and exits
+# nonzero on violation — so this smoke IS the acceptance gate.
+(cd build && ./bench/bench_overload --short)
 
 echo "check.sh: all green"

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "soap/engine.hpp"
 #include "soap/envelope.hpp"
@@ -42,14 +43,22 @@ class TcpChannelPool {
     std::size_t channels = 4;
     /// Ceilings applied to response frames on every channel.
     transport::FrameLimits frame_limits{};
+    /// How long call() may wait for a free channel before giving up with
+    /// a TransportError (counted as "<metrics_prefix>.checkout.timeout").
+    /// 0 = wait forever, the historical behavior — which turns a stalled
+    /// server into every caller thread parked on cv_ indefinitely; any
+    /// deployment with an upstream deadline should bound this.
+    std::chrono::milliseconds checkout_timeout{0};
     /// When set, records under "<metrics_prefix>.*": calls / resets
-    /// counters, channels.in_use gauge, checkout.wait.ns histogram, and
-    /// io.* socket tallies across all channels. Must outlive the pool.
+    /// counters, channels.in_use gauge, checkout.wait.ns histogram,
+    /// checkout.timeout counter, and io.* socket tallies across all
+    /// channels. Must outlive the pool.
     obs::Registry* registry = nullptr;
     std::string metrics_prefix = "client.channels";
   };
 
-  explicit TcpChannelPool(Config config) {
+  explicit TcpChannelPool(Config config)
+      : checkout_timeout_(config.checkout_timeout) {
     if (config.channels == 0) config.channels = 1;
     if (obs::Registry* reg = config.registry) {
       const std::string& prefix = config.metrics_prefix;
@@ -57,6 +66,7 @@ class TcpChannelPool {
       resets_ = &reg->counter(prefix + ".resets");
       in_use_ = &reg->gauge(prefix + ".channels.in_use");
       wait_ns_ = &reg->histogram(prefix + ".checkout.wait.ns");
+      timeouts_ = &reg->counter(prefix + ".checkout.timeout");
       io_ = &reg->io(prefix + ".io");
     }
     channels_.reserve(config.channels);
@@ -75,7 +85,8 @@ class TcpChannelPool {
   std::size_t resets() const noexcept { return reset_count_.load(); }
 
   /// One request/response exchange on a pooled channel. Blocks while all
-  /// channels are checked out. Fault envelopes return normally (the server
+  /// channels are checked out (bounded by Config::checkout_timeout when
+  /// set). Fault envelopes return normally (the server
   /// answered); TransportError propagates after the channel is poisoned
   /// and reset so a concurrent or retried caller gets a fresh connection.
   SoapEnvelope call(SoapEnvelope request) {
@@ -97,7 +108,22 @@ class TcpChannelPool {
   std::size_t checkout() {
     const auto start = std::chrono::steady_clock::now();
     std::unique_lock lock(mu_);
-    cv_.wait(lock, [this] { return !free_.empty(); });
+    if (checkout_timeout_.count() > 0) {
+      // A bounded wait: all channels busy past the deadline is a
+      // transport-level failure (the server is not keeping up), typed as
+      // TransportError so ReliableCaller's policy decides what happens —
+      // and so a stalled dependency cannot strand every caller forever.
+      if (!cv_.wait_for(lock, checkout_timeout_,
+                        [this] { return !free_.empty(); })) {
+        if (timeouts_ != nullptr) timeouts_->add();
+        throw TransportError(
+            "channel checkout timed out after " +
+            std::to_string(checkout_timeout_.count()) + " ms (" +
+            std::to_string(channels_.size()) + " channels busy)");
+      }
+    } else {
+      cv_.wait(lock, [this] { return !free_.empty(); });
+    }
     const std::size_t idx = free_.back();
     free_.pop_back();
     if (in_use_ != nullptr) in_use_->add();
@@ -127,6 +153,7 @@ class TcpChannelPool {
   }
 
   std::vector<Engine> channels_;
+  std::chrono::milliseconds checkout_timeout_{0};
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::size_t> free_;  // indices of checked-in channels
@@ -136,6 +163,7 @@ class TcpChannelPool {
   obs::Counter* resets_ = nullptr;
   obs::Gauge* in_use_ = nullptr;
   obs::Histogram* wait_ns_ = nullptr;
+  obs::Counter* timeouts_ = nullptr;
   obs::IoStats* io_ = nullptr;
 };
 

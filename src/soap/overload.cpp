@@ -1,0 +1,130 @@
+#include "soap/overload.hpp"
+
+#include <charconv>
+#include <string>
+
+namespace bxsoap::soap {
+
+using namespace bxsoap::xdm;
+
+namespace {
+
+constexpr std::string_view kDeadlineLocal = "Deadline";
+constexpr std::string_view kRetryAfterKey = "retry-after-ms=";
+
+QName ctl_name(std::string_view local) {
+  return QName(std::string(kOverloadUri), std::string(local), "ctl");
+}
+
+/// Find the soap:Header without creating it (header() is non-const).
+const Element* find_header(const SoapEnvelope& env) {
+  if (!env.has_header()) return nullptr;
+  for (const auto& c : env.envelope().children()) {
+    const ElementBase* e = as_element(*c);
+    if (e != nullptr && e->kind() == NodeKind::kElement &&
+        e->name().namespace_uri == kSoapEnvelopeUri &&
+        e->name().local == "Header") {
+      return static_cast<const Element*>(e);
+    }
+  }
+  return nullptr;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::string block_text(const ElementBase* block) {
+  if (block == nullptr) return {};
+  if (block->kind() == NodeKind::kLeafElement) {
+    return static_cast<const LeafElementBase*>(block)->text();
+  }
+  if (block->kind() == NodeKind::kElement) {
+    return static_cast<const Element*>(block)->string_value();
+  }
+  return {};
+}
+
+// The thread-local request context published by DeadlineScope. One slot
+// is enough: a worker thread runs one handler at a time, and nested
+// scopes (a handler calling serve_once inline, say) save and restore.
+thread_local std::optional<std::chrono::steady_clock::time_point>
+    current_deadline;  // NOLINT(cppcoreguidelines-avoid-non-const-global)
+
+}  // namespace
+
+void set_deadline(SoapEnvelope& env, std::chrono::milliseconds budget) {
+  if (budget.count() < 1) budget = std::chrono::milliseconds(1);
+  Element& header = env.header();
+  // Re-stamp: replace an existing block rather than accumulate one per
+  // retry attempt (the server must see exactly one budget).
+  const auto& children = header.children();
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const ElementBase* e = as_element(*children[i]);
+    if (e != nullptr && e->name() == ctl_name(kDeadlineLocal)) {
+      header.remove_child(i);
+      break;
+    }
+  }
+  auto block = make_leaf<std::string>(ctl_name(kDeadlineLocal),
+                                      std::to_string(budget.count()));
+  block->declare_namespace("ctl", std::string(kOverloadUri));
+  header.add_child(std::move(block));
+}
+
+std::optional<std::chrono::milliseconds> get_deadline(
+    const SoapEnvelope& env) {
+  const Element* header = find_header(env);
+  if (header == nullptr) return std::nullopt;
+  const ElementBase* block = header->find_child(ctl_name(kDeadlineLocal));
+  if (block == nullptr) return std::nullopt;
+  const std::optional<std::int64_t> ms = parse_int(block_text(block));
+  if (!ms || *ms < 0) return std::nullopt;
+  return std::chrono::milliseconds(*ms);
+}
+
+Fault make_overloaded_fault(std::chrono::milliseconds retry_after) {
+  if (retry_after.count() < 0) retry_after = std::chrono::milliseconds(0);
+  return Fault{std::string(kServerFaultCode), std::string(kOverloadedReason),
+               std::string(kRetryAfterKey) +
+                   std::to_string(retry_after.count())};
+}
+
+bool is_overloaded(const Fault& f) {
+  return f.code == kServerFaultCode && f.reason == kOverloadedReason;
+}
+
+std::optional<std::chrono::milliseconds> retry_after_hint(const Fault& f) {
+  const std::size_t pos = f.detail.find(kRetryAfterKey);
+  if (pos == std::string::npos) return std::nullopt;
+  const std::string_view rest =
+      std::string_view(f.detail).substr(pos + kRetryAfterKey.size());
+  std::size_t end = 0;
+  while (end < rest.size() && rest[end] >= '0' && rest[end] <= '9') ++end;
+  const std::optional<std::int64_t> ms = parse_int(rest.substr(0, end));
+  if (!ms) return std::nullopt;
+  return std::chrono::milliseconds(*ms);
+}
+
+DeadlineScope::DeadlineScope(
+    std::optional<std::chrono::steady_clock::time_point> deadline)
+    : previous_(current_deadline) {
+  current_deadline = deadline;
+}
+
+DeadlineScope::~DeadlineScope() { current_deadline = previous_; }
+
+std::optional<std::chrono::milliseconds> remaining_deadline() {
+  if (!current_deadline) return std::nullopt;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      *current_deadline - std::chrono::steady_clock::now());
+  return left.count() > 0 ? left : std::chrono::milliseconds(0);
+}
+
+}  // namespace bxsoap::soap

@@ -1,0 +1,270 @@
+// Overload control primitives shared by clients and servers.
+//
+// PAPERS.md (arXiv 2012.12578) makes the point the whole layer is built
+// on: at high-QPS small-message traffic, queueing — not serialization —
+// dominates. A server that is fast at the wire but unbounded at the queue
+// still dies under sustained overload, and naive client retries amplify
+// the collapse into a retry storm. This header holds the pieces that keep
+// the loop stable end to end:
+//
+//   - a relative-deadline SOAP header block (the client's remaining
+//     budget, re-stamped on every retry) so servers can DROP work whose
+//     caller has already given up instead of burning a handler on it;
+//   - the retryable "Overloaded" fault a shedding server answers with,
+//     carrying a Retry-After hint, and the helpers to recognize it —
+//     the ONE exception to the "faults never retry" rule in reliable.hpp;
+//   - a request context exposing the remaining deadline to handlers;
+//   - client-side containment: a retry-budget token bucket (retries are
+//     paid for by successes) and a circuit breaker (rolling failure
+//     window, half-open probes) that together bound how much extra load
+//     a failing dependency can induce.
+//
+// The deadline is RELATIVE (milliseconds of budget left), not an absolute
+// timestamp: the two ends share no clock, and a relative budget is
+// interpreted against the server's own receive time, which also charges
+// the client for network time — the conservative direction.
+//
+// Wire shape (a plain bXDM header block, same layering as soap/addressing):
+//
+//   <soap:Header>
+//     <ctl:Deadline xmlns:ctl="urn:bxsoap:overload">1500</ctl:Deadline>
+//   </soap:Header>
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string_view>
+
+#include "soap/envelope.hpp"
+
+namespace bxsoap::soap {
+
+/// Namespace of the overload-control header blocks.
+inline constexpr std::string_view kOverloadUri = "urn:bxsoap:overload";
+
+/// Fault identity of a shed request: code soap:Server (the server could
+/// not serve, through no fault of the message) with this exact reason.
+inline constexpr std::string_view kServerFaultCode = "soap:Server";
+inline constexpr std::string_view kOverloadedReason = "Overloaded";
+/// Reason of the fault answering a request whose deadline expired before
+/// its handler ran. NOT retryable: the client's own budget is gone.
+inline constexpr std::string_view kDeadlineExpiredReason = "DeadlineExpired";
+
+// ---- deadline header block ------------------------------------------------
+
+/// Stamp (or re-stamp, replacing any previous block) the remaining call
+/// budget onto the request. Budgets below 1 ms stamp as 1 ms — a zero
+/// stamp would tell the server to drop unconditionally.
+void set_deadline(SoapEnvelope& env, std::chrono::milliseconds budget);
+
+/// The stamped budget, if any. Malformed values read as no deadline
+/// (dropping work on a garbled hint would turn a parse bug into an
+/// availability bug).
+std::optional<std::chrono::milliseconds> get_deadline(const SoapEnvelope& env);
+
+// ---- the retryable Overloaded fault ---------------------------------------
+
+/// The fault a shedding server answers with. `retry_after` rides in the
+/// detail ("retry-after-ms=N") as the server's backoff hint.
+Fault make_overloaded_fault(std::chrono::milliseconds retry_after);
+
+/// True when the fault is a server shed — the one fault ReliableCaller
+/// may retry (the request was never looked at, so reissue is safe).
+bool is_overloaded(const Fault& f);
+
+/// The server's Retry-After hint, when present and well-formed.
+std::optional<std::chrono::milliseconds> retry_after_hint(const Fault& f);
+
+// ---- request context (server -> handler) ----------------------------------
+
+/// RAII scope a server opens around a handler invocation to publish the
+/// request's absolute deadline (enqueue time + stamped budget) to that
+/// thread. Nested scopes restore the previous value.
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(
+      std::optional<std::chrono::steady_clock::time_point> deadline);
+  ~DeadlineScope();
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> previous_;
+};
+
+/// The current request's remaining budget: nullopt when the request
+/// carried no deadline (or outside a handler), otherwise the time left
+/// (floored at zero). Handlers fanning out to backends should pass this
+/// down instead of their own fixed timeouts.
+std::optional<std::chrono::milliseconds> remaining_deadline();
+
+// ---- client-side containment ----------------------------------------------
+
+/// A token bucket that makes retries a scarce resource PAID FOR by
+/// successes: each retry spends one token, each successful exchange
+/// earns `credit_per_success` back (capped at `max_tokens`). Against a
+/// healthy server the bucket hovers full and retries are free; against a
+/// dead one it drains in max_tokens retries and the client fails fast —
+/// the classic defense against retry storms, and deliberately clock-free
+/// so chaos tests replay deterministically. Thread-safe.
+class RetryBudget {
+ public:
+  explicit RetryBudget(double max_tokens = 10.0,
+                       double credit_per_success = 0.1)
+      : max_tokens_(max_tokens < 1.0 ? 1.0 : max_tokens),
+        credit_(credit_per_success),
+        tokens_(max_tokens_) {}
+
+  /// Spend one token for a retry; false = bucket empty, do not retry.
+  bool try_spend() {
+    std::lock_guard lock(mu_);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// A successful exchange refills a fraction of a token.
+  void credit() {
+    std::lock_guard lock(mu_);
+    tokens_ += credit_;
+    if (tokens_ > max_tokens_) tokens_ = max_tokens_;
+  }
+
+  double tokens() const {
+    std::lock_guard lock(mu_);
+    return tokens_;
+  }
+
+ private:
+  const double max_tokens_;
+  const double credit_;
+  mutable std::mutex mu_;
+  double tokens_;
+};
+
+struct CircuitBreakerConfig {
+  /// Rolling window of most recent outcomes consulted for tripping.
+  std::size_t window = 16;
+  /// Failures within the window that open the circuit.
+  std::size_t failure_threshold = 8;
+  /// How long an open circuit rejects before letting one probe through.
+  std::chrono::milliseconds cooldown{1000};
+};
+
+/// Rolling-window circuit breaker with half-open probes. Closed: every
+/// call is allowed and its outcome recorded; at `failure_threshold`
+/// failures within the last `window` outcomes the circuit OPENS and
+/// allow() rejects without touching the wire. After `cooldown` one probe
+/// call is let through (half-open): success closes the circuit and
+/// clears the window, failure re-opens it for another cooldown. The
+/// clock is injectable so tests drive state transitions without
+/// sleeping. Thread-safe; shared across the callers of one dependency.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+  using ClockFn = std::function<std::chrono::steady_clock::time_point()>;
+
+  explicit CircuitBreaker(
+      CircuitBreakerConfig config = {},
+      ClockFn clock = [] { return std::chrono::steady_clock::now(); })
+      : config_(config), clock_(std::move(clock)) {
+    if (config_.window == 0) config_.window = 1;
+    if (config_.failure_threshold == 0) config_.failure_threshold = 1;
+  }
+
+  /// May this call proceed? An open circuit past its cooldown admits
+  /// exactly one probe; its outcome decides the next state.
+  bool allow() {
+    std::lock_guard lock(mu_);
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kHalfOpen:
+        // One probe at a time; everyone else keeps failing fast until
+        // the probe reports back.
+        if (probe_inflight_) return false;
+        probe_inflight_ = true;
+        return true;
+      case State::kOpen:
+        if (clock_() - opened_at_ < config_.cooldown) return false;
+        state_ = State::kHalfOpen;
+        probe_inflight_ = true;
+        return true;
+    }
+    return true;
+  }
+
+  void on_success() {
+    std::lock_guard lock(mu_);
+    if (state_ != State::kClosed) {
+      // The probe came back healthy: close and forget the bad spell.
+      state_ = State::kClosed;
+      outcomes_.clear();
+      failures_ = 0;
+      probe_inflight_ = false;
+      return;
+    }
+    record(true);
+  }
+
+  void on_failure() {
+    std::lock_guard lock(mu_);
+    if (state_ != State::kClosed) {
+      // The probe failed (or a straggler reported in): stay dark for
+      // another full cooldown.
+      state_ = State::kOpen;
+      opened_at_ = clock_();
+      probe_inflight_ = false;
+      return;
+    }
+    record(false);
+    if (failures_ >= config_.failure_threshold) {
+      state_ = State::kOpen;
+      opened_at_ = clock_();
+    }
+  }
+
+  State state() const {
+    std::lock_guard lock(mu_);
+    return state_;
+  }
+
+ private:
+  void record(bool ok) {
+    outcomes_.push_back(ok);
+    if (!ok) ++failures_;
+    while (outcomes_.size() > config_.window) {
+      if (!outcomes_.front()) --failures_;
+      outcomes_.pop_front();
+    }
+  }
+
+  CircuitBreakerConfig config_;
+  ClockFn clock_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::deque<bool> outcomes_;  // rolling window, newest at the back
+  std::size_t failures_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+  bool probe_inflight_ = false;
+};
+
+/// The containment pair a ReliableCaller (or several, sharing one
+/// dependency) hangs onto: one budget, one breaker. Share a single
+/// instance across every caller that targets the same server so the
+/// containment is per-dependency, not per-thread.
+struct OverloadControl {
+  RetryBudget budget;
+  CircuitBreaker breaker;
+
+  OverloadControl() = default;
+  OverloadControl(double max_tokens, double credit_per_success,
+                  CircuitBreakerConfig breaker_config = {})
+      : budget(max_tokens, credit_per_success), breaker(breaker_config) {}
+};
+
+}  // namespace bxsoap::soap

@@ -1,18 +1,37 @@
-// Client-side reliability: bounded retries with deterministic backoff.
+// Client-side reliability: bounded retries with deterministic backoff,
+// retry budgets, and a circuit breaker.
 //
 // The grid deployments the paper targets lose peers routinely; the classic
 // client answer is retry-with-backoff under an overall deadline. The one
 // semantic rule that keeps retries SAFE is encoded here and nowhere else:
 //
-//   only transport-level failures retry.
+//   only failures where the server never answered retry.
 //
 // A TransportError means the exchange never completed — the bytes did not
 // arrive, so reissuing the request is harmless (for the read-style services
 // in this repo; see DESIGN.md §8 for the idempotency caveat). A SOAP fault,
 // by contrast, IS the server's answer: it travelled the wire intact and is
-// returned to the caller untouched, never retried. DecodeError and friends
+// returned to the caller untouched, never retried — with ONE carve-out: the
+// soap:Server/"Overloaded" fault a shedding server answers with (see
+// soap/overload.hpp and DESIGN.md §12) explicitly means "I did not look at
+// your request; try again later", so it retries under the same policy,
+// waiting at least the server's Retry-After hint. DecodeError and friends
 // likewise propagate — the transport worked; retrying cannot fix a payload
 // the peer chose to send.
+//
+// Deadline semantics (the overall budget across attempts and backoffs):
+// a retry NEVER starts past the deadline, and a backoff that would
+// overshoot it is truncated to half the remaining budget, buying one final
+// attempt with what is left instead of giving up with budget on the table.
+// When the policy carries a deadline, every attempt re-stamps the REMAINING
+// budget onto the request as a soap/overload Deadline header block, so a
+// server can drop the work the moment the client stops caring.
+//
+// Containment (attach_overload_control): a shared RetryBudget makes
+// retries a resource paid for by successes — against a dead server the
+// bucket drains and the client fails fast instead of storming — and a
+// shared CircuitBreaker rejects calls without touching the wire while the
+// dependency is known-bad, probing it back to health after a cooldown.
 //
 // Backoff is exponential with deterministic jitter (SplitMix64 from the
 // policy's jitter_seed): given the same policy and the same failure
@@ -21,6 +40,7 @@
 // passes at all.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <string>
@@ -31,6 +51,7 @@
 #include "common/prng.hpp"
 #include "obs/metrics.hpp"
 #include "soap/envelope.hpp"
+#include "soap/overload.hpp"
 
 namespace bxsoap::soap {
 
@@ -43,7 +64,9 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
   std::chrono::milliseconds max_backoff{1000};
   /// Overall budget across all attempts and backoffs; zero = unbounded.
-  /// A retry is abandoned if its backoff could not complete in budget.
+  /// Never retries past it; an overshooting backoff is truncated to buy
+  /// one final attempt. Also stamped (remaining) on every attempt as the
+  /// request's Deadline header block.
   std::chrono::milliseconds deadline{0};
   /// Seed for deterministic jitter; the same seed replays the same delays.
   std::uint64_t jitter_seed = 0;
@@ -65,6 +88,9 @@ class ReliableCaller {
       giveups_ = &registry->counter(prefix + ".giveups");
       successes_ = &registry->counter(prefix + ".successes");
       backoff_ms_ = &registry->counter(prefix + ".backoff_ms");
+      overloaded_ = &registry->counter(prefix + ".overloaded");
+      budget_exhausted_ = &registry->counter(prefix + ".budget_exhausted");
+      breaker_rejected_ = &registry->counter(prefix + ".breaker.rejected");
     }
   }
 
@@ -74,39 +100,129 @@ class ReliableCaller {
     sleep_hook_ = std::move(hook);
   }
 
-  /// Issue the call, retrying transport failures per policy. Fault
-  /// envelopes are returned as-is (the server answered; see header note).
-  /// Throws the last TransportError once attempts or deadline run out.
+  /// Attach shared containment state (not owned; must outlive the caller).
+  /// One OverloadControl per DEPENDENCY, shared by every caller that
+  /// targets it: retries then draw on one budget and the breaker sees the
+  /// dependency's full failure picture.
+  void attach_overload_control(OverloadControl* control) {
+    control_ = control;
+  }
+
+  /// Issue the call, retrying per policy failures where the server never
+  /// answered: TransportError, and the retryable Overloaded shed fault
+  /// (honoring its Retry-After hint). Other fault envelopes are returned
+  /// as-is (the server answered; see header note). Throws the last
+  /// TransportError once attempts, deadline, or retry budget run out; an
+  /// Overloaded fault that exhausts the policy is returned to the caller.
   SoapEnvelope call(const SoapEnvelope& request) {
     const auto start = std::chrono::steady_clock::now();
     std::chrono::milliseconds delay = policy_.initial_backoff;
+    bool final_attempt = false;
     for (int attempt = 1;; ++attempt) {
+      if (control_ != nullptr && !control_->breaker.allow()) {
+        // Known-bad dependency: fail fast without touching the wire.
+        if (breaker_rejected_) breaker_rejected_->add();
+        if (giveups_) giveups_->add();
+        throw TransportError("circuit breaker open: failing fast");
+      }
       if (attempts_) attempts_->add();
       try {
-        SoapEnvelope response = engine_.call(SoapEnvelope(request));
+        SoapEnvelope response = engine_.call(stamped(request, start));
+        if (response.is_fault()) {
+          const Fault f = response.fault();
+          if (is_overloaded(f)) {
+            // The server shed us without looking at the request — the
+            // one retryable fault. Wait at least its Retry-After hint.
+            if (control_ != nullptr) control_->breaker.on_failure();
+            if (overloaded_) overloaded_->add();
+            auto sleep_for = std::max(
+                jitter(delay),
+                retry_after_hint(f).value_or(std::chrono::milliseconds(0)));
+            if (final_attempt || attempt >= policy_.max_attempts ||
+                !plan_retry(start, sleep_for, final_attempt)) {
+              if (giveups_) giveups_->add();
+              return response;  // the shed fault is the server's answer
+            }
+            backoff(sleep_for);
+            delay = next_delay(delay);
+            continue;
+          }
+        }
+        // Any non-shed response — payload or fault — is a completed
+        // exchange: the dependency is healthy and earns retry credit.
+        if (control_ != nullptr) {
+          control_->breaker.on_success();
+          control_->budget.credit();
+        }
         if (successes_) successes_->add();
         return response;
       } catch (const TransportError&) {
+        if (control_ != nullptr) control_->breaker.on_failure();
         // The connection is in an unknown state; drop it so the next
         // attempt starts clean (bindings without reset() are stateless).
         reset_binding();
-        const auto jittered = jitter(delay);
-        if (attempt >= policy_.max_attempts ||
-            past_deadline(start, jittered)) {
+        auto sleep_for = jitter(delay);
+        if (final_attempt || attempt >= policy_.max_attempts ||
+            !plan_retry(start, sleep_for, final_attempt)) {
           if (giveups_) giveups_->add();
           throw;
         }
-        if (retries_) retries_->add();
-        if (backoff_ms_) {
-          backoff_ms_->add(static_cast<std::uint64_t>(jittered.count()));
-        }
-        sleep(jittered);
+        backoff(sleep_for);
         delay = next_delay(delay);
       }
     }
   }
 
  private:
+  /// A copy of the request carrying the remaining overall budget as its
+  /// Deadline header block — re-stamped per attempt, so a server never
+  /// honors a stale (larger) budget from before the backoffs.
+  SoapEnvelope stamped(const SoapEnvelope& request,
+                       std::chrono::steady_clock::time_point start) {
+    SoapEnvelope copy(request);
+    if (policy_.deadline.count() > 0) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start);
+      set_deadline(copy, policy_.deadline - elapsed);  // floors at 1 ms
+    }
+    return copy;
+  }
+
+  /// Decide whether one more attempt may run and how long to sleep first.
+  /// Deadline rules: never retry once the deadline has passed; when
+  /// `sleep_for` would overshoot it, truncate to half the remaining
+  /// budget and mark the next attempt FINAL (sleep a little, leave the
+  /// rest for the attempt itself). Then charge the retry budget.
+  bool plan_retry(std::chrono::steady_clock::time_point start,
+                  std::chrono::milliseconds& sleep_for,
+                  bool& final_attempt) {
+    if (policy_.deadline.count() > 0) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start);
+      const auto remaining = policy_.deadline - elapsed;
+      if (remaining.count() <= 0) return false;  // expired: no retry, ever
+      if (sleep_for >= remaining) {
+        sleep_for = remaining / 2;
+        final_attempt = true;
+      }
+    }
+    if (control_ != nullptr && !control_->budget.try_spend()) {
+      if (budget_exhausted_) budget_exhausted_->add();
+      return false;
+    }
+    return true;
+  }
+
+  void backoff(std::chrono::milliseconds sleep_for) {
+    if (retries_) retries_->add();
+    if (backoff_ms_) {
+      backoff_ms_->add(static_cast<std::uint64_t>(sleep_for.count()));
+    }
+    sleep(sleep_for);
+  }
+
   void reset_binding() {
     if constexpr (requires { engine_.binding().reset(); }) {
       try {
@@ -125,14 +241,6 @@ class ReliableCaller {
     return std::chrono::milliseconds(
         half + static_cast<std::int64_t>(
                    rng_.next_below(static_cast<std::uint64_t>(half) + 1)));
-  }
-
-  bool past_deadline(std::chrono::steady_clock::time_point start,
-                     std::chrono::milliseconds next_sleep) const {
-    if (policy_.deadline.count() <= 0) return false;
-    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-        std::chrono::steady_clock::now() - start);
-    return elapsed + next_sleep >= policy_.deadline;
   }
 
   std::chrono::milliseconds next_delay(std::chrono::milliseconds d) const {
@@ -155,11 +263,15 @@ class ReliableCaller {
   RetryPolicy policy_;
   SplitMix64 rng_;
   std::function<void(std::chrono::milliseconds)> sleep_hook_;
+  OverloadControl* control_ = nullptr;
   obs::Counter* attempts_ = nullptr;
   obs::Counter* retries_ = nullptr;
   obs::Counter* giveups_ = nullptr;
   obs::Counter* successes_ = nullptr;
   obs::Counter* backoff_ms_ = nullptr;
+  obs::Counter* overloaded_ = nullptr;
+  obs::Counter* budget_exhausted_ = nullptr;
+  obs::Counter* breaker_rejected_ = nullptr;
 };
 
 }  // namespace bxsoap::soap

@@ -7,5 +7,6 @@
 #include "soap/encoding.hpp"    // IWYU pragma: export
 #include "soap/engine.hpp"      // IWYU pragma: export
 #include "soap/envelope.hpp"    // IWYU pragma: export
+#include "soap/overload.hpp"    // IWYU pragma: export
 #include "soap/reliable.hpp"    // IWYU pragma: export
 #include "soap/security.hpp"    // IWYU pragma: export

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "soap/overload.hpp"
+
 namespace bxsoap::transport {
 
 namespace {
@@ -31,7 +33,20 @@ SoapEventServer::SoapEventServer(ServerConfig config)
       read_timeout_ms_(config.read_timeout_ms),
       frame_limits_(config.frame_limits),
       max_connections_(config.max_workers),
-      drain_timeout_(config.drain_timeout) {
+      drain_timeout_(config.drain_timeout),
+      max_queue_depth_(config.max_queue_depth),
+      max_inflight_per_conn_(config.max_inflight_per_conn) {
+  if (max_queue_depth_ > 0 || max_inflight_per_conn_ > 0) {
+    // Shedding happens on reactor threads, which must never pay for a
+    // serialize: the Overloaded fault frame is a constant, built once.
+    const soap::SoapEnvelope env = soap::SoapEnvelope::make_fault(
+        soap::make_overloaded_fault(config.shed_retry_after));
+    ByteWriter out(std::vector<std::uint8_t>{});
+    const std::size_t len_pos = begin_frame(out, encoding_->content_type());
+    encoding_->serialize_into(env.document(), out);
+    end_frame(out, len_pos);
+    shed_frame_ = out.take();
+  }
   std::size_t shards = config.reactor_threads;
   if (shards == 0) {
     shards = std::max(1u, std::thread::hardware_concurrency());
@@ -57,6 +72,10 @@ SoapEventServer::SoapEventServer(ServerConfig config)
     accepted_ = &reg->counter(prefix + ".connections.accepted");
     wakeups_ = &reg->counter(prefix + ".reactor.wakeups");
     pipelined_ = &reg->counter(prefix + ".pipelined.exchanges");
+    shed_ = &reg->counter(prefix + ".shed");
+    parks_ = &reg->counter(prefix + ".overload.parks");
+    expired_ = &reg->counter(prefix + ".expired.dropped");
+    queue_waterline_ = &reg->waterline(prefix + ".queue.waterline");
     stream_chunks_ = &reg->counter(prefix + ".stream.chunks");
     stream_flushes_ = &reg->counter(prefix + ".stream.flushes");
     stream_buffered_ = &reg->waterline(prefix + ".stream.buffered_bytes");
@@ -231,6 +250,9 @@ void SoapEventServer::reactor_loop(Reactor& r) {
     for (const auto& conn : ready) flush(conn);
     if (!draining) {
       for (const auto& conn : resume) resume_stream_read(conn);
+      // Workers signal our wakeup when the queue drains below half the
+      // admission bound; re-open the parked taps.
+      if (r.queue_parked_conns > 0) maybe_unpark_queue(r);
     }
 
     if (!draining && read_timeout_ms_ > 0) sweep_idle(r);
@@ -327,10 +349,61 @@ void SoapEventServer::adopt(Reactor& r, TcpStream stream) {
   r.epoll.add(conn_fd, EPOLLIN);
 }
 
+/// Admission refused: the request's payload recycles untouched (it was
+/// never decoded) and its sequence slot is answered with the pre-encoded
+/// retryable Overloaded fault, so pipelined responses around it stay
+/// ordered and the client gets a fast in-band retry signal instead of a
+/// cut connection.
+void SoapEventServer::shed(const std::shared_ptr<Conn>& conn,
+                           std::uint64_t seq, soap::WireMessage request) {
+  buffer_pool_.release(std::move(request.payload));
+  ++faults_;
+  obs_.count_fault();
+  if (shed_ != nullptr) shed_->add();
+  ByteWriter out(buffer_pool_.acquire(shed_frame_.size()));
+  out.write_bytes(shed_frame_.data(), shed_frame_.size());
+  complete(conn, seq, out.take());
+}
+
+void SoapEventServer::park_for_queue(const std::shared_ptr<Conn>& conn) {
+  if (conn->queue_parked || conn->stream_parked || conn->read_closed) return;
+  conn->queue_parked = true;
+  ++conn->owner->queue_parked_conns;
+  queue_parked_total_.fetch_add(1, std::memory_order_relaxed);
+  if (parks_ != nullptr) parks_->add();
+  conn->owner->epoll.mod(conn->stream.fd(),
+                         conn_interest(false, conn->want_write));
+}
+
+void SoapEventServer::maybe_unpark_queue(Reactor& r) {
+  // Hysteresis: reopen the taps only once the workers have drained the
+  // queue to HALF the bound, so parked connections don't thrash on and
+  // off at the edge.
+  if (queue_depth_.load(std::memory_order_acquire) * 2 > max_queue_depth_) {
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& [fd, conn] : r.conns) {
+    if (!conn->queue_parked) continue;
+    conn->queue_parked = false;
+    --r.queue_parked_conns;
+    queue_parked_total_.fetch_sub(1, std::memory_order_relaxed);
+    // The pause was OUR backpressure, not peer silence; don't let the
+    // idle sweep bill the peer for it.
+    conn->last_activity = now;
+    if (!conn->stream_parked) {
+      r.epoll.mod(fd, conn_interest(!conn->read_closed, conn->want_write));
+    }
+    if (r.queue_parked_conns == 0) break;
+  }
+}
+
 void SoapEventServer::read_ready(const std::shared_ptr<Conn>& conn) {
   std::uint8_t buf[kReadChunk];
   for (int round = 0; round < kReadRounds; ++round) {
-    if (conn->stream_parked) return;  // backpressure: tap is closed
+    // Backpressure: the tap is closed (stream in-queue full, or the
+    // worker queue is at its admission bound).
+    if (conn->stream_parked || conn->queue_parked) return;
     std::optional<std::size_t> r;
     try {
       r = conn->stream.try_read_some(buf, sizeof(buf));
@@ -392,9 +465,11 @@ bool SoapEventServer::pump(const std::shared_ptr<Conn>& conn,
     if (conn->assembler.ready()) {
       soap::WireMessage request = conn->assembler.take();
       const std::uint64_t seq = conn->next_seq++;
+      std::size_t inflight_now = 0;
       {
         std::lock_guard lock(conn->mu);
         ++conn->inflight;
+        inflight_now = conn->inflight;
         // A second request arriving before the first response left is
         // the pipelining case the thread-per-connection pool can't do.
         if (pipelined_ != nullptr &&
@@ -403,14 +478,40 @@ bool SoapEventServer::pump(const std::shared_ptr<Conn>& conn,
           pipelined_->add();
         }
       }
+      // Admission control. A connection past its pipelining allowance is
+      // shed outright; a request against a full queue is shed AND the
+      // connection parked (the frames being shed were already read — the
+      // park stops the next ones at the kernel's TCP window instead).
+      if (max_inflight_per_conn_ > 0 &&
+          inflight_now > max_inflight_per_conn_) {
+        shed(conn, seq, std::move(request));
+        continue;
+      }
+      bool admitted = true;
+      bool queue_full = false;
       {
         std::lock_guard lock(jobs_mu_);
-        jobs_.push_back(Job{conn, seq, std::move(request)});
-        if (queue_depth_gauge_ != nullptr) {
-          queue_depth_gauge_->set(static_cast<std::int64_t>(jobs_.size()));
+        if (max_queue_depth_ > 0 && jobs_.size() >= max_queue_depth_) {
+          admitted = false;
+        } else {
+          jobs_.push_back(Job{conn, seq, std::move(request),
+                              std::chrono::steady_clock::now()});
+          queue_depth_.store(jobs_.size(), std::memory_order_release);
+          if (queue_depth_gauge_ != nullptr) {
+            queue_depth_gauge_->set(static_cast<std::int64_t>(jobs_.size()));
+          }
+          if (queue_waterline_ != nullptr) queue_waterline_->add(1);
+          queue_full =
+              max_queue_depth_ > 0 && jobs_.size() >= max_queue_depth_;
         }
       }
-      jobs_cv_.notify_one();
+      if (admitted) {
+        jobs_cv_.notify_one();
+      } else {
+        shed(conn, seq, std::move(request));
+        queue_full = true;
+      }
+      if (queue_full) park_for_queue(conn);
       continue;
     }
     if (conn->assembler.chunk_ready()) {
@@ -497,9 +598,12 @@ void SoapEventServer::resume_stream_read(const std::shared_ptr<Conn>& conn) {
     return;
   }
   // Level-triggered epoll re-reports whatever the kernel buffered while
-  // the tap was closed.
-  conn->owner->epoll.mod(conn->stream.fd(),
-                         conn_interest(!conn->read_closed, conn->want_write));
+  // the tap was closed. The worker queue may have filled meanwhile —
+  // respect its park.
+  conn->owner->epoll.mod(
+      conn->stream.fd(),
+      conn_interest(!conn->read_closed && !conn->queue_parked,
+                    conn->want_write));
 }
 
 void SoapEventServer::flush(const std::shared_ptr<Conn>& conn) {
@@ -628,19 +732,19 @@ void SoapEventServer::flush(const std::shared_ptr<Conn>& conn) {
     } catch (const TransportError&) {
       should_drop = true;
     }
+    const bool reading = !conn->read_closed && !conn->stream_parked &&
+                         !conn->queue_parked;
     if (blocked && !should_drop) {
       if (!conn->want_write) {
         conn->want_write = true;
-        conn->owner->epoll.mod(
-            conn->stream.fd(),
-            conn_interest(!conn->read_closed && !conn->stream_parked, true));
+        conn->owner->epoll.mod(conn->stream.fd(),
+                               conn_interest(reading, true));
       }
     } else if (!should_drop) {
       if (conn->want_write) {
         conn->want_write = false;
-        conn->owner->epoll.mod(
-            conn->stream.fd(),
-            conn_interest(!conn->read_closed && !conn->stream_parked, false));
+        conn->owner->epoll.mod(conn->stream.fd(),
+                               conn_interest(reading, false));
       }
       // A half-closed pipeliner is done once its last response left.
       should_drop = conn->read_closed && conn->inflight == 0 &&
@@ -690,6 +794,11 @@ void SoapEventServer::drop(const std::shared_ptr<Conn>& conn) {
   }
   conn->rx_stream = nullptr;
   conn->stream_backlog.clear();
+  if (conn->queue_parked) {
+    conn->queue_parked = false;
+    --r.queue_parked_conns;
+    queue_parked_total_.fetch_sub(1, std::memory_order_relaxed);
+  }
   r.epoll.del(conn->stream.fd());
   r.conns.erase(conn->stream.fd());
   conn->stream.close();
@@ -717,9 +826,9 @@ void SoapEventServer::sweep_idle(Reactor& r) {
   const auto limit = std::chrono::milliseconds(read_timeout_ms_);
   std::vector<std::shared_ptr<Conn>> stale;
   for (auto& [fd, conn] : r.conns) {
-    // A connection parked by OUR stream backpressure is not idle — the
-    // peer may be waiting on us.
-    if (conn->stream_parked) continue;
+    // A connection parked by OUR backpressure (stream in-queue or worker
+    // queue) is not idle — the peer may be waiting on us.
+    if (conn->stream_parked || conn->queue_parked) continue;
     if (now - conn->last_activity > limit) stale.push_back(conn);
   }
   // Same contract as the pool's SO_RCVTIMEO: a peer that goes silent for
@@ -742,9 +851,19 @@ void SoapEventServer::worker_loop() {
       }
       job = std::move(jobs_.front());
       jobs_.pop_front();
+      queue_depth_.store(jobs_.size(), std::memory_order_release);
       if (queue_depth_gauge_ != nullptr) {
         queue_depth_gauge_->set(static_cast<std::int64_t>(jobs_.size()));
       }
+      if (queue_waterline_ != nullptr) queue_waterline_->sub(1);
+    }
+    if (max_queue_depth_ > 0 &&
+        queue_parked_total_.load(std::memory_order_relaxed) > 0 &&
+        queue_depth_.load(std::memory_order_acquire) * 2 <=
+            max_queue_depth_) {
+      // Drained below the low-water mark with connections parked: every
+      // reactor re-checks its parked set on the next pass.
+      for (auto& r : reactors_) r->wakeup.signal();
     }
 
     soap::SoapEnvelope response = [&]() -> soap::SoapEnvelope {
@@ -759,6 +878,23 @@ void SoapEventServer::worker_loop() {
                                                   &buffer_pool_);
           return soap::SoapEnvelope(encoding_->deserialize_shared(wire));
         }();
+        // Deadline propagation: the client's remaining budget, stamped as
+        // a relative header and interpreted against OUR enqueue clock (no
+        // clock sync assumed). A job whose budget expired while it queued
+        // is dropped before the handler runs — the caller has already
+        // given up, so the work would be wasted either way.
+        std::optional<std::chrono::steady_clock::time_point> deadline;
+        if (const auto budget = soap::get_deadline(request)) {
+          deadline = job.enqueued + *budget;
+        }
+        if (deadline.has_value() &&
+            std::chrono::steady_clock::now() >= *deadline) {
+          if (expired_ != nullptr) expired_->add();
+          return soap::SoapEnvelope::make_fault(
+              {std::string(soap::kServerFaultCode),
+               std::string(soap::kDeadlineExpiredReason), ""});
+        }
+        soap::DeadlineScope scope(deadline);
         obs::StageTimer t(obs_, obs::Stage::kHandler);
         return handler_(std::move(request));
       } catch (const SoapFaultError& e) {

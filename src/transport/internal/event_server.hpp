@@ -51,6 +51,20 @@
 // caches (PR 6) mean each reactor and worker recycles through a private
 // free list, so the pool's shared mutex is off the hot path too.
 //
+// Overload (DESIGN.md §12): with max_queue_depth set, the shared worker
+// queue is BOUNDED. A request that fills the queue to the bound parks its
+// connection's EPOLLIN (the same kernel-TCP-window backpressure streaming
+// uses; workers reopen the tap at half the bound); a request arriving
+// while the queue is already full — racing shards, or frames behind it in
+// the same read buffer — is shed at admission with a pre-encoded
+// retryable soap:Server/"Overloaded" fault in its pipeline slot, so the
+// queue provably never exceeds the bound and pipelined responses stay
+// ordered. max_inflight_per_conn sheds the same way per connection, so a
+// firehose pipeliner cannot monopolize the queue. Workers drop requests
+// whose stamped Deadline expired while queued (after decode, before the
+// handler) and publish the remaining budget to handlers via
+// soap::DeadlineScope.
+//
 // Failure taxonomy matches the pool: DecodeError -> in-band soap:Client
 // fault, SoapFaultError/std::exception -> fault envelope, frame-level
 // TransportError (bad magic, over-limit length) -> the connection is cut.
@@ -175,6 +189,10 @@ class SoapEventServer : public SoapServer {
     std::shared_ptr<StreamState> rx_stream;
     bool stream_parked = false;
     std::vector<std::uint8_t> stream_backlog;
+    /// Reactor-only: EPOLLIN parked because this connection filled the
+    /// worker queue to max_queue_depth (admission backpressure). Resumed
+    /// by the owning reactor once workers drain the queue to half.
+    bool queue_parked = false;
 
     std::mutex mu;
     /// Responses completed out of order, keyed by request sequence.
@@ -193,6 +211,9 @@ class SoapEventServer : public SoapServer {
     std::shared_ptr<Conn> conn;
     std::uint64_t seq = 0;
     soap::WireMessage request;
+    /// Admission time: the stamped Deadline header counts from here, so
+    /// queueing delay is charged against the client's budget.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   /// One shard: a reactor thread plus everything it owns. Nothing here is
@@ -219,6 +240,10 @@ class SoapEventServer : public SoapServer {
     obs::Histogram* loop_ns = nullptr;  // reactor.N.loop.ns
     obs::Counter* assigned = nullptr;   // reactor.N.connections
 
+    /// Reactor-only: how many of this shard's connections are
+    /// queue_parked, so the unpark scan is skipped when none are.
+    std::size_t queue_parked_conns = 0;
+
     std::thread thread;
   };
 
@@ -237,6 +262,16 @@ class SoapEventServer : public SoapServer {
   void flush(const std::shared_ptr<Conn>& conn);
   void drop(const std::shared_ptr<Conn>& conn);
   void sweep_idle(Reactor& r);
+  /// Admission backpressure: close the connection's read tap because it
+  /// filled the worker queue; reopened by maybe_unpark_queue.
+  void park_for_queue(const std::shared_ptr<Conn>& conn);
+  /// Re-arm EPOLLIN on this shard's queue-parked connections once the
+  /// workers have drained the queue to half of max_queue_depth.
+  void maybe_unpark_queue(Reactor& r);
+  /// Refuse one request at admission: recycle its payload and complete
+  /// its sequence slot with the pre-encoded retryable Overloaded fault.
+  void shed(const std::shared_ptr<Conn>& conn, std::uint64_t seq,
+            soap::WireMessage request);
   void update_listener_interest(Reactor& r);
   bool fully_drained(Conn& conn);
   /// conn.mu held: move newly in-order completed responses to the outbox.
@@ -265,6 +300,18 @@ class SoapEventServer : public SoapServer {
   std::size_t max_connections_ = 0;
   std::chrono::milliseconds drain_timeout_{1000};
 
+  // Overload control (DESIGN.md §12). The shed frame is pre-encoded once:
+  // refusing work must not cost a serialize on the reactor thread.
+  std::size_t max_queue_depth_ = 0;
+  std::size_t max_inflight_per_conn_ = 0;
+  std::vector<std::uint8_t> shed_frame_;
+  /// Mirror of jobs_.size(), readable without jobs_mu_ (reactors poll it
+  /// on every loop pass to decide unparking).
+  std::atomic<std::size_t> queue_depth_{0};
+  /// Total queue-parked connections across shards; workers consult it to
+  /// decide whether draining below half the bound warrants a wakeup.
+  std::atomic<std::size_t> queue_parked_total_{0};
+
   obs::MetricsObserver obs_;  // detached when no registry is given
   obs::IoStats* io_ = nullptr;
   obs::Gauge* active_gauge_ = nullptr;
@@ -272,6 +319,10 @@ class SoapEventServer : public SoapServer {
   obs::Counter* accepted_ = nullptr;
   obs::Counter* wakeups_ = nullptr;
   obs::Counter* pipelined_ = nullptr;
+  obs::Counter* shed_ = nullptr;       // requests refused with Overloaded
+  obs::Counter* parks_ = nullptr;      // overload.parks: read taps closed
+  obs::Counter* expired_ = nullptr;    // expired.dropped: deadline drops
+  obs::Waterline* queue_waterline_ = nullptr;  // worker queue residency
   obs::Counter* stream_chunks_ = nullptr;    // request chunks received
   obs::Counter* stream_flushes_ = nullptr;   // response chunk frames sent
   obs::Waterline* stream_buffered_ = nullptr;  // stream queue residency

@@ -18,6 +18,15 @@
 // exchange — request chunks are pulled straight off the blocking socket,
 // response chunks written straight back — so per-stream residency is one
 // chunk each way and backpressure is the socket itself.
+//
+// Overload (DESIGN.md §12): this model has no shared queue — each worker
+// serves its connection serially — so max_queue_depth bounds the number of
+// exchanges in flight ACROSS connections (request read, response not yet
+// written). A request read while the pool is already at that bound is shed
+// with the pre-encoded retryable soap:Server/"Overloaded" fault, written
+// in its pipeline slot so earlier queued responses are unaffected. Workers
+// also drop requests whose stamped Deadline expired between frame read and
+// decode, before the handler runs.
 #pragma once
 
 #include <atomic>
@@ -100,11 +109,21 @@ class SoapServerPool : public SoapServer {
   FrameLimits frame_limits_{};
   std::size_t max_workers_ = 0;
   std::chrono::milliseconds drain_timeout_{1000};
+  /// Overload control (DESIGN.md §12): the in-flight exchange bound and
+  /// the Overloaded fault frame, pre-encoded once so shedding never pays
+  /// for a serialize.
+  std::size_t max_queue_depth_ = 0;
+  std::vector<std::uint8_t> shed_frame_;
+  /// Exchanges in flight across all connections (request read, response
+  /// not yet written); admission compares it against max_queue_depth_.
+  std::atomic<std::size_t> inflight_exchanges_{0};
   obs::MetricsObserver obs_;           // detached when no registry is given
   obs::IoStats* io_ = nullptr;         // per-connection socket tallies
   obs::Gauge* active_gauge_ = nullptr;
   obs::Gauge* unreaped_gauge_ = nullptr;
   obs::Counter* accepted_ = nullptr;
+  obs::Counter* shed_ = nullptr;       // requests refused with Overloaded
+  obs::Counter* expired_ = nullptr;    // expired.dropped: deadline drops
   obs::Counter* stream_chunks_ = nullptr;    // request chunks received
   obs::Counter* stream_flushes_ = nullptr;   // response chunks written
   obs::Waterline* stream_buffered_ = nullptr;  // in-flight stream bytes

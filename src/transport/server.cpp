@@ -30,6 +30,15 @@ std::string ServerConfig::validate(ConcurrencyModel model) const {
       fail("reuse_port shards listeners across reactors; it requires "
            "kEventLoop");
     }
+    if (max_inflight_per_conn > 0) {
+      fail("max_inflight_per_conn is meaningless with "
+           "kThreadPerConnection (each connection is served serially, so "
+           "its in-flight depth is already 1); use kEventLoop or leave "
+           "it 0");
+    }
+  }
+  if (shed_retry_after.count() < 0) {
+    fail("shed_retry_after must be >= 0");
   }
   if (stream_chunk_bytes == 0) {
     fail("stream_chunk_bytes must be > 0");

@@ -70,10 +70,15 @@ struct ServerConfig {
   /// tallies, pool.hit / pool.miss / pool.recycled_bytes buffer-pool
   /// counters, bxsa.* codec stats if the encoding supports them, and
   /// stream.{chunks,flushes,buffered_bytes} for the chunked path (the
-  /// waterline's peak field is the residency high-water mark). The event
-  /// server adds reactor.* (wakeups, queue.depth, rolled-up loop.ns) and
-  /// per-shard reactor.N.{loop.ns,connections}. The registry must outlive
-  /// the server. Null = zero instrumentation.
+  /// waterline's peak field is the residency high-water mark), plus the
+  /// overload-control tallies: shed (requests refused with an Overloaded
+  /// fault) and expired.dropped (requests dropped after decode because
+  /// their deadline had passed). The event server adds reactor.*
+  /// (wakeups, queue.depth, rolled-up loop.ns), per-shard
+  /// reactor.N.{loop.ns,connections}, overload.parks (connections whose
+  /// EPOLLIN was parked on a full worker queue), and the queue.waterline
+  /// whose peak proves the max_queue_depth bound held. The registry must
+  /// outlive the server. Null = zero instrumentation.
   obs::Registry* registry = nullptr;
   /// Metric namespace. Empty (the default) = create() picks the model's
   /// canonical prefix: "pool" for kThreadPerConnection, "event" for
@@ -99,6 +104,35 @@ struct ServerConfig {
   /// connection ceiling: at the limit it parks the listener(s) instead of
   /// spawning anything, with the same kernel-backlog overflow.
   std::size_t max_workers = 0;
+
+  /// Admission bound on requests read off the wire but not yet served;
+  /// 0 = unbounded (the historical behavior — and an unbounded memory /
+  /// latency liability under sustained overload). On the event server
+  /// this bounds the shared worker queue: when an admitted request fills
+  /// the queue to this depth the producing connection's EPOLLIN is
+  /// PARKED (backpressure through the kernel TCP window, the same
+  /// mechanism streaming uses) until workers drain it to half; a request
+  /// that arrives while the queue is already full is SHED — answered
+  /// immediately, in its pipeline slot, with a retryable
+  /// soap:Server/"Overloaded" fault carrying a Retry-After hint, and the
+  /// queue never exceeds this depth. On the thread-per-connection pool —
+  /// which has no shared queue — this bounds concurrently in-flight
+  /// exchanges (request read, response not yet written); a request past
+  /// the bound is shed with the same fault. See DESIGN.md §12.
+  std::size_t max_queue_depth = 0;
+
+  /// SoapEventServer only: pipelined requests one connection may have in
+  /// flight (dispatched, response not yet released) before further
+  /// requests on that connection are shed with the Overloaded fault, so
+  /// one firehose pipeliner cannot monopolize the worker queue. 0 =
+  /// unbounded. A validation error with kThreadPerConnection, which
+  /// serves each connection serially (its in-flight depth is already 1).
+  std::size_t max_inflight_per_conn = 0;
+
+  /// Retry-After hint (milliseconds) carried in the detail of shed
+  /// Overloaded faults: the backoff floor a well-behaved client
+  /// (ReliableCaller) waits before retrying. Must be >= 0.
+  std::chrono::milliseconds shed_retry_after{50};
 
   /// SoapEventServer only: size of the fixed worker pool that runs
   /// decode/handle/encode off the reactors. 0 = hardware_concurrency.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "soap/overload.hpp"
 #include "transport/framing.hpp"
 
 namespace bxsoap::transport {
@@ -16,7 +17,19 @@ SoapServerPool::SoapServerPool(ServerConfig config)
       read_timeout_ms_(config.read_timeout_ms),
       frame_limits_(config.frame_limits),
       max_workers_(config.max_workers),
-      drain_timeout_(config.drain_timeout) {
+      drain_timeout_(config.drain_timeout),
+      max_queue_depth_(config.max_queue_depth) {
+  if (max_queue_depth_ > 0) {
+    // Shedding must not cost a serialize: the Overloaded fault frame is a
+    // constant, built once (same as the event server).
+    const soap::SoapEnvelope env = soap::SoapEnvelope::make_fault(
+        soap::make_overloaded_fault(config.shed_retry_after));
+    ByteWriter out(std::vector<std::uint8_t>{});
+    const std::size_t len_pos = begin_frame(out, encoding_->content_type());
+    encoding_->serialize_into(env.document(), out);
+    end_frame(out, len_pos);
+    shed_frame_ = out.take();
+  }
   if (obs::Registry* reg = config.registry) {
     const std::string& prefix = config.metrics_prefix;
     obs_ = obs::MetricsObserver(*reg, prefix);
@@ -24,6 +37,8 @@ SoapServerPool::SoapServerPool(ServerConfig config)
     active_gauge_ = &reg->gauge(prefix + ".connections.active");
     unreaped_gauge_ = &reg->gauge(prefix + ".workers.unreaped");
     accepted_ = &reg->counter(prefix + ".connections.accepted");
+    shed_ = &reg->counter(prefix + ".shed");
+    expired_ = &reg->counter(prefix + ".expired.dropped");
     stream_chunks_ = &reg->counter(prefix + ".stream.chunks");
     stream_flushes_ = &reg->counter(prefix + ".stream.flushes");
     stream_buffered_ = &reg->waterline(prefix + ".stream.buffered_bytes");
@@ -179,7 +194,38 @@ void SoapServerPool::serve_connection(TcpStream stream) {
         continue;
       }
       soap::WireMessage raw = std::move(*body);
+      // The deadline header is relative: it counts from the moment WE
+      // finished reading the request, so no client/server clock sync is
+      // assumed.
+      const auto received = std::chrono::steady_clock::now();
       busy.store(true, std::memory_order_release);
+      // In-flight accounting for admission: one slot from here until the
+      // response (or shed fault) is written, end of this loop iteration.
+      const std::size_t prior =
+          inflight_exchanges_.fetch_add(1, std::memory_order_acq_rel);
+      struct InflightGuard {
+        std::atomic<std::size_t>& n;
+        ~InflightGuard() { n.fetch_sub(1, std::memory_order_acq_rel); }
+      } inflight_guard{inflight_exchanges_};
+      if (max_queue_depth_ > 0 && prior >= max_queue_depth_) {
+        // The pool is past its in-flight bound: refuse this request with
+        // the pre-encoded retryable Overloaded fault — in its own slot on
+        // this connection, so earlier exchanges are untouched — instead
+        // of piling more latency onto every caller.
+        buffer_pool_.release(std::move(raw.payload));
+        ++faults_;
+        obs_.count_fault();
+        if (shed_ != nullptr) shed_->add();
+        ++exchanges_;
+        obs_.count_exchange();
+        {
+          obs::StageTimer t(obs_, obs::Stage::kFrameWrite);
+          stream.write_all(shed_frame_);
+        }
+        busy.store(false, std::memory_order_release);
+        if (stopping_.load(std::memory_order_acquire)) break;
+        continue;
+      }
       soap::SoapEnvelope response = [&]() -> soap::SoapEnvelope {
         try {
           soap::SoapEnvelope request = [&] {
@@ -192,6 +238,21 @@ void SoapServerPool::serve_connection(TcpStream stream) {
                 SharedBuffer::adopt(std::move(raw.payload), &buffer_pool_);
             return soap::SoapEnvelope(encoding_->deserialize_shared(wire));
           }();
+          // Deadline propagation: a request whose stamped budget ran out
+          // before the handler could start is dropped — the caller has
+          // already given up on it.
+          std::optional<std::chrono::steady_clock::time_point> deadline;
+          if (const auto budget = soap::get_deadline(request)) {
+            deadline = received + *budget;
+          }
+          if (deadline.has_value() &&
+              std::chrono::steady_clock::now() >= *deadline) {
+            if (expired_ != nullptr) expired_->add();
+            return soap::SoapEnvelope::make_fault(
+                {std::string(soap::kServerFaultCode),
+                 std::string(soap::kDeadlineExpiredReason), ""});
+          }
+          soap::DeadlineScope scope(deadline);
           obs::StageTimer t(obs_, obs::Stage::kHandler);
           return handler_(std::move(request));
         } catch (const SoapFaultError& e) {

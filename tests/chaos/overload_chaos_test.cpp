@@ -1,0 +1,265 @@
+// Chaos for the overload-control path (DESIGN.md §12): retry storms from
+// many clients sharing one containment budget, transport faults mixed
+// with shed faults under a saturated server, and abandoned pipelines
+// whose connections die while parked for queue backpressure. The
+// invariant extends the resilience contract: under overload every call
+// still ends in a response, an in-band fault, or a typed error; the
+// worker queue never exceeds its bound; and clients' retry volume stays
+// inside the shared budget instead of amplifying the collapse.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "services/verification.hpp"
+#include "soap/engine.hpp"
+#include "soap/overload.hpp"
+#include "soap/reliable.hpp"
+#include "transport/bindings.hpp"
+#include "transport/fault.hpp"
+#include "transport/framing.hpp"
+#include "transport/server.hpp"
+#include "workload/lead.hpp"
+
+namespace bxsoap::transport {
+namespace {
+
+using namespace bxsoap::soap;
+using std::chrono::milliseconds;
+
+std::vector<std::size_t> shard_matrix() {
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> m = {1, 2};
+  if (cores != 1 && cores != 2) m.push_back(cores);
+  return m;
+}
+
+class OverloadChaos : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static std::unique_ptr<SoapServer> start(ServerConfig cfg) {
+    cfg.reactor_threads = GetParam();
+    return SoapServer::create(ConcurrencyModel::kEventLoop, std::move(cfg));
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Reactors, OverloadChaos,
+                         ::testing::ValuesIn(shard_matrix()),
+                         [](const auto& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+SoapEnvelope data_request(std::size_t n) {
+  return services::make_data_request(workload::make_lead_dataset(n));
+}
+
+std::vector<std::uint8_t> framed_request(std::size_t n) {
+  BxsaEncoding enc;
+  const SoapEnvelope req = data_request(n);
+  ByteWriter w;
+  const std::size_t len_pos = begin_frame(w, BxsaEncoding::content_type());
+  enc.serialize_into(req.document(), w);
+  end_frame(w, len_pos);
+  return w.take();
+}
+
+void expect_drains_to_zero(SoapServer& server) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.active_connections() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  EXPECT_EQ(server.active_connections(), 0u);
+}
+
+/// A deliberately saturated server: one worker with a real (1 ms) cost
+/// per request and a tiny queue, so most concurrent arrivals shed.
+ServerConfig saturated_config(obs::Registry* registry) {
+  ServerConfig cfg;
+  cfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  cfg.handler = [](SoapEnvelope env) {
+    std::this_thread::sleep_for(milliseconds(1));
+    return services::verification_handler(std::move(env));
+  };
+  cfg.registry = registry;
+  cfg.worker_threads = 1;
+  cfg.max_queue_depth = 2;
+  cfg.shed_retry_after = milliseconds(1);
+  return cfg;
+}
+
+// Many clients hammer a saturated server through ReliableCallers that
+// share ONE OverloadControl. The storm must be contained: total retries
+// stay inside the shared token budget (plus credit earned by successes),
+// the server's queue bound holds, and the system serves normally again
+// once the storm passes.
+TEST_P(OverloadChaos, RetryStormIsContainedByTheSharedBudget) {
+  obs::Registry server_reg;
+  auto server = start(saturated_config(&server_reg));
+
+  constexpr double kTokens = 8.0;
+  constexpr double kCredit = 0.05;
+  OverloadControl control(kTokens, kCredit);
+
+  obs::Registry client_reg;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = milliseconds(1);
+  policy.deadline = milliseconds(5000);  // generous: exercises re-stamping
+  using Engine = SoapEngine<BxsaEncoding, TcpClientBinding>;
+  constexpr int kThreads = 4;
+  constexpr int kCallsEach = 8;
+
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::vector<std::unique_ptr<ReliableCaller<Engine>>> callers;
+  for (int t = 0; t < kThreads; ++t) {
+    engines.push_back(std::make_unique<Engine>(
+        Engine({}, TcpClientBinding(server->port()))));
+    callers.push_back(std::make_unique<ReliableCaller<Engine>>(
+        *engines.back(), policy, &client_reg));
+    callers.back()->attach_overload_control(&control);
+  }
+
+  std::atomic<int> ok{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> errored{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCallsEach; ++i) {
+        try {
+          const SoapEnvelope resp =
+              callers[static_cast<std::size_t>(t)]->call(data_request(12));
+          resp.is_fault() ? ++shed : ++ok;
+        } catch (const TransportError&) {
+          ++errored;  // breaker fail-fast or exhausted budget: contained
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Every call ended in a typed outcome — nothing hung, nothing leaked.
+  EXPECT_EQ(ok + shed + errored, kThreads * kCallsEach);
+  EXPECT_GT(ok.load(), 0);  // the server was saturated, not dead
+
+  // Containment: retries never exceed the shared budget plus the credit
+  // actually earned. Without the budget this storm would retry up to
+  // (attempts-1) * calls = 96 times.
+  const auto retries = client_reg.counter("client.retry.retries").value();
+  const auto successes = client_reg.counter("client.retry.successes").value();
+  EXPECT_LE(static_cast<double>(retries),
+            kTokens + kCredit * static_cast<double>(successes) + 1e-9);
+
+  // The server held its bound the whole time.
+  EXPECT_LE(server_reg.waterline("event.queue.waterline").peak(), 2u);
+  EXPECT_EQ(server_reg.counter("event.expired.dropped").value(), 0u);
+
+  // Recovery: with the storm over, a fresh uncontrolled client succeeds.
+  callers.clear();
+  engines.clear();
+  expect_drains_to_zero(*server);
+  Engine fresh({}, TcpClientBinding(server->port()));
+  EXPECT_TRUE(
+      services::parse_verify_response(fresh.call(data_request(7))).ok);
+}
+
+// Transport faults layered on top of overload: seeded resets, truncations
+// and delays on the client's stream while the server sheds. Every seed
+// must converge to success, an in-band fault, or a typed give-up — the
+// two failure domains (lossy transport, saturated server) never combine
+// into a hang or an unbounded retry loop.
+TEST_P(OverloadChaos, TransportFaultsUnderSaturationStillConverge) {
+  obs::Registry server_reg;
+  auto server = start(saturated_config(&server_reg));
+
+  int ok = 0;
+  int faulted = 0;
+  int gave_up = 0;
+  constexpr std::uint64_t kSeeds = 40;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    FaultPlanConfig pc;
+    pc.max_offset = 2048;
+    pc.max_delay_ms = 2;
+    SoapEngine<BxsaEncoding, FaultyBinding<TcpClientBinding>> client(
+        {}, FaultyBinding<TcpClientBinding>(TcpClientBinding(server->port()),
+                                            FaultPlan(seed, pc)));
+    RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.initial_backoff = milliseconds(0);
+    policy.jitter_seed = seed;
+    OverloadControl control(4.0, 0.1);
+    ReliableCaller caller(client, policy, nullptr);
+    caller.attach_overload_control(&control);
+    try {
+      const SoapEnvelope resp = caller.call(data_request(16));
+      resp.is_fault() ? ++faulted : ++ok;
+    } catch (const TransportError&) {
+      ++gave_up;
+    }
+  }
+  EXPECT_EQ(ok + faulted + gave_up, static_cast<int>(kSeeds));
+  EXPECT_GT(ok, 0);  // clean seeds exist in the plan space
+
+  expect_drains_to_zero(*server);
+  EXPECT_LE(server_reg.waterline("event.queue.waterline").peak(), 2u);
+}
+
+// Pipelined bursts that overfill the queue get their producers parked;
+// some of those producers then vanish without ever reading a byte. The
+// reactors must reap the dead parked connections, un-park the survivors,
+// answer every one of their slots in order, and keep serving.
+TEST_P(OverloadChaos, AbandonedParkedPipelinesAreReapedCleanly) {
+  obs::Registry server_reg;
+  auto server = start(saturated_config(&server_reg));
+
+  constexpr std::size_t kConns = 4;
+  constexpr std::size_t kBurst = 6;
+  std::vector<TcpStream> conns;
+  for (std::size_t c = 0; c < kConns; ++c) {
+    conns.push_back(TcpStream::connect(server->port()));
+    conns.back().set_read_timeout(5000);  // hang detector, not the contract
+    const std::vector<std::uint8_t> frame = framed_request(10 + c);
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      conns[c].write_all(frame);
+    }
+  }
+
+  // Two producers abandon their bursts mid-flight — likely while parked.
+  conns.erase(conns.begin(), conns.begin() + 2);
+
+  // The survivors still get a response for every pipeline slot, in order:
+  // a verified result or an Overloaded shed fault, never a hole.
+  BxsaEncoding enc;
+  for (std::size_t c = 0; c < conns.size(); ++c) {
+    const std::size_t expect_count = 10 + 2 + c;
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      SCOPED_TRACE("conn " + std::to_string(c) + " slot " + std::to_string(i));
+      const soap::WireMessage resp = read_frame(conns[c]);
+      const SoapEnvelope env(enc.deserialize(resp.payload));
+      if (env.is_fault()) {
+        EXPECT_TRUE(is_overloaded(env.fault()));
+      } else {
+        EXPECT_EQ(services::parse_verify_response(env).count, expect_count);
+      }
+    }
+  }
+  conns.clear();
+  expect_drains_to_zero(*server);
+  EXPECT_LE(server_reg.waterline("event.queue.waterline").peak(), 2u);
+
+  // The server is still healthy after the carnage.
+  SoapEngine<BxsaEncoding, TcpClientBinding> fresh(
+      {}, TcpClientBinding(server->port()));
+  EXPECT_TRUE(
+      services::parse_verify_response(fresh.call(data_request(9))).ok);
+}
+
+}  // namespace
+}  // namespace bxsoap::transport

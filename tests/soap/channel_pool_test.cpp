@@ -97,6 +97,56 @@ TEST(ChannelPool, DeadChannelIsResetAndReplaced) {
   EXPECT_TRUE(services::parse_verify_response(again).ok);
 }
 
+TEST(ChannelPool, CheckoutTimeoutFailsFastWhenAllChannelsAreBusy) {
+  // A handler gate keeps the single channel checked out until released.
+  std::atomic<bool> release{false};
+  ServerConfig scfg;
+  scfg.encoding = AnyEncoding::from(BxsaEncoding{});
+  scfg.handler = [&release](SoapEnvelope env) {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return env;
+  };
+  auto server = SoapServer::create(ConcurrencyModel::kEventLoop,
+                                   std::move(scfg));
+
+  obs::Registry registry;
+  TcpChannelPool<BxsaEncoding>::Config cfg;
+  cfg.port = server->port();
+  cfg.channels = 1;
+  cfg.checkout_timeout = std::chrono::milliseconds(50);
+  cfg.registry = &registry;
+  TcpChannelPool<BxsaEncoding> pool(cfg);
+
+  std::thread occupant([&pool] {
+    pool.call(services::make_data_request(workload::make_lead_dataset(3)));
+  });
+  // Wait (bounded) until the occupant holds the only channel.
+  for (int i = 0; i < 2000; ++i) {
+    if (registry.gauge("client.channels.channels.in_use").value() == 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(registry.gauge("client.channels.channels.in_use").value(), 1);
+
+  // Historically this wait was unbounded — a stalled server stranded
+  // every caller forever. With checkout_timeout it is a typed, counted
+  // transport failure instead.
+  EXPECT_THROW(pool.call(services::make_data_request(
+                   workload::make_lead_dataset(3))),
+               TransportError);
+  EXPECT_EQ(registry.counter("client.channels.checkout.timeout").value(), 1u);
+
+  release.store(true, std::memory_order_release);
+  occupant.join();
+  // The timed-out caller never touched the channel: no poison, no reset,
+  // and the pool still serves.
+  EXPECT_EQ(pool.resets(), 0u);
+  SoapEnvelope after = pool.call(
+      services::make_data_request(workload::make_lead_dataset(5)));
+  EXPECT_FALSE(after.is_fault());  // the gate handler echoes the request
+}
+
 // The pool has the engine's call() shape, so ReliableCaller composes on
 // top: a transient failure poisons the channel, the pool resets it, and
 // the retry lands on a fresh connection.

@@ -1,0 +1,223 @@
+#include "soap/overload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "soap/engine.hpp"
+#include "soap/envelope.hpp"
+
+namespace bxsoap::soap {
+namespace {
+
+using std::chrono::milliseconds;
+
+SoapEnvelope probe() {
+  return SoapEnvelope::wrap(xdm::make_element(xdm::QName("probe")));
+}
+
+// ---- deadline header block ------------------------------------------------
+
+TEST(DeadlineHeader, AbsentByDefault) {
+  const SoapEnvelope env = probe();
+  EXPECT_FALSE(get_deadline(env).has_value());
+}
+
+TEST(DeadlineHeader, StampAndReadBack) {
+  SoapEnvelope env = probe();
+  set_deadline(env, milliseconds(1500));
+  const auto d = get_deadline(env);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->count(), 1500);
+}
+
+TEST(DeadlineHeader, RestampReplacesThePreviousBlock) {
+  SoapEnvelope env = probe();
+  set_deadline(env, milliseconds(1500));
+  set_deadline(env, milliseconds(300));
+  const auto d = get_deadline(env);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->count(), 300);
+  // Exactly one Deadline block remains after the re-stamp.
+  std::size_t blocks = 0;
+  for (const auto& child : env.header().children()) {
+    const xdm::ElementBase* e = xdm::as_element(*child);
+    if (e != nullptr && e->name().local == "Deadline") ++blocks;
+  }
+  EXPECT_EQ(blocks, 1u);
+}
+
+TEST(DeadlineHeader, SubMillisecondBudgetsFloorAtOne) {
+  SoapEnvelope env = probe();
+  set_deadline(env, milliseconds(0));
+  const auto d = get_deadline(env);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->count(), 1);  // a zero stamp would mean "drop always"
+}
+
+TEST(DeadlineHeader, SurvivesBxsaRoundTrip) {
+  SoapEnvelope env = probe();
+  set_deadline(env, milliseconds(250));
+  BxsaEncoding codec;
+  const std::vector<std::uint8_t> wire = codec.serialize(env.document());
+  const SoapEnvelope back(codec.deserialize(wire));
+  const auto d = get_deadline(back);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->count(), 250);
+}
+
+// ---- Overloaded fault helpers ---------------------------------------------
+
+TEST(OverloadedFault, RoundTripsThroughAnEnvelope) {
+  const Fault f = make_overloaded_fault(milliseconds(75));
+  EXPECT_TRUE(is_overloaded(f));
+  const auto hint = retry_after_hint(f);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(hint->count(), 75);
+
+  const SoapEnvelope env = SoapEnvelope::make_fault(f);
+  ASSERT_TRUE(env.is_fault());
+  EXPECT_TRUE(is_overloaded(env.fault()));
+}
+
+TEST(OverloadedFault, OrdinaryServerFaultsDoNotMatch) {
+  EXPECT_FALSE(is_overloaded({"soap:Server", "boom", ""}));
+  EXPECT_FALSE(is_overloaded({"soap:Client", "Overloaded", ""}));
+  EXPECT_FALSE(is_overloaded(
+      {std::string(kServerFaultCode), std::string(kDeadlineExpiredReason),
+       ""}));
+}
+
+TEST(OverloadedFault, MalformedHintReadsAsAbsent) {
+  Fault f = make_overloaded_fault(milliseconds(10));
+  f.detail = "retry-after-ms=bogus";
+  EXPECT_FALSE(retry_after_hint(f).has_value());
+  f.detail = "";
+  EXPECT_FALSE(retry_after_hint(f).has_value());
+}
+
+// ---- DeadlineScope / remaining_deadline -----------------------------------
+
+TEST(DeadlineScope, VisibleInsideAndRestoredOutside) {
+  EXPECT_FALSE(remaining_deadline().has_value());
+  {
+    DeadlineScope scope(std::chrono::steady_clock::now() + milliseconds(500));
+    const auto rem = remaining_deadline();
+    ASSERT_TRUE(rem.has_value());
+    EXPECT_GT(rem->count(), 0);
+    EXPECT_LE(rem->count(), 500);
+    {
+      DeadlineScope inner(std::nullopt);  // a deadline-free nested request
+      EXPECT_FALSE(remaining_deadline().has_value());
+    }
+    EXPECT_TRUE(remaining_deadline().has_value());  // outer restored
+  }
+  EXPECT_FALSE(remaining_deadline().has_value());
+}
+
+TEST(DeadlineScope, PastDeadlineReportsZeroNotNegative) {
+  DeadlineScope scope(std::chrono::steady_clock::now() - milliseconds(10));
+  const auto rem = remaining_deadline();
+  ASSERT_TRUE(rem.has_value());
+  EXPECT_EQ(rem->count(), 0);
+}
+
+// ---- RetryBudget ----------------------------------------------------------
+
+TEST(RetryBudget, StartsFullAndDrains) {
+  RetryBudget budget(3.0, 0.5);
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_FALSE(budget.try_spend());
+}
+
+TEST(RetryBudget, SuccessesEarnFractionalCredit) {
+  RetryBudget budget(2.0, 0.5);
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_FALSE(budget.try_spend());
+  budget.credit();  // 0.5: still under a whole token
+  EXPECT_FALSE(budget.try_spend());
+  budget.credit();  // 1.0: one retry earned back
+  EXPECT_TRUE(budget.try_spend());
+}
+
+TEST(RetryBudget, CreditCapsAtMax) {
+  RetryBudget budget(2.0, 10.0);
+  budget.credit();
+  budget.credit();
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_FALSE(budget.try_spend());  // capped at 2, not 22
+}
+
+// ---- CircuitBreaker -------------------------------------------------------
+
+/// A breaker on a hand-cranked clock: no test here sleeps.
+struct BreakerRig {
+  std::chrono::steady_clock::time_point now = std::chrono::steady_clock::now();
+  CircuitBreaker breaker;
+  explicit BreakerRig(CircuitBreakerConfig config)
+      : breaker(config, [this] { return now; }) {}
+};
+
+CircuitBreakerConfig small_breaker() {
+  CircuitBreakerConfig c;
+  c.window = 4;
+  c.failure_threshold = 2;
+  c.cooldown = milliseconds(100);
+  return c;
+}
+
+TEST(CircuitBreaker, OpensAtTheFailureThreshold) {
+  BreakerRig rig(small_breaker());
+  EXPECT_TRUE(rig.breaker.allow());
+  rig.breaker.on_failure();
+  EXPECT_EQ(rig.breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(rig.breaker.allow());
+  rig.breaker.on_failure();
+  EXPECT_EQ(rig.breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(rig.breaker.allow());
+}
+
+TEST(CircuitBreaker, RollingWindowForgetsOldFailures) {
+  BreakerRig rig(small_breaker());
+  rig.breaker.on_failure();
+  // Four successes push the failure out of the window=4 history...
+  for (int i = 0; i < 4; ++i) rig.breaker.on_success();
+  rig.breaker.on_failure();
+  // ...so this second failure is the only one in view: still closed.
+  EXPECT_EQ(rig.breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeSuccessCloses) {
+  BreakerRig rig(small_breaker());
+  rig.breaker.on_failure();
+  rig.breaker.on_failure();
+  EXPECT_FALSE(rig.breaker.allow());
+  rig.now += milliseconds(101);  // cooldown elapses
+  EXPECT_TRUE(rig.breaker.allow());   // the single probe
+  EXPECT_FALSE(rig.breaker.allow());  // everyone else still rejected
+  rig.breaker.on_success();
+  EXPECT_EQ(rig.breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(rig.breaker.allow());
+}
+
+TEST(CircuitBreaker, HalfOpenProbeFailureReopensForAnotherCooldown) {
+  BreakerRig rig(small_breaker());
+  rig.breaker.on_failure();
+  rig.breaker.on_failure();
+  rig.now += milliseconds(101);
+  EXPECT_TRUE(rig.breaker.allow());  // probe
+  rig.breaker.on_failure();
+  EXPECT_EQ(rig.breaker.state(), CircuitBreaker::State::kOpen);
+  rig.now += milliseconds(50);  // half a cooldown: still dark
+  EXPECT_FALSE(rig.breaker.allow());
+  rig.now += milliseconds(51);  // full cooldown from the probe failure
+  EXPECT_TRUE(rig.breaker.allow());
+}
+
+}  // namespace
+}  // namespace bxsoap::soap
