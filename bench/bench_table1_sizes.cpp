@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/harness.hpp"
+#include "bxsa/dict.hpp"
 #include "bxsa/encoder.hpp"
 #include "common/base64.hpp"
 #include "workload/lead.hpp"
@@ -19,6 +20,7 @@ namespace {
 
 struct SizeRow {
   std::size_t native, bxsa, netcdf, xml, base64;
+  std::size_t dict1, dict100;  // dict-coded: 1st vs 100th message on a channel
 };
 
 SizeRow measure_sizes(std::size_t model_size) {
@@ -27,7 +29,20 @@ SizeRow measure_sizes(std::size_t model_size) {
 
   SizeRow row;
   row.native = dataset.native_bytes();
-  row.bxsa = bxsa::encode(*payload).size();
+  const std::vector<std::uint8_t> plain_bxsa = bxsa::encode(*payload);
+  row.bxsa = plain_bxsa.size();
+
+  // BXTP v3 channel dictionaries (FORMAT.md §"BXTP v3"): the 1st message
+  // on a channel pays admissions; by the 100th every recurring symbol is a
+  // small table reference. The gap is the amortized per-message saving a
+  // long-lived small-message channel collects.
+  bxsa::SymbolDictionary dict{bxsa::DictLimits{}};
+  for (int n = 0; n < 100; ++n) {
+    ByteWriter coded;
+    bxsa::dict_encode(plain_bxsa, dict, coded);
+    if (n == 0) row.dict1 = coded.size();
+    if (n == 99) row.dict100 = coded.size();
+  }
   row.netcdf = workload::to_netcdf(dataset).to_bytes().size();
 
   // The paper's XML row is "namespace free and uses the shortest [tag] as
@@ -80,18 +95,27 @@ int main() {
     t.cell(r.base64);
     t.cell(overhead_pct(r.base64, r.native), "%.1f%%");
     t.end_row();
+    t.cell(std::string("BXSA+dict(1st)"));
+    t.cell(r.dict1);
+    t.cell(overhead_pct(r.dict1, r.native), "%.1f%%");
+    t.end_row();
+    t.cell(std::string("BXSA+dict(100th)"));
+    t.cell(r.dict100);
+    t.cell(overhead_pct(r.dict100, r.native), "%.1f%%");
+    t.end_row();
   }
 
   std::printf("\n-- overhead vs model size (XML grows linearly; binary "
               "overheads amortize) --\n\n");
-  bench::Table sweep({"model size", "native B", "BXSA ovh", "netCDF ovh",
-                      "XML ovh"});
+  bench::Table sweep({"model size", "native B", "BXSA ovh", "dict ovh",
+                      "netCDF ovh", "XML ovh"});
   sweep.print_header();
   for (const std::size_t n : {10ul, 100ul, 1000ul, 10000ul, 100000ul}) {
     const SizeRow r = measure_sizes(n);
     sweep.cell(n);
     sweep.cell(r.native);
     sweep.cell(overhead_pct(r.bxsa, r.native), "%.2f%%");
+    sweep.cell(overhead_pct(r.dict100, r.native), "%.2f%%");
     sweep.cell(overhead_pct(r.netcdf, r.native), "%.2f%%");
     sweep.cell(overhead_pct(r.xml, r.native), "%.1f%%");
     sweep.end_row();

@@ -21,7 +21,7 @@ cmake --build --preset release-bench -j "$jobs"
 names=("$@")
 if [[ ${#names[@]} -eq 0 ]]; then
   names=(engine frames sockets striping convert compression concurrency
-         streaming overload)
+         streaming overload smallmsg)
 fi
 
 repo="$PWD"
@@ -31,7 +31,7 @@ for name in "${names[@]}"; do
   # "concurrency" includes the c10k saturation ladder (1k/4k/10k
   # connections against the sharded event server) in full mode.
   if [[ "$name" == "concurrency" || "$name" == "streaming" ||
-        "$name" == "overload" ]]; then
+        "$name" == "overload" || "$name" == "smallmsg" ]]; then
     bin="$repo/build-bench/bench/bench_${name}"
   fi
   if [[ ! -x "$bin" ]]; then

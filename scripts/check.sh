@@ -63,11 +63,13 @@ echo "== ctest (tsan: buffer pool + server pool + event server + streaming) =="
 # test), the multi-threaded server pool, the sharded epoll reactors and
 # their cross-reactor handoffs (EventShard), the client channel pool, the
 # chunked streaming path (per-stream threads + bounded queues on both
-# servers), and the overload-control surfaces (admission/shed/park state
+# servers), the overload-control surfaces (admission/shed/park state
 # shared between reactors and workers, the ReliableCaller retry budget and
-# circuit breaker, deadline propagation into handler threads).
+# circuit breaker, deadline propagation into handler threads), and the
+# BXTP v3 surfaces (per-connection dictionary state vs reactor/worker
+# handoffs, the sharded response cache hammered from pooled channels).
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool|ServerConfig|EventServer|EventShard|ChannelPool|Streaming|Overload|ExpiredDrop|DeadlineContext|ReliableCaller' \
+  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool|ServerConfig|EventServer|EventShard|ChannelPool|Streaming|Overload|ExpiredDrop|DeadlineContext|ReliableCaller|RespCache|V3Negotiation|DictChannel|V3Chaos' \
   --output-on-failure -j "$jobs")
 
 echo "== overload chaos gate (tsan, retry storms + saturated sheds) =="
@@ -90,5 +92,12 @@ echo "== bench_overload (short mode, overload acceptance gate) =="
 # accepted work, zero expired requests entering a handler) and exits
 # nonzero on violation — so this smoke IS the acceptance gate.
 (cd build && ./bench/bench_overload --short)
+
+echo "== bench_smallmsg (short mode, BXTP v3 acceptance gate) =="
+# The small-message ladder self-checks the DESIGN.md §13 acceptance
+# criteria (>= 30% fewer steady-state wire bytes/call on a dictionary
+# channel, throughput preserved with the full v3 stack, cache hits
+# faster than re-encode) and exits nonzero on violation.
+(cd build && ./bench/bench_smallmsg --short)
 
 echo "check.sh: all green"

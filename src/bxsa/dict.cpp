@@ -1,0 +1,329 @@
+#include "bxsa/dict.hpp"
+
+#include <string_view>
+
+#include "bxsa/frame.hpp"
+#include "common/vls.hpp"
+#include "xbs/xbs.hpp"
+#include "xdm/atom.hpp"
+
+namespace bxsoap::bxsa {
+
+namespace {
+
+using xdm::AtomType;
+
+/// Same recursion bound as the decoder: the transform recurses per
+/// document/component frame and hostile input must not exhaust the stack.
+constexpr std::size_t kMaxFrameDepth = 1024;
+
+constexpr std::uint64_t kTagLiteral = 0;   // literal, not admitted
+constexpr std::uint64_t kTagAdd = 1;       // literal, admitted as next entry
+constexpr std::uint64_t kTagRefBase = 2;   // tag k>=2 references entry k-2
+
+/// One pass over one document stream. Both directions share the frame walk;
+/// only symbol() differs: the encode side folds literals into DStrings, the
+/// decode side expands DStrings back to literals. All counts, lengths and
+/// Size fields are re-emitted canonically (input from our encoder is
+/// canonical, so the round trip is byte-identical), and array alignment
+/// padding is re-derived from output offsets since references shift every
+/// downstream byte.
+class Transform {
+ public:
+  Transform(std::span<const std::uint8_t> in, SymbolDictionary& dict,
+            ByteWriter& out, bool encode)
+      : r_(in), dict_(dict), out_(&out), base_(out.size()), encode_(encode) {}
+
+  DictCounts run() {
+    frame();
+    if (!r_.at_end()) {
+      throw DecodeError("trailing bytes after the top-level frame");
+    }
+    return counts_;
+  }
+
+ private:
+  // Offset of the next output byte relative to the document start (the
+  // receiver decodes the payload from offset 0, so array padding must be
+  // derived from this, not from whatever the writer already held).
+  std::size_t out_offset() const { return out_->size() - base_; }
+
+  void frame() {
+    if (++depth_ > kMaxFrameDepth) {
+      throw DecodeError("frame nesting exceeds the depth limit of " +
+                        std::to_string(kMaxFrameDepth));
+    }
+    const std::uint8_t prefix_byte = r_.get_u8();
+    const FramePrefix prefix = parse_prefix_byte(prefix_byte);
+    const std::uint64_t body = r_.get_vls();
+    if (body > r_.remaining()) {
+      throw DecodeError("frame size " + std::to_string(body) +
+                        " exceeds remaining input");
+    }
+    const std::size_t in_end = r_.offset() + static_cast<std::size_t>(body);
+
+    switch (prefix.type) {
+      // Backpatched frames: the body may contain arrays whose padding
+      // depends on absolute offsets, so reserve the encoder's fixed 5-byte
+      // Size and fill it in once the body is down.
+      case FrameType::kDocument:
+      case FrameType::kComponentElement:
+      case FrameType::kArrayElement: {
+        out_->write_u8(prefix_byte);
+        const std::size_t size_at = out_->size();
+        out_->write_padding(kSizeFieldWidth);
+        if (prefix.type == FrameType::kDocument) {
+          const std::uint64_t n = r_.get_vls();
+          vls_write(*out_, n);
+          for (std::uint64_t i = 0; i < n; ++i) frame();
+        } else if (prefix.type == FrameType::kComponentElement) {
+          header();
+          const std::uint64_t n = r_.get_vls();
+          vls_write(*out_, n);
+          for (std::uint64_t i = 0; i < n; ++i) frame();
+        } else {
+          header();
+          array_tail();
+        }
+        std::uint8_t size_buf[kSizeFieldWidth];
+        vls_encode_padded(out_->size() - size_at - kSizeFieldWidth,
+                          kSizeFieldWidth, size_buf);
+        out_->patch_bytes(size_at, size_buf, kSizeFieldWidth);
+        break;
+      }
+      // Canonical-Size frames: no arrays inside, so build the body in a
+      // scratch writer and emit prefix + minimal VLS Size + body.
+      case FrameType::kLeafElement: {
+        ByteWriter tmp;
+        {
+          ScopedOut scope(*this, tmp);
+          header();
+          const std::uint8_t code = r_.get_u8();
+          tmp.write_u8(code);
+          value(code);
+        }
+        emit_sized(prefix_byte, tmp);
+        break;
+      }
+      case FrameType::kCharacterData:
+      case FrameType::kComment: {
+        ByteWriter tmp;
+        {
+          ScopedOut scope(*this, tmp);
+          copy_string();
+        }
+        emit_sized(prefix_byte, tmp);
+        break;
+      }
+      case FrameType::kPI: {
+        ByteWriter tmp;
+        {
+          ScopedOut scope(*this, tmp);
+          copy_string();
+          copy_string();
+        }
+        emit_sized(prefix_byte, tmp);
+        break;
+      }
+    }
+
+    if (r_.offset() != in_end) {
+      throw DecodeError("frame body not fully consumed (at " +
+                        std::to_string(r_.offset()) + ", expected " +
+                        std::to_string(in_end) + ")");
+    }
+    --depth_;
+  }
+
+  /// Redirects output into a scratch buffer for canonical-Size bodies.
+  /// Alignment never looks at out_offset() inside these frames (no arrays),
+  /// so the temporary origin shift is unobservable.
+  struct ScopedOut {
+    ScopedOut(Transform& t, ByteWriter& tmp)
+        : t(t), saved_out(t.out_), saved_base(t.base_) {
+      t.out_ = &tmp;
+      t.base_ = 0;
+    }
+    ~ScopedOut() {
+      t.out_ = saved_out;
+      t.base_ = saved_base;
+    }
+    Transform& t;
+    ByteWriter* saved_out;
+    std::size_t saved_base;
+  };
+
+  void emit_sized(std::uint8_t prefix_byte, const ByteWriter& body) {
+    out_->write_u8(prefix_byte);
+    vls_write(*out_, body.size());
+    out_->write_bytes(body.bytes());
+  }
+
+  // ---- element pieces -----------------------------------------------------
+
+  void header() {
+    const std::uint64_t n1 = r_.get_vls();
+    if (n1 > r_.remaining() / 2) {
+      throw DecodeError("namespace decl count " + std::to_string(n1) +
+                        " exceeds remaining input");
+    }
+    vls_write(*out_, n1);
+    for (std::uint64_t i = 0; i < n1; ++i) {
+      symbol();  // prefix
+      symbol();  // uri
+    }
+    qname_ref();
+    const std::uint64_t n2 = r_.get_vls();
+    if (n2 > r_.remaining() / 3) {
+      throw DecodeError("attribute count " + std::to_string(n2) +
+                        " exceeds remaining input");
+    }
+    vls_write(*out_, n2);
+    for (std::uint64_t i = 0; i < n2; ++i) {
+      qname_ref();
+      const std::uint8_t code = r_.get_u8();
+      out_->write_u8(code);
+      value(code);
+    }
+  }
+
+  void qname_ref() {
+    const std::uint64_t depth = r_.get_vls();
+    vls_write(*out_, depth);
+    if (depth != 0) {
+      vls_write(*out_, r_.get_vls());  // ns index within that frame's table
+    }
+    symbol();  // local name
+  }
+
+  void array_tail() {
+    const std::uint8_t code = r_.get_u8();
+    if (code > static_cast<std::uint8_t>(AtomType::kBool)) {
+      throw DecodeError("unknown array item type code " + std::to_string(code));
+    }
+    const std::size_t item = xdm::atom_wire_size(static_cast<AtomType>(code));
+    if (item == 0) throw DecodeError("array frame with variable-width items");
+    out_->write_u8(code);
+    symbol();  // item name
+    const std::uint64_t count = r_.get_vls();
+    vls_write(*out_, count);
+    r_.align_to(item);
+    out_->write_padding(xbs::padding_for(out_offset(), item));
+    // Divide, don't multiply: count * item can wrap size_t on a hostile
+    // count and defeat get_raw's own bounds check.
+    if (count > r_.remaining() / item) {
+      throw DecodeError("array count exceeds remaining input");
+    }
+    out_->write_bytes(r_.get_raw(static_cast<std::size_t>(count) * item));
+  }
+
+  /// Typed attribute/leaf value given its atom code: content, copied
+  /// verbatim (fixed-width scalars are order-agnostic byte copies).
+  void value(std::uint8_t code) {
+    if (code > static_cast<std::uint8_t>(AtomType::kBool)) {
+      throw DecodeError("unknown atom type code " + std::to_string(code));
+    }
+    const auto t = static_cast<AtomType>(code);
+    if (t == AtomType::kString) {
+      copy_string();
+    } else {
+      out_->write_bytes(r_.get_raw(xdm::atom_wire_size(t)));
+    }
+  }
+
+  /// A String that is content, not a symbol: re-emitted canonically.
+  void copy_string() {
+    const std::uint64_t n = r_.get_vls();
+    if (n > r_.remaining()) {
+      throw DecodeError("string length exceeds remaining input");
+    }
+    vls_write(*out_, n);
+    out_->write_bytes(r_.get_raw(static_cast<std::size_t>(n)));
+  }
+
+  /// A symbol String: fold to / expand from a DString.
+  void symbol() {
+    if (encode_) {
+      const std::uint64_t n = r_.get_vls();
+      if (n > r_.remaining()) {
+        throw DecodeError("string length exceeds remaining input");
+      }
+      const auto raw = r_.get_raw(static_cast<std::size_t>(n));
+      const std::string_view sym(reinterpret_cast<const char*>(raw.data()),
+                                 raw.size());
+      if (const auto idx = dict_.find(sym)) {
+        const std::uint64_t tag = *idx + kTagRefBase;
+        vls_write(*out_, tag);
+        ++counts_.hits;
+        const std::size_t literal = vls_size(n) + sym.size();
+        const std::size_t ref = vls_size(tag);
+        if (literal > ref) counts_.bytes_saved += literal - ref;
+      } else if (dict_.can_add(sym)) {
+        vls_write(*out_, kTagAdd);
+        vls_write(*out_, n);
+        out_->write_bytes(raw);
+        dict_.add(sym);
+        ++counts_.added;
+      } else {
+        vls_write(*out_, kTagLiteral);
+        vls_write(*out_, n);
+        out_->write_bytes(raw);
+        ++counts_.misses;
+      }
+    } else {
+      const std::uint64_t tag = r_.get_vls();
+      if (tag >= kTagRefBase) {
+        const std::string_view sym = dict_.entry(tag - kTagRefBase);
+        vls_write(*out_, sym.size());
+        out_->write_bytes(sym.data(), sym.size());
+        ++counts_.hits;
+      } else {
+        const std::uint64_t n = r_.get_vls();
+        if (n > r_.remaining()) {
+          throw DecodeError("string length exceeds remaining input");
+        }
+        const auto raw = r_.get_raw(static_cast<std::size_t>(n));
+        vls_write(*out_, n);
+        out_->write_bytes(raw);
+        if (tag == kTagAdd) {
+          const std::string_view sym(reinterpret_cast<const char*>(raw.data()),
+                                     raw.size());
+          if (!dict_.can_add(sym)) {
+            throw DecodeError(
+                "dictionary admission exceeds the negotiated table bounds");
+          }
+          if (dict_.find(sym)) {
+            throw DecodeError("dictionary admission of an entry already "
+                              "present in the table");
+          }
+          dict_.add(sym);
+          ++counts_.added;
+        } else {
+          ++counts_.misses;
+        }
+      }
+    }
+  }
+
+  xbs::Reader r_;
+  SymbolDictionary& dict_;
+  ByteWriter* out_;
+  std::size_t base_;
+  bool encode_;
+  std::size_t depth_ = 0;
+  DictCounts counts_;
+};
+
+}  // namespace
+
+DictCounts dict_encode(std::span<const std::uint8_t> in,
+                       SymbolDictionary& dict, ByteWriter& out) {
+  return Transform(in, dict, out, /*encode=*/true).run();
+}
+
+DictCounts dict_decode(std::span<const std::uint8_t> in,
+                       SymbolDictionary& dict, ByteWriter& out) {
+  return Transform(in, dict, out, /*encode=*/false).run();
+}
+
+}  // namespace bxsoap::bxsa

@@ -1,0 +1,216 @@
+// Per-channel dynamic symbol dictionaries (BXTP v3, FORMAT.md §"BXTP v3").
+//
+// A plain BXSA stream re-transmits every namespace prefix/URI, element and
+// attribute local name, and array item name on every message — pure
+// per-call overhead for high-QPS small-message traffic where consecutive
+// messages on one connection share almost their whole symbol set. The
+// dictionary layer is a reversible byte-stream transform over a plain BXSA
+// document: each symbol string is rewritten as a tagged "DString"
+//
+//   DString = tag VLS, then
+//     tag 0   : literal String follows; receiver must NOT add it
+//     tag 1   : literal String follows; receiver appends it to the table
+//     tag k>=2: reference to table entry k-2; no bytes follow
+//
+// Both sides maintain a mirrored insertion-ordered table bounded by the
+// negotiated DictLimits; the wire itself says what is added (tag 1), so the
+// decoder needs no policy. Content is never dictionary-coded: character
+// data, comments, PI bodies, and string scalar *values* pass through
+// untouched — only symbols (the schema-shaped, repeating part) are.
+//
+// Because references are shorter than the literals they replace, every
+// offset downstream shifts, so the transform re-derives what the plain
+// encoder derives from offsets: frame Size fields (5-byte padded VLS for
+// document/component/array frames, canonical VLS for the rest — the same
+// scheme as encoder.cpp) and array alignment padding (payload offset from
+// document start re-padded to a multiple of the item size). The transform
+// re-emits counts and lengths canonically, so for encoder-produced input
+// (always canonical) dict_decode(dict_encode(x)) == x byte-for-byte, and a
+// dictionary-decoded stream is indistinguishable from one the peer encoded
+// plain — the property the differential tests pin down.
+//
+// Strictness: a reference past the table end, a tag-1 add that would
+// exceed the negotiated bounds, or any malformed frame throws DecodeError
+// (surfaced as a validation fault by the transports).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace bxsoap::bxsa {
+
+/// Table bounds, negotiated at connect time (each side offers its own; the
+/// effective table is the element-wise minimum, so both mirrors agree).
+struct DictLimits {
+  std::uint32_t max_entries = 256;
+  std::uint32_t max_bytes = 16 * 1024;  // sum of entry string lengths
+
+  DictLimits min_with(const DictLimits& o) const noexcept {
+    return {max_entries < o.max_entries ? max_entries : o.max_entries,
+            max_bytes < o.max_bytes ? max_bytes : o.max_bytes};
+  }
+  bool operator==(const DictLimits&) const = default;
+};
+
+/// Optional metric sinks a channel wires to its obs registry
+/// (dict.entries / dict.bytes_saved / dict.resets).
+struct DictStats {
+  obs::Counter* entries = nullptr;
+  obs::Counter* bytes_saved = nullptr;
+  obs::Counter* resets = nullptr;
+};
+
+/// Per-message transform tally (also the encoder's reset-policy input).
+struct DictCounts {
+  std::uint64_t hits = 0;         // symbols replaced by a reference
+  std::uint64_t added = 0;        // literals admitted to the table (tag 1)
+  std::uint64_t misses = 0;       // literals refused by the bounds (tag 0)
+  std::uint64_t bytes_saved = 0;  // literal wire cost minus reference cost
+};
+
+/// One direction's mirrored symbol table. Insertion-ordered, bounded by
+/// entries and total bytes; no in-epoch eviction — the encoder resets the
+/// whole table (an epoch change, signaled by the message's DICT_RESET flag)
+/// when it judges the table stale.
+class SymbolDictionary {
+ public:
+  explicit SymbolDictionary(DictLimits limits) : limits_(limits) {}
+
+  const DictLimits& limits() const noexcept { return limits_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t bytes() const noexcept { return bytes_; }
+
+  void reset() {
+    entries_.clear();
+    index_.clear();
+    bytes_ = 0;
+  }
+
+  std::optional<std::uint64_t> find(std::string_view sym) const {
+    const auto it = index_.find(sym);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool can_add(std::string_view sym) const noexcept {
+    return entries_.size() < limits_.max_entries &&
+           bytes_ + sym.size() <= limits_.max_bytes;
+  }
+
+  /// Appends `sym` as the next entry; the caller must have checked
+  /// can_add(). Returns the new entry's index.
+  std::uint64_t add(std::string_view sym) {
+    auto [it, fresh] = index_.emplace(std::string(sym), entries_.size());
+    if (!fresh) {
+      throw EncodeError("symbol already present in dictionary");
+    }
+    entries_.push_back(&it->first);  // map node keys are address-stable
+    bytes_ += sym.size();
+    return entries_.size() - 1;
+  }
+
+  std::string_view entry(std::uint64_t index) const {
+    if (index >= entries_.size()) {
+      throw DecodeError("dictionary reference " + std::to_string(index) +
+                        " out of range for table of size " +
+                        std::to_string(entries_.size()));
+    }
+    return *entries_[index];
+  }
+
+ private:
+  // Heterogeneous lookup so find(string_view) costs no allocation.
+  struct SvHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  DictLimits limits_;
+  std::vector<const std::string*> entries_;
+  std::unordered_map<std::string, std::uint64_t, SvHash, std::equal_to<>>
+      index_;
+  std::size_t bytes_ = 0;
+};
+
+/// Rewrites one plain BXSA document stream `in` into dictionary-coded form
+/// appended to `out` (array alignment is relative to the first appended
+/// byte), updating `dict` with every tag-1 admission.
+DictCounts dict_encode(std::span<const std::uint8_t> in,
+                       SymbolDictionary& dict, ByteWriter& out);
+
+/// Inverse of dict_encode: expands a dictionary-coded stream back into the
+/// canonical plain BXSA bytes the plain encoder would have produced.
+/// Throws DecodeError on reference misses, over-bound admissions, or any
+/// malformed frame.
+DictCounts dict_decode(std::span<const std::uint8_t> in,
+                       SymbolDictionary& dict, ByteWriter& out);
+
+/// Encode-side channel state: the table plus the epoch/reset policy. The
+/// policy is encoder-local (any policy yields a valid stream since the
+/// wire carries explicit add and reset signals): once an admission has
+/// been refused for want of space, reset the table when a message's
+/// refused literals outnumber its reference hits — the working set has
+/// shifted enough that a fresh epoch amortizes better than limping on.
+class DictEncoder {
+ public:
+  explicit DictEncoder(DictLimits limits) : dict_(limits) {}
+
+  /// Transforms `in` onto `out`; returns true when the table was reset
+  /// first (the caller must set DICT_RESET on this message's frame).
+  bool encode(std::span<const std::uint8_t> in, ByteWriter& out,
+              const DictStats& stats = {}) {
+    bool reset = false;
+    if (table_full_ && last_.misses > last_.hits) {
+      dict_.reset();
+      table_full_ = false;
+      reset = true;
+      if (stats.resets != nullptr) stats.resets->add();
+    }
+    last_ = dict_encode(in, dict_, out);
+    if (last_.misses != 0) table_full_ = true;
+    if (stats.entries != nullptr) stats.entries->add(last_.added);
+    if (stats.bytes_saved != nullptr) stats.bytes_saved->add(last_.bytes_saved);
+    return reset;
+  }
+
+  const SymbolDictionary& dict() const noexcept { return dict_; }
+
+ private:
+  SymbolDictionary dict_;
+  DictCounts last_;
+  bool table_full_ = false;
+};
+
+/// Decode-side channel state: the mirrored table, cleared on DICT_RESET.
+class DictDecoder {
+ public:
+  explicit DictDecoder(DictLimits limits) : dict_(limits) {}
+
+  void decode(std::span<const std::uint8_t> in, bool reset, ByteWriter& out,
+              const DictStats& stats = {}) {
+    if (reset) {
+      dict_.reset();
+      if (stats.resets != nullptr) stats.resets->add();
+    }
+    const DictCounts c = dict_decode(in, dict_, out);
+    if (stats.entries != nullptr) stats.entries->add(c.added);
+  }
+
+  const SymbolDictionary& dict() const noexcept { return dict_; }
+
+ private:
+  SymbolDictionary dict_;
+};
+
+}  // namespace bxsoap::bxsa

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bxsa/dict.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "soap/engine.hpp"
@@ -49,10 +50,18 @@ class TcpChannelPool {
     /// server into every caller thread parked on cv_ indefinitely; any
     /// deployment with an upstream deadline should bound this.
     std::chrono::milliseconds checkout_timeout{0};
+    /// Probe each channel's connections for BXTP v3 (per-channel symbol
+    /// dictionaries; FORMAT.md §"BXTP v3"). Against a pre-v3 server every
+    /// channel downgrades permanently after one failed probe.
+    bool enable_v3 = false;
+    /// This side's dictionary-table offer (element-wise min'ed with the
+    /// server's); meaningful only with enable_v3.
+    bxsa::DictLimits dict_limits{};
     /// When set, records under "<metrics_prefix>.*": calls / resets
     /// counters, channels.in_use gauge, checkout.wait.ns histogram,
-    /// checkout.timeout counter, and io.* socket tallies across all
-    /// channels. Must outlive the pool.
+    /// checkout.timeout counter, io.* socket tallies across all channels,
+    /// and (with enable_v3) dict.{entries,bytes_saved,resets} across all
+    /// channels' dictionaries. Must outlive the pool.
     obs::Registry* registry = nullptr;
     std::string metrics_prefix = "client.channels";
   };
@@ -68,6 +77,12 @@ class TcpChannelPool {
       wait_ns_ = &reg->histogram(prefix + ".checkout.wait.ns");
       timeouts_ = &reg->counter(prefix + ".checkout.timeout");
       io_ = &reg->io(prefix + ".io");
+      if (config.enable_v3) {
+        dict_stats_.entries = &reg->counter(prefix + ".dict.entries");
+        dict_stats_.bytes_saved =
+            &reg->counter(prefix + ".dict.bytes_saved");
+        dict_stats_.resets = &reg->counter(prefix + ".dict.resets");
+      }
     }
     channels_.reserve(config.channels);
     for (std::size_t i = 0; i < config.channels; ++i) {
@@ -75,6 +90,10 @@ class TcpChannelPool {
                              transport::TcpClientBinding(config.port));
       channels_.back().binding().set_frame_limits(config.frame_limits);
       channels_.back().binding().set_io_stats(io_);
+      if (config.enable_v3) {
+        channels_.back().binding().enable_v3(config.dict_limits);
+        channels_.back().binding().set_dict_stats(dict_stats_);
+      }
       free_.push_back(i);
     }
   }
@@ -165,6 +184,7 @@ class TcpChannelPool {
   obs::Histogram* wait_ns_ = nullptr;
   obs::Counter* timeouts_ = nullptr;
   obs::IoStats* io_ = nullptr;
+  bxsa::DictStats dict_stats_{};  // shared by every channel's dictionaries
 };
 
 }  // namespace bxsoap::soap

@@ -19,7 +19,9 @@
 #include <string>
 #include <thread>
 
+#include "bxsa/dict.hpp"
 #include "soap/binding.hpp"
+#include "soap/encoding.hpp"
 #include "transport/framing.hpp"
 #include "transport/http.hpp"
 #include "transport/socket.hpp"
@@ -29,19 +31,72 @@ namespace bxsoap::transport {
 
 /// Client endpoint of SOAP-over-TCP. Keeps one persistent connection
 /// (connect on first use).
+///
+/// BXTP v3 (FORMAT.md §"BXTP v3"): with enable_v3(), each fresh connection
+/// is probed with a Hello. A v3 server answers Accept and the channel
+/// speaks v3 frames (with per-channel symbol dictionaries when both offers
+/// admit them); anything else — including the connection cut a pre-v3
+/// server inflicts on the unknown version — downgrades this binding
+/// PERMANENTLY to plain v1 framing, so one failed probe is the total cost
+/// against an old deployment.
 class TcpClientBinding {
  public:
   explicit TcpClientBinding(std::uint16_t port) : port_(port) {}
 
   void send_request(soap::WireMessage m) {
     ensure_connected();
-    write_frame(stream_, m);
+    if (!v3_active_) {
+      write_frame(stream_, m);
+    } else {
+      ByteWriter out(pool_->acquire(m.payload.size() + 64));
+      if (enc_dict_ &&
+          m.content_type == soap::BxsaEncoding::content_type()) {
+        // Only plain BXSA payloads go through the symbol dictionary; any
+        // other content type rides a v3 frame with empty flags.
+        frame_v3_payload(out, m.payload, m.content_type, enc_dict_,
+                         dict_stats_);
+      } else {
+        const std::size_t len_pos = begin_frame_v3(out, 0, m.content_type);
+        out.write_bytes(m.payload);
+        end_frame(out, len_pos);
+      }
+      stream_.write_all(out.bytes());
+      pool_->release(out.take());
+    }
     // The payload's storage is done with; recycle it for the next encode.
     pool_->release(std::move(m.payload));
   }
   soap::WireMessage receive_response() {
     if (!stream_.valid()) throw TransportError("not connected");
-    return read_frame(stream_, limits_, pool_);
+    if (!v3_active_) return read_frame(stream_, limits_, pool_);
+    // A negotiated channel still accepts v1 frames: the server's shed
+    // fault (and other pre-encoded constants) are version 1 on purpose.
+    FrameStart start = read_frame_start(stream_, limits_, /*accept_v3=*/true);
+    if (start.hello) {
+      throw TransportError("unexpected Hello frame in a response");
+    }
+    const std::uint8_t flags = start.flags;
+    soap::WireMessage m =
+        read_frame_body(stream_, std::move(start), limits_, pool_);
+    if ((flags & v3flags::kDictEncoded) != 0) {
+      if (!dec_dict_) {
+        throw TransportError(
+            "dictionary-coded response without a negotiated table");
+      }
+      ByteWriter plain(pool_->acquire(m.payload.size() + 64));
+      try {
+        dec_dict_->decode(m.payload, (flags & v3flags::kDictReset) != 0,
+                          plain, dict_stats_);
+      } catch (const DecodeError& e) {
+        // A mirror desync poisons the channel; typed as TransportError so
+        // the retry layer reconnects (fresh connection, fresh tables).
+        throw TransportError(std::string("dictionary decode failed: ") +
+                             e.what());
+      }
+      pool_->release(std::move(m.payload));
+      m.payload = plain.take();
+    }
+    return m;
   }
   soap::WireMessage receive_request() {
     throw TransportError("receive_request on a client binding");
@@ -143,12 +198,36 @@ class TcpClientBinding {
     }
   }
 
-  void close() { stream_.close(); }
+  void close() {
+    stream_.close();
+    reset_v3_session();
+  }
 
   /// Drop the connection; the next send reconnects. The retry layer
   /// (soap::ReliableCaller) calls this between attempts so a half-written
   /// frame on a dead connection never bleeds into the next one.
-  void reset() { stream_.close(); }
+  void reset() { close(); }
+
+  /// Probe every fresh connection for BXTP v3, offering `offer` as this
+  /// side's dictionary-table limits (defaults: bxsa::DictLimits). A failed
+  /// probe downgrades the binding to v1 permanently.
+  void enable_v3(bxsa::DictLimits offer = {}) noexcept {
+    v3_enabled_ = true;
+    dict_offer_ = offer;
+  }
+
+  /// Whether the CURRENT connection negotiated v3 (false before the first
+  /// exchange, after a downgrade, and while disconnected).
+  bool v3_active() const noexcept { return v3_active_; }
+
+  /// The effective dictionary limits of the current connection (zeros
+  /// when no dictionary was negotiated).
+  bxsa::DictLimits negotiated_dict() const noexcept { return v3_limits_; }
+
+  /// Metric sinks for this channel's dictionary work (both directions).
+  void set_dict_stats(const bxsa::DictStats& stats) noexcept {
+    dict_stats_ = stats;
+  }
 
   /// Ceilings applied to incoming frames (see transport/framing.hpp).
   void set_frame_limits(FrameLimits limits) noexcept { limits_ = limits; }
@@ -165,11 +244,52 @@ class TcpClientBinding {
 
  private:
   void ensure_connected() {
-    if (!stream_.valid()) {
+    if (stream_.valid()) return;
+    stream_ = TcpStream::connect(port_);
+    stream_.set_io_stats(io_);
+    stream_.set_no_delay(true);
+    if (!v3_enabled_ || v3_failed_) return;
+    // Probe: Hello now, Accept before the first exchange. A v3 server
+    // costs one extra round trip per CONNECTION (amortized across every
+    // exchange on it); a pre-v3 server cuts the connection, which
+    // read_accept surfaces as TransportError — downgrade for good and
+    // redial plain.
+    try {
+      HelloFrame hello;
+      hello.dict_max_entries = dict_offer_.max_entries;
+      hello.dict_max_bytes = dict_offer_.max_bytes;
+      write_hello(stream_, hello);
+      const AcceptFrame accept = read_accept(stream_);
+      if (accept.version == kFrameVersionNegotiated) {
+        v3_active_ = true;
+        v3_limits_ = bxsa::DictLimits{accept.dict_max_entries,
+                                      accept.dict_max_bytes};
+        if (v3_limits_.max_entries > 0) {
+          enc_dict_.emplace(v3_limits_);
+          dec_dict_.emplace(v3_limits_);
+        }
+      } else {
+        // The server parsed the Hello but chose v1: it will never choose
+        // otherwise, so stop probing.
+        v3_failed_ = true;
+      }
+    } catch (const TransportError&) {
+      v3_failed_ = true;
+      stream_.close();
+      reset_v3_session();
       stream_ = TcpStream::connect(port_);
       stream_.set_io_stats(io_);
       stream_.set_no_delay(true);
     }
+  }
+
+  /// Per-connection v3 state dies with the connection (the server builds
+  /// fresh tables per connection too); only the downgrade flag is sticky.
+  void reset_v3_session() noexcept {
+    v3_active_ = false;
+    v3_limits_ = bxsa::DictLimits{0, 0};
+    enc_dict_.reset();
+    dec_dict_.reset();
   }
 
   std::uint16_t port_;
@@ -177,6 +297,15 @@ class TcpClientBinding {
   FrameLimits limits_{};
   obs::IoStats* io_ = nullptr;
   BufferPool* pool_ = &BufferPool::global();
+  // BXTP v3 channel state (see the class comment).
+  bool v3_enabled_ = false;
+  bool v3_failed_ = false;   // sticky: never probe this binding again
+  bool v3_active_ = false;   // the CURRENT connection negotiated v3
+  bxsa::DictLimits dict_offer_{};
+  bxsa::DictLimits v3_limits_{0, 0};
+  std::optional<bxsa::DictEncoder> enc_dict_;
+  std::optional<bxsa::DictDecoder> dec_dict_;
+  bxsa::DictStats dict_stats_{};
 };
 
 /// Server endpoint of SOAP-over-TCP: accepts one connection at a time and

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "soap/encoding.hpp"
 #include "soap/overload.hpp"
 
 namespace bxsoap::transport {
@@ -35,7 +36,11 @@ SoapEventServer::SoapEventServer(ServerConfig config)
       max_connections_(config.max_workers),
       drain_timeout_(config.drain_timeout),
       max_queue_depth_(config.max_queue_depth),
-      max_inflight_per_conn_(config.max_inflight_per_conn) {
+      max_inflight_per_conn_(config.max_inflight_per_conn),
+      accept_v3_(config.accept_v3),
+      dict_limits_(config.dict_limits) {
+  dict_capable_ =
+      encoding_->content_type() == soap::BxsaEncoding::content_type();
   if (max_queue_depth_ > 0 || max_inflight_per_conn_ > 0) {
     // Shedding happens on reactor threads, which must never pay for a
     // serialize: the Overloaded fault frame is a constant, built once.
@@ -84,6 +89,23 @@ SoapEventServer::SoapEventServer(ServerConfig config)
                                  &reg->counter(prefix + ".pool.miss"),
                                  &reg->counter(prefix + ".pool.recycled_bytes"));
     encoding_->set_codec_stats(&reg->codec(prefix + ".bxsa"));
+    dict_stats_.entries = &reg->counter(prefix + ".dict.entries");
+    dict_stats_.bytes_saved = &reg->counter(prefix + ".dict.bytes_saved");
+    dict_stats_.resets = &reg->counter(prefix + ".dict.resets");
+  }
+  if (!config.idempotent_ops.empty()) {
+    ResponseCache::Stats cache_stats;
+    if (reg != nullptr) {
+      cache_stats.hits = &reg->counter(prefix + ".respcache.hits");
+      cache_stats.misses = &reg->counter(prefix + ".respcache.misses");
+      cache_stats.bytes = &reg->counter(prefix + ".respcache.bytes");
+    }
+    respcache_.emplace(ResponseCache::Config{config.respcache_max_entries,
+                                             config.respcache_max_bytes,
+                                             /*shards=*/8},
+                       cache_stats);
+    idempotent_ops_.insert(config.idempotent_ops.begin(),
+                           config.idempotent_ops.end());
   }
 
   reactors_.reserve(shards);
@@ -340,8 +362,8 @@ void SoapEventServer::accept_ready(Reactor& r) {
 }
 
 void SoapEventServer::adopt(Reactor& r, TcpStream stream) {
-  auto conn =
-      std::make_shared<Conn>(std::move(stream), frame_limits_, &buffer_pool_);
+  auto conn = std::make_shared<Conn>(std::move(stream), frame_limits_,
+                                     &buffer_pool_, accept_v3_);
   conn->owner = &r;
   conn->last_activity = std::chrono::steady_clock::now();
   const int conn_fd = conn->stream.fd();
@@ -462,8 +484,72 @@ bool SoapEventServer::pump(const std::shared_ptr<Conn>& conn,
   for (;;) {
     const std::size_t used = conn->assembler.feed(data);
     data = data.subspan(used);
+    if (conn->assembler.hello_ready()) {
+      // BXTP v3 handshake (FORMAT.md §"BXTP v3"). A Hello is only legal as
+      // the connection's first frame — the Accept bypasses the response
+      // sequencing (it answers no request), so nothing may be in flight.
+      const HelloFrame hello = conn->assembler.take_hello();
+      if (conn->v3 || conn->next_seq != 0) {
+        throw TransportError("Hello on a connection already in use");
+      }
+      AcceptFrame accept;
+      if (hello.max_version >= kFrameVersionNegotiated) {
+        // Effective table: the element-wise min of both offers — forced to
+        // empty when this server's payloads are not plain BXSA, so the
+        // client never dictionary-codes at us in vain.
+        bxsa::DictLimits eff{0, 0};
+        if (dict_capable_) {
+          eff = dict_limits_.min_with(
+              {hello.dict_max_entries, hello.dict_max_bytes});
+        }
+        accept.version = kFrameVersionNegotiated;
+        accept.dict_max_entries = eff.max_entries;
+        accept.dict_max_bytes = eff.max_bytes;
+        conn->v3 = true;
+        if (eff.max_entries > 0) {
+          conn->req_dict.emplace(eff);
+          conn->resp_dict.emplace(eff);
+        }
+      } else {
+        // The peer probed with v3 framing but cannot speak it; answer
+        // with v1 and keep serving plain frames.
+        accept.version = kFrameVersion;
+      }
+      ByteWriter reply(buffer_pool_.acquire(64));
+      encode_accept(reply, accept);
+      {
+        std::lock_guard lock(conn->mu);
+        conn->outbox.push_back(reply.take());
+      }
+      flush(conn);
+      continue;
+    }
     if (conn->assembler.ready()) {
+      // Flags are latched before take() resets the assembler's state.
+      const std::uint8_t req_flags = conn->assembler.frame_flags();
       soap::WireMessage request = conn->assembler.take();
+      if ((req_flags & v3flags::kDictEncoded) != 0) {
+        if (!conn->req_dict) {
+          throw TransportError(
+              "dictionary-coded message without a negotiated table");
+        }
+        // Frames leave the assembler in wire order on this (the owning)
+        // reactor — exactly the order the mirrored table requires, and
+        // before the request's arrival order is handed to the workers.
+        ByteWriter plain(buffer_pool_.acquire(request.payload.size() + 64));
+        try {
+          conn->req_dict->decode(request.payload,
+                                 (req_flags & v3flags::kDictReset) != 0,
+                                 plain, dict_stats_);
+        } catch (const DecodeError& e) {
+          // A mirror desync poisons every later message on this channel;
+          // strict validation cuts the connection (FORMAT.md "BXTP v3").
+          throw TransportError(std::string("dictionary decode failed: ") +
+                               e.what());
+        }
+        buffer_pool_.release(std::move(request.payload));
+        request.payload = plain.take();
+      }
       const std::uint64_t seq = conn->next_seq++;
       std::size_t inflight_now = 0;
       {
@@ -767,8 +853,8 @@ void SoapEventServer::drop(const std::shared_ptr<Conn>& conn) {
     // Undeliverable responses go back to the pool instead of leaking.
     for (auto& buf : conn->outbox) buffer_pool_.release(std::move(buf));
     conn->outbox.clear();
-    for (auto& [seq, buf] : conn->completed) {
-      buffer_pool_.release(std::move(buf));
+    for (auto& [seq, c] : conn->completed) {
+      buffer_pool_.release(std::move(c.bytes));
     }
     conn->completed.clear();
     for (auto& [seq, st] : conn->streams) streams.push_back(st);
@@ -866,6 +952,39 @@ void SoapEventServer::worker_loop() {
       for (auto& r : reactors_) r->wakeup.signal();
     }
 
+    // Safe to read off-reactor: set while handling the Hello, before any
+    // request of the connection could be queued (the jobs_mu_ handoff
+    // orders the write against this read).
+    const bool v3 = job.conn->v3;
+    // Idempotent-response cache: a byte-identical repeat of a declared
+    // idempotent request is answered straight from the cached canonical
+    // payload — no deserialize, no handler, no serialize. The job already
+    // passed admission (it was queued), so only the CPU work is skipped.
+    if (respcache_) {
+      if (ResponseCache::Payload hit = respcache_->lookup(
+              encoding_->content_type(), job.request.payload)) {
+        buffer_pool_.release(std::move(job.request.payload));
+        ByteWriter out(buffer_pool_.acquire(hit->size() + 64));
+        if (v3) {
+          // Canonical payload; the owning reactor frames (and dictionary-
+          // codes) it in wire order at release time.
+          out.write_bytes(*hit);
+          complete(job.conn, job.seq, out.take(), /*framed=*/false);
+        } else {
+          const std::size_t len_pos =
+              begin_frame(out, encoding_->content_type());
+          out.write_bytes(*hit);
+          end_frame(out, len_pos);
+          complete(job.conn, job.seq, out.take());
+        }
+        continue;
+      }
+    }
+    // Hoisted out of the handler lambda: the request's wire bytes stay
+    // alive through the exchange (the decoded tree views them anyway), so
+    // a cacheable response can be inserted under its request key.
+    SharedBuffer wire;
+    bool cacheable = false;
     soap::SoapEnvelope response = [&]() -> soap::SoapEnvelope {
       try {
         soap::SoapEnvelope request = [&] {
@@ -874,10 +993,12 @@ void SoapEventServer::worker_loop() {
           // Adopting the payload keeps the PR 3 zero-copy path: packed
           // arrays decode as views, and the wire buffer recycles into the
           // pool when the request tree drops its last reference.
-          SharedBuffer wire = SharedBuffer::adopt(std::move(job.request.payload),
-                                                  &buffer_pool_);
+          wire = SharedBuffer::adopt(std::move(job.request.payload),
+                                     &buffer_pool_);
           return soap::SoapEnvelope(encoding_->deserialize_shared(wire));
         }();
+        cacheable = respcache_.has_value() &&
+                    idempotent_ops_.contains(operation_name(request));
         // Deadline propagation: the client's remaining budget, stamped as
         // a relative header and interpreted against OUR enqueue clock (no
         // clock sync assumed). A job whose budget expired while it queued
@@ -911,17 +1032,40 @@ void SoapEventServer::worker_loop() {
       ++faults_;
       obs_.count_fault();
     }
-    // One pooled buffer per response, BXTP header reserved up front and
-    // backpatched, so the reactor writes header + payload as one unit.
+    // One pooled buffer per response. v1: BXTP header reserved up front
+    // and backpatched, so the reactor writes header + payload as one
+    // unit. v3: the buffer holds the canonical (pre-dictionary) payload —
+    // the frame is added by the owning reactor in wire order, which is
+    // the order the response dictionary must see.
     ByteWriter out(buffer_pool_.acquire(256));
-    const std::size_t len_pos = begin_frame(out, encoding_->content_type());
-    {
-      obs::StageTimer t(obs_, obs::Stage::kSerialize);
-      encoding_->serialize_into(response.document(), out);
+    if (!v3) {
+      const std::size_t len_pos = begin_frame(out, encoding_->content_type());
+      {
+        obs::StageTimer t(obs_, obs::Stage::kSerialize);
+        encoding_->serialize_into(response.document(), out);
+      }
+      end_frame(out, len_pos);
+      obs_.stage_bytes(obs::Stage::kSerialize, out.size() - len_pos - 8);
+      if (cacheable && !response.is_fault()) {
+        const auto payload = out.bytes().subspan(len_pos + 8);
+        respcache_->insert(encoding_->content_type(), wire.bytes(),
+                           std::make_shared<const std::vector<std::uint8_t>>(
+                               payload.begin(), payload.end()));
+      }
+      complete(job.conn, job.seq, out.take());
+    } else {
+      {
+        obs::StageTimer t(obs_, obs::Stage::kSerialize);
+        encoding_->serialize_into(response.document(), out);
+      }
+      obs_.stage_bytes(obs::Stage::kSerialize, out.size());
+      if (cacheable && !response.is_fault()) {
+        respcache_->insert(encoding_->content_type(), wire.bytes(),
+                           std::make_shared<const std::vector<std::uint8_t>>(
+                               out.bytes().begin(), out.bytes().end()));
+      }
+      complete(job.conn, job.seq, out.take(), /*framed=*/false);
     }
-    end_frame(out, len_pos);
-    obs_.stage_bytes(obs::Stage::kSerialize, out.size() - len_pos - 8);
-    complete(job.conn, job.seq, out.take());
   }
 }
 
@@ -933,7 +1077,20 @@ void SoapEventServer::release_ready_locked(Conn& conn) {
   for (auto it = conn.completed.find(conn.next_to_send);
        it != conn.completed.end();
        it = conn.completed.find(conn.next_to_send)) {
-    conn.outbox.push_back(std::move(it->second));
+    Completed& c = it->second;
+    if (c.framed) {
+      conn.outbox.push_back(std::move(c.bytes));
+    } else {
+      // BXTP v3 response: frame (and dictionary-code) the canonical
+      // payload HERE, where responses are back in wire order — the only
+      // order the client's mirrored table can follow. Runs under conn.mu,
+      // which serializes every writer of resp_dict.
+      ByteWriter framed(buffer_pool_.acquire(c.bytes.size() + 64));
+      frame_v3_payload(framed, c.bytes, encoding_->content_type(),
+                       conn.resp_dict, dict_stats_);
+      buffer_pool_.release(std::move(c.bytes));
+      conn.outbox.push_back(framed.take());
+    }
     conn.completed.erase(it);
     ++conn.next_to_send;
     --conn.inflight;
@@ -946,7 +1103,7 @@ void SoapEventServer::release_ready_locked(Conn& conn) {
 
 void SoapEventServer::complete(const std::shared_ptr<Conn>& conn,
                                std::uint64_t seq,
-                               std::vector<std::uint8_t> frame) {
+                               std::vector<std::uint8_t> frame, bool framed) {
   bool notify = false;
   {
     std::lock_guard lock(conn->mu);
@@ -955,7 +1112,7 @@ void SoapEventServer::complete(const std::shared_ptr<Conn>& conn,
       if (conn->inflight > 0) --conn->inflight;
       return;
     }
-    conn->completed.emplace(seq, std::move(frame));
+    conn->completed.emplace(seq, Completed{std::move(frame), framed});
     const std::size_t before = conn->outbox.size();
     release_ready_locked(*conn);
     notify = conn->outbox.size() != before;

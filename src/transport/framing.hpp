@@ -22,10 +22,12 @@
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
 
+#include "bxsa/dict.hpp"
 #include "bxsa/stream_writer.hpp"
 #include "common/buffer.hpp"
 #include "common/buffer_pool.hpp"
@@ -41,6 +43,50 @@ inline constexpr std::uint8_t kFrameVersion = 1;
 /// bounded memory. Same magic + ctype header, then chunk frames instead of
 /// one length-prefixed payload (see docs/FORMAT.md "Chunked transfer").
 inline constexpr std::uint8_t kFrameVersionChunked = 2;
+/// BXTP v3: negotiated connection state (docs/FORMAT.md "BXTP v3"). After
+/// magic + version every v3 frame carries a kind byte: a client opens with
+/// one Hello, the server answers with one Accept, and from then on both
+/// directions exchange Message frames whose flags byte says whether the
+/// payload went through the per-channel symbol dictionary. A v2/v1 peer
+/// simply never sends version 3 (old clients are served exactly as before),
+/// and an old server kills the connection on the Hello's unknown version —
+/// the probe failure a v3 client detects to fall back permanently.
+inline constexpr std::uint8_t kFrameVersionNegotiated = 3;
+
+/// Kind byte of a v3 frame.
+enum class V3FrameKind : std::uint8_t {
+  kHello = 0,    ///< client → server: version range + offered dict limits
+  kAccept = 1,   ///< server → client: chosen version + effective limits
+  kMessage = 2,  ///< either direction: flags u8, then a v1-shaped body
+};
+
+/// Message-frame flags (v3 only).
+namespace v3flags {
+/// The payload is dictionary-coded BXSA (bxsa::dict_encode output); the
+/// receiver must run it through its mirrored table before decoding.
+inline constexpr std::uint8_t kDictEncoded = 0x01;
+/// The sender reset its dictionary before encoding this message; the
+/// receiver clears the mirrored table first (an epoch change).
+inline constexpr std::uint8_t kDictReset = 0x02;
+inline constexpr std::uint8_t kAllKnown = kDictEncoded | kDictReset;
+}  // namespace v3flags
+
+/// Hello body: 2 version bytes + each side's dictionary-table offer. The
+/// effective table is the element-wise minimum of both offers, so the two
+/// mirrors agree without a second round trip.
+struct HelloFrame {
+  std::uint8_t min_version = kFrameVersion;
+  std::uint8_t max_version = kFrameVersionNegotiated;
+  std::uint32_t dict_max_entries = 0;
+  std::uint32_t dict_max_bytes = 0;
+};
+
+/// Accept body: the version the server chose plus the effective limits.
+struct AcceptFrame {
+  std::uint8_t version = kFrameVersionNegotiated;
+  std::uint32_t dict_max_entries = 0;
+  std::uint32_t dict_max_bytes = 0;
+};
 
 /// Default payload ceiling: generous for scientific datasets, small enough
 /// that a corrupt length prefix cannot take the process down.
@@ -164,6 +210,114 @@ inline void end_frame(ByteWriter& w, std::size_t len_pos) {
   w.patch_bytes(len_pos, len_be, sizeof(len_be));
 }
 
+/// v3 variant of begin_frame: same reserved length field, but the header
+/// is a v3 Message frame carrying `flags`.
+inline std::size_t begin_frame_v3(ByteWriter& w, std::uint8_t flags,
+                                  std::string_view content_type) {
+  w.write_bytes(kFrameMagic, sizeof(kFrameMagic));
+  w.write_u8(kFrameVersionNegotiated);
+  w.write_u8(static_cast<std::uint8_t>(V3FrameKind::kMessage));
+  w.write_u8(flags);
+  vls_write(w, content_type.size());
+  w.write_string(content_type);
+  const std::size_t len_pos = w.size();
+  w.write_padding(8);
+  return len_pos;
+}
+
+/// Append one canonical payload as a complete v3 Message frame, running it
+/// through the channel's dictionary when one was negotiated (`dict`
+/// engaged). The DICT_RESET flag cannot be known until the encoder has
+/// decided on an epoch change, so the flags byte (a fixed offset 6 into
+/// the frame: magic + version + kind) is patched afterwards — the frame
+/// still leaves as one buffer, one write.
+inline void frame_v3_payload(ByteWriter& out,
+                             std::span<const std::uint8_t> payload,
+                             std::string_view content_type,
+                             std::optional<bxsa::DictEncoder>& dict,
+                             const bxsa::DictStats& stats = {}) {
+  const std::size_t base = out.size();
+  if (!dict) {
+    const std::size_t len_pos = begin_frame_v3(out, 0, content_type);
+    out.write_bytes(payload);
+    end_frame(out, len_pos);
+    return;
+  }
+  const std::size_t len_pos =
+      begin_frame_v3(out, v3flags::kDictEncoded, content_type);
+  const bool reset = dict->encode(payload, out, stats);
+  end_frame(out, len_pos);
+  if (reset) {
+    const std::uint8_t flags = v3flags::kDictEncoded | v3flags::kDictReset;
+    out.patch_bytes(base + 4 + 1 + 1, &flags, 1);
+  }
+}
+
+/// Append one whole Hello frame (magic + version + kind + body).
+inline void encode_hello(ByteWriter& w, const HelloFrame& h) {
+  w.write_bytes(kFrameMagic, sizeof(kFrameMagic));
+  w.write_u8(kFrameVersionNegotiated);
+  w.write_u8(static_cast<std::uint8_t>(V3FrameKind::kHello));
+  w.write_u8(h.min_version);
+  w.write_u8(h.max_version);
+  w.write<std::uint32_t>(h.dict_max_entries, ByteOrder::kBig);
+  w.write<std::uint32_t>(h.dict_max_bytes, ByteOrder::kBig);
+}
+
+/// Append one whole Accept frame (magic + version + kind + body).
+inline void encode_accept(ByteWriter& w, const AcceptFrame& a) {
+  w.write_bytes(kFrameMagic, sizeof(kFrameMagic));
+  w.write_u8(kFrameVersionNegotiated);
+  w.write_u8(static_cast<std::uint8_t>(V3FrameKind::kAccept));
+  w.write_u8(a.version);
+  w.write<std::uint32_t>(a.dict_max_entries, ByteOrder::kBig);
+  w.write<std::uint32_t>(a.dict_max_bytes, ByteOrder::kBig);
+}
+
+template <FrameStream S>
+void write_hello(S& stream, const HelloFrame& h) {
+  ByteWriter w;
+  encode_hello(w, h);
+  stream.write_all(w.bytes());
+}
+
+template <FrameStream S>
+void write_accept(S& stream, const AcceptFrame& a) {
+  ByteWriter w;
+  encode_accept(w, a);
+  stream.write_all(w.bytes());
+}
+
+/// Client side of the handshake: read the server's Accept. Anything else —
+/// including the connection cut an old server inflicts when it rejects the
+/// Hello's unknown version — throws TransportError, which the caller turns
+/// into a permanent downgrade for this binding.
+template <FrameStream S>
+AcceptFrame read_accept(S& stream) {
+  std::uint8_t hdr[6];
+  stream.read_exact(hdr, sizeof(hdr));
+  if (std::memcmp(hdr, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw TransportError("bad frame magic in handshake reply");
+  }
+  if (hdr[4] != kFrameVersionNegotiated ||
+      hdr[5] != static_cast<std::uint8_t>(V3FrameKind::kAccept)) {
+    throw TransportError("expected an Accept frame, got version " +
+                         std::to_string(hdr[4]) + " kind " +
+                         std::to_string(hdr[5]));
+  }
+  std::uint8_t body[9];
+  stream.read_exact(body, sizeof(body));
+  AcceptFrame a;
+  a.version = body[0];
+  a.dict_max_entries = load<std::uint32_t>(body + 1, ByteOrder::kBig);
+  a.dict_max_bytes = load<std::uint32_t>(body + 5, ByteOrder::kBig);
+  if (a.version != kFrameVersion && a.version != kFrameVersionNegotiated) {
+    throw TransportError("Accept names an unknown version " +
+                         std::to_string(a.version));
+  }
+  return a;
+}
+
 /// Write one framed message to the stream. The content type is taken as a
 /// view so callers that hold the encoding policy's static string (e.g.
 /// AnyEncoding::content_type()) pass it straight through with no copy.
@@ -191,25 +345,87 @@ void write_frame(S& stream, const soap::WireMessage& m) {
   write_frame(stream, m.content_type, m.payload);
 }
 
-/// The part of a BXTP header shared by both versions: everything up to
-/// (v1) the payload length or (v2) the first chunk. Reading it first lets
-/// a server decide per-message whether the materialized or the streaming
-/// path handles the rest of the bytes.
+/// Write one v3 Message frame (negotiated connections only).
+template <FrameStream S>
+void write_frame_v3(S& stream, std::uint8_t flags,
+                    std::string_view content_type,
+                    std::span<const std::uint8_t> payload) {
+  ByteWriter header;
+  header.write_bytes(kFrameMagic, sizeof(kFrameMagic));
+  header.write_u8(kFrameVersionNegotiated);
+  header.write_u8(static_cast<std::uint8_t>(V3FrameKind::kMessage));
+  header.write_u8(flags);
+  vls_write(header, content_type.size());
+  header.write_string(content_type);
+  header.write<std::uint64_t>(payload.size(), ByteOrder::kBig);
+  if constexpr (VectoredStream<S>) {
+    stream.write_vectored(header.bytes(), payload);
+  } else {
+    stream.write_all(header.bytes());
+    stream.write_all(payload);
+  }
+}
+
+/// The part of a BXTP header shared by all versions: everything up to
+/// (v1/v3) the payload length or (v2) the first chunk. Reading it first
+/// lets a server decide per-message whether the materialized or the
+/// streaming path handles the rest of the bytes. On a v3-accepting server
+/// the start may instead be a whole Hello frame (`hello` set, no content
+/// type follows) — the handshake the connection loop answers inline.
 struct FrameStart {
   std::uint8_t version = kFrameVersion;
+  std::uint8_t flags = 0;  // v3 Message flags; always 0 on v1/v2
+  bool hello = false;
+  HelloFrame hello_frame;
   std::string content_type;
 
   bool chunked() const noexcept { return version == kFrameVersionChunked; }
+  bool negotiated() const noexcept {
+    return version == kFrameVersionNegotiated;
+  }
 };
 
+/// `accept_v3` is the server-side negotiation switch: when false (the
+/// default, and the configured behavior of a "v2-only" server) a version-3
+/// frame is rejected exactly as before this version existed — the
+/// connection cut that tells a probing v3 client to downgrade.
 template <FrameStream S>
-FrameStart read_frame_start(S& stream, const FrameLimits& limits = {}) {
+FrameStart read_frame_start(S& stream, const FrameLimits& limits = {},
+                            bool accept_v3 = false) {
   std::uint8_t fixed[5];
   stream.read_exact(fixed, sizeof(fixed));
   if (std::memcmp(fixed, kFrameMagic, sizeof(kFrameMagic)) != 0) {
     throw TransportError("bad frame magic");
   }
-  if (fixed[4] != kFrameVersion && fixed[4] != kFrameVersionChunked) {
+  FrameStart start;
+  start.version = fixed[4];
+  if (fixed[4] == kFrameVersionNegotiated && accept_v3) {
+    std::uint8_t kind;
+    stream.read_exact(&kind, 1);
+    if (kind == static_cast<std::uint8_t>(V3FrameKind::kHello)) {
+      std::uint8_t body[10];
+      stream.read_exact(body, sizeof(body));
+      start.hello = true;
+      start.hello_frame.min_version = body[0];
+      start.hello_frame.max_version = body[1];
+      start.hello_frame.dict_max_entries =
+          load<std::uint32_t>(body + 2, ByteOrder::kBig);
+      start.hello_frame.dict_max_bytes =
+          load<std::uint32_t>(body + 6, ByteOrder::kBig);
+      if (start.hello_frame.min_version > start.hello_frame.max_version) {
+        throw TransportError("Hello with an empty version range");
+      }
+      return start;
+    }
+    if (kind != static_cast<std::uint8_t>(V3FrameKind::kMessage)) {
+      throw TransportError("unexpected v3 frame kind " +
+                           std::to_string(kind));
+    }
+    stream.read_exact(&start.flags, 1);
+    if ((start.flags & ~v3flags::kAllKnown) != 0) {
+      throw TransportError("unknown v3 message flags");
+    }
+  } else if (fixed[4] != kFrameVersion && fixed[4] != kFrameVersionChunked) {
     throw TransportError("unsupported frame version " +
                          std::to_string(fixed[4]));
   }
@@ -227,8 +443,6 @@ FrameStart read_frame_start(S& stream, const FrameLimits& limits = {}) {
   if (ct_len > limits.max_content_type_bytes) {
     throw TransportError("content type unreasonably long");
   }
-  FrameStart start;
-  start.version = fixed[4];
   start.content_type.resize(static_cast<std::size_t>(ct_len));
   stream.read_exact(
       reinterpret_cast<std::uint8_t*>(start.content_type.data()),
@@ -420,8 +634,9 @@ class ChunkedFrameReader {
 /// hostile length field costs a TransportError, not memory.
 class FrameAssembler {
  public:
-  explicit FrameAssembler(FrameLimits limits = {}, BufferPool* pool = nullptr)
-      : limits_(limits), pool_(pool) {}
+  explicit FrameAssembler(FrameLimits limits = {}, BufferPool* pool = nullptr,
+                          bool accept_v3 = false)
+      : limits_(limits), pool_(pool), accept_v3_(accept_v3) {}
 
   /// Consume bytes from the front of `data` until one frame (v1) or one
   /// chunk (v2) completes or the input runs out; returns the number
@@ -433,7 +648,7 @@ class FrameAssembler {
   std::size_t feed(std::span<const std::uint8_t> data) {
     std::size_t consumed = 0;
     while (consumed < data.size() && state_ != State::kReady &&
-           state_ != State::kChunkReady) {
+           state_ != State::kChunkReady && state_ != State::kHelloReady) {
       consumed += step(data.subspan(consumed));
     }
     return consumed;
@@ -445,9 +660,27 @@ class FrameAssembler {
   /// window a slowloris peer stalls in. Chunk gaps of a v2 stream count:
   /// an idle mid-stream peer holds the same resources.
   bool mid_frame() const noexcept {
-    return state_ != State::kReady &&
+    return state_ != State::kReady && state_ != State::kHelloReady &&
            !(state_ == State::kFixed && have_ == 0);
   }
+
+  bool hello_ready() const noexcept { return state_ == State::kHelloReady; }
+
+  /// The completed Hello; rearms the assembler for the next frame.
+  HelloFrame take_hello() {
+    if (state_ != State::kHelloReady) {
+      throw TransportError("no assembled Hello to take");
+    }
+    state_ = State::kFixed;
+    have_ = 0;
+    return hello_;
+  }
+
+  /// Version and flags of the frame most recently completed (valid from
+  /// ready() until the next feed() makes progress). v1/v2 frames report
+  /// flags 0.
+  std::uint8_t frame_version() const noexcept { return version_; }
+  std::uint8_t frame_flags() const noexcept { return flags_; }
 
   /// True while a v2 chunked message is in flight (header parsed, end
   /// chunk not yet taken). The content type is available from
@@ -501,11 +734,15 @@ class FrameAssembler {
  private:
   enum class State : std::uint8_t {
     kFixed,       // magic + version (5 bytes)
+    kV3Kind,      // v3: frame kind byte
+    kV3Hello,     // v3: Hello body (10 bytes)
+    kHelloReady,  // v3: one whole Hello assembled
+    kV3Flags,     // v3: Message flags byte
     kCtLen,       // content-type length, VLS byte by byte
     kCtBytes,     // content-type bytes
-    kLen,         // v1: payload length, u64 big-endian
-    kPayload,     // v1: payload bytes
-    kReady,       // v1: one whole frame assembled
+    kLen,         // v1/v3: payload length, u64 big-endian
+    kPayload,     // v1/v3: payload bytes
+    kReady,       // v1/v3: one whole frame assembled
     kChunkHdr,    // v2: chunk kind u8 + length u64 big-endian
     kChunkBody,   // v2: chunk body bytes
     kChunkReady,  // v2: one chunk assembled
@@ -523,17 +760,67 @@ class FrameAssembler {
             throw TransportError("bad frame magic");
           }
           if (fixed_[4] != kFrameVersion &&
-              fixed_[4] != kFrameVersionChunked) {
+              fixed_[4] != kFrameVersionChunked &&
+              !(fixed_[4] == kFrameVersionNegotiated && accept_v3_)) {
             throw TransportError("unsupported frame version " +
                                  std::to_string(fixed_[4]));
           }
           version_ = fixed_[4];
+          flags_ = 0;
+          if (version_ == kFrameVersionNegotiated) {
+            state_ = State::kV3Kind;
+            have_ = 0;
+            return take;
+          }
           state_ = State::kCtLen;
           ct_len_ = 0;
           vls_shift_ = 0;
           vls_bytes_ = 0;
         }
         return take;
+      }
+      case State::kV3Kind: {
+        const std::uint8_t kind = data[0];
+        if (kind == static_cast<std::uint8_t>(V3FrameKind::kHello)) {
+          state_ = State::kV3Hello;
+          have_ = 0;
+        } else if (kind == static_cast<std::uint8_t>(V3FrameKind::kMessage)) {
+          state_ = State::kV3Flags;
+        } else {
+          throw TransportError("unexpected v3 frame kind " +
+                               std::to_string(kind));
+        }
+        return 1;
+      }
+      case State::kV3Hello: {
+        const std::size_t take =
+            std::min(data.size(), sizeof(hello_body_) - have_);
+        std::memcpy(hello_body_ + have_, data.data(), take);
+        have_ += take;
+        if (have_ == sizeof(hello_body_)) {
+          hello_.min_version = hello_body_[0];
+          hello_.max_version = hello_body_[1];
+          hello_.dict_max_entries =
+              load<std::uint32_t>(hello_body_ + 2, ByteOrder::kBig);
+          hello_.dict_max_bytes =
+              load<std::uint32_t>(hello_body_ + 6, ByteOrder::kBig);
+          if (hello_.min_version > hello_.max_version) {
+            throw TransportError("Hello with an empty version range");
+          }
+          state_ = State::kHelloReady;
+        }
+        return take;
+      }
+      case State::kV3Flags: {
+        flags_ = data[0];
+        if ((flags_ & ~v3flags::kAllKnown) != 0) {
+          throw TransportError("unknown v3 message flags");
+        }
+        state_ = State::kCtLen;
+        ct_len_ = 0;
+        vls_shift_ = 0;
+        vls_bytes_ = 0;
+        return 1;
       }
       case State::kCtLen: {
         const std::uint8_t b = data[0];
@@ -666,6 +953,7 @@ class FrameAssembler {
       }
       case State::kReady:
       case State::kChunkReady:
+      case State::kHelloReady:
         return 0;
     }
     return 0;  // unreachable
@@ -682,9 +970,14 @@ class FrameAssembler {
 
   FrameLimits limits_;
   BufferPool* pool_ = nullptr;
+  bool accept_v3_ = false;
   State state_ = State::kFixed;
   std::uint8_t fixed_[5]{};
   std::uint8_t len_be_[8]{};
+  // v3 handshake/flags state.
+  std::uint8_t hello_body_[10]{};
+  HelloFrame hello_;
+  std::uint8_t flags_ = 0;
   std::size_t have_ = 0;
   std::uint64_t ct_len_ = 0;
   int vls_shift_ = 0;

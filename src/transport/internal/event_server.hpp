@@ -84,14 +84,17 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "bxsa/dict.hpp"
 #include "obs/observer.hpp"
 #include "soap/any_engine.hpp"
 #include "soap/envelope.hpp"
 #include "transport/framing.hpp"
+#include "transport/respcache.hpp"
 #include "transport/server.hpp"
 #include "transport/socket.hpp"
 #include "transport/stream.hpp"
@@ -172,9 +175,20 @@ class SoapEventServer : public SoapServer {
   /// One connection's reactor-plus-worker shared state. The owning reactor
   /// has the socket and the assembler exclusively; everything under `mu` is
   /// the response-ordering handshake with the workers and stream threads.
+  /// A response staged in the completion map. v1/v2 responses (and cache
+  /// hits on v1 connections) arrive fully framed; v3 responses arrive as
+  /// the canonical UNFRAMED payload and are framed by the owning reactor
+  /// in release_ready_locked — the dictionary transform must run in wire
+  /// order, which only the in-order release point can guarantee.
+  struct Completed {
+    std::vector<std::uint8_t> bytes;
+    bool framed = true;
+  };
+
   struct Conn {
-    Conn(TcpStream s, const FrameLimits& limits, BufferPool* pool)
-        : stream(std::move(s)), assembler(limits, pool) {}
+    Conn(TcpStream s, const FrameLimits& limits, BufferPool* pool,
+         bool accept_v3)
+        : stream(std::move(s)), assembler(limits, pool, accept_v3) {}
 
     Reactor* owner = nullptr;  // fixed at adoption; read by any thread
     TcpStream stream;          // reactor-only
@@ -194,9 +208,21 @@ class SoapEventServer : public SoapServer {
     /// by the owning reactor once workers drain the queue to half.
     bool queue_parked = false;
 
+    /// BXTP v3 (FORMAT.md §"BXTP v3"). `v3` is written by the owning
+    /// reactor while handling the Hello — before any request of this
+    /// connection can be dispatched — and read by workers afterwards; the
+    /// job queue handoff (jobs_mu_) orders the two. req_dict is
+    /// reactor-only: frames leave the assembler in wire order on the
+    /// owning reactor, which is exactly the order the mirror table needs.
+    /// resp_dict is touched only in release_ready_locked under `mu`,
+    /// where responses are already serialized back into wire order.
+    bool v3 = false;
+    std::optional<bxsa::DictDecoder> req_dict;
+    std::optional<bxsa::DictEncoder> resp_dict;
+
     std::mutex mu;
     /// Responses completed out of order, keyed by request sequence.
-    std::map<std::uint64_t, std::vector<std::uint8_t>> completed;
+    std::map<std::uint64_t, Completed> completed;
     /// In-order responses waiting for (or mid-) socket write.
     std::deque<std::vector<std::uint8_t>> outbox;
     std::size_t out_offset = 0;  // bytes of outbox.front() already sent
@@ -278,8 +304,10 @@ class SoapEventServer : public SoapServer {
   void release_ready_locked(Conn& conn);
 
   // Worker-side helper: hand a finished response to the connection.
+  // `framed` false means `frame` is a canonical v3 payload still to be
+  // framed (and dictionary-coded) at release time.
   void complete(const std::shared_ptr<Conn>& conn, std::uint64_t seq,
-                std::vector<std::uint8_t> frame);
+                std::vector<std::uint8_t> frame, bool framed = true);
   // Stream-thread body and its owning-reactor notifications.
   void stream_main(std::shared_ptr<Conn> conn,
                    std::shared_ptr<StreamState> st);
@@ -305,6 +333,17 @@ class SoapEventServer : public SoapServer {
   std::size_t max_queue_depth_ = 0;
   std::size_t max_inflight_per_conn_ = 0;
   std::vector<std::uint8_t> shed_frame_;
+  /// BXTP v3 (FORMAT.md §"BXTP v3"): Hello handling switch, this server's
+  /// dictionary offer, and whether the encoding emits plain BXSA (the only
+  /// payload form the dictionary transform applies to).
+  bool accept_v3_ = true;
+  bool dict_capable_ = false;
+  bxsa::DictLimits dict_limits_{};
+  bxsa::DictStats dict_stats_{};  // dict.{entries,bytes_saved,resets}
+  /// Idempotent-response cache; engaged only when the config declares
+  /// idempotent operations.
+  std::optional<ResponseCache> respcache_;
+  IdempotentOpSet idempotent_ops_;
   /// Mirror of jobs_.size(), readable without jobs_mu_ (reactors poll it
   /// on every loop pass to decide unparking).
   std::atomic<std::size_t> queue_depth_{0};

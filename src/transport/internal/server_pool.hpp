@@ -34,14 +34,17 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bxsa/dict.hpp"
 #include "obs/observer.hpp"
 #include "soap/any_engine.hpp"
 #include "soap/envelope.hpp"
 #include "transport/framing.hpp"
+#include "transport/respcache.hpp"
 #include "transport/server.hpp"
 #include "transport/socket.hpp"
 #include "transport/stream.hpp"
@@ -114,6 +117,18 @@ class SoapServerPool : public SoapServer {
   /// for a serialize.
   std::size_t max_queue_depth_ = 0;
   std::vector<std::uint8_t> shed_frame_;
+  /// BXTP v3 (FORMAT.md §"BXTP v3"): whether a client Hello is answered
+  /// (off = rejected exactly as by a pre-v3 server), this server's
+  /// dictionary offer, and whether the encoding's payloads are plain BXSA
+  /// (the only form the dictionary transform applies to).
+  bool accept_v3_ = true;
+  bool dict_capable_ = false;
+  bxsa::DictLimits dict_limits_{};
+  bxsa::DictStats dict_stats_{};  // dict.{entries,bytes_saved,resets}
+  /// Idempotent-response cache; engaged only when the config declares
+  /// idempotent operations.
+  std::optional<ResponseCache> respcache_;
+  IdempotentOpSet idempotent_ops_;
   /// Exchanges in flight across all connections (request read, response
   /// not yet written); admission compares it against max_queue_depth_.
   std::atomic<std::size_t> inflight_exchanges_{0};

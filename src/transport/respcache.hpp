@@ -1,0 +1,208 @@
+// Idempotent-response cache (BXTP v3, DESIGN.md §13).
+//
+// High-QPS small-message traffic is dominated by a handful of distinct
+// requests: the same GetQuote / lookup call, byte-identical on the wire,
+// arriving thousands of times per second. For operations the deployer has
+// DECLARED idempotent (ServerConfig::idempotent_ops — the server cannot
+// infer side-effect freedom), the encoded response to a given request is a
+// pure function of the request bytes, so the server can answer a repeat
+// without deserializing, running the handler, or re-serializing: one hash
+// lookup hands back the previously encoded payload, ready for the outbox.
+//
+// The key is content_type + the canonical (plain, pre-dictionary) request
+// payload bytes — dictionary-coded channels decode before lookup, so all
+// channels share one cache regardless of their per-channel symbol tables.
+// The cached value is likewise the canonical UNFRAMED response payload:
+// each channel frames it per its own negotiated version (and dictionary
+// state) at write time, so a v1 and a v3 connection can both hit.
+//
+// Concurrency: the cache is sharded by key hash; each shard is an
+// independent mutex-guarded LRU list + index, so concurrent exchanges on
+// different shards never contend. Full keys are stored and compared on
+// lookup — a hash collision degrades to a miss, never to a wrong response.
+// Bounds are global (entries and bytes, split evenly across shards);
+// eviction is per-shard LRU. Entries that would not fit a shard's byte
+// budget on their own are simply not admitted.
+//
+// Faults are never inserted (a fault is not "the response to" the request
+// in any reusable sense), and insertion happens only after a full
+// decode/handle/encode, so a cached payload is always a payload the
+// handler actually produced.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "soap/envelope.hpp"
+#include "xdm/node.hpp"
+
+namespace bxsoap::transport {
+
+/// Transparent hash so string_view probes against std::string keys cost no
+/// allocation (shared by the cache index and the idempotent-op set).
+struct StringViewHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// The declared-idempotent operation names from ServerConfig.
+using IdempotentOpSet =
+    std::unordered_set<std::string, StringViewHash, std::equal_to<>>;
+
+/// The request's operation: the local name of the Body's payload element
+/// (empty for an empty or malformed Body — never cacheable).
+inline std::string_view operation_name(const soap::SoapEnvelope& request) {
+  const xdm::ElementBase* op = request.body_payload();
+  return op != nullptr ? std::string_view(op->name().local)
+                       : std::string_view{};
+}
+
+class ResponseCache {
+ public:
+  struct Config {
+    std::size_t max_entries = 1024;
+    std::size_t max_bytes = 4u << 20;  // keys + payloads, all shards
+    std::size_t shards = 8;
+  };
+
+  /// Optional metric sinks (respcache.hits / respcache.misses /
+  /// respcache.bytes — bytes is the total payload volume served from
+  /// cache, the work the handler never had to do).
+  struct Stats {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+
+  /// Cached responses are shared immutably: a hit hands out a reference
+  /// while the writer drains it, eviction only drops the cache's own ref.
+  using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  explicit ResponseCache(Config config) : ResponseCache(config, Stats()) {}
+
+  ResponseCache(Config config, Stats stats)
+      : config_(config), stats_(stats) {
+    if (config_.shards == 0) config_.shards = 1;
+    shards_ = std::vector<Shard>(config_.shards);
+    entries_per_shard_ = config_.max_entries / config_.shards;
+    if (entries_per_shard_ == 0) entries_per_shard_ = 1;
+    bytes_per_shard_ = config_.max_bytes / config_.shards;
+  }
+
+  /// Returns the cached response payload for this exact request, or null.
+  /// A hit refreshes the entry's LRU position.
+  Payload lookup(std::string_view content_type,
+                 std::span<const std::uint8_t> request) {
+    const std::string key = make_key(content_type, request);
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    const auto it = shard.index.find(std::string_view(key));
+    if (it == shard.index.end()) {
+      if (stats_.misses != nullptr) stats_.misses->add();
+      return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    if (stats_.hits != nullptr) stats_.hits->add();
+    if (stats_.bytes != nullptr) {
+      stats_.bytes->add(it->second->payload->size());
+    }
+    return it->second->payload;
+  }
+
+  /// Admits a freshly encoded response. First insertion for a key wins;
+  /// a concurrent duplicate (two identical requests racing through their
+  /// handlers) is dropped — both produced the same bytes anyway.
+  void insert(std::string_view content_type,
+              std::span<const std::uint8_t> request, Payload response) {
+    if (response == nullptr) return;
+    std::string key = make_key(content_type, request);
+    const std::size_t cost = key.size() + response->size();
+    if (bytes_per_shard_ != 0 && cost > bytes_per_shard_) return;
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    if (shard.index.contains(std::string_view(key))) return;
+    shard.lru.push_front(Entry{std::move(key), std::move(response)});
+    const auto it = shard.lru.begin();
+    shard.index.emplace(std::string_view(it->key), it);
+    shard.bytes += cost;
+    while (shard.lru.size() > entries_per_shard_ ||
+           (bytes_per_shard_ != 0 && shard.bytes > bytes_per_shard_)) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.key.size() + victim.payload->size();
+      shard.index.erase(std::string_view(victim.key));
+      shard.lru.pop_back();
+    }
+  }
+
+  std::size_t entries() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard lock(s.mu);
+      n += s.lru.size();
+    }
+    return n;
+  }
+
+  std::size_t resident_bytes() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard lock(s.mu);
+      n += s.bytes;
+    }
+    return n;
+  }
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  struct Entry {
+    std::string key;  // content_type + '\0' + canonical request bytes
+    Payload payload;
+  };
+  using Lru = std::list<Entry>;
+
+  // string_view index into keys owned by the LRU entries; list iterators
+  // and the strings they hold are address-stable across splice, so the
+  // views never dangle while the entry lives.
+  struct Shard {
+    mutable std::mutex mu;
+    Lru lru;  // front = most recently used
+    std::unordered_map<std::string_view, Lru::iterator, StringViewHash,
+                       std::equal_to<>>
+        index;
+    std::size_t bytes = 0;
+  };
+
+  static std::string make_key(std::string_view content_type,
+                              std::span<const std::uint8_t> request) {
+    std::string key;
+    key.reserve(content_type.size() + 1 + request.size());
+    key.append(content_type);
+    key.push_back('\0');
+    key.append(reinterpret_cast<const char*>(request.data()), request.size());
+    return key;
+  }
+
+  Shard& shard_for(std::string_view key) {
+    return shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+  }
+
+  Config config_;
+  Stats stats_;
+  std::vector<Shard> shards_;
+  std::size_t entries_per_shard_ = 0;
+  std::size_t bytes_per_shard_ = 0;
+};
+
+}  // namespace bxsoap::transport

@@ -72,6 +72,19 @@ std::string ServerConfig::validate(ConcurrencyModel model) const {
   if (buffer_pool.max_class_bytes < buffer_pool.min_class_bytes) {
     fail("buffer_pool.max_class_bytes must be >= min_class_bytes");
   }
+  if (!idempotent_ops.empty()) {
+    if (!handler) {
+      fail("idempotent_ops caches request/response exchanges, which need "
+           "a request handler");
+    }
+    if (respcache_max_entries == 0 || respcache_max_bytes == 0) {
+      fail("idempotent_ops is set but the response cache is sized to zero "
+           "(respcache_max_entries / respcache_max_bytes)");
+    }
+    for (const std::string& op : idempotent_ops) {
+      if (op.empty()) fail("idempotent_ops contains an empty operation name");
+    }
+  }
 
   std::string joined;
   for (const std::string& e : errors) {

@@ -22,6 +22,9 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
+#include "bxsa/dict.hpp"
 #include "common/buffer_pool.hpp"
 #include "obs/observer.hpp"
 #include "soap/any_engine.hpp"
@@ -164,6 +167,34 @@ struct ServerConfig {
   /// response not yet written) to finish before force-closing them. Idle
   /// connections are cut immediately.
   std::chrono::milliseconds drain_timeout{1000};
+
+  // ---- BXTP v3: per-channel dictionaries + response cache -------------------
+
+  /// Answer a BXTP v3 Hello with an Accept and serve dictionary-coded
+  /// messages on that connection (FORMAT.md §"BXTP v3"). Off = a v3 frame
+  /// is rejected exactly as by a pre-v3 server, which is the downgrade
+  /// trigger a probing client detects. v1/v2 clients are served
+  /// byte-identically either way — v3 is purely opt-in by the peer.
+  bool accept_v3 = true;
+
+  /// This server's symbol-table offer for v3 negotiation; the effective
+  /// per-connection table is the element-wise min of both sides' offers.
+  /// max_entries=0 yields an empty table: v3 framing is still spoken but
+  /// every symbol stays literal.
+  bxsa::DictLimits dict_limits{};
+
+  /// Operation local names (the request Body's child element) whose
+  /// handler is idempotent: a byte-identical repeat of such a request may
+  /// be answered from the encoded-response cache without decoding or
+  /// re-running the handler. The server cannot infer side-effect freedom,
+  /// so nothing is cached unless declared here. Empty = caching off.
+  std::vector<std::string> idempotent_ops;
+
+  /// Bounds on the idempotent-response cache (sum of cached keys +
+  /// payloads; entries split across internal shards). Only consulted when
+  /// idempotent_ops is non-empty.
+  std::size_t respcache_max_entries = 1024;
+  std::size_t respcache_max_bytes = 4u << 20;  // 4 MiB
 
   /// Check this config against `model`. Returns an empty string when the
   /// config is usable, otherwise a "; "-separated list of actionable

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "soap/encoding.hpp"
 #include "soap/overload.hpp"
 #include "transport/framing.hpp"
 
@@ -18,7 +19,11 @@ SoapServerPool::SoapServerPool(ServerConfig config)
       frame_limits_(config.frame_limits),
       max_workers_(config.max_workers),
       drain_timeout_(config.drain_timeout),
-      max_queue_depth_(config.max_queue_depth) {
+      max_queue_depth_(config.max_queue_depth),
+      accept_v3_(config.accept_v3),
+      dict_limits_(config.dict_limits) {
+  dict_capable_ =
+      encoding_->content_type() == soap::BxsaEncoding::content_type();
   if (max_queue_depth_ > 0) {
     // Shedding must not cost a serialize: the Overloaded fault frame is a
     // constant, built once (same as the event server).
@@ -46,6 +51,24 @@ SoapServerPool::SoapServerPool(ServerConfig config)
                                  &reg->counter(prefix + ".pool.miss"),
                                  &reg->counter(prefix + ".pool.recycled_bytes"));
     encoding_->set_codec_stats(&reg->codec(prefix + ".bxsa"));
+    dict_stats_.entries = &reg->counter(prefix + ".dict.entries");
+    dict_stats_.bytes_saved = &reg->counter(prefix + ".dict.bytes_saved");
+    dict_stats_.resets = &reg->counter(prefix + ".dict.resets");
+  }
+  if (!config.idempotent_ops.empty()) {
+    ResponseCache::Stats cache_stats;
+    if (obs::Registry* reg = config.registry) {
+      const std::string& prefix = config.metrics_prefix;
+      cache_stats.hits = &reg->counter(prefix + ".respcache.hits");
+      cache_stats.misses = &reg->counter(prefix + ".respcache.misses");
+      cache_stats.bytes = &reg->counter(prefix + ".respcache.bytes");
+    }
+    respcache_.emplace(ResponseCache::Config{config.respcache_max_entries,
+                                             config.respcache_max_bytes,
+                                             /*shards=*/8},
+                       cache_stats);
+    idempotent_ops_.insert(config.idempotent_ops.begin(),
+                           config.idempotent_ops.end());
   }
   acceptor_ = std::thread([this] { accept_loop(); });
 }
@@ -171,20 +194,58 @@ void SoapServerPool::serve_connection(TcpStream stream) {
     stream.set_io_stats(io_);
     stream.set_no_delay(true);
     if (read_timeout_ms_ > 0) stream.set_read_timeout(read_timeout_ms_);
+    // BXTP v3 channel state, created by the Hello/Accept handshake and
+    // scoped to this connection: the negotiated flag and the two mirrored
+    // dictionary directions (requests decode, responses encode).
+    bool v3 = false;
+    std::optional<bxsa::DictDecoder> req_dict;
+    std::optional<bxsa::DictEncoder> resp_dict;
     // Serve exchanges until the peer hangs up.
     for (;;) {
       FrameStart start;
       std::optional<soap::WireMessage> body;
+      std::uint8_t req_flags = 0;
       {
         // One frame-read sample per exchange, spanning header + body.
         obs::StageTimer t(obs_, obs::Stage::kFrameRead);
-        start = read_frame_start(stream, frame_limits_);
-        if (!start.chunked() || !stream_handler_) {
+        start = read_frame_start(stream, frame_limits_, accept_v3_);
+        if (!start.hello && (!start.chunked() || !stream_handler_)) {
           // Without a stream handler a chunked frame throws here, cutting
           // the connection — bytes past the header cannot be reframed.
+          req_flags = start.flags;
           body = read_frame_body(stream, std::move(start), frame_limits_,
                                  &buffer_pool_);
         }
+      }
+      if (start.hello) {
+        if (v3) {
+          throw TransportError("repeated Hello on a negotiated connection");
+        }
+        AcceptFrame accept;
+        if (start.hello_frame.max_version >= kFrameVersionNegotiated) {
+          // Effective table: the element-wise min of both offers — forced
+          // to empty when this server's payloads are not plain BXSA, so
+          // the client never dictionary-codes at us in vain.
+          bxsa::DictLimits eff{0, 0};
+          if (dict_capable_) {
+            eff = dict_limits_.min_with({start.hello_frame.dict_max_entries,
+                                         start.hello_frame.dict_max_bytes});
+          }
+          accept.version = kFrameVersionNegotiated;
+          accept.dict_max_entries = eff.max_entries;
+          accept.dict_max_bytes = eff.max_bytes;
+          v3 = true;
+          if (eff.max_entries > 0) {
+            req_dict.emplace(eff);
+            resp_dict.emplace(eff);
+          }
+        } else {
+          // The peer probed with v3 framing but cannot speak it; answer
+          // with v1 and keep serving plain frames.
+          accept.version = kFrameVersion;
+        }
+        write_accept(stream, accept);
+        continue;
       }
       if (!body) {
         busy.store(true, std::memory_order_release);
@@ -194,11 +255,60 @@ void SoapServerPool::serve_connection(TcpStream stream) {
         continue;
       }
       soap::WireMessage raw = std::move(*body);
+      if ((req_flags & v3flags::kDictEncoded) != 0) {
+        if (!req_dict) {
+          throw TransportError(
+              "dictionary-coded message without a negotiated table");
+        }
+        ByteWriter plain(buffer_pool_.acquire(raw.payload.size() + 64));
+        try {
+          req_dict->decode(raw.payload, (req_flags & v3flags::kDictReset) != 0,
+                           plain, dict_stats_);
+        } catch (const DecodeError& e) {
+          // A mirror desync poisons every later message on this channel;
+          // strict validation cuts the connection (FORMAT.md "BXTP v3").
+          throw TransportError(std::string("dictionary decode failed: ") +
+                               e.what());
+        }
+        buffer_pool_.release(std::move(raw.payload));
+        raw.payload = plain.take();
+      }
       // The deadline header is relative: it counts from the moment WE
       // finished reading the request, so no client/server clock sync is
       // assumed.
       const auto received = std::chrono::steady_clock::now();
       busy.store(true, std::memory_order_release);
+      // Idempotent-response cache: a byte-identical repeat of a declared
+      // idempotent request is answered straight from the cached encoded
+      // payload — no deserialize, no handler, no serialize. Served ahead
+      // of admission control: a hit costs none of the work the in-flight
+      // bound exists to ration.
+      if (respcache_) {
+        if (ResponseCache::Payload hit = respcache_->lookup(
+                encoding_->content_type(), raw.payload)) {
+          buffer_pool_.release(std::move(raw.payload));
+          ByteWriter out(buffer_pool_.acquire(hit->size() + 64));
+          if (v3) {
+            frame_v3_payload(out, *hit, encoding_->content_type(), resp_dict,
+                             dict_stats_);
+          } else {
+            const std::size_t len_pos =
+                begin_frame(out, encoding_->content_type());
+            out.write_bytes(*hit);
+            end_frame(out, len_pos);
+          }
+          ++exchanges_;
+          obs_.count_exchange();
+          {
+            obs::StageTimer t(obs_, obs::Stage::kFrameWrite);
+            stream.write_all(out.bytes());
+          }
+          buffer_pool_.release(out.take());
+          busy.store(false, std::memory_order_release);
+          if (stopping_.load(std::memory_order_acquire)) break;
+          continue;
+        }
+      }
       // In-flight accounting for admission: one slot from here until the
       // response (or shed fault) is written, end of this loop iteration.
       const std::size_t prior =
@@ -226,6 +336,11 @@ void SoapServerPool::serve_connection(TcpStream stream) {
         if (stopping_.load(std::memory_order_acquire)) break;
         continue;
       }
+      // Hoisted out of the handler lambda: the request's wire bytes stay
+      // alive through the exchange (the decoded tree views them anyway),
+      // so a cacheable response can be inserted under its request key.
+      SharedBuffer wire;
+      bool cacheable = false;
       soap::SoapEnvelope response = [&]() -> soap::SoapEnvelope {
         try {
           soap::SoapEnvelope request = [&] {
@@ -234,10 +349,11 @@ void SoapServerPool::serve_connection(TcpStream stream) {
             // Adopting the payload lets packed arrays decode as views; the
             // buffer recycles into the pool when the last view (usually the
             // request tree, at the end of this exchange) lets go.
-            SharedBuffer wire =
-                SharedBuffer::adopt(std::move(raw.payload), &buffer_pool_);
+            wire = SharedBuffer::adopt(std::move(raw.payload), &buffer_pool_);
             return soap::SoapEnvelope(encoding_->deserialize_shared(wire));
           }();
+          cacheable = respcache_.has_value() &&
+                      idempotent_ops_.contains(operation_name(request));
           // Deadline propagation: a request whose stamped budget ran out
           // before the handler could start is dropped — the caller has
           // already given up on it.
@@ -271,15 +387,44 @@ void SoapServerPool::serve_connection(TcpStream stream) {
         obs_.count_fault();
       }
       // Serialize into ONE pooled buffer with the frame header reserved up
-      // front, so header + payload leave in a single write_all.
+      // front, so header + payload leave in a single write_all. A fault is
+      // never cached; a negotiated connection's payload takes a detour
+      // through a canonical buffer because the dictionary transform (and
+      // the cache) needs the pre-dictionary bytes.
       ByteWriter out(buffer_pool_.acquire(256));
-      const std::size_t len_pos = begin_frame(out, encoding_->content_type());
-      {
-        obs::StageTimer t(obs_, obs::Stage::kSerialize);
-        encoding_->serialize_into(response.document(), out);
+      if (!v3) {
+        const std::size_t len_pos =
+            begin_frame(out, encoding_->content_type());
+        {
+          obs::StageTimer t(obs_, obs::Stage::kSerialize);
+          encoding_->serialize_into(response.document(), out);
+        }
+        end_frame(out, len_pos);
+        obs_.stage_bytes(obs::Stage::kSerialize, out.size() - len_pos - 8);
+        if (cacheable && !response.is_fault()) {
+          const auto payload = out.bytes().subspan(len_pos + 8);
+          respcache_->insert(
+              encoding_->content_type(), wire.bytes(),
+              std::make_shared<const std::vector<std::uint8_t>>(
+                  payload.begin(), payload.end()));
+        }
+      } else {
+        ByteWriter plain(buffer_pool_.acquire(256));
+        {
+          obs::StageTimer t(obs_, obs::Stage::kSerialize);
+          encoding_->serialize_into(response.document(), plain);
+        }
+        obs_.stage_bytes(obs::Stage::kSerialize, plain.size());
+        if (cacheable && !response.is_fault()) {
+          respcache_->insert(
+              encoding_->content_type(), wire.bytes(),
+              std::make_shared<const std::vector<std::uint8_t>>(
+                  plain.bytes().begin(), plain.bytes().end()));
+        }
+        frame_v3_payload(out, plain.bytes(), encoding_->content_type(),
+                         resp_dict, dict_stats_);
+        buffer_pool_.release(plain.take());
       }
-      end_frame(out, len_pos);
-      obs_.stage_bytes(obs::Stage::kSerialize, out.size() - len_pos - 8);
       // Count before the reply bytes leave: a client that has its response
       // must observe the exchange as recorded.
       ++exchanges_;

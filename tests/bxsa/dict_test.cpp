@@ -1,0 +1,290 @@
+#include "bxsa/dict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bxsa/decoder.hpp"
+#include "bxsa/encoder.hpp"
+#include "workload/lead.hpp"
+#include "xdm/dump.hpp"
+#include "xdm/equal.hpp"
+
+namespace bxsoap::bxsa {
+namespace {
+
+using namespace bxsoap::xdm;
+
+std::vector<std::uint8_t> denc(std::span<const std::uint8_t> in,
+                               SymbolDictionary& d) {
+  ByteWriter w;
+  dict_encode(in, d, w);
+  return w.take();
+}
+
+std::vector<std::uint8_t> ddec(std::span<const std::uint8_t> in,
+                               SymbolDictionary& d) {
+  ByteWriter w;
+  dict_decode(in, d, w);
+  return w.take();
+}
+
+/// Runs `n` copies of `node` through one encoder/decoder dictionary pair
+/// and checks every message round-trips to the exact plain-encoder bytes.
+void expect_stream_identity(const Node& node, std::size_t n,
+                            ByteOrder order = host_byte_order(),
+                            DictLimits limits = {}) {
+  EncodeOptions opt;
+  opt.order = order;
+  const auto plain = encode(node, opt);
+  SymbolDictionary enc_dict(limits);
+  SymbolDictionary dec_dict(limits);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto coded = denc(plain, enc_dict);
+    const auto back = ddec(coded, dec_dict);
+    ASSERT_EQ(back, plain) << "message " << i << " did not round-trip";
+    const NodePtr decoded = decode(back);
+    ASSERT_TRUE(deep_equal(node, *decoded)) << first_difference(node, *decoded);
+  }
+}
+
+NodePtr rich_document() {
+  auto doc = std::make_unique<Document>();
+  doc->add_child(std::make_unique<CommentNode>("prolog comment"));
+  doc->add_child(std::make_unique<PINode>("target", "pi data"));
+  auto root = make_element(QName("http://example.org/app", "root", "app"));
+  root->declare_namespace("app", "http://example.org/app");
+  root->declare_namespace("", "http://example.org/default");
+  root->add_attribute(QName("http://example.org/app", "version", "app"),
+                      std::int32_t{7});
+  root->add_attribute(QName("note"), std::string("an attribute VALUE"));
+  auto& mid = root->add_element(QName("http://example.org/default", "mid"));
+  mid.add_text("character content stays literal");
+  mid.add_child(make_leaf<std::string>(QName("s"), std::string("string leaf")));
+  mid.add_child(make_leaf<double>(QName("pi"), 3.14159));
+  root->add_child(make_array<double>(QName("samples"), {1.5, -2.5, 3.25}));
+  root->add_child(make_array<std::int16_t>(QName("shorts"), {-9, 9, 42}));
+  root->add_child(make_array<std::uint8_t>(QName("blob"), {1, 2, 3}));
+  doc->add_child(std::move(root));
+  return doc;
+}
+
+TEST(SymbolDict, RoundTripIdentityRichDocument) {
+  const NodePtr doc = rich_document();
+  expect_stream_identity(*doc, 3);
+  expect_stream_identity(*doc, 3, ByteOrder::kBig);
+}
+
+TEST(SymbolDict, RoundTripIdentityAllArrayTypes) {
+  auto root = make_element(QName("r"));
+  root->add_child(make_array<std::int8_t>(QName("a1"), {-1, 0, 1}));
+  root->add_child(make_array<std::uint8_t>(QName("a2"), {7}));
+  root->add_child(make_array<std::int16_t>(QName("a3"), {-9, 9}));
+  root->add_child(make_array<std::uint16_t>(QName("a4"), {65535}));
+  root->add_child(make_array<std::int32_t>(QName("a5"), {1, 2, 3, 4}));
+  root->add_child(make_array<std::uint32_t>(QName("a6"), {0xDEADBEEF}));
+  root->add_child(make_array<std::int64_t>(QName("a7"), {-5, 5}));
+  root->add_child(make_array<std::uint64_t>(QName("a8"), {1ull << 60}));
+  root->add_child(make_array<float>(QName("a9"), {1.5f, -2.5f}));
+  root->add_child(make_array<double>(QName("a10"), {3.141592653589793}));
+  root->add_child(make_array<double>(QName("empty"), {}));
+  expect_stream_identity(*root, 2);
+  expect_stream_identity(*root, 2, ByteOrder::kBig);
+}
+
+// Replacing name literals with short references shifts every downstream
+// offset, so the array padding the plain encoder emitted must be re-derived
+// rather than copied. Element names of staggered lengths in front of wide
+// arrays make any copied-padding bug show up as a round-trip mismatch.
+TEST(SymbolDict, ArrayPaddingRecomputedAcrossShiftedOffsets) {
+  for (std::size_t pad = 0; pad < 8; ++pad) {
+    auto root = make_element(QName(std::string(pad + 1, 'n')));
+    root->add_child(make_array<double>(QName("d8"), {1.0, 2.0}));
+    root->add_child(
+        make_leaf<std::string>(QName(std::string(pad + 3, 'm')), "x"));
+    root->add_child(make_array<std::int32_t>(QName("i4"), {1, 2, 3}));
+    expect_stream_identity(*root, 3);
+  }
+}
+
+TEST(SymbolDict, RoundTripIdentityLeadDataset) {
+  const auto ds = workload::make_lead_dataset(16, 4);
+  const NodePtr doc = workload::to_bxdm(ds);
+  expect_stream_identity(*doc, 3);
+}
+
+/// The shape the tentpole targets: a small SOAP envelope whose bytes are
+/// dominated by namespace URIs and element names, not payload.
+NodePtr envelope_like_document() {
+  constexpr const char* kEnvNs = "http://schemas.xmlsoap.org/soap/envelope/";
+  constexpr const char* kAppNs = "http://example.org/services/smallmsg";
+  auto doc = std::make_unique<Document>();
+  auto env = make_element(QName(kEnvNs, "Envelope", "soapenv"));
+  env->declare_namespace("soapenv", kEnvNs);
+  env->add_child(make_element(QName(kEnvNs, "Header", "soapenv")));
+  auto body = make_element(QName(kEnvNs, "Body", "soapenv"));
+  auto op = make_element(QName(kAppNs, "GetQuote", "m"));
+  op->declare_namespace("m", kAppNs);
+  op->add_child(make_leaf<std::string>(QName(kAppNs, "symbol", "m"),
+                                       std::string("ACME")));
+  op->add_child(make_leaf<std::int32_t>(QName(kAppNs, "count", "m"), 100));
+  body->add_child(std::move(op));
+  env->add_child(std::move(body));
+  doc->add_child(std::move(env));
+  return doc;
+}
+
+TEST(SymbolDict, SteadyStateShrinksSmallMessages) {
+  const NodePtr doc = envelope_like_document();
+  const auto plain = encode(*doc);
+  SymbolDictionary dict({});
+  const auto first = denc(plain, dict);
+  const auto steady = denc(plain, dict);
+  // First message carries the add-tagged literals (slightly larger than
+  // plain); from the second message on, every symbol is a 1-2 byte ref.
+  EXPECT_LT(steady.size(), plain.size());
+  EXPECT_LT(static_cast<double>(steady.size()),
+            0.7 * static_cast<double>(plain.size()))
+      << "steady-state " << steady.size() << " vs plain " << plain.size();
+  EXPECT_GT(first.size(), steady.size());
+}
+
+TEST(SymbolDict, CountsDistinguishSymbolsFromContent) {
+  auto root = make_element(QName("op"));
+  root->add_child(
+      make_leaf<std::string>(QName("v"), std::string("repeated value")));
+  root->add_child(
+      make_leaf<std::string>(QName("v"), std::string("repeated value")));
+  const auto plain = encode(*root);
+  SymbolDictionary dict({});
+  ByteWriter w1;
+  const DictCounts c1 = dict_encode(plain, dict, w1);
+  // Symbols: "op", "v" (second "v" hits within the same message). The
+  // repeated string VALUE is content and must not enter the table.
+  EXPECT_EQ(c1.added, 2u);
+  EXPECT_EQ(c1.hits, 1u);
+  EXPECT_EQ(c1.misses, 0u);
+  EXPECT_EQ(dict.size(), 2u);
+  ByteWriter w2;
+  const DictCounts c2 = dict_encode(plain, dict, w2);
+  EXPECT_EQ(c2.added, 0u);
+  EXPECT_EQ(c2.hits, 3u);
+  EXPECT_GT(c2.bytes_saved, 0u);
+}
+
+TEST(SymbolDict, ReferenceIntoEmptyTableFaults) {
+  auto root = make_element(QName("r"));
+  const auto plain = encode(*root);
+  SymbolDictionary enc_dict({});
+  const auto first = denc(plain, enc_dict);
+  const auto second = denc(plain, enc_dict);  // all refs now
+  SymbolDictionary fresh({});
+  EXPECT_THROW(ddec(second, fresh), DecodeError);
+}
+
+TEST(SymbolDict, AdmissionBeyondNegotiatedBoundsFaults) {
+  auto root = make_element(QName("alpha"));
+  root->add_child(make_leaf<std::int32_t>(QName("beta"), 1));
+  const auto plain = encode(*root);
+  SymbolDictionary generous({});
+  const auto coded = denc(plain, generous);  // two tag-1 admissions
+  SymbolDictionary strict({.max_entries = 1, .max_bytes = 16 * 1024});
+  EXPECT_THROW(ddec(coded, strict), DecodeError);
+}
+
+TEST(SymbolDict, FullTableFallsBackToLiterals) {
+  auto root = make_element(QName("alpha"));
+  root->add_child(make_leaf<std::int32_t>(QName("beta"), 1));
+  root->add_child(make_leaf<std::int32_t>(QName("gamma"), 2));
+  const DictLimits tiny{.max_entries = 1, .max_bytes = 16 * 1024};
+  expect_stream_identity(*root, 3, host_byte_order(), tiny);
+  SymbolDictionary dict(tiny);
+  const auto plain = encode(*root);
+  ByteWriter w;
+  const DictCounts c = dict_encode(plain, dict, w);
+  EXPECT_EQ(c.added, 1u);
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(SymbolDict, ByteBudgetRefusesOversizedSymbols) {
+  auto root = make_element(QName(std::string(64, 'x')));
+  const auto plain = encode(*root);
+  SymbolDictionary dict({.max_entries = 256, .max_bytes = 8});
+  ByteWriter w;
+  const DictCounts c = dict_encode(plain, dict, w);
+  EXPECT_EQ(c.added, 0u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(dict.bytes(), 0u);
+}
+
+TEST(SymbolDict, EncoderResetPolicySignalsEpochChange) {
+  // A one-entry table and two alternating disjoint symbol sets: once the
+  // table is full and a message sees more refused literals than hits, the
+  // encoder must start a fresh epoch and flag it.
+  auto a = make_element(QName("aaaa"));
+  a->add_child(make_leaf<std::int32_t>(QName("aaab"), 1));
+  auto b = make_element(QName("bbbb"));
+  b->add_child(make_leaf<std::int32_t>(QName("bbbc"), 1));
+  const auto plain_a = encode(*a);
+  const auto plain_b = encode(*b);
+  const DictLimits tiny{.max_entries = 1, .max_bytes = 16 * 1024};
+  DictEncoder enc(tiny);
+  DictDecoder dec(tiny);
+  bool saw_reset = false;
+  for (int i = 0; i < 6; ++i) {
+    const auto& plain = (i % 2 == 0) ? plain_a : plain_b;
+    ByteWriter coded;
+    const bool reset = enc.encode(plain, coded);
+    saw_reset = saw_reset || reset;
+    ByteWriter back;
+    dec.decode(coded.bytes(), reset, back);
+    ASSERT_EQ(back.vec(), plain) << "message " << i;
+  }
+  EXPECT_TRUE(saw_reset);
+}
+
+TEST(SymbolDict, DictStatsCountersAccumulate) {
+  obs::Registry reg;
+  DictStats stats{&reg.counter("dict.entries"),
+                  &reg.counter("dict.bytes_saved"), &reg.counter("dict.resets")};
+  const NodePtr doc = rich_document();
+  const auto plain = encode(*doc);
+  DictEncoder enc({});
+  DictDecoder dec({});
+  for (int i = 0; i < 3; ++i) {
+    ByteWriter coded;
+    const bool reset = enc.encode(plain, coded, stats);
+    ByteWriter back;
+    dec.decode(coded.bytes(), reset, back);
+  }
+  EXPECT_GT(reg.counter("dict.entries").value(), 0u);
+  EXPECT_GT(reg.counter("dict.bytes_saved").value(), 0u);
+  EXPECT_EQ(reg.counter("dict.resets").value(), 0u);
+}
+
+TEST(SymbolDict, TruncatedCodedStreamThrowsTypedError) {
+  const NodePtr doc = rich_document();
+  const auto plain = encode(*doc);
+  SymbolDictionary enc_dict({});
+  const auto coded = denc(plain, enc_dict);
+  for (std::size_t cut = 0; cut < coded.size(); ++cut) {
+    SymbolDictionary dec_dict({});
+    ByteWriter out;
+    EXPECT_THROW(
+        dict_decode(std::span(coded.data(), cut), dec_dict, out), Error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(SymbolDict, TrailingBytesRejected) {
+  auto root = make_element(QName("r"));
+  auto plain = encode(*root);
+  plain.push_back(0x00);
+  SymbolDictionary dict({});
+  ByteWriter out;
+  EXPECT_THROW(dict_encode(plain, dict, out), DecodeError);
+}
+
+}  // namespace
+}  // namespace bxsoap::bxsa
