@@ -21,7 +21,7 @@ cmake --build --preset release-bench -j "$jobs"
 names=("$@")
 if [[ ${#names[@]} -eq 0 ]]; then
   names=(engine frames sockets striping convert compression concurrency
-         streaming overload smallmsg)
+         streaming overload smallmsg compression_wan)
 fi
 
 repo="$PWD"
@@ -31,7 +31,8 @@ for name in "${names[@]}"; do
   # "concurrency" includes the c10k saturation ladder (1k/4k/10k
   # connections against the sharded event server) in full mode.
   if [[ "$name" == "concurrency" || "$name" == "streaming" ||
-        "$name" == "overload" || "$name" == "smallmsg" ]]; then
+        "$name" == "overload" || "$name" == "smallmsg" ||
+        "$name" == "compression_wan" ]]; then
     bin="$repo/build-bench/bench/bench_${name}"
   fi
   if [[ ! -x "$bin" ]]; then

@@ -67,9 +67,12 @@ echo "== ctest (tsan: buffer pool + server pool + event server + streaming) =="
 # shared between reactors and workers, the ReliableCaller retry budget and
 # circuit breaker, deadline propagation into handler threads), and the
 # BXTP v3 surfaces (per-connection dictionary state vs reactor/worker
-# handoffs, the sharded response cache hammered from pooled channels).
+# handoffs, the sharded response cache hammered from pooled channels), and
+# the negotiated-compression surfaces (per-connection transform state read
+# by stream/worker threads, shared CompressStats counters, the chunk
+# compress/decompress paths on both servers and the channel pool).
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool|ServerConfig|EventServer|EventShard|ChannelPool|Streaming|Overload|ExpiredDrop|DeadlineContext|ReliableCaller|RespCache|V3Negotiation|DictChannel|V3Chaos' \
+  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool|ServerConfig|EventServer|EventShard|ChannelPool|Streaming|Overload|ExpiredDrop|DeadlineContext|ReliableCaller|RespCache|V3Negotiation|DictChannel|V3Chaos|CompressChannel|CompressChaos|Shuffle' \
   --output-on-failure -j "$jobs")
 
 echo "== overload chaos gate (tsan, retry storms + saturated sheds) =="
@@ -99,5 +102,12 @@ echo "== bench_smallmsg (short mode, BXTP v3 acceptance gate) =="
 # channel, throughput preserved with the full v3 stack, cache hits
 # faster than re-encode) and exits nonzero on violation.
 (cd build && ./bench/bench_smallmsg --short)
+
+echo "== bench_compression_wan (short mode, compression acceptance gate) =="
+# The compression ladder self-checks the DESIGN.md §14 acceptance criteria
+# (>= 1.5x modeled-WAN goodput for smooth float64 under shuffle+delta+lzss,
+# incompressible payloads shipped plain with <= 3% probe overhead, every
+# compressed body byte-identical on decode) and exits nonzero on violation.
+(cd build && ./bench/bench_compression_wan --short)
 
 echo "check.sh: all green"

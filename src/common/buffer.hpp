@@ -64,6 +64,14 @@ class ByteWriter {
   /// Append `n` zero bytes (used for alignment padding).
   void write_padding(std::size_t n) { buf_.resize(buf_.size() + n, 0); }
 
+  /// Drop everything written after `size` bytes (used to abandon a
+  /// speculative write, e.g. a compressed frame body that did not end up
+  /// smaller than the plain one). Growing is not allowed.
+  void truncate(std::size_t size) {
+    if (size > buf_.size()) throw EncodeError("truncate past end");
+    buf_.resize(size);
+  }
+
   /// Overwrite previously written bytes at `offset` (used to backpatch frame
   /// sizes once a frame body is complete).
   void patch_bytes(std::size_t offset, const void* data, std::size_t n) {

@@ -12,6 +12,7 @@ constexpr std::size_t kWindow = 64 * 1024;
 constexpr std::size_t kMinMatch = 4;
 constexpr std::size_t kMaxMatch = 259;  // kMinMatch + 255
 constexpr char kMagic[4] = {'L', 'Z', 'S', '1'};
+constexpr char kStoredMagic[4] = {'L', 'Z', 'S', '0'};
 constexpr std::size_t kHashBits = 15;
 constexpr std::size_t kHashSize = 1u << kHashBits;
 
@@ -70,9 +71,25 @@ std::vector<std::uint8_t> lzss_compress(std::span<const std::uint8_t> data) {
   std::vector<std::uint32_t> head(kHashSize, 0xFFFFFFFFu);
   std::vector<std::uint32_t> chain(kWindow, 0xFFFFFFFFu);
 
+  // Worst-case guard: once the token stream exceeds the stored-mode size
+  // (header + raw bytes), stop compressing and emit the stored block
+  // instead — incompressible input must never expand past the header, and
+  // bailing early also caps the CPU wasted on it.
+  const std::size_t stored_bound = kLzssHeaderBytes + data.size();
+  const auto store_raw = [&] {
+    out.assign(kStoredMagic, kStoredMagic + 4);
+    out.resize(kLzssHeaderBytes);
+    store<std::uint64_t>(data.size(), ByteOrder::kLittle, out.data() + 4);
+    out.insert(out.end(), data.begin(), data.end());
+  };
+
   TokenWriter tokens(out);
   std::size_t i = 0;
   while (i < data.size()) {
+    if (out.size() >= stored_bound) {
+      store_raw();
+      return out;
+    }
     std::size_t best_len = 0;
     std::size_t best_dist = 0;
     if (i + kMinMatch <= data.size()) {
@@ -112,19 +129,33 @@ std::vector<std::uint8_t> lzss_compress(std::span<const std::uint8_t> data) {
       ++i;
     }
   }
+  // The in-loop check lags by one token; enforce the bound exactly.
+  if (out.size() > stored_bound) store_raw();
   return out;
 }
 
 std::vector<std::uint8_t> lzss_decompress(
-    std::span<const std::uint8_t> compressed) {
-  if (compressed.size() < 12 ||
-      std::memcmp(compressed.data(), kMagic, 4) != 0) {
+    std::span<const std::uint8_t> compressed, std::size_t max_decoded,
+    std::vector<std::uint8_t> reuse) {
+  if (compressed.size() < kLzssHeaderBytes) {
+    throw DecodeError("lzss: bad magic");
+  }
+  const bool stored = std::memcmp(compressed.data(), kStoredMagic, 4) == 0;
+  if (!stored && std::memcmp(compressed.data(), kMagic, 4) != 0) {
     throw DecodeError("lzss: bad magic");
   }
   const std::uint64_t size =
       load<std::uint64_t>(compressed.data() + 4, ByteOrder::kLittle);
-  if (size > (1ull << 33)) {
+  if (size > (1ull << 33) || size > max_decoded) {
     throw DecodeError("lzss: implausible decompressed size");
+  }
+  if (stored) {
+    // Stored block: the declared size must match the payload exactly.
+    if (size != compressed.size() - kLzssHeaderBytes) {
+      throw DecodeError("lzss: stored block size mismatch");
+    }
+    reuse.assign(compressed.begin() + kLzssHeaderBytes, compressed.end());
+    return reuse;
   }
   // Amplification bound: a token stream of N bytes can expand to at most
   // N * kMaxMatch output bytes, so a declared size beyond that is a forged
@@ -133,10 +164,11 @@ std::vector<std::uint8_t> lzss_decompress(
   if (size > static_cast<std::uint64_t>(compressed.size()) * kMaxMatch) {
     throw DecodeError("lzss: declared size exceeds maximum expansion");
   }
-  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> out = std::move(reuse);
+  out.clear();
   out.reserve(static_cast<std::size_t>(size));
 
-  std::size_t pos = 12;
+  std::size_t pos = kLzssHeaderBytes;
   std::uint8_t flags = 0;
   unsigned bit = 8;
   while (out.size() < size) {

@@ -11,6 +11,11 @@
 // flag bytes (1 bit per token, LSB first; 0 = literal byte, 1 = match)
 // followed by the tokens: literals are raw bytes, matches are u16 LE
 // distance (1-based) + u8 length-4 (lengths 4..259).
+//
+// Stored mode: when the token stream would exceed the input size (the
+// flag-bit overhead on incompressible data), the compressor emits
+// "LZS0", u64 LE size, then the raw bytes — so compressed output is
+// never larger than input + kLzssHeaderBytes.
 #pragma once
 
 #include <cstdint>
@@ -21,10 +26,23 @@
 
 namespace bxsoap {
 
+/// Magic (4 bytes) + u64 LE decompressed size; also the worst-case
+/// expansion of lzss_compress over the input size (stored mode).
+inline constexpr std::size_t kLzssHeaderBytes = 12;
+
+/// Default decompression-size cap: generous for a general-purpose codec;
+/// transport callers pass their own frame/chunk limit instead.
+inline constexpr std::size_t kLzssDefaultMaxDecoded = std::size_t{1} << 33;
+
 std::vector<std::uint8_t> lzss_compress(std::span<const std::uint8_t> data);
 
-/// Throws DecodeError on malformed input.
+/// Throws DecodeError on malformed input or when the declared
+/// decompressed size exceeds `max_decoded` (checked before any
+/// allocation). `reuse` recycles an existing buffer (e.g. one acquired
+/// from a BufferPool) as the output storage; it is cleared first.
 std::vector<std::uint8_t> lzss_decompress(
-    std::span<const std::uint8_t> compressed);
+    std::span<const std::uint8_t> compressed,
+    std::size_t max_decoded = kLzssDefaultMaxDecoded,
+    std::vector<std::uint8_t> reuse = {});
 
 }  // namespace bxsoap

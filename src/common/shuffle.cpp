@@ -1,0 +1,53 @@
+#include "common/shuffle.hpp"
+
+#include "common/error.hpp"
+
+namespace bxsoap {
+
+void shuffle_delta(std::span<const std::uint8_t> data, std::size_t lane,
+                   std::vector<std::uint8_t>& out) {
+  if (!shuffle_lane_valid(lane)) {
+    throw EncodeError("shuffle: invalid lane width " + std::to_string(lane));
+  }
+  const std::size_t items = data.size() / lane;
+  const std::size_t body = items * lane;
+  const std::size_t base = out.size();
+  out.resize(base + data.size());
+  std::uint8_t* dst = out.data() + base;
+  for (std::size_t b = 0; b < lane; ++b) {
+    std::uint8_t prev = 0;
+    const std::uint8_t* src = data.data() + b;
+    std::uint8_t* plane = dst + b * items;
+    for (std::size_t i = 0; i < items; ++i) {
+      const std::uint8_t cur = src[i * lane];
+      plane[i] = static_cast<std::uint8_t>(cur - prev);
+      prev = cur;
+    }
+  }
+  // Tail shorter than one item: literal bytes after the planes.
+  for (std::size_t i = body; i < data.size(); ++i) dst[i] = data[i];
+}
+
+void unshuffle_delta(std::span<const std::uint8_t> data, std::size_t lane,
+                     std::vector<std::uint8_t>& out) {
+  if (!shuffle_lane_valid(lane)) {
+    throw DecodeError("unshuffle: invalid lane width " + std::to_string(lane));
+  }
+  const std::size_t items = data.size() / lane;
+  const std::size_t body = items * lane;
+  const std::size_t base = out.size();
+  out.resize(base + data.size());
+  std::uint8_t* dst = out.data() + base;
+  for (std::size_t b = 0; b < lane; ++b) {
+    std::uint8_t acc = 0;
+    const std::uint8_t* plane = data.data() + b * items;
+    std::uint8_t* col = dst + b;
+    for (std::size_t i = 0; i < items; ++i) {
+      acc = static_cast<std::uint8_t>(acc + plane[i]);
+      col[i * lane] = acc;
+    }
+  }
+  for (std::size_t i = body; i < data.size(); ++i) dst[i] = data[i];
+}
+
+}  // namespace bxsoap

@@ -1,0 +1,36 @@
+// Byte shuffle + delta: the Blosc/HDF5 preconditioner that makes packed
+// IEEE arrays compressible.
+//
+// A smooth float64 array is nearly incompressible byte-for-byte: every
+// 8-byte item mixes slowly-varying exponent bytes with noisy mantissa
+// bytes, so LZSS sees no repeats. Transposing the buffer into `lane`
+// byte-planes (all byte 0s, then all byte 1s, ...) groups the
+// slowly-varying bytes together, and a per-plane byte delta turns
+// "slowly varying" into "mostly zero" — which LZSS then erases. The
+// transform is exactly invertible and size-preserving; any tail shorter
+// than one item is copied literally.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bxsoap {
+
+/// True iff `lane` is a lane width the wire format admits (the fixed
+/// widths of packed atoms: 2, 4 or 8 bytes).
+constexpr bool shuffle_lane_valid(std::size_t lane) {
+  return lane == 2 || lane == 4 || lane == 8;
+}
+
+/// Append the shuffled + delta'd form of `data` to `out`. Appends exactly
+/// `data.size()` bytes. Throws EncodeError on an invalid lane width.
+void shuffle_delta(std::span<const std::uint8_t> data, std::size_t lane,
+                   std::vector<std::uint8_t>& out);
+
+/// Exact inverse of shuffle_delta: append the original bytes to `out`.
+/// Throws DecodeError on an invalid lane width.
+void unshuffle_delta(std::span<const std::uint8_t> data, std::size_t lane,
+                     std::vector<std::uint8_t>& out);
+
+}  // namespace bxsoap

@@ -57,11 +57,21 @@ class TcpChannelPool {
     /// This side's dictionary-table offer (element-wise min'ed with the
     /// server's); meaningful only with enable_v3.
     bxsa::DictLimits dict_limits{};
+    /// This side's compression-transform offer (transport/compress.hpp
+    /// transforms:: bitmask), carried in each channel's v3 Hello and
+    /// intersected with the server's Accept. 0 = never compress.
+    /// Meaningful only with enable_v3.
+    std::uint8_t compress_transforms = 0;
+    /// Encode-side adaptivity heuristic (entropy-probe thresholds); only
+    /// consulted on channels that negotiated a non-empty transform set.
+    transport::CompressPolicy compress_policy{};
     /// When set, records under "<metrics_prefix>.*": calls / resets
     /// counters, channels.in_use gauge, checkout.wait.ns histogram,
     /// checkout.timeout counter, io.* socket tallies across all channels,
-    /// and (with enable_v3) dict.{entries,bytes_saved,resets} across all
-    /// channels' dictionaries. Must outlive the pool.
+    /// (with enable_v3) dict.{entries,bytes_saved,resets} across all
+    /// channels' dictionaries, and (with compress_transforms) the shared
+    /// compress.{chunks,skipped,bytes_in,bytes_out,ns} tallies. Must
+    /// outlive the pool.
     obs::Registry* registry = nullptr;
     std::string metrics_prefix = "client.channels";
   };
@@ -83,6 +93,16 @@ class TcpChannelPool {
             &reg->counter(prefix + ".dict.bytes_saved");
         dict_stats_.resets = &reg->counter(prefix + ".dict.resets");
       }
+      if (config.enable_v3 && config.compress_transforms != 0) {
+        compress_stats_.chunks = &reg->counter(prefix + ".compress.chunks");
+        compress_stats_.skipped =
+            &reg->counter(prefix + ".compress.skipped");
+        compress_stats_.bytes_in =
+            &reg->counter(prefix + ".compress.bytes_in");
+        compress_stats_.bytes_out =
+            &reg->counter(prefix + ".compress.bytes_out");
+        compress_stats_.ns = &reg->counter(prefix + ".compress.ns");
+      }
     }
     channels_.reserve(config.channels);
     for (std::size_t i = 0; i < config.channels; ++i) {
@@ -93,6 +113,11 @@ class TcpChannelPool {
       if (config.enable_v3) {
         channels_.back().binding().enable_v3(config.dict_limits);
         channels_.back().binding().set_dict_stats(dict_stats_);
+        if (config.compress_transforms != 0) {
+          channels_.back().binding().enable_compression(
+              config.compress_transforms, config.compress_policy);
+          channels_.back().binding().set_compress_stats(compress_stats_);
+        }
       }
       free_.push_back(i);
     }
@@ -185,6 +210,7 @@ class TcpChannelPool {
   obs::Counter* timeouts_ = nullptr;
   obs::IoStats* io_ = nullptr;
   bxsa::DictStats dict_stats_{};  // shared by every channel's dictionaries
+  transport::CompressStats compress_stats_{};  // shared compress tallies
 };
 
 }  // namespace bxsoap::soap

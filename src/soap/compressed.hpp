@@ -13,16 +13,50 @@
 // barely compresses, quantifying how little slack the binary format leaves.
 #pragma once
 
+#include <array>
+
 #include "common/lzss.hpp"
 #include "soap/encoding.hpp"
 
 namespace bxsoap::soap {
 
+namespace detail {
+
+/// The inner encoding's subtype tail, for embedding in a compound content
+/// type: "application/bxsa" -> "bxsa", "text/xml; charset=utf-8" -> "xml".
+constexpr std::string_view lzss_suffix(std::string_view ct) {
+  if (const auto semi = ct.find(';'); semi != std::string_view::npos) {
+    ct = ct.substr(0, semi);
+  }
+  if (const auto slash = ct.find('/'); slash != std::string_view::npos) {
+    ct = ct.substr(slash + 1);
+  }
+  if (ct.starts_with("x-")) ct = ct.substr(2);
+  return ct;
+}
+
+}  // namespace detail
+
 template <LegacyEncoding Inner>
 class CompressedEncoding {
+  // The advertised type names BOTH layers — the lzss transform and the
+  // inner encoding it wraps — so a receiver (and the idempotent-response
+  // cache, which keys on content type) can never confuse compressed XML
+  // with compressed BXSA.
+  static constexpr std::string_view kCtPrefix = "application/x-lzss+";
+  static constexpr std::string_view kCtSuffix =
+      detail::lzss_suffix(Inner::content_type());
+  static constexpr auto kContentType = [] {
+    std::array<char, kCtPrefix.size() + kCtSuffix.size()> buf{};
+    std::size_t i = 0;
+    for (const char c : kCtPrefix) buf[i++] = c;
+    for (const char c : kCtSuffix) buf[i++] = c;
+    return buf;
+  }();
+
  public:
   static constexpr std::string_view content_type() {
-    return "application/x-lzss";
+    return {kContentType.data(), kContentType.size()};
   }
 
   explicit CompressedEncoding(Inner inner = {}) : inner_(std::move(inner)) {}
@@ -54,5 +88,9 @@ class CompressedEncoding {
 
 static_assert(Encoding<CompressedEncoding<XmlEncoding>>);
 static_assert(Encoding<CompressedEncoding<BxsaEncoding>>);
+static_assert(CompressedEncoding<XmlEncoding>::content_type() ==
+              "application/x-lzss+xml");
+static_assert(CompressedEncoding<BxsaEncoding>::content_type() ==
+              "application/x-lzss+bxsa");
 
 }  // namespace bxsoap::soap

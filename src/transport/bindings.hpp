@@ -39,6 +39,12 @@ namespace bxsoap::transport {
 /// server inflicts on the unknown version — downgrades this binding
 /// PERMANENTLY to plain v1 framing, so one failed probe is the total cost
 /// against an old deployment.
+///
+/// Compression rides the same handshake: enable_compression() adds a
+/// transform offer to the Hello, and the Accept's intersection decides
+/// what this channel may compress (requests, streamed chunks) and must
+/// accept (responses). A server that never heard of compression answers
+/// transforms=0 and the channel stays byte-identical to plain v3.
 class TcpClientBinding {
  public:
   explicit TcpClientBinding(std::uint16_t port) : port_(port) {}
@@ -52,13 +58,16 @@ class TcpClientBinding {
       if (enc_dict_ &&
           m.content_type == soap::BxsaEncoding::content_type()) {
         // Only plain BXSA payloads go through the symbol dictionary; any
-        // other content type rides a v3 frame with empty flags.
+        // other content type rides a v3 frame with (at most) the
+        // compressed flag.
         frame_v3_payload(out, m.payload, m.content_type, enc_dict_,
-                         dict_stats_);
+                         dict_stats_, transforms_, compress_policy_, pool_,
+                         compress_stats_);
       } else {
-        const std::size_t len_pos = begin_frame_v3(out, 0, m.content_type);
-        out.write_bytes(m.payload);
-        end_frame(out, len_pos);
+        std::optional<bxsa::DictEncoder> no_dict;
+        frame_v3_payload(out, m.payload, m.content_type, no_dict,
+                         dict_stats_, transforms_, compress_policy_, pool_,
+                         compress_stats_);
       }
       stream_.write_all(out.bytes());
       pool_->release(out.take());
@@ -78,6 +87,12 @@ class TcpClientBinding {
     const std::uint8_t flags = start.flags;
     soap::WireMessage m =
         read_frame_body(stream_, std::move(start), limits_, pool_);
+    // Decode order mirrors the server's encode order (dict, then
+    // compress): decompress first so the dictionary sees canonical bytes.
+    if ((flags & v3flags::kCompressed) != 0) {
+      m.payload = decompress_frame_payload(std::move(m.payload), transforms_,
+                                           limits_, *pool_);
+    }
     if ((flags & v3flags::kDictEncoded) != 0) {
       if (!dec_dict_) {
         throw TransportError(
@@ -134,6 +149,10 @@ class TcpClientBinding {
       }
       void finish() override { writer.finish(); }
     } sink(stream_, content_type, pool_);
+    if (transforms_ != 0) {
+      sink.writer.set_compression(
+          {transforms_, compress_policy_, pool_, compress_stats_});
+    }
     ResponseWriter request(sink, *pool_, chunk_bytes);
 
     std::exception_ptr tx_err;
@@ -161,6 +180,7 @@ class TcpClientBinding {
             return c;
           }
         } source(stream_, limits_, pool_);
+        source.reader.set_transforms(transforms_);
         StreamRequest response(std::move(start.content_type), source);
         rx(response);
         response.drain(*pool_);
@@ -216,6 +236,24 @@ class TcpClientBinding {
     dict_offer_ = offer;
   }
 
+  /// Offer `offer` (transport/compress.hpp transforms:: bitmask) in the v3
+  /// Hello; the Accept's intersection becomes this channel's transform
+  /// set. Requires enable_v3() — compression is negotiated by the same
+  /// handshake — and applies to connections dialed after the call.
+  void enable_compression(std::uint8_t offer = transforms::kAll,
+                          const CompressPolicy& policy = {}) noexcept {
+    compress_offer_ = offer & transforms::kAll;
+    compress_policy_ = policy;
+  }
+
+  /// The CURRENT connection's negotiated transform set (0 = plain).
+  std::uint8_t negotiated_transforms() const noexcept { return transforms_; }
+
+  /// Metric sinks for this channel's compression work (both directions).
+  void set_compress_stats(const CompressStats& stats) noexcept {
+    compress_stats_ = stats;
+  }
+
   /// Whether the CURRENT connection negotiated v3 (false before the first
   /// exchange, after a downgrade, and while disconnected).
   bool v3_active() const noexcept { return v3_active_; }
@@ -258,12 +296,16 @@ class TcpClientBinding {
       HelloFrame hello;
       hello.dict_max_entries = dict_offer_.max_entries;
       hello.dict_max_bytes = dict_offer_.max_bytes;
+      hello.transforms = compress_offer_;
       write_hello(stream_, hello);
       const AcceptFrame accept = read_accept(stream_);
       if (accept.version == kFrameVersionNegotiated) {
         v3_active_ = true;
         v3_limits_ = bxsa::DictLimits{accept.dict_max_entries,
                                       accept.dict_max_bytes};
+        // Re-intersect with our own offer: a server granting transforms we
+        // never offered must not make us accept (or emit) them.
+        transforms_ = accept.transforms & compress_offer_;
         if (v3_limits_.max_entries > 0) {
           enc_dict_.emplace(v3_limits_);
           dec_dict_.emplace(v3_limits_);
@@ -288,6 +330,7 @@ class TcpClientBinding {
   void reset_v3_session() noexcept {
     v3_active_ = false;
     v3_limits_ = bxsa::DictLimits{0, 0};
+    transforms_ = 0;
     enc_dict_.reset();
     dec_dict_.reset();
   }
@@ -306,6 +349,12 @@ class TcpClientBinding {
   std::optional<bxsa::DictEncoder> enc_dict_;
   std::optional<bxsa::DictDecoder> dec_dict_;
   bxsa::DictStats dict_stats_{};
+  // Adaptive compression state: the sticky offer, the CURRENT connection's
+  // negotiated set, and the encode-side policy/counters.
+  std::uint8_t compress_offer_ = 0;
+  std::uint8_t transforms_ = 0;
+  CompressPolicy compress_policy_{};
+  CompressStats compress_stats_{};
 };
 
 /// Server endpoint of SOAP-over-TCP: accepts one connection at a time and

@@ -38,7 +38,9 @@ SoapEventServer::SoapEventServer(ServerConfig config)
       max_queue_depth_(config.max_queue_depth),
       max_inflight_per_conn_(config.max_inflight_per_conn),
       accept_v3_(config.accept_v3),
-      dict_limits_(config.dict_limits) {
+      dict_limits_(config.dict_limits),
+      compress_transforms_(config.compress_transforms),
+      compress_policy_(config.compress_policy) {
   dict_capable_ =
       encoding_->content_type() == soap::BxsaEncoding::content_type();
   if (max_queue_depth_ > 0 || max_inflight_per_conn_ > 0) {
@@ -92,6 +94,11 @@ SoapEventServer::SoapEventServer(ServerConfig config)
     dict_stats_.entries = &reg->counter(prefix + ".dict.entries");
     dict_stats_.bytes_saved = &reg->counter(prefix + ".dict.bytes_saved");
     dict_stats_.resets = &reg->counter(prefix + ".dict.resets");
+    compress_stats_.chunks = &reg->counter(prefix + ".compress.chunks");
+    compress_stats_.skipped = &reg->counter(prefix + ".compress.skipped");
+    compress_stats_.bytes_in = &reg->counter(prefix + ".compress.bytes_in");
+    compress_stats_.bytes_out = &reg->counter(prefix + ".compress.bytes_out");
+    compress_stats_.ns = &reg->counter(prefix + ".compress.ns");
   }
   if (!config.idempotent_ops.empty()) {
     ResponseCache::Stats cache_stats;
@@ -505,6 +512,11 @@ bool SoapEventServer::pump(const std::shared_ptr<Conn>& conn,
         accept.version = kFrameVersionNegotiated;
         accept.dict_max_entries = eff.max_entries;
         accept.dict_max_bytes = eff.max_bytes;
+        // Transform set: the intersection of both offers. The assembler
+        // decompresses incoming chunks itself, so it learns the set too.
+        accept.transforms = compress_transforms_ & hello.transforms;
+        conn->transforms = accept.transforms;
+        conn->assembler.set_transforms(accept.transforms);
         conn->v3 = true;
         if (eff.max_entries > 0) {
           conn->req_dict.emplace(eff);
@@ -528,6 +540,14 @@ bool SoapEventServer::pump(const std::shared_ptr<Conn>& conn,
       // Flags are latched before take() resets the assembler's state.
       const std::uint8_t req_flags = conn->assembler.frame_flags();
       soap::WireMessage request = conn->assembler.take();
+      // Decode order is the reverse of encode order (dict then compress):
+      // decompress first, so the dictionary — and the response cache — see
+      // canonical bytes. Throws when the peer never negotiated transforms.
+      if ((req_flags & v3flags::kCompressed) != 0) {
+        request.payload = decompress_frame_payload(std::move(request.payload),
+                                                   conn->transforms,
+                                                   frame_limits_, buffer_pool_);
+      }
       if ((req_flags & v3flags::kDictEncoded) != 0) {
         if (!conn->req_dict) {
           throw TransportError(
@@ -1087,7 +1107,8 @@ void SoapEventServer::release_ready_locked(Conn& conn) {
       // which serializes every writer of resp_dict.
       ByteWriter framed(buffer_pool_.acquire(c.bytes.size() + 64));
       frame_v3_payload(framed, c.bytes, encoding_->content_type(),
-                       conn.resp_dict, dict_stats_);
+                       conn.resp_dict, dict_stats_, conn.transforms,
+                       compress_policy_, &buffer_pool_, compress_stats_);
       buffer_pool_.release(std::move(c.bytes));
       conn.outbox.push_back(framed.take());
     }
@@ -1190,7 +1211,25 @@ void SoapEventServer::stream_main(std::shared_ptr<Conn> conn,
               StreamState* t)
         : srv(s), conn(c), st(t) {}
     void write(StreamChunk c) override {
-      if (c.kind == ChunkKind::kData) total += c.bytes.size();
+      if (c.kind == ChunkKind::kData) {
+        // The End total counts LOGICAL bytes, so it is tallied before any
+        // compression of the chunk body.
+        total += c.bytes.size();
+        if (conn->transforms != 0) {
+          std::vector<std::uint8_t> packed =
+              srv->buffer_pool_.acquire(c.bytes.size() + 64);
+          const Transform t = compress_append(
+              c.bytes, conn->transforms, srv->compress_policy_,
+              srv->buffer_pool_, packed, srv->compress_stats_);
+          if (t != Transform::kNone) {
+            srv->buffer_pool_.release(std::move(c.bytes));
+            push(static_cast<std::uint8_t>(ChunkKind::kCompressedData),
+                 std::move(packed), false);
+            return;
+          }
+          srv->buffer_pool_.release(std::move(packed));
+        }
+      }
       push(static_cast<std::uint8_t>(c.kind), std::move(c.bytes), false);
     }
     void finish() override {

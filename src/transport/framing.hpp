@@ -33,6 +33,7 @@
 #include "common/buffer_pool.hpp"
 #include "common/vls.hpp"
 #include "soap/binding.hpp"
+#include "transport/compress.hpp"
 #include "transport/socket.hpp"
 
 namespace bxsoap::transport {
@@ -68,17 +69,27 @@ inline constexpr std::uint8_t kDictEncoded = 0x01;
 /// The sender reset its dictionary before encoding this message; the
 /// receiver clears the mirrored table first (an epoch change).
 inline constexpr std::uint8_t kDictReset = 0x02;
-inline constexpr std::uint8_t kAllKnown = kDictEncoded | kDictReset;
+/// The payload is a compressed body (transport/compress.hpp): a leading
+/// transform-id byte, then the transformed bytes. Decompression runs
+/// before dictionary decoding (the inverse of the encode order). Only
+/// legal on a connection whose handshake negotiated a non-empty
+/// transform set.
+inline constexpr std::uint8_t kCompressed = 0x04;
+inline constexpr std::uint8_t kAllKnown =
+    kDictEncoded | kDictReset | kCompressed;
 }  // namespace v3flags
 
-/// Hello body: 2 version bytes + each side's dictionary-table offer. The
-/// effective table is the element-wise minimum of both offers, so the two
-/// mirrors agree without a second round trip.
+/// Hello body: 2 version bytes + each side's dictionary-table offer + the
+/// compression transform set the sender is willing to speak. The
+/// effective table is the element-wise minimum of both offers and the
+/// effective transform set is the intersection, so the two sides agree
+/// without a second round trip.
 struct HelloFrame {
   std::uint8_t min_version = kFrameVersion;
   std::uint8_t max_version = kFrameVersionNegotiated;
   std::uint32_t dict_max_entries = 0;
   std::uint32_t dict_max_bytes = 0;
+  std::uint8_t transforms = 0;  ///< transforms:: bitmask offered
 };
 
 /// Accept body: the version the server chose plus the effective limits.
@@ -86,6 +97,7 @@ struct AcceptFrame {
   std::uint8_t version = kFrameVersionNegotiated;
   std::uint32_t dict_max_entries = 0;
   std::uint32_t dict_max_bytes = 0;
+  std::uint8_t transforms = 0;  ///< client offer ∩ server offer
 };
 
 /// Default payload ceiling: generous for scientific datasets, small enough
@@ -113,6 +125,11 @@ enum class ChunkKind : std::uint8_t {
   kPatch = 1,  ///< body is PatchRecords fixing up already-sent payload bytes
   kEnd = 2,    ///< body is the u64 BE total payload byte count; closes the
                ///< stream
+  kCompressedData = 3,  ///< a kData body behind a compressed-body wrapper
+                        ///< (transform id + transformed bytes); only legal
+                        ///< after a handshake negotiated a transform set.
+                        ///< The end chunk's total counts the DECOMPRESSED
+                        ///< bytes, so reassembly is byte-identical.
 };
 
 /// One received chunk. For kEnd the payload total has already been decoded
@@ -231,26 +248,57 @@ inline std::size_t begin_frame_v3(ByteWriter& w, std::uint8_t flags,
 /// decided on an epoch change, so the flags byte (a fixed offset 6 into
 /// the frame: magic + version + kind) is patched afterwards — the frame
 /// still leaves as one buffer, one write.
+/// When the handshake negotiated a transform set (`transforms` non-zero,
+/// `pool` given) the dictionary-coded bytes are additionally offered to
+/// the adaptive compressor: it compresses into a pooled scratch buffer
+/// and the frame keeps whichever body is smaller, with the kCompressed
+/// flag patched in alongside DICT_RESET.
 inline void frame_v3_payload(ByteWriter& out,
                              std::span<const std::uint8_t> payload,
                              std::string_view content_type,
                              std::optional<bxsa::DictEncoder>& dict,
-                             const bxsa::DictStats& stats = {}) {
+                             const bxsa::DictStats& stats = {},
+                             std::uint8_t transforms = 0,
+                             const CompressPolicy& policy = {},
+                             BufferPool* pool = nullptr,
+                             const CompressStats& cstats = {}) {
   const std::size_t base = out.size();
-  if (!dict) {
-    const std::size_t len_pos = begin_frame_v3(out, 0, content_type);
+  std::uint8_t flags = dict ? v3flags::kDictEncoded : 0;
+  const std::size_t len_pos = begin_frame_v3(out, flags, content_type);
+  const std::size_t payload_start = out.size();
+  if (dict) {
+    if (dict->encode(payload, out, stats)) flags |= v3flags::kDictReset;
+  } else {
     out.write_bytes(payload);
-    end_frame(out, len_pos);
-    return;
   }
-  const std::size_t len_pos =
-      begin_frame_v3(out, v3flags::kDictEncoded, content_type);
-  const bool reset = dict->encode(payload, out, stats);
+  if (transforms != 0 && pool != nullptr) {
+    const auto body = out.bytes().subspan(payload_start);
+    std::vector<std::uint8_t> packed = pool->acquire(body.size());
+    if (compress_append(body, transforms, policy, *pool, packed, cstats) !=
+        Transform::kNone) {
+      out.truncate(payload_start);
+      out.write_bytes(packed);
+      flags |= v3flags::kCompressed;
+    }
+    pool->release(std::move(packed));
+  }
   end_frame(out, len_pos);
-  if (reset) {
-    const std::uint8_t flags = v3flags::kDictEncoded | v3flags::kDictReset;
-    out.patch_bytes(base + 4 + 1 + 1, &flags, 1);
-  }
+  // magic + version + kind = fixed offset 6 of the flags byte.
+  out.patch_bytes(base + 4 + 1 + 1, &flags, 1);
+}
+
+/// Replace a kCompressed v3 Message payload with its plain (pre-compress,
+/// still possibly dictionary-coded) form. The old buffer is recycled into
+/// `pool` and the new one comes from it. Throws TransportError when no
+/// transform set was negotiated, on an unknown transform id, or on a
+/// declared decompressed size past the message limit.
+inline std::vector<std::uint8_t> decompress_frame_payload(
+    std::vector<std::uint8_t> payload, std::uint8_t transforms,
+    const FrameLimits& limits, BufferPool& pool) {
+  std::vector<std::uint8_t> plain =
+      decompress_body(payload, transforms, limits.max_message_bytes, pool);
+  pool.release(std::move(payload));
+  return plain;
 }
 
 /// Append one whole Hello frame (magic + version + kind + body).
@@ -262,6 +310,7 @@ inline void encode_hello(ByteWriter& w, const HelloFrame& h) {
   w.write_u8(h.max_version);
   w.write<std::uint32_t>(h.dict_max_entries, ByteOrder::kBig);
   w.write<std::uint32_t>(h.dict_max_bytes, ByteOrder::kBig);
+  w.write_u8(h.transforms);
 }
 
 /// Append one whole Accept frame (magic + version + kind + body).
@@ -272,6 +321,7 @@ inline void encode_accept(ByteWriter& w, const AcceptFrame& a) {
   w.write_u8(a.version);
   w.write<std::uint32_t>(a.dict_max_entries, ByteOrder::kBig);
   w.write<std::uint32_t>(a.dict_max_bytes, ByteOrder::kBig);
+  w.write_u8(a.transforms);
 }
 
 template <FrameStream S>
@@ -305,12 +355,13 @@ AcceptFrame read_accept(S& stream) {
                          std::to_string(hdr[4]) + " kind " +
                          std::to_string(hdr[5]));
   }
-  std::uint8_t body[9];
+  std::uint8_t body[10];
   stream.read_exact(body, sizeof(body));
   AcceptFrame a;
   a.version = body[0];
   a.dict_max_entries = load<std::uint32_t>(body + 1, ByteOrder::kBig);
   a.dict_max_bytes = load<std::uint32_t>(body + 5, ByteOrder::kBig);
+  a.transforms = body[9];
   if (a.version != kFrameVersion && a.version != kFrameVersionNegotiated) {
     throw TransportError("Accept names an unknown version " +
                          std::to_string(a.version));
@@ -403,7 +454,7 @@ FrameStart read_frame_start(S& stream, const FrameLimits& limits = {},
     std::uint8_t kind;
     stream.read_exact(&kind, 1);
     if (kind == static_cast<std::uint8_t>(V3FrameKind::kHello)) {
-      std::uint8_t body[10];
+      std::uint8_t body[11];
       stream.read_exact(body, sizeof(body));
       start.hello = true;
       start.hello_frame.min_version = body[0];
@@ -412,6 +463,7 @@ FrameStart read_frame_start(S& stream, const FrameLimits& limits = {},
           load<std::uint32_t>(body + 2, ByteOrder::kBig);
       start.hello_frame.dict_max_bytes =
           load<std::uint32_t>(body + 6, ByteOrder::kBig);
+      start.hello_frame.transforms = body[10];
       if (start.hello_frame.min_version > start.hello_frame.max_version) {
         throw TransportError("Hello with an empty version range");
       }
@@ -483,6 +535,16 @@ soap::WireMessage read_frame_body(S& stream, FrameStart start,
   return m;
 }
 
+/// The per-direction compression setup a negotiated connection hands its
+/// chunk writers: the intersection transform set from the handshake plus
+/// the adaptive policy and the pool compressed bodies are built in.
+struct ChunkCompression {
+  std::uint8_t transforms = 0;  ///< 0 = never compress
+  CompressPolicy policy{};
+  BufferPool* pool = nullptr;
+  CompressStats stats{};
+};
+
 /// Writer side of a v2 chunked transfer: header once, then any number of
 /// data chunks, optional patch chunks, and one end chunk. Each chunk goes
 /// out in a single gathered syscall on streams that support it.
@@ -499,7 +561,24 @@ class ChunkedFrameWriter {
     stream_.write_all(h.bytes());
   }
 
+  /// Arm adaptive per-chunk compression (negotiated connections only).
+  void set_compression(const ChunkCompression& c) { compression_ = c; }
+
   void write_data(std::span<const std::uint8_t> chunk) {
+    if (compression_.transforms != 0 && compression_.pool != nullptr) {
+      std::vector<std::uint8_t> packed =
+          compression_.pool->acquire(chunk.size());
+      const Transform used =
+          compress_append(chunk, compression_.transforms, compression_.policy,
+                          *compression_.pool, packed, compression_.stats);
+      if (used != Transform::kNone) {
+        write_chunk(ChunkKind::kCompressedData, packed);
+        total_ += chunk.size();  // the end chunk totals DECOMPRESSED bytes
+        compression_.pool->release(std::move(packed));
+        return;
+      }
+      compression_.pool->release(std::move(packed));
+    }
     write_chunk(ChunkKind::kData, chunk);
     total_ += chunk.size();
   }
@@ -517,8 +596,13 @@ class ChunkedFrameWriter {
     if (kind == ChunkKind::kEnd) {
       throw TransportError("end chunks are emitted by finish()");
     }
+    if (kind == ChunkKind::kData) {
+      // Route through write_data so pass-through chunks (echo/relay
+      // handlers) get the same adaptive compression as encoded ones.
+      write_data(body);
+      return;
+    }
     write_chunk(kind, body);
-    if (kind == ChunkKind::kData) total_ += body.size();
   }
 
   /// Close the stream: emits the end chunk carrying the data-byte total.
@@ -544,6 +628,7 @@ class ChunkedFrameWriter {
   }
 
   S& stream_;
+  ChunkCompression compression_{};
   std::uint64_t total_ = 0;
 };
 
@@ -557,6 +642,11 @@ class ChunkedFrameReader {
   ChunkedFrameReader(S& stream, FrameLimits limits = {},
                      BufferPool* pool = nullptr)
       : stream_(stream), limits_(limits), pool_(pool) {}
+
+  /// Admit kCompressedData chunks (negotiated connections only): they are
+  /// decompressed on receipt and surface as plain kData chunks, so the
+  /// consumer never sees a transform.
+  void set_transforms(std::uint8_t transforms) { transforms_ = transforms; }
 
   /// Read the next chunk. After the end chunk arrives, done() is true and
   /// further calls throw.
@@ -575,6 +665,15 @@ class ChunkedFrameReader {
         }
         if (len > limits_.max_stream_bytes - total_) {
           throw TransportError("chunked stream exceeds the stream limit");
+        }
+        break;
+      case static_cast<std::uint8_t>(ChunkKind::kCompressedData):
+        c.kind = ChunkKind::kCompressedData;
+        // Wire bytes of a compressed chunk obey the same chunk cap; the
+        // decompressed size is capped separately below.
+        if (len > limits_.max_chunk_bytes) {
+          throw TransportError("chunk of " + std::to_string(len) +
+                               " bytes exceeds the chunk limit");
         }
         break;
       case static_cast<std::uint8_t>(ChunkKind::kPatch):
@@ -605,7 +704,20 @@ class ChunkedFrameReader {
     }
     c.bytes.resize(static_cast<std::size_t>(len));
     stream_.read_exact(c.bytes.data(), c.bytes.size());
-    if (c.kind == ChunkKind::kData) total_ += len;
+    if (c.kind == ChunkKind::kCompressedData) {
+      // Decompress on receipt (the size bomb dies inside decompress_body,
+      // before any allocation) and surface a plain data chunk.
+      BufferPool& pool = pool_ != nullptr ? *pool_ : BufferPool::global();
+      std::vector<std::uint8_t> plain =
+          decompress_body(c.bytes, transforms_, limits_.max_chunk_bytes, pool);
+      if (plain.size() > limits_.max_stream_bytes - total_) {
+        throw TransportError("chunked stream exceeds the stream limit");
+      }
+      pool.release(std::move(c.bytes));
+      c.kind = ChunkKind::kData;
+      c.bytes = std::move(plain);
+    }
+    if (c.kind == ChunkKind::kData) total_ += c.bytes.size();
     return c;
   }
 
@@ -617,6 +729,7 @@ class ChunkedFrameReader {
   S& stream_;
   FrameLimits limits_;
   BufferPool* pool_ = nullptr;
+  std::uint8_t transforms_ = 0;
   std::uint64_t total_ = 0;
   bool done_ = false;
 };
@@ -637,6 +750,13 @@ class FrameAssembler {
   explicit FrameAssembler(FrameLimits limits = {}, BufferPool* pool = nullptr,
                           bool accept_v3 = false)
       : limits_(limits), pool_(pool), accept_v3_(accept_v3) {}
+
+  /// Admit kCompressedData chunks on this connection (set after the
+  /// handshake negotiated a transform set); they decompress on take and
+  /// surface as plain kData chunks. v3 kCompressed MESSAGE payloads are
+  /// not handled here — the connection owner decompresses them alongside
+  /// dictionary decoding.
+  void set_transforms(std::uint8_t transforms) { transforms_ = transforms; }
 
   /// Consume bytes from the front of `data` until one frame (v1) or one
   /// chunk (v2) completes or the input runs out; returns the number
@@ -709,6 +829,22 @@ class FrameAssembler {
       streaming_ = false;
       stream_total_ = 0;
       state_ = State::kFixed;
+    } else if (chunk_kind_ == ChunkKind::kCompressedData) {
+      // Decompress on take and surface a plain data chunk; the logical
+      // (decompressed) size is what counts against the stream limit and
+      // the end chunk's total.
+      BufferPool& pool = pool_ != nullptr ? *pool_ : BufferPool::global();
+      std::vector<std::uint8_t> plain =
+          decompress_body(chunk_, transforms_, limits_.max_chunk_bytes, pool);
+      if (plain.size() > limits_.max_stream_bytes - stream_total_) {
+        throw TransportError("chunked stream exceeds the stream limit");
+      }
+      stream_total_ += plain.size();
+      pool.release(std::move(chunk_));
+      chunk_ = {};
+      c.kind = ChunkKind::kData;
+      c.bytes = std::move(plain);
+      state_ = State::kChunkHdr;
     } else {
       c.bytes = std::move(chunk_);
       chunk_ = {};
@@ -735,7 +871,7 @@ class FrameAssembler {
   enum class State : std::uint8_t {
     kFixed,       // magic + version (5 bytes)
     kV3Kind,      // v3: frame kind byte
-    kV3Hello,     // v3: Hello body (10 bytes)
+    kV3Hello,     // v3: Hello body (11 bytes)
     kHelloReady,  // v3: one whole Hello assembled
     kV3Flags,     // v3: Message flags byte
     kCtLen,       // content-type length, VLS byte by byte
@@ -804,6 +940,7 @@ class FrameAssembler {
               load<std::uint32_t>(hello_body_ + 2, ByteOrder::kBig);
           hello_.dict_max_bytes =
               load<std::uint32_t>(hello_body_ + 6, ByteOrder::kBig);
+          hello_.transforms = hello_body_[10];
           if (hello_.min_version > hello_.max_version) {
             throw TransportError("Hello with an empty version range");
           }
@@ -912,6 +1049,15 @@ class FrameAssembler {
                 throw TransportError("patch chunk exceeds the chunk limit");
               }
               break;
+            case static_cast<std::uint8_t>(ChunkKind::kCompressedData):
+              chunk_kind_ = ChunkKind::kCompressedData;
+              // Wire-byte cap here; the decompressed size is capped (and
+              // added to the stream total) when the chunk is taken.
+              if (len > limits_.max_chunk_bytes) {
+                throw TransportError("chunk of " + std::to_string(len) +
+                                     " bytes exceeds the chunk limit");
+              }
+              break;
             case static_cast<std::uint8_t>(ChunkKind::kEnd):
               chunk_kind_ = ChunkKind::kEnd;
               if (len != 8) throw TransportError("malformed end chunk");
@@ -975,9 +1121,10 @@ class FrameAssembler {
   std::uint8_t fixed_[5]{};
   std::uint8_t len_be_[8]{};
   // v3 handshake/flags state.
-  std::uint8_t hello_body_[10]{};
+  std::uint8_t hello_body_[11]{};
   HelloFrame hello_;
   std::uint8_t flags_ = 0;
+  std::uint8_t transforms_ = 0;
   std::size_t have_ = 0;
   std::uint64_t ct_len_ = 0;
   int vls_shift_ = 0;

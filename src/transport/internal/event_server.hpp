@@ -217,6 +217,9 @@ class SoapEventServer : public SoapServer {
     /// resp_dict is touched only in release_ready_locked under `mu`,
     /// where responses are already serialized back into wire order.
     bool v3 = false;
+    /// Negotiated compression set (0 = plain). Written with `v3` while
+    /// handling the Hello; same ordering argument covers worker reads.
+    std::uint8_t transforms = 0;
     std::optional<bxsa::DictDecoder> req_dict;
     std::optional<bxsa::DictEncoder> resp_dict;
 
@@ -340,6 +343,11 @@ class SoapEventServer : public SoapServer {
   bool dict_capable_ = false;
   bxsa::DictLimits dict_limits_{};
   bxsa::DictStats dict_stats_{};  // dict.{entries,bytes_saved,resets}
+  /// Adaptive per-chunk compression: this server's transform offer, the
+  /// entropy-probe policy, and the compress.* counters.
+  std::uint8_t compress_transforms_ = 0;
+  CompressPolicy compress_policy_{};
+  CompressStats compress_stats_{};
   /// Idempotent-response cache; engaged only when the config declares
   /// idempotent operations.
   std::optional<ResponseCache> respcache_;

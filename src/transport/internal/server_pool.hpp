@@ -95,8 +95,10 @@ class SoapServerPool : public SoapServer {
   void accept_loop();
   void serve_connection(TcpStream stream);
   /// One BXTP v2 exchange on the connection's worker thread. The frame
-  /// header `start` was already consumed.
-  void serve_stream(TcpStream& stream, FrameStart start);
+  /// header `start` was already consumed. `transforms` is the connection's
+  /// negotiated compression set (0 on un-negotiated connections).
+  void serve_stream(TcpStream& stream, FrameStart start,
+                    std::uint8_t transforms);
   void reap_finished_locked();
 
   std::unique_ptr<soap::AnyEncoding> encoding_;
@@ -125,6 +127,12 @@ class SoapServerPool : public SoapServer {
   bool dict_capable_ = false;
   bxsa::DictLimits dict_limits_{};
   bxsa::DictStats dict_stats_{};  // dict.{entries,bytes_saved,resets}
+  /// Adaptive per-chunk compression: this server's transform offer (the
+  /// per-connection set is the intersection with the client's Hello), the
+  /// entropy-probe policy, and the compress.* counters.
+  std::uint8_t compress_transforms_ = 0;
+  CompressPolicy compress_policy_{};
+  CompressStats compress_stats_{};
   /// Idempotent-response cache; engaged only when the config declares
   /// idempotent operations.
   std::optional<ResponseCache> respcache_;

@@ -72,6 +72,18 @@ std::string ServerConfig::validate(ConcurrencyModel model) const {
   if (buffer_pool.max_class_bytes < buffer_pool.min_class_bytes) {
     fail("buffer_pool.max_class_bytes must be >= min_class_bytes");
   }
+  if ((compress_transforms & ~transforms::kAll) != 0) {
+    fail("compress_transforms has unknown transform bits set (known: "
+         "transforms::kLzss | transforms::kShuffleLzss)");
+  }
+  if (compress_transforms != 0 && !accept_v3) {
+    fail("compress_transforms requires accept_v3: the transform set is "
+         "negotiated by the v3 Hello/Accept handshake");
+  }
+  if (compress_transforms != 0 && compress_policy.min_bytes == 0) {
+    fail("compress_policy.min_bytes must be > 0 (empty bodies cannot "
+         "shrink; 1 disables the floor in practice)");
+  }
   if (!idempotent_ops.empty()) {
     if (!handler) {
       fail("idempotent_ops caches request/response exchanges, which need "

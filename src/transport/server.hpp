@@ -183,6 +183,20 @@ struct ServerConfig {
   /// every symbol stays literal.
   bxsa::DictLimits dict_limits{};
 
+  /// This server's compression-transform offer for v3 negotiation
+  /// (transport/compress.hpp transforms:: bitmask). The effective
+  /// per-connection set is the intersection of both sides' offers; the
+  /// server then compresses its v3 responses and streamed chunks
+  /// adaptively and accepts compressed frames from the peer. 0 (the
+  /// default) = never offer: a compressing client downgrades to plain
+  /// framing byte-identically ("plain-v3" in the downgrade matrix).
+  std::uint8_t compress_transforms = 0;
+
+  /// The adaptivity heuristic for outgoing compression (entropy-probe
+  /// thresholds; see DESIGN.md §14). Only consulted when a connection
+  /// negotiated a non-empty transform set.
+  CompressPolicy compress_policy{};
+
   /// Operation local names (the request Body's child element) whose
   /// handler is idempotent: a byte-identical repeat of such a request may
   /// be answered from the encoded-response cache without decoding or

@@ -21,7 +21,9 @@ SoapServerPool::SoapServerPool(ServerConfig config)
       drain_timeout_(config.drain_timeout),
       max_queue_depth_(config.max_queue_depth),
       accept_v3_(config.accept_v3),
-      dict_limits_(config.dict_limits) {
+      dict_limits_(config.dict_limits),
+      compress_transforms_(config.compress_transforms),
+      compress_policy_(config.compress_policy) {
   dict_capable_ =
       encoding_->content_type() == soap::BxsaEncoding::content_type();
   if (max_queue_depth_ > 0) {
@@ -54,6 +56,11 @@ SoapServerPool::SoapServerPool(ServerConfig config)
     dict_stats_.entries = &reg->counter(prefix + ".dict.entries");
     dict_stats_.bytes_saved = &reg->counter(prefix + ".dict.bytes_saved");
     dict_stats_.resets = &reg->counter(prefix + ".dict.resets");
+    compress_stats_.chunks = &reg->counter(prefix + ".compress.chunks");
+    compress_stats_.skipped = &reg->counter(prefix + ".compress.skipped");
+    compress_stats_.bytes_in = &reg->counter(prefix + ".compress.bytes_in");
+    compress_stats_.bytes_out = &reg->counter(prefix + ".compress.bytes_out");
+    compress_stats_.ns = &reg->counter(prefix + ".compress.ns");
   }
   if (!config.idempotent_ops.empty()) {
     ResponseCache::Stats cache_stats;
@@ -198,6 +205,7 @@ void SoapServerPool::serve_connection(TcpStream stream) {
     // scoped to this connection: the negotiated flag and the two mirrored
     // dictionary directions (requests decode, responses encode).
     bool v3 = false;
+    std::uint8_t transforms = 0;  // negotiated compression set (0 = plain)
     std::optional<bxsa::DictDecoder> req_dict;
     std::optional<bxsa::DictEncoder> resp_dict;
     // Serve exchanges until the peer hangs up.
@@ -234,6 +242,12 @@ void SoapServerPool::serve_connection(TcpStream stream) {
           accept.version = kFrameVersionNegotiated;
           accept.dict_max_entries = eff.max_entries;
           accept.dict_max_bytes = eff.max_bytes;
+          // Transform set: the intersection of both offers. Empty means
+          // this connection stays plain-v3 — byte-identical to a server
+          // that never heard of compression.
+          accept.transforms =
+              compress_transforms_ & start.hello_frame.transforms;
+          transforms = accept.transforms;
           v3 = true;
           if (eff.max_entries > 0) {
             req_dict.emplace(eff);
@@ -249,12 +263,20 @@ void SoapServerPool::serve_connection(TcpStream stream) {
       }
       if (!body) {
         busy.store(true, std::memory_order_release);
-        serve_stream(stream, std::move(start));
+        serve_stream(stream, std::move(start), transforms);
         busy.store(false, std::memory_order_release);
         if (stopping_.load(std::memory_order_acquire)) break;
         continue;
       }
       soap::WireMessage raw = std::move(*body);
+      // Decode order is the reverse of encode order (dict then compress):
+      // decompress first, so the dictionary — and the response cache — see
+      // canonical bytes.
+      if ((req_flags & v3flags::kCompressed) != 0) {
+        raw.payload = decompress_frame_payload(std::move(raw.payload),
+                                               transforms, frame_limits_,
+                                               buffer_pool_);
+      }
       if ((req_flags & v3flags::kDictEncoded) != 0) {
         if (!req_dict) {
           throw TransportError(
@@ -290,7 +312,8 @@ void SoapServerPool::serve_connection(TcpStream stream) {
           ByteWriter out(buffer_pool_.acquire(hit->size() + 64));
           if (v3) {
             frame_v3_payload(out, *hit, encoding_->content_type(), resp_dict,
-                             dict_stats_);
+                             dict_stats_, transforms, compress_policy_,
+                             &buffer_pool_, compress_stats_);
           } else {
             const std::size_t len_pos =
                 begin_frame(out, encoding_->content_type());
@@ -422,7 +445,8 @@ void SoapServerPool::serve_connection(TcpStream stream) {
                   plain.bytes().begin(), plain.bytes().end()));
         }
         frame_v3_payload(out, plain.bytes(), encoding_->content_type(),
-                         resp_dict, dict_stats_);
+                         resp_dict, dict_stats_, transforms, compress_policy_,
+                         &buffer_pool_, compress_stats_);
         buffer_pool_.release(plain.take());
       }
       // Count before the reply bytes leave: a client that has its response
@@ -445,10 +469,12 @@ void SoapServerPool::serve_connection(TcpStream stream) {
   }
 }
 
-void SoapServerPool::serve_stream(TcpStream& stream, FrameStart start) {
+void SoapServerPool::serve_stream(TcpStream& stream, FrameStart start,
+                                  std::uint8_t transforms) {
   // Pull side: request chunks come one at a time off the blocking socket,
   // so the pull rate of the handler is the read rate of the connection.
   ChunkedFrameReader<TcpStream> reader(stream, frame_limits_, &buffer_pool_);
+  reader.set_transforms(transforms);
   struct SocketSource final : StreamSource {
     SoapServerPool* pool;
     ChunkedFrameReader<TcpStream>& reader;
@@ -470,10 +496,19 @@ void SoapServerPool::serve_stream(TcpStream& stream, FrameStart start) {
   struct SocketSink final : StreamSink {
     SoapServerPool* pool;
     TcpStream& stream;
+    std::uint8_t transforms;
     std::optional<ChunkedFrameWriter<TcpStream>> writer;
-    SocketSink(SoapServerPool* p, TcpStream& s) : pool(p), stream(s) {}
+    SocketSink(SoapServerPool* p, TcpStream& s, std::uint8_t t)
+        : pool(p), stream(s), transforms(t) {}
     void ensure_writer() {
-      if (!writer) writer.emplace(stream, pool->encoding_->content_type());
+      if (!writer) {
+        writer.emplace(stream, pool->encoding_->content_type());
+        if (transforms != 0) {
+          writer->set_compression({transforms, pool->compress_policy_,
+                                   &pool->buffer_pool_,
+                                   pool->compress_stats_});
+        }
+      }
     }
     void write(StreamChunk c) override {
       ensure_writer();
@@ -495,7 +530,7 @@ void SoapServerPool::serve_stream(TcpStream& stream, FrameStart start) {
       ensure_writer();
       writer->finish();
     }
-  } sink(this, stream);
+  } sink(this, stream, transforms);
 
   StreamRequest request(std::move(start.content_type), source);
   ResponseWriter response(sink, buffer_pool_, stream_chunk_bytes_,

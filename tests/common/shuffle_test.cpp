@@ -1,0 +1,124 @@
+// Differential round-trip of the shuffle+delta preconditioner: for every
+// packed atom width, both wire byte orders, and every admitted lane, the
+// inverse must reproduce the input byte-for-byte — the transform sits on
+// the wire path, so "almost" is corruption.
+#include "common/shuffle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/endian.hpp"
+#include "common/error.hpp"
+
+namespace bxsoap {
+namespace {
+
+std::vector<std::uint8_t> round_trip(std::span<const std::uint8_t> data,
+                                     std::size_t lane) {
+  std::vector<std::uint8_t> shuffled;
+  shuffle_delta(data, lane, shuffled);
+  EXPECT_EQ(shuffled.size(), data.size());  // size-preserving by contract
+  std::vector<std::uint8_t> back;
+  unshuffle_delta(shuffled, lane, back);
+  return back;
+}
+
+/// Serialize `count` values of T (a smooth ramp plus noise, so every byte
+/// position gets exercised) in the given byte order.
+template <typename T>
+std::vector<std::uint8_t> packed_bytes(std::size_t count, ByteOrder order,
+                                       std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> out(count * sizeof(T));
+  for (std::size_t i = 0; i < count; ++i) {
+    T v;
+    if constexpr (std::is_floating_point_v<T>) {
+      v = static_cast<T>(std::sin(0.01 * static_cast<double>(i)) * 1e6 +
+                         static_cast<double>(rng() % 1000));
+    } else {
+      v = static_cast<T>(rng());
+    }
+    store<T>(v, order, out.data() + i * sizeof(T));
+  }
+  return out;
+}
+
+template <typename T>
+class ShuffleTyped : public ::testing::Test {};
+
+using PackedTypes =
+    ::testing::Types<std::int8_t, std::uint8_t, std::int16_t, std::uint16_t,
+                     std::int32_t, std::uint32_t, std::int64_t, std::uint64_t,
+                     float, double>;
+TYPED_TEST_SUITE(ShuffleTyped, PackedTypes);
+
+TYPED_TEST(ShuffleTyped, RoundTripsBothByteOrdersEveryLane) {
+  for (const ByteOrder order : {ByteOrder::kLittle, ByteOrder::kBig}) {
+    // Counts chosen so the byte length hits aligned and ragged tails for
+    // every lane width.
+    for (const std::size_t count : {0u, 1u, 7u, 64u, 257u}) {
+      const auto data = packed_bytes<TypeParam>(
+          count, order, static_cast<std::uint32_t>(count + sizeof(TypeParam)));
+      for (const std::size_t lane : {2u, 4u, 8u}) {
+        EXPECT_EQ(round_trip(data, lane), data)
+            << "lane=" << lane << " count=" << count
+            << " order=" << static_cast<int>(order);
+      }
+    }
+  }
+}
+
+TEST(Shuffle, RandomBytesRoundTripAtEveryLane) {
+  std::mt19937 rng(1234);
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 9u, 100u, 4096u, 4099u}) {
+    std::vector<std::uint8_t> data(n);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    for (const std::size_t lane : {2u, 4u, 8u}) {
+      EXPECT_EQ(round_trip(data, lane), data) << "n=" << n << " lane=" << lane;
+    }
+  }
+}
+
+TEST(Shuffle, AppendsAfterExistingOutput) {
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<std::uint8_t> out = {0xAA, 0xBB};
+  shuffle_delta(data, 4, out);
+  ASSERT_EQ(out.size(), 2 + data.size());
+  EXPECT_EQ(out[0], 0xAA);
+  EXPECT_EQ(out[1], 0xBB);
+  std::vector<std::uint8_t> back;
+  unshuffle_delta(std::span(out).subspan(2), 4, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST(Shuffle, SmoothDoublesGetDenserAfterTheTransform) {
+  // The reason the transform exists: a smooth float64 ramp turns into
+  // long zero runs once exponent bytes are grouped and delta'd.
+  std::vector<std::uint8_t> data(1000 * sizeof(double));
+  for (std::size_t i = 0; i < 1000; ++i) {
+    store<double>(1000.0 + 0.125 * static_cast<double>(i), ByteOrder::kLittle,
+                  data.data() + i * sizeof(double));
+  }
+  std::vector<std::uint8_t> shuffled;
+  shuffle_delta(data, sizeof(double), shuffled);
+  std::size_t zeros = 0;
+  for (const std::uint8_t b : shuffled) zeros += (b == 0);
+  EXPECT_GT(zeros, shuffled.size() / 2);
+}
+
+TEST(Shuffle, InvalidLaneThrows) {
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4};
+  std::vector<std::uint8_t> out;
+  for (const std::size_t lane : {0u, 1u, 3u, 5u, 16u}) {
+    EXPECT_FALSE(shuffle_lane_valid(lane));
+    EXPECT_THROW(shuffle_delta(data, lane, out), EncodeError);
+    EXPECT_THROW(unshuffle_delta(data, lane, out), DecodeError);
+  }
+}
+
+}  // namespace
+}  // namespace bxsoap
