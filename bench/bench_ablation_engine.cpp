@@ -141,6 +141,38 @@ void BM_StaticEngineRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_StaticEngineRoundTrip);
 
+// Same round trip through the MessageSecurity hook with a real policy on
+// both ends (sign + verify per direction). Against BM_StaticEngineRoundTrip
+// this prices the hook: the NoSecurity default above must cost nothing —
+// the concept's apply/verify are empty inlines and its stream offer is
+// checked once at construction — while this leg pays four HMAC passes
+// over the tiny envelope.
+void BM_SignedEngineRoundTrip(benchmark::State& state) {
+  auto [client_end, server_end] = InMemoryBinding::make_pair();
+  SoapEngine<BxsaEncoding, InMemoryBinding, BodyDigestSignature> client(
+      {}, std::move(client_end), BodyDigestSignature("ablation-key"));
+  SoapEngine<BxsaEncoding, InMemoryBinding, BodyDigestSignature> server(
+      {}, std::move(server_end), BodyDigestSignature("ablation-key"));
+
+  std::atomic<bool> stop{false};
+  std::thread service([&] {
+    try {
+      while (!stop.load()) server.serve_once(echo);
+    } catch (const TransportError&) {
+    }
+  });
+
+  const SoapEnvelope req = tiny_request();
+  for (auto _ : state) {
+    SoapEnvelope resp = client.call(req);
+    benchmark::DoNotOptimize(resp.body_payload());
+  }
+  stop.store(true);
+  client.binding().close();  // unblock the server
+  service.join();
+}
+BENCHMARK(BM_SignedEngineRoundTrip);
+
 // Same round trip with the MetricsObserver policy: the cost of full
 // per-stage instrumentation relative to the NullObserver default above.
 void BM_ObservedEngineRoundTrip(benchmark::State& state) {

@@ -18,6 +18,14 @@ if grep -rn "ServerPoolConfig" src tests bench examples 2>/dev/null; then
   echo "check.sh: ServerPoolConfig is dead; use ServerConfig + SoapServer::create" >&2
   exit 1
 fi
+# PR 10 redesigned the security layer: MessageSecurity is the one concept
+# and the old SecurityPolicy name survives only as the deprecated alias in
+# the compat shim.
+if grep -rn "SecurityPolicy" src tests bench examples 2>/dev/null \
+    | grep -v "src/soap/security_compat.hpp"; then
+  echo "check.sh: SecurityPolicy is dead outside src/soap/security_compat.hpp; use MessageSecurity" >&2
+  exit 1
+fi
 
 echo "== configure + build (default preset) =="
 cmake --preset default >/dev/null
@@ -70,9 +78,12 @@ echo "== ctest (tsan: buffer pool + server pool + event server + streaming) =="
 # handoffs, the sharded response cache hammered from pooled channels), and
 # the negotiated-compression surfaces (per-connection transform state read
 # by stream/worker threads, shared CompressStats counters, the chunk
-# compress/decompress paths on both servers and the channel pool).
+# compress/decompress paths on both servers and the channel pool), and the
+# streaming-security surfaces (per-stream authenticators handed between
+# reactor and stream threads, shared AuthStats counters, signed-stream
+# round trips and the corruption chaos matrix on both servers).
 (cd build-tsan && TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool|ServerConfig|EventServer|EventShard|ChannelPool|Streaming|Overload|ExpiredDrop|DeadlineContext|ReliableCaller|RespCache|V3Negotiation|DictChannel|V3Chaos|CompressChannel|CompressChaos|Shuffle' \
+  ctest -R 'BufferPool\.|SharedBuffer\.|ServerPool|ServerConfig|EventServer|EventShard|ChannelPool|Streaming|Overload|ExpiredDrop|DeadlineContext|ReliableCaller|RespCache|V3Negotiation|DictChannel|V3Chaos|CompressChannel|CompressChaos|Shuffle|SignedStream' \
   --output-on-failure -j "$jobs")
 
 echo "== overload chaos gate (tsan, retry storms + saturated sheds) =="
@@ -109,5 +120,12 @@ echo "== bench_compression_wan (short mode, compression acceptance gate) =="
 # incompressible payloads shipped plain with <= 3% probe overhead, every
 # compressed body byte-identical on decode) and exits nonzero on violation.
 (cd build && ./bench/bench_compression_wan --short)
+
+echo "== bench_streaming (short mode, streaming-security acceptance gate) =="
+# The streaming ladder self-checks the DESIGN.md §15 acceptance criteria
+# (signed goodput >= 80% of unsigned and signed TTFB within 2x on the
+# paper's modeled LAN, buffered waterline <= 2 chunks on the signed leg)
+# and exits nonzero on violation.
+(cd build && ./bench/bench_streaming --short)
 
 echo "check.sh: all green"

@@ -24,6 +24,12 @@
 // flushed become PatchRecords — returned by finish() — which the transport
 // ships after the data so a receiver can reassemble bytes IDENTICAL to the
 // unchunked writer's output. Peak writer-side residency is one chunk.
+//
+// On a signed channel (transport stream authentication, FORMAT.md §"Auth
+// trailer") the transport MACs each flushed chunk in exactly this logical
+// order — data chunks as emitted here, the patch chunk after — so the
+// writer needs no awareness of security: what it flushes is what gets
+// authenticated, before any compression repacks the wire bytes.
 #pragma once
 
 #include <cstdint>

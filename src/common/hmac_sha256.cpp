@@ -1,0 +1,437 @@
+#include "common/hmac_sha256.hpp"
+
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
+namespace bxsoap {
+
+namespace {
+
+// FIPS 180-4 §4.2.2: the first 32 bits of the fractional parts of the cube
+// roots of the first 64 primes.
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+/// Portable FIPS 180-4 §6.2.2 rounds, `blocks` consecutive 64-byte blocks.
+void compress_scalar(std::uint32_t state[8], const std::uint8_t* data,
+                     std::size_t blocks) {
+  while (blocks-- > 0) {
+    const std::uint8_t* block = data;
+    data += 64;
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+             (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+             (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+             static_cast<std::uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define BXSOAP_SHA256_HW_DISPATCH 1
+
+/// SHA-NI kernel: four rounds per sha256rnds2 pair, message schedule kept
+/// in registers via sha256msg1/msg2. The state lives in the (ABEF, CDGH)
+/// register split the instructions operate on; it is transposed in on
+/// entry and back out once per call, so multi-block updates pay the
+/// shuffles only at the edges.
+__attribute__((target("sha,sse4.1")))
+void compress_shani(std::uint32_t state[8], const std::uint8_t* data,
+                    std::size_t blocks) {
+  // Big-endian 32-bit lane loads: byte-reverse each dword.
+  const __m128i kFlip =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bll, 0x0405060700010203ll);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i st1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  st1 = _mm_shuffle_epi32(st1, 0x1B);        // EFGH
+  __m128i st0 = _mm_alignr_epi8(tmp, st1, 8);        // ABEF
+  st1 = _mm_blend_epi16(st1, tmp, 0xF0);             // CDGH
+
+  while (blocks-- > 0) {
+    const __m128i abef_save = st0;
+    const __m128i cdgh_save = st1;
+    __m128i msg, tmsg;
+
+    // Rounds 0-3
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kFlip);
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0xE9B5DBA5B5C0FBCFll, 0x71374491428A2F98ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    // Rounds 4-7
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kFlip);
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0xAB1C5ED5923F82A4ll, 0x59F111F13956C25Bll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kFlip);
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x550C7DC3243185BEll, 0x12835B01D807AA98ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kFlip);
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC19BF1749BDC06A7ll, 0x80DEB1FE72BE5D74ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmsg);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-19
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x240CA1CC0FC19DC6ll, 0xEFBE4786E49B69C1ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmsg);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 20-23
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x76F988DA5CB0A9DCll, 0x4A7484AA2DE92C6Fll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmsg);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 24-27
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xBF597FC7B00327C8ll, 0xA831C66D983E5152ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmsg);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 28-31
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x1429296706CA6351ll, 0xD5A79147C6E00BF3ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmsg);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 32-35
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x53380D134D2C6DFCll, 0x2E1B213827B70A85ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmsg);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 36-39
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x92722C8581C2C92Ell, 0x766A0ABB650A7354ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmsg);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 40-43
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xC76C51A3C24B8B70ll, 0xA81A664BA2BFE8A1ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmsg);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 44-47
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x106AA070F40E3585ll, 0xD6990624D192E819ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmsg);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 48-51
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x34B0BCB52748774Cll, 0x1E376C0819A4C116ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmsg);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55 (the schedule is fully expanded past here)
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x682E6FF35B9CCA4Fll, 0x4ED8AA4A391C0CB3ll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmsg);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    // Rounds 56-59
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x8CC7020884C87814ll, 0x78A5636F748F82EEll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmsg = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmsg);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    // Rounds 60-63
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC67178F2BEF9A3F7ll, 0xA4506CEB90BEFFFAll));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    st0 = _mm_add_epi32(st0, abef_save);
+    st1 = _mm_add_epi32(st1, cdgh_save);
+    data += 64;
+  }
+
+  tmp = _mm_shuffle_epi32(st0, 0x1B);        // FEBA
+  st1 = _mm_shuffle_epi32(st1, 0xB1);        // DCHG
+  st0 = _mm_blend_epi16(tmp, st1, 0xF0);     // DCBA
+  st1 = _mm_alignr_epi8(st1, tmp, 8);        // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), st0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), st1);
+}
+
+bool cpu_has_sha_extensions() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & (1u << 29)) != 0;  // CPUID.(EAX=7,ECX=0):EBX.SHA
+}
+#endif  // BXSOAP_SHA256_HW_DISPATCH
+
+using CompressFn = void (*)(std::uint32_t[8], const std::uint8_t*,
+                            std::size_t);
+
+CompressFn resolve_compress() {
+#if defined(BXSOAP_SHA256_HW_DISPATCH)
+  if (cpu_has_sha_extensions()) return &compress_shani;
+#endif
+  return &compress_scalar;
+}
+
+// Resolved once at load; both kernels are pure functions of (state, data).
+const CompressFn g_compress = resolve_compress();
+
+}  // namespace
+
+void Sha256::reset() {
+  // FIPS 180-4 §5.3.3 initial hash value.
+  state_[0] = 0x6a09e667;
+  state_[1] = 0xbb67ae85;
+  state_[2] = 0x3c6ef372;
+  state_[3] = 0xa54ff53a;
+  state_[4] = 0x510e527f;
+  state_[5] = 0x9b05688c;
+  state_[6] = 0x1f83d9ab;
+  state_[7] = 0x5be0cd19;
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha256::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(n, std::size_t{64} - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    n -= take;
+    if (buffered_ == 64) {
+      g_compress(state_, buffer_, 1);
+      buffered_ = 0;
+    }
+  }
+  if (n >= 64) {
+    // One dispatched call for the whole aligned run: the hardware kernel
+    // keeps the state in registers across all of it.
+    const std::size_t whole = n / 64;
+    g_compress(state_, p, whole);
+    p += whole * 64;
+    n -= whole * 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffered_ = n;
+  }
+}
+
+void Sha256::finalize(std::span<std::uint8_t> out) {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad_byte = 0x80;
+  update(std::span<const std::uint8_t>(&pad_byte, 1));
+  static constexpr std::uint8_t kZero[64] = {};
+  while (buffered_ != 56) {
+    const std::size_t gap = buffered_ < 56 ? 56 - buffered_ : 64 - buffered_;
+    update(std::span<const std::uint8_t>(kZero, gap));
+  }
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(std::span<const std::uint8_t>(len_be, 8));
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+}
+
+std::array<std::uint8_t, Sha256::kDigestSize> Sha256::digest(
+    std::span<const std::uint8_t> data) {
+  Sha256 h;
+  h.update(data);
+  std::array<std::uint8_t, kDigestSize> out{};
+  h.finalize(out);
+  return out;
+}
+
+HmacSha256::HmacSha256(std::span<const std::uint8_t> key) {
+  // RFC 2104: keys longer than the block are hashed down first, shorter
+  // keys are zero-padded to the block size.
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const auto hashed = Sha256::digest(key);
+    std::memcpy(block.data(), hashed.data(), hashed.size());
+  } else if (!key.empty()) {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    ipad_key_[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+  reset();
+}
+
+void HmacSha256::reset() {
+  inner_.reset();
+  inner_.update(std::span<const std::uint8_t>(ipad_key_.data(),
+                                              ipad_key_.size()));
+}
+
+void HmacSha256::finalize(std::span<std::uint8_t> out) {
+  std::uint8_t inner_digest[Sha256::kDigestSize];
+  inner_.finalize(std::span<std::uint8_t>(inner_digest, sizeof inner_digest));
+  Sha256 outer;
+  outer.update(
+      std::span<const std::uint8_t>(opad_key_.data(), opad_key_.size()));
+  outer.update(std::span<const std::uint8_t>(inner_digest, sizeof inner_digest));
+  outer.finalize(out);
+}
+
+std::array<std::uint8_t, HmacSha256::kTagSize> HmacSha256::mac(
+    std::span<const std::uint8_t> key, std::span<const std::uint8_t> data) {
+  HmacSha256 h(key);
+  h.update(data);
+  std::array<std::uint8_t, kTagSize> out{};
+  h.finalize(out);
+  return out;
+}
+
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace bxsoap

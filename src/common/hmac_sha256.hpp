@@ -1,0 +1,87 @@
+// Self-contained SHA-256 and HMAC-SHA-256 (FIPS 180-4 / RFC 2104).
+//
+// The streaming security layer (soap/security.hpp) needs a real keyed MAC
+// with an incremental update interface — init, absorb bytes as chunks
+// flush, finalize to a fixed-size tag — and the build bakes in no crypto
+// library, so this is written from scratch against the published test
+// vectors (RFC 4231, pinned in tests/common/hmac_sha256_test.cpp).
+// Integrity only: nothing here encrypts.
+//
+// The compression function is dispatched once at load: x86-64 parts with
+// the SHA extensions run the hardware sha256rnds2 kernel (~10x the scalar
+// block rate, which is what keeps signed stream goodput near unsigned —
+// see bench_streaming's signed leg); everything else runs the portable
+// scalar rounds. Both paths produce identical digests and are covered by
+// the same pinned vectors.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace bxsoap {
+
+/// Incremental SHA-256. Copyable (copying clones the midstate, which is
+/// how HMAC reuses the key-padded prefix across messages).
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  }
+  /// Finalizes into `out` (exactly kDigestSize bytes). The object is left
+  /// finalized; call reset() to reuse it.
+  void finalize(std::span<std::uint8_t> out);
+
+  static std::array<std::uint8_t, kDigestSize> digest(
+      std::span<const std::uint8_t> data);
+
+ private:
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Incremental HMAC-SHA-256. Construction absorbs the key; update/finalize
+/// mirror Sha256. reset() rewinds to the post-key state so one object can
+/// MAC many messages under the same key without re-deriving the pads.
+class HmacSha256 {
+ public:
+  static constexpr std::size_t kTagSize = Sha256::kDigestSize;
+
+  explicit HmacSha256(std::span<const std::uint8_t> key);
+  explicit HmacSha256(std::string_view key)
+      : HmacSha256(std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(key.data()), key.size())) {}
+
+  void reset();
+  void update(std::span<const std::uint8_t> data) { inner_.update(data); }
+  void update(std::string_view data) { inner_.update(data); }
+  /// Finalizes into `out` (exactly kTagSize bytes); reset() to reuse.
+  void finalize(std::span<std::uint8_t> out);
+
+  static std::array<std::uint8_t, kTagSize> mac(
+      std::span<const std::uint8_t> key, std::span<const std::uint8_t> data);
+
+ private:
+  std::array<std::uint8_t, 64> ipad_key_{};
+  std::array<std::uint8_t, 64> opad_key_{};
+  Sha256 inner_;
+};
+
+/// Constant-time byte comparison for MAC tags: the run time depends on the
+/// lengths only, never on where the first mismatching byte sits, so a
+/// remote peer cannot binary-search a tag byte by byte off the timing.
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b);
+
+}  // namespace bxsoap

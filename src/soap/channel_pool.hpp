@@ -65,12 +65,20 @@ class TcpChannelPool {
     /// Encode-side adaptivity heuristic (entropy-probe thresholds); only
     /// consulted on channels that negotiated a non-empty transform set.
     transport::CompressPolicy compress_policy{};
+    /// This side's stream-authentication offer (a MessageSecurity policy's
+    /// stream_auth()), carried in each channel's v3 Hello and intersected
+    /// with the server's Accept; streamed exchanges on a channel that
+    /// negotiated an algorithm are signed and incrementally verified.
+    /// Default (empty) = unsigned streams. Implies enable_v3.
+    transport::StreamAuth stream_auth{};
     /// When set, records under "<metrics_prefix>.*": calls / resets
     /// counters, channels.in_use gauge, checkout.wait.ns histogram,
     /// checkout.timeout counter, io.* socket tallies across all channels,
     /// (with enable_v3) dict.{entries,bytes_saved,resets} across all
-    /// channels' dictionaries, and (with compress_transforms) the shared
-    /// compress.{chunks,skipped,bytes_in,bytes_out,ns} tallies. Must
+    /// channels' dictionaries, (with compress_transforms) the shared
+    /// compress.{chunks,skipped,bytes_in,bytes_out,ns} tallies, and (with
+    /// stream_auth) the shared
+    /// sec.{bytes_authenticated,tag_failures,verify.ns} tallies. Must
     /// outlive the pool.
     obs::Registry* registry = nullptr;
     std::string metrics_prefix = "client.channels";
@@ -103,6 +111,13 @@ class TcpChannelPool {
             &reg->counter(prefix + ".compress.bytes_out");
         compress_stats_.ns = &reg->counter(prefix + ".compress.ns");
       }
+      if (config.stream_auth) {
+        auth_stats_.bytes_authenticated =
+            &reg->counter(prefix + ".sec.bytes_authenticated");
+        auth_stats_.tag_failures =
+            &reg->counter(prefix + ".sec.tag_failures");
+        auth_stats_.verify_ns = &reg->counter(prefix + ".sec.verify.ns");
+      }
     }
     channels_.reserve(config.channels);
     for (std::size_t i = 0; i < config.channels; ++i) {
@@ -118,6 +133,10 @@ class TcpChannelPool {
               config.compress_transforms, config.compress_policy);
           channels_.back().binding().set_compress_stats(compress_stats_);
         }
+      }
+      if (config.stream_auth) {
+        channels_.back().binding().enable_stream_auth(config.stream_auth);
+        channels_.back().binding().set_auth_stats(auth_stats_);
       }
       free_.push_back(i);
     }
@@ -211,6 +230,7 @@ class TcpChannelPool {
   obs::IoStats* io_ = nullptr;
   bxsa::DictStats dict_stats_{};  // shared by every channel's dictionaries
   transport::CompressStats compress_stats_{};  // shared compress tallies
+  transport::AuthStats auth_stats_{};  // shared stream-auth tallies
 };
 
 }  // namespace bxsoap::soap

@@ -12,7 +12,8 @@
 //   SoapEngine<BxsaEncoding, HttpBinding>  ...
 //
 // — all type-check against the same engine, no virtual dispatch on the hot
-// path. A third parameter adds the security policy the paper sketches; a
+// path. A third parameter adds the MessageSecurity policy the paper
+// sketches (envelope apply/verify plus a streaming stream_auth() offer); a
 // fourth adds observability (obs/observer.hpp): NullObserver by default,
 // which compiles to zero instrumentation, or MetricsObserver to get the
 // per-stage timing breakdown the paper's §6 measurements are made of.
@@ -36,7 +37,7 @@ namespace bxsoap::soap {
 using obs::NullObserver;  // the default fourth policy, re-exported
 
 template <Encoding Enc, BindingPolicy Binding,
-          SecurityPolicy Security = NoSecurity,
+          MessageSecurity Security = NoSecurity,
           obs::ObserverPolicy Observer = NullObserver>
 class SoapEngine {
  public:
@@ -47,7 +48,18 @@ class SoapEngine {
       : encoding_(std::move(encoding)),
         binding_(std::move(binding)),
         security_(std::move(security)),
-        observer_(std::move(observer)) {}
+        observer_(std::move(observer)) {
+    // A policy with a non-empty stream_auth() arms the binding's chunked
+    // path (when the binding has one): streams are signed and verified
+    // incrementally under the same key material as envelope signatures.
+    // NoSecurity returns an empty offer, so this compiles away to nothing.
+    if constexpr (requires { binding_.enable_stream_auth(
+                      transport::StreamAuth{}); }) {
+      if (transport::StreamAuth auth = security_.stream_auth()) {
+        binding_.enable_stream_auth(std::move(auth));
+      }
+    }
+  }
 
   Enc& encoding() { return encoding_; }
   Binding& binding() { return binding_; }
@@ -78,8 +90,13 @@ class SoapEngine {
   /// receives the response as a pull-based chunk stream
   /// (transport::StreamRequest — duck-typed here so the soap layer names
   /// no transport types; the binding must provide stream_exchange, e.g.
-  /// transport::TcpClientBinding). Security policies do not apply: there
-  /// is never a whole envelope to sign or verify.
+  /// transport::TcpClientBinding). Envelope-level apply/verify does not
+  /// run — there is never a whole envelope to sign — but on a channel
+  /// that negotiated the security policy's stream_auth() offer, the
+  /// exchange is protected end-to-end by per-chunk authentication with an
+  /// Auth trailer each way (FORMAT.md): the binding signs request chunks
+  /// as they flush and verifies the response incrementally before its
+  /// final chunk is surfaced to `consume`.
   template <typename Produce, typename Consume>
     requires StreamingEncoding<Enc>
   void call_streamed(Produce&& produce, Consume&& consume,

@@ -9,28 +9,75 @@ using namespace bxsoap::xdm;
 
 namespace {
 
-std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
+std::uint64_t fnv1a(std::span<const std::uint8_t> data, std::uint64_t seed) {
   std::uint64_t h = seed ^ 0xcbf29ce484222325ULL;
-  for (const char c : data) {
-    h ^= static_cast<std::uint8_t>(c);
+  for (const std::uint8_t c : data) {
+    h ^= c;
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
+  return fnv1a(std::span<const std::uint8_t>(
+                   reinterpret_cast<const std::uint8_t*>(data.data()),
+                   data.size()),
+               seed);
 }
 
 const QName kSignatureName{std::string(kSecurityUri), "Signature", "sec"};
 
 }  // namespace
 
-std::uint64_t BodyDigestSignature::digest_of(const SoapEnvelope& env) const {
+FnvStreamAuthenticator::FnvStreamAuthenticator(std::string_view key)
+    : seed_(fnv1a(key, 0)), h_(seed_) {}
+
+void FnvStreamAuthenticator::update(std::span<const std::uint8_t> data) {
+  h_ = fnv1a(data, h_);
+}
+
+void FnvStreamAuthenticator::finalize(std::span<std::uint8_t> out) {
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(h_ >> (56 - 8 * i));
+  }
+}
+
+transport::StreamAuth make_hmac_stream_auth(std::string key) {
+  transport::StreamAuth auth;
+  auth.algos = transport::authalgs::kHmacSha256;
+  auth.make = [key = std::move(key)](std::uint8_t algo)
+      -> std::unique_ptr<transport::StreamAuthenticator> {
+    if (algo != transport::authalgs::kHmacSha256) return nullptr;
+    return std::make_unique<HmacStreamAuthenticator>(key);
+  };
+  return auth;
+}
+
+transport::StreamAuth make_fnv_stream_auth(std::string key) {
+  transport::StreamAuth auth;
+  auth.algos = transport::authalgs::kFnv1a64;
+  auth.make = [key = std::move(key)](std::uint8_t algo)
+      -> std::unique_ptr<transport::StreamAuthenticator> {
+    if (algo != transport::authalgs::kFnv1a64) return nullptr;
+    return std::make_unique<FnvStreamAuthenticator>(key);
+  };
+  return auth;
+}
+
+std::string BodyDigestSignature::digest_of(const SoapEnvelope& env) const {
   xml::WriteOptions opt;
   opt.emit_type_info = true;
   const std::string canonical = xml::write_xml(env.body(), opt);
-  return fnv1a(canonical, fnv1a(key_, 0));
+  HmacSha256 mac(key_);
+  mac.update(canonical);
+  std::uint8_t tag[HmacSha256::kTagSize];
+  mac.finalize(std::span<std::uint8_t>(tag, sizeof tag));
+  return to_hex(std::span<const std::uint8_t>(tag, sizeof tag));
 }
 
 void BodyDigestSignature::apply(SoapEnvelope& env) const {
-  auto block = make_leaf<std::uint64_t>(kSignatureName, digest_of(env));
+  auto block = make_leaf<std::string>(kSignatureName, digest_of(env));
   block->declare_namespace("sec", std::string(kSecurityUri));
   env.add_header_block(std::move(block));
 }
@@ -44,18 +91,16 @@ void BodyDigestSignature::verify(SoapEnvelope& env) const {
     throw SoapFaultError("soap:Client", "missing security header");
   }
   const auto& leaf = static_cast<const LeafElementBase&>(*sig);
-  std::uint64_t claimed = 0;
-  if (leaf.atom_type() == AtomType::kUInt64) {
-    claimed = scalar_get<std::uint64_t>(leaf.scalar());
-  } else {
-    const auto parsed = parse_uint64(trim_xml_ws(leaf.text()));
-    if (!parsed) {
-      throw SoapFaultError("soap:Client", "malformed security header");
-    }
-    claimed = *parsed;
-  }
-  // The header block itself is not part of the signed content.
-  if (claimed != digest_of(env)) {
+  const std::string claimed(trim_xml_ws(leaf.text()));
+  // The header block itself is not part of the signed content. Hex is
+  // compared constant-time so the check leaks nothing about where the
+  // recomputed MAC first diverges.
+  const std::string expected = digest_of(env);
+  const auto as_span = [](const std::string& s) {
+    return std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  };
+  if (!constant_time_equal(as_span(claimed), as_span(expected))) {
     throw SoapFaultError("soap:Client", "body digest mismatch");
   }
 }

@@ -1,0 +1,22 @@
+// DEPRECATED compatibility shim for the pre-PR-10 security concept name.
+//
+// The engine's security hook is now the two-level MessageSecurity concept
+// (soap/security.hpp): envelope apply/verify plus a stream_auth() offer
+// for the chunked path. The old envelope-only concept name survives here
+// — and ONLY here; scripts/check.sh greps it dead everywhere else — so
+// out-of-tree policies written against the old name keep compiling while
+// they migrate. New code must not include this header.
+#pragma once
+
+#include "soap/security.hpp"
+
+namespace bxsoap::soap {
+
+/// Deprecated alias for MessageSecurity. A policy that satisfied the old
+/// envelope-only concept needs one addition to satisfy the new one: a
+/// `stream_auth()` method (return `transport::StreamAuth{}` to keep
+/// streams unsigned, exactly the old behavior).
+template <typename S>
+concept SecurityPolicy = MessageSecurity<S>;
+
+}  // namespace bxsoap::soap

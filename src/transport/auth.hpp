@@ -1,0 +1,99 @@
+// Stream authentication primitives shared by the framing layer and the
+// security policies (soap/security.hpp) that configure it.
+//
+// A signed BXTP v2 stream carries an Auth trailer chunk (FORMAT.md §"Auth
+// trailer") holding a fixed-size tag over the stream's logical content.
+// This header defines the pieces both sides of that contract need without
+// dragging envelope/XDM types into the framing layer:
+//
+//   * authalgs::  — the negotiated algorithm bitmask carried in the v3
+//     Hello/Accept `auth` byte, and the tag size each algorithm produces.
+//   * StreamAuthenticator — the type-erased incremental MAC the framing
+//     reader/writer drive (init → update per chunk in wire order →
+//     finalize → tag). Concrete implementations live in soap/security.*.
+//   * StreamAuth — what a security policy hands a binding or server: the
+//     algorithms it offers plus a factory for the negotiated one.
+//   * AuthStats — the shared `sec.*` counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "obs/metrics.hpp"
+
+namespace bxsoap::transport {
+
+/// Algorithm bits for the v3 Hello/Accept `auth` byte. The negotiated set
+/// is the bitwise intersection of the two offers; the effective algorithm
+/// is the lowest set bit, so HMAC-SHA-256 always wins when both ends speak
+/// it. Empty intersection = the channel's streams are unsigned.
+namespace authalgs {
+inline constexpr std::uint8_t kHmacSha256 = 0x01;  ///< 32-byte tag
+inline constexpr std::uint8_t kFnv1a64 = 0x02;     ///< 8-byte tag, TEST ONLY
+inline constexpr std::uint8_t kAllKnown = kHmacSha256 | kFnv1a64;
+
+/// The single algorithm a negotiated set resolves to (lowest set bit), or
+/// 0 when the set is empty.
+inline constexpr std::uint8_t pick(std::uint8_t negotiated) {
+  return static_cast<std::uint8_t>(negotiated & (-negotiated));
+}
+
+/// Tag byte count for one algorithm bit; 0 for anything unknown.
+inline constexpr std::size_t tag_size_for(std::uint8_t algo) {
+  switch (algo) {
+    case kHmacSha256:
+      return 32;
+    case kFnv1a64:
+      return 8;
+    default:
+      return 0;
+  }
+}
+}  // namespace authalgs
+
+/// Incremental authenticator over a stream's logical (plaintext) chunk
+/// sequence. The framing layer feeds it a canonical byte sequence that is
+/// independent of compression and of how Data bytes were split into
+/// chunks; see FORMAT.md §"Auth trailer" for the exact input definition.
+class StreamAuthenticator {
+ public:
+  virtual ~StreamAuthenticator() = default;
+  /// Rewind to the start-of-stream state (same key).
+  virtual void init() = 0;
+  virtual void update(std::span<const std::uint8_t> data) = 0;
+  virtual std::size_t tag_size() const = 0;
+  /// Writes exactly tag_size() bytes; init() before reuse.
+  virtual void finalize(std::span<std::uint8_t> out) = 0;
+};
+
+/// A security policy's stream-auth offer: which algorithms it can speak
+/// and how to build the negotiated one. Default-constructed = no offer
+/// (streams run unsigned), which is what NoSecurity returns.
+struct StreamAuth {
+  /// authalgs:: bitmask offered in the v3 Hello (client) or intersected
+  /// into the Accept (server).
+  std::uint8_t algos = 0;
+  /// Builds an authenticator for one negotiated algorithm bit. Called
+  /// once per stream per direction; must return non-null for every bit
+  /// set in `algos`.
+  std::function<std::unique_ptr<StreamAuthenticator>(std::uint8_t algo)> make;
+
+  explicit operator bool() const noexcept {
+    return algos != 0 && static_cast<bool>(make);
+  }
+};
+
+/// Shared stream-authentication tallies (null members = not recorded):
+/// plaintext bytes absorbed into tags, tags that failed verification, and
+/// nanoseconds spent in receive-side update/verify — the work the signed
+/// path overlaps with reassembly.
+struct AuthStats {
+  obs::Counter* bytes_authenticated = nullptr;
+  obs::Counter* tag_failures = nullptr;
+  obs::Counter* verify_ns = nullptr;
+};
+
+}  // namespace bxsoap::transport

@@ -45,6 +45,13 @@ namespace bxsoap::transport {
 /// what this channel may compress (requests, streamed chunks) and must
 /// accept (responses). A server that never heard of compression answers
 /// transforms=0 and the channel stays byte-identical to plain v3.
+///
+/// Stream authentication rides it too: enable_stream_auth() adds an
+/// authalgs:: offer to the Hello, and when the Accept's intersection is
+/// non-empty every chunked stream on the channel — requests out,
+/// responses in — carries a verified Auth trailer (FORMAT.md §"Auth
+/// trailer"). An empty intersection (including any pre-auth server) is
+/// the sticky downgrade: the channel keeps working, unsigned.
 class TcpClientBinding {
  public:
   explicit TcpClientBinding(std::uint16_t port) : port_(port) {}
@@ -153,6 +160,21 @@ class TcpClientBinding {
       sink.writer.set_compression(
           {transforms_, compress_policy_, pool_, compress_stats_});
     }
+    // On an auth-negotiated channel both directions are signed: the
+    // request writer absorbs plaintext chunks as they flush and emits the
+    // Auth trailer, the response reader verifies the server's trailer
+    // before End can surface. The authenticators outlive both the
+    // producer thread and the read loop below.
+    std::unique_ptr<StreamAuthenticator> tx_auth, rx_auth;
+    if (auth_algo_ != 0) {
+      tx_auth = stream_auth_.make(auth_algo_);
+      rx_auth = stream_auth_.make(auth_algo_);
+      if (tx_auth == nullptr || rx_auth == nullptr) {
+        throw TransportError("stream auth cannot build the negotiated "
+                             "algorithm");
+      }
+      sink.writer.set_auth(tx_auth.get(), auth_algo_, auth_stats_);
+    }
     ResponseWriter request(sink, *pool_, chunk_bytes);
 
     std::exception_ptr tx_err;
@@ -181,6 +203,9 @@ class TcpClientBinding {
           }
         } source(stream_, limits_, pool_);
         source.reader.set_transforms(transforms_);
+        if (rx_auth != nullptr) {
+          source.reader.set_auth(rx_auth.get(), auth_algo_, auth_stats_);
+        }
         StreamRequest response(std::move(start.content_type), source);
         rx(response);
         response.drain(*pool_);
@@ -249,6 +274,28 @@ class TcpClientBinding {
   /// The CURRENT connection's negotiated transform set (0 = plain).
   std::uint8_t negotiated_transforms() const noexcept { return transforms_; }
 
+  /// Offer `auth.algos` (transport/auth.hpp authalgs:: bitmask) in the v3
+  /// Hello; the lowest bit of the Accept's intersection becomes this
+  /// channel's stream-auth algorithm, signing every chunked exchange in
+  /// both directions. Implies enable_v3() — authentication is negotiated
+  /// by the same handshake — and applies to connections dialed after the
+  /// call. A server that answers auth=0 leaves the channel unsigned (the
+  /// sticky downgrade; see DESIGN.md §15 for why that is in-threat-model).
+  void enable_stream_auth(StreamAuth auth) {
+    if (!auth) return;
+    stream_auth_ = std::move(auth);
+    v3_enabled_ = true;
+  }
+
+  /// The CURRENT connection's negotiated auth algorithm (one authalgs::
+  /// bit, or 0 when streams are unsigned).
+  std::uint8_t negotiated_auth() const noexcept { return auth_algo_; }
+
+  /// Metric sinks for this channel's stream-auth work (both directions).
+  void set_auth_stats(const AuthStats& stats) noexcept {
+    auth_stats_ = stats;
+  }
+
   /// Metric sinks for this channel's compression work (both directions).
   void set_compress_stats(const CompressStats& stats) noexcept {
     compress_stats_ = stats;
@@ -297,6 +344,7 @@ class TcpClientBinding {
       hello.dict_max_entries = dict_offer_.max_entries;
       hello.dict_max_bytes = dict_offer_.max_bytes;
       hello.transforms = compress_offer_;
+      hello.auth = stream_auth_.algos;
       write_hello(stream_, hello);
       const AcceptFrame accept = read_accept(stream_);
       if (accept.version == kFrameVersionNegotiated) {
@@ -306,6 +354,9 @@ class TcpClientBinding {
         // Re-intersect with our own offer: a server granting transforms we
         // never offered must not make us accept (or emit) them.
         transforms_ = accept.transforms & compress_offer_;
+        // Same for auth: the effective algorithm is the lowest bit of the
+        // double-checked intersection (0 = this channel runs unsigned).
+        auth_algo_ = authalgs::pick(accept.auth & stream_auth_.algos);
         if (v3_limits_.max_entries > 0) {
           enc_dict_.emplace(v3_limits_);
           dec_dict_.emplace(v3_limits_);
@@ -331,6 +382,7 @@ class TcpClientBinding {
     v3_active_ = false;
     v3_limits_ = bxsa::DictLimits{0, 0};
     transforms_ = 0;
+    auth_algo_ = 0;
     enc_dict_.reset();
     dec_dict_.reset();
   }
@@ -355,6 +407,11 @@ class TcpClientBinding {
   std::uint8_t transforms_ = 0;
   CompressPolicy compress_policy_{};
   CompressStats compress_stats_{};
+  // Stream authentication state: the sticky offer, the CURRENT
+  // connection's negotiated algorithm, and the shared sec.* counters.
+  StreamAuth stream_auth_{};
+  std::uint8_t auth_algo_ = 0;
+  AuthStats auth_stats_{};
 };
 
 /// Server endpoint of SOAP-over-TCP: accepts one connection at a time and

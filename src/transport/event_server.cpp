@@ -40,7 +40,8 @@ SoapEventServer::SoapEventServer(ServerConfig config)
       accept_v3_(config.accept_v3),
       dict_limits_(config.dict_limits),
       compress_transforms_(config.compress_transforms),
-      compress_policy_(config.compress_policy) {
+      compress_policy_(config.compress_policy),
+      stream_auth_(std::move(config.stream_auth)) {
   dict_capable_ =
       encoding_->content_type() == soap::BxsaEncoding::content_type();
   if (max_queue_depth_ > 0 || max_inflight_per_conn_ > 0) {
@@ -99,6 +100,10 @@ SoapEventServer::SoapEventServer(ServerConfig config)
     compress_stats_.bytes_in = &reg->counter(prefix + ".compress.bytes_in");
     compress_stats_.bytes_out = &reg->counter(prefix + ".compress.bytes_out");
     compress_stats_.ns = &reg->counter(prefix + ".compress.ns");
+    auth_stats_.bytes_authenticated =
+        &reg->counter(prefix + ".sec.bytes_authenticated");
+    auth_stats_.tag_failures = &reg->counter(prefix + ".sec.tag_failures");
+    auth_stats_.verify_ns = &reg->counter(prefix + ".sec.verify.ns");
   }
   if (!config.idempotent_ops.empty()) {
     ResponseCache::Stats cache_stats;
@@ -517,6 +522,23 @@ bool SoapEventServer::pump(const std::shared_ptr<Conn>& conn,
         accept.transforms = compress_transforms_ & hello.transforms;
         conn->transforms = accept.transforms;
         conn->assembler.set_transforms(accept.transforms);
+        // Stream authentication: the intersection of both offers; the
+        // effective algorithm is its lowest set bit. The assembler owns
+        // the receive side — it absorbs surfaced chunks and verifies the
+        // Auth trailer in wire order on this (the owning) reactor.
+        accept.auth = stream_auth_
+                          ? (stream_auth_.algos & hello.auth)
+                          : std::uint8_t{0};
+        conn->auth_algo = authalgs::pick(accept.auth);
+        if (conn->auth_algo != 0) {
+          conn->rx_auth = stream_auth_.make(conn->auth_algo);
+          if (conn->rx_auth == nullptr) {
+            throw TransportError(
+                "stream auth cannot build the negotiated algorithm");
+          }
+          conn->assembler.set_auth(conn->rx_auth.get(), conn->auth_algo,
+                                   auth_stats_);
+        }
         conn->v3 = true;
         if (eff.max_entries > 0) {
           conn->req_dict.emplace(eff);
@@ -1204,13 +1226,22 @@ void SoapEventServer::stream_main(std::shared_ptr<Conn> conn,
     SoapEventServer* srv;
     const std::shared_ptr<Conn>& conn;
     StreamState* st;
+    StreamAuthenticator* auth;
     std::uint64_t total = 0;
     bool pushed_any = false;
     bool wrote_header = false;
     QueueSink(SoapEventServer* s, const std::shared_ptr<Conn>& c,
-              StreamState* t)
-        : srv(s), conn(c), st(t) {}
+              StreamState* t, StreamAuthenticator* a)
+        : srv(s), conn(c), st(t), auth(a) {}
     void write(StreamChunk c) override {
+      // Signed stream: absorb the chunk in LOGICAL (pre-compression) order
+      // — the MAC covers what the handler said, not how the wire packed it.
+      if (auth != nullptr) {
+        auth_absorb_chunk(*auth, c.kind, c.bytes);
+        if (srv->auth_stats_.bytes_authenticated != nullptr) {
+          srv->auth_stats_.bytes_authenticated->add(c.bytes.size());
+        }
+      }
       if (c.kind == ChunkKind::kData) {
         // The End total counts LOGICAL bytes, so it is tallied before any
         // compression of the chunk body.
@@ -1233,6 +1264,16 @@ void SoapEventServer::stream_main(std::shared_ptr<Conn> conn,
       push(static_cast<std::uint8_t>(c.kind), std::move(c.bytes), false);
     }
     void finish() override {
+      if (auth != nullptr) {
+        // The Auth trailer rides before End, so the receiver verifies the
+        // whole stream before End reaches its handler.
+        const std::size_t tag_size = auth->tag_size();
+        std::vector<std::uint8_t> trailer(1 + tag_size);
+        trailer[0] = conn->auth_algo;
+        auth_finalize_tag(*auth, total, {trailer.data() + 1, tag_size});
+        push(static_cast<std::uint8_t>(ChunkKind::kAuth), std::move(trailer),
+             false);
+      }
       std::vector<std::uint8_t> body(8);
       store<std::uint64_t>(total, ByteOrder::kBig, body.data());
       push(static_cast<std::uint8_t>(ChunkKind::kEnd), std::move(body), true);
@@ -1276,7 +1317,18 @@ void SoapEventServer::stream_main(std::shared_ptr<Conn> conn,
       if (srv->stream_buffered_ != nullptr) srv->stream_buffered_->add(n);
       srv->request_flush(conn);
     }
-  } sink(this, conn, st.get());
+  } sink(this, conn, st.get(), nullptr);
+
+  // Signed stream: the response gets its own per-stream authenticator
+  // (the negotiated algorithm was proven buildable at Hello time).
+  std::unique_ptr<StreamAuthenticator> tx_auth;
+  if (conn->auth_algo != 0) {
+    tx_auth = stream_auth_.make(conn->auth_algo);
+    if (tx_auth != nullptr) {
+      tx_auth->init();
+      sink.auth = tx_auth.get();
+    }
+  }
 
   StreamRequest request(st->content_type, source);
   ResponseWriter response(sink, buffer_pool_, stream_chunk_bytes_,

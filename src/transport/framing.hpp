@@ -20,6 +20,7 @@
 // allocation.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <optional>
@@ -31,8 +32,10 @@
 #include "bxsa/stream_writer.hpp"
 #include "common/buffer.hpp"
 #include "common/buffer_pool.hpp"
+#include "common/hmac_sha256.hpp"
 #include "common/vls.hpp"
 #include "soap/binding.hpp"
+#include "transport/auth.hpp"
 #include "transport/compress.hpp"
 #include "transport/socket.hpp"
 
@@ -80,16 +83,18 @@ inline constexpr std::uint8_t kAllKnown =
 }  // namespace v3flags
 
 /// Hello body: 2 version bytes + each side's dictionary-table offer + the
-/// compression transform set the sender is willing to speak. The
-/// effective table is the element-wise minimum of both offers and the
-/// effective transform set is the intersection, so the two sides agree
-/// without a second round trip.
+/// compression transform set the sender is willing to speak + the stream
+/// authentication algorithms it can sign/verify with. The effective table
+/// is the element-wise minimum of both offers and the effective transform
+/// and auth sets are the intersections, so the two sides agree without a
+/// second round trip.
 struct HelloFrame {
   std::uint8_t min_version = kFrameVersion;
   std::uint8_t max_version = kFrameVersionNegotiated;
   std::uint32_t dict_max_entries = 0;
   std::uint32_t dict_max_bytes = 0;
   std::uint8_t transforms = 0;  ///< transforms:: bitmask offered
+  std::uint8_t auth = 0;        ///< authalgs:: bitmask offered
 };
 
 /// Accept body: the version the server chose plus the effective limits.
@@ -98,6 +103,7 @@ struct AcceptFrame {
   std::uint32_t dict_max_entries = 0;
   std::uint32_t dict_max_bytes = 0;
   std::uint8_t transforms = 0;  ///< client offer ∩ server offer
+  std::uint8_t auth = 0;        ///< client offer ∩ server offer
 };
 
 /// Default payload ceiling: generous for scientific datasets, small enough
@@ -130,7 +136,41 @@ enum class ChunkKind : std::uint8_t {
                         ///< after a handshake negotiated a transform set.
                         ///< The end chunk's total counts the DECOMPRESSED
                         ///< bytes, so reassembly is byte-identical.
+  kAuth = 4,  ///< authentication trailer: algo u8 + fixed-size tag over the
+              ///< stream's LOGICAL chunk sequence (docs/FORMAT.md §"Auth
+              ///< trailer"). Only legal after a handshake negotiated an
+              ///< auth algorithm; must precede the end chunk. Verified by
+              ///< the framing layer and never surfaced to consumers.
 };
+
+/// Largest tag any authalgs:: algorithm produces (HMAC-SHA-256), so the
+/// framing layer can verify with stack buffers.
+inline constexpr std::size_t kMaxAuthTagBytes = 32;
+
+/// Absorb one logical chunk into a stream authenticator. The MAC input is
+/// canonical and chunking-explicit: the logical kind byte (kData for both
+/// plain and compressed data — compression is invisible to the MAC),
+/// the u64 BE logical body length, then the logical (plaintext) body.
+/// Sender absorbs before compression, receiver after decompression, so
+/// both see identical input regardless of what the wire carried.
+inline void auth_absorb_chunk(StreamAuthenticator& a, ChunkKind logical_kind,
+                              std::span<const std::uint8_t> body) {
+  std::uint8_t hdr[9];
+  hdr[0] = static_cast<std::uint8_t>(logical_kind);
+  store<std::uint64_t>(body.size(), ByteOrder::kBig, hdr + 1);
+  a.update({hdr, sizeof(hdr)});
+  a.update(body);
+}
+
+/// Close the MAC input with the u64 BE total of logical data bytes (the
+/// same number the end chunk carries) and produce the tag.
+inline void auth_finalize_tag(StreamAuthenticator& a, std::uint64_t total,
+                              std::span<std::uint8_t> tag_out) {
+  std::uint8_t total_be[8];
+  store<std::uint64_t>(total, ByteOrder::kBig, total_be);
+  a.update({total_be, sizeof(total_be)});
+  a.finalize(tag_out);
+}
 
 /// One received chunk. For kEnd the payload total has already been decoded
 /// and verified by the reader; `bytes` is empty.
@@ -311,6 +351,7 @@ inline void encode_hello(ByteWriter& w, const HelloFrame& h) {
   w.write<std::uint32_t>(h.dict_max_entries, ByteOrder::kBig);
   w.write<std::uint32_t>(h.dict_max_bytes, ByteOrder::kBig);
   w.write_u8(h.transforms);
+  w.write_u8(h.auth);
 }
 
 /// Append one whole Accept frame (magic + version + kind + body).
@@ -322,6 +363,7 @@ inline void encode_accept(ByteWriter& w, const AcceptFrame& a) {
   w.write<std::uint32_t>(a.dict_max_entries, ByteOrder::kBig);
   w.write<std::uint32_t>(a.dict_max_bytes, ByteOrder::kBig);
   w.write_u8(a.transforms);
+  w.write_u8(a.auth);
 }
 
 template <FrameStream S>
@@ -355,13 +397,14 @@ AcceptFrame read_accept(S& stream) {
                          std::to_string(hdr[4]) + " kind " +
                          std::to_string(hdr[5]));
   }
-  std::uint8_t body[10];
+  std::uint8_t body[11];
   stream.read_exact(body, sizeof(body));
   AcceptFrame a;
   a.version = body[0];
   a.dict_max_entries = load<std::uint32_t>(body + 1, ByteOrder::kBig);
   a.dict_max_bytes = load<std::uint32_t>(body + 5, ByteOrder::kBig);
   a.transforms = body[9];
+  a.auth = body[10];
   if (a.version != kFrameVersion && a.version != kFrameVersionNegotiated) {
     throw TransportError("Accept names an unknown version " +
                          std::to_string(a.version));
@@ -454,7 +497,7 @@ FrameStart read_frame_start(S& stream, const FrameLimits& limits = {},
     std::uint8_t kind;
     stream.read_exact(&kind, 1);
     if (kind == static_cast<std::uint8_t>(V3FrameKind::kHello)) {
-      std::uint8_t body[11];
+      std::uint8_t body[12];
       stream.read_exact(body, sizeof(body));
       start.hello = true;
       start.hello_frame.min_version = body[0];
@@ -464,6 +507,7 @@ FrameStart read_frame_start(S& stream, const FrameLimits& limits = {},
       start.hello_frame.dict_max_bytes =
           load<std::uint32_t>(body + 6, ByteOrder::kBig);
       start.hello_frame.transforms = body[10];
+      start.hello_frame.auth = body[11];
       if (start.hello_frame.min_version > start.hello_frame.max_version) {
         throw TransportError("Hello with an empty version range");
       }
@@ -564,7 +608,26 @@ class ChunkedFrameWriter {
   /// Arm adaptive per-chunk compression (negotiated connections only).
   void set_compression(const ChunkCompression& c) { compression_ = c; }
 
+  /// Arm stream authentication (negotiated connections only): every data
+  /// and patch chunk is absorbed into `auth` as it is written — BEFORE
+  /// compression, so the tag covers the plaintext order — and finish()
+  /// emits the Auth trailer ahead of the end chunk. `auth` must outlive
+  /// the writer and must be freshly init()'d for this stream.
+  void set_auth(StreamAuthenticator* auth, std::uint8_t algo,
+                const AuthStats& stats = {}) {
+    auth_ = auth;
+    auth_algo_ = algo;
+    auth_stats_ = stats;
+    if (auth_ != nullptr) auth_->init();
+  }
+
   void write_data(std::span<const std::uint8_t> chunk) {
+    if (auth_ != nullptr) {
+      auth_absorb_chunk(*auth_, ChunkKind::kData, chunk);
+      if (auth_stats_.bytes_authenticated != nullptr) {
+        auth_stats_.bytes_authenticated->add(chunk.size());
+      }
+    }
     if (compression_.transforms != 0 && compression_.pool != nullptr) {
       std::vector<std::uint8_t> packed =
           compression_.pool->acquire(chunk.size());
@@ -587,6 +650,7 @@ class ChunkedFrameWriter {
     if (patches.empty()) return;
     ByteWriter body;
     encode_patch_records(body, patches);
+    absorb_patch(body.bytes());
     write_chunk(ChunkKind::kPatch, body.bytes());
   }
 
@@ -596,17 +660,31 @@ class ChunkedFrameWriter {
     if (kind == ChunkKind::kEnd) {
       throw TransportError("end chunks are emitted by finish()");
     }
+    if (kind == ChunkKind::kAuth) {
+      throw TransportError("auth trailers are emitted by finish()");
+    }
     if (kind == ChunkKind::kData) {
       // Route through write_data so pass-through chunks (echo/relay
       // handlers) get the same adaptive compression as encoded ones.
       write_data(body);
       return;
     }
+    if (kind == ChunkKind::kPatch) absorb_patch(body);
     write_chunk(kind, body);
   }
 
-  /// Close the stream: emits the end chunk carrying the data-byte total.
+  /// Close the stream: on an authenticated stream emits the Auth trailer
+  /// (algo byte + tag over the logical chunk sequence), then the end chunk
+  /// carrying the data-byte total.
   void finish() {
+    if (auth_ != nullptr) {
+      std::uint8_t trailer[1 + kMaxAuthTagBytes];
+      trailer[0] = auth_algo_;
+      const std::size_t tag_size = auth_->tag_size();
+      auth_finalize_tag(*auth_, total_,
+                        std::span<std::uint8_t>(trailer + 1, tag_size));
+      write_chunk(ChunkKind::kAuth, {trailer, 1 + tag_size});
+    }
     std::uint8_t total_be[8];
     store<std::uint64_t>(total_, ByteOrder::kBig, total_be);
     write_chunk(ChunkKind::kEnd, {total_be, sizeof(total_be)});
@@ -615,6 +693,14 @@ class ChunkedFrameWriter {
   std::uint64_t total_data_bytes() const noexcept { return total_; }
 
  private:
+  void absorb_patch(std::span<const std::uint8_t> body) {
+    if (auth_ == nullptr) return;
+    auth_absorb_chunk(*auth_, ChunkKind::kPatch, body);
+    if (auth_stats_.bytes_authenticated != nullptr) {
+      auth_stats_.bytes_authenticated->add(body.size());
+    }
+  }
+
   void write_chunk(ChunkKind kind, std::span<const std::uint8_t> body) {
     std::uint8_t hdr[9];
     hdr[0] = static_cast<std::uint8_t>(kind);
@@ -629,6 +715,9 @@ class ChunkedFrameWriter {
 
   S& stream_;
   ChunkCompression compression_{};
+  StreamAuthenticator* auth_ = nullptr;
+  std::uint8_t auth_algo_ = 0;
+  AuthStats auth_stats_{};
   std::uint64_t total_ = 0;
 };
 
@@ -648,77 +737,125 @@ class ChunkedFrameReader {
   /// consumer never sees a transform.
   void set_transforms(std::uint8_t transforms) { transforms_ = transforms; }
 
+  /// Require and verify the stream's Auth trailer (negotiated connections
+  /// only). Every surfaced data/patch chunk is absorbed into `auth` in
+  /// wire order — AFTER decompression, mirroring the sender's plaintext
+  /// absorption — and the trailer is consumed and checked here, before
+  /// the end chunk can surface: a tag mismatch, a missing trailer, or any
+  /// chunk after the trailer throws TransportError. `auth` must outlive
+  /// the reader.
+  void set_auth(StreamAuthenticator* auth, std::uint8_t algo,
+                const AuthStats& stats = {}) {
+    auth_ = auth;
+    auth_algo_ = algo;
+    auth_stats_ = stats;
+    if (auth_ != nullptr) auth_->init();
+  }
+
   /// Read the next chunk. After the end chunk arrives, done() is true and
-  /// further calls throw.
+  /// further calls throw. Auth trailers are consumed internally (verified,
+  /// never surfaced), so consumers see exactly the pre-auth chunk stream.
   StreamChunk next() {
-    if (done_) throw TransportError("read past the end of a chunked stream");
-    std::uint8_t hdr[9];
-    stream_.read_exact(hdr, sizeof(hdr));
-    const std::uint64_t len = load<std::uint64_t>(hdr + 1, ByteOrder::kBig);
-    StreamChunk c;
-    switch (hdr[0]) {
-      case static_cast<std::uint8_t>(ChunkKind::kData):
-        c.kind = ChunkKind::kData;
-        if (len > limits_.max_chunk_bytes) {
-          throw TransportError("chunk of " + std::to_string(len) +
-                               " bytes exceeds the chunk limit");
+    for (;;) {
+      if (done_) {
+        throw TransportError("read past the end of a chunked stream");
+      }
+      std::uint8_t hdr[9];
+      stream_.read_exact(hdr, sizeof(hdr));
+      const std::uint64_t len = load<std::uint64_t>(hdr + 1, ByteOrder::kBig);
+      StreamChunk c;
+      switch (hdr[0]) {
+        case static_cast<std::uint8_t>(ChunkKind::kData):
+          c.kind = ChunkKind::kData;
+          if (len > limits_.max_chunk_bytes) {
+            throw TransportError("chunk of " + std::to_string(len) +
+                                 " bytes exceeds the chunk limit");
+          }
+          if (len > limits_.max_stream_bytes - total_) {
+            throw TransportError("chunked stream exceeds the stream limit");
+          }
+          break;
+        case static_cast<std::uint8_t>(ChunkKind::kCompressedData):
+          c.kind = ChunkKind::kCompressedData;
+          // Wire bytes of a compressed chunk obey the same chunk cap; the
+          // decompressed size is capped separately below.
+          if (len > limits_.max_chunk_bytes) {
+            throw TransportError("chunk of " + std::to_string(len) +
+                                 " bytes exceeds the chunk limit");
+          }
+          break;
+        case static_cast<std::uint8_t>(ChunkKind::kPatch):
+          c.kind = ChunkKind::kPatch;
+          if (len > limits_.max_chunk_bytes) {
+            throw TransportError("patch chunk exceeds the chunk limit");
+          }
+          break;
+        case static_cast<std::uint8_t>(ChunkKind::kAuth):
+          c.kind = ChunkKind::kAuth;
+          if (auth_ == nullptr) {
+            throw TransportError("auth chunk on an unauthenticated stream");
+          }
+          if (len != 1 + auth_->tag_size()) {
+            throw TransportError("malformed auth trailer");
+          }
+          break;
+        case static_cast<std::uint8_t>(ChunkKind::kEnd):
+          c.kind = ChunkKind::kEnd;
+          if (len != 8) throw TransportError("malformed end chunk");
+          break;
+        default:
+          throw TransportError("unknown chunk kind " +
+                               std::to_string(hdr[0]));
+      }
+      if (auth_ != nullptr && auth_verified_ && c.kind != ChunkKind::kEnd) {
+        // The trailer must be the last chunk before End; anything after it
+        // is outside the signature and therefore a protocol violation.
+        throw TransportError("chunk after the auth trailer");
+      }
+      if (c.kind == ChunkKind::kEnd) {
+        if (auth_ != nullptr && !auth_verified_) {
+          if (auth_stats_.tag_failures != nullptr) {
+            auth_stats_.tag_failures->add();
+          }
+          throw TransportError(
+              "stream ended without an authentication trailer");
         }
-        if (len > limits_.max_stream_bytes - total_) {
+        std::uint8_t total_be[8];
+        stream_.read_exact(total_be, sizeof(total_be));
+        if (load<std::uint64_t>(total_be, ByteOrder::kBig) != total_) {
+          throw TransportError("chunked stream total mismatch");
+        }
+        done_ = true;
+        return c;
+      }
+      if (c.kind == ChunkKind::kAuth) {
+        std::uint8_t trailer[1 + kMaxAuthTagBytes];
+        stream_.read_exact(trailer, static_cast<std::size_t>(len));
+        verify_trailer({trailer, static_cast<std::size_t>(len)});
+        continue;  // verified; the trailer never surfaces
+      }
+      if (pool_ != nullptr) {
+        c.bytes = pool_->acquire(static_cast<std::size_t>(len));
+      }
+      c.bytes.resize(static_cast<std::size_t>(len));
+      stream_.read_exact(c.bytes.data(), c.bytes.size());
+      if (c.kind == ChunkKind::kCompressedData) {
+        // Decompress on receipt (the size bomb dies inside decompress_body,
+        // before any allocation) and surface a plain data chunk.
+        BufferPool& pool = pool_ != nullptr ? *pool_ : BufferPool::global();
+        std::vector<std::uint8_t> plain = decompress_body(
+            c.bytes, transforms_, limits_.max_chunk_bytes, pool);
+        if (plain.size() > limits_.max_stream_bytes - total_) {
           throw TransportError("chunked stream exceeds the stream limit");
         }
-        break;
-      case static_cast<std::uint8_t>(ChunkKind::kCompressedData):
-        c.kind = ChunkKind::kCompressedData;
-        // Wire bytes of a compressed chunk obey the same chunk cap; the
-        // decompressed size is capped separately below.
-        if (len > limits_.max_chunk_bytes) {
-          throw TransportError("chunk of " + std::to_string(len) +
-                               " bytes exceeds the chunk limit");
-        }
-        break;
-      case static_cast<std::uint8_t>(ChunkKind::kPatch):
-        c.kind = ChunkKind::kPatch;
-        if (len > limits_.max_chunk_bytes) {
-          throw TransportError("patch chunk exceeds the chunk limit");
-        }
-        break;
-      case static_cast<std::uint8_t>(ChunkKind::kEnd):
-        c.kind = ChunkKind::kEnd;
-        if (len != 8) throw TransportError("malformed end chunk");
-        break;
-      default:
-        throw TransportError("unknown chunk kind " +
-                             std::to_string(hdr[0]));
-    }
-    if (c.kind == ChunkKind::kEnd) {
-      std::uint8_t total_be[8];
-      stream_.read_exact(total_be, sizeof(total_be));
-      if (load<std::uint64_t>(total_be, ByteOrder::kBig) != total_) {
-        throw TransportError("chunked stream total mismatch");
+        pool.release(std::move(c.bytes));
+        c.kind = ChunkKind::kData;
+        c.bytes = std::move(plain);
       }
-      done_ = true;
+      if (c.kind == ChunkKind::kData) total_ += c.bytes.size();
+      if (auth_ != nullptr) absorb(c.kind, c.bytes);
       return c;
     }
-    if (pool_ != nullptr) {
-      c.bytes = pool_->acquire(static_cast<std::size_t>(len));
-    }
-    c.bytes.resize(static_cast<std::size_t>(len));
-    stream_.read_exact(c.bytes.data(), c.bytes.size());
-    if (c.kind == ChunkKind::kCompressedData) {
-      // Decompress on receipt (the size bomb dies inside decompress_body,
-      // before any allocation) and surface a plain data chunk.
-      BufferPool& pool = pool_ != nullptr ? *pool_ : BufferPool::global();
-      std::vector<std::uint8_t> plain =
-          decompress_body(c.bytes, transforms_, limits_.max_chunk_bytes, pool);
-      if (plain.size() > limits_.max_stream_bytes - total_) {
-        throw TransportError("chunked stream exceeds the stream limit");
-      }
-      pool.release(std::move(c.bytes));
-      c.kind = ChunkKind::kData;
-      c.bytes = std::move(plain);
-    }
-    if (c.kind == ChunkKind::kData) total_ += c.bytes.size();
-    return c;
   }
 
   bool done() const noexcept { return done_; }
@@ -726,10 +863,54 @@ class ChunkedFrameReader {
   std::uint64_t total_data_bytes() const noexcept { return total_; }
 
  private:
+  /// Absorb one surfaced (logical) chunk into the receive-side
+  /// authenticator, timed: this is the verification work the signed path
+  /// overlaps with reassembly.
+  void absorb(ChunkKind kind, std::span<const std::uint8_t> body) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auth_absorb_chunk(*auth_, kind, body);
+    if (auth_stats_.bytes_authenticated != nullptr) {
+      auth_stats_.bytes_authenticated->add(body.size());
+    }
+    if (auth_stats_.verify_ns != nullptr) {
+      auth_stats_.verify_ns->add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
+  }
+
+  void verify_trailer(std::span<const std::uint8_t> trailer) {
+    const auto t0 = std::chrono::steady_clock::now();
+    bool ok = trailer[0] == auth_algo_;
+    std::uint8_t expected[kMaxAuthTagBytes];
+    const std::size_t tag_size = auth_->tag_size();
+    auth_finalize_tag(*auth_, total_,
+                      std::span<std::uint8_t>(expected, tag_size));
+    ok = constant_time_equal(trailer.subspan(1),
+                             {expected, tag_size}) &&
+         ok;
+    if (auth_stats_.verify_ns != nullptr) {
+      auth_stats_.verify_ns->add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
+    if (!ok) {
+      if (auth_stats_.tag_failures != nullptr) auth_stats_.tag_failures->add();
+      throw TransportError("stream authentication tag mismatch");
+    }
+    auth_verified_ = true;
+  }
+
   S& stream_;
   FrameLimits limits_;
   BufferPool* pool_ = nullptr;
   std::uint8_t transforms_ = 0;
+  StreamAuthenticator* auth_ = nullptr;
+  std::uint8_t auth_algo_ = 0;
+  AuthStats auth_stats_{};
+  bool auth_verified_ = false;
   std::uint64_t total_ = 0;
   bool done_ = false;
 };
@@ -757,6 +938,20 @@ class FrameAssembler {
   /// not handled here — the connection owner decompresses them alongside
   /// dictionary decoding.
   void set_transforms(std::uint8_t transforms) { transforms_ = transforms; }
+
+  /// Require and verify an Auth trailer on every chunked stream this
+  /// connection carries (set after the handshake negotiated an auth
+  /// algorithm). Surfaced data/patch chunks are absorbed in wire order as
+  /// they are taken; the trailer itself is verified the moment its body
+  /// completes — BEFORE the end chunk can assemble, so a handler never
+  /// observes End on a stream whose tag failed — and never surfaces.
+  /// `auth` must outlive the assembler; it is re-init()'d per stream.
+  void set_auth(StreamAuthenticator* auth, std::uint8_t algo,
+                const AuthStats& stats = {}) {
+    auth_ = auth;
+    auth_algo_ = algo;
+    auth_stats_ = stats;
+  }
 
   /// Consume bytes from the front of `data` until one frame (v1) or one
   /// chunk (v2) completes or the input runs out; returns the number
@@ -828,6 +1023,7 @@ class FrameAssembler {
       message_ = {};
       streaming_ = false;
       stream_total_ = 0;
+      auth_verified_ = false;
       state_ = State::kFixed;
     } else if (chunk_kind_ == ChunkKind::kCompressedData) {
       // Decompress on take and surface a plain data chunk; the logical
@@ -850,6 +1046,23 @@ class FrameAssembler {
       chunk_ = {};
       state_ = State::kChunkHdr;
     }
+    if (auth_ != nullptr && (c.kind == ChunkKind::kData ||
+                             c.kind == ChunkKind::kPatch)) {
+      // Receive-side absorption happens on the logical (decompressed)
+      // bytes, in take order == wire order, and is timed: this is the
+      // verification work overlapped with reassembly.
+      const auto t0 = std::chrono::steady_clock::now();
+      auth_absorb_chunk(*auth_, c.kind, c.bytes);
+      if (auth_stats_.bytes_authenticated != nullptr) {
+        auth_stats_.bytes_authenticated->add(c.bytes.size());
+      }
+      if (auth_stats_.verify_ns != nullptr) {
+        auth_stats_.verify_ns->add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+      }
+    }
     return c;
   }
 
@@ -871,7 +1084,7 @@ class FrameAssembler {
   enum class State : std::uint8_t {
     kFixed,       // magic + version (5 bytes)
     kV3Kind,      // v3: frame kind byte
-    kV3Hello,     // v3: Hello body (11 bytes)
+    kV3Hello,     // v3: Hello body (12 bytes)
     kHelloReady,  // v3: one whole Hello assembled
     kV3Flags,     // v3: Message flags byte
     kCtLen,       // content-type length, VLS byte by byte
@@ -941,6 +1154,7 @@ class FrameAssembler {
           hello_.dict_max_bytes =
               load<std::uint32_t>(hello_body_ + 6, ByteOrder::kBig);
           hello_.transforms = hello_body_[10];
+          hello_.auth = hello_body_[11];
           if (hello_.min_version > hello_.max_version) {
             throw TransportError("Hello with an empty version range");
           }
@@ -1030,6 +1244,12 @@ class FrameAssembler {
         if (have_ == sizeof(chunk_hdr_)) {
           const std::uint64_t len =
               load<std::uint64_t>(chunk_hdr_ + 1, ByteOrder::kBig);
+          if (auth_ != nullptr && auth_verified_ &&
+              chunk_hdr_[0] != static_cast<std::uint8_t>(ChunkKind::kEnd)) {
+            // The trailer must be the last chunk before End; anything
+            // after it is outside the signature.
+            throw TransportError("chunk after the auth trailer");
+          }
           switch (chunk_hdr_[0]) {
             case static_cast<std::uint8_t>(ChunkKind::kData):
               chunk_kind_ = ChunkKind::kData;
@@ -1056,6 +1276,16 @@ class FrameAssembler {
               if (len > limits_.max_chunk_bytes) {
                 throw TransportError("chunk of " + std::to_string(len) +
                                      " bytes exceeds the chunk limit");
+              }
+              break;
+            case static_cast<std::uint8_t>(ChunkKind::kAuth):
+              chunk_kind_ = ChunkKind::kAuth;
+              if (auth_ == nullptr) {
+                throw TransportError(
+                    "auth chunk on an unauthenticated stream");
+              }
+              if (len != 1 + auth_->tag_size()) {
+                throw TransportError("malformed auth trailer");
               }
               break;
             case static_cast<std::uint8_t>(ChunkKind::kEnd):
@@ -1087,7 +1317,25 @@ class FrameAssembler {
         const std::size_t take = std::min(data.size(), want);
         chunk_.insert(chunk_.end(), data.data(), data.data() + take);
         if (chunk_.size() == chunk_len_) {
+          if (chunk_kind_ == ChunkKind::kAuth) {
+            // Verify the moment the trailer completes — every prior chunk
+            // has already been taken (feed() stalls on kChunkReady), so
+            // the receive-side MAC is caught up. The trailer never
+            // surfaces: rearm straight to the next chunk header.
+            verify_auth_trailer();
+            chunk_.clear();
+            state_ = State::kChunkHdr;
+            have_ = 0;
+            return take;
+          }
           if (chunk_kind_ == ChunkKind::kEnd) {
+            if (auth_ != nullptr && !auth_verified_) {
+              if (auth_stats_.tag_failures != nullptr) {
+                auth_stats_.tag_failures->add();
+              }
+              throw TransportError(
+                  "stream ended without an authentication trailer");
+            }
             if (load<std::uint64_t>(chunk_.data(), ByteOrder::kBig) !=
                 stream_total_) {
               throw TransportError("chunked stream total mismatch");
@@ -1106,12 +1354,41 @@ class FrameAssembler {
   }
 
   /// Where the header hands off: v1 reads a payload length, v2 reads
-  /// chunks. Entering the chunk path marks the stream live.
+  /// chunks. Entering the chunk path marks the stream live (and rewinds
+  /// the per-stream authenticator on an authenticated connection).
   State after_content_type() {
     if (version_ != kFrameVersionChunked) return State::kLen;
     streaming_ = true;
     stream_total_ = 0;
+    auth_verified_ = false;
+    if (auth_ != nullptr) auth_->init();
     return State::kChunkHdr;
+  }
+
+  /// Check the completed Auth trailer in chunk_ (algo byte + tag) against
+  /// the absorbed chunk sequence; throws TransportError on any mismatch.
+  void verify_auth_trailer() {
+    const auto t0 = std::chrono::steady_clock::now();
+    bool ok = chunk_[0] == auth_algo_;
+    std::uint8_t expected[kMaxAuthTagBytes];
+    const std::size_t tag_size = auth_->tag_size();
+    auth_finalize_tag(*auth_, stream_total_,
+                      std::span<std::uint8_t>(expected, tag_size));
+    ok = constant_time_equal(
+             std::span<const std::uint8_t>(chunk_.data() + 1, tag_size),
+             {expected, tag_size}) &&
+         ok;
+    if (auth_stats_.verify_ns != nullptr) {
+      auth_stats_.verify_ns->add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
+    if (!ok) {
+      if (auth_stats_.tag_failures != nullptr) auth_stats_.tag_failures->add();
+      throw TransportError("stream authentication tag mismatch");
+    }
+    auth_verified_ = true;
   }
 
   FrameLimits limits_;
@@ -1121,10 +1398,15 @@ class FrameAssembler {
   std::uint8_t fixed_[5]{};
   std::uint8_t len_be_[8]{};
   // v3 handshake/flags state.
-  std::uint8_t hello_body_[11]{};
+  std::uint8_t hello_body_[12]{};
   HelloFrame hello_;
   std::uint8_t flags_ = 0;
   std::uint8_t transforms_ = 0;
+  // Stream authentication (negotiated connections only).
+  StreamAuthenticator* auth_ = nullptr;
+  std::uint8_t auth_algo_ = 0;
+  AuthStats auth_stats_{};
+  bool auth_verified_ = false;
   std::size_t have_ = 0;
   std::uint64_t ct_len_ = 0;
   int vls_shift_ = 0;

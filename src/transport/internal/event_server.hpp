@@ -220,6 +220,13 @@ class SoapEventServer : public SoapServer {
     /// Negotiated compression set (0 = plain). Written with `v3` while
     /// handling the Hello; same ordering argument covers worker reads.
     std::uint8_t transforms = 0;
+    /// Negotiated stream-auth algorithm (0 = unsigned). Written with `v3`
+    /// while handling the Hello; stream threads read it after begin_stream,
+    /// which the same job-queue/flush handoff orders. rx_auth is
+    /// reactor-only: the assembler absorbs and verifies request chunks in
+    /// wire order on the owning reactor thread.
+    std::uint8_t auth_algo = 0;
+    std::unique_ptr<StreamAuthenticator> rx_auth;
     std::optional<bxsa::DictDecoder> req_dict;
     std::optional<bxsa::DictEncoder> resp_dict;
 
@@ -348,6 +355,10 @@ class SoapEventServer : public SoapServer {
   std::uint8_t compress_transforms_ = 0;
   CompressPolicy compress_policy_{};
   CompressStats compress_stats_{};
+  /// Streaming authentication: this server's algorithm offer and the
+  /// sec.* counters.
+  StreamAuth stream_auth_{};
+  AuthStats auth_stats_{};
   /// Idempotent-response cache; engaged only when the config declares
   /// idempotent operations.
   std::optional<ResponseCache> respcache_;

@@ -96,9 +96,10 @@ class SoapServerPool : public SoapServer {
   void serve_connection(TcpStream stream);
   /// One BXTP v2 exchange on the connection's worker thread. The frame
   /// header `start` was already consumed. `transforms` is the connection's
-  /// negotiated compression set (0 on un-negotiated connections).
+  /// negotiated compression set (0 on un-negotiated connections) and
+  /// `auth_algo` its negotiated authentication algorithm (0 = unsigned).
   void serve_stream(TcpStream& stream, FrameStart start,
-                    std::uint8_t transforms);
+                    std::uint8_t transforms, std::uint8_t auth_algo);
   void reap_finished_locked();
 
   std::unique_ptr<soap::AnyEncoding> encoding_;
@@ -133,6 +134,11 @@ class SoapServerPool : public SoapServer {
   std::uint8_t compress_transforms_ = 0;
   CompressPolicy compress_policy_{};
   CompressStats compress_stats_{};
+  /// Streaming authentication: this server's algorithm offer (the
+  /// per-connection algorithm is the lowest bit of the intersection with
+  /// the client's Hello) and the sec.* counters.
+  StreamAuth stream_auth_{};
+  AuthStats auth_stats_{};
   /// Idempotent-response cache; engaged only when the config declares
   /// idempotent operations.
   std::optional<ResponseCache> respcache_;

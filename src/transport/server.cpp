@@ -84,6 +84,20 @@ std::string ServerConfig::validate(ConcurrencyModel model) const {
     fail("compress_policy.min_bytes must be > 0 (empty bodies cannot "
          "shrink; 1 disables the floor in practice)");
   }
+  if (stream_auth.algos != 0 || stream_auth.make) {
+    if ((stream_auth.algos & ~authalgs::kAllKnown) != 0) {
+      fail("stream_auth.algos has unknown algorithm bits set (known: "
+           "authalgs::kHmacSha256 | authalgs::kFnv1a64)");
+    }
+    if (stream_auth.algos == 0 || !stream_auth.make) {
+      fail("stream_auth must set both algos and make (use a "
+           "MessageSecurity policy's stream_auth())");
+    }
+    if (!accept_v3) {
+      fail("stream_auth requires accept_v3: the algorithm is negotiated "
+           "by the v3 Hello/Accept handshake");
+    }
+  }
   if (!idempotent_ops.empty()) {
     if (!handler) {
       fail("idempotent_ops caches request/response exchanges, which need "

@@ -29,6 +29,7 @@
 #include "obs/observer.hpp"
 #include "soap/any_engine.hpp"
 #include "soap/envelope.hpp"
+#include "transport/auth.hpp"
 #include "transport/framing.hpp"
 #include "transport/stream.hpp"
 
@@ -196,6 +197,20 @@ struct ServerConfig {
   /// thresholds; see DESIGN.md §14). Only consulted when a connection
   /// negotiated a non-empty transform set.
   CompressPolicy compress_policy{};
+
+  /// This server's stream-authentication offer for v3 negotiation (a
+  /// soap::MessageSecurity policy's stream_auth(); transport/auth.hpp).
+  /// The effective per-connection algorithm is the lowest bit of the
+  /// intersection of both sides' offers; on a connection that negotiated
+  /// one, EVERY chunked stream — requests verified incrementally before
+  /// End reaches the handler, responses signed as they flush — carries an
+  /// Auth trailer (FORMAT.md). A tag mismatch cuts the connection with a
+  /// retryable fault. Default (empty) = never offer: a signing client
+  /// downgrades to unsigned streams, byte-identical to pre-auth framing.
+  /// Requires accept_v3 (validated): authentication is negotiated by the
+  /// same handshake. With `registry` set, the server records
+  /// "<metrics_prefix>.sec.{bytes_authenticated,tag_failures,verify.ns}".
+  StreamAuth stream_auth{};
 
   /// Operation local names (the request Body's child element) whose
   /// handler is idempotent: a byte-identical repeat of such a request may

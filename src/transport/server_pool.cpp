@@ -23,7 +23,8 @@ SoapServerPool::SoapServerPool(ServerConfig config)
       accept_v3_(config.accept_v3),
       dict_limits_(config.dict_limits),
       compress_transforms_(config.compress_transforms),
-      compress_policy_(config.compress_policy) {
+      compress_policy_(config.compress_policy),
+      stream_auth_(std::move(config.stream_auth)) {
   dict_capable_ =
       encoding_->content_type() == soap::BxsaEncoding::content_type();
   if (max_queue_depth_ > 0) {
@@ -61,6 +62,10 @@ SoapServerPool::SoapServerPool(ServerConfig config)
     compress_stats_.bytes_in = &reg->counter(prefix + ".compress.bytes_in");
     compress_stats_.bytes_out = &reg->counter(prefix + ".compress.bytes_out");
     compress_stats_.ns = &reg->counter(prefix + ".compress.ns");
+    auth_stats_.bytes_authenticated =
+        &reg->counter(prefix + ".sec.bytes_authenticated");
+    auth_stats_.tag_failures = &reg->counter(prefix + ".sec.tag_failures");
+    auth_stats_.verify_ns = &reg->counter(prefix + ".sec.verify.ns");
   }
   if (!config.idempotent_ops.empty()) {
     ResponseCache::Stats cache_stats;
@@ -206,6 +211,7 @@ void SoapServerPool::serve_connection(TcpStream stream) {
     // dictionary directions (requests decode, responses encode).
     bool v3 = false;
     std::uint8_t transforms = 0;  // negotiated compression set (0 = plain)
+    std::uint8_t auth_algo = 0;   // negotiated stream auth (0 = unsigned)
     std::optional<bxsa::DictDecoder> req_dict;
     std::optional<bxsa::DictEncoder> resp_dict;
     // Serve exchanges until the peer hangs up.
@@ -248,6 +254,13 @@ void SoapServerPool::serve_connection(TcpStream stream) {
           accept.transforms =
               compress_transforms_ & start.hello_frame.transforms;
           transforms = accept.transforms;
+          // Stream authentication: the intersection of both offers; the
+          // effective algorithm is its lowest set bit. Empty = this
+          // connection's streams stay unsigned (sticky downgrade).
+          accept.auth =
+              stream_auth_ ? (stream_auth_.algos & start.hello_frame.auth)
+                           : std::uint8_t{0};
+          auth_algo = authalgs::pick(accept.auth);
           v3 = true;
           if (eff.max_entries > 0) {
             req_dict.emplace(eff);
@@ -263,7 +276,7 @@ void SoapServerPool::serve_connection(TcpStream stream) {
       }
       if (!body) {
         busy.store(true, std::memory_order_release);
-        serve_stream(stream, std::move(start), transforms);
+        serve_stream(stream, std::move(start), transforms, auth_algo);
         busy.store(false, std::memory_order_release);
         if (stopping_.load(std::memory_order_acquire)) break;
         continue;
@@ -470,11 +483,27 @@ void SoapServerPool::serve_connection(TcpStream stream) {
 }
 
 void SoapServerPool::serve_stream(TcpStream& stream, FrameStart start,
-                                  std::uint8_t transforms) {
+                                  std::uint8_t transforms,
+                                  std::uint8_t auth_algo) {
+  // On a connection that negotiated stream authentication, every chunked
+  // exchange carries an Auth trailer each way: the request's is verified
+  // incrementally (the reader absorbs each surfaced chunk and checks the
+  // trailer before End), the response's is signed as chunks flush.
+  std::unique_ptr<StreamAuthenticator> rx_auth;
+  std::unique_ptr<StreamAuthenticator> tx_auth;
+  if (auth_algo != 0) {
+    rx_auth = stream_auth_.make(auth_algo);
+    tx_auth = stream_auth_.make(auth_algo);
+    if (rx_auth == nullptr || tx_auth == nullptr) {
+      throw TransportError("stream auth cannot build the negotiated "
+                           "algorithm");
+    }
+  }
   // Pull side: request chunks come one at a time off the blocking socket,
   // so the pull rate of the handler is the read rate of the connection.
   ChunkedFrameReader<TcpStream> reader(stream, frame_limits_, &buffer_pool_);
   reader.set_transforms(transforms);
+  if (rx_auth != nullptr) reader.set_auth(rx_auth.get(), auth_algo, auth_stats_);
   struct SocketSource final : StreamSource {
     SoapServerPool* pool;
     ChunkedFrameReader<TcpStream>& reader;
@@ -497,9 +526,12 @@ void SoapServerPool::serve_stream(TcpStream& stream, FrameStart start,
     SoapServerPool* pool;
     TcpStream& stream;
     std::uint8_t transforms;
+    StreamAuthenticator* auth;
+    std::uint8_t auth_algo;
     std::optional<ChunkedFrameWriter<TcpStream>> writer;
-    SocketSink(SoapServerPool* p, TcpStream& s, std::uint8_t t)
-        : pool(p), stream(s), transforms(t) {}
+    SocketSink(SoapServerPool* p, TcpStream& s, std::uint8_t t,
+               StreamAuthenticator* a, std::uint8_t algo)
+        : pool(p), stream(s), transforms(t), auth(a), auth_algo(algo) {}
     void ensure_writer() {
       if (!writer) {
         writer.emplace(stream, pool->encoding_->content_type());
@@ -507,6 +539,9 @@ void SoapServerPool::serve_stream(TcpStream& stream, FrameStart start,
           writer->set_compression({transforms, pool->compress_policy_,
                                    &pool->buffer_pool_,
                                    pool->compress_stats_});
+        }
+        if (auth != nullptr) {
+          writer->set_auth(auth, auth_algo, pool->auth_stats_);
         }
       }
     }
@@ -530,7 +565,7 @@ void SoapServerPool::serve_stream(TcpStream& stream, FrameStart start,
       ensure_writer();
       writer->finish();
     }
-  } sink(this, stream, transforms);
+  } sink(this, stream, transforms, tx_auth.get(), auth_algo);
 
   StreamRequest request(std::move(start.content_type), source);
   ResponseWriter response(sink, buffer_pool_, stream_chunk_bytes_,

@@ -17,6 +17,16 @@
 // need fix-ups. Producers ship them in a trailing patch chunk; a consumer
 // that materializes applies them in assemble(); a pass-through consumer
 // (echo, relay) forwards them verbatim and never decodes them.
+//
+// Streaming security is INVISIBLE at this layer by design: on a channel
+// that negotiated a stream-auth algorithm (soap::MessageSecurity's
+// stream_auth() offer; FORMAT.md §"Auth trailer") the framing layer
+// absorbs every chunk a handler sees or produces into a keyed MAC and
+// carries the tag in an Auth trailer chunk before End. Verification is
+// incremental and completes BEFORE next() reports end-of-stream, so a
+// handler that ran to completion has consumed an authenticated message —
+// a tag mismatch surfaces as TransportError, never as truncated-but-
+// plausible data. Handlers and these classes need no changes either way.
 #pragma once
 
 #include <cstring>

@@ -69,11 +69,12 @@ class V3Chaos : public ::testing::TestWithParam<ConcurrencyModel> {
 TEST_P(V3Chaos, TruncatedHelloNeverWedgesTheServer) {
   auto server = start();
   {
-    // A full Hello is 17 bytes; abandon it mid-body.
+    // A full Hello is 18 bytes (12-byte body since the auth flag); abandon
+    // it mid-body.
     TcpStream stream = TcpStream::connect(server->port());
     ByteWriter hello;
     encode_hello(hello, HelloFrame{});
-    ASSERT_EQ(hello.size(), 17u);
+    ASSERT_EQ(hello.size(), 18u);
     stream.write_all(std::span(hello.bytes()).first(9));
   }  // close with the handshake half-sent
   expect_still_serving(*server);

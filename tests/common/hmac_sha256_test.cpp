@@ -1,0 +1,150 @@
+// HMAC-SHA-256 (common/hmac_sha256.hpp) pinned against published vectors:
+// FIPS 180-4 / NIST examples for the bare hash, RFC 4231 test cases 1-4, 6
+// and 7 for the keyed MAC (case 5 truncates the tag, which this
+// implementation deliberately does not support). The streaming security
+// layer rests on these being byte-exact.
+#include "common/hmac_sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hex.hpp"
+
+namespace bxsoap {
+namespace {
+
+std::string sha256_hex(std::string_view msg) {
+  std::uint8_t out[Sha256::kDigestSize];
+  Sha256 h;
+  h.update(msg);
+  h.finalize(out);
+  return to_hex({out, sizeof(out)});
+}
+
+TEST(Sha256, NistShortVectors) {
+  // FIPS 180-4 examples (also NIST CAVP SHA256ShortMsg).
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAsCrossesManyBlocks) {
+  Sha256 h;
+  const std::string chunk(997, 'a');  // deliberately not block-aligned
+  std::size_t fed = 0;
+  while (fed < 1'000'000) {
+    const std::size_t n = std::min<std::size_t>(chunk.size(), 1'000'000 - fed);
+    h.update(std::string_view(chunk).substr(0, n));
+    fed += n;
+  }
+  std::uint8_t out[Sha256::kDigestSize];
+  h.finalize(out);
+  EXPECT_EQ(to_hex({out, sizeof(out)}),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalEqualsOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  Sha256 whole;
+  whole.update(msg);
+  std::uint8_t a[Sha256::kDigestSize];
+  whole.finalize(a);
+
+  Sha256 pieces;
+  for (char c : msg) pieces.update(std::string_view(&c, 1));
+  std::uint8_t b[Sha256::kDigestSize];
+  pieces.finalize(b);
+  EXPECT_TRUE(constant_time_equal(a, b));
+}
+
+std::string hmac_hex(std::span<const std::uint8_t> key, std::string_view msg) {
+  std::uint8_t tag[HmacSha256::kTagSize];
+  HmacSha256 mac(key);
+  mac.update(msg);
+  mac.finalize(tag);
+  return to_hex({tag, sizeof(tag)});
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  EXPECT_EQ(hmac_hex(key, "Hi There"),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  std::uint8_t tag[HmacSha256::kTagSize];
+  HmacSha256 mac{std::string_view(key)};
+  mac.update(std::string_view("what do ya want for nothing?"));
+  mac.finalize(tag);
+  EXPECT_EQ(to_hex({tag, sizeof(tag)}),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::string msg(50, '\xdd');
+  EXPECT_EQ(hmac_hex(key, msg),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case4) {
+  std::vector<std::uint8_t> key(25);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  const std::string msg(50, '\xcd');
+  EXPECT_EQ(hmac_hex(key, msg),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256, Rfc4231Case6KeyLongerThanBlock) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  EXPECT_EQ(hmac_hex(key, "Test Using Larger Than Block-Size Key - Hash"
+                          " Key First"),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, Rfc4231Case7LongKeyLongData) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  EXPECT_EQ(hmac_hex(key,
+                     "This is a test using a larger than block-size key and a"
+                     " larger than block-size data. The key needs to be hashed"
+                     " before being used by the HMAC algorithm."),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(HmacSha256, ResetRewindsToFreshKeyedState) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  HmacSha256 mac(key);
+  mac.update(std::string_view("poisoned earlier message"));
+  std::uint8_t scratch[HmacSha256::kTagSize];
+  mac.finalize(scratch);
+
+  mac.reset();
+  mac.update(std::string_view("Hi There"));
+  std::uint8_t tag[HmacSha256::kTagSize];
+  mac.finalize(tag);
+  EXPECT_EQ(to_hex({tag, sizeof(tag)}),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(ConstantTimeEqual, DisagreesOnAnyDifference) {
+  const std::uint8_t a[4] = {1, 2, 3, 4};
+  const std::uint8_t b[4] = {1, 2, 3, 4};
+  const std::uint8_t c[4] = {1, 2, 3, 5};
+  const std::uint8_t d[3] = {1, 2, 3};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));  // length mismatch
+}
+
+}  // namespace
+}  // namespace bxsoap

@@ -124,7 +124,7 @@ TEST(SoapEngine, OneWaySendDoesNotWaitForResponse) {
   EXPECT_EQ(received.body_payload()->name().local, "Echo");
 }
 
-TEST(SoapEngine, SecurityPolicySignsAndVerifies) {
+TEST(SoapEngine, MessageSecuritySignsAndVerifies) {
   auto [client_end, server_end] = InMemoryBinding::make_pair();
   SoapEngine<BxsaEncoding, InMemoryBinding, BodyDigestSignature> client(
       {}, std::move(client_end), BodyDigestSignature("k3y"));
